@@ -1,0 +1,117 @@
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+namespace quicsand::bench {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  return std::strtoull(value, nullptr, 10);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int env_days(int default_days) {
+  return static_cast<int>(
+      env_u64("QUICSAND_DAYS", static_cast<std::uint64_t>(default_days)));
+}
+
+std::uint64_t env_seed() { return env_u64("QUICSAND_SEED", 2021); }
+
+int env_telescope_bits(int default_bits) {
+  return static_cast<int>(env_u64("QUICSAND_TELESCOPE_BITS",
+                                  static_cast<std::uint64_t>(default_bits)));
+}
+
+const asdb::AsRegistry& registry() {
+  static const auto instance = asdb::AsRegistry::synthetic({}, 2021);
+  return instance;
+}
+
+const scanner::Deployment& deployment() {
+  static const auto instance =
+      scanner::Deployment::synthetic(registry(), {}, 2021);
+  return instance;
+}
+
+telescope::ScenarioConfig light_scenario(
+    const LightScenarioOptions& options) {
+  auto config = telescope::ScenarioConfig::april2021(env_days(options.days),
+                                                     env_seed());
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0),
+                      env_telescope_bits(options.telescope_bits)};
+  // The paper removes research scans before the event analyses; skipping
+  // their generation entirely keeps these binaries fast.
+  config.tum.passes_per_day = 0;
+  config.rwth.passes_per_day = 0;
+  config.attacks.common_attacks_per_day = options.common_attacks_per_day;
+  return config;
+}
+
+AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
+  AnalyzedScenario result;
+  result.config = config;
+
+  core::PipelineOptions options;
+  options.window_start = config.start;
+  options.days = config.days;
+  options.research_prefixes.push_back(
+      registry().prefixes_of(asdb::AsRegistry::kTumScanner).front());
+  options.research_prefixes.push_back(
+      registry().prefixes_of(asdb::AsRegistry::kRwthScanner).front());
+  result.pipeline = std::make_unique<core::Pipeline>(options);
+
+  const auto generate_start = std::chrono::steady_clock::now();
+  telescope::TelescopeGenerator generator(config, registry(), deployment());
+  while (auto packet = generator.next()) result.pipeline->consume(*packet);
+  result.generate_seconds = seconds_since(generate_start);
+
+  const auto analyze_start = std::chrono::steady_clock::now();
+  result.truth = generator.ground_truth();
+  result.intel = generator.make_intel_db();
+  result.analysis = result.pipeline->analyze_attacks();
+  result.analyze_seconds = seconds_since(analyze_start);
+  return result;
+}
+
+void print_scale(const telescope::ScenarioConfig& config) {
+  std::cout << "scale: window=" << config.days << "d (paper: 30d)"
+            << "  telescope=" << config.telescope.to_string()
+            << " (paper: /9)"
+            << "  seed=" << config.seed << "\n";
+}
+
+void compare(const std::string& metric, const std::string& paper,
+             const std::string& measured) {
+  std::cout << "  " << metric << ": paper=" << paper
+            << "  measured=" << measured << "\n";
+}
+
+void print_cdf(const std::string& title, const util::Cdf& cdf,
+               const std::string& unit) {
+  util::print_heading(std::cout, title);
+  if (cdf.empty()) {
+    std::cout << "(no samples)\n";
+    return;
+  }
+  util::Table table({"quantile", unit});
+  for (const double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 1.0}) {
+    table.add_row({util::pct(q, 0), util::fmt(cdf.quantile(q), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "mean=" << util::fmt(cdf.mean(), 2) << " " << unit
+            << "  n=" << cdf.size() << "\n";
+}
+
+}  // namespace quicsand::bench

@@ -1,0 +1,71 @@
+// Shared setup for the figure/table harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper from a
+// synthetic telescope scenario. Scale knobs (window length, telescope
+// prefix, seed) come from environment variables so the same binaries can
+// run a quick CI-sized reproduction or a full-scale one:
+//
+//   QUICSAND_DAYS  — window length in days (default: per-bench)
+//   QUICSAND_SEED  — scenario seed (default 2021)
+//   QUICSAND_TELESCOPE_BITS — telescope prefix length (default per-bench)
+//
+// Each binary prints its effective scale and, where the paper reports a
+// number, a "paper vs measured" line.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asdb/registry.hpp"
+#include "core/pipeline.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/generator.hpp"
+#include "threat/intel.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace quicsand::bench {
+
+/// Environment overrides with defaults.
+int env_days(int default_days);
+std::uint64_t env_seed();
+int env_telescope_bits(int default_bits);
+
+const asdb::AsRegistry& registry();
+const scanner::Deployment& deployment();
+
+/// Scenario for the event-level figures (3-13): no research scanners
+/// (the paper removes them first), a smaller telescope, and a background
+/// TCP/ICMP attack rate reduced by the factor reported by the binary.
+struct LightScenarioOptions {
+  int days = 4;
+  int telescope_bits = 16;
+  double common_attacks_per_day = 600;  ///< paper-scale is 9400/day
+};
+telescope::ScenarioConfig light_scenario(const LightScenarioOptions& options);
+
+/// One fully generated + analyzed scenario.
+struct AnalyzedScenario {
+  telescope::ScenarioConfig config;
+  telescope::GroundTruth truth;
+  std::unique_ptr<core::Pipeline> pipeline;
+  core::Pipeline::AttackAnalysis analysis;
+  threat::IntelDb intel;
+  double generate_seconds = 0;
+  double analyze_seconds = 0;
+};
+
+AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config);
+
+/// Print the standard scale banner.
+void print_scale(const telescope::ScenarioConfig& config);
+
+/// Print a "paper vs measured" comparison row.
+void compare(const std::string& metric, const std::string& paper,
+             const std::string& measured);
+
+/// Render a CDF as quantile rows.
+void print_cdf(const std::string& title, const util::Cdf& cdf,
+               const std::string& unit);
+
+}  // namespace quicsand::bench

@@ -1,0 +1,208 @@
+// Microbenchmarks (google-benchmark) for the hot paths: the crypto core,
+// the QUIC codec/dissector, packet builders and the classifier. These
+// bound the throughput of the telescope generator and the analysis
+// pipeline.
+#include <benchmark/benchmark.h>
+
+#include "asdb/registry.hpp"
+#include "core/classifier.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "net/headers.hpp"
+#include "quic/dissector.hpp"
+#include "quic/packets.hpp"
+#include "quic/ack_tracker.hpp"
+#include "quic/gquic.hpp"
+#include "quic/transport_params.hpp"
+#include "quic/varint.hpp"
+#include "server/replay.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand {
+namespace {
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_AesGcm_Seal1200(benchmark::State& state) {
+  util::Rng rng(2);
+  const crypto::AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto aad = rng.bytes(40);
+  const auto payload = rng.bytes(1200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(nonce, aad, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1200);
+}
+BENCHMARK(BM_AesGcm_Seal1200);
+
+void BM_AesGcm_KeySetup(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto key = rng.bytes(16);
+  for (auto _ : state) {
+    crypto::AesGcm gcm(key);
+    benchmark::DoNotOptimize(&gcm);
+  }
+}
+BENCHMARK(BM_AesGcm_KeySetup);
+
+void BM_Varint_RoundTrip(benchmark::State& state) {
+  const std::uint64_t values[] = {37, 15293, 494878333,
+                                  151288809941952652ULL};
+  for (auto _ : state) {
+    util::ByteWriter w(64);
+    for (const auto v : values) quic::write_varint(w, v);
+    util::ByteReader r(w.view());
+    for (std::size_t i = 0; i < 4; ++i) {
+      benchmark::DoNotOptimize(quic::read_varint(r));
+    }
+  }
+}
+BENCHMARK(BM_Varint_RoundTrip);
+
+void BM_BuildClientInitial(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto fidelity = state.range(0) == 0 ? quic::CryptoFidelity::kFast
+                                            : quic::CryptoFidelity::kFull;
+  for (auto _ : state) {
+    auto ctx = quic::HandshakeContext::random(1, rng);
+    benchmark::DoNotOptimize(
+        quic::build_client_initial(ctx, "bench.example", rng, fidelity));
+  }
+}
+BENCHMARK(BM_BuildClientInitial)->Arg(0)->Arg(1);
+
+void BM_Dissect_ClientInitial(benchmark::State& state) {
+  util::Rng rng(5);
+  auto ctx = quic::HandshakeContext::random(1, rng);
+  const auto datagram = quic::build_client_initial(
+      ctx, "bench.example", rng, quic::CryptoFidelity::kFast);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::dissect_udp_payload(datagram));
+  }
+}
+BENCHMARK(BM_Dissect_ClientInitial);
+
+void BM_Dissect_Deep(benchmark::State& state) {
+  util::Rng rng(6);
+  auto ctx = quic::HandshakeContext::random(1, rng);
+  const auto datagram = quic::build_client_initial(
+      ctx, "bench.example", rng, quic::CryptoFidelity::kFull);
+  quic::DissectOptions options;
+  options.decrypt_initials = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::dissect_udp_payload(datagram, options));
+  }
+}
+BENCHMARK(BM_Dissect_Deep);
+
+void BM_Classifier(benchmark::State& state) {
+  util::Rng rng(7);
+  auto ctx = quic::HandshakeContext::random(1, rng);
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Address::from_octets(142, 250, 0, 1);
+  ip.dst = net::Ipv4Address::from_octets(44, 0, 0, 1);
+  const net::RawPacket packet{
+      0, net::build_udp(ip, 443, 40000,
+                        quic::build_server_initial_handshake(
+                            ctx, rng, quic::CryptoFidelity::kFast))};
+  core::Classifier classifier({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(packet));
+  }
+}
+BENCHMARK(BM_Classifier);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  static const auto registry = asdb::AsRegistry::synthetic({}, 9);
+  util::Rng rng(8);
+  std::vector<net::Ipv4Address> addresses;
+  for (int i = 0; i < 1024; ++i) {
+    addresses.push_back(net::Ipv4Address(static_cast<std::uint32_t>(
+        rng.next())));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.lookup(addresses[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_UdpBuildAndDecode(benchmark::State& state) {
+  util::Rng rng(10);
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Address::from_octets(1, 2, 3, 4);
+  ip.dst = net::Ipv4Address::from_octets(44, 0, 0, 1);
+  const auto payload = rng.bytes(1200);
+  for (auto _ : state) {
+    const auto packet = net::build_udp(ip, 443, 40000, payload);
+    benchmark::DoNotOptimize(net::decode_ipv4(packet));
+  }
+}
+BENCHMARK(BM_UdpBuildAndDecode);
+
+void BM_GquicParse(benchmark::State& state) {
+  util::Rng rng(11);
+  const auto packet = quic::build_gquic_server_response(
+      quic::ConnectionId(rng.bytes(8)), 42, 300, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quic::parse_gquic_packet(packet));
+  }
+}
+BENCHMARK(BM_GquicParse);
+
+void BM_TransportParamsRoundTrip(benchmark::State& state) {
+  util::Rng rng(12);
+  const auto params = quic::TransportParameters::typical_client(
+      quic::ConnectionId(rng.bytes(8)));
+  for (auto _ : state) {
+    const auto encoded = quic::encode_transport_parameters(params);
+    benchmark::DoNotOptimize(quic::parse_transport_parameters(encoded));
+  }
+}
+BENCHMARK(BM_TransportParamsRoundTrip);
+
+void BM_AckTracker_SparseInsert(benchmark::State& state) {
+  util::Rng rng(13);
+  for (auto _ : state) {
+    quic::AckTracker tracker;
+    for (int i = 0; i < 64; ++i) tracker.on_packet(rng.uniform(512));
+    benchmark::DoNotOptimize(tracker.build_ack(0));
+  }
+}
+BENCHMARK(BM_AckTracker_SparseInsert);
+
+void BM_ServerSim_Datagram(benchmark::State& state) {
+  server::ServerConfig config;
+  config.workers = 128;
+  server::QuicServerSim sim(config);
+  server::ReplayConfig replay;
+  replay.packets = 1u << 20;
+  replay.pps = 1e9;  // back-to-back
+  server::RecordedFlood flood(replay);
+  auto record = flood.next();
+  for (auto _ : state) {
+    if (!record) {
+      flood.rewind();
+      record = flood.next();
+    }
+    sim.on_datagram(record->time, record->datagram, record->source);
+    record = flood.next();
+  }
+}
+BENCHMARK(BM_ServerSim_Datagram);
+
+}  // namespace
+}  // namespace quicsand
+
+BENCHMARK_MAIN();

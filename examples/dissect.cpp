@@ -1,0 +1,123 @@
+// dissect — the QUIC dissector as a command-line tool, like a miniature
+// `tshark -d udp.port==443,quic`. Feed it a UDP payload as hex (argument
+// or stdin) and it prints what the telescope classifier would see.
+//
+//   ./dissect c30000000108...            # hex payload as argument
+//   echo c300... | ./dissect             # or on stdin
+//   ./dissect --sample [client|server|retry|vn|gquic|reset]
+//                                        # build + dissect a sample packet
+#include <iostream>
+#include <string>
+
+#include "quic/dissector.hpp"
+#include "quic/gquic.hpp"
+#include "quic/packets.hpp"
+#include "quic/retry.hpp"
+#include "quic/version.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace quicsand;
+
+namespace {
+
+std::vector<std::uint8_t> sample_payload(const std::string& kind) {
+  util::Rng rng(42);
+  auto ctx = quic::HandshakeContext::random(1, rng);
+  if (kind == "client") {
+    return quic::build_client_initial(ctx, "www.example.org", rng,
+                                      quic::CryptoFidelity::kFull);
+  }
+  if (kind == "server") {
+    return quic::build_server_initial_handshake(ctx, rng,
+                                                quic::CryptoFidelity::kFull);
+  }
+  if (kind == "retry") {
+    quic::RetryTokenMinter minter(rng.bytes(32));
+    const auto token =
+        minter.mint(net::Ipv4Address(0x0a000001), 443, ctx.client_dcid,
+                    util::kApril2021Start);
+    return quic::build_retry_packet(1, ctx.client_scid,
+                                    quic::ConnectionId(rng.bytes(8)), token,
+                                    ctx.client_dcid);
+  }
+  if (kind == "vn") {
+    const std::uint32_t versions[] = {1, 0xff00001d, 0xfaceb002};
+    return quic::build_version_negotiation(ctx.client_scid, ctx.client_dcid,
+                                           versions, rng);
+  }
+  if (kind == "gquic") {
+    return quic::build_gquic_server_response(quic::ConnectionId(rng.bytes(8)),
+                                             77, 200, rng);
+  }
+  if (kind == "reset") {
+    return quic::build_stateless_reset(rng);
+  }
+  std::cerr << "unknown sample kind: " << kind << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hex;
+  if (argc >= 2 && std::string(argv[1]) == "--sample") {
+    const auto payload = sample_payload(argc >= 3 ? argv[2] : "client");
+    hex = util::to_hex(payload);
+    std::cout << "sample payload (" << payload.size() << " bytes): " << hex
+              << "\n\n";
+  } else if (argc >= 2) {
+    hex = argv[1];
+  } else {
+    std::getline(std::cin, hex);
+  }
+  // Strip whitespace and common separators.
+  std::string cleaned;
+  for (const char c : hex) {
+    if (!isspace(static_cast<unsigned char>(c)) && c != ':') {
+      cleaned.push_back(c);
+    }
+  }
+  const auto bytes = util::from_hex(cleaned);
+  if (!bytes) {
+    std::cerr << "not a hex string\n";
+    return 2;
+  }
+
+  quic::DissectOptions options;
+  options.decrypt_initials = true;
+  const auto result = quic::dissect_udp_payload(*bytes, options);
+  if (!result.is_quic) {
+    std::cout << "not QUIC (" << result.reject_reason << ")\n";
+    return 1;
+  }
+  util::Table table(
+      {"#", "kind", "version", "dcid", "scid", "token", "bytes", "deep"});
+  std::size_t index = 0;
+  for (const auto& pkt : result.packets) {
+    const char* deep = "";
+    switch (pkt.direction) {
+      case quic::InitialDirection::kClientHello:
+        deep = "client hello";
+        break;
+      case quic::InitialDirection::kServerResponse:
+        deep = "server response";
+        break;
+      case quic::InitialDirection::kUndecryptable:
+        deep = "undecryptable";
+        break;
+      case quic::InitialDirection::kNotAttempted:
+        break;
+    }
+    table.add_row({std::to_string(index++),
+                   quic::quic_packet_kind_name(pkt.kind),
+                   pkt.version == 0 ? "-" : quic::version_name(pkt.version),
+                   pkt.dcid.empty() ? "-" : pkt.dcid.to_hex(),
+                   pkt.scid.empty() ? "-" : pkt.scid.to_hex(),
+                   std::to_string(pkt.token_length),
+                   std::to_string(pkt.size), deep});
+  }
+  table.print(std::cout);
+  return 0;
+}

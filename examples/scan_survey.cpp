@@ -1,0 +1,102 @@
+// scan_survey — the paper's §6 active validation: probe the most
+// interesting QUIC servers for RETRY deployment, report the version mix
+// of the deployment (active-scan substitute), and show the what-if of an
+// operator enabling RETRY.
+//
+//   ./scan_survey [--seed S] [--probes N]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "asdb/registry.hpp"
+#include "quic/version.hpp"
+#include "scanner/deployment.hpp"
+#include "scanner/retry_prober.hpp"
+#include "util/table.hpp"
+
+using namespace quicsand;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 11;
+  std::size_t probes = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--probes") {
+      probes = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::cerr << "usage: scan_survey [--seed S] [--probes N]\n";
+      return 2;
+    }
+  }
+
+  const auto registry = asdb::AsRegistry::synthetic({}, seed);
+  auto deployment = scanner::Deployment::synthetic(registry, {}, seed);
+  std::cout << "deployment (active-scan substitute): " << deployment.size()
+            << " QUIC servers\n";
+
+  // Version census, like Rüth et al.'s scans.
+  std::map<std::string, std::size_t> by_version;
+  std::size_t support_retry = 0;
+  for (const auto& server : deployment.servers()) {
+    ++by_version[quic::version_name(server.version)];
+    if (server.supports_retry) ++support_retry;
+  }
+  util::Table census({"version", "servers"});
+  for (const auto& [name, count] : by_version) {
+    census.add_row({name, std::to_string(count)});
+  }
+  census.print(std::cout);
+  std::cout << "implementations supporting RETRY: "
+            << util::pct(static_cast<double>(support_retry) /
+                         deployment.size())
+            << " (deployed: 0%, as in the wild)\n\n";
+
+  // Probe the top Google/Facebook servers, like the paper's check on the
+  // ten most frequently attacked servers.
+  std::vector<net::Ipv4Address> targets;
+  for (const auto& server : deployment.servers()) {
+    if (server.asn == asdb::AsRegistry::kGoogle ||
+        server.asn == asdb::AsRegistry::kFacebook) {
+      targets.push_back(server.address);
+      if (targets.size() == probes) break;
+    }
+  }
+  scanner::RetryProber prober(deployment, seed);
+  const auto observations = prober.probe_all(targets);
+  util::Table table({"server", "reachable", "retry", "handshake", "RTs"});
+  std::size_t retries_seen = 0;
+  for (const auto& obs : observations) {
+    table.add_row({obs.server.to_string(), obs.reachable ? "yes" : "no",
+                   obs.received_retry ? "RETRY" : "-",
+                   obs.handshake_completed ? "completed" : "-",
+                   std::to_string(obs.round_trips)});
+    if (obs.received_retry) ++retries_seen;
+  }
+  table.print(std::cout);
+  std::cout << "RETRY messages received: " << retries_seen
+            << " (paper: none from the top attacked servers)\n\n";
+
+  // What-if: the operator of the first server enables RETRY.
+  if (!targets.empty()) {
+    deployment.set_retry_enabled(targets[0], true);
+    scanner::RetryProber what_if(deployment, seed + 1);
+    const auto obs = what_if.probe(targets[0]);
+    std::cout << "what-if with RETRY enabled on " << targets[0].to_string()
+              << ": retry=" << (obs.received_retry ? "yes" : "no")
+              << " integrity="
+              << (obs.retry_integrity_valid ? "valid" : "invalid")
+              << " round-trips=" << obs.round_trips
+              << " (cost: +1 RT before data)\n";
+  }
+  return 0;
+}

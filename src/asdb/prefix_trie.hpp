@@ -1,0 +1,61 @@
+// Binary (one bit per level) longest-prefix-match trie over IPv4.
+//
+// Used for IP -> origin AS resolution. Lookup walks at most 32 nodes;
+// insertion creates the path for the announced prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/ip.hpp"
+
+namespace quicsand::asdb {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  /// Announce `value` for `prefix`. A later announcement of the same
+  /// prefix overwrites the earlier one (like a routing table update).
+  void insert(net::Ipv4Prefix prefix, Value value) {
+    Node* node = &root_;
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->value = std::move(value);
+    ++size_;
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  [[nodiscard]] std::optional<Value> lookup(net::Ipv4Address addr) const {
+    const Node* node = &root_;
+    std::optional<Value> best = node->value;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const auto& child = node->children[bit];
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = node->value;
+    }
+    return best;
+  }
+
+  /// Number of insert() calls (announcements, not distinct prefixes).
+  [[nodiscard]] std::size_t announcements() const { return size_; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::array<std::unique_ptr<Node>, 2> children;
+  };
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace quicsand::asdb

@@ -1,0 +1,225 @@
+#include "asdb/registry.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace quicsand::asdb {
+
+namespace {
+
+net::Ipv4Prefix pfx(const char* text) {
+  const auto parsed = net::Ipv4Prefix::parse(text);
+  if (!parsed) throw std::logic_error(std::string("bad prefix ") + text);
+  return *parsed;
+}
+
+/// Hands out non-overlapping /16 blocks from /8 pools that do not collide
+/// with the well-known prefixes below, the telescope (44/9) or reserved
+/// space.
+class PrefixAllocator {
+ public:
+  net::Ipv4Prefix next_slash16() {
+    static constexpr std::array<std::uint8_t, 36> kPools = {
+        24, 27, 36, 37, 41, 42, 45, 46, 49, 58, 59, 60,
+        61, 62, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86,
+        87, 88, 89, 90, 91, 92, 93, 94, 95, 96, 97, 98};
+    if (pool_index_ >= kPools.size()) {
+      throw std::runtime_error("PrefixAllocator: address space exhausted");
+    }
+    const auto base = net::Ipv4Address::from_octets(
+        kPools[pool_index_], static_cast<std::uint8_t>(second_octet_), 0, 0);
+    if (++second_octet_ == 256) {
+      second_octet_ = 0;
+      ++pool_index_;
+    }
+    return {base, 16};
+  }
+
+ private:
+  std::size_t pool_index_ = 0;
+  int second_octet_ = 0;
+};
+
+// Mirrors the paper's request-session mix: BD 34%, US 27%, DZ 8%.
+constexpr std::array<CountryWeight, 14> kEyeballCountries = {{
+    {"BD", 0.34},
+    {"US", 0.27},
+    {"DZ", 0.08},
+    {"CN", 0.05},
+    {"IN", 0.05},
+    {"BR", 0.04},
+    {"RU", 0.04},
+    {"VN", 0.03},
+    {"ID", 0.03},
+    {"TR", 0.02},
+    {"EG", 0.02},
+    {"PK", 0.01},
+    {"TH", 0.01},
+    {"MX", 0.01},
+}};
+
+}  // namespace
+
+const char* network_type_name(NetworkType type) {
+  switch (type) {
+    case NetworkType::kEyeball:
+      return "Cable/DSL/ISP";
+    case NetworkType::kContent:
+      return "Content";
+    case NetworkType::kTransit:
+      return "NSP";
+    case NetworkType::kEducation:
+      return "Educational/Research";
+    case NetworkType::kEnterprise:
+      return "Enterprise";
+    case NetworkType::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+std::span<const CountryWeight> eyeball_country_weights() {
+  return kEyeballCountries;
+}
+
+void AsRegistry::add(AsInfo info, std::span<const net::Ipv4Prefix> prefixes) {
+  if (prefixes.empty()) {
+    throw std::invalid_argument("AsRegistry::add: no prefixes");
+  }
+  if (infos_.contains(info.asn)) {
+    throw std::invalid_argument("AsRegistry::add: duplicate ASN " +
+                                std::to_string(info.asn));
+  }
+  const Asn asn = info.asn;
+  by_type_[static_cast<std::size_t>(info.type)].push_back(asn);
+  infos_.emplace(asn, std::move(info));
+  auto& list = prefixes_[asn];
+  for (const auto& prefix : prefixes) {
+    list.push_back(prefix);
+    trie_.insert(prefix, asn);
+  }
+}
+
+const AsInfo* AsRegistry::lookup(net::Ipv4Address addr) const {
+  const auto asn = trie_.lookup(addr);
+  if (!asn) return nullptr;
+  return find(*asn);
+}
+
+const AsInfo* AsRegistry::find(Asn asn) const {
+  const auto it = infos_.find(asn);
+  return it == infos_.end() ? nullptr : &it->second;
+}
+
+const std::vector<net::Ipv4Prefix>& AsRegistry::prefixes_of(Asn asn) const {
+  const auto it = prefixes_.find(asn);
+  if (it == prefixes_.end()) {
+    throw std::out_of_range("AsRegistry: unknown ASN " + std::to_string(asn));
+  }
+  return it->second;
+}
+
+std::span<const Asn> AsRegistry::by_type(NetworkType type) const {
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+std::vector<Asn> AsRegistry::by_type_and_country(
+    NetworkType type, const std::string& country) const {
+  std::vector<Asn> out;
+  for (Asn asn : by_type(type)) {
+    if (infos_.at(asn).country == country) out.push_back(asn);
+  }
+  return out;
+}
+
+net::Ipv4Address AsRegistry::random_address_in(Asn asn,
+                                               util::Rng& rng) const {
+  const auto& prefixes = prefixes_of(asn);
+  // Weight prefixes by size so sampling is uniform over the space.
+  std::uint64_t total = 0;
+  for (const auto& p : prefixes) total += p.size();
+  std::uint64_t pick = rng.uniform(total);
+  for (const auto& p : prefixes) {
+    if (pick < p.size()) return p.at(pick);
+    pick -= p.size();
+  }
+  return prefixes.back().base();  // unreachable
+}
+
+AsRegistry AsRegistry::synthetic(const SyntheticConfig& config,
+                                 std::uint64_t seed) {
+  AsRegistry reg;
+  util::Rng rng(util::mix64(seed, 0xa5db));
+  PrefixAllocator alloc;
+
+  // The content networks the paper identifies as flood victims, with
+  // representative real-world prefixes.
+  const net::Ipv4Prefix google[] = {pfx("142.250.0.0/15"),
+                                    pfx("172.217.0.0/16"),
+                                    pfx("216.58.192.0/19"),
+                                    pfx("74.125.0.0/16")};
+  reg.add({kGoogle, "GOOGLE", NetworkType::kContent, "US"}, google);
+  const net::Ipv4Prefix facebook[] = {pfx("157.240.0.0/16"),
+                                      pfx("31.13.24.0/21"),
+                                      pfx("179.60.192.0/22"),
+                                      pfx("66.220.144.0/20")};
+  reg.add({kFacebook, "FACEBOOK", NetworkType::kContent, "US"}, facebook);
+  const net::Ipv4Prefix cloudflare[] = {pfx("104.16.0.0/13"),
+                                        pfx("172.64.0.0/13")};
+  reg.add({kCloudflare, "CLOUDFLARE", NetworkType::kContent, "US"},
+          cloudflare);
+  const net::Ipv4Prefix akamai[] = {pfx("23.32.0.0/11")};
+  reg.add({kAkamai, "AKAMAI", NetworkType::kContent, "US"}, akamai);
+  const net::Ipv4Prefix microsoft[] = {pfx("13.64.0.0/11")};
+  reg.add({kMicrosoft, "MICROSOFT", NetworkType::kContent, "US"}, microsoft);
+  const net::Ipv4Prefix amazon[] = {pfx("52.84.0.0/15"), pfx("13.32.0.0/15")};
+  reg.add({kAmazon, "AMAZON", NetworkType::kContent, "US"}, amazon);
+  const net::Ipv4Prefix fastly[] = {pfx("151.101.0.0/16")};
+  reg.add({kFastly, "FASTLY", NetworkType::kContent, "US"}, fastly);
+
+  // The two university research scanners that dominate QUIC IBR (§5.1).
+  const net::Ipv4Prefix tum[] = {pfx("138.246.0.0/16")};
+  reg.add({kTumScanner, "TUM-MWN", NetworkType::kEducation, "DE"}, tum);
+  const net::Ipv4Prefix rwth[] = {pfx("137.226.0.0/16")};
+  reg.add({kRwthScanner, "RWTH-AACHEN", NetworkType::kEducation, "DE"}, rwth);
+
+  // Generated ASes. ASNs from the 64496+ documentation/private ranges
+  // upward so they never collide with the well-known ones above.
+  Asn next_asn = 64500;
+  auto add_generated = [&](NetworkType type, const std::string& name_prefix,
+                           const std::string& country, int count) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<net::Ipv4Prefix> prefixes;
+      const int n_prefixes =
+          1 + static_cast<int>(rng.uniform(
+                  static_cast<std::uint64_t>(config.prefixes_per_as)));
+      prefixes.reserve(static_cast<std::size_t>(n_prefixes));
+      for (int p = 0; p < n_prefixes; ++p) {
+        prefixes.push_back(alloc.next_slash16());
+      }
+      reg.add({next_asn, name_prefix + "-" + std::to_string(next_asn), type,
+               country},
+              prefixes);
+      ++next_asn;
+    }
+  };
+
+  // Eyeballs spread over the country mix the paper reports.
+  std::array<double, kEyeballCountries.size()> weights{};
+  for (std::size_t i = 0; i < kEyeballCountries.size(); ++i) {
+    weights[i] = kEyeballCountries[i].weight;
+  }
+  for (int i = 0; i < config.eyeball_ases; ++i) {
+    const auto& country =
+        kEyeballCountries[rng.weighted_index(weights)];
+    add_generated(NetworkType::kEyeball, "EYEBALL", country.code, 1);
+  }
+  add_generated(NetworkType::kTransit, "TRANSIT", "US", config.transit_ases);
+  add_generated(NetworkType::kEnterprise, "ENTERPRISE", "US",
+                config.enterprise_ases);
+  add_generated(NetworkType::kContent, "CDN", "US",
+                config.extra_content_ases);
+  return reg;
+}
+
+}  // namespace quicsand::asdb

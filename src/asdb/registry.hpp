@@ -1,0 +1,91 @@
+// AS registry: our offline substitute for PeeringDB + a BGP table.
+//
+// Holds AS metadata (name, PeeringDB-style network type, country) and the
+// prefixes each AS originates, with longest-prefix-match lookup from an
+// IP address. `synthetic()` builds a deterministic miniature Internet
+// seeded with the real-world actors the paper names (Google, Facebook,
+// other CDNs, the TUM and RWTH research scanners) plus generated eyeball,
+// transit and enterprise networks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/prefix_trie.hpp"
+#include "asdb/types.hpp"
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::asdb {
+
+struct SyntheticConfig {
+  int eyeball_ases = 300;
+  int transit_ases = 50;
+  int enterprise_ases = 100;
+  int extra_content_ases = 30;
+  int prefixes_per_as = 2;  ///< /16 blocks announced per generated AS
+};
+
+class AsRegistry {
+ public:
+  // Well-known ASNs used throughout the scenarios.
+  static constexpr Asn kGoogle = 15169;
+  static constexpr Asn kFacebook = 32934;
+  static constexpr Asn kCloudflare = 13335;
+  static constexpr Asn kAkamai = 20940;
+  static constexpr Asn kMicrosoft = 8075;
+  static constexpr Asn kAmazon = 16509;
+  static constexpr Asn kFastly = 54113;
+  static constexpr Asn kTumScanner = 56357;   ///< research scanner (TUM)
+  static constexpr Asn kRwthScanner = 680;    ///< research scanner (RWTH/DFN)
+
+  /// Register an AS and the prefixes it originates. Throws on duplicate
+  /// ASN or empty prefix list.
+  void add(AsInfo info, std::span<const net::Ipv4Prefix> prefixes);
+
+  /// Origin-AS metadata for an address; nullptr when unrouted.
+  [[nodiscard]] const AsInfo* lookup(net::Ipv4Address addr) const;
+
+  /// Metadata by ASN; nullptr when unknown.
+  [[nodiscard]] const AsInfo* find(Asn asn) const;
+
+  [[nodiscard]] const std::vector<net::Ipv4Prefix>& prefixes_of(Asn asn) const;
+
+  /// All ASNs with the given network type (insertion order).
+  [[nodiscard]] std::span<const Asn> by_type(NetworkType type) const;
+
+  /// ASNs of `type` registered under `country`; empty if none.
+  [[nodiscard]] std::vector<Asn> by_type_and_country(
+      NetworkType type, const std::string& country) const;
+
+  /// Uniform random address within the AS's announced space.
+  [[nodiscard]] net::Ipv4Address random_address_in(Asn asn,
+                                                   util::Rng& rng) const;
+
+  [[nodiscard]] std::size_t as_count() const { return infos_.size(); }
+
+  /// Deterministic synthetic Internet (see file comment). The same seed
+  /// always produces the same registry.
+  static AsRegistry synthetic(const SyntheticConfig& config,
+                              std::uint64_t seed);
+
+ private:
+  std::unordered_map<Asn, AsInfo> infos_;
+  std::unordered_map<Asn, std::vector<net::Ipv4Prefix>> prefixes_;
+  std::vector<std::vector<Asn>> by_type_ =
+      std::vector<std::vector<Asn>>(kNetworkTypeCount);
+  PrefixTrie<Asn> trie_;
+};
+
+/// Country weights used for generated eyeball networks; mirrors the
+/// request-session origin mix the paper reports (BD 34%, US 27%, DZ 8%).
+struct CountryWeight {
+  const char* code;
+  double weight;
+};
+std::span<const CountryWeight> eyeball_country_weights();
+
+}  // namespace quicsand::asdb

@@ -1,0 +1,150 @@
+#include "asdb/serialize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace quicsand::asdb {
+
+const char* network_type_keyword(NetworkType type) {
+  switch (type) {
+    case NetworkType::kEyeball:
+      return "eyeball";
+    case NetworkType::kContent:
+      return "content";
+    case NetworkType::kTransit:
+      return "transit";
+    case NetworkType::kEducation:
+      return "education";
+    case NetworkType::kEnterprise:
+      return "enterprise";
+    case NetworkType::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<NetworkType> parse_network_type(const std::string& keyword) {
+  for (const auto type :
+       {NetworkType::kEyeball, NetworkType::kContent, NetworkType::kTransit,
+        NetworkType::kEducation, NetworkType::kEnterprise,
+        NetworkType::kUnknown}) {
+    if (keyword == network_type_keyword(type)) return type;
+  }
+  return std::nullopt;
+}
+
+void save_registry(std::ostream& os, const AsRegistry& registry) {
+  os << "# QUICsand AS registry\n";
+  // Stable output: ASNs sorted, grouped per type for readability.
+  std::map<Asn, const AsInfo*> sorted;
+  for (const auto type :
+       {NetworkType::kEyeball, NetworkType::kContent, NetworkType::kTransit,
+        NetworkType::kEducation, NetworkType::kEnterprise,
+        NetworkType::kUnknown}) {
+    for (const Asn asn : registry.by_type(type)) {
+      sorted.emplace(asn, registry.find(asn));
+    }
+  }
+  for (const auto& [asn, info] : sorted) {
+    os << "as " << asn << ' ' << network_type_keyword(info->type) << ' '
+       << (info->country.empty() ? "??" : info->country) << ' ' << info->name
+       << '\n';
+    for (const auto& prefix : registry.prefixes_of(asn)) {
+      os << "prefix " << asn << ' ' << prefix.to_string() << '\n';
+    }
+  }
+}
+
+bool save_registry_file(const std::string& path, const AsRegistry& registry) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  save_registry(out, registry);
+  return static_cast<bool>(out);
+}
+
+std::optional<AsRegistry> load_registry(std::istream& is, LoadError* error) {
+  auto fail = [&](std::size_t line, std::string message)
+      -> std::optional<AsRegistry> {
+    if (error != nullptr) *error = {line, std::move(message)};
+    return std::nullopt;
+  };
+
+  // Two-phase: collect AS records and their prefixes, then add them in
+  // one shot each (AsRegistry::add wants all prefixes together).
+  struct PendingAs {
+    AsInfo info;
+    std::vector<net::Ipv4Prefix> prefixes;
+    std::size_t line;
+  };
+  std::map<Asn, PendingAs> pending;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    if (keyword == "as") {
+      AsInfo info;
+      std::string type_keyword;
+      if (!(tokens >> info.asn >> type_keyword >> info.country)) {
+        return fail(line_number, "malformed as record");
+      }
+      const auto type = parse_network_type(type_keyword);
+      if (!type) return fail(line_number, "unknown type " + type_keyword);
+      info.type = *type;
+      std::getline(tokens, info.name);
+      const auto start = info.name.find_first_not_of(' ');
+      info.name = start == std::string::npos ? "" : info.name.substr(start);
+      if (pending.contains(info.asn)) {
+        return fail(line_number,
+                    "duplicate ASN " + std::to_string(info.asn));
+      }
+      pending.emplace(info.asn, PendingAs{info, {}, line_number});
+    } else if (keyword == "prefix") {
+      Asn asn = 0;
+      std::string cidr;
+      if (!(tokens >> asn >> cidr)) {
+        return fail(line_number, "malformed prefix record");
+      }
+      const auto prefix = net::Ipv4Prefix::parse(cidr);
+      if (!prefix) return fail(line_number, "bad prefix " + cidr);
+      const auto it = pending.find(asn);
+      if (it == pending.end()) {
+        return fail(line_number,
+                    "prefix for unknown ASN " + std::to_string(asn));
+      }
+      it->second.prefixes.push_back(*prefix);
+    } else {
+      return fail(line_number, "unknown keyword " + keyword);
+    }
+  }
+
+  AsRegistry registry;
+  for (auto& [asn, record] : pending) {
+    if (record.prefixes.empty()) {
+      return fail(record.line,
+                  "ASN " + std::to_string(asn) + " has no prefixes");
+    }
+    registry.add(std::move(record.info), record.prefixes);
+  }
+  return registry;
+}
+
+std::optional<AsRegistry> load_registry_file(const std::string& path,
+                                             LoadError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = {0, "cannot open " + path};
+    return std::nullopt;
+  }
+  return load_registry(in, error);
+}
+
+}  // namespace quicsand::asdb

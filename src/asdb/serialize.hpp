@@ -1,0 +1,40 @@
+// Text serialization for the AS registry.
+//
+// Lets operators feed their own PeeringDB/BGP-derived data into the
+// pipeline instead of the synthetic registry. One record per line:
+//
+//   as <asn> <type> <country> <name>
+//   prefix <asn> <cidr>
+//
+// '#' starts a comment; blank lines are ignored. `type` is one of
+// eyeball|content|transit|education|enterprise|unknown.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "asdb/registry.hpp"
+
+namespace quicsand::asdb {
+
+/// Write `registry` in the text format above.
+void save_registry(std::ostream& os, const AsRegistry& registry);
+bool save_registry_file(const std::string& path, const AsRegistry& registry);
+
+struct LoadError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parse a registry; on failure returns nullopt and fills `error`.
+std::optional<AsRegistry> load_registry(std::istream& is,
+                                        LoadError* error = nullptr);
+std::optional<AsRegistry> load_registry_file(const std::string& path,
+                                             LoadError* error = nullptr);
+
+/// Keyword names used by the format.
+const char* network_type_keyword(NetworkType type);
+std::optional<NetworkType> parse_network_type(const std::string& keyword);
+
+}  // namespace quicsand::asdb

@@ -1,0 +1,36 @@
+// AS-level metadata types modeled after PeeringDB's network records.
+//
+// The paper maps each session's source address to an origin AS and the
+// PeeringDB "info_type" of that AS (Figure 5: requests come from
+// Cable/DSL/ISP eyeballs, responses from Content networks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace quicsand::asdb {
+
+using Asn = std::uint32_t;
+
+/// PeeringDB info_type categories observed in the paper's figures.
+enum class NetworkType : std::uint8_t {
+  kEyeball,     ///< "Cable/DSL/ISP"
+  kContent,     ///< "Content"
+  kTransit,     ///< "NSP" (network service provider / transit)
+  kEducation,   ///< "Educational/Research"
+  kEnterprise,  ///< "Enterprise"
+  kUnknown,     ///< not present in PeeringDB
+};
+
+constexpr std::size_t kNetworkTypeCount = 6;
+
+const char* network_type_name(NetworkType type);
+
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  NetworkType type = NetworkType::kUnknown;
+  std::string country;  ///< ISO 3166-1 alpha-2
+};
+
+}  // namespace quicsand::asdb

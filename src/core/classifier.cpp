@@ -1,0 +1,118 @@
+#include "core/classifier.hpp"
+
+namespace quicsand::core {
+
+namespace {
+
+constexpr std::uint16_t kQuicPort = 443;
+
+bool is_backscatter_icmp(std::uint8_t type) {
+  // Echo reply, destination unreachable, source quench, time exceeded:
+  // responses a victim (or its network) sends to spoofed probes.
+  return type == 0 || type == 3 || type == 4 || type == 11;
+}
+
+}  // namespace
+
+const char* traffic_class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kQuicRequest:
+      return "quic-request";
+    case TrafficClass::kQuicResponse:
+      return "quic-response";
+    case TrafficClass::kTcpRequest:
+      return "tcp-request";
+    case TrafficClass::kTcpBackscatter:
+      return "tcp-backscatter";
+    case TrafficClass::kIcmpBackscatter:
+      return "icmp-backscatter";
+    case TrafficClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+Classifier::Classifier(ClassifierConfig config)
+    : config_(std::move(config)) {}
+
+std::optional<PacketRecord> Classifier::classify(
+    const net::RawPacket& packet) {
+  ++stats_.total;
+  const auto decoded = net::decode_ipv4(packet.data);
+  if (!decoded) {
+    ++stats_.undecodable;
+    return std::nullopt;
+  }
+
+  PacketRecord record;
+  record.timestamp = packet.timestamp;
+  record.src = decoded->ip.src;
+  record.dst = decoded->ip.dst;
+  record.wire_size = static_cast<std::uint16_t>(packet.data.size());
+
+  if (decoded->is_udp()) {
+    const auto& udp = decoded->udp();
+    record.src_port = udp.src_port;
+    record.dst_port = udp.dst_port;
+    if (udp.src_port == kQuicPort || udp.dst_port == kQuicPort) {
+      const auto dissected = quic::dissect_udp_payload(udp.payload);
+      if (dissected.is_quic) {
+        // Source port 443 -> response (backscatter); destination port
+        // 443 -> request (scan). The two sets are disjoint by
+        // construction: src==dst==443 is treated as a response.
+        record.cls = udp.src_port == kQuicPort
+                         ? TrafficClass::kQuicResponse
+                         : TrafficClass::kQuicRequest;
+        record.quic_packet_count =
+            static_cast<std::uint8_t>(dissected.packets.size());
+        for (const auto& quic_packet : dissected.packets) {
+          ++record.kind_counts[static_cast<std::size_t>(quic_packet.kind)];
+          if (record.quic_version == 0 &&
+              quic_packet.kind != quic::QuicPacketKind::kShort) {
+            record.quic_version = quic_packet.version;
+          }
+          if (!record.has_scid && !quic_packet.scid.empty()) {
+            record.has_scid = true;
+            record.scid_hash = quic_packet.scid.hash();
+          }
+        }
+      } else {
+        ++stats_.quic_port_rejects;
+        record.cls = TrafficClass::kOther;
+      }
+    }
+  } else if (decoded->is_tcp()) {
+    const auto& tcp = decoded->tcp();
+    record.src_port = tcp.src_port;
+    record.dst_port = tcp.dst_port;
+    const bool syn = tcp.flags & net::TcpFlags::kSyn;
+    const bool ack = tcp.flags & net::TcpFlags::kAck;
+    const bool rst = tcp.flags & net::TcpFlags::kRst;
+    if (syn && !ack) {
+      record.cls = TrafficClass::kTcpRequest;
+    } else if ((syn && ack) || rst) {
+      record.cls = TrafficClass::kTcpBackscatter;
+    }
+  } else if (decoded->is_icmp()) {
+    if (is_backscatter_icmp(decoded->icmp().type)) {
+      record.cls = TrafficClass::kIcmpBackscatter;
+    }
+  }
+
+  for (const auto& prefix : config_.research_prefixes) {
+    if (prefix.contains(record.src)) {
+      record.is_research = true;
+      break;
+    }
+  }
+  ++stats_.by_class[static_cast<std::size_t>(record.cls)];
+  if (record.is_research && record.is_quic()) {
+    ++stats_.research;
+    if (record.cls == TrafficClass::kQuicRequest) {
+      ++stats_.research_requests;
+    }
+  }
+  return record;
+}
+
+}  // namespace quicsand::core

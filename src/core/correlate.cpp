@@ -1,0 +1,145 @@
+#include "core/correlate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace quicsand::core {
+
+const char* relation_name(Relation relation) {
+  switch (relation) {
+    case Relation::kConcurrent:
+      return "concurrent";
+    case Relation::kSequential:
+      return "sequential";
+    case Relation::kIsolated:
+      return "isolated";
+  }
+  return "?";
+}
+
+double MultiVectorReport::share(Relation relation) const {
+  if (total() == 0) return 0;
+  const std::uint64_t count = relation == Relation::kConcurrent ? concurrent
+                              : relation == Relation::kSequential
+                                  ? sequential
+                                  : isolated;
+  return static_cast<double>(count) / static_cast<double>(total());
+}
+
+std::vector<double> MultiVectorReport::overlap_shares() const {
+  std::vector<double> out;
+  for (const auto& c : per_attack) {
+    if (c.relation == Relation::kConcurrent) out.push_back(c.overlap_share);
+  }
+  return out;
+}
+
+std::vector<double> MultiVectorReport::gaps_seconds() const {
+  std::vector<double> out;
+  for (const auto& c : per_attack) {
+    if (c.relation == Relation::kSequential) {
+      out.push_back(util::to_seconds(c.gap));
+    }
+  }
+  return out;
+}
+
+MultiVectorReport correlate_attacks(
+    std::span<const DetectedAttack> quic_attacks,
+    std::span<const DetectedAttack> common_attacks,
+    util::Duration min_overlap) {
+  // Index TCP/ICMP attacks per victim, time-sorted.
+  std::unordered_map<std::uint32_t, std::vector<const DetectedAttack*>>
+      by_victim;
+  for (const auto& attack : common_attacks) {
+    by_victim[attack.victim.value()].push_back(&attack);
+  }
+  for (auto& [victim, list] : by_victim) {
+    std::sort(list.begin(), list.end(),
+              [](const DetectedAttack* a, const DetectedAttack* b) {
+                return a->start < b->start;
+              });
+  }
+
+  MultiVectorReport report;
+  report.per_attack.reserve(quic_attacks.size());
+  for (std::size_t i = 0; i < quic_attacks.size(); ++i) {
+    const auto& quic = quic_attacks[i];
+    AttackCorrelation correlation;
+    correlation.quic_attack_index = i;
+
+    const auto it = by_victim.find(quic.victim.value());
+    if (it == by_victim.end()) {
+      correlation.relation = Relation::kIsolated;
+      ++report.isolated;
+      report.per_attack.push_back(correlation);
+      continue;
+    }
+
+    // Union of overlap with all common attacks on this victim; the lists
+    // are sorted and per-victim attack counts are small.
+    util::Duration overlap_total = 0;
+    util::Timestamp covered_until = quic.start;
+    util::Duration best_gap = std::numeric_limits<util::Duration>::max();
+    for (const auto* common : it->second) {
+      const auto lo = std::max(quic.start, common->start);
+      const auto hi = std::min(quic.end, common->end);
+      if (hi > lo) {
+        const auto from = std::max(lo, covered_until);
+        if (hi > from) {
+          overlap_total += hi - from;
+          covered_until = hi;
+        }
+      } else {
+        const auto gap =
+            common->start >= quic.end
+                ? common->start - quic.end
+                : quic.start - common->end;
+        best_gap = std::min(best_gap, gap);
+      }
+    }
+
+    if (overlap_total >= min_overlap) {
+      correlation.relation = Relation::kConcurrent;
+      const auto duration = quic.duration();
+      correlation.overlap_share =
+          duration > 0 ? std::min(1.0, static_cast<double>(overlap_total) /
+                                           static_cast<double>(duration))
+                       : 1.0;
+      ++report.concurrent;
+    } else {
+      correlation.relation = Relation::kSequential;
+      // Sub-second overlap with no disjoint attack: effectively adjacent.
+      correlation.gap =
+          best_gap == std::numeric_limits<util::Duration>::max() ? 0
+                                                                 : best_gap;
+      ++report.sequential;
+    }
+    report.per_attack.push_back(correlation);
+  }
+  return report;
+}
+
+std::vector<TimelineEntry> victim_timeline(
+    net::Ipv4Address victim, std::span<const DetectedAttack> quic_attacks,
+    std::span<const DetectedAttack> common_attacks) {
+  std::vector<TimelineEntry> timeline;
+  for (const auto& attack : quic_attacks) {
+    if (attack.victim == victim) {
+      timeline.push_back({true, attack.start, attack.end});
+    }
+  }
+  for (const auto& attack : common_attacks) {
+    if (attack.victim == victim) {
+      timeline.push_back({false, attack.start, attack.end});
+    }
+  }
+  std::sort(timeline.begin(), timeline.end(),
+            [](const TimelineEntry& a, const TimelineEntry& b) {
+              return a.start < b.start;
+            });
+  return timeline;
+}
+
+}  // namespace quicsand::core

@@ -1,0 +1,67 @@
+// Multi-vector attack correlation (§5.2, Figures 8/11/12/13).
+//
+// Each QUIC flood is related to the TCP/ICMP floods on the same victim:
+//  * concurrent — time ranges overlap in at least one second,
+//  * sequential — the victim also saw TCP/ICMP floods, but disjoint in
+//    time (the gap to the nearest one is reported),
+//  * isolated   — no TCP/ICMP flood on that victim at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dos.hpp"
+
+namespace quicsand::core {
+
+enum class Relation : std::uint8_t { kConcurrent, kSequential, kIsolated };
+
+const char* relation_name(Relation relation);
+
+struct AttackCorrelation {
+  std::size_t quic_attack_index = 0;
+  Relation relation = Relation::kIsolated;
+  /// Concurrent only: union of overlap seconds divided by the QUIC
+  /// attack's duration (Figure 12).
+  double overlap_share = 0;
+  /// Sequential only: distance to the nearest TCP/ICMP attack
+  /// (Figure 13).
+  util::Duration gap = 0;
+};
+
+struct MultiVectorReport {
+  std::vector<AttackCorrelation> per_attack;
+  std::uint64_t concurrent = 0;
+  std::uint64_t sequential = 0;
+  std::uint64_t isolated = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return concurrent + sequential + isolated;
+  }
+  [[nodiscard]] double share(Relation relation) const;
+  /// Overlap shares of concurrent attacks (for the Figure 12 CDF).
+  [[nodiscard]] std::vector<double> overlap_shares() const;
+  /// Gaps of sequential attacks in seconds (for the Figure 13 CDF).
+  [[nodiscard]] std::vector<double> gaps_seconds() const;
+};
+
+/// Correlate QUIC attacks against TCP/ICMP attacks. `min_overlap` is the
+/// concurrency rule (the paper requires one mutual second).
+MultiVectorReport correlate_attacks(
+    std::span<const DetectedAttack> quic_attacks,
+    std::span<const DetectedAttack> common_attacks,
+    util::Duration min_overlap = util::kSecond);
+
+/// Timeline entry for one victim (Figure 11's per-victim illustration).
+struct TimelineEntry {
+  bool is_quic = false;
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+};
+
+std::vector<TimelineEntry> victim_timeline(
+    net::Ipv4Address victim, std::span<const DetectedAttack> quic_attacks,
+    std::span<const DetectedAttack> common_attacks);
+
+}  // namespace quicsand::core

@@ -1,0 +1,54 @@
+#include "core/dos.hpp"
+
+#include "util/stats.hpp"
+
+namespace quicsand::core {
+
+namespace {
+
+bool is_attack(const Session& session, const DosThresholds& thresholds) {
+  return static_cast<double>(session.packets) > thresholds.min_packets &&
+         util::to_seconds(session.duration()) > thresholds.min_duration_s &&
+         session.peak_pps() > thresholds.min_peak_pps;
+}
+
+}  // namespace
+
+std::vector<DetectedAttack> detect_attacks(std::span<const Session> sessions,
+                                           const DosThresholds& thresholds) {
+  std::vector<DetectedAttack> attacks;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const Session& session = sessions[i];
+    if (!is_attack(session, thresholds)) continue;
+    DetectedAttack attack;
+    attack.session_index = i;
+    attack.victim = session.source;
+    attack.start = session.start;
+    attack.end = session.end;
+    attack.packets = session.packets;
+    attack.peak_pps = session.peak_pps();
+    attacks.push_back(attack);
+  }
+  return attacks;
+}
+
+ExcludedSummary summarize_excluded(std::span<const Session> sessions,
+                                   const DosThresholds& thresholds) {
+  ExcludedSummary summary;
+  std::vector<double> packets, durations, rates;
+  for (const auto& session : sessions) {
+    if (is_attack(session, thresholds)) continue;
+    ++summary.count;
+    packets.push_back(static_cast<double>(session.packets));
+    durations.push_back(util::to_seconds(session.duration()));
+    rates.push_back(session.peak_pps());
+  }
+  if (summary.count > 0) {
+    summary.median_packets = util::median_of(packets);
+    summary.median_duration_s = util::median_of(durations);
+    summary.median_peak_pps = util::median_of(rates);
+  }
+  return summary;
+}
+
+}  // namespace quicsand::core

@@ -1,0 +1,62 @@
+// DoS attack inference over backscatter sessions (§5.2).
+//
+// A response session is an attack when it exceeds Moore et al.'s
+// thresholds: more than 25 packets, longer than 60 seconds, and a
+// 1-minute peak rate above 0.5 packets/second. Appendix B's sensitivity
+// study multiplies every threshold by a weight w; weight(w) reproduces
+// that sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/sessions.hpp"
+
+namespace quicsand::core {
+
+struct DosThresholds {
+  double min_packets = 25;
+  double min_duration_s = 60;
+  double min_peak_pps = 0.5;
+
+  /// Moore et al. thresholds scaled by `w` (Figure 10).
+  [[nodiscard]] DosThresholds weighted(double w) const {
+    return {min_packets * w, min_duration_s * w, min_peak_pps * w};
+  }
+};
+
+struct DetectedAttack {
+  std::size_t session_index = 0;  ///< into the analyzed session span
+  net::Ipv4Address victim;        ///< the backscatter source
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+  std::uint64_t packets = 0;
+  double peak_pps = 0;
+
+  [[nodiscard]] util::Duration duration() const { return end - start; }
+  [[nodiscard]] bool overlaps(const DetectedAttack& other,
+                              util::Duration min_overlap) const {
+    const auto lo = std::max(start, other.start);
+    const auto hi = std::min(end, other.end);
+    return hi - lo >= min_overlap;
+  }
+};
+
+/// Select the sessions exceeding all thresholds.
+std::vector<DetectedAttack> detect_attacks(std::span<const Session> sessions,
+                                           const DosThresholds& thresholds);
+
+/// Summary of the sessions NOT classified as attacks (Appendix B checks
+/// their median intensity/duration/packets).
+struct ExcludedSummary {
+  std::uint64_t count = 0;
+  double median_packets = 0;
+  double median_duration_s = 0;
+  double median_peak_pps = 0;
+};
+
+ExcludedSummary summarize_excluded(std::span<const Session> sessions,
+                                   const DosThresholds& thresholds);
+
+}  // namespace quicsand::core

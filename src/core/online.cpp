@@ -1,0 +1,109 @@
+#include "core/online.hpp"
+
+namespace quicsand::core {
+
+namespace {
+
+void absorb_record(Session& session, const PacketRecord& record) {
+  session.end = record.timestamp;
+  ++session.packets;
+  session.bytes += record.wire_size;
+  const auto minute = static_cast<std::size_t>(
+      (record.timestamp - session.start) / util::kMinute);
+  if (session.minute_counts.size() <= minute) {
+    session.minute_counts.resize(minute + 1, 0);
+  }
+  ++session.minute_counts[minute];
+  if (record.has_scid) session.scids.insert(record.scid_hash);
+  session.peers.insert(record.dst.value());
+  session.peer_ports.insert(
+      (static_cast<std::uint64_t>(record.dst.value()) << 16) |
+      record.dst_port);
+  for (std::size_t k = 0; k < kQuicKindCount; ++k) {
+    session.kind_counts[k] += record.kind_counts[k];
+  }
+  if (record.quic_version != 0) {
+    ++session.version_counts[record.quic_version];
+  }
+}
+
+}  // namespace
+
+OnlineDetector::OnlineDetector(OnlineDetectorConfig config)
+    : config_(std::move(config)) {}
+
+bool OnlineDetector::exceeds_thresholds(const Session& session) const {
+  return static_cast<double>(session.packets) >
+             config_.thresholds.min_packets &&
+         util::to_seconds(session.duration()) >
+             config_.thresholds.min_duration_s &&
+         session.peak_pps() > config_.thresholds.min_peak_pps;
+}
+
+DetectedAttack OnlineDetector::to_attack(const Session& session) const {
+  DetectedAttack attack;
+  attack.victim = session.source;
+  attack.start = session.start;
+  attack.end = session.end;
+  attack.packets = session.packets;
+  attack.peak_pps = session.peak_pps();
+  return attack;
+}
+
+void OnlineDetector::close(OpenSession& open) {
+  if (open.alerted) {
+    ++closed_;
+    if (on_attack_) on_attack_(to_attack(open.session));
+  }
+}
+
+void OnlineDetector::sweep(util::Timestamp now) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.session.end > config_.session_timeout) {
+      close(it->second);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void OnlineDetector::consume(const PacketRecord& record) {
+  if (last_sweep_ == 0) last_sweep_ = record.timestamp;
+  if (record.timestamp - last_sweep_ >= config_.sweep_interval) {
+    sweep(record.timestamp);
+    last_sweep_ = record.timestamp;
+  }
+  if (!config_.filter(record)) return;
+
+  auto [it, inserted] = open_.try_emplace(record.src.value());
+  OpenSession& open = it->second;
+  if (!inserted &&
+      record.timestamp - open.session.end > config_.session_timeout) {
+    // The previous session expired: close it and start fresh.
+    close(open);
+    open = OpenSession{};
+    inserted = true;
+  }
+  if (inserted) {
+    open.session.source = record.src;
+    open.session.start = record.timestamp;
+    open.session.end = record.timestamp;
+  }
+  absorb_record(open.session, record);
+
+  if (!open.alerted && exceeds_thresholds(open.session)) {
+    open.alerted = true;
+    ++alerts_;
+    latency_sum_s_ += util::to_seconds(record.timestamp -
+                                       open.session.start);
+    if (on_alert_) on_alert_(to_attack(open.session));
+  }
+}
+
+void OnlineDetector::finish() {
+  for (auto& [source, open] : open_) close(open);
+  open_.clear();
+}
+
+}  // namespace quicsand::core

@@ -1,0 +1,85 @@
+// Online (streaming) DoS detection.
+//
+// The paper's motivation (§1) is operational: "it will be crucial to
+// monitor such attack attempts early in the QUIC deployment phase".
+// The batch pipeline answers "what happened last month"; this detector
+// answers "what is happening now": it consumes classified records in
+// time order, keeps per-source open sessions, fires an alert callback
+// the moment a session crosses the Moore et al. thresholds (not when it
+// ends), and emits the finished attack when the session closes.
+//
+// Memory is bounded by the number of sources active within one timeout
+// window; expired sessions are evicted lazily and by periodic sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/dos.hpp"
+#include "core/record.hpp"
+#include "core/sessions.hpp"
+
+namespace quicsand::core {
+
+struct OnlineDetectorConfig {
+  util::Duration session_timeout = 5 * util::kMinute;
+  DosThresholds thresholds;
+  RecordFilter filter = quic_response_filter();
+  /// Sweep cadence for evicting idle sessions.
+  util::Duration sweep_interval = util::kMinute;
+};
+
+class OnlineDetector {
+ public:
+  /// `on_alert` fires once per session, at the first record that pushes
+  /// it over every threshold — the early-warning signal. `on_attack`
+  /// fires when an alerted session closes, with the final numbers.
+  using AlertCallback = std::function<void(const DetectedAttack&)>;
+
+  explicit OnlineDetector(OnlineDetectorConfig config);
+
+  void set_on_alert(AlertCallback callback) {
+    on_alert_ = std::move(callback);
+  }
+  void set_on_attack(AlertCallback callback) {
+    on_attack_ = std::move(callback);
+  }
+
+  /// Consume one record (non-decreasing timestamps).
+  void consume(const PacketRecord& record);
+
+  /// Close every open session (end of stream).
+  void finish();
+
+  [[nodiscard]] std::size_t open_sessions() const { return open_.size(); }
+  [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_; }
+  [[nodiscard]] std::uint64_t attacks_closed() const { return closed_; }
+  /// Detection latency: seconds from session start to alert, averaged.
+  [[nodiscard]] double mean_alert_latency_s() const {
+    return alerts_ == 0 ? 0.0
+                        : latency_sum_s_ / static_cast<double>(alerts_);
+  }
+
+ private:
+  struct OpenSession {
+    Session session;
+    bool alerted = false;
+  };
+
+  [[nodiscard]] bool exceeds_thresholds(const Session& session) const;
+  [[nodiscard]] DetectedAttack to_attack(const Session& session) const;
+  void close(OpenSession& open);
+  void sweep(util::Timestamp now);
+
+  OnlineDetectorConfig config_;
+  AlertCallback on_alert_;
+  AlertCallback on_attack_;
+  std::unordered_map<std::uint32_t, OpenSession> open_;
+  util::Timestamp last_sweep_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::uint64_t closed_ = 0;
+  double latency_sum_s_ = 0;
+};
+
+}  // namespace quicsand::core

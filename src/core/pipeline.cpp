@@ -1,0 +1,67 @@
+#include "core/pipeline.hpp"
+
+namespace quicsand::core {
+
+Pipeline::Pipeline(PipelineOptions options)
+    : options_(std::move(options)),
+      classifier_(ClassifierConfig{options_.research_prefixes}) {
+  const auto hours = static_cast<std::size_t>(options_.days) * 24;
+  hourly_.research_quic.resize(hours, 0);
+  hourly_.other_quic.resize(hours, 0);
+  hourly_.quic_requests.resize(hours, 0);
+  hourly_.quic_responses.resize(hours, 0);
+}
+
+void Pipeline::consume(const net::RawPacket& packet) {
+  const auto record = classifier_.classify(packet);
+  if (!record) return;
+
+  if (record->is_quic()) {
+    const auto bin = util::hour_bin(record->timestamp, options_.window_start);
+    if (bin >= 0 &&
+        bin < static_cast<std::int64_t>(hourly_.research_quic.size())) {
+      const auto hour = static_cast<std::size_t>(bin);
+      if (record->is_research) {
+        ++hourly_.research_quic[hour];
+      } else {
+        ++hourly_.other_quic[hour];
+        if (record->cls == TrafficClass::kQuicRequest) {
+          ++hourly_.quic_requests[hour];
+        } else {
+          ++hourly_.quic_responses[hour];
+        }
+      }
+    }
+  }
+
+  // Keep only the records the later stages need: sanitized QUIC traffic
+  // plus TCP/ICMP scans and backscatter.
+  if (record->is_research || record->cls == TrafficClass::kOther) return;
+  records_.push_back(*record);
+}
+
+std::vector<std::pair<util::Duration, std::uint64_t>>
+Pipeline::session_timeout_sweep(
+    std::span<const util::Duration> timeouts) const {
+  return timeout_sweep(records_, timeouts, [](const PacketRecord& r) {
+    return r.is_quic() && !r.is_research;
+  });
+}
+
+Pipeline::AttackAnalysis Pipeline::analyze_attacks() const {
+  return analyze_attacks(options_.thresholds);
+}
+
+Pipeline::AttackAnalysis Pipeline::analyze_attacks(
+    const DosThresholds& thresholds) const {
+  AttackAnalysis analysis;
+  analysis.response_sessions = response_sessions(options_.session_timeout);
+  analysis.common_sessions = common_sessions(options_.session_timeout);
+  analysis.quic_attacks =
+      detect_attacks(analysis.response_sessions, thresholds);
+  analysis.common_attacks =
+      detect_attacks(analysis.common_sessions, thresholds);
+  return analysis;
+}
+
+}  // namespace quicsand::core

@@ -1,0 +1,92 @@
+// End-to-end QUICsand analysis pipeline.
+//
+// Feed it captured packets (from a pcap file or the telescope generator);
+// it classifies them, keeps compact records for the analysis stages, and
+// exposes the hourly series, sessionization, DoS detection and
+// correlation helpers that the figure harnesses consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/correlate.hpp"
+#include "core/dos.hpp"
+#include "core/sessions.hpp"
+#include "net/packet.hpp"
+
+namespace quicsand::core {
+
+struct PipelineOptions {
+  util::Timestamp window_start = util::kApril2021Start;
+  int days = 30;
+  std::vector<net::Ipv4Prefix> research_prefixes;
+  util::Duration session_timeout = 5 * util::kMinute;
+  DosThresholds thresholds;
+};
+
+/// Per-hour packet counts over the analysis window.
+struct HourlySeries {
+  std::vector<std::uint64_t> research_quic;  ///< Figure 2
+  std::vector<std::uint64_t> other_quic;     ///< Figure 2
+  std::vector<std::uint64_t> quic_requests;  ///< Figure 3 (sanitized)
+  std::vector<std::uint64_t> quic_responses; ///< Figure 3 (sanitized)
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options);
+
+  /// Ingest one packet (must arrive in time order).
+  void consume(const net::RawPacket& packet);
+
+  [[nodiscard]] const ClassifierStats& stats() const {
+    return classifier_.stats();
+  }
+  [[nodiscard]] const HourlySeries& hourly() const { return hourly_; }
+
+  /// Sanitized records (research scanners and kOther dropped).
+  [[nodiscard]] std::span<const PacketRecord> records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::vector<Session> request_sessions(
+      util::Duration timeout) const {
+    return build_sessions(records_, timeout, quic_request_filter());
+  }
+  [[nodiscard]] std::vector<Session> response_sessions(
+      util::Duration timeout) const {
+    return build_sessions(records_, timeout, quic_response_filter());
+  }
+  [[nodiscard]] std::vector<Session> common_sessions(
+      util::Duration timeout) const {
+    return build_sessions(records_, timeout, common_backscatter_filter());
+  }
+
+  /// Figure 4 sweep over the sanitized QUIC records (both directions).
+  [[nodiscard]] std::vector<std::pair<util::Duration, std::uint64_t>>
+  session_timeout_sweep(std::span<const util::Duration> timeouts) const;
+
+  /// Detected QUIC and TCP/ICMP attacks at the configured thresholds,
+  /// with their session lists.
+  struct AttackAnalysis {
+    std::vector<Session> response_sessions;
+    std::vector<Session> common_sessions;
+    std::vector<DetectedAttack> quic_attacks;
+    std::vector<DetectedAttack> common_attacks;
+  };
+  [[nodiscard]] AttackAnalysis analyze_attacks() const;
+  [[nodiscard]] AttackAnalysis analyze_attacks(
+      const DosThresholds& thresholds) const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+  Classifier classifier_;
+  HourlySeries hourly_;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace quicsand::core

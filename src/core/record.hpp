@@ -1,0 +1,59 @@
+// Compact per-packet record produced by the classifier.
+//
+// The telescope sees tens of millions of packets; everything downstream
+// (sessionization, DoS detection, correlation) operates on these ~64-byte
+// records instead of raw datagrams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/ip.hpp"
+#include "quic/connection_id.hpp"
+#include "quic/dissector.hpp"
+#include "util/time.hpp"
+
+namespace quicsand::core {
+
+enum class TrafficClass : std::uint8_t {
+  kQuicRequest,     ///< UDP, destination port 443, valid QUIC
+  kQuicResponse,    ///< UDP, source port 443, valid QUIC (backscatter)
+  kTcpRequest,      ///< TCP SYN (scan)
+  kTcpBackscatter,  ///< TCP SYN-ACK / RST (flood response)
+  kIcmpBackscatter, ///< ICMP echo reply / unreachable / time exceeded
+  kOther,           ///< everything else (incl. non-QUIC UDP/443)
+};
+
+constexpr std::size_t kTrafficClassCount = 6;
+
+const char* traffic_class_name(TrafficClass cls);
+
+/// Number of QuicPacketKind enumerators (for fixed-size histograms).
+constexpr std::size_t kQuicKindCount = 7;
+
+struct PacketRecord {
+  util::Timestamp timestamp = 0;
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t wire_size = 0;
+  TrafficClass cls = TrafficClass::kOther;
+  bool is_research = false;  ///< source matches a research scanner prefix
+  std::uint32_t quic_version = 0;  ///< first long-header version, 0 if none
+  std::uint8_t quic_packet_count = 0;  ///< QUIC packets in the datagram
+  /// Per-kind QUIC message counts within the datagram, indexed by
+  /// QuicPacketKind; drives the §6 composition analysis.
+  std::array<std::uint8_t, kQuicKindCount> kind_counts{};
+  bool has_scid = false;
+  /// FNV hash of the first long-header SCID; distinct-SCID counting only
+  /// needs equality, so the record stays compact at telescope volumes.
+  std::uint64_t scid_hash = 0;
+
+  [[nodiscard]] bool is_quic() const {
+    return cls == TrafficClass::kQuicRequest ||
+           cls == TrafficClass::kQuicResponse;
+  }
+};
+
+}  // namespace quicsand::core

@@ -1,0 +1,134 @@
+#include "core/sessions.hpp"
+
+#include <algorithm>
+
+namespace quicsand::core {
+
+namespace {
+
+void absorb(Session& session, const PacketRecord& record) {
+  session.end = record.timestamp;
+  ++session.packets;
+  session.bytes += record.wire_size;
+  const auto minute = static_cast<std::size_t>(
+      (record.timestamp - session.start) / util::kMinute);
+  if (session.minute_counts.size() <= minute) {
+    session.minute_counts.resize(minute + 1, 0);
+  }
+  ++session.minute_counts[minute];
+  if (record.has_scid) session.scids.insert(record.scid_hash);
+  // The "peer" is the other endpoint: destination for responses and
+  // requests alike (the telescope side).
+  session.peers.insert(record.dst.value());
+  session.peer_ports.insert(
+      (static_cast<std::uint64_t>(record.dst.value()) << 16) |
+      record.dst_port);
+  for (std::size_t k = 0; k < kQuicKindCount; ++k) {
+    session.kind_counts[k] += record.kind_counts[k];
+  }
+  if (record.quic_version != 0) {
+    ++session.version_counts[record.quic_version];
+  }
+}
+
+Session open_session(const PacketRecord& record) {
+  Session session;
+  session.source = record.src;
+  session.start = record.timestamp;
+  session.end = record.timestamp;
+  absorb(session, record);
+  return session;
+}
+
+}  // namespace
+
+std::uint32_t Session::dominant_version() const {
+  std::uint32_t best_version = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [version, count] : version_counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_version = version;
+    }
+  }
+  return best_version;
+}
+
+RecordFilter quic_request_filter(bool include_research) {
+  return [include_research](const PacketRecord& r) {
+    return r.cls == TrafficClass::kQuicRequest &&
+           (include_research || !r.is_research);
+  };
+}
+
+RecordFilter quic_response_filter() {
+  return [](const PacketRecord& r) {
+    return r.cls == TrafficClass::kQuicResponse && !r.is_research;
+  };
+}
+
+RecordFilter common_backscatter_filter() {
+  return [](const PacketRecord& r) {
+    return r.cls == TrafficClass::kTcpBackscatter ||
+           r.cls == TrafficClass::kIcmpBackscatter;
+  };
+}
+
+std::vector<Session> build_sessions(std::span<const PacketRecord> records,
+                                    util::Duration timeout,
+                                    const RecordFilter& filter) {
+  std::vector<Session> closed;
+  std::unordered_map<std::uint32_t, Session> open;
+  for (const auto& record : records) {
+    if (!filter(record)) continue;
+    auto [it, inserted] = open.try_emplace(record.src.value());
+    if (inserted) {
+      it->second = open_session(record);
+      continue;
+    }
+    Session& session = it->second;
+    if (record.timestamp - session.end > timeout) {
+      closed.push_back(std::move(session));
+      it->second = open_session(record);
+    } else {
+      absorb(session, record);
+    }
+  }
+  closed.reserve(closed.size() + open.size());
+  for (auto& [source, session] : open) closed.push_back(std::move(session));
+  std::sort(closed.begin(), closed.end(),
+            [](const Session& a, const Session& b) {
+              return a.start < b.start ||
+                     (a.start == b.start && a.source < b.source);
+            });
+  return closed;
+}
+
+std::vector<std::pair<util::Duration, std::uint64_t>> timeout_sweep(
+    std::span<const PacketRecord> records,
+    std::span<const util::Duration> timeouts, const RecordFilter& filter) {
+  // One pass: collect every per-source inactivity gap; for timeout T the
+  // session count is (#sources) + (#gaps > T).
+  std::unordered_map<std::uint32_t, util::Timestamp> last_seen;
+  std::vector<util::Duration> gaps;
+  for (const auto& record : records) {
+    if (!filter(record)) continue;
+    const auto [it, inserted] =
+        last_seen.try_emplace(record.src.value(), record.timestamp);
+    if (!inserted) {
+      gaps.push_back(record.timestamp - it->second);
+      it->second = record.timestamp;
+    }
+  }
+  std::sort(gaps.begin(), gaps.end());
+  std::vector<std::pair<util::Duration, std::uint64_t>> out;
+  out.reserve(timeouts.size());
+  for (const auto timeout : timeouts) {
+    const auto it = std::upper_bound(gaps.begin(), gaps.end(), timeout);
+    const auto above = static_cast<std::uint64_t>(gaps.end() - it);
+    out.emplace_back(timeout, last_seen.size() + above);
+  }
+  return out;
+}
+
+}  // namespace quicsand::core

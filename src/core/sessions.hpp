@@ -1,0 +1,70 @@
+// Sessionization (§5.1): packets from one source belong to the same
+// session while the inactivity gap stays below a timeout. The paper picks
+// 5 minutes from the knee of the session-count-vs-timeout curve (Fig. 4),
+// matching Moore et al.'s established thresholds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/record.hpp"
+
+namespace quicsand::core {
+
+struct Session {
+  net::Ipv4Address source;
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  /// Packet count per 1-minute slot since `start` (max-pps computation).
+  std::vector<std::uint32_t> minute_counts;
+  /// Distinct counter hashes: SCIDs, peer addresses, (addr, port) pairs.
+  std::unordered_set<std::uint64_t> scids;
+  std::unordered_set<std::uint32_t> peers;
+  std::unordered_set<std::uint64_t> peer_ports;
+  /// QUIC message composition and version mix.
+  std::array<std::uint64_t, kQuicKindCount> kind_counts{};
+  std::unordered_map<std::uint32_t, std::uint64_t> version_counts;
+
+  [[nodiscard]] util::Duration duration() const { return end - start; }
+
+  /// Highest 1-minute packet rate, in packets per second.
+  [[nodiscard]] double peak_pps() const {
+    std::uint32_t best = 0;
+    for (const auto c : minute_counts) best = std::max(best, c);
+    return static_cast<double>(best) / 60.0;
+  }
+
+  /// Dominant QUIC version (most packets); 0 when none seen.
+  [[nodiscard]] std::uint32_t dominant_version() const;
+};
+
+using RecordFilter = std::function<bool(const PacketRecord&)>;
+
+/// Standard filters.
+RecordFilter quic_request_filter(bool include_research = false);
+RecordFilter quic_response_filter();
+RecordFilter common_backscatter_filter();  ///< TCP + ICMP backscatter
+
+/// Group the filtered records into per-source sessions with the given
+/// inactivity timeout. Records must be in non-decreasing time order
+/// (pcap / generator order). Sessions are returned sorted by start time.
+std::vector<Session> build_sessions(std::span<const PacketRecord> records,
+                                    util::Duration timeout,
+                                    const RecordFilter& filter);
+
+/// Number of sessions for each timeout in `timeouts` (Figure 4 sweep),
+/// computed in one pass over the inactivity-gap distribution. A timeout
+/// of util::Duration max plays the role of the paper's timeout=inf lower
+/// bound (one session per source).
+std::vector<std::pair<util::Duration, std::uint64_t>> timeout_sweep(
+    std::span<const PacketRecord> records,
+    std::span<const util::Duration> timeouts, const RecordFilter& filter);
+
+}  // namespace quicsand::core

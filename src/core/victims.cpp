@@ -1,0 +1,107 @@
+#include "core/victims.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace quicsand::core {
+
+double ProviderProfile::version_share(std::uint32_t version) const {
+  std::uint64_t total = 0;
+  for (const auto& [v, count] : version_counts) total += count;
+  if (total == 0) return 0;
+  const auto it = version_counts.find(version);
+  return it == version_counts.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+double VictimReport::single_attack_victim_share() const {
+  if (victims.empty()) return 0;
+  std::uint64_t single = 0;
+  for (const auto& victim : victims) {
+    if (victim.attack_count == 1) ++single;
+  }
+  return static_cast<double>(single) / static_cast<double>(victims.size());
+}
+
+std::vector<double> VictimReport::attacks_per_victim() const {
+  std::vector<double> out;
+  out.reserve(victims.size());
+  for (const auto& victim : victims) {
+    out.push_back(static_cast<double>(victim.attack_count));
+  }
+  return out;
+}
+
+VictimReport analyze_victims(std::span<const DetectedAttack> attacks,
+                             const asdb::AsRegistry& registry,
+                             const scanner::Deployment& deployment) {
+  VictimReport report;
+  std::unordered_map<std::uint32_t, VictimSummary> victims;
+  for (const auto& attack : attacks) {
+    ++report.total_attacks;
+    auto [it, inserted] = victims.try_emplace(attack.victim.value());
+    VictimSummary& summary = it->second;
+    if (inserted) {
+      summary.address = attack.victim;
+      const auto* info = registry.lookup(attack.victim);
+      if (info != nullptr) {
+        summary.asn = info->asn;
+        summary.as_name = info->name;
+      }
+      summary.known_quic_server = deployment.is_quic_server(attack.victim);
+    }
+    ++summary.attack_count;
+    if (summary.known_quic_server) ++report.attacks_on_known_servers;
+    ++report.attacks_by_asn[summary.asn];
+  }
+  report.victims.reserve(victims.size());
+  for (auto& [address, summary] : victims) {
+    report.victims.push_back(std::move(summary));
+  }
+  std::sort(report.victims.begin(), report.victims.end(),
+            [](const VictimSummary& a, const VictimSummary& b) {
+              return a.attack_count > b.attack_count ||
+                     (a.attack_count == b.attack_count &&
+                      a.address < b.address);
+            });
+  return report;
+}
+
+std::vector<ProviderProfile> profile_providers(
+    std::span<const DetectedAttack> attacks,
+    std::span<const Session> sessions, const asdb::AsRegistry& registry,
+    std::span<const asdb::Asn> provider_asns) {
+  std::vector<ProviderProfile> profiles;
+  profiles.reserve(provider_asns.size());
+  std::unordered_map<asdb::Asn, std::size_t> index;
+  for (const auto asn : provider_asns) {
+    const auto* info = registry.find(asn);
+    ProviderProfile profile;
+    profile.name = info != nullptr ? info->name : std::to_string(asn);
+    index.emplace(asn, profiles.size());
+    profiles.push_back(std::move(profile));
+  }
+
+  for (const auto& attack : attacks) {
+    const auto* info = registry.lookup(attack.victim);
+    if (info == nullptr) continue;
+    const auto it = index.find(info->asn);
+    if (it == index.end()) continue;
+    ProviderProfile& profile = profiles[it->second];
+    const Session& session = sessions[attack.session_index];
+    ++profile.attacks;
+    profile.packets_per_attack.add(static_cast<double>(session.packets));
+    profile.client_ips_per_attack.add(
+        static_cast<double>(session.peers.size()));
+    profile.client_ports_per_attack.add(
+        static_cast<double>(session.peer_ports.size()));
+    profile.scids_per_attack.add(static_cast<double>(session.scids.size()));
+    for (const auto& [version, count] : session.version_counts) {
+      profile.version_counts[version] += count;
+    }
+  }
+  return profiles;
+}
+
+}  // namespace quicsand::core

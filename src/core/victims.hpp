@@ -1,0 +1,75 @@
+// Victim analysis (§5.2, Figures 6 and 9).
+//
+// Maps detected QUIC attacks to victims, counts attacks per victim,
+// correlates victims with the active-scan hitlist, and aggregates the
+// per-attack properties Figure 9 compares across content providers:
+// packets, distinct (spoofed) client addresses, distinct client ports,
+// and distinct SCIDs — the proxy for server-side state allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asdb/registry.hpp"
+#include "core/correlate.hpp"
+#include "core/dos.hpp"
+#include "scanner/deployment.hpp"
+#include "util/stats.hpp"
+
+namespace quicsand::core {
+
+struct VictimSummary {
+  net::Ipv4Address address;
+  asdb::Asn asn = 0;
+  std::string as_name;
+  std::uint64_t attack_count = 0;
+  bool known_quic_server = false;
+};
+
+struct ProviderProfile {
+  std::string name;
+  std::uint64_t attacks = 0;
+  util::Cdf packets_per_attack;
+  util::Cdf client_ips_per_attack;
+  util::Cdf client_ports_per_attack;
+  util::Cdf scids_per_attack;
+  std::map<std::uint32_t, std::uint64_t> version_counts;
+
+  /// Share of this provider's attack packets seen with `version`.
+  [[nodiscard]] double version_share(std::uint32_t version) const;
+};
+
+struct VictimReport {
+  std::vector<VictimSummary> victims;  ///< sorted by attack count, desc
+  std::uint64_t total_attacks = 0;
+  std::uint64_t attacks_on_known_servers = 0;
+  /// Attack share per provider ASN (Google / Facebook dominate).
+  std::map<asdb::Asn, std::uint64_t> attacks_by_asn;
+
+  [[nodiscard]] double known_server_share() const {
+    return total_attacks == 0
+               ? 0.0
+               : static_cast<double>(attacks_on_known_servers) /
+                     static_cast<double>(total_attacks);
+  }
+  [[nodiscard]] double single_attack_victim_share() const;
+  /// Attacks-per-victim values (Figure 6 CDF).
+  [[nodiscard]] std::vector<double> attacks_per_victim() const;
+};
+
+/// Build the victim report for detected QUIC attacks. `sessions` must be
+/// the span the attacks' session_index fields refer to.
+VictimReport analyze_victims(std::span<const DetectedAttack> attacks,
+                             const asdb::AsRegistry& registry,
+                             const scanner::Deployment& deployment);
+
+/// Per-provider attack property profiles (Figure 9) for the given ASNs.
+std::vector<ProviderProfile> profile_providers(
+    std::span<const DetectedAttack> attacks,
+    std::span<const Session> sessions, const asdb::AsRegistry& registry,
+    std::span<const asdb::Asn> provider_asns);
+
+}  // namespace quicsand::core

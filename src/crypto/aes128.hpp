@@ -1,0 +1,35 @@
+// AES-128 block cipher (FIPS 197), encrypt direction only.
+//
+// GCM and CTR modes, as well as QUIC header protection (AES-ECB on a
+// 16-byte sample), only ever use the forward transform, so no inverse
+// cipher is implemented. Validated against the FIPS 197 Appendix B vector.
+//
+// Note on side channels: this is a table-based software implementation
+// intended for simulation and trace tooling, not for protecting secrets on
+// shared hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace quicsand::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  explicit Aes128(std::span<const std::uint8_t> key);
+
+  /// Encrypt a single 16-byte block.
+  [[nodiscard]] Block encrypt_block(std::span<const std::uint8_t> in) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace quicsand::crypto

@@ -1,0 +1,171 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quicsand::crypto {
+
+namespace {
+
+using Block = Aes128::Block;
+
+/// Multiply by x in GF(2^128) with the GCM bit order (byte 0 holds the
+/// highest-degree-free coefficients x^0..x^7): a right shift across the
+/// block with reduction by R = 0xe1 || 0^120.
+Block mul_x(const Block& v) {
+  Block out{};
+  const bool lsb = (v[15] & 1) != 0;
+  for (std::size_t b = 15; b > 0; --b) {
+    out[b] = static_cast<std::uint8_t>((v[b] >> 1) | ((v[b - 1] & 1) << 7));
+  }
+  out[0] = v[0] >> 1;
+  if (lsb) out[0] ^= 0xe1;
+  return out;
+}
+
+void xor_into(Block& dst, const Block& src) {
+  for (std::size_t i = 0; i < 16; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+AesGcm::AesGcm(std::span<const std::uint8_t> key) : cipher_(key) {
+  const Block zero{};
+  h_ = cipher_.encrypt_block(zero);
+
+  // Precompute Shoup-style tables: table_[i][b] = (byte value b at byte
+  // position i) * H. GHASH then costs 16 lookups + xors per block, which
+  // matters because the packet generator seals millions of datagrams.
+  table_.resize(16 * 256);
+  Block p = h_;  // x^(8i) * H for the current position i
+  for (std::size_t i = 0; i < 16; ++i) {
+    Block bitval[8];
+    bitval[0] = p;  // bit 0x80 at byte i
+    for (int k = 1; k < 8; ++k) bitval[k] = mul_x(bitval[k - 1]);
+    Block* row = table_.data() + i * 256;
+    row[0] = Block{};
+    for (unsigned b = 1; b < 256; ++b) {
+      const unsigned lsb = b & (~b + 1);
+      int bit_index = 0;
+      while ((1u << bit_index) != lsb) ++bit_index;
+      row[b] = row[b ^ lsb];
+      xor_into(row[b], bitval[7 - bit_index]);
+    }
+    p = mul_x(bitval[7]);  // advance to x^(8(i+1)) * H
+  }
+}
+
+AesGcm::Block AesGcm::mult_h(const Block& v) const {
+  Block out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    xor_into(out, table_[i * 256 + v[i]]);
+  }
+  return out;
+}
+
+Block AesGcm::j0(std::span<const std::uint8_t> nonce) const {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("AesGcm: nonce must be 96 bits");
+  }
+  Block out{};
+  std::memcpy(out.data(), nonce.data(), kNonceSize);
+  out[15] = 1;
+  return out;
+}
+
+void AesGcm::ctr_xor(Block counter, std::span<const std::uint8_t> in,
+                     std::uint8_t* out) const {
+  auto inc32 = [](Block& c) {
+    for (std::size_t i = 15; i >= 12; --i) {
+      if (++c[i] != 0) break;
+    }
+  };
+  std::size_t offset = 0;
+  while (offset < in.size()) {
+    inc32(counter);
+    const Block keystream = cipher_.encrypt_block(counter);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] =
+          static_cast<std::uint8_t>(in[offset + i] ^ keystream[i]);
+    }
+    offset += take;
+  }
+}
+
+Block AesGcm::ghash(std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> ciphertext) const {
+  Block y{};
+  auto absorb = [&](std::span<const std::uint8_t> data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(16, data.size() - offset);
+      for (std::size_t i = 0; i < take; ++i) y[i] ^= data[offset + i];
+      y = mult_h(y);
+      offset += take;
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  Block len{};
+  const std::uint64_t aad_bits = static_cast<std::uint64_t>(aad.size()) * 8;
+  const std::uint64_t ct_bits =
+      static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    len[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(aad_bits >> (8 * (7 - i)));
+    len[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(ct_bits >> (8 * (7 - i)));
+  }
+  xor_into(y, len);
+  return mult_h(y);
+}
+
+AesGcm::Tag AesGcm::compute_tag(std::span<const std::uint8_t> nonce,
+                                std::span<const std::uint8_t> aad,
+                                std::span<const std::uint8_t> ct) const {
+  const Block s = ghash(aad, ct);
+  const Block ek_j0 = cipher_.encrypt_block(j0(nonce));
+  Tag tag{};
+  for (std::size_t i = 0; i < kTagSize; ++i) {
+    tag[i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+  }
+  return tag;
+}
+
+std::vector<std::uint8_t> AesGcm::seal(
+    std::span<const std::uint8_t> nonce, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> plaintext) const {
+  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
+  ctr_xor(j0(nonce), plaintext, out.data());
+  const Tag tag = compute_tag(nonce, aad, {out.data(), plaintext.size()});
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> AesGcm::open(
+    std::span<const std::uint8_t> nonce, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> ciphertext_and_tag) const {
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  const auto ct = ciphertext_and_tag.first(ct_len);
+  const Tag expected = compute_tag(nonce, aad, ct);
+  // Constant-time tag comparison.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kTagSize; ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^
+                                      ciphertext_and_tag[ct_len + i]);
+  }
+  if (diff != 0) return std::nullopt;
+  std::vector<std::uint8_t> plaintext(ct_len);
+  ctr_xor(j0(nonce), ct, plaintext.data());
+  return plaintext;
+}
+
+AesGcm::Tag AesGcm::tag_only(std::span<const std::uint8_t> nonce,
+                             std::span<const std::uint8_t> aad) const {
+  return compute_tag(nonce, aad, {});
+}
+
+}  // namespace quicsand::crypto

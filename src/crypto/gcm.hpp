@@ -1,0 +1,62 @@
+// AES-128-GCM AEAD (NIST SP 800-38D) over the encrypt-only AES-128 core.
+//
+// QUIC Initial packets are protected with AEAD_AES_128_GCM (RFC 9001 §5.3)
+// and Retry packets carry an AES-128-GCM integrity tag (§5.8); this module
+// serves both. Validated against NIST GCM example vectors in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+
+namespace quicsand::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kTagSize = 16;
+  static constexpr std::size_t kNonceSize = 12;
+
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit AesGcm(std::span<const std::uint8_t> key);
+
+  /// Encrypt `plaintext`, returning ciphertext || 16-byte tag.
+  [[nodiscard]] std::vector<std::uint8_t> seal(
+      std::span<const std::uint8_t> nonce, std::span<const std::uint8_t> aad,
+      std::span<const std::uint8_t> plaintext) const;
+
+  /// Verify and decrypt ciphertext || tag. Returns nullopt if the tag does
+  /// not match.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> open(
+      std::span<const std::uint8_t> nonce, std::span<const std::uint8_t> aad,
+      std::span<const std::uint8_t> ciphertext_and_tag) const;
+
+  /// Compute only the tag over AAD (empty plaintext); this is exactly the
+  /// Retry integrity computation in RFC 9001 §5.8.
+  [[nodiscard]] Tag tag_only(std::span<const std::uint8_t> nonce,
+                             std::span<const std::uint8_t> aad) const;
+
+ private:
+  using Block = Aes128::Block;
+
+  [[nodiscard]] Block mult_h(const Block& v) const;
+  [[nodiscard]] Block ghash(std::span<const std::uint8_t> aad,
+                            std::span<const std::uint8_t> ciphertext) const;
+  void ctr_xor(Block counter, std::span<const std::uint8_t> in,
+               std::uint8_t* out) const;
+  [[nodiscard]] Block j0(std::span<const std::uint8_t> nonce) const;
+  [[nodiscard]] Tag compute_tag(std::span<const std::uint8_t> nonce,
+                                std::span<const std::uint8_t> aad,
+                                std::span<const std::uint8_t> ct) const;
+
+  Aes128 cipher_;
+  Block h_{};  // GHASH key: AES_K(0^128)
+  // Shoup multiplication tables: 16 positions x 256 byte values.
+  std::vector<Block> table_;
+};
+
+}  // namespace quicsand::crypto

@@ -1,0 +1,56 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace quicsand::crypto {
+
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+std::vector<std::uint8_t> hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  std::vector<std::uint8_t> okm;
+  okm.reserve(length);
+  Sha256::Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update({t.data(), t_len});
+    mac.update(info);
+    mac.update({&counter, 1});
+    t = mac.finish();
+    t_len = t.size();
+    const std::size_t take = std::min(t_len, length - okm.size());
+    okm.insert(okm.end(), t.begin(),
+               t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+std::vector<std::uint8_t> hkdf_expand_label(
+    std::span<const std::uint8_t> secret, std::string_view label,
+    std::span<const std::uint8_t> context, std::size_t length) {
+  // struct { uint16 length; opaque label<7..255>; opaque context<0..255>; }
+  std::vector<std::uint8_t> info;
+  const std::string full_label = "tls13 " + std::string(label);
+  info.reserve(4 + full_label.size() + context.size());
+  info.push_back(static_cast<std::uint8_t>(length >> 8));
+  info.push_back(static_cast<std::uint8_t>(length));
+  info.push_back(static_cast<std::uint8_t>(full_label.size()));
+  info.insert(info.end(), full_label.begin(), full_label.end());
+  info.push_back(static_cast<std::uint8_t>(context.size()));
+  info.insert(info.end(), context.begin(), context.end());
+  return hkdf_expand(secret, info, length);
+}
+
+}  // namespace quicsand::crypto

@@ -1,0 +1,30 @@
+// HKDF with SHA-256 (RFC 5869) plus the TLS 1.3 HKDF-Expand-Label
+// construction (RFC 8446 §7.1), which QUIC uses to derive Initial keys
+// (RFC 9001 §5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace quicsand::crypto {
+
+/// HKDF-Extract(salt, ikm) -> PRK.
+Sha256::Digest hkdf_extract(std::span<const std::uint8_t> salt,
+                            std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand(prk, info, length). length <= 255 * 32.
+std::vector<std::uint8_t> hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::span<const std::uint8_t> info,
+                                      std::size_t length);
+
+/// TLS 1.3 HKDF-Expand-Label(secret, label, context, length). The "tls13 "
+/// prefix is added internally; pass e.g. "client in" or "quic key".
+std::vector<std::uint8_t> hkdf_expand_label(
+    std::span<const std::uint8_t> secret, std::string_view label,
+    std::span<const std::uint8_t> context, std::size_t length);
+
+}  // namespace quicsand::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1); validated against RFC 4231 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace quicsand::crypto {
+
+/// One-shot HMAC-SHA256.
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> data);
+
+/// Incremental HMAC for multi-part messages (used by HKDF-Expand).
+class HmacSha256 {
+ public:
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  Sha256::Digest finish();
+
+ private:
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_key_{};
+  Sha256 inner_;
+};
+
+}  // namespace quicsand::crypto

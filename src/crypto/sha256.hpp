@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Implemented from the specification; validated in
+// tests against the NIST example vectors. Used by HMAC/HKDF for the QUIC
+// Initial secret schedule (RFC 9001) and for Retry token derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace quicsand::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorb more input. Can be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalize and return the digest. The object must not be reused
+  /// afterwards without calling reset().
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace quicsand::crypto

@@ -1,0 +1,58 @@
+#include "net/ip.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace quicsand::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    auto [next, ec] = std::from_chars(p, end, octets[static_cast<std::size_t>(i)]);
+    if (ec != std::errc{} || octets[static_cast<std::size_t>(i)] > 255) {
+      return std::nullopt;
+    }
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", octet(0), octet(1),
+                octet(2), octet(3));
+  return buf.data();
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = 0;
+  const auto len_text = text.substr(slash + 1);
+  auto [next, ec] = std::from_chars(len_text.data(),
+                                    len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, length);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace quicsand::net

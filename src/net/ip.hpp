@@ -1,0 +1,93 @@
+// IPv4 addresses and prefixes.
+//
+// Addresses are a strong wrapper around the host-order 32-bit value so the
+// rest of the code cannot confuse them with ports, ASNs or counters.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace quicsand::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parse dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 44.0.0.0/9.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  constexpr Ipv4Prefix(Ipv4Address base, int length)
+      : base_(Ipv4Address(length == 0 ? 0 : (base.value() & mask(length)))),
+        length_(length) {}
+
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const {
+    if (length_ == 0) return true;
+    return (addr.value() & mask(length_)) == base_.value();
+  }
+
+  /// Number of addresses covered by this prefix.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return 1ULL << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix (i < size()).
+  [[nodiscard]] constexpr Ipv4Address at(std::uint64_t i) const {
+    return Ipv4Address(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Address base_{};
+  int length_ = 0;
+};
+
+}  // namespace quicsand::net
+
+template <>
+struct std::hash<quicsand::net::Ipv4Address> {
+  std::size_t operator()(const quicsand::net::Ipv4Address& a) const noexcept {
+    // Fibonacci scrambling; addresses are often sequential.
+    return static_cast<std::size_t>(a.value()) * 0x9e3779b97f4a7c15ULL;
+  }
+};

@@ -1,0 +1,21 @@
+// A captured packet: a timestamp plus the raw IPv4 datagram bytes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::net {
+
+struct RawPacket {
+  util::Timestamp timestamp = 0;
+  std::vector<std::uint8_t> data;
+
+  RawPacket() = default;
+  RawPacket(util::Timestamp ts, std::vector<std::uint8_t> bytes)
+      : timestamp(ts), data(std::move(bytes)) {}
+};
+
+}  // namespace quicsand::net

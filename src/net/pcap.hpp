@@ -1,0 +1,65 @@
+// Classic libpcap file format (.pcap) reader and writer.
+//
+// Implemented from the format specification (the 24-byte global header
+// with magic 0xa1b2c3d4 followed by 16-byte per-record headers). We write
+// LINKTYPE_RAW (101): records are bare IPv4 datagrams, which is the
+// natural format for telescope data and avoids synthesizing Ethernet
+// headers. The reader also accepts LINKTYPE_ETHERNET (1) and strips the
+// 14-byte Ethernet header so real captures can be analyzed.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace quicsand::net {
+
+constexpr std::uint32_t kPcapMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::uint32_t kLinktypeRaw = 101;
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header.
+  /// Throws std::runtime_error if the file cannot be created.
+  explicit PcapWriter(const std::string& path,
+                      std::uint32_t linktype = kLinktypeRaw);
+
+  void write(const RawPacket& packet);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Opens `path` and parses the global header.
+  /// Throws std::runtime_error on open failure or bad magic.
+  explicit PcapReader(const std::string& path);
+
+  /// Read the next record as a raw IPv4 datagram (Ethernet stripped when
+  /// the capture is LINKTYPE_ETHERNET). Returns nullopt at end of file.
+  /// Throws std::runtime_error on a truncated record.
+  std::optional<RawPacket> next();
+
+  /// Convenience: invoke `fn` for each remaining packet; returns count.
+  std::uint64_t for_each(const std::function<void(const RawPacket&)>& fn);
+
+  [[nodiscard]] std::uint32_t linktype() const { return linktype_; }
+
+ private:
+  std::ifstream in_;
+  std::uint32_t linktype_ = kLinktypeRaw;
+  bool nanos_ = false;
+  bool swapped_ = false;
+};
+
+}  // namespace quicsand::net

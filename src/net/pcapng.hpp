@@ -1,0 +1,70 @@
+// pcapng (pcap-ng) reader.
+//
+// Modern capture tooling writes pcapng rather than classic pcap; a
+// telescope operator pointing analyze_pcap at their own data should not
+// need to convert first. This reader handles the common block types:
+// Section Header (endianness via the byte-order magic), Interface
+// Description (link type + if_tsresol option) and Enhanced/Simple Packet
+// Blocks. Writing stays classic pcap (net/pcap.hpp) — universally
+// readable.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+
+namespace quicsand::net {
+
+constexpr std::uint32_t kPcapngSectionHeader = 0x0a0d0d0a;
+constexpr std::uint32_t kPcapngInterfaceDescription = 0x00000001;
+constexpr std::uint32_t kPcapngEnhancedPacket = 0x00000006;
+constexpr std::uint32_t kPcapngSimplePacket = 0x00000003;
+constexpr std::uint32_t kPcapngByteOrderMagic = 0x1a2b3c4d;
+
+class PcapngReader {
+ public:
+  /// Opens `path` and reads up to the first Section Header Block.
+  /// Throws std::runtime_error on open failure or bad magic.
+  explicit PcapngReader(const std::string& path);
+
+  /// Next packet as a raw IPv4 datagram (Ethernet stripped for
+  /// LINKTYPE_ETHERNET interfaces). Non-packet blocks are skipped.
+  /// Returns nullopt at end of file; throws on truncated blocks.
+  std::optional<RawPacket> next();
+
+  /// Invoke `fn` for each remaining packet; returns the count.
+  std::uint64_t for_each(const std::function<void(const RawPacket&)>& fn);
+
+  /// Number of interfaces described so far.
+  [[nodiscard]] std::size_t interface_count() const {
+    return interfaces_.size();
+  }
+
+ private:
+  struct Interface {
+    std::uint16_t linktype = 0;
+    /// Timestamp units per second (default pcapng resolution: 1e6).
+    std::uint64_t ticks_per_second = 1000000;
+  };
+
+  bool read_block(std::uint32_t& type, std::vector<std::uint8_t>& body);
+  void parse_section_header(const std::vector<std::uint8_t>& body);
+  void parse_interface_description(const std::vector<std::uint8_t>& body);
+  std::optional<RawPacket> parse_enhanced_packet(
+      const std::vector<std::uint8_t>& body) const;
+
+  [[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) const;
+  [[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) const;
+
+  std::ifstream in_;
+  bool big_endian_ = false;
+  std::vector<Interface> interfaces_;
+};
+
+}  // namespace quicsand::net

@@ -1,0 +1,93 @@
+#include "quic/ack_tracker.hpp"
+
+#include <stdexcept>
+
+namespace quicsand::quic {
+
+bool AckTracker::on_packet(std::uint64_t pn) {
+  if (contains(pn)) return false;
+  ++count_;
+
+  // Find the neighbours to merge with.
+  auto next = ranges_.lower_bound(pn);
+  const bool merge_next = next != ranges_.end() && next->first == pn + 1;
+  auto prev = next == ranges_.begin() ? ranges_.end() : std::prev(next);
+  const bool merge_prev =
+      prev != ranges_.end() && prev->second + 1 == pn;
+
+  if (merge_prev && merge_next) {
+    prev->second = next->second;
+    ranges_.erase(next);
+  } else if (merge_prev) {
+    prev->second = pn;
+  } else if (merge_next) {
+    const auto end = next->second;
+    ranges_.erase(next);
+    ranges_.emplace(pn, end);
+  } else {
+    ranges_.emplace(pn, pn);
+  }
+  return true;
+}
+
+bool AckTracker::contains(std::uint64_t pn) const {
+  auto it = ranges_.upper_bound(pn);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return pn >= it->first && pn <= it->second;
+}
+
+std::uint64_t AckTracker::largest() const {
+  if (ranges_.empty()) throw std::logic_error("AckTracker: empty");
+  return ranges_.rbegin()->second;
+}
+
+AckFrame AckTracker::build_ack(std::uint64_t ack_delay,
+                               std::size_t max_ranges) const {
+  if (ranges_.empty()) throw std::logic_error("AckTracker: empty");
+  AckFrame frame;
+  frame.ack_delay = ack_delay;
+
+  auto it = ranges_.rbegin();
+  frame.largest_acknowledged = it->second;
+  frame.first_range = it->second - it->first;
+  std::uint64_t prev_start = it->first;
+  ++it;
+  for (; it != ranges_.rend() && frame.ranges.size() + 1 < max_ranges;
+       ++it) {
+    // Gap: packets between this range's end and the previous range's
+    // start, minus-2 encoded (RFC 9000 §19.3.1).
+    const std::uint64_t gap = prev_start - it->second - 2;
+    const std::uint64_t length = it->second - it->first;
+    frame.ranges.emplace_back(gap, length);
+    prev_start = it->first;
+  }
+  return frame;
+}
+
+AckTracker AckTracker::from_ack(const AckFrame& frame) {
+  AckTracker tracker;
+  std::uint64_t end = frame.largest_acknowledged;
+  if (frame.first_range > end) {
+    throw std::invalid_argument("from_ack: first range underflows");
+  }
+  std::uint64_t start = end - frame.first_range;
+  for (std::uint64_t pn = start; pn <= end && pn >= start; ++pn) {
+    tracker.on_packet(pn);
+  }
+  for (const auto& [gap, length] : frame.ranges) {
+    // next_end = start - gap - 2 (inverse of the encoder above).
+    if (start < gap + 2) {
+      throw std::invalid_argument("from_ack: gap underflows");
+    }
+    end = start - gap - 2;
+    if (length > end) {
+      throw std::invalid_argument("from_ack: range underflows");
+    }
+    start = end - length;
+    for (std::uint64_t pn = start; pn <= end; ++pn) tracker.on_packet(pn);
+  }
+  return tracker;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,46 @@
+// Received-packet tracking and ACK frame construction (RFC 9000 §13.2).
+//
+// Maintains the set of received packet numbers as disjoint ranges and
+// renders them in the ACK frame's descending gap/length encoding. Used
+// by endpoints that answer handshake flights; also a building block for
+// consumers replaying real captures through the library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "quic/frames.hpp"
+
+namespace quicsand::quic {
+
+class AckTracker {
+ public:
+  /// Record a received packet number; duplicates are detected and
+  /// ignored. Returns false when `pn` was already present.
+  bool on_packet(std::uint64_t pn);
+
+  [[nodiscard]] bool contains(std::uint64_t pn) const;
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  /// Largest packet number seen; empty() must be false.
+  [[nodiscard]] std::uint64_t largest() const;
+  /// Number of distinct packet numbers tracked.
+  [[nodiscard]] std::uint64_t packet_count() const { return count_; }
+  /// Number of disjoint ranges (ACK frame size driver).
+  [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
+
+  /// Build the ACK frame describing everything received. `max_ranges`
+  /// bounds frame size by dropping the oldest ranges, as real stacks do.
+  [[nodiscard]] AckFrame build_ack(std::uint64_t ack_delay,
+                                   std::size_t max_ranges = 32) const;
+
+  /// Apply an ACK frame to a fresh tracker (the inverse of build_ack);
+  /// useful for tests and for interpreting captured ACKs.
+  static AckTracker from_ack(const AckFrame& frame);
+
+ private:
+  // start -> end (inclusive), disjoint and non-adjacent.
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace quicsand::quic

@@ -1,0 +1,9 @@
+#include "quic/connection_id.hpp"
+
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+std::string ConnectionId::to_hex() const { return util::to_hex(bytes()); }
+
+}  // namespace quicsand::quic

@@ -1,0 +1,69 @@
+// Heuristic QUIC dissector — our stand-in for the Wireshark payload
+// dissectors the paper uses to validate port-based classification (§4.1).
+//
+// Given a UDP payload, it decides whether the bytes are plausibly QUIC,
+// and if so enumerates the (possibly coalesced) packets with the fields
+// an on-path observer can read: type, version, DCID, SCID, token and
+// payload lengths. Optionally it attempts to remove Initial protection
+// ("deep" mode) to classify the direction of an Initial — this is how the
+// analysis implements the paper's §6 check that backscatter Initials do
+// not contain an unencrypted TLS Client Hello.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quic/connection_id.hpp"
+#include "quic/header.hpp"
+
+namespace quicsand::quic {
+
+enum class QuicPacketKind : std::uint8_t {
+  kInitial,
+  kZeroRtt,
+  kHandshake,
+  kRetry,
+  kVersionNegotiation,
+  kShort,   ///< 1-RTT packet; DCID length unknown to an observer
+  kGquic,   ///< legacy gQUIC framing (not further dissected)
+};
+
+const char* quic_packet_kind_name(QuicPacketKind kind);
+
+/// Result of deep (decrypting) inspection of an Initial packet.
+enum class InitialDirection : std::uint8_t {
+  kNotAttempted,
+  kClientHello,    ///< decrypted with client keys, carries a ClientHello
+  kServerResponse, ///< decrypts with server keys (SCID-routed reply)
+  kUndecryptable,  ///< neither key works: response to an unseen Initial
+};
+
+struct DissectedPacket {
+  QuicPacketKind kind = QuicPacketKind::kShort;
+  std::uint32_t version = 0;
+  ConnectionId dcid;
+  ConnectionId scid;  ///< long headers only
+  std::size_t token_length = 0;
+  std::size_t size = 0;  ///< bytes of this QUIC packet on the wire
+  InitialDirection direction = InitialDirection::kNotAttempted;
+};
+
+struct DissectResult {
+  bool is_quic = false;
+  std::vector<DissectedPacket> packets;
+  std::string reject_reason;  ///< filled when !is_quic
+};
+
+struct DissectOptions {
+  /// Attempt Initial decryption to classify packet direction. Costs two
+  /// key derivations + AEAD per Initial; off for bulk classification.
+  bool decrypt_initials = false;
+};
+
+DissectResult dissect_udp_payload(std::span<const std::uint8_t> payload,
+                                  const DissectOptions& options = {});
+
+}  // namespace quicsand::quic

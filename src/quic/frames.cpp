@@ -1,0 +1,140 @@
+#include "quic/frames.hpp"
+
+#include "quic/varint.hpp"
+
+namespace quicsand::quic {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+constexpr std::uint64_t kFramePadding = 0x00;
+constexpr std::uint64_t kFramePing = 0x01;
+constexpr std::uint64_t kFrameAck = 0x02;
+constexpr std::uint64_t kFrameCrypto = 0x06;
+constexpr std::uint64_t kFrameCloseTransport = 0x1c;
+constexpr std::uint64_t kFrameCloseApplication = 0x1d;
+constexpr std::uint64_t kFrameHandshakeDone = 0x1e;
+
+struct FrameWriter {
+  ByteWriter& w;
+
+  void operator()(const PaddingFrame& f) const {
+    w.write_repeated(0x00, f.length);
+  }
+  void operator()(const PingFrame&) const { write_varint(w, kFramePing); }
+  void operator()(const AckFrame& f) const {
+    write_varint(w, kFrameAck);
+    write_varint(w, f.largest_acknowledged);
+    write_varint(w, f.ack_delay);
+    write_varint(w, f.ranges.size());
+    write_varint(w, f.first_range);
+    for (const auto& [gap, len] : f.ranges) {
+      write_varint(w, gap);
+      write_varint(w, len);
+    }
+  }
+  void operator()(const CryptoFrame& f) const {
+    write_varint(w, kFrameCrypto);
+    write_varint(w, f.offset);
+    write_varint(w, f.data.size());
+    w.write_bytes(f.data);
+  }
+  void operator()(const ConnectionCloseFrame& f) const {
+    write_varint(w, f.application ? kFrameCloseApplication
+                                  : kFrameCloseTransport);
+    write_varint(w, f.error_code);
+    if (!f.application) write_varint(w, f.frame_type);
+    write_varint(w, f.reason.size());
+    w.write_bytes({reinterpret_cast<const std::uint8_t*>(f.reason.data()),
+                   f.reason.size()});
+  }
+  void operator()(const HandshakeDoneFrame&) const {
+    write_varint(w, kFrameHandshakeDone);
+  }
+};
+
+}  // namespace
+
+void write_frame(ByteWriter& w, const Frame& frame) {
+  std::visit(FrameWriter{w}, frame);
+}
+
+std::size_t frame_size(const Frame& frame) {
+  ByteWriter w;
+  write_frame(w, frame);
+  return w.size();
+}
+
+std::optional<std::vector<Frame>> parse_frames(
+    std::span<const std::uint8_t> payload) {
+  std::vector<Frame> frames;
+  ByteReader r(payload);
+  try {
+    while (!r.empty()) {
+      const std::uint64_t type = read_varint(r);
+      switch (type) {
+        case kFramePadding: {
+          std::size_t run = 1;
+          while (!r.empty() && r.peek_u8() == 0x00) {
+            r.skip(1);
+            ++run;
+          }
+          frames.push_back(PaddingFrame{run});
+          break;
+        }
+        case kFramePing:
+          frames.push_back(PingFrame{});
+          break;
+        case kFrameAck: {
+          AckFrame f;
+          f.largest_acknowledged = read_varint(r);
+          f.ack_delay = read_varint(r);
+          const std::uint64_t range_count = read_varint(r);
+          f.first_range = read_varint(r);
+          if (range_count > payload.size()) return std::nullopt;  // absurd
+          for (std::uint64_t i = 0; i < range_count; ++i) {
+            const std::uint64_t gap = read_varint(r);
+            const std::uint64_t len = read_varint(r);
+            f.ranges.emplace_back(gap, len);
+          }
+          frames.push_back(std::move(f));
+          break;
+        }
+        case kFrameCrypto: {
+          CryptoFrame f;
+          f.offset = read_varint(r);
+          const std::uint64_t len = read_varint(r);
+          if (len > r.remaining()) return std::nullopt;
+          f.data = r.read_vector(static_cast<std::size_t>(len));
+          frames.push_back(std::move(f));
+          break;
+        }
+        case kFrameCloseTransport:
+        case kFrameCloseApplication: {
+          ConnectionCloseFrame f;
+          f.application = type == kFrameCloseApplication;
+          f.error_code = read_varint(r);
+          if (!f.application) f.frame_type = read_varint(r);
+          const std::uint64_t len = read_varint(r);
+          if (len > r.remaining()) return std::nullopt;
+          const auto bytes = r.read_bytes(static_cast<std::size_t>(len));
+          f.reason.assign(bytes.begin(), bytes.end());
+          frames.push_back(std::move(f));
+          break;
+        }
+        case kFrameHandshakeDone:
+          frames.push_back(HandshakeDoneFrame{});
+          break;
+        default:
+          return std::nullopt;  // unsupported frame type
+      }
+    }
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+  return frames;
+}
+
+}  // namespace quicsand::quic

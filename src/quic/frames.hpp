@@ -1,0 +1,61 @@
+// QUIC frame codec (RFC 9000 §19) for the frame types that appear in
+// handshake traffic: PADDING, PING, ACK, CRYPTO, CONNECTION_CLOSE and
+// HANDSHAKE_DONE. This is the subset the paper's traffic contains —
+// Initial/Handshake flights plus keep-alive PINGs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+struct PaddingFrame {
+  std::size_t length = 1;  ///< run of consecutive PADDING bytes
+};
+
+struct PingFrame {};
+
+struct AckFrame {
+  std::uint64_t largest_acknowledged = 0;
+  std::uint64_t ack_delay = 0;
+  std::uint64_t first_range = 0;  ///< packets before largest, contiguous
+  /// Additional (gap, range-length) pairs, RFC 9000 §19.3.1.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+};
+
+struct CryptoFrame {
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+};
+
+struct ConnectionCloseFrame {
+  bool application = false;  ///< 0x1d (application) vs 0x1c (transport)
+  std::uint64_t error_code = 0;
+  std::uint64_t frame_type = 0;  ///< transport variant only
+  std::string reason;
+};
+
+struct HandshakeDoneFrame {};
+
+using Frame = std::variant<PaddingFrame, PingFrame, AckFrame, CryptoFrame,
+                           ConnectionCloseFrame, HandshakeDoneFrame>;
+
+/// Serialize one frame.
+void write_frame(util::ByteWriter& w, const Frame& frame);
+
+/// Parse a full decrypted packet payload into frames. Consecutive PADDING
+/// bytes collapse into a single PaddingFrame. Returns nullopt on any
+/// malformed or unsupported frame type.
+std::optional<std::vector<Frame>> parse_frames(
+    std::span<const std::uint8_t> payload);
+
+/// Total encoded size of `frame` (convenience for padding computations).
+std::size_t frame_size(const Frame& frame);
+
+}  // namespace quicsand::quic

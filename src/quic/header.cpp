@@ -1,0 +1,159 @@
+#include "quic/header.hpp"
+
+#include <stdexcept>
+
+#include "quic/varint.hpp"
+
+namespace quicsand::quic {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+const char* packet_type_name(PacketType type) {
+  switch (type) {
+    case PacketType::kInitial:
+      return "initial";
+    case PacketType::kZeroRtt:
+      return "0rtt";
+    case PacketType::kHandshake:
+      return "handshake";
+    case PacketType::kRetry:
+      return "retry";
+  }
+  return "?";
+}
+
+const char* parse_error_name(ParseError error) {
+  switch (error) {
+    case ParseError::kTruncated:
+      return "truncated";
+    case ParseError::kNotLongHeader:
+      return "not-long-header";
+    case ParseError::kFixedBitClear:
+      return "fixed-bit-clear";
+    case ParseError::kBadConnectionIdLength:
+      return "bad-cid-length";
+    case ParseError::kBadLength:
+      return "bad-length";
+  }
+  return "?";
+}
+
+EncodedHeader encode_long_header(const LongHeader& hdr) {
+  if (hdr.type == PacketType::kRetry) {
+    throw std::invalid_argument("encode_long_header: use build_retry_packet");
+  }
+  if (hdr.packet_number_length < 1 || hdr.packet_number_length > 4) {
+    throw std::invalid_argument("encode_long_header: bad pn length");
+  }
+  ByteWriter w(64 + hdr.token.size());
+  const std::uint8_t first =
+      static_cast<std::uint8_t>(0xc0 |
+                                (static_cast<std::uint8_t>(hdr.type) << 4) |
+                                (hdr.packet_number_length - 1));
+  w.write_u8(first);
+  w.write_u32(hdr.version);
+  w.write_u8(static_cast<std::uint8_t>(hdr.dcid.size()));
+  w.write_bytes(hdr.dcid.bytes());
+  w.write_u8(static_cast<std::uint8_t>(hdr.scid.size()));
+  w.write_bytes(hdr.scid.bytes());
+  if (hdr.type == PacketType::kInitial) {
+    write_varint(w, hdr.token.size());
+    w.write_bytes(hdr.token);
+  }
+  EncodedHeader out;
+  out.length_offset = w.size();
+  write_varint_with_size(w, 0, 2);  // placeholder, patched by the sealer
+  out.pn_offset = w.size();
+  // Truncated packet number, big-endian.
+  for (int i = hdr.packet_number_length - 1; i >= 0; --i) {
+    w.write_u8(static_cast<std::uint8_t>(hdr.packet_number >> (8 * i)));
+  }
+  out.bytes = w.take();
+  return out;
+}
+
+std::optional<LongHeaderView> parse_long_header(
+    std::span<const std::uint8_t> data, std::size_t offset,
+    ParseError* error) {
+  auto fail = [&](ParseError e) -> std::optional<LongHeaderView> {
+    if (error != nullptr) *error = e;
+    return std::nullopt;
+  };
+  if (offset >= data.size()) return fail(ParseError::kTruncated);
+
+  try {
+    ByteReader r(data.subspan(offset));
+    const std::uint8_t first = r.read_u8();
+    if (!is_long_header_byte(first)) return fail(ParseError::kNotLongHeader);
+
+    LongHeaderView view;
+    view.packet_start = offset;
+    view.version = r.read_u32();
+
+    // Version Negotiation: version == 0, fixed bit may be anything.
+    if (view.version == 0) {
+      const std::size_t dcid_len = r.read_u8();
+      if (dcid_len > ConnectionId::kMaxSize) {
+        return fail(ParseError::kBadConnectionIdLength);
+      }
+      view.dcid = ConnectionId(r.read_bytes(dcid_len));
+      const std::size_t scid_len = r.read_u8();
+      if (scid_len > ConnectionId::kMaxSize) {
+        return fail(ParseError::kBadConnectionIdLength);
+      }
+      view.scid = ConnectionId(r.read_bytes(scid_len));
+      if (r.remaining() % 4 != 0 || r.remaining() == 0) {
+        return fail(ParseError::kBadLength);
+      }
+      while (!r.empty()) view.supported_versions.push_back(r.read_u32());
+      view.packet_end = data.size();
+      return view;
+    }
+
+    if (!has_fixed_bit(first)) return fail(ParseError::kFixedBitClear);
+    view.type = static_cast<PacketType>((first >> 4) & 0x03);
+
+    const std::size_t dcid_len = r.read_u8();
+    if (dcid_len > ConnectionId::kMaxSize) {
+      return fail(ParseError::kBadConnectionIdLength);
+    }
+    view.dcid = ConnectionId(r.read_bytes(dcid_len));
+    const std::size_t scid_len = r.read_u8();
+    if (scid_len > ConnectionId::kMaxSize) {
+      return fail(ParseError::kBadConnectionIdLength);
+    }
+    view.scid = ConnectionId(r.read_bytes(scid_len));
+
+    if (view.type == PacketType::kRetry) {
+      // Token is everything up to the 16-byte integrity tag.
+      if (r.remaining() < 16) return fail(ParseError::kTruncated);
+      view.retry_token = r.read_bytes(r.remaining() - 16);
+      view.token_length = view.retry_token.size();
+      view.packet_end = data.size();
+      return view;
+    }
+
+    if (view.type == PacketType::kInitial) {
+      const std::uint64_t token_len = read_varint(r);
+      if (token_len > r.remaining()) return fail(ParseError::kTruncated);
+      view.token = r.read_bytes(static_cast<std::size_t>(token_len));
+      view.token_length = static_cast<std::size_t>(token_len);
+    }
+
+    view.length = read_varint(r);
+    view.pn_offset = offset + r.position();
+    // Length counts PN + payload; a protected packet needs at least a
+    // 1-byte PN plus a 16-byte AEAD tag, and a PN sample of 16 bytes
+    // starting 4 bytes in (RFC 9001 §5.4.2).
+    if (view.length < 20 || view.length > r.remaining()) {
+      return fail(ParseError::kBadLength);
+    }
+    view.packet_end = view.pn_offset + static_cast<std::size_t>(view.length);
+    return view;
+  } catch (const util::BufferUnderflow&) {
+    return fail(ParseError::kTruncated);
+  }
+}
+
+}  // namespace quicsand::quic

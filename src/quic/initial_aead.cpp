@@ -1,0 +1,151 @@
+#include "quic/initial_aead.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/aes128.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace quicsand::quic {
+
+namespace {
+
+PacketKeys keys_from_secret(std::span<const std::uint8_t> secret) {
+  PacketKeys keys;
+  const auto key = crypto::hkdf_expand_label(secret, "quic key", {}, 16);
+  const auto iv = crypto::hkdf_expand_label(secret, "quic iv", {}, 12);
+  const auto hp = crypto::hkdf_expand_label(secret, "quic hp", {}, 16);
+  std::memcpy(keys.key.data(), key.data(), 16);
+  std::memcpy(keys.iv.data(), iv.data(), 12);
+  std::memcpy(keys.hp.data(), hp.data(), 16);
+  return keys;
+}
+
+PacketKeys derive_keys(std::uint32_t version, const ConnectionId& dcid,
+                       Perspective perspective, const char* client_label,
+                       const char* server_label) {
+  const auto generation = salt_generation(version);
+  if (generation == SaltGeneration::kNone) {
+    throw std::invalid_argument(
+        "derive_keys: no RFC 9001 schedule for version " +
+        version_name(version));
+  }
+  const auto secret =
+      crypto::hkdf_extract(initial_salt(generation), dcid.bytes());
+  const char* label =
+      perspective == Perspective::kClient ? client_label : server_label;
+  const auto dir_secret = crypto::hkdf_expand_label(secret, label, {}, 32);
+  return keys_from_secret(dir_secret);
+}
+
+/// Nonce = IV xor left-padded packet number (RFC 9001 §5.3).
+std::array<std::uint8_t, 12> make_nonce(const PacketKeys& keys,
+                                        std::uint64_t packet_number) {
+  auto nonce = keys.iv;
+  for (int i = 0; i < 8; ++i) {
+    nonce[11 - static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(packet_number >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace
+
+PacketKeys derive_initial_keys(std::uint32_t version, const ConnectionId& dcid,
+                               Perspective perspective) {
+  return derive_keys(version, dcid, perspective, "client in", "server in");
+}
+
+PacketKeys derive_handshake_keys_simulated(std::uint32_t version,
+                                           const ConnectionId& dcid,
+                                           Perspective perspective) {
+  // Substitution: distinct labels keep the two packet spaces
+  // cryptographically separated, like the real TLS schedule would.
+  return derive_keys(version, dcid, perspective, "client hs sim",
+                     "server hs sim");
+}
+
+std::vector<std::uint8_t> seal_long_header_packet(
+    const PacketKeys& keys, const LongHeader& hdr,
+    std::span<const std::uint8_t> payload) {
+  EncodedHeader encoded = encode_long_header(hdr);
+  const std::size_t pn_len =
+      static_cast<std::size_t>(hdr.packet_number_length);
+  const std::size_t total_length =
+      pn_len + payload.size() + crypto::AesGcm::kTagSize;
+  if (total_length > 16383) {
+    throw std::invalid_argument("seal: payload too large for 2-byte length");
+  }
+  // Patch the Length varint (2-byte encoding: 0x4000 | value).
+  util::ByteWriter header_writer;
+  header_writer.write_bytes(encoded.bytes);
+  header_writer.patch_be(encoded.length_offset, 0x4000 | total_length, 2);
+  std::vector<std::uint8_t> packet = header_writer.take();
+
+  // AEAD over the payload, header as AAD.
+  const auto nonce = make_nonce(keys, hdr.packet_number);
+  crypto::AesGcm aead(keys.key);
+  const auto sealed = aead.seal(nonce, packet, payload);
+  packet.insert(packet.end(), sealed.begin(), sealed.end());
+
+  // Header protection (RFC 9001 §5.4): sample 16 bytes of ciphertext
+  // starting 4 bytes after the start of the PN field.
+  const std::size_t sample_offset = encoded.pn_offset + 4;
+  crypto::Aes128 hp(keys.hp);
+  const auto mask =
+      hp.encrypt_block({packet.data() + sample_offset, 16});
+  packet[0] ^= static_cast<std::uint8_t>(mask[0] & 0x0f);
+  for (std::size_t i = 0; i < pn_len; ++i) {
+    packet[encoded.pn_offset + i] ^= mask[1 + i];
+  }
+  return packet;
+}
+
+std::optional<OpenedPacket> open_long_header_packet(
+    const PacketKeys& keys, std::span<const std::uint8_t> datagram,
+    const LongHeaderView& view) {
+  if (view.is_version_negotiation() || view.type == PacketType::kRetry) {
+    return std::nullopt;
+  }
+  if (view.packet_end > datagram.size() ||
+      view.pn_offset + 4 + 16 > view.packet_end ||
+      view.packet_start >= view.pn_offset) {
+    return std::nullopt;
+  }
+  // Copy this packet so we can unmask in place.
+  std::vector<std::uint8_t> packet(
+      datagram.begin() + static_cast<std::ptrdiff_t>(view.packet_start),
+      datagram.begin() + static_cast<std::ptrdiff_t>(view.packet_end));
+  const std::size_t pn_offset = view.pn_offset - view.packet_start;
+
+  // Remove header protection.
+  crypto::Aes128 hp(keys.hp);
+  if (pn_offset + 4 + 16 > packet.size()) return std::nullopt;
+  const auto mask = hp.encrypt_block({packet.data() + pn_offset + 4, 16});
+  packet[0] ^= static_cast<std::uint8_t>(mask[0] & 0x0f);
+  const std::size_t pn_len = static_cast<std::size_t>(packet[0] & 0x03) + 1;
+  std::uint64_t pn = 0;
+  for (std::size_t i = 0; i < pn_len; ++i) {
+    packet[pn_offset + i] ^= mask[1 + i];
+    pn = (pn << 8) | packet[pn_offset + i];
+  }
+  // (No PN reconstruction against a largest-acked: Initial flights are
+  // low-numbered, and the simulator never wraps the truncated space.)
+
+  const std::size_t payload_offset = pn_offset + pn_len;
+  if (payload_offset > packet.size()) return std::nullopt;
+  const auto nonce = make_nonce(keys, pn);
+  crypto::AesGcm aead(keys.key);
+  auto plaintext =
+      aead.open(nonce, {packet.data(), payload_offset},
+                {packet.data() + payload_offset,
+                 packet.size() - payload_offset});
+  if (!plaintext) return std::nullopt;
+  OpenedPacket out;
+  out.packet_number = pn;
+  out.payload = *std::move(plaintext);
+  return out;
+}
+
+}  // namespace quicsand::quic

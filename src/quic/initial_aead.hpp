@@ -1,0 +1,66 @@
+// QUIC Initial packet protection (RFC 9001 §5).
+//
+// Initial packets are protected with keys every on-path observer can
+// derive from the client's Destination Connection ID and a version
+// specific salt: AEAD_AES_128_GCM for the payload plus AES-based header
+// protection over the first byte and the packet number.
+//
+// The same machinery is reused for the *simulated* Handshake packet
+// space (see derive_handshake_keys_simulated): real Handshake keys come
+// out of the TLS 1.3 key schedule, which would require a full TLS stack;
+// we instead derive them deterministically from the connection's initial
+// DCID with distinct labels. The wire image (header layout, AEAD
+// expansion, header protection) is identical, which is all the telescope
+// side of the paper can observe anyway. Documented in DESIGN.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "quic/connection_id.hpp"
+#include "quic/header.hpp"
+#include "quic/version.hpp"
+
+namespace quicsand::quic {
+
+enum class Perspective { kClient, kServer };
+
+struct PacketKeys {
+  std::array<std::uint8_t, 16> key{};
+  std::array<std::uint8_t, 12> iv{};
+  std::array<std::uint8_t, 16> hp{};
+};
+
+/// Derive the Initial keys for one direction (RFC 9001 §5.2). Throws for
+/// versions without an RFC 9001 schedule (gQUIC, unknown).
+PacketKeys derive_initial_keys(std::uint32_t version, const ConnectionId& dcid,
+                               Perspective perspective);
+
+/// Simulated Handshake-space keys (see file comment).
+PacketKeys derive_handshake_keys_simulated(std::uint32_t version,
+                                           const ConnectionId& dcid,
+                                           Perspective perspective);
+
+/// Build a fully protected long-header packet: encode `hdr`, encrypt
+/// `payload` and apply header protection. Returns the complete packet
+/// bytes (one QUIC packet, ready to be a UDP payload or coalesced).
+std::vector<std::uint8_t> seal_long_header_packet(
+    const PacketKeys& keys, const LongHeader& hdr,
+    std::span<const std::uint8_t> payload);
+
+struct OpenedPacket {
+  std::uint64_t packet_number = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Remove header and packet protection from the packet described by
+/// `view` inside `datagram`. Returns nullopt if the keys do not match
+/// (wrong direction, wrong DCID, corrupted packet).
+std::optional<OpenedPacket> open_long_header_packet(
+    const PacketKeys& keys, std::span<const std::uint8_t> datagram,
+    const LongHeaderView& view);
+
+}  // namespace quicsand::quic

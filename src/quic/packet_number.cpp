@@ -1,0 +1,48 @@
+#include "quic/packet_number.hpp"
+
+#include <stdexcept>
+
+namespace quicsand::quic {
+
+int packet_number_length(std::uint64_t full_pn, std::int64_t largest_acked) {
+  // RFC 9000 A.2: the number of unacknowledged packets determines how
+  // many bits are needed; send at least twice that range.
+  const std::uint64_t num_unacked =
+      largest_acked < 0
+          ? full_pn + 1
+          : full_pn - static_cast<std::uint64_t>(largest_acked);
+  int min_bits = 1;
+  while ((num_unacked >> min_bits) != 0 && min_bits < 63) ++min_bits;
+  ++min_bits;  // 2 * num_unacked fits in min_bits + 1 bits
+  const int bytes = (min_bits + 7) / 8;
+  if (bytes > 4) {
+    throw std::invalid_argument(
+        "packet_number_length: unacked range too large");
+  }
+  return bytes;
+}
+
+std::uint64_t decode_packet_number(std::uint64_t largest,
+                                   std::uint64_t truncated_pn,
+                                   int pn_nbits) {
+  if (pn_nbits != 8 && pn_nbits != 16 && pn_nbits != 24 && pn_nbits != 32) {
+    throw std::invalid_argument("decode_packet_number: bad pn_nbits");
+  }
+  // RFC 9000 A.3.
+  const std::uint64_t expected_pn = largest + 1;
+  const std::uint64_t pn_win = std::uint64_t{1} << pn_nbits;
+  const std::uint64_t pn_hwin = pn_win / 2;
+  const std::uint64_t pn_mask = pn_win - 1;
+  std::uint64_t candidate_pn = (expected_pn & ~pn_mask) | truncated_pn;
+  constexpr std::uint64_t kMax = (std::uint64_t{1} << 62) - 1;
+  if (candidate_pn + pn_hwin <= expected_pn &&
+      candidate_pn < kMax + 1 - pn_win) {
+    return candidate_pn + pn_win;
+  }
+  if (candidate_pn > expected_pn + pn_hwin && candidate_pn >= pn_win) {
+    return candidate_pn - pn_win;
+  }
+  return candidate_pn;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,26 @@
+// Packet number encoding/decoding (RFC 9000 §17.1 and Appendix A).
+//
+// QUIC sends only the least-significant 8..32 bits of a packet number;
+// the receiver reconstructs the full 62-bit value relative to the largest
+// packet number it has processed. The simulator's handshake flights never
+// wrap the truncated space, but a correct codec matters for any consumer
+// that feeds real captures through the library.
+#pragma once
+
+#include <cstdint>
+
+namespace quicsand::quic {
+
+/// Number of bytes needed to encode `full_pn` such that a receiver that
+/// has acknowledged `largest_acked` can recover it (RFC 9000 A.2).
+/// `largest_acked == -1` (no packet acknowledged yet) forces enough bytes
+/// for the full value. Returns 1..4.
+int packet_number_length(std::uint64_t full_pn, std::int64_t largest_acked);
+
+/// Recover the full packet number from `truncated_pn` of
+/// `pn_nbits` bits, given the largest processed packet number
+/// (RFC 9000 A.3). `largest == -1` means nothing processed yet.
+std::uint64_t decode_packet_number(std::uint64_t largest,
+                                   std::uint64_t truncated_pn, int pn_nbits);
+
+}  // namespace quicsand::quic

@@ -1,0 +1,233 @@
+#include "quic/packets.hpp"
+
+#include <stdexcept>
+
+#include "crypto/gcm.hpp"
+#include "quic/frames.hpp"
+#include "quic/header.hpp"
+#include "quic/initial_aead.hpp"
+#include "quic/tls_messages.hpp"
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+namespace {
+
+/// Serialize a frame list into one payload buffer.
+std::vector<std::uint8_t> encode_frames(std::span<const Frame> frames) {
+  util::ByteWriter w;
+  for (const auto& frame : frames) write_frame(w, frame);
+  return w.take();
+}
+
+/// Finish a packet at the requested fidelity. For kFast the protected
+/// region keeps the same size (payload + 16-byte tag) but holds random
+/// bytes; header fields stay parseable.
+std::vector<std::uint8_t> protect(const PacketKeys& keys,
+                                  const LongHeader& hdr,
+                                  std::span<const std::uint8_t> payload,
+                                  CryptoFidelity fidelity, util::Rng& rng) {
+  if (fidelity == CryptoFidelity::kFull) {
+    return seal_long_header_packet(keys, hdr, payload);
+  }
+  EncodedHeader enc = encode_long_header(hdr);
+  const std::size_t pn_len =
+      static_cast<std::size_t>(hdr.packet_number_length);
+  const std::size_t total_length =
+      pn_len + payload.size() + crypto::AesGcm::kTagSize;
+  if (total_length > 16383) {
+    throw std::invalid_argument("protect: payload too large");
+  }
+  util::ByteWriter w;
+  w.write_bytes(enc.bytes);
+  w.patch_be(enc.length_offset, 0x4000 | total_length, 2);
+  // Random bytes stand in for ciphertext+tag; also scramble the PN field
+  // the way header protection would.
+  auto packet = w.take();
+  rng.fill({packet.data() + enc.pn_offset, pn_len});
+  const std::size_t body = payload.size() + crypto::AesGcm::kTagSize;
+  const std::size_t old_size = packet.size();
+  packet.resize(old_size + body);
+  rng.fill({packet.data() + old_size, body});
+  return packet;
+}
+
+PacketKeys initial_keys(const HandshakeContext& ctx, Perspective p) {
+  return derive_initial_keys(ctx.version, ctx.client_dcid, p);
+}
+
+PacketKeys handshake_keys(const HandshakeContext& ctx, Perspective p) {
+  return derive_handshake_keys_simulated(ctx.version, ctx.client_dcid, p);
+}
+
+}  // namespace
+
+HandshakeContext HandshakeContext::random(std::uint32_t version,
+                                          util::Rng& rng) {
+  HandshakeContext ctx;
+  ctx.version = version;
+  const auto dcid = rng.bytes(8);
+  const auto scid = rng.bytes(8);
+  const auto server = rng.bytes(16);  // CDNs use longer, routable CIDs
+  ctx.client_dcid = ConnectionId(dcid);
+  ctx.client_scid = ConnectionId(scid);
+  ctx.server_scid = ConnectionId(server);
+  return ctx;
+}
+
+std::vector<std::uint8_t> build_client_initial(
+    const HandshakeContext& ctx, std::string_view sni, util::Rng& rng,
+    CryptoFidelity fidelity, std::span<const std::uint8_t> token,
+    std::size_t pad_to) {
+  const auto hello = build_client_hello(sni, rng);
+  std::vector<Frame> frames;
+  frames.push_back(CryptoFrame{0, hello});
+
+  LongHeader hdr;
+  hdr.type = PacketType::kInitial;
+  hdr.version = ctx.version;
+  hdr.dcid = ctx.client_dcid;
+  hdr.scid = ctx.client_scid;
+  hdr.token.assign(token.begin(), token.end());
+  hdr.packet_number = 0;
+  hdr.packet_number_length = 4;
+
+  // Pad the plaintext so the final datagram reaches pad_to bytes:
+  // header + pn + payload + tag == pad_to.
+  const std::size_t header_size = encode_long_header(hdr).bytes.size();
+  const std::size_t fixed =
+      header_size + crypto::AesGcm::kTagSize;  // pn already in header size
+  std::size_t payload_size = 0;
+  for (const auto& f : frames) payload_size += frame_size(f);
+  if (fixed + payload_size < pad_to) {
+    frames.push_back(PaddingFrame{pad_to - fixed - payload_size});
+  }
+  const auto payload = encode_frames(frames);
+  return protect(initial_keys(ctx, Perspective::kClient), hdr, payload,
+                 fidelity, rng);
+}
+
+std::vector<std::uint8_t> build_server_initial_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+  // Initial packet: ACK of the client Initial + ServerHello.
+  LongHeader initial;
+  initial.type = PacketType::kInitial;
+  initial.version = ctx.version;
+  initial.dcid = ctx.client_scid;  // route back to the client
+  initial.scid = ctx.server_scid;
+  initial.packet_number = 0;
+  initial.packet_number_length = 2;
+
+  std::vector<Frame> initial_frames;
+  AckFrame ack;
+  ack.largest_acknowledged = 0;
+  ack.ack_delay = 40;
+  initial_frames.push_back(ack);
+  initial_frames.push_back(CryptoFrame{0, build_server_hello(rng)});
+  const auto initial_payload = encode_frames(initial_frames);
+  auto datagram = protect(initial_keys(ctx, Perspective::kServer), initial,
+                          initial_payload, fidelity, rng);
+
+  // Coalesced Handshake packet: first chunk of EncryptedExtensions/
+  // Certificate flight, sized to fill the datagram toward ~1200 bytes.
+  LongHeader hs;
+  hs.type = PacketType::kHandshake;
+  hs.version = ctx.version;
+  hs.dcid = ctx.client_scid;
+  hs.scid = ctx.server_scid;
+  hs.packet_number = 0;
+  hs.packet_number_length = 2;
+
+  const std::size_t remaining = 1200 > datagram.size() + 64
+                                    ? 1200 - datagram.size() - 64
+                                    : 600;
+  std::vector<Frame> hs_frames;
+  hs_frames.push_back(CryptoFrame{0, rng.bytes(remaining)});
+  const auto hs_payload = encode_frames(hs_frames);
+  const auto hs_packet = protect(handshake_keys(ctx, Perspective::kServer),
+                                 hs, hs_payload, fidelity, rng);
+  datagram.insert(datagram.end(), hs_packet.begin(), hs_packet.end());
+  return datagram;
+}
+
+std::vector<std::uint8_t> build_server_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity,
+    std::size_t crypto_bytes) {
+  LongHeader hs;
+  hs.type = PacketType::kHandshake;
+  hs.version = ctx.version;
+  hs.dcid = ctx.client_scid;
+  hs.scid = ctx.server_scid;
+  hs.packet_number = 1;
+  hs.packet_number_length = 2;
+  std::vector<Frame> frames;
+  frames.push_back(CryptoFrame{1100, rng.bytes(crypto_bytes)});
+  return protect(handshake_keys(ctx, Perspective::kServer), hs,
+                 encode_frames(frames), fidelity, rng);
+}
+
+std::vector<std::uint8_t> build_server_handshake_ping(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+  LongHeader hs;
+  hs.type = PacketType::kHandshake;
+  hs.version = ctx.version;
+  hs.dcid = ctx.client_scid;
+  hs.scid = ctx.server_scid;
+  hs.packet_number = 2 + rng.uniform(4);
+  hs.packet_number_length = 2;
+  std::vector<Frame> frames;
+  frames.push_back(PingFrame{});
+  frames.push_back(PaddingFrame{6});
+  return protect(handshake_keys(ctx, Perspective::kServer), hs,
+                 encode_frames(frames), fidelity, rng);
+}
+
+std::vector<std::uint8_t> build_client_handshake_finish(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+  LongHeader hs;
+  hs.type = PacketType::kHandshake;
+  hs.version = ctx.version;
+  hs.dcid = ctx.server_scid;  // client now addresses the server's CID
+  hs.scid = ctx.client_scid;
+  hs.packet_number = 0;
+  hs.packet_number_length = 2;
+  std::vector<Frame> frames;
+  AckFrame ack;
+  ack.largest_acknowledged = 1;
+  ack.first_range = 1;
+  frames.push_back(ack);
+  frames.push_back(CryptoFrame{0, rng.bytes(36)});  // Finished-sized
+  return protect(handshake_keys(ctx, Perspective::kClient), hs,
+                 encode_frames(frames), fidelity, rng);
+}
+
+std::vector<std::uint8_t> build_version_negotiation(
+    const ConnectionId& dcid, const ConnectionId& scid,
+    std::span<const std::uint32_t> versions, util::Rng& rng) {
+  if (versions.empty()) {
+    throw std::invalid_argument("build_version_negotiation: no versions");
+  }
+  util::ByteWriter w;
+  // Random bits in the first byte except the form bit (RFC 9000 §17.2.1).
+  w.write_u8(static_cast<std::uint8_t>(0x80 | (rng.next() & 0x7f)));
+  w.write_u32(0);
+  w.write_u8(static_cast<std::uint8_t>(dcid.size()));
+  w.write_bytes(dcid.bytes());
+  w.write_u8(static_cast<std::uint8_t>(scid.size()));
+  w.write_bytes(scid.bytes());
+  for (std::uint32_t v : versions) w.write_u32(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> build_stateless_reset(util::Rng& rng,
+                                                std::size_t size) {
+  if (size < 21) {
+    throw std::invalid_argument("build_stateless_reset: min 21 bytes");
+  }
+  auto packet = rng.bytes(size);
+  // Short-header form: top bit clear, fixed bit set.
+  packet[0] = static_cast<std::uint8_t>((packet[0] & 0x3f) | 0x40);
+  return packet;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,80 @@
+// High-level QUIC datagram builders.
+//
+// These compose header codec + frames + TLS messages + packet protection
+// into the complete UDP payloads that appear in the paper's traffic:
+// client Initials (scans, floods), the server handshake flight that
+// becomes backscatter, Version Negotiation, and stateless resets.
+//
+// Every builder supports two fidelity levels:
+//  * kFull — real RFC 9001 packet protection (AES-128-GCM + header
+//    protection). Used wherever something later decrypts the packet
+//    (server simulation, prober, deep dissection tests).
+//  * kFast — identical headers and sizes, but the protected region is
+//    filled with uniform random bytes instead of a real AEAD output.
+//    To any observer without keys the two are indistinguishable
+//    (AES-GCM output is pseudorandom), so month-scale telescope
+//    scenarios use kFast. Documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "quic/connection_id.hpp"
+#include "quic/version.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+
+enum class CryptoFidelity { kFull, kFast };
+
+/// Connection identifiers shared by both directions of one handshake.
+struct HandshakeContext {
+  std::uint32_t version = static_cast<std::uint32_t>(Version::kV1);
+  ConnectionId client_dcid;  ///< client's random original DCID (>= 8 bytes)
+  ConnectionId client_scid;  ///< client's chosen SCID
+  ConnectionId server_scid;  ///< server's chosen SCID (new connection ID)
+
+  /// Fill all IDs with random bytes of typical lengths.
+  static HandshakeContext random(std::uint32_t version, util::Rng& rng);
+};
+
+/// Client Initial carrying a ClientHello, padded to `pad_to` bytes
+/// (RFC 9000 requires >= 1200 for ack-eliciting client Initials).
+std::vector<std::uint8_t> build_client_initial(
+    const HandshakeContext& ctx, std::string_view sni, util::Rng& rng,
+    CryptoFidelity fidelity, std::span<const std::uint8_t> token = {},
+    std::size_t pad_to = 1200);
+
+/// First server response datagram: Initial (ServerHello + ACK) coalesced
+/// with a Handshake packet carrying the first certificate chunk.
+std::vector<std::uint8_t> build_server_initial_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity);
+
+/// Follow-up server datagram: one Handshake packet with `crypto_bytes`
+/// of certificate continuation.
+std::vector<std::uint8_t> build_server_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity,
+    std::size_t crypto_bytes = 900);
+
+/// Keep-alive/loss-probe datagram: Handshake packet containing a PING.
+std::vector<std::uint8_t> build_server_handshake_ping(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity);
+
+/// Client Handshake-space completion datagram (Finished + ACK); used by
+/// the full-handshake client in the server simulation and the prober.
+std::vector<std::uint8_t> build_client_handshake_finish(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity);
+
+/// Version Negotiation packet listing `versions`.
+std::vector<std::uint8_t> build_version_negotiation(
+    const ConnectionId& dcid, const ConnectionId& scid,
+    std::span<const std::uint32_t> versions, util::Rng& rng);
+
+/// Stateless reset: looks like a short-header packet with random payload
+/// and a 16-byte token (RFC 9000 §10.3).
+std::vector<std::uint8_t> build_stateless_reset(util::Rng& rng,
+                                                std::size_t size = 43);
+
+}  // namespace quicsand::quic

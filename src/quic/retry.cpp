@@ -1,0 +1,161 @@
+#include "quic/retry.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/gcm.hpp"
+#include "crypto/hmac.hpp"
+#include "quic/header.hpp"
+#include "quic/version.hpp"
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+namespace {
+
+constexpr std::size_t kMacLength = 16;
+
+struct RetryIntegrityKeys {
+  std::array<std::uint8_t, 16> key;
+  std::array<std::uint8_t, 12> nonce;
+};
+
+/// Fixed keys from RFC 9001 §5.8 and the corresponding draft revisions.
+RetryIntegrityKeys retry_integrity_keys(std::uint32_t version) {
+  switch (salt_generation(version)) {
+    case SaltGeneration::kV1:
+      return {{0xbe, 0x0c, 0x69, 0x0b, 0x9f, 0x66, 0x57, 0x5a, 0x1d, 0x76,
+               0x6b, 0x54, 0xe3, 0x68, 0xc8, 0x4e},
+              {0x46, 0x15, 0x99, 0xd3, 0x5d, 0x63, 0x2b, 0xf2, 0x23, 0x98,
+               0x25, 0xbb}};
+    case SaltGeneration::kDraft29_32:
+      return {{0xcc, 0xce, 0x18, 0x7e, 0xd0, 0x9a, 0x09, 0xd0, 0x57, 0x28,
+               0x15, 0x5a, 0x6c, 0xb9, 0x6b, 0xe1},
+              {0xe5, 0x49, 0x30, 0xf9, 0x7f, 0x21, 0x36, 0xf0, 0x53, 0x0a,
+               0x8c, 0x1c}};
+    case SaltGeneration::kDraft23_28:
+      return {{0x4d, 0x32, 0xec, 0xdb, 0x2a, 0x21, 0x33, 0xc8, 0x41, 0xe4,
+               0x04, 0x3d, 0xf2, 0x7d, 0x44, 0x30},
+              {0x4d, 0x16, 0x11, 0xd0, 0x55, 0x13, 0xa5, 0x52, 0xc5, 0x87,
+               0xd5, 0x75}};
+    case SaltGeneration::kNone:
+      break;
+  }
+  throw std::invalid_argument("retry_integrity_keys: unsupported version " +
+                              version_name(version));
+}
+
+/// Retry pseudo-packet: ODCID length, ODCID, then the Retry packet
+/// without its 16-byte tag.
+std::vector<std::uint8_t> pseudo_packet(
+    std::span<const std::uint8_t> packet_without_tag,
+    const ConnectionId& original_dcid) {
+  util::ByteWriter w(1 + original_dcid.size() + packet_without_tag.size());
+  w.write_u8(static_cast<std::uint8_t>(original_dcid.size()));
+  w.write_bytes(original_dcid.bytes());
+  w.write_bytes(packet_without_tag);
+  return w.take();
+}
+
+std::array<std::uint8_t, 16> integrity_tag(
+    std::uint32_t version, std::span<const std::uint8_t> packet_without_tag,
+    const ConnectionId& original_dcid) {
+  const auto keys = retry_integrity_keys(version);
+  const crypto::AesGcm aead(keys.key);
+  const auto pseudo = pseudo_packet(packet_without_tag, original_dcid);
+  return aead.tag_only(keys.nonce, pseudo);
+}
+
+}  // namespace
+
+RetryTokenMinter::RetryTokenMinter(std::span<const std::uint8_t> secret,
+                                   util::Duration lifetime)
+    : secret_(secret.begin(), secret.end()), lifetime_(lifetime) {
+  if (secret_.empty()) {
+    throw std::invalid_argument("RetryTokenMinter: empty secret");
+  }
+}
+
+std::vector<std::uint8_t> RetryTokenMinter::mint(
+    net::Ipv4Address client, std::uint16_t client_port,
+    const ConnectionId& original_dcid, util::Timestamp now) const {
+  // Token layout: ts(8) | odcid_len(1) | odcid | mac(16).
+  util::ByteWriter body;
+  body.write_u64(static_cast<std::uint64_t>(now));
+  body.write_u8(static_cast<std::uint8_t>(original_dcid.size()));
+  body.write_bytes(original_dcid.bytes());
+
+  util::ByteWriter mac_input;
+  mac_input.write_u32(client.value());
+  mac_input.write_u16(client_port);
+  mac_input.write_bytes(body.view());
+  const auto mac = crypto::hmac_sha256(secret_, mac_input.view());
+
+  auto token = body.take();
+  token.insert(token.end(), mac.begin(), mac.begin() + kMacLength);
+  return token;
+}
+
+std::optional<ConnectionId> RetryTokenMinter::validate(
+    std::span<const std::uint8_t> token, net::Ipv4Address client,
+    std::uint16_t client_port, util::Timestamp now) const {
+  if (token.size() < 8 + 1 + kMacLength) return std::nullopt;
+  const std::size_t body_len = token.size() - kMacLength;
+
+  util::ByteWriter mac_input;
+  mac_input.write_u32(client.value());
+  mac_input.write_u16(client_port);
+  mac_input.write_bytes(token.first(body_len));
+  const auto mac = crypto::hmac_sha256(secret_, mac_input.view());
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kMacLength; ++i) {
+    diff |= static_cast<std::uint8_t>(mac[i] ^ token[body_len + i]);
+  }
+  if (diff != 0) return std::nullopt;
+
+  util::ByteReader r(token.first(body_len));
+  const auto issued = static_cast<util::Timestamp>(r.read_u64());
+  const std::size_t odcid_len = r.read_u8();
+  if (odcid_len > ConnectionId::kMaxSize || odcid_len != r.remaining()) {
+    return std::nullopt;
+  }
+  if (now < issued || now - issued > lifetime_) return std::nullopt;
+  return ConnectionId(r.read_bytes(odcid_len));
+}
+
+std::vector<std::uint8_t> build_retry_packet(
+    std::uint32_t version, const ConnectionId& dcid, const ConnectionId& scid,
+    std::span<const std::uint8_t> token,
+    const ConnectionId& original_dcid) {
+  if (token.empty()) {
+    throw std::invalid_argument("build_retry_packet: empty token");
+  }
+  util::ByteWriter w(32 + token.size());
+  // First byte: long header, fixed bit, type Retry, unused bits zero.
+  w.write_u8(0xc0 | (static_cast<std::uint8_t>(PacketType::kRetry) << 4));
+  w.write_u32(version);
+  w.write_u8(static_cast<std::uint8_t>(dcid.size()));
+  w.write_bytes(dcid.bytes());
+  w.write_u8(static_cast<std::uint8_t>(scid.size()));
+  w.write_bytes(scid.bytes());
+  w.write_bytes(token);
+  const auto tag = integrity_tag(version, w.view(), original_dcid);
+  w.write_bytes(tag);
+  return w.take();
+}
+
+bool verify_retry_integrity(std::uint32_t version,
+                            std::span<const std::uint8_t> packet,
+                            const ConnectionId& original_dcid) {
+  if (packet.size() < 16 + 7) return false;
+  const auto body = packet.first(packet.size() - 16);
+  const auto expected = integrity_tag(version, body, original_dcid);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^
+                                      packet[packet.size() - 16 + i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,52 @@
+#include "quic/stateless_reset.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace quicsand::quic {
+
+StatelessResetter::StatelessResetter(std::span<const std::uint8_t> static_key)
+    : key_(static_key.begin(), static_key.end()) {
+  if (key_.empty()) {
+    throw std::invalid_argument("StatelessResetter: empty key");
+  }
+}
+
+StatelessResetter::Token StatelessResetter::token_for(
+    const ConnectionId& cid) const {
+  const auto mac = crypto::hmac_sha256(key_, cid.bytes());
+  Token token;
+  std::memcpy(token.data(), mac.data(), kTokenSize);
+  return token;
+}
+
+std::vector<std::uint8_t> StatelessResetter::build(const ConnectionId& cid,
+                                                   util::Rng& rng,
+                                                   std::size_t size) const {
+  if (size < kMinPacketSize) {
+    throw std::invalid_argument("StatelessResetter: packet too small");
+  }
+  auto packet = rng.bytes(size);
+  // Short-header form with the fixed bit, like any 1-RTT packet.
+  packet[0] = static_cast<std::uint8_t>((packet[0] & 0x3f) | 0x40);
+  const auto token = token_for(cid);
+  std::memcpy(packet.data() + size - kTokenSize, token.data(), kTokenSize);
+  return packet;
+}
+
+bool StatelessResetter::is_reset_for(std::span<const std::uint8_t> datagram,
+                                     const ConnectionId& cid) const {
+  if (datagram.size() < kMinPacketSize) return false;
+  const auto token = token_for(cid);
+  // Constant-time trailing comparison.
+  std::uint8_t diff = 0;
+  const auto* tail = datagram.data() + datagram.size() - kTokenSize;
+  for (std::size_t i = 0; i < kTokenSize; ++i) {
+    diff |= static_cast<std::uint8_t>(tail[i] ^ token[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,51 @@
+// Stateless Reset (RFC 9000 §10.3).
+//
+// A server that lost (or never had) state for a connection ID answers
+// with a packet that is indistinguishable from a short-header packet
+// except for its trailing 16-byte token, which the peer can recognize
+// because the token is a PRF of the connection ID under a static key.
+// The flood victims in our scenarios emit these when an attacker reuses
+// a 5-tuple the server already dropped.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quic/connection_id.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+
+class StatelessResetter {
+ public:
+  static constexpr std::size_t kTokenSize = 16;
+  /// Smallest useful reset: 1 header byte + 4 random + 16 token
+  /// (RFC 9000 recommends at least 21 bytes and randomized sizes).
+  static constexpr std::size_t kMinPacketSize = 21;
+
+  using Token = std::array<std::uint8_t, kTokenSize>;
+
+  /// `static_key` is the endpoint's long-lived reset key.
+  explicit StatelessResetter(std::span<const std::uint8_t> static_key);
+
+  /// Deterministic token for a connection ID (HMAC of the CID).
+  [[nodiscard]] Token token_for(const ConnectionId& cid) const;
+
+  /// Build a reset packet of `size` bytes for `cid`: short-header form,
+  /// random body, trailing token.
+  [[nodiscard]] std::vector<std::uint8_t> build(const ConnectionId& cid,
+                                                util::Rng& rng,
+                                                std::size_t size = 41) const;
+
+  /// True if `datagram` ends with the token for `cid` — how a client
+  /// that chose `cid` detects the reset.
+  [[nodiscard]] bool is_reset_for(std::span<const std::uint8_t> datagram,
+                                  const ConnectionId& cid) const;
+
+ private:
+  std::vector<std::uint8_t> key_;
+};
+
+}  // namespace quicsand::quic

@@ -1,0 +1,226 @@
+#include "quic/tls_messages.hpp"
+
+#include "quic/transport_params.hpp"
+
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+constexpr std::uint16_t kTls12 = 0x0303;
+constexpr std::uint16_t kTls13 = 0x0304;
+constexpr std::uint16_t kCipherAes128GcmSha256 = 0x1301;
+constexpr std::uint16_t kCipherAes256GcmSha384 = 0x1302;
+constexpr std::uint16_t kCipherChacha20 = 0x1303;
+constexpr std::uint16_t kGroupX25519 = 0x001d;
+
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtSupportedGroups = 10;
+constexpr std::uint16_t kExtSignatureAlgorithms = 13;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+constexpr std::uint16_t kExtKeyShare = 51;
+constexpr std::uint16_t kExtQuicTransportParams = 0x0039;
+
+/// Writes an extension header and returns the offset of its 2-byte
+/// length field for later patching.
+std::size_t begin_extension(ByteWriter& w, std::uint16_t type) {
+  w.write_u16(type);
+  const std::size_t len_offset = w.size();
+  w.write_u16(0);
+  return len_offset;
+}
+
+void end_extension(ByteWriter& w, std::size_t len_offset) {
+  w.patch_be(len_offset, w.size() - len_offset - 2, 2);
+}
+
+/// Wrap `body` in a handshake message header (type + 24-bit length).
+std::vector<std::uint8_t> wrap_message(TlsHandshakeType type,
+                                       std::span<const std::uint8_t> body) {
+  ByteWriter w(4 + body.size());
+  w.write_u8(static_cast<std::uint8_t>(type));
+  w.write_u24(static_cast<std::uint32_t>(body.size()));
+  w.write_bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_client_hello(std::string_view sni,
+                                             util::Rng& rng) {
+  ByteWriter b(320);
+  b.write_u16(kTls12);  // legacy_version
+  b.write_bytes(rng.bytes(32));  // random
+  b.write_u8(32);  // legacy_session_id (middlebox compatibility)
+  b.write_bytes(rng.bytes(32));
+  b.write_u16(6);  // cipher_suites length
+  b.write_u16(kCipherAes128GcmSha256);
+  b.write_u16(kCipherAes256GcmSha384);
+  b.write_u16(kCipherChacha20);
+  b.write_u8(1);  // legacy_compression_methods
+  b.write_u8(0);
+
+  const std::size_t ext_block_len_offset = b.size();
+  b.write_u16(0);  // extensions length, patched below
+
+  if (!sni.empty()) {
+    const std::size_t ext = begin_extension(b, kExtServerName);
+    b.write_u16(static_cast<std::uint16_t>(sni.size() + 3));  // list length
+    b.write_u8(0);  // name_type host_name
+    b.write_u16(static_cast<std::uint16_t>(sni.size()));
+    b.write_bytes({reinterpret_cast<const std::uint8_t*>(sni.data()),
+                   sni.size()});
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtSupportedGroups);
+    b.write_u16(2);
+    b.write_u16(kGroupX25519);
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtSignatureAlgorithms);
+    b.write_u16(6);
+    b.write_u16(0x0403);  // ecdsa_secp256r1_sha256
+    b.write_u16(0x0804);  // rsa_pss_rsae_sha256
+    b.write_u16(0x0401);  // rsa_pkcs1_sha256
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtAlpn);
+    const std::string_view h3 = "h3";
+    const std::string_view h3_29 = "h3-29";
+    b.write_u16(static_cast<std::uint16_t>(1 + h3.size() + 1 + h3_29.size()));
+    b.write_u8(static_cast<std::uint8_t>(h3.size()));
+    b.write_bytes({reinterpret_cast<const std::uint8_t*>(h3.data()),
+                   h3.size()});
+    b.write_u8(static_cast<std::uint8_t>(h3_29.size()));
+    b.write_bytes({reinterpret_cast<const std::uint8_t*>(h3_29.data()),
+                   h3_29.size()});
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtSupportedVersions);
+    b.write_u8(2);
+    b.write_u16(kTls13);
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtKeyShare);
+    b.write_u16(4 + 32);  // client_shares length
+    b.write_u16(kGroupX25519);
+    b.write_u16(32);
+    b.write_bytes(rng.bytes(32));  // simulated public key
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtQuicTransportParams);
+    // The full RFC 9000 §18 parameter set a typical client advertises;
+    // the SCID is random here (the CRYPTO payload is what matters).
+    auto scid_bytes = rng.bytes(8);
+    const auto params = encode_transport_parameters(
+        TransportParameters::typical_client(ConnectionId(scid_bytes)));
+    b.write_bytes(params);
+    end_extension(b, ext);
+  }
+
+  b.patch_be(ext_block_len_offset, b.size() - ext_block_len_offset - 2, 2);
+  return wrap_message(TlsHandshakeType::kClientHello, b.view());
+}
+
+std::vector<std::uint8_t> build_server_hello(util::Rng& rng) {
+  ByteWriter b(128);
+  b.write_u16(kTls12);
+  b.write_bytes(rng.bytes(32));  // random
+  b.write_u8(32);
+  b.write_bytes(rng.bytes(32));  // echoed legacy_session_id
+  b.write_u16(kCipherAes128GcmSha256);
+  b.write_u8(0);  // legacy_compression_method
+
+  const std::size_t ext_block_len_offset = b.size();
+  b.write_u16(0);
+  {
+    const std::size_t ext = begin_extension(b, kExtSupportedVersions);
+    b.write_u16(kTls13);
+    end_extension(b, ext);
+  }
+  {
+    const std::size_t ext = begin_extension(b, kExtKeyShare);
+    b.write_u16(kGroupX25519);
+    b.write_u16(32);
+    b.write_bytes(rng.bytes(32));
+    end_extension(b, ext);
+  }
+  b.patch_be(ext_block_len_offset, b.size() - ext_block_len_offset - 2, 2);
+  return wrap_message(TlsHandshakeType::kServerHello, b.view());
+}
+
+std::optional<TlsMessageInfo> parse_tls_message(
+    std::span<const std::uint8_t> data) {
+  try {
+    ByteReader r(data);
+    const std::uint8_t type = r.read_u8();
+    const std::uint32_t body_length = r.read_u24();
+    if (type != static_cast<std::uint8_t>(TlsHandshakeType::kClientHello) &&
+        type != static_cast<std::uint8_t>(TlsHandshakeType::kServerHello) &&
+        type != static_cast<std::uint8_t>(
+                    TlsHandshakeType::kEncryptedExtensions) &&
+        type != static_cast<std::uint8_t>(TlsHandshakeType::kCertificate) &&
+        type != static_cast<std::uint8_t>(
+                    TlsHandshakeType::kCertificateVerify) &&
+        type != static_cast<std::uint8_t>(TlsHandshakeType::kFinished)) {
+      return std::nullopt;
+    }
+    if (body_length > data.size() - 4) return std::nullopt;
+
+    TlsMessageInfo info{static_cast<TlsHandshakeType>(type), body_length,
+                        std::nullopt};
+    if (info.type != TlsHandshakeType::kClientHello) return info;
+
+    // Walk the ClientHello to the extension block to extract the SNI.
+    r.skip(2);   // legacy_version
+    r.skip(32);  // random
+    const std::uint8_t session_len = r.read_u8();
+    r.skip(session_len);
+    const std::uint16_t ciphers_len = r.read_u16();
+    r.skip(ciphers_len);
+    const std::uint8_t compression_len = r.read_u8();
+    r.skip(compression_len);
+    if (r.remaining() < 2) return info;
+    const std::uint16_t ext_block_len = r.read_u16();
+    if (ext_block_len > r.remaining()) return std::nullopt;
+    ByteReader exts(r.read_bytes(ext_block_len));
+    while (exts.remaining() >= 4) {
+      const std::uint16_t ext_type = exts.read_u16();
+      const std::uint16_t ext_len = exts.read_u16();
+      if (ext_len > exts.remaining()) return std::nullopt;
+      if (ext_type == kExtServerName && ext_len >= 5) {
+        ByteReader sni(exts.read_bytes(ext_len));
+        sni.skip(2);  // list length
+        sni.skip(1);  // name type
+        const std::uint16_t name_len = sni.read_u16();
+        if (name_len <= sni.remaining()) {
+          const auto name = sni.read_bytes(name_len);
+          info.sni = std::string(name.begin(), name.end());
+        }
+      } else {
+        exts.skip(ext_len);
+      }
+    }
+    return info;
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+bool is_client_hello(std::span<const std::uint8_t> data) {
+  const auto info = parse_tls_message(data);
+  return info.has_value() && info->type == TlsHandshakeType::kClientHello;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,57 @@
+// Minimal TLS 1.3 handshake message builders (RFC 8446).
+//
+// The CRYPTO frames in QUIC Initial packets carry a ClientHello or a
+// ServerHello. The dissector only needs structural validity and realistic
+// sizes — the paper's observation "Initial messages without an
+// unencrypted TLS Client Hello are Server Hello replies" (§6) is a check
+// on the first CRYPTO byte. We therefore build messages that parse
+// correctly (lengths, extension framing, SNI, ALPN, key_share) but whose
+// key material is random rather than a real X25519 exchange.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+
+enum class TlsHandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kEncryptedExtensions = 8,
+  kCertificate = 11,
+  kCertificateVerify = 15,
+  kFinished = 20,
+};
+
+/// Build a TLS 1.3 ClientHello carrying `sni`, ALPN h3, an X25519
+/// key_share and QUIC transport parameters. `rng` supplies random and
+/// session-id bytes.
+std::vector<std::uint8_t> build_client_hello(std::string_view sni,
+                                             util::Rng& rng);
+
+/// Build a TLS 1.3 ServerHello (cipher TLS_AES_128_GCM_SHA256, X25519
+/// key_share) echoing `session_id_length` bytes of legacy session id.
+std::vector<std::uint8_t> build_server_hello(util::Rng& rng);
+
+/// Header (type + 24-bit length) of the first handshake message in a
+/// CRYPTO stream, if structurally plausible.
+struct TlsMessageInfo {
+  TlsHandshakeType type;
+  std::size_t body_length;
+  /// For ClientHello: the server_name extension contents, if present.
+  std::optional<std::string> sni;
+};
+
+std::optional<TlsMessageInfo> parse_tls_message(
+    std::span<const std::uint8_t> data);
+
+/// True if `data` begins with a structurally valid ClientHello.
+bool is_client_hello(std::span<const std::uint8_t> data);
+
+}  // namespace quicsand::quic

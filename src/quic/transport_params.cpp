@@ -1,0 +1,195 @@
+#include "quic/transport_params.hpp"
+
+#include <set>
+
+#include "quic/varint.hpp"
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+void put_varint_param(ByteWriter& w, TransportParameterId id,
+                      std::uint64_t value) {
+  write_varint(w, static_cast<std::uint64_t>(id));
+  write_varint(w, varint_size(value));
+  write_varint(w, value);
+}
+
+void put_bytes_param(ByteWriter& w, TransportParameterId id,
+                     std::span<const std::uint8_t> value) {
+  write_varint(w, static_cast<std::uint64_t>(id));
+  write_varint(w, value.size());
+  w.write_bytes(value);
+}
+
+void put_flag_param(ByteWriter& w, TransportParameterId id) {
+  write_varint(w, static_cast<std::uint64_t>(id));
+  write_varint(w, 0);
+}
+
+}  // namespace
+
+TransportParameters TransportParameters::typical_client(
+    const ConnectionId& scid) {
+  TransportParameters params;
+  params.max_idle_timeout_ms = 30000;
+  params.max_udp_payload_size = 1472;
+  params.initial_max_data = 1 << 20;
+  params.initial_max_stream_data_bidi_local = 1 << 18;
+  params.initial_max_stream_data_bidi_remote = 1 << 18;
+  params.initial_max_stream_data_uni = 1 << 18;
+  params.initial_max_streams_bidi = 100;
+  params.initial_max_streams_uni = 100;
+  params.ack_delay_exponent = 3;
+  params.max_ack_delay_ms = 25;
+  params.active_connection_id_limit = 4;
+  params.initial_source_connection_id = scid;
+  return params;
+}
+
+std::vector<std::uint8_t> encode_transport_parameters(
+    const TransportParameters& params) {
+  ByteWriter w(128);
+  auto maybe = [&](TransportParameterId id,
+                   const std::optional<std::uint64_t>& value) {
+    if (value) put_varint_param(w, id, *value);
+  };
+  maybe(TransportParameterId::kMaxIdleTimeout, params.max_idle_timeout_ms);
+  maybe(TransportParameterId::kMaxUdpPayloadSize,
+        params.max_udp_payload_size);
+  maybe(TransportParameterId::kInitialMaxData, params.initial_max_data);
+  maybe(TransportParameterId::kInitialMaxStreamDataBidiLocal,
+        params.initial_max_stream_data_bidi_local);
+  maybe(TransportParameterId::kInitialMaxStreamDataBidiRemote,
+        params.initial_max_stream_data_bidi_remote);
+  maybe(TransportParameterId::kInitialMaxStreamDataUni,
+        params.initial_max_stream_data_uni);
+  maybe(TransportParameterId::kInitialMaxStreamsBidi,
+        params.initial_max_streams_bidi);
+  maybe(TransportParameterId::kInitialMaxStreamsUni,
+        params.initial_max_streams_uni);
+  maybe(TransportParameterId::kAckDelayExponent, params.ack_delay_exponent);
+  maybe(TransportParameterId::kMaxAckDelay, params.max_ack_delay_ms);
+  if (params.disable_active_migration) {
+    put_flag_param(w, TransportParameterId::kDisableActiveMigration);
+  }
+  maybe(TransportParameterId::kActiveConnectionIdLimit,
+        params.active_connection_id_limit);
+  if (params.initial_source_connection_id) {
+    put_bytes_param(w, TransportParameterId::kInitialSourceConnectionId,
+                    params.initial_source_connection_id->bytes());
+  }
+  if (params.original_destination_connection_id) {
+    put_bytes_param(w,
+                    TransportParameterId::kOriginalDestinationConnectionId,
+                    params.original_destination_connection_id->bytes());
+  }
+  if (params.retry_source_connection_id) {
+    put_bytes_param(w, TransportParameterId::kRetrySourceConnectionId,
+                    params.retry_source_connection_id->bytes());
+  }
+  for (const auto& [id, value] : params.unknown) {
+    write_varint(w, id);
+    write_varint(w, value.size());
+    w.write_bytes(value);
+  }
+  return w.take();
+}
+
+std::optional<TransportParameters> parse_transport_parameters(
+    std::span<const std::uint8_t> data) {
+  TransportParameters params;
+  std::set<std::uint64_t> seen;
+  ByteReader r(data);
+  try {
+    while (!r.empty()) {
+      const std::uint64_t id = read_varint(r);
+      const std::uint64_t length = read_varint(r);
+      if (length > r.remaining()) return std::nullopt;
+      const auto value = r.read_bytes(static_cast<std::size_t>(length));
+      // Duplicate ids are a protocol violation (RFC 9000 §7.4).
+      if (!seen.insert(id).second) return std::nullopt;
+
+      auto as_varint = [&]() -> std::optional<std::uint64_t> {
+        ByteReader vr(value);
+        const auto v = read_varint(vr);
+        if (!vr.empty()) return std::nullopt;
+        return v;
+      };
+      auto as_cid = [&]() -> std::optional<ConnectionId> {
+        if (value.size() > ConnectionId::kMaxSize) return std::nullopt;
+        return ConnectionId(value);
+      };
+
+      bool ok = true;
+      switch (static_cast<TransportParameterId>(id)) {
+        case TransportParameterId::kMaxIdleTimeout:
+          ok = (params.max_idle_timeout_ms = as_varint()).has_value();
+          break;
+        case TransportParameterId::kMaxUdpPayloadSize:
+          ok = (params.max_udp_payload_size = as_varint()).has_value();
+          break;
+        case TransportParameterId::kInitialMaxData:
+          ok = (params.initial_max_data = as_varint()).has_value();
+          break;
+        case TransportParameterId::kInitialMaxStreamDataBidiLocal:
+          ok = (params.initial_max_stream_data_bidi_local = as_varint())
+                   .has_value();
+          break;
+        case TransportParameterId::kInitialMaxStreamDataBidiRemote:
+          ok = (params.initial_max_stream_data_bidi_remote = as_varint())
+                   .has_value();
+          break;
+        case TransportParameterId::kInitialMaxStreamDataUni:
+          ok = (params.initial_max_stream_data_uni = as_varint()).has_value();
+          break;
+        case TransportParameterId::kInitialMaxStreamsBidi:
+          ok = (params.initial_max_streams_bidi = as_varint()).has_value();
+          break;
+        case TransportParameterId::kInitialMaxStreamsUni:
+          ok = (params.initial_max_streams_uni = as_varint()).has_value();
+          break;
+        case TransportParameterId::kAckDelayExponent:
+          ok = (params.ack_delay_exponent = as_varint()).has_value();
+          break;
+        case TransportParameterId::kMaxAckDelay:
+          ok = (params.max_ack_delay_ms = as_varint()).has_value();
+          break;
+        case TransportParameterId::kDisableActiveMigration:
+          params.disable_active_migration = true;
+          ok = value.empty();
+          break;
+        case TransportParameterId::kActiveConnectionIdLimit:
+          ok = (params.active_connection_id_limit = as_varint()).has_value();
+          break;
+        case TransportParameterId::kInitialSourceConnectionId:
+          ok = (params.initial_source_connection_id = as_cid()).has_value();
+          break;
+        case TransportParameterId::kOriginalDestinationConnectionId:
+          ok = (params.original_destination_connection_id = as_cid())
+                   .has_value();
+          break;
+        case TransportParameterId::kRetrySourceConnectionId:
+          ok = (params.retry_source_connection_id = as_cid()).has_value();
+          break;
+        default:
+          // Unknown parameters — including reserved grease ids of the
+          // form 31*N+27 (§18.1) — must be ignored; keep them for
+          // inspection.
+          params.unknown.emplace_back(
+              id, std::vector<std::uint8_t>(value.begin(), value.end()));
+          break;
+      }
+      if (!ok) return std::nullopt;
+    }
+  } catch (const util::BufferUnderflow&) {
+    return std::nullopt;
+  }
+  return params;
+}
+
+}  // namespace quicsand::quic

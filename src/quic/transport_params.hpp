@@ -1,0 +1,70 @@
+// QUIC transport parameters (RFC 9000 §18).
+//
+// Carried in a TLS extension in the ClientHello/EncryptedExtensions as a
+// sequence of (varint id, varint length, value) records. The builder
+// emits the parameters a typical 2021 client advertised; the parser
+// tolerates unknown ids (mandatory for forward compatibility) and grease
+// entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "quic/connection_id.hpp"
+
+namespace quicsand::quic {
+
+enum class TransportParameterId : std::uint64_t {
+  kOriginalDestinationConnectionId = 0x00,
+  kMaxIdleTimeout = 0x01,
+  kStatelessResetToken = 0x02,
+  kMaxUdpPayloadSize = 0x03,
+  kInitialMaxData = 0x04,
+  kInitialMaxStreamDataBidiLocal = 0x05,
+  kInitialMaxStreamDataBidiRemote = 0x06,
+  kInitialMaxStreamDataUni = 0x07,
+  kInitialMaxStreamsBidi = 0x08,
+  kInitialMaxStreamsUni = 0x09,
+  kAckDelayExponent = 0x0a,
+  kMaxAckDelay = 0x0b,
+  kDisableActiveMigration = 0x0c,
+  kActiveConnectionIdLimit = 0x0e,
+  kInitialSourceConnectionId = 0x0f,
+  kRetrySourceConnectionId = 0x10,
+};
+
+struct TransportParameters {
+  std::optional<std::uint64_t> max_idle_timeout_ms;
+  std::optional<std::uint64_t> max_udp_payload_size;
+  std::optional<std::uint64_t> initial_max_data;
+  std::optional<std::uint64_t> initial_max_stream_data_bidi_local;
+  std::optional<std::uint64_t> initial_max_stream_data_bidi_remote;
+  std::optional<std::uint64_t> initial_max_stream_data_uni;
+  std::optional<std::uint64_t> initial_max_streams_bidi;
+  std::optional<std::uint64_t> initial_max_streams_uni;
+  std::optional<std::uint64_t> ack_delay_exponent;
+  std::optional<std::uint64_t> max_ack_delay_ms;
+  bool disable_active_migration = false;
+  std::optional<std::uint64_t> active_connection_id_limit;
+  std::optional<ConnectionId> initial_source_connection_id;
+  std::optional<ConnectionId> original_destination_connection_id;
+  std::optional<ConnectionId> retry_source_connection_id;
+  /// Unknown/grease parameters seen while parsing (id, value bytes).
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> unknown;
+
+  /// The defaults a 2021-era browser client advertised.
+  static TransportParameters typical_client(const ConnectionId& scid);
+};
+
+/// Encode as the TLS extension body.
+std::vector<std::uint8_t> encode_transport_parameters(
+    const TransportParameters& params);
+
+/// Parse an extension body; nullopt on structural errors (truncated
+/// record, duplicate id).
+std::optional<TransportParameters> parse_transport_parameters(
+    std::span<const std::uint8_t> data);
+
+}  // namespace quicsand::quic

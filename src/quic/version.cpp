@@ -1,0 +1,117 @@
+#include "quic/version.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace quicsand::quic {
+
+namespace {
+
+// RFC 9001 §5.2 and the corresponding draft revisions.
+constexpr std::array<std::uint8_t, 20> kSaltV1 = {
+    0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34, 0xb3, 0x4d, 0x17,
+    0x9a, 0xe6, 0xa4, 0xc8, 0x0c, 0xad, 0xcc, 0xbb, 0x7f, 0x0a};
+constexpr std::array<std::uint8_t, 20> kSaltDraft29 = {
+    0xaf, 0xbf, 0xec, 0x28, 0x99, 0x93, 0xd2, 0x4c, 0x9e, 0x97,
+    0x86, 0xf1, 0x9c, 0x61, 0x11, 0xe0, 0x43, 0x90, 0xa8, 0x99};
+constexpr std::array<std::uint8_t, 20> kSaltDraft23 = {
+    0xc3, 0xee, 0xf7, 0x12, 0xc7, 0x2e, 0xbb, 0x5a, 0x11, 0xa7,
+    0xd2, 0x43, 0x2b, 0xb4, 0x63, 0x65, 0xbe, 0xf9, 0xf5, 0x02};
+
+}  // namespace
+
+VersionFamily version_family(std::uint32_t version) {
+  if (version == 0) return VersionFamily::kNegotiation;
+  // gQUIC encodes versions as ASCII 'Q' followed by three digits.
+  if ((version >> 24) == 'Q') return VersionFamily::kGquic;
+  if (version == static_cast<std::uint32_t>(Version::kV1) ||
+      (version & 0xffffff00) == 0xff000000 ||
+      (version & 0xffffff00) == 0xfaceb000 || is_grease_version(version)) {
+    return VersionFamily::kIetf;
+  }
+  return VersionFamily::kUnknown;
+}
+
+SaltGeneration salt_generation(std::uint32_t version) {
+  switch (static_cast<Version>(version)) {
+    case Version::kV1:
+      return SaltGeneration::kV1;
+    case Version::kDraft29:
+    case Version::kDraft32:
+      return SaltGeneration::kDraft29_32;
+    case Version::kDraft27:
+    case Version::kMvfstDraft22:
+    case Version::kMvfstDraft27:
+      return SaltGeneration::kDraft23_28;
+    default:
+      break;
+  }
+  if ((version & 0xffffff00) == 0xff000000) {
+    const std::uint32_t draft = version & 0xff;
+    if (draft >= 29) return SaltGeneration::kDraft29_32;
+    if (draft >= 23) return SaltGeneration::kDraft23_28;
+  }
+  return SaltGeneration::kNone;
+}
+
+std::span<const std::uint8_t> initial_salt(SaltGeneration generation) {
+  switch (generation) {
+    case SaltGeneration::kV1:
+      return kSaltV1;
+    case SaltGeneration::kDraft29_32:
+      return kSaltDraft29;
+    case SaltGeneration::kDraft23_28:
+      return kSaltDraft23;
+    case SaltGeneration::kNone:
+      break;
+  }
+  throw std::invalid_argument("initial_salt: no salt for this version");
+}
+
+bool is_known_version(std::uint32_t version) {
+  switch (static_cast<Version>(version)) {
+    case Version::kNegotiation:
+    case Version::kV1:
+    case Version::kDraft27:
+    case Version::kDraft29:
+    case Version::kDraft32:
+    case Version::kMvfstDraft22:
+    case Version::kMvfstDraft27:
+    case Version::kGquicQ043:
+    case Version::kGquicQ046:
+    case Version::kGquicQ050:
+      return true;
+  }
+  // All draft versions are recognized generically.
+  return (version & 0xffffff00) == 0xff000000;
+}
+
+std::string version_name(std::uint32_t version) {
+  switch (static_cast<Version>(version)) {
+    case Version::kNegotiation:
+      return "negotiation";
+    case Version::kV1:
+      return "v1";
+    case Version::kMvfstDraft22:
+      return "mvfst-draft-22";
+    case Version::kMvfstDraft27:
+      return "mvfst-draft-27";
+    case Version::kGquicQ043:
+      return "Q043";
+    case Version::kGquicQ046:
+      return "Q046";
+    case Version::kGquicQ050:
+      return "Q050";
+    default:
+      break;
+  }
+  if ((version & 0xffffff00) == 0xff000000) {
+    return "draft-" + std::to_string(version & 0xff);
+  }
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "0x%08x", version);
+  return buf.data();
+}
+
+}  // namespace quicsand::quic

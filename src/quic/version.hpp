@@ -1,0 +1,64 @@
+// QUIC version registry.
+//
+// The paper observes a mix of IETF draft versions (draft-29 on Google
+// infrastructure), Facebook's mvfst variants (mvfst-draft-27), QUIC v1,
+// and legacy gQUIC. Each IETF-style version selects an Initial salt
+// generation for the RFC 9001 key schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace quicsand::quic {
+
+enum class Version : std::uint32_t {
+  kNegotiation = 0x00000000,
+  kV1 = 0x00000001,
+  kDraft27 = 0xff00001b,
+  kDraft29 = 0xff00001d,
+  kDraft32 = 0xff000020,
+  kMvfstDraft22 = 0xfaceb001,
+  kMvfstDraft27 = 0xfaceb002,
+  kGquicQ043 = 0x51303433,
+  kGquicQ046 = 0x51303436,
+  kGquicQ050 = 0x51303530,
+};
+
+/// Wire-format family of a version number.
+enum class VersionFamily {
+  kNegotiation,  ///< version 0: Version Negotiation packets
+  kIetf,         ///< RFC 9000 / drafts / mvfst: long+short headers
+  kGquic,        ///< legacy Google QUIC (Q0xx): different framing
+  kUnknown,
+};
+
+/// Salt generation for the Initial key schedule.
+enum class SaltGeneration {
+  kV1,          ///< RFC 9001 (v1)
+  kDraft29_32,  ///< draft-29 .. draft-32
+  kDraft23_28,  ///< draft-23 .. draft-28 (incl. mvfst-draft-27)
+  kNone,        ///< gQUIC / unknown: no RFC 9001 schedule
+};
+
+VersionFamily version_family(std::uint32_t version);
+SaltGeneration salt_generation(std::uint32_t version);
+
+/// 20-byte HKDF-Extract salt for the given generation; throws for kNone.
+std::span<const std::uint8_t> initial_salt(SaltGeneration generation);
+
+/// True if this is a version this library knows by name.
+bool is_known_version(std::uint32_t version);
+
+/// Human-readable name, e.g. "draft-29", "mvfst-draft-27", "v1";
+/// unknown versions render as hex.
+std::string version_name(std::uint32_t version);
+
+/// True for "grease" reserved versions of the form 0x?a?a?a?a, which
+/// endpoints advertise to keep version negotiation exercised.
+constexpr bool is_grease_version(std::uint32_t version) {
+  return (version & 0x0f0f0f0f) == 0x0a0a0a0a;
+}
+
+}  // namespace quicsand::quic

@@ -1,0 +1,113 @@
+#include "scanner/deployment.hpp"
+
+#include "quic/version.hpp"
+
+namespace quicsand::scanner {
+
+namespace {
+
+using quic::Version;
+
+std::uint32_t provider_version(asdb::Asn asn, util::Rng& rng) {
+  // Version mixes per §5.2: Facebook backscatter is 95% mvfst-draft-27,
+  // Google 78% draft-29; everyone else mostly v1/draft-29 in spring 2021.
+  if (asn == asdb::AsRegistry::kFacebook) {
+    return rng.bernoulli(0.95) ? static_cast<std::uint32_t>(Version::kMvfstDraft27)
+                               : static_cast<std::uint32_t>(Version::kMvfstDraft22);
+  }
+  if (asn == asdb::AsRegistry::kGoogle) {
+    if (rng.bernoulli(0.78)) {
+      return static_cast<std::uint32_t>(Version::kDraft29);
+    }
+    return rng.bernoulli(0.5)
+               ? static_cast<std::uint32_t>(Version::kGquicQ050)
+               : static_cast<std::uint32_t>(Version::kV1);
+  }
+  const double roll = rng.uniform01();
+  if (roll < 0.55) return static_cast<std::uint32_t>(Version::kV1);
+  if (roll < 0.85) return static_cast<std::uint32_t>(Version::kDraft29);
+  return static_cast<std::uint32_t>(Version::kDraft32);
+}
+
+}  // namespace
+
+Deployment Deployment::synthetic(const asdb::AsRegistry& registry,
+                                 const DeploymentConfig& config,
+                                 std::uint64_t seed) {
+  Deployment deployment;
+  util::Rng rng(util::mix64(seed, 0xde9107));
+
+  auto place = [&](asdb::Asn asn, std::size_t count, bool supports_retry) {
+    for (std::size_t i = 0; i < count; ++i) {
+      QuicServer server;
+      // Reject duplicate addresses (possible in small prefixes).
+      do {
+        server.address = registry.random_address_in(asn, rng);
+      } while (deployment.by_address_.contains(server.address));
+      server.asn = asn;
+      server.version = provider_version(asn, rng);
+      server.supports_retry = supports_retry;
+      // §6: implementations support RETRY but operators leave it off.
+      server.retry_enabled = false;
+      deployment.by_address_.emplace(server.address,
+                                     deployment.servers_.size());
+      deployment.servers_.push_back(server);
+    }
+  };
+
+  place(asdb::AsRegistry::kGoogle, config.google_servers, true);
+  place(asdb::AsRegistry::kFacebook, config.facebook_servers, true);
+  place(asdb::AsRegistry::kCloudflare, config.cloudflare_servers, true);
+
+  // Remaining content servers spread across the generated CDN ASes.
+  const auto content = registry.by_type(asdb::NetworkType::kContent);
+  std::vector<asdb::Asn> generated_cdns;
+  for (asdb::Asn asn : content) {
+    if (asn != asdb::AsRegistry::kGoogle &&
+        asn != asdb::AsRegistry::kFacebook &&
+        asn != asdb::AsRegistry::kCloudflare) {
+      generated_cdns.push_back(asn);
+    }
+  }
+  for (std::size_t i = 0;
+       i < config.other_content_servers && !generated_cdns.empty(); ++i) {
+    place(generated_cdns[rng.uniform(generated_cdns.size())], 1,
+          rng.bernoulli(0.7));
+  }
+
+  // Long tail: self-hosted servers in enterprise and transit networks.
+  std::vector<asdb::Asn> tail;
+  for (asdb::Asn asn : registry.by_type(asdb::NetworkType::kEnterprise)) {
+    tail.push_back(asn);
+  }
+  for (asdb::Asn asn : registry.by_type(asdb::NetworkType::kTransit)) {
+    tail.push_back(asn);
+  }
+  for (std::size_t i = 0; i < config.long_tail_servers && !tail.empty();
+       ++i) {
+    place(tail[rng.uniform(tail.size())], 1, rng.bernoulli(0.4));
+  }
+  return deployment;
+}
+
+bool Deployment::set_retry_enabled(net::Ipv4Address addr, bool enabled) {
+  const auto it = by_address_.find(addr);
+  if (it == by_address_.end()) return false;
+  servers_[it->second].retry_enabled = enabled;
+  return true;
+}
+
+const QuicServer* Deployment::find(net::Ipv4Address addr) const {
+  const auto it = by_address_.find(addr);
+  return it == by_address_.end() ? nullptr : &servers_[it->second];
+}
+
+std::vector<const QuicServer*> Deployment::servers_of(asdb::Asn asn) const {
+  std::vector<const QuicServer*> out;
+  for (const auto& server : servers_) {
+    if (server.asn == asn) out.push_back(&server);
+  }
+  return out;
+}
+
+}  // namespace quicsand::scanner

@@ -1,0 +1,77 @@
+// Synthetic QUIC server deployment — our substitute for the active-scan
+// hitlists (Rüth et al.) the paper correlates victims against.
+//
+// Real scans in 2021 found ~2M QUIC servers, concentrated at a handful
+// of content providers running specific draft versions (mvfst-draft-27 at
+// Facebook, draft-29 at Google). The deployment mirrors that shape at a
+// configurable scale and records, per server, which versions it answers
+// and whether RETRY is supported/enabled — the paper finds support
+// without deployment (§6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/registry.hpp"
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::scanner {
+
+struct QuicServer {
+  net::Ipv4Address address;
+  asdb::Asn asn = 0;
+  std::uint32_t version = 1;   ///< preferred wire version
+  bool supports_retry = false; ///< implementation capability
+  bool retry_enabled = false;  ///< operator actually turned it on
+};
+
+struct DeploymentConfig {
+  /// Servers hosted by each named content provider. Large pools matter:
+  /// victims are drawn without replacement, so a pool that saturates
+  /// would skew the victim mix toward the biggest provider.
+  std::size_t google_servers = 4800;
+  std::size_t facebook_servers = 2080;
+  std::size_t cloudflare_servers = 720;
+  std::size_t other_content_servers = 240;  ///< spread over CDN ASes
+  std::size_t long_tail_servers = 480;      ///< enterprise/transit hosts
+};
+
+class Deployment {
+ public:
+  /// Build a deterministic deployment over the registry's address space.
+  static Deployment synthetic(const asdb::AsRegistry& registry,
+                              const DeploymentConfig& config,
+                              std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<QuicServer>& servers() const {
+    return servers_;
+  }
+
+  /// Hitlist membership test (the paper's "98% of attacks target
+  /// well-known QUIC servers" check).
+  [[nodiscard]] bool is_quic_server(net::Ipv4Address addr) const {
+    return by_address_.contains(addr);
+  }
+
+  [[nodiscard]] const QuicServer* find(net::Ipv4Address addr) const;
+
+  /// Flip RETRY deployment on one server (what-if experiments); returns
+  /// false when the address is not a known server.
+  bool set_retry_enabled(net::Ipv4Address addr, bool enabled);
+
+  /// Servers belonging to the given AS.
+  [[nodiscard]] std::vector<const QuicServer*> servers_of(
+      asdb::Asn asn) const;
+
+  [[nodiscard]] std::size_t size() const { return servers_.size(); }
+
+ private:
+  std::vector<QuicServer> servers_;
+  std::unordered_map<net::Ipv4Address, std::size_t> by_address_;
+};
+
+}  // namespace quicsand::scanner

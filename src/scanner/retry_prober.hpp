@@ -1,0 +1,48 @@
+// Active RETRY prober.
+//
+// §6 of the paper validates the telescope's "no RETRY seen" observation
+// by actively connecting to the ten most-attacked Google/Facebook servers
+// with a QUIC client and checking whether a Retry is returned. The prober
+// performs that exchange against our deployment model on real wire
+// bytes: it builds a client Initial, lets the simulated server endpoint
+// answer (Retry or handshake flight), completes the token dance when
+// asked, and reports what it saw.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "scanner/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::scanner {
+
+struct ProbeObservation {
+  net::Ipv4Address server;
+  bool reachable = false;
+  bool received_retry = false;
+  bool retry_integrity_valid = false;  ///< when a Retry was received
+  bool handshake_completed = false;
+  int round_trips = 0;  ///< RTs until first byte of server data
+  std::uint32_t negotiated_version = 0;
+};
+
+class RetryProber {
+ public:
+  RetryProber(const Deployment& deployment, std::uint64_t seed);
+
+  /// Probe one server address. Unknown addresses are unreachable.
+  ProbeObservation probe(net::Ipv4Address server);
+
+  /// Probe a list of servers (e.g. the top-N attacked).
+  std::vector<ProbeObservation> probe_all(
+      const std::vector<net::Ipv4Address>& servers);
+
+ private:
+  const Deployment& deployment_;
+  util::Rng rng_;
+};
+
+}  // namespace quicsand::scanner

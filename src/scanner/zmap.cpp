@@ -1,0 +1,67 @@
+#include "scanner/zmap.hpp"
+
+#include <stdexcept>
+
+namespace quicsand::scanner {
+
+ScanPass::ScanPass(const ScanPassConfig& config)
+    : config_(config), skip_rng_(util::mix64(config.seed, 0x5ca9)) {
+  if (config.coverage <= 0.0 || config.coverage > 1.0) {
+    throw std::invalid_argument("ScanPass: coverage must be in (0, 1]");
+  }
+  if (config.duration <= 0) {
+    throw std::invalid_argument("ScanPass: non-positive duration");
+  }
+  space_ = config.telescope.size();
+  const int bits = 32 - config.telescope.length();
+  half_bits_ = (bits + 1) / 2;
+  total_ = static_cast<std::uint64_t>(
+      static_cast<double>(space_) * config.coverage + 0.5);
+  util::Rng key_rng(util::mix64(config.seed, 0xfe15));
+  for (auto& key : round_keys_) {
+    key = static_cast<std::uint32_t>(key_rng.next());
+  }
+  next_time_ = config.start;
+}
+
+std::uint64_t ScanPass::permute(std::uint64_t index) const {
+  // Balanced Feistel over 2*half_bits_ bits with cycle-walking down to
+  // the telescope size. Guaranteed to terminate: the permutation is a
+  // bijection on a domain at most 2x the target space.
+  const std::uint64_t half_mask = (1ULL << half_bits_) - 1;
+  std::uint64_t value = index;
+  do {
+    std::uint64_t left = value >> half_bits_;
+    std::uint64_t right = value & half_mask;
+    for (const std::uint32_t key : round_keys_) {
+      const std::uint64_t f =
+          util::mix64(right, key) & half_mask;
+      const std::uint64_t new_right = left ^ f;
+      left = right;
+      right = new_right;
+    }
+    value = (left << half_bits_) | right;
+  } while (value >= space_);
+  return value;
+}
+
+std::optional<ScanPass::Probe> ScanPass::next() {
+  const double rate =
+      static_cast<double>(space_) * config_.coverage /
+      util::to_seconds(config_.duration);
+  while (index_ < space_) {
+    const std::uint64_t idx = index_++;
+    if (config_.coverage < 1.0 && !skip_rng_.bernoulli(config_.coverage)) {
+      continue;
+    }
+    Probe probe;
+    next_time_ += util::from_seconds(skip_rng_.exponential(rate));
+    probe.time = next_time_;
+    probe.target = config_.telescope.at(permute(idx));
+    ++emitted_;
+    return probe;
+  }
+  return std::nullopt;
+}
+
+}  // namespace quicsand::scanner

@@ -1,0 +1,54 @@
+// Legitimate-client experience under an Initial flood.
+//
+// Table 1 measures how many *flood* packets get answered; operators care
+// about the mirror image — what happens to honest clients while the
+// flood runs. This experiment interleaves a spoofed flood with sparse
+// legitimate handshake attempts and plays each honest client's full
+// exchange against the simulated server on real packets: Initial ->
+// (flight | Retry) -> token'd Initial -> flight. It quantifies the §6
+// trade-off: without RETRY honest clients fail once the connection table
+// fills; with RETRY they all complete but pay one extra round trip;
+// adaptive RETRY charges the extra round trip only while under attack.
+#pragma once
+
+#include <cstdint>
+
+#include "server/replay.hpp"
+#include "server/sim.hpp"
+
+namespace quicsand::server {
+
+struct ClientExperienceConfig {
+  ReplayConfig flood;          ///< the background attack
+  double legit_rate = 2.0;     ///< honest handshake attempts per second
+  std::uint64_t seed = 31;
+};
+
+struct ClientExperienceResult {
+  std::uint64_t attempts = 0;
+  std::uint64_t completed_one_rtt = 0;  ///< full handshake straight away
+  std::uint64_t completed_two_rtt = 0;  ///< via Retry + token
+  std::uint64_t failed = 0;             ///< no answer (state exhausted)
+  SimStats server_stats;
+
+  [[nodiscard]] double success_rate() const {
+    return attempts == 0 ? 1.0
+                         : static_cast<double>(completed_one_rtt +
+                                               completed_two_rtt) /
+                               static_cast<double>(attempts);
+  }
+  [[nodiscard]] double mean_round_trips() const {
+    const auto completed = completed_one_rtt + completed_two_rtt;
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(completed_one_rtt +
+                                     2 * completed_two_rtt) /
+                     static_cast<double>(completed);
+  }
+};
+
+/// Run the interleaved flood + honest-client experiment.
+ClientExperienceResult run_client_experience(
+    const ServerConfig& server_config, const ClientExperienceConfig& config);
+
+}  // namespace quicsand::server

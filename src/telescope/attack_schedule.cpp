@@ -1,0 +1,389 @@
+#include "telescope/attack_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "quic/version.hpp"
+
+namespace quicsand::telescope {
+
+namespace {
+
+using asdb::AsRegistry;
+using asdb::Asn;
+
+constexpr util::Duration kMaxGap = 28 * util::kDay;
+
+/// Attacks per victim: >50% of victims see exactly one attack, the rest
+/// follow a capped Pareto tail (Figure 6's long tail).
+std::uint64_t draw_attack_count(util::Rng& rng, std::uint64_t cap) {
+  if (rng.bernoulli(0.55)) return 1;
+  const double x = rng.pareto(1.0, 0.8);
+  const auto count = static_cast<std::uint64_t>(std::ceil(x));
+  return std::max<std::uint64_t>(2, std::min(count + 1, cap));
+}
+
+struct VictimPick {
+  net::Ipv4Address address;
+  Asn asn;
+  bool known_server;
+  std::uint32_t version;
+};
+
+class VictimPicker {
+ public:
+  VictimPicker(const ScenarioConfig& config, const asdb::AsRegistry& registry,
+               const scanner::Deployment& deployment)
+      : config_(config), registry_(registry), deployment_(deployment) {
+    for (const auto& server : deployment.servers()) {
+      by_asn_[server.asn].push_back(&server);
+    }
+    for (Asn asn : registry.by_type(asdb::NetworkType::kContent)) {
+      if (asn != AsRegistry::kGoogle && asn != AsRegistry::kFacebook &&
+          asn != AsRegistry::kCloudflare) {
+        other_content_.push_back(asn);
+      }
+    }
+  }
+
+  VictimPick pick_quic_victim(util::Rng& rng,
+                              std::unordered_set<std::uint32_t>& used) {
+    const auto& mix = config_.attacks;
+    const double weights[] = {mix.google_share, mix.facebook_share,
+                              mix.cloudflare_share, mix.other_content_share,
+                              mix.non_server_share};
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      VictimPick pick{};
+      switch (rng.weighted_index(weights)) {
+        case 0:
+          pick = pick_server(AsRegistry::kGoogle, rng);
+          break;
+        case 1:
+          pick = pick_server(AsRegistry::kFacebook, rng);
+          break;
+        case 2:
+          pick = pick_server(AsRegistry::kCloudflare, rng);
+          break;
+        case 3:
+          pick = pick_server(
+              other_content_[rng.uniform(other_content_.size())], rng);
+          break;
+        default: {
+          // A host that is not on the hitlist (2% of attacks).
+          pick.asn = AsRegistry::kGoogle;
+          do {
+            pick.address = registry_.random_address_in(pick.asn, rng);
+          } while (deployment_.is_quic_server(pick.address));
+          pick.known_server = false;
+          pick.version = 0xff00001d;
+          break;
+        }
+      }
+      if (used.insert(pick.address.value()).second) return pick;
+    }
+    throw std::runtime_error("VictimPicker: victim space exhausted");
+  }
+
+  VictimPick pick_common_victim(util::Rng& rng,
+                                std::unordered_set<std::uint32_t>& used) {
+    // TCP/ICMP floods hit a broad population of web infrastructure.
+    const auto types = {asdb::NetworkType::kContent,
+                        asdb::NetworkType::kEnterprise,
+                        asdb::NetworkType::kTransit};
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto type_index = rng.uniform(3);
+      auto it = types.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(type_index));
+      const auto ases = registry_.by_type(*it);
+      const Asn asn = ases[rng.uniform(ases.size())];
+      VictimPick pick{registry_.random_address_in(asn, rng), asn, false, 0};
+      if (used.insert(pick.address.value()).second) return pick;
+    }
+    throw std::runtime_error("VictimPicker: common victim space exhausted");
+  }
+
+ private:
+  VictimPick pick_server(Asn asn, util::Rng& rng) const {
+    const auto it = by_asn_.find(asn);
+    if (it == by_asn_.end() || it->second.empty()) {
+      // Provider without deployed servers (tiny configs): fall back to a
+      // random address flagged as unknown.
+      return {registry_.random_address_in(asn, rng), asn, false, 1};
+    }
+    const auto* server = it->second[rng.uniform(it->second.size())];
+    // Attack tooling speaks IETF QUIC; endpoints that prefer legacy
+    // gQUIC (Google Q050) answer IETF floods on v1, keeping Google's
+    // draft-29 backscatter share at the 78% the paper reports.
+    std::uint32_t version = server->version;
+    if (quic::salt_generation(version) == quic::SaltGeneration::kNone) {
+      version = static_cast<std::uint32_t>(quic::Version::kV1);
+    }
+    return {server->address, server->asn, true, version};
+  }
+
+  const ScenarioConfig& config_;
+  const asdb::AsRegistry& registry_;
+  const scanner::Deployment& deployment_;
+  std::unordered_map<Asn, std::vector<const scanner::QuicServer*>> by_asn_;
+  std::vector<Asn> other_content_;
+};
+
+util::Duration draw_duration(util::Rng& rng, double median_s, double sigma) {
+  // The clamp bounds the lognormal tail: the paper's longest observed
+  // events are on the order of a day; unbounded draws would also blow up
+  // the per-attack packet budget.
+  const double s = rng.lognormal_median(median_s, sigma);
+  return util::from_seconds(std::clamp(s, 5.0, 36.0 * 3600.0));
+}
+
+/// Telescope-observed peak rates: median ~1 pps (Fig. 7b); the clamp
+/// keeps tail attacks within a sane packet budget.
+double draw_peak_pps(util::Rng& rng, double median, double sigma) {
+  return std::clamp(rng.lognormal_median(median, sigma), 0.05, 12.0);
+}
+
+}  // namespace
+
+const char* attack_protocol_name(AttackProtocol protocol) {
+  switch (protocol) {
+    case AttackProtocol::kQuic:
+      return "QUIC";
+    case AttackProtocol::kTcp:
+      return "TCP";
+    case AttackProtocol::kIcmp:
+      return "ICMP";
+  }
+  return "?";
+}
+
+std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
+                                        const asdb::AsRegistry& registry,
+                                        const scanner::Deployment& deployment,
+                                        util::Rng& rng) {
+  const auto& mix = config.attacks;
+  const util::Timestamp window_start = config.start;
+  const util::Timestamp window_end = config.end();
+  const auto window = window_end - window_start;
+
+  std::vector<PlannedAttack> attacks;
+  VictimPicker picker(config, registry, deployment);
+  std::unordered_set<std::uint32_t> used_victims;
+
+  const auto total_quic = static_cast<std::uint64_t>(
+      mix.quic_attacks_per_day * config.days + 0.5);
+  // Bound the per-victim tail: the paper's most-attacked victim takes a
+  // few percent of all attacks, not a fifth.
+  const std::uint64_t per_victim_cap =
+      std::max<std::uint64_t>(5, total_quic / 25);
+
+  auto draw_common_protocol = [&] {
+    return rng.bernoulli(mix.icmp_share) ? AttackProtocol::kIcmp
+                                         : AttackProtocol::kTcp;
+  };
+
+  // `paired` marks the TCP/ICMP half of a multi-vector attack: those are
+  // deliberate floods, so they are kept above the detection thresholds
+  // (otherwise the detected relation shares drift from the planned mix).
+  auto make_common = [&](net::Ipv4Address victim, Asn asn,
+                         util::Timestamp start, util::Duration duration,
+                         bool paired) {
+    PlannedAttack attack;
+    attack.protocol = draw_common_protocol();
+    attack.victim = victim;
+    attack.victim_asn = asn;
+    attack.start = std::clamp(start, window_start, window_end - util::kMinute);
+    attack.duration = std::min(duration, window_end - attack.start);
+    attack.peak_pps = draw_peak_pps(rng, mix.common_peak_pps_median,
+                                    mix.common_peak_pps_sigma);
+    if (paired) {
+      attack.peak_pps = std::max(attack.peak_pps, 1.2);
+      attack.duration = std::max(attack.duration, 4 * util::kMinute);
+      attack.duration = std::min(attack.duration, window_end - attack.start);
+    }
+    attack.relation = PlannedRelation::kNotApplicable;
+    return attack;
+  };
+
+  std::uint64_t planned_quic = 0;
+  while (planned_quic < total_quic) {
+    const auto victim = picker.pick_quic_victim(rng, used_victims);
+    std::uint64_t count = std::min(draw_attack_count(rng, per_victim_cap),
+                                   total_quic - planned_quic);
+
+    // Victim class: isolated victims never co-occur with TCP/ICMP.
+    const double isolated_share =
+        1.0 - mix.concurrent_share - mix.sequential_share;
+    const bool isolated = rng.bernoulli(isolated_share);
+    // Repeatedly-targeted victims are big, known infrastructure; hosts
+    // off the hitlist and single-vector (isolated) victims see one-off
+    // events. This also pins the Fig. 6/8 attack-weighted shares to the
+    // per-victim class probabilities.
+    if (!victim.known_server) count = std::min<std::uint64_t>(count, 2);
+    if (isolated) count = std::min<std::uint64_t>(count, 3);
+    const double concurrent_given_not_isolated =
+        mix.concurrent_share / (mix.concurrent_share + mix.sequential_share);
+
+    // Non-overlapping QUIC attack times for this victim.
+    std::vector<util::Timestamp> starts;
+    starts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      starts.push_back(window_start +
+                       static_cast<util::Duration>(rng.uniform(
+                           static_cast<std::uint64_t>(window))));
+    }
+    std::sort(starts.begin(), starts.end());
+
+    bool victim_has_common = false;
+    util::Timestamp previous_end = window_start;
+    std::vector<std::pair<util::Timestamp, util::Timestamp>> quic_spans;
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+      PlannedAttack attack;
+      attack.protocol = AttackProtocol::kQuic;
+      attack.victim = victim.address;
+      attack.victim_asn = victim.asn;
+      attack.victim_is_known_server = victim.known_server;
+      attack.quic_version = victim.version;
+      attack.start = std::max(starts[i], previous_end + util::kMinute);
+      if (attack.start >= window_end - util::kMinute) break;
+      attack.duration = draw_duration(rng, mix.quic_duration_median_s,
+                                      mix.quic_duration_sigma);
+      attack.duration = std::min(attack.duration, window_end - attack.start);
+      attack.peak_pps = draw_peak_pps(rng, mix.quic_peak_pps_median,
+                                      mix.quic_peak_pps_sigma);
+      // A small share of floods are heavy hitters — far above the
+      // median in both rate and length (the Fig. 7 tails, and the
+      // reason Fig. 10 still finds attacks at w=10).
+      if (rng.bernoulli(0.02)) {
+        attack.peak_pps = std::min(30.0, attack.peak_pps * 8.0);
+        attack.duration = std::min(3 * attack.duration,
+                                   window_end - attack.start);
+      }
+      // mvfst keeps probing dead connections far longer than Google's
+      // draft-29 stack, so Facebook backscatter events run longer and
+      // carry more packets at the same observed rate (Figure 9: higher
+      // packet counts at Facebook, more SCIDs at Google). Applied on the
+      // duration so the detector's selection bias cannot invert it.
+      // The duration ratio must sit strictly between 1 and the flight
+      // size ratio (~1.6, see flight_profile) for BOTH Figure 9
+      // orderings to hold: Facebook ahead on packets, Google ahead on
+      // SCIDs (connections = packets / flight size).
+      if (victim.asn == AsRegistry::kFacebook) {
+        attack.duration = std::min(
+            static_cast<util::Duration>(
+                1.25 * static_cast<double>(attack.duration)),
+            window_end - attack.start);
+      } else if (victim.asn == AsRegistry::kGoogle) {
+        attack.duration = static_cast<util::Duration>(
+            0.95 * static_cast<double>(attack.duration));
+      }
+      previous_end = attack.start + attack.duration;
+      quic_spans.emplace_back(attack.start, previous_end);
+
+      if (isolated) {
+        attack.relation = PlannedRelation::kIsolated;
+      } else if (rng.bernoulli(concurrent_given_not_isolated)) {
+        attack.relation = PlannedRelation::kConcurrent;
+        // Paired common attack with the Figure 12 overlap profile.
+        const bool full = rng.bernoulli(mix.full_overlap_share);
+        util::Timestamp c_start;
+        util::Duration c_duration;
+        if (full) {
+          c_duration = static_cast<util::Duration>(
+              static_cast<double>(attack.duration) *
+              (1.0 + rng.uniform01()));
+          const auto slack = c_duration - attack.duration;
+          c_start = attack.start -
+                    static_cast<util::Duration>(rng.uniform(
+                        static_cast<std::uint64_t>(slack) + 1));
+        } else {
+          // Partial overlaps skew high (Fig. 12: mean share 95%).
+          const double u = rng.uniform01();
+          const double f = 1.0 - 0.55 * u * u;
+          const auto overlap = static_cast<util::Duration>(
+              std::max<double>(static_cast<double>(util::kSecond),
+                               f * static_cast<double>(attack.duration)));
+          c_duration = overlap + static_cast<util::Duration>(rng.uniform(
+                                     static_cast<std::uint64_t>(
+                                         attack.duration) +
+                                     1));
+          if (rng.bernoulli(0.5)) {
+            // Common attack leads, overlapping the QUIC head.
+            c_start = attack.start + overlap - c_duration;
+          } else {
+            // Common attack trails, overlapping the QUIC tail.
+            c_start = attack.start + attack.duration - overlap;
+          }
+        }
+        attacks.push_back(make_common(victim.address, victim.asn, c_start,
+                                      c_duration, /*paired=*/true));
+        victim_has_common = true;
+      } else {
+        attack.relation = PlannedRelation::kSequential;
+      }
+      attacks.push_back(attack);
+      ++planned_quic;
+    }
+
+    // Sequential victims need at least one non-overlapping common attack.
+    if (!isolated && !victim_has_common && !quic_spans.empty()) {
+      const double gap_h = rng.lognormal_median(mix.sequential_gap_median_h,
+                                                mix.sequential_gap_sigma);
+      auto gap = std::min(
+          static_cast<util::Duration>(gap_h * static_cast<double>(util::kHour)),
+          kMaxGap);
+      gap = std::max(gap, 2 * util::kMinute);
+      const auto duration = draw_duration(
+          rng, mix.common_duration_median_s, mix.common_duration_sigma);
+      // Place after the last QUIC attack if it fits, else before the first.
+      const auto last_end = quic_spans.back().second;
+      util::Timestamp c_start = last_end + gap;
+      if (c_start + duration > window_end) {
+        c_start = quic_spans.front().first - gap - duration;
+        if (c_start < window_start) c_start = last_end + util::kMinute;
+      }
+      if (c_start >= window_start && c_start < window_end) {
+        attacks.push_back(make_common(victim.address, victim.asn, c_start,
+                                      duration, /*paired=*/true));
+      }
+    }
+  }
+
+  // Background TCP/ICMP floods on an unrelated victim population.
+  const auto total_common = static_cast<std::uint64_t>(
+      mix.common_attacks_per_day * config.days + 0.5);
+  std::uint64_t planned_common = 0;
+  while (planned_common < total_common) {
+    const auto victim = picker.pick_common_victim(rng, used_victims);
+    const std::uint64_t count =
+        std::min(draw_attack_count(rng, per_victim_cap),
+                 total_common - planned_common);
+    util::Timestamp previous_end = window_start;
+    std::vector<util::Timestamp> starts;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      starts.push_back(window_start +
+                       static_cast<util::Duration>(rng.uniform(
+                           static_cast<std::uint64_t>(window))));
+    }
+    std::sort(starts.begin(), starts.end());
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto start = std::max(starts[i], previous_end + util::kMinute);
+      if (start >= window_end - util::kMinute) break;
+      const auto duration = draw_duration(
+          rng, mix.common_duration_median_s, mix.common_duration_sigma);
+      attacks.push_back(make_common(victim.address, victim.asn, start,
+                                    duration, /*paired=*/false));
+      previous_end = attacks.back().start + attacks.back().duration;
+      ++planned_common;
+    }
+  }
+
+  std::sort(attacks.begin(), attacks.end(),
+            [](const PlannedAttack& a, const PlannedAttack& b) {
+              return a.start < b.start;
+            });
+  return attacks;
+}
+
+}  // namespace quicsand::telescope

@@ -1,0 +1,28 @@
+// Attack planner: turns the scenario's attack mix into a concrete list of
+// PlannedAttack records with victims, times, durations, intensities and
+// multi-vector relations (concurrent / sequential / isolated).
+//
+// The planner is separated from packet emission so tests can validate the
+// schedule's statistics (victim mix, relation shares, overlap and gap
+// distributions) directly, and so the analysis pipeline can be scored
+// against exact ground truth.
+#pragma once
+
+#include <vector>
+
+#include "asdb/registry.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/ground_truth.hpp"
+#include "telescope/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::telescope {
+
+/// Plan every QUIC flood, its paired TCP/ICMP attacks, and the background
+/// TCP/ICMP attack population. Returned attacks are sorted by start time.
+std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
+                                        const asdb::AsRegistry& registry,
+                                        const scanner::Deployment& deployment,
+                                        util::Rng& rng);
+
+}  // namespace quicsand::telescope

@@ -1,0 +1,430 @@
+#include "telescope/emitters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/headers.hpp"
+#include "quic/gquic.hpp"
+#include "quic/header.hpp"
+#include "quic/version.hpp"
+
+namespace quicsand::telescope {
+
+namespace {
+
+constexpr std::uint16_t kQuicPort = 443;
+
+std::uint16_t ephemeral_port(util::Rng& rng) {
+  return static_cast<std::uint16_t>(32768 + rng.uniform(28232));
+}
+
+net::Ipv4Header ip_header(net::Ipv4Address src, net::Ipv4Address dst,
+                          util::Rng& rng) {
+  net::Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.ttl = static_cast<std::uint8_t>(48 + rng.uniform(200));
+  ip.identification = static_cast<std::uint16_t>(rng.next());
+  return ip;
+}
+
+net::Ipv4Address random_in_prefix(const net::Ipv4Prefix& prefix,
+                                  util::Rng& rng) {
+  return prefix.at(rng.uniform(prefix.size()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResearchScanEmitter
+
+ResearchScanEmitter::ResearchScanEmitter(
+    const ScenarioConfig& scenario, const ResearchScannerConfig& config,
+    net::Ipv4Prefix source_prefix, std::uint64_t seed)
+    : scenario_(scenario),
+      config_(config),
+      source_prefix_(source_prefix),
+      rng_(util::mix64(seed, config.asn)) {
+  // Deterministic pass schedule: evenly spaced with a per-scanner phase,
+  // so short windows still contain the expected number of passes.
+  const double interval_days = 1.0 / config.passes_per_day;
+  const double phase = 0.17 + 0.31 * rng_.uniform01();
+  for (double day = phase * interval_days; day < scenario.days;
+       day += interval_days) {
+    pass_starts_.push_back(
+        scenario.start +
+        static_cast<util::Duration>(day * static_cast<double>(util::kDay)));
+  }
+  total_ = pass_starts_.size() * scenario.telescope.size();
+
+  // Template probe: a padded client Initial from a fixed scanner host.
+  // Per-probe we patch destination address, source host bits and DCID,
+  // then fix the IP checksum; the UDP checksum is left as 0 ("none"),
+  // which RFC 768 permits and scanners commonly do.
+  auto ctx = quic::HandshakeContext::random(config.version, rng_);
+  const auto payload = quic::build_client_initial(
+      ctx, "", rng_, quic::CryptoFidelity::kFast);
+  const auto src = source_prefix.at(0x20);
+  template_packet_ = net::build_udp(ip_header(src, scenario.telescope.base(),
+                                              rng_),
+                                    34434, kQuicPort, payload);
+  template_packet_[26] = 0;  // UDP checksum: none
+  template_packet_[27] = 0;
+  // DCID starts after IP(20) + UDP(8) + flags(1) + version(4) + len(1).
+  dcid_offset_ = 34;
+  start_next_pass();
+}
+
+void ResearchScanEmitter::start_next_pass() {
+  if (pass_index_ >= pass_starts_.size()) {
+    current_pass_.reset();
+    return;
+  }
+  scanner::ScanPassConfig pass;
+  pass.telescope = scenario_.telescope;
+  pass.start = pass_starts_[pass_index_];
+  pass.duration = config_.pass_duration;
+  pass.coverage = 1.0;
+  pass.seed = util::mix64(rng_.next(), pass_index_);
+  current_pass_ = std::make_unique<scanner::ScanPass>(pass);
+  ++pass_index_;
+}
+
+std::optional<net::RawPacket> ResearchScanEmitter::next() {
+  while (current_pass_) {
+    const auto probe = current_pass_->next();
+    if (!probe) {
+      start_next_pass();
+      continue;
+    }
+    net::RawPacket packet{probe->time, template_packet_};
+    auto& data = packet.data;
+    // Destination address.
+    const std::uint32_t dst = probe->target.value();
+    data[16] = static_cast<std::uint8_t>(dst >> 24);
+    data[17] = static_cast<std::uint8_t>(dst >> 16);
+    data[18] = static_cast<std::uint8_t>(dst >> 8);
+    data[19] = static_cast<std::uint8_t>(dst);
+    // Scanner host: a handful of machines inside the source prefix.
+    data[15] = static_cast<std::uint8_t>(0x20 + rng_.uniform(8));
+    // Fresh IP id and DCID per probe.
+    const std::uint64_t r = rng_.next();
+    data[4] = static_cast<std::uint8_t>(r);
+    data[5] = static_cast<std::uint8_t>(r >> 8);
+    for (int i = 0; i < 8; ++i) {
+      data[dcid_offset_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(r >> (8 * i));
+    }
+    // Recompute the IP header checksum.
+    data[10] = 0;
+    data[11] = 0;
+    const std::uint16_t csum =
+        net::internet_checksum({data.data(), 20});
+    data[10] = static_cast<std::uint8_t>(csum >> 8);
+    data[11] = static_cast<std::uint8_t>(csum);
+    return packet;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// BotnetSessionEmitter
+
+BotnetSessionEmitter::BotnetSessionEmitter(const ScenarioConfig& scenario,
+                                           net::Ipv4Address source,
+                                           util::Timestamp start,
+                                           std::uint64_t packet_count,
+                                           std::uint64_t seed)
+    : scenario_(scenario),
+      source_(source),
+      time_(start),
+      remaining_(packet_count),
+      rng_(util::mix64(seed, source.value())) {}
+
+std::optional<net::RawPacket> BotnetSessionEmitter::next() {
+  if (remaining_ == 0) return std::nullopt;
+  --remaining_;
+  auto ctx = quic::HandshakeContext::random(
+      rng_.bernoulli(0.8) ? 1u : 0xff00001du, rng_);
+  const auto payload = quic::build_client_initial(
+      ctx, "", rng_, scenario_.fidelity);
+  const auto target = random_in_prefix(scenario_.telescope, rng_);
+  net::RawPacket packet{
+      time_, net::build_udp(ip_header(source_, target, rng_),
+                            ephemeral_port(rng_), kQuicPort, payload)};
+  const double mean_gap_s = util::to_seconds(scenario_.botnet.intra_gap_mean);
+  time_ += util::from_seconds(rng_.exponential(1.0 / mean_gap_s));
+  return packet;
+}
+
+// ---------------------------------------------------------------------------
+// QuicBackscatterEmitter
+
+QuicBackscatterEmitter::QuicBackscatterEmitter(const ScenarioConfig& scenario,
+                                               const PlannedAttack& attack,
+                                               std::uint64_t seed)
+    : scenario_(scenario),
+      attack_(attack),
+      rng_(util::mix64(seed, attack.victim.value() ^
+                                 static_cast<std::uint64_t>(attack.start))) {
+  // Spoofed client addresses that fall inside the telescope: attackers
+  // randomize ports over a modest IP set (§5.2 / Figure 9).
+  const std::size_t ip_count = 1 + rng_.uniform(18);
+  spoofed_clients_.reserve(ip_count);
+  for (std::size_t i = 0; i < ip_count; ++i) {
+    spoofed_clients_.push_back(random_in_prefix(scenario.telescope, rng_));
+  }
+  // Convert the target packet rate into a connection arrival rate via
+  // the expected flight size (implementation dependent, see
+  // flight_profile). The attack runs at a base rate with one burst
+  // minute at the full peak, so the detector's 1-minute maximum matches
+  // the planned peak without inflating the total volume.
+  resetter_ = std::make_unique<quic::StatelessResetter>(
+      util::Rng(util::mix64(0x5e7, attack.victim.value())).bytes(32));
+  profile_ = flight_profile(attack.quic_version);
+  connection_rate_ =
+      std::max(0.005, attack.peak_pps * 0.42 / profile_.mean_datagrams);
+  burst_rate_ = std::max(connection_rate_,
+                         attack.peak_pps / profile_.mean_datagrams);
+  attack_end_ = attack.start + attack.duration;
+  const auto burst_slack = attack.duration > util::kMinute
+                               ? attack.duration - util::kMinute
+                               : util::Duration{0};
+  burst_start_ = attack.start +
+                 static_cast<util::Duration>(rng_.uniform(
+                     static_cast<std::uint64_t>(burst_slack) + 1));
+  next_connection_ = attack.start;
+  refill();
+}
+
+FlightProfile flight_profile(std::uint32_t version) {
+  // mvfst (Facebook) retransmits its handshake flight aggressively and
+  // keeps probing, so one spoofed connection elicits more datagrams than
+  // a draft-29/v1 (Google-style) stack. This is what makes Google show
+  // MORE SCIDs per attack DESPITE fewer packets (Figure 9): the same
+  // packet rate covers more connections.
+  if (quic::version_family(version) == quic::VersionFamily::kIetf &&
+      (version & 0xffffff00) == 0xfaceb000) {
+    return {0.95, 0.75, 0.95, 0.85,
+            2 + (0.95 + 0.95 * 0.75) + 2 * 0.95 + 0.85};
+  }
+  return {0.45, 0.25, 0.40, 0.65,
+          2 + (0.45 + 0.45 * 0.25) + 2 * 0.40 + 0.65};
+}
+
+void QuicBackscatterEmitter::schedule_connection(util::Timestamp start) {
+  // The victim answers one spoofed Initial: [Initial+Handshake],
+  // [Handshake], PTO retransmits, keep-alive PINGs, and sometimes a
+  // stateless reset when the attacker reuses a 5-tuple the server
+  // already dropped. The mixture reproduces the §6 message composition
+  // (~31% Initial / ~57% Handshake / rest other).
+  quic::HandshakeContext ctx =
+      quic::HandshakeContext::random(attack_.quic_version, rng_);
+  const auto client = spoofed_clients_[rng_.uniform(spoofed_clients_.size())];
+  const std::uint16_t client_port = ephemeral_port(rng_);
+
+  auto push = [&](util::Duration offset, std::vector<std::uint8_t> payload) {
+    if (budget_ <= 0) return;
+    --budget_;
+    pending_.push(Scheduled{
+        start + offset,
+        net::build_udp(ip_header(attack_.victim, client, rng_), kQuicPort,
+                       client_port, payload)});
+  };
+
+  // A small share of attack tools probe with versions the server does
+  // not speak; the victim then answers with a single Version Negotiation
+  // packet (§2's worst-case handshake) instead of a handshake flight.
+  if (rng_.bernoulli(0.02)) {
+    const std::uint32_t versions[] = {attack_.quic_version,
+                                      0x00000001u};
+    push(0, quic::build_version_negotiation(ctx.client_scid,
+                                            ctx.server_scid, versions,
+                                            rng_));
+    return;
+  }
+
+  const auto fidelity = scenario_.fidelity;
+  push(0, quic::build_server_initial_handshake(ctx, rng_, fidelity));
+  push(50 * util::kMillisecond,
+       quic::build_server_handshake(ctx, rng_, fidelity,
+                                    700 + rng_.uniform(500)));
+  if (rng_.bernoulli(profile_.retx1)) {
+    push(350 * util::kMillisecond,
+         quic::build_server_initial_handshake(ctx, rng_, fidelity));
+    if (rng_.bernoulli(profile_.retx2)) {
+      push(1100 * util::kMillisecond,
+           quic::build_server_initial_handshake(ctx, rng_, fidelity));
+    }
+  }
+  if (rng_.bernoulli(profile_.pings)) {
+    push(2 * util::kSecond,
+         quic::build_server_handshake_ping(ctx, rng_, fidelity));
+    push(4 * util::kSecond,
+         quic::build_server_handshake_ping(ctx, rng_, fidelity));
+  }
+  if (rng_.bernoulli(profile_.reset)) {
+    // Proper RFC 9000 reset: trailing token bound to the client's CID
+    // under the victim's static key, randomized length.
+    push(5 * util::kSecond + static_cast<util::Duration>(
+                                 rng_.uniform(2 * util::kSecond)),
+         resetter_->build(ctx.client_scid, rng_, 40 + rng_.uniform(40)));
+  }
+}
+
+void QuicBackscatterEmitter::refill() {
+  while (budget_ > 0 && next_connection_ < attack_end_ &&
+         (pending_.empty() || next_connection_ <= pending_.top().time)) {
+    schedule_connection(next_connection_);
+    const bool in_burst = next_connection_ >= burst_start_ &&
+                          next_connection_ < burst_start_ + util::kMinute;
+    next_connection_ += util::from_seconds(
+        rng_.exponential(in_burst ? burst_rate_ : connection_rate_));
+  }
+}
+
+std::optional<net::RawPacket> QuicBackscatterEmitter::next() {
+  refill();
+  if (pending_.empty()) return std::nullopt;
+  // priority_queue::top() is const&; copy out the payload before popping.
+  auto scheduled = pending_.top();
+  pending_.pop();
+  return net::RawPacket{scheduled.time, std::move(scheduled.datagram)};
+}
+
+// ---------------------------------------------------------------------------
+// CommonBackscatterEmitter
+
+CommonBackscatterEmitter::CommonBackscatterEmitter(
+    const ScenarioConfig& scenario, const PlannedAttack& attack,
+    std::uint64_t seed)
+    : scenario_(scenario),
+      attack_(attack),
+      rng_(util::mix64(seed, attack.victim.value() ^
+                                 static_cast<std::uint64_t>(attack.start) ^
+                                 0xc0)) {
+  service_port_ = rng_.bernoulli(0.6) ? 80 : 443;
+  // TCP victims answer a spoofed SYN with ~4 SYN-ACK (re)transmissions;
+  // ICMP backscatter is one reply per probe.
+  const double mean_flight =
+      attack.protocol == AttackProtocol::kTcp ? 4.0 : 1.0;
+  connection_rate_ = std::max(0.01, attack.peak_pps * 0.8 / mean_flight);
+  next_connection_ = attack.start;
+  attack_end_ = attack.start + attack.duration;
+}
+
+std::optional<net::RawPacket> CommonBackscatterEmitter::next() {
+  while (budget_ > 0 && next_connection_ < attack_end_ &&
+         (pending_.empty() || next_connection_ <= pending_.top().time)) {
+    const auto client = random_in_prefix(scenario_.telescope, rng_);
+    const std::uint16_t client_port = ephemeral_port(rng_);
+    const auto seq = static_cast<std::uint32_t>(rng_.next());
+    if (attack_.protocol == AttackProtocol::kTcp) {
+      // SYN-ACK retransmissions with exponential backoff (1s, 2s, 4s).
+      util::Duration offset = 0;
+      const int retx = 3 + static_cast<int>(rng_.uniform(3));
+      for (int i = 0; i < retx && budget_ > 0; ++i) {
+        --budget_;
+        pending_.push(
+            Scheduled{next_connection_ + offset, client, client_port, seq});
+        offset = offset * 2 + util::kSecond;
+      }
+    } else {
+      --budget_;
+      pending_.push(
+          Scheduled{next_connection_, client, client_port, seq});
+    }
+    next_connection_ +=
+        util::from_seconds(rng_.exponential(connection_rate_));
+  }
+  if (pending_.empty()) return std::nullopt;
+  const auto scheduled = pending_.top();
+  pending_.pop();
+
+  if (attack_.protocol == AttackProtocol::kTcp) {
+    net::TcpInfo tcp;
+    tcp.src_port = service_port_;
+    tcp.dst_port = scheduled.client_port;
+    tcp.seq = scheduled.seq;
+    tcp.ack = scheduled.seq + 1;  // echoes the spoofed SYN's ISN + 1
+    tcp.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+    return net::RawPacket{
+        scheduled.time,
+        net::build_tcp(ip_header(attack_.victim, scheduled.client, rng_),
+                       tcp)};
+  }
+  // ICMP backscatter: mostly echo replies to spoofed pings; some
+  // port-unreachables that quote the spoofed probe (RFC 792), exactly
+  // like real UDP-flood backscatter.
+  if (rng_.bernoulli(0.3)) {
+    const auto original = net::build_udp(
+        ip_header(scheduled.client, attack_.victim, rng_),
+        scheduled.client_port, 443, rng_.bytes(8));
+    return net::RawPacket{
+        scheduled.time,
+        net::build_icmp_error(
+            ip_header(attack_.victim, scheduled.client, rng_), 3, 3,
+            original)};
+  }
+  net::IcmpInfo icmp;
+  icmp.type = 0;  // echo reply
+  icmp.code = 0;
+  const auto body = rng_.bytes(28);
+  icmp.payload = body;
+  return net::RawPacket{
+      scheduled.time,
+      net::build_icmp(ip_header(attack_.victim, scheduled.client, rng_),
+                      icmp)};
+}
+
+// ---------------------------------------------------------------------------
+// MisconfigEmitter
+
+MisconfigEmitter::MisconfigEmitter(const ScenarioConfig& scenario,
+                                   net::Ipv4Address source,
+                                   std::uint32_t version,
+                                   util::Timestamp start,
+                                   std::uint64_t packet_count,
+                                   std::uint64_t seed)
+    : scenario_(scenario),
+      source_(source),
+      version_(version),
+      time_(start),
+      remaining_(packet_count),
+      rng_(util::mix64(seed, source.value() ^ 0x315c)) {
+  target_ = random_in_prefix(scenario.telescope, rng_);
+  target_port_ = ephemeral_port(rng_);
+  ctx_ = quic::HandshakeContext::random(version_, rng_);
+  gap_ = packet_count > 1
+             ? scenario.misconfig.session_duration /
+                   static_cast<util::Duration>(packet_count)
+             : util::kSecond;
+}
+
+std::optional<net::RawPacket> MisconfigEmitter::next() {
+  if (remaining_ == 0) return std::nullopt;
+  --remaining_;
+  // A confused endpoint retransmitting handshake-space data and pings at
+  // a stale address: low volume, short-lived (Appendix B). A share of
+  // these endpoints still run legacy gQUIC (Q0xx public headers).
+  std::vector<std::uint8_t> payload;
+  if (quic::version_family(version_) == quic::VersionFamily::kGquic) {
+    payload = quic::build_gquic_server_response(
+        quic::ConnectionId(rng_.bytes(8)), 1 + rng_.uniform(500),
+        100 + rng_.uniform(300), rng_);
+  } else if (rng_.bernoulli(0.5)) {
+    payload = quic::build_server_handshake_ping(ctx_, rng_,
+                                                scenario_.fidelity);
+  } else {
+    payload = quic::build_server_handshake(ctx_, rng_, scenario_.fidelity,
+                                           100 + rng_.uniform(200));
+  }
+  net::RawPacket packet{
+      time_, net::build_udp(ip_header(source_, target_, rng_), kQuicPort,
+                            target_port_, payload)};
+  time_ += gap_ + static_cast<util::Duration>(
+                      rng_.uniform(static_cast<std::uint64_t>(gap_) + 1));
+  return packet;
+}
+
+}  // namespace quicsand::telescope

@@ -1,0 +1,190 @@
+// Packet emitters: time-ordered sources of telescope traffic.
+//
+// Each emitter models one traffic phenomenon and yields complete raw
+// IPv4 datagrams with non-decreasing timestamps. The generator merges
+// emitters through a priority queue, so a month of telescope traffic is
+// produced in one streaming pass with O(active flights) memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "quic/packets.hpp"
+#include "quic/stateless_reset.hpp"
+#include "scanner/zmap.hpp"
+#include "telescope/ground_truth.hpp"
+#include "telescope/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::telescope {
+
+class PacketEmitter {
+ public:
+  virtual ~PacketEmitter() = default;
+
+  /// Next packet in time order, or nullopt when the emitter is drained.
+  virtual std::optional<net::RawPacket> next() = 0;
+};
+
+/// Internet-wide research scanner (TUM / RWTH model): a sequence of
+/// full-pass probes of the telescope, one padded client Initial per
+/// address, built from a patched template for throughput.
+class ResearchScanEmitter : public PacketEmitter {
+ public:
+  ResearchScanEmitter(const ScenarioConfig& scenario,
+                      const ResearchScannerConfig& scanner_config,
+                      net::Ipv4Prefix source_prefix, std::uint64_t seed);
+
+  std::optional<net::RawPacket> next() override;
+
+  /// Probes this emitter will produce over the whole window.
+  [[nodiscard]] std::uint64_t total_probes() const { return total_; }
+
+ private:
+  void start_next_pass();
+
+  ScenarioConfig scenario_;
+  ResearchScannerConfig config_;
+  net::Ipv4Prefix source_prefix_;
+  util::Rng rng_;
+  std::vector<util::Timestamp> pass_starts_;
+  std::size_t pass_index_ = 0;
+  std::unique_ptr<scanner::ScanPass> current_pass_;
+  std::vector<std::uint8_t> template_packet_;
+  std::size_t dcid_offset_ = 0;  ///< offset of the 8-byte DCID
+  std::uint64_t total_ = 0;
+};
+
+/// One botnet scanning session: a burst of client Initials from a single
+/// eyeball source to random telescope targets on UDP/443.
+class BotnetSessionEmitter : public PacketEmitter {
+ public:
+  BotnetSessionEmitter(const ScenarioConfig& scenario,
+                       net::Ipv4Address source, util::Timestamp start,
+                       std::uint64_t packet_count, std::uint64_t seed);
+
+  std::optional<net::RawPacket> next() override;
+
+ private:
+  ScenarioConfig scenario_;
+  net::Ipv4Address source_;
+  util::Timestamp time_;
+  std::uint64_t remaining_;
+  util::Rng rng_;
+};
+
+/// Per-implementation handshake flight behaviour (retransmission and
+/// probe probabilities, expected datagrams per spoofed connection).
+struct FlightProfile {
+  double retx1 = 0;  ///< probability of a first PTO retransmission
+  double retx2 = 0;  ///< probability of a second, given the first
+  double pings = 0;  ///< probability of the keep-alive PING pair
+  double reset = 0;  ///< probability of a trailing stateless reset
+  double mean_datagrams = 0;
+};
+
+/// Flight profile of the server implementation behind `version`.
+FlightProfile flight_profile(std::uint32_t version);
+
+/// Backscatter of one QUIC flood: the victim's handshake flights toward
+/// spoofed clients that happen to fall inside the telescope.
+class QuicBackscatterEmitter : public PacketEmitter {
+ public:
+  QuicBackscatterEmitter(const ScenarioConfig& scenario,
+                         const PlannedAttack& attack, std::uint64_t seed);
+
+  std::optional<net::RawPacket> next() override;
+
+ private:
+  struct Scheduled {
+    util::Timestamp time;
+    std::vector<std::uint8_t> datagram;
+    bool operator>(const Scheduled& other) const {
+      return time > other.time;
+    }
+  };
+
+  void schedule_connection(util::Timestamp start);
+  void refill();
+
+  ScenarioConfig scenario_;
+  PlannedAttack attack_;
+  util::Rng rng_;
+  std::vector<net::Ipv4Address> spoofed_clients_;
+  /// The victim's long-lived stateless-reset key (RFC 9000 §10.3).
+  std::unique_ptr<quic::StatelessResetter> resetter_;
+  FlightProfile profile_;
+  double connection_rate_ = 0;  ///< base connections per second
+  double burst_rate_ = 0;       ///< rate during the one-minute peak
+  util::Timestamp burst_start_ = 0;
+  util::Timestamp next_connection_;
+  util::Timestamp attack_end_;
+  /// Hard per-attack datagram budget (tail-risk backstop).
+  std::int64_t budget_ = 60000;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      pending_;
+};
+
+/// Backscatter of one TCP or ICMP flood (SYN-ACK retransmission bursts,
+/// or ICMP echo replies).
+class CommonBackscatterEmitter : public PacketEmitter {
+ public:
+  CommonBackscatterEmitter(const ScenarioConfig& scenario,
+                           const PlannedAttack& attack, std::uint64_t seed);
+
+  std::optional<net::RawPacket> next() override;
+
+ private:
+  struct Scheduled {
+    util::Timestamp time;
+    net::Ipv4Address client;
+    std::uint16_t client_port;
+    std::uint32_t seq;
+    bool operator>(const Scheduled& other) const {
+      return time > other.time;
+    }
+  };
+
+  ScenarioConfig scenario_;
+  PlannedAttack attack_;
+  util::Rng rng_;
+  std::uint16_t service_port_;
+  double connection_rate_;
+  util::Timestamp next_connection_;
+  util::Timestamp attack_end_;
+  /// Hard per-attack datagram budget (tail-risk backstop).
+  std::int64_t budget_ = 40000;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      pending_;
+};
+
+/// Low-volume misconfiguration backscatter: a content host dribbling a
+/// few QUIC packets at one telescope address (Appendix B's excluded
+/// response sessions).
+class MisconfigEmitter : public PacketEmitter {
+ public:
+  MisconfigEmitter(const ScenarioConfig& scenario, net::Ipv4Address source,
+                   std::uint32_t version, util::Timestamp start,
+                   std::uint64_t packet_count, std::uint64_t seed);
+
+  std::optional<net::RawPacket> next() override;
+
+ private:
+  ScenarioConfig scenario_;
+  net::Ipv4Address source_;
+  std::uint32_t version_;
+  net::Ipv4Address target_;
+  std::uint16_t target_port_;
+  quic::HandshakeContext ctx_;
+  util::Timestamp time_;
+  util::Duration gap_;
+  std::uint64_t remaining_;
+  util::Rng rng_;
+};
+
+}  // namespace quicsand::telescope

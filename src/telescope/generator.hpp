@@ -1,0 +1,64 @@
+// Telescope traffic generator: merges all scenario emitters into one
+// time-ordered stream of raw IPv4 datagrams — the synthetic equivalent
+// of the UCSD telescope capture the paper analyzes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "asdb/registry.hpp"
+#include "net/packet.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/emitters.hpp"
+#include "telescope/ground_truth.hpp"
+#include "telescope/scenario.hpp"
+#include "threat/intel.hpp"
+
+namespace quicsand::telescope {
+
+class TelescopeGenerator {
+ public:
+  /// Plans the whole scenario (attack schedule, botnet sessions,
+  /// research passes) up front; packets are then produced lazily.
+  TelescopeGenerator(const ScenarioConfig& config,
+                     const asdb::AsRegistry& registry,
+                     const scanner::Deployment& deployment);
+
+  /// Next packet in global time order; nullopt when the window is done.
+  std::optional<net::RawPacket> next();
+
+  /// Drain the stream into `sink`; returns the packet count.
+  std::uint64_t generate(
+      const std::function<void(const net::RawPacket&)>& sink);
+
+  [[nodiscard]] const GroundTruth& ground_truth() const { return truth_; }
+
+  /// GreyNoise-style intel reflecting this scenario's actors: research
+  /// scanner hosts tagged benign, a share of botnet sources tagged
+  /// malicious (Mirai / Eternalblue / bruteforcers).
+  [[nodiscard]] threat::IntelDb make_intel_db() const;
+
+ private:
+  struct QueueEntry {
+    net::RawPacket packet;
+    std::size_t emitter_index;
+    bool operator>(const QueueEntry& other) const {
+      return packet.timestamp > other.packet.timestamp;
+    }
+  };
+
+  void add_emitter(std::unique_ptr<PacketEmitter> emitter);
+  void pull_from(std::size_t emitter_index);
+
+  ScenarioConfig config_;
+  GroundTruth truth_;
+  std::vector<std::unique_ptr<PacketEmitter>> emitters_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::vector<net::Ipv4Address> research_hosts_;
+};
+
+}  // namespace quicsand::telescope

@@ -1,0 +1,26 @@
+#include "telescope/scenario.hpp"
+
+#include <stdexcept>
+
+#include "asdb/registry.hpp"
+
+namespace quicsand::telescope {
+
+ScenarioConfig ScenarioConfig::april2021(int days, std::uint64_t seed) {
+  if (days < 1) throw std::invalid_argument("april2021: days < 1");
+  ScenarioConfig config;
+  config.days = days;
+  config.seed = seed;
+  // The two university scanners: 92M QUIC packets/month at 98.5% research
+  // share means ~10.8 full-IPv4 passes/month combined (8.4M telescope
+  // packets each), ~5.4 per scanner.
+  config.tum.asn = asdb::AsRegistry::kTumScanner;
+  config.tum.passes_per_day = 5.4 / 30.0;
+  config.tum.version = 0xff00001d;  // draft-29
+  config.rwth.asn = asdb::AsRegistry::kRwthScanner;
+  config.rwth.passes_per_day = 5.4 / 30.0;
+  config.rwth.version = 0x00000001;  // v1
+  return config;
+}
+
+}  // namespace quicsand::telescope

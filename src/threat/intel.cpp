@@ -1,0 +1,49 @@
+#include "threat/intel.hpp"
+
+namespace quicsand::threat {
+
+const char* category_name(Category category) {
+  switch (category) {
+    case Category::kUnknown:
+      return "unknown";
+    case Category::kBenign:
+      return "benign";
+    case Category::kMalicious:
+      return "malicious";
+  }
+  return "?";
+}
+
+void IntelDb::add(net::Ipv4Address addr, Category category,
+                  std::vector<std::string> tag_list) {
+  entries_[addr] = Classification{category, std::move(tag_list)};
+}
+
+const Classification& IntelDb::lookup(net::Ipv4Address addr) const {
+  const auto it = entries_.find(addr);
+  return it == entries_.end() ? unknown_ : it->second;
+}
+
+IntelDb::Summary IntelDb::summarize(
+    std::span<const net::Ipv4Address> sources) const {
+  Summary summary;
+  summary.total = sources.size();
+  for (const auto addr : sources) {
+    const auto& c = lookup(addr);
+    switch (c.category) {
+      case Category::kBenign:
+        ++summary.benign;
+        break;
+      case Category::kMalicious:
+        ++summary.malicious;
+        break;
+      case Category::kUnknown:
+        ++summary.unknown;
+        break;
+    }
+    for (const auto& tag : c.tag_list) ++summary.tag_counts[tag];
+  }
+  return summary;
+}
+
+}  // namespace quicsand::threat

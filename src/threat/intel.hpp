@@ -1,0 +1,78 @@
+// Threat-intelligence store — our offline substitute for the GreyNoise
+// honeypot platform.
+//
+// The paper correlates request-session sources with GreyNoise (§5.2):
+// no benign scanners among them, 2.3% tagged as known bruteforcers or
+// botnet members (Mirai, Eternalblue). This module stores per-IP
+// classifications and computes the same summary. The telescope generator
+// populates it from its ground truth, playing the role of the honeypot
+// sensors that observed the same actors elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace quicsand::threat {
+
+enum class Category : std::uint8_t {
+  kUnknown,    ///< never seen by the platform
+  kBenign,     ///< verified research/search-engine scanner
+  kMalicious,  ///< observed attacking or bruteforcing
+};
+
+const char* category_name(Category category);
+
+/// Well-known tag strings used by the scenarios.
+namespace tags {
+inline constexpr const char* kMirai = "Mirai";
+inline constexpr const char* kEternalblue = "Eternalblue";
+inline constexpr const char* kBruteforcer = "SSH Bruteforcer";
+inline constexpr const char* kResearch = "Research Scanner";
+}  // namespace tags
+
+struct Classification {
+  Category category = Category::kUnknown;
+  std::vector<std::string> tag_list;
+};
+
+class IntelDb {
+ public:
+  /// Record (or overwrite) a classification for `addr`.
+  void add(net::Ipv4Address addr, Category category,
+           std::vector<std::string> tag_list = {});
+
+  /// Lookup; unknown addresses return a kUnknown classification.
+  [[nodiscard]] const Classification& lookup(net::Ipv4Address addr) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Summary over a set of source addresses, mirroring the paper's
+  /// GreyNoise correlation.
+  struct Summary {
+    std::size_t total = 0;
+    std::size_t benign = 0;
+    std::size_t malicious = 0;
+    std::size_t unknown = 0;
+    std::unordered_map<std::string, std::size_t> tag_counts;
+
+    [[nodiscard]] double malicious_share() const {
+      return total == 0 ? 0.0
+                        : static_cast<double>(malicious) /
+                              static_cast<double>(total);
+    }
+  };
+
+  [[nodiscard]] Summary summarize(
+      std::span<const net::Ipv4Address> sources) const;
+
+ private:
+  std::unordered_map<net::Ipv4Address, Classification> entries_;
+  Classification unknown_;
+};
+
+}  // namespace quicsand::threat

@@ -1,0 +1,146 @@
+// Byte-order aware readers/writers and hex helpers.
+//
+// All wire formats in this project (IPv4, UDP, TCP, ICMP, QUIC, TLS, pcap)
+// are encoded and decoded through these two small classes so that bounds
+// checking lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quicsand::util {
+
+/// Error thrown when a reader runs past the end of its buffer.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  BufferUnderflow() : std::runtime_error("buffer underflow") {}
+};
+
+/// Sequential big-endian reader over a non-owning byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+  /// Peek one byte without consuming it.
+  [[nodiscard]] std::uint8_t peek_u8() const {
+    require(1);
+    return data_[pos_];
+  }
+
+  std::uint8_t read_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t read_u16() { return static_cast<std::uint16_t>(read_be(2)); }
+  std::uint32_t read_u24() { return static_cast<std::uint32_t>(read_be(3)); }
+  std::uint32_t read_u32() { return static_cast<std::uint32_t>(read_be(4)); }
+  std::uint64_t read_u64() { return read_be(8); }
+
+  /// Consume `n` bytes and return a view into the underlying buffer.
+  std::span<const std::uint8_t> read_bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Consume `n` bytes into an owned vector.
+  std::vector<std::uint8_t> read_vector(std::size_t n) {
+    auto s = read_bytes(n);
+    return {s.begin(), s.end()};
+  }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  /// View of everything not yet consumed.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw BufferUnderflow{};
+  }
+
+  std::uint64_t read_be(std::size_t n) {
+    require(n);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian writer backed by a growable vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u16(std::uint16_t v) { write_be(v, 2); }
+  void write_u24(std::uint32_t v) { write_be(v, 3); }
+  void write_u32(std::uint32_t v) { write_be(v, 4); }
+  void write_u64(std::uint64_t v) { write_be(v, 8); }
+
+  void write_bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void write_repeated(std::uint8_t byte, std::size_t count) {
+    buf_.insert(buf_.end(), count, byte);
+  }
+
+  /// Overwrite `n` big-endian bytes at an absolute offset (for length
+  /// fields that are only known after the body has been written).
+  void patch_be(std::size_t offset, std::uint64_t v, std::size_t n) {
+    if (offset + n > buf_.size()) throw std::out_of_range("patch_be");
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[offset + i] =
+          static_cast<std::uint8_t>(v >> (8 * (n - 1 - i)));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& vec() const { return buf_; }
+
+ private:
+  void write_be(std::uint64_t v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * (n - 1 - i))));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Lower-case hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parse a hex string (no separators). Returns nullopt on odd length or
+/// non-hex characters.
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Strict parse used by tests: throws std::invalid_argument on bad input.
+std::vector<std::uint8_t> from_hex_strict(std::string_view hex);
+
+}  // namespace quicsand::util

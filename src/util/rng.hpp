@@ -1,0 +1,204 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an explicitly
+// seeded Rng so that scenarios are bit-reproducible across runs and
+// platforms. We implement xoshiro256** (public domain, Blackman/Vigna)
+// seeded through SplitMix64 rather than using std::mt19937 because the
+// standard distributions are not portable across library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace quicsand::util {
+
+/// SplitMix64 step; used for seed expansion and as a cheap hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mixing hash built on SplitMix64; combines a seed with a
+/// stream identifier so independent substreams can be derived from one
+/// scenario seed.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x51c5a4d0u) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  /// Derive an independent generator for substream `stream`.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    Rng child(mix64(state_[0] ^ state_[2], stream));
+    return child;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t uniform(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("uniform: bound == 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_range: lo > hi");
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    if (rate <= 0) throw std::invalid_argument("exponential: rate <= 0");
+    double u;
+    do {
+      u = uniform01();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal parameterized by the distribution median and the sigma of
+  /// the underlying normal. Used for attack durations, where the paper
+  /// reports medians.
+  double lognormal_median(double median, double sigma) {
+    return median * std::exp(sigma * normal());
+  }
+
+  /// Pareto (type I) with scale xm and shape alpha.
+  double pareto(double xm, double alpha) {
+    double u;
+    do {
+      u = uniform01();
+    } while (u == 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above).
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0) return 0;
+    if (mean > 64.0) {
+      double v = normal(mean, std::sqrt(mean));
+      return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Index drawn according to non-negative weights. At least one weight
+  /// must be positive.
+  std::size_t weighted_index(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) throw std::invalid_argument("weighted_index: zero total");
+    double x = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fill a buffer with random bytes.
+  void fill(std::span<std::uint8_t> out) {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+      std::uint64_t v = next();
+      for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    if (i < out.size()) {
+      std::uint64_t v = next();
+      for (; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    fill(out);
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace quicsand::util

@@ -1,0 +1,145 @@
+// Descriptive statistics used by the analysis and the figure harnesses:
+// empirical CDFs, percentiles, streaming mean/stddev, and fixed-width
+// histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace quicsand::util {
+
+/// Empirical cumulative distribution function over double samples.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+    std::sort(samples_.begin(), samples_.end());
+  }
+
+  void add(double v) {
+    samples_.insert(
+        std::upper_bound(samples_.begin(), samples_.end(), v), v);
+  }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const {
+    if (samples_.empty()) return 0.0;
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Inverse CDF with linear interpolation; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) throw std::logic_error("quantile of empty Cdf");
+    if (q <= 0) return samples_.front();
+    if (q >= 1) return samples_.back();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return samples_.front(); }
+  [[nodiscard]] double max() const { return samples_.back(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// Sampled (x, F(x)) series with `points` evenly spaced quantiles,
+  /// suitable for printing a figure.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      std::size_t points = 20) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Welford's streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double v) {
+    ++n_;
+    const double d = v - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (v - mean_);
+    min_ = n_ == 1 ? v : std::min(min_, v);
+    max_ = n_ == 1 ? v : std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram");
+  }
+
+  void add(double v, std::uint64_t weight = 1) {
+    double x = std::clamp(v, lo_, std::nextafter(hi_, lo_));
+    auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                        static_cast<double>(counts_.size()));
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    counts_[idx] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Median of a (not necessarily sorted) sample; empty input throws.
+double median_of(std::span<const double> values);
+
+/// Format `v` with thousands separators, e.g. 12345678 -> "12,345,678".
+std::string with_commas(std::uint64_t v);
+
+}  // namespace quicsand::util

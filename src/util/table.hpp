@@ -1,0 +1,41 @@
+// Minimal aligned-column table renderer for bench/example output.
+//
+// The figure harnesses print the same rows/series the paper reports; this
+// keeps that output consistent and readable without pulling in a
+// formatting library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quicsand::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting (std::to_string prints 6 digits).
+std::string fmt(double v, int precision = 2);
+
+/// Percentage with one decimal, e.g. 0.515 -> "51.5%".
+std::string pct(double fraction, int precision = 1);
+
+/// Print a section heading used by every bench binary.
+void print_heading(std::ostream& os, const std::string& title);
+
+}  // namespace quicsand::util

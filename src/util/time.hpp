@@ -1,0 +1,66 @@
+// Simulation time axis.
+//
+// The whole project uses a single integral time type: microseconds since
+// the Unix epoch (UTC). The measurement window of the paper is April 1-30,
+// 2021; helpers below express that window and the hour/minute binning used
+// by the figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace quicsand::util {
+
+/// Microseconds since the Unix epoch (UTC).
+using Timestamp = std::int64_t;
+/// Signed duration in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// 2021-04-01 00:00:00 UTC, the start of the paper's measurement window.
+constexpr Timestamp kApril2021Start = 1617235200LL * kSecond;
+/// 2021-04-30 24:00:00 UTC (exclusive end of the window).
+constexpr Timestamp kApril2021End = kApril2021Start + 30 * kDay;
+
+/// Index of the 1-hour bin containing `t`, relative to `origin`.
+constexpr std::int64_t hour_bin(Timestamp t, Timestamp origin) {
+  return (t - origin) / kHour;
+}
+
+/// Index of the 1-minute bin containing `t`, relative to `origin`.
+constexpr std::int64_t minute_bin(Timestamp t, Timestamp origin) {
+  return (t - origin) / kMinute;
+}
+
+/// Seconds since UTC midnight for the day containing `t`.
+constexpr std::int64_t seconds_of_day(Timestamp t) {
+  std::int64_t s = (t / kSecond) % 86400;
+  return s < 0 ? s + 86400 : s;
+}
+
+/// Hour-of-day in [0, 24).
+constexpr int hour_of_day(Timestamp t) {
+  return static_cast<int>(seconds_of_day(t) / 3600);
+}
+
+/// Render a timestamp as "YYYY-MM-DD hh:mm:ss" (UTC, proleptic Gregorian).
+std::string format_utc(Timestamp t);
+
+/// Render a duration compactly, e.g. "4m15s" or "36h".
+std::string format_duration(Duration d);
+
+}  // namespace quicsand::util

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "asdb/prefix_trie.hpp"
+#include "asdb/registry.hpp"
+
+namespace quicsand::asdb {
+namespace {
+
+net::Ipv4Prefix pfx(const char* text) {
+  return *net::Ipv4Prefix::parse(text);
+}
+
+net::Ipv4Address ip(const char* text) {
+  return *net::Ipv4Address::parse(text);
+}
+
+TEST(PrefixTrieTest, LongestPrefixMatchWins) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  trie.insert(pfx("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(ip("10.9.9.9")), 1);
+  EXPECT_EQ(trie.lookup(ip("10.1.9.9")), 2);
+  EXPECT_EQ(trie.lookup(ip("10.1.2.3")), 3);
+  EXPECT_FALSE(trie.lookup(ip("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrieTest, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 42);
+  EXPECT_EQ(trie.lookup(ip("1.2.3.4")), 42);
+  EXPECT_EQ(trie.lookup(ip("255.255.255.255")), 42);
+}
+
+TEST(PrefixTrieTest, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("192.0.2.1/32"), 7);
+  EXPECT_EQ(trie.lookup(ip("192.0.2.1")), 7);
+  EXPECT_FALSE(trie.lookup(ip("192.0.2.2")).has_value());
+}
+
+TEST(PrefixTrieTest, ReinsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.lookup(ip("10.0.0.1")), 2);
+  EXPECT_EQ(trie.announcements(), 2u);
+}
+
+TEST(NetworkTypeTest, PeeringDbNames) {
+  EXPECT_STREQ(network_type_name(NetworkType::kEyeball), "Cable/DSL/ISP");
+  EXPECT_STREQ(network_type_name(NetworkType::kContent), "Content");
+  EXPECT_STREQ(network_type_name(NetworkType::kTransit), "NSP");
+  EXPECT_STREQ(network_type_name(NetworkType::kEducation),
+               "Educational/Research");
+  EXPECT_STREQ(network_type_name(NetworkType::kEnterprise), "Enterprise");
+  EXPECT_STREQ(network_type_name(NetworkType::kUnknown), "Unknown");
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  static const AsRegistry& registry() {
+    static const AsRegistry reg = AsRegistry::synthetic({}, 1);
+    return reg;
+  }
+};
+
+TEST_F(RegistryTest, WellKnownAsesPresent) {
+  const auto* google = registry().find(AsRegistry::kGoogle);
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->name, "GOOGLE");
+  EXPECT_EQ(google->type, NetworkType::kContent);
+  const auto* facebook = registry().find(AsRegistry::kFacebook);
+  ASSERT_NE(facebook, nullptr);
+  EXPECT_EQ(facebook->type, NetworkType::kContent);
+  const auto* tum = registry().find(AsRegistry::kTumScanner);
+  ASSERT_NE(tum, nullptr);
+  EXPECT_EQ(tum->type, NetworkType::kEducation);
+}
+
+TEST_F(RegistryTest, LookupMapsWellKnownPrefixes) {
+  const auto* info = registry().lookup(ip("142.250.1.1"));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->asn, AsRegistry::kGoogle);
+  const auto* fb = registry().lookup(ip("157.240.9.9"));
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fb->asn, AsRegistry::kFacebook);
+  const auto* rwth = registry().lookup(ip("137.226.1.1"));
+  ASSERT_NE(rwth, nullptr);
+  EXPECT_EQ(rwth->asn, AsRegistry::kRwthScanner);
+}
+
+TEST_F(RegistryTest, UnroutedAddressReturnsNull) {
+  EXPECT_EQ(registry().lookup(ip("44.1.2.3")), nullptr);  // telescope
+  EXPECT_EQ(registry().lookup(ip("127.0.0.1")), nullptr);
+}
+
+TEST_F(RegistryTest, GeneratedCountsMatchConfig) {
+  const SyntheticConfig config{};
+  EXPECT_EQ(registry().by_type(NetworkType::kEyeball).size(),
+            static_cast<std::size_t>(config.eyeball_ases));
+  EXPECT_EQ(registry().by_type(NetworkType::kTransit).size(),
+            static_cast<std::size_t>(config.transit_ases));
+  EXPECT_EQ(registry().by_type(NetworkType::kEnterprise).size(),
+            static_cast<std::size_t>(config.enterprise_ases));
+  // Named content providers + generated CDNs.
+  EXPECT_EQ(registry().by_type(NetworkType::kContent).size(),
+            static_cast<std::size_t>(config.extra_content_ases) + 7);
+}
+
+TEST_F(RegistryTest, EyeballCountriesCoverTheMix) {
+  const auto bd = registry().by_type_and_country(NetworkType::kEyeball, "BD");
+  const auto us = registry().by_type_and_country(NetworkType::kEyeball, "US");
+  EXPECT_FALSE(bd.empty());
+  EXPECT_FALSE(us.empty());
+  // BD and US dominate the weights, so both should be well represented.
+  EXPECT_GT(bd.size() + us.size(),
+            registry().by_type(NetworkType::kEyeball).size() / 4);
+}
+
+TEST_F(RegistryTest, RandomAddressStaysInsideAs) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto addr =
+        registry().random_address_in(AsRegistry::kGoogle, rng);
+    const auto* info = registry().lookup(addr);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->asn, AsRegistry::kGoogle);
+  }
+}
+
+TEST_F(RegistryTest, DeterministicForSameSeed) {
+  const auto a = AsRegistry::synthetic({}, 99);
+  const auto b = AsRegistry::synthetic({}, 99);
+  util::Rng rng_a(5), rng_b(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto eyeballs_a = a.by_type(NetworkType::kEyeball);
+    const auto eyeballs_b = b.by_type(NetworkType::kEyeball);
+    ASSERT_EQ(eyeballs_a.size(), eyeballs_b.size());
+    const auto asn = eyeballs_a[static_cast<std::size_t>(i)];
+    EXPECT_EQ(asn, eyeballs_b[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(a.random_address_in(asn, rng_a),
+              b.random_address_in(asn, rng_b));
+  }
+}
+
+TEST_F(RegistryTest, RejectsDuplicatesAndEmptyPrefixLists) {
+  AsRegistry reg;
+  const net::Ipv4Prefix p[] = {pfx("198.18.0.0/16")};
+  reg.add({1, "TEST", NetworkType::kEnterprise, "US"}, p);
+  EXPECT_THROW(reg.add({1, "DUP", NetworkType::kEnterprise, "US"}, p),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add({2, "EMPTY", NetworkType::kEnterprise, "US"}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.prefixes_of(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace quicsand::asdb

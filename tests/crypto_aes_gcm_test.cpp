@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "crypto/gcm.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::crypto {
+namespace {
+
+using util::from_hex_strict;
+using util::to_hex;
+
+// FIPS 197 Appendix B example.
+TEST(Aes128, Fips197AppendixB) {
+  const auto key = from_hex_strict("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex_strict("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes(key);
+  EXPECT_EQ(to_hex(aes.encrypt_block(pt)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+// FIPS 197 Appendix C.1 example (sequential key/plaintext).
+TEST(Aes128, Fips197AppendixC1) {
+  const auto key = from_hex_strict("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex_strict("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  EXPECT_EQ(to_hex(aes.encrypt_block(pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, RejectsBadSizes) {
+  const std::vector<std::uint8_t> short_key(15, 0);
+  EXPECT_THROW(Aes128 aes(short_key), std::invalid_argument);
+  Aes128 aes(std::vector<std::uint8_t>(16, 0));
+  EXPECT_THROW((void)aes.encrypt_block(std::vector<std::uint8_t>(15, 0)),
+               std::invalid_argument);
+}
+
+// NIST GCM spec test case 1: zero key/IV, empty everything.
+TEST(AesGcm, NistCase1EmptyTag) {
+  AesGcm gcm(std::vector<std::uint8_t>(16, 0));
+  const std::vector<std::uint8_t> iv(12, 0);
+  const auto sealed = gcm.seal(iv, {}, {});
+  EXPECT_EQ(to_hex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// NIST GCM spec test case 2: zero key/IV, one zero block.
+TEST(AesGcm, NistCase2SingleBlock) {
+  AesGcm gcm(std::vector<std::uint8_t>(16, 0));
+  const std::vector<std::uint8_t> iv(12, 0);
+  const std::vector<std::uint8_t> pt(16, 0);
+  const auto sealed = gcm.seal(iv, {}, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+// NIST GCM spec test case 3: 64-byte plaintext, no AAD.
+TEST(AesGcm, NistCase3FourBlocks) {
+  AesGcm gcm(from_hex_strict("feffe9928665731c6d6a8f9467308308"));
+  const auto iv = from_hex_strict("cafebabefacedbaddecaf888");
+  const auto pt = from_hex_strict(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto sealed = gcm.seal(iv, {}, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+// NIST GCM spec test case 4: 60-byte plaintext with AAD.
+TEST(AesGcm, NistCase4WithAad) {
+  AesGcm gcm(from_hex_strict("feffe9928665731c6d6a8f9467308308"));
+  const auto iv = from_hex_strict("cafebabefacedbaddecaf888");
+  const auto pt = from_hex_strict(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad =
+      from_hex_strict("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto sealed = gcm.seal(iv, aad, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(AesGcm, SealOpenRoundTrip) {
+  util::Rng rng(123);
+  AesGcm gcm(rng.bytes(16));
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1200u}) {
+    const auto nonce = rng.bytes(12);
+    const auto aad = rng.bytes(23);
+    const auto pt = rng.bytes(len);
+    const auto sealed = gcm.seal(nonce, aad, pt);
+    ASSERT_EQ(sealed.size(), len + AesGcm::kTagSize);
+    const auto opened = gcm.open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value()) << "len " << len;
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(AesGcm, OpenRejectsTamperedCiphertext) {
+  util::Rng rng(7);
+  AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto pt = rng.bytes(64);
+  auto sealed = gcm.seal(nonce, {}, pt);
+  sealed[10] ^= 0x01;
+  EXPECT_FALSE(gcm.open(nonce, {}, sealed).has_value());
+}
+
+TEST(AesGcm, OpenRejectsTamperedTag) {
+  util::Rng rng(8);
+  AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  auto sealed = gcm.seal(nonce, {}, rng.bytes(32));
+  sealed.back() ^= 0x80;
+  EXPECT_FALSE(gcm.open(nonce, {}, sealed).has_value());
+}
+
+TEST(AesGcm, OpenRejectsWrongAad) {
+  util::Rng rng(9);
+  AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto aad = rng.bytes(8);
+  const auto sealed = gcm.seal(nonce, aad, rng.bytes(32));
+  auto wrong = aad;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(gcm.open(nonce, wrong, sealed).has_value());
+}
+
+TEST(AesGcm, OpenRejectsShortInput) {
+  AesGcm gcm(std::vector<std::uint8_t>(16, 1));
+  const std::vector<std::uint8_t> nonce(12, 0);
+  const std::vector<std::uint8_t> too_short(15, 0);
+  EXPECT_FALSE(gcm.open(nonce, {}, too_short).has_value());
+}
+
+TEST(AesGcm, TagOnlyMatchesSealOfEmpty) {
+  util::Rng rng(10);
+  AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto aad = rng.bytes(40);
+  const auto tag = gcm.tag_only(nonce, aad);
+  const auto sealed = gcm.seal(nonce, aad, {});
+  ASSERT_EQ(sealed.size(), AesGcm::kTagSize);
+  EXPECT_TRUE(std::equal(tag.begin(), tag.end(), sealed.begin()));
+}
+
+TEST(AesGcm, RejectsNon96BitNonce) {
+  AesGcm gcm(std::vector<std::uint8_t>(16, 0));
+  const std::vector<std::uint8_t> nonce(11, 0);
+  EXPECT_THROW(gcm.seal(nonce, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace quicsand::crypto

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "util/bytes.hpp"
+
+namespace quicsand::crypto {
+namespace {
+
+using util::from_hex_strict;
+using util::to_hex;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  const auto key = from_hex_strict("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const std::vector<std::uint8_t> data(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> key(16, 0x42);
+  const auto data = bytes_of("split into several updates");
+  HmacSha256 mac(key);
+  mac.update({data.data(), 5});
+  mac.update({data.data() + 5, data.size() - 5});
+  EXPECT_EQ(mac.finish(), hmac_sha256(key, data));
+}
+
+// RFC 5869 test vectors for HKDF-SHA256.
+TEST(Hkdf, Rfc5869Case1) {
+  const std::vector<std::uint8_t> ikm(22, 0x0b);
+  const auto salt = from_hex_strict("000102030405060708090a0b0c");
+  const auto info = from_hex_strict("f0f1f2f3f4f5f6f7f8f9");
+  const auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const auto okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  std::vector<std::uint8_t> ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+  const auto prk = hkdf_extract(salt, ikm);
+  const auto okm = hkdf_expand(prk, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const std::vector<std::uint8_t> ikm(22, 0x0b);
+  const auto prk = hkdf_extract({}, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+  const auto okm = hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandRejectsOversizedOutput) {
+  const std::vector<std::uint8_t> prk(32, 0x01);
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+// RFC 9001 Appendix A: keys for the QUIC v1 Initial secret schedule.
+// This pins down hkdf_expand_label (TLS 1.3 label encoding) end to end.
+TEST(HkdfExpandLabel, QuicV1InitialSecrets) {
+  const auto salt =
+      from_hex_strict("38762cf7f55934b34d179ae6a4c80cadccbb7f0a");
+  const auto dcid = from_hex_strict("8394c8f03e515708");
+  const auto initial_secret = hkdf_extract(salt, dcid);
+  EXPECT_EQ(to_hex(initial_secret),
+            "7db5df06e7a69e432496adedb00851923595221596ae2ae9fb8115c1e9ed0a44");
+
+  const auto client_secret =
+      hkdf_expand_label(initial_secret, "client in", {}, 32);
+  EXPECT_EQ(to_hex(client_secret),
+            "c00cf151ca5be075ed0ebfb5c80323c42d6b7db67881289af4008f1f6c357aea");
+
+  const auto server_secret =
+      hkdf_expand_label(initial_secret, "server in", {}, 32);
+  EXPECT_EQ(to_hex(server_secret),
+            "3c199828fd139efd216c155ad844cc81fb82fa8d7446fa7d78be803acdda951b");
+
+  EXPECT_EQ(to_hex(hkdf_expand_label(client_secret, "quic key", {}, 16)),
+            "1f369613dd76d5467730efcbe3b1a22d");
+  EXPECT_EQ(to_hex(hkdf_expand_label(client_secret, "quic iv", {}, 12)),
+            "fa044b2f42a3fd3b46fb255c");
+  EXPECT_EQ(to_hex(hkdf_expand_label(client_secret, "quic hp", {}, 16)),
+            "9f50449e04a0e810283a1e9933adedd2");
+  EXPECT_EQ(to_hex(hkdf_expand_label(server_secret, "quic key", {}, 16)),
+            "cf3a5331653c364c88f0f379b6067e37");
+  EXPECT_EQ(to_hex(hkdf_expand_label(server_secret, "quic iv", {}, 12)),
+            "0ac1493ca1905853b0bba03e");
+  EXPECT_EQ(to_hex(hkdf_expand_label(server_secret, "quic hp", {}, 16)),
+            "c206b8d9b9f0f37644430b490eeaa314");
+}
+
+}  // namespace
+}  // namespace quicsand::crypto

@@ -1,0 +1,86 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace quicsand::crypto {
+namespace {
+
+using util::to_hex;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// NIST FIPS 180-4 example vectors.
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(Sha256::hash(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const auto msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  const auto expected = Sha256::hash(msg);
+  // Feed in awkward chunk sizes crossing block boundaries.
+  for (std::size_t chunk : {1u, 3u, 17u, 63u, 64u, 65u}) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      const std::size_t take = std::min(chunk, msg.size() - off);
+      h.update({msg.data() + off, take});
+      off += take;
+    }
+    EXPECT_EQ(h.finish(), expected) << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/64 bytes hit the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    std::vector<std::uint8_t> msg(len, 0x5a);
+    Sha256 a;
+    a.update(msg);
+    const auto one = a.finish();
+    Sha256 b;
+    b.update({msg.data(), len / 2});
+    b.update({msg.data() + len / 2, len - len / 2});
+    EXPECT_EQ(b.finish(), one) << "length " << len;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(bytes_of("garbage"));
+  (void)h.finish();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace quicsand::crypto

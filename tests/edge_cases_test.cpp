@@ -1,0 +1,146 @@
+// Last-mile edge cases across modules: IPv4 options, allocator
+// exhaustion, open() safety on mismatched views, and generator window
+// clipping.
+#include <gtest/gtest.h>
+
+#include "asdb/registry.hpp"
+#include "core/classifier.hpp"
+#include "core/sessions.hpp"
+#include "net/headers.hpp"
+#include "quic/initial_aead.hpp"
+#include "quic/packets.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand {
+namespace {
+
+TEST(EdgeCases, DecodeIpv4WithOptions) {
+  // Hand-build an IPv4 header with IHL=6 (one 4-byte option) + UDP.
+  util::ByteWriter w;
+  w.write_u8(0x46);  // version 4, IHL 6
+  w.write_u8(0);
+  const std::size_t total = 24 + 8 + 4;
+  w.write_u16(static_cast<std::uint16_t>(total));
+  w.write_u16(0);
+  w.write_u16(0x4000);
+  w.write_u8(64);
+  w.write_u8(17);  // UDP
+  w.write_u16(0);  // checksum (unverified by decode)
+  w.write_u32(net::Ipv4Address::from_octets(1, 2, 3, 4).value());
+  w.write_u32(net::Ipv4Address::from_octets(44, 0, 0, 1).value());
+  w.write_u32(0x01010101);  // option bytes (NOP NOP NOP NOP... any)
+  // UDP header + 4-byte payload.
+  w.write_u16(1234);
+  w.write_u16(443);
+  w.write_u16(12);
+  w.write_u16(0);
+  w.write_u32(0xdeadbeef);
+  const auto decoded = net::decode_ipv4(w.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->udp().src_port, 1234);
+  EXPECT_EQ(decoded->udp().dst_port, 443);
+  ASSERT_EQ(decoded->udp().payload.size(), 4u);
+  EXPECT_EQ(decoded->udp().payload[0], 0xde);
+}
+
+TEST(EdgeCases, PrefixAllocatorExhaustionThrows) {
+  asdb::SyntheticConfig absurd;
+  absurd.eyeball_ases = 20000;  // needs far more /16s than the pools hold
+  EXPECT_THROW(asdb::AsRegistry::synthetic(absurd, 1), std::runtime_error);
+}
+
+TEST(EdgeCases, OpenPacketWithForeignViewFailsSafely) {
+  util::Rng rng(1);
+  const auto ctx = quic::HandshakeContext::random(1, rng);
+  const auto keys = quic::derive_initial_keys(1, ctx.client_dcid,
+                                              quic::Perspective::kClient);
+  const auto a = quic::build_client_initial(ctx, "a.example", rng,
+                                            quic::CryptoFidelity::kFull);
+  const auto view_a = quic::parse_long_header(a, 0);
+  ASSERT_TRUE(view_a.has_value());
+  // Apply view A to a *shorter* buffer: must fail, not crash.
+  const std::vector<std::uint8_t> shorter(a.begin(), a.begin() + 100);
+  EXPECT_FALSE(
+      quic::open_long_header_packet(keys, shorter, *view_a).has_value());
+}
+
+TEST(EdgeCases, ClassifierIgnoresQuicOnOtherPorts) {
+  util::Rng rng(2);
+  core::Classifier classifier({});
+  const auto ctx = quic::HandshakeContext::random(1, rng);
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Address::from_octets(9, 9, 9, 9);
+  ip.dst = net::Ipv4Address::from_octets(44, 0, 0, 1);
+  // Perfectly valid QUIC bytes, but on port 8443: the paper's
+  // classification is port-based first.
+  const auto record = classifier.classify(
+      {0, net::build_udp(ip, 50000, 8443,
+                         quic::build_client_initial(
+                             ctx, "x", rng, quic::CryptoFidelity::kFast))});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->cls, core::TrafficClass::kOther);
+}
+
+TEST(EdgeCases, SessionizerHandlesEqualTimestamps) {
+  // Two records at the identical microsecond from the same source.
+  std::vector<core::PacketRecord> records(2);
+  for (auto& record : records) {
+    record.timestamp = util::kApril2021Start;
+    record.src = net::Ipv4Address(1);
+    record.dst = net::Ipv4Address(2);
+    record.cls = core::TrafficClass::kQuicRequest;
+    record.wire_size = 100;
+  }
+  const auto sessions = core::build_sessions(records, util::kMinute,
+                                             core::quic_request_filter());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packets, 2u);
+  EXPECT_EQ(sessions[0].duration(), 0);
+  EXPECT_DOUBLE_EQ(sessions[0].peak_pps(), 2.0 / 60.0);
+}
+
+TEST(EdgeCases, ZeroLengthConnectionIdsInHeaders) {
+  util::Rng rng(3);
+  quic::LongHeader hdr;
+  hdr.type = quic::PacketType::kHandshake;
+  hdr.version = 1;
+  hdr.dcid = quic::ConnectionId();  // zero-length, legal
+  hdr.scid = quic::ConnectionId();
+  hdr.packet_number = 1;
+  hdr.packet_number_length = 2;
+  const auto keys = quic::derive_handshake_keys_simulated(
+      1, quic::ConnectionId(rng.bytes(8)), quic::Perspective::kServer);
+  const auto packet =
+      quic::seal_long_header_packet(keys, hdr, rng.bytes(64));
+  const auto view = quic::parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->dcid.empty());
+  EXPECT_TRUE(view->scid.empty());
+  const auto opened = quic::open_long_header_packet(keys, packet, *view);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->payload.size(), 64u);
+}
+
+TEST(EdgeCases, RegistryLargerConfigStaysConsistent) {
+  asdb::SyntheticConfig big;
+  big.eyeball_ases = 800;
+  big.transit_ases = 100;
+  big.enterprise_ases = 200;
+  big.extra_content_ases = 60;
+  const auto registry = asdb::AsRegistry::synthetic(big, 3);
+  EXPECT_EQ(registry.by_type(asdb::NetworkType::kEyeball).size(), 800u);
+  // Every generated AS resolves its own random addresses.
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto ases = registry.by_type(asdb::NetworkType::kEyeball);
+    const auto asn = ases[rng.uniform(ases.size())];
+    const auto addr = registry.random_address_in(asn, rng);
+    const auto* info = registry.lookup(addr);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->asn, asn);
+  }
+}
+
+}  // namespace
+}  // namespace quicsand

@@ -1,0 +1,170 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace quicsand::net {
+namespace {
+
+const Ipv4Address kSrc = Ipv4Address::from_octets(192, 0, 2, 1);
+const Ipv4Address kDst = Ipv4Address::from_octets(198, 51, 100, 2);
+
+Ipv4Header header() {
+  Ipv4Header ip;
+  ip.src = kSrc;
+  ip.dst = kDst;
+  ip.ttl = 57;
+  ip.identification = 0x1234;
+  return ip;
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // Classic example from RFC 1071 materials.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLength) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(BuildUdp, RoundTripsThroughDecode) {
+  const std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe, 0xef};
+  const auto pkt = build_udp(header(), 50000, 443, payload);
+  const auto decoded = decode_ipv4(pkt);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_udp());
+  EXPECT_EQ(decoded->ip.src, kSrc);
+  EXPECT_EQ(decoded->ip.dst, kDst);
+  EXPECT_EQ(decoded->ip.ttl, 57);
+  EXPECT_EQ(decoded->udp().src_port, 50000);
+  EXPECT_EQ(decoded->udp().dst_port, 443);
+  ASSERT_EQ(decoded->udp().payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         decoded->udp().payload.begin()));
+}
+
+TEST(BuildUdp, ChecksumsAreValid) {
+  const auto pkt = build_udp(header(), 1234, 443, std::vector<std::uint8_t>(100, 0xab));
+  EXPECT_TRUE(verify_checksums(pkt));
+}
+
+TEST(BuildUdp, EmptyPayload) {
+  const auto pkt = build_udp(header(), 1, 2, {});
+  const auto decoded = decode_ipv4(pkt);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->udp().payload.size(), 0u);
+  EXPECT_TRUE(verify_checksums(pkt));
+}
+
+TEST(BuildTcp, RoundTripsThroughDecode) {
+  TcpInfo tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 33333;
+  tcp.seq = 0x01020304;
+  tcp.ack = 0x0a0b0c0d;
+  tcp.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  const auto pkt = build_tcp(header(), tcp);
+  const auto decoded = decode_ipv4(pkt);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->is_tcp());
+  EXPECT_EQ(decoded->tcp().src_port, 443);
+  EXPECT_EQ(decoded->tcp().dst_port, 33333);
+  EXPECT_EQ(decoded->tcp().seq, 0x01020304u);
+  EXPECT_EQ(decoded->tcp().ack, 0x0a0b0c0du);
+  EXPECT_EQ(decoded->tcp().flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_TRUE(verify_checksums(pkt));
+}
+
+TEST(BuildTcp, RstHasValidChecksum) {
+  TcpInfo tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 50123;
+  tcp.flags = TcpFlags::kRst;
+  EXPECT_TRUE(verify_checksums(build_tcp(header(), tcp)));
+}
+
+TEST(BuildIcmp, RoundTripsThroughDecode) {
+  IcmpInfo icmp;
+  icmp.type = 3;  // destination unreachable
+  icmp.code = 1;
+  const std::vector<std::uint8_t> payload(8, 0x11);
+  icmp.payload = payload;
+  const auto pkt = build_icmp(header(), icmp);
+  const auto decoded = decode_ipv4(pkt);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->is_icmp());
+  EXPECT_EQ(decoded->icmp().type, 3);
+  EXPECT_EQ(decoded->icmp().code, 1);
+  EXPECT_EQ(decoded->icmp().payload.size(), 8u);
+  EXPECT_TRUE(verify_checksums(pkt));
+}
+
+TEST(DecodeIpv4, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> data(10, 0x45);
+  EXPECT_FALSE(decode_ipv4(data).has_value());
+}
+
+TEST(DecodeIpv4, RejectsNonIpv4Version) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt[0] = 0x65;  // version 6
+  EXPECT_FALSE(decode_ipv4(pkt).has_value());
+}
+
+TEST(DecodeIpv4, RejectsTotalLengthBeyondBuffer) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt[2] = 0xff;  // total length 0xff..
+  pkt[3] = 0xff;
+  EXPECT_FALSE(decode_ipv4(pkt).has_value());
+}
+
+TEST(DecodeIpv4, RejectsUnsupportedProtocol) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt[9] = 47;  // GRE
+  EXPECT_FALSE(decode_ipv4(pkt).has_value());
+}
+
+TEST(DecodeIpv4, RejectsTruncatedUdpHeader) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt.resize(24);  // 20 IP + 4 bytes of UDP
+  pkt[2] = 0;
+  pkt[3] = 24;
+  EXPECT_FALSE(decode_ipv4(pkt).has_value());
+}
+
+TEST(DecodeIpv4, RejectsBadUdpLength) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt[24] = 0xff;  // UDP length field absurdly large
+  pkt[25] = 0xff;
+  EXPECT_FALSE(decode_ipv4(pkt).has_value());
+}
+
+TEST(DecodeIpv4, TrailingBytesAfterTotalLengthIgnored) {
+  auto pkt = build_udp(header(), 9, 443, std::vector<std::uint8_t>{1, 2, 3});
+  pkt.push_back(0xff);  // capture slack
+  pkt.push_back(0xff);
+  const auto decoded = decode_ipv4(pkt);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->udp().payload.size(), 3u);
+}
+
+TEST(VerifyChecksums, DetectsCorruptedIpHeader) {
+  auto pkt = build_udp(header(), 1, 2, {});
+  pkt[8] ^= 0xff;  // ttl flip invalidates IP checksum
+  EXPECT_FALSE(verify_checksums(pkt));
+}
+
+TEST(VerifyChecksums, DetectsCorruptedUdpPayload) {
+  auto pkt = build_udp(header(), 1, 2, std::vector<std::uint8_t>(10, 0x42));
+  pkt.back() ^= 0x01;
+  EXPECT_FALSE(verify_checksums(pkt));
+}
+
+}  // namespace
+}  // namespace quicsand::net

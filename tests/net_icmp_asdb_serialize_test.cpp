@@ -1,0 +1,167 @@
+// Tests for ICMP error quoting (RFC 792) and AS registry serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asdb/serialize.hpp"
+#include "net/headers.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand {
+namespace {
+
+using net::Ipv4Address;
+
+TEST(IcmpError, QuotesOriginalDatagram) {
+  util::Rng rng(1);
+  // Original: spoofed client -> victim UDP/443 probe.
+  net::Ipv4Header original_ip;
+  original_ip.src = Ipv4Address::from_octets(44, 1, 2, 3);
+  original_ip.dst = Ipv4Address::from_octets(142, 250, 0, 1);
+  const auto original =
+      net::build_udp(original_ip, 54321, 443, rng.bytes(100));
+
+  // Victim answers with port unreachable quoting the probe.
+  net::Ipv4Header reply_ip;
+  reply_ip.src = original_ip.dst;
+  reply_ip.dst = original_ip.src;
+  const auto error = net::build_icmp_error(reply_ip, 3, 3, original);
+  ASSERT_TRUE(net::verify_checksums(error));
+
+  const auto decoded = net::decode_ipv4(error);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->is_icmp());
+  EXPECT_EQ(decoded->icmp().type, 3);
+  EXPECT_EQ(decoded->icmp().code, 3);
+
+  const auto quote = net::parse_icmp_quote(decoded->icmp().payload);
+  ASSERT_TRUE(quote.has_value());
+  EXPECT_EQ(quote->original_src, original_ip.src);
+  EXPECT_EQ(quote->original_dst, original_ip.dst);
+  EXPECT_EQ(quote->protocol, net::IpProtocol::kUdp);
+  EXPECT_EQ(quote->src_port, 54321);
+  EXPECT_EQ(quote->dst_port, 443);
+}
+
+TEST(IcmpError, QuoteTruncatedToHeaderPlusEight) {
+  util::Rng rng(2);
+  net::Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(1, 1, 1, 1);
+  ip.dst = Ipv4Address::from_octets(2, 2, 2, 2);
+  const auto original = net::build_udp(ip, 1, 2, rng.bytes(1000));
+  const auto error = net::build_icmp_error(ip, 3, 1, original);
+  const auto decoded = net::decode_ipv4(error);
+  ASSERT_TRUE(decoded.has_value());
+  // 4 unused + 20 IP + 8 L4 bytes.
+  EXPECT_EQ(decoded->icmp().payload.size(), 32u);
+}
+
+TEST(IcmpError, ParseRejectsGarbage) {
+  util::Rng rng(3);
+  EXPECT_FALSE(net::parse_icmp_quote(rng.bytes(3)).has_value());
+  std::vector<std::uint8_t> bad(32, 0);
+  bad[4] = 0x60;  // quoted version 6
+  EXPECT_FALSE(net::parse_icmp_quote(bad).has_value());
+}
+
+TEST(RegistrySerialize, RoundTripsSyntheticRegistry) {
+  asdb::SyntheticConfig small;
+  small.eyeball_ases = 20;
+  small.transit_ases = 5;
+  small.enterprise_ases = 5;
+  small.extra_content_ases = 3;
+  const auto original = asdb::AsRegistry::synthetic(small, 11);
+
+  std::stringstream buffer;
+  asdb::save_registry(buffer, original);
+  asdb::LoadError error;
+  const auto loaded = asdb::load_registry(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error.message;
+
+  EXPECT_EQ(loaded->as_count(), original.as_count());
+  // Spot-check well-known entries and lookups.
+  const auto* google = loaded->find(asdb::AsRegistry::kGoogle);
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->name, "GOOGLE");
+  EXPECT_EQ(google->type, asdb::NetworkType::kContent);
+  EXPECT_EQ(google->country, "US");
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto addr =
+        Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    const auto* a = original.lookup(addr);
+    const auto* b = loaded->lookup(addr);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a != nullptr) {
+      EXPECT_EQ(a->asn, b->asn);
+      EXPECT_EQ(a->type, b->type);
+    }
+  }
+}
+
+TEST(RegistrySerialize, ParsesHandWrittenFile) {
+  std::stringstream input(R"(# comment
+as 65000 content US Example CDN Inc
+prefix 65000 198.51.100.0/24
+prefix 65000 203.0.113.0/24
+
+as 65001 eyeball BD Example ISP   # trailing comment
+prefix 65001 192.0.2.0/24
+)");
+  asdb::LoadError error;
+  const auto registry = asdb::load_registry(input, &error);
+  ASSERT_TRUE(registry.has_value()) << error.message;
+  EXPECT_EQ(registry->as_count(), 2u);
+  const auto* cdn = registry->find(65000);
+  ASSERT_NE(cdn, nullptr);
+  EXPECT_EQ(cdn->name, "Example CDN Inc");
+  EXPECT_EQ(registry->prefixes_of(65000).size(), 2u);
+  const auto* isp =
+      registry->lookup(*Ipv4Address::parse("192.0.2.77"));
+  ASSERT_NE(isp, nullptr);
+  EXPECT_EQ(isp->asn, 65001u);
+  EXPECT_EQ(isp->country, "BD");
+}
+
+TEST(RegistrySerialize, ReportsErrors) {
+  asdb::LoadError error;
+
+  std::stringstream bad_keyword("route 1 2 3\n");
+  EXPECT_FALSE(asdb::load_registry(bad_keyword, &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+
+  std::stringstream bad_type("as 1 satellite US X\nprefix 1 1.0.0.0/8\n");
+  EXPECT_FALSE(asdb::load_registry(bad_type, &error).has_value());
+
+  std::stringstream orphan_prefix("prefix 9 1.0.0.0/8\n");
+  EXPECT_FALSE(asdb::load_registry(orphan_prefix, &error).has_value());
+
+  std::stringstream no_prefixes("as 1 content US X\n");
+  EXPECT_FALSE(asdb::load_registry(no_prefixes, &error).has_value());
+
+  std::stringstream bad_cidr("as 1 content US X\nprefix 1 1.0.0.0/40\n");
+  EXPECT_FALSE(asdb::load_registry(bad_cidr, &error).has_value());
+
+  std::stringstream duplicate(
+      "as 1 content US X\nprefix 1 1.0.0.0/8\nas 1 content US Y\n");
+  EXPECT_FALSE(asdb::load_registry(duplicate, &error).has_value());
+
+  EXPECT_FALSE(asdb::load_registry_file("/nonexistent/reg.txt", &error)
+                   .has_value());
+}
+
+TEST(RegistrySerialize, TypeKeywordsRoundTrip) {
+  for (const auto type :
+       {asdb::NetworkType::kEyeball, asdb::NetworkType::kContent,
+        asdb::NetworkType::kTransit, asdb::NetworkType::kEducation,
+        asdb::NetworkType::kEnterprise, asdb::NetworkType::kUnknown}) {
+    const auto parsed =
+        asdb::parse_network_type(asdb::network_type_keyword(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(asdb::parse_network_type("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace quicsand

@@ -1,0 +1,101 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace quicsand::net {
+namespace {
+
+TEST(Ipv4Address, OctetsAndValue) {
+  const auto a = Ipv4Address::from_octets(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xc0000201u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 1);
+}
+
+TEST(Ipv4Address, ToString) {
+  EXPECT_EQ(Ipv4Address::from_octets(8, 8, 8, 8).to_string(), "8.8.8.8");
+  EXPECT_EQ(Ipv4Address(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address(0xffffffff).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("10.20.30.40");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Address::from_octets(10, 20, 30, 40));
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address::from_octets(1, 0, 0, 0),
+            Ipv4Address::from_octets(2, 0, 0, 0));
+}
+
+TEST(Ipv4Address, HashDispersesSequentialAddresses) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<Ipv4Address> h;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(h(Ipv4Address(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ipv4Prefix, ContainsAndSize) {
+  const Ipv4Prefix slash9(Ipv4Address::from_octets(44, 0, 0, 0), 9);
+  EXPECT_EQ(slash9.size(), 1ull << 23);
+  EXPECT_TRUE(slash9.contains(Ipv4Address::from_octets(44, 0, 0, 1)));
+  EXPECT_TRUE(slash9.contains(Ipv4Address::from_octets(44, 127, 255, 255)));
+  EXPECT_FALSE(slash9.contains(Ipv4Address::from_octets(44, 128, 0, 0)));
+  EXPECT_FALSE(slash9.contains(Ipv4Address::from_octets(45, 0, 0, 0)));
+}
+
+TEST(Ipv4Prefix, NormalizesBaseAddress) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.base(), Ipv4Address::from_octets(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(0xffffffff)));
+  EXPECT_EQ(all.size(), 1ull << 32);
+}
+
+TEST(Ipv4Prefix, SlashThirtyTwoIsSingleHost) {
+  const Ipv4Prefix host(Ipv4Address::from_octets(1, 2, 3, 4), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4Address::from_octets(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4Address::from_octets(1, 2, 3, 5)));
+}
+
+TEST(Ipv4Prefix, AtEnumeratesAddresses) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(198, 51, 100, 0), 24);
+  EXPECT_EQ(p.at(0), Ipv4Address::from_octets(198, 51, 100, 0));
+  EXPECT_EQ(p.at(255), Ipv4Address::from_octets(198, 51, 100, 255));
+}
+
+TEST(Ipv4Prefix, ParseAndToString) {
+  auto p = Ipv4Prefix::parse("44.0.0.0/9");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "44.0.0.0/9");
+  EXPECT_EQ(p->length(), 9);
+}
+
+TEST(Ipv4Prefix, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Prefix::parse("44.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("44.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("44.0.0.0/-1").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("bad/9").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/9x").has_value());
+}
+
+}  // namespace
+}  // namespace quicsand::net

@@ -1,0 +1,162 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "net/headers.hpp"
+
+namespace quicsand::net {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("quicsand_pcap_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".pcap"))
+                .string();
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+RawPacket make_packet(util::Timestamp ts, std::uint16_t sport) {
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(192, 0, 2, 1);
+  ip.dst = Ipv4Address::from_octets(44, 1, 2, 3);
+  return {ts, build_udp(ip, sport, 443, std::vector<std::uint8_t>{1, 2, 3})};
+}
+
+TEST_F(PcapTest, WriteThenReadRoundTrip) {
+  {
+    PcapWriter writer(path_);
+    writer.write(make_packet(util::kApril2021Start, 1000));
+    writer.write(make_packet(util::kApril2021Start + 123456, 1001));
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(path_);
+  EXPECT_EQ(reader.linktype(), kLinktypeRaw);
+  auto p1 = reader.next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->timestamp, util::kApril2021Start);
+  auto decoded = decode_ipv4(p1->data);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->udp().src_port, 1000);
+
+  auto p2 = reader.next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->timestamp, util::kApril2021Start + 123456);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(PcapTest, MicrosecondPrecisionPreserved) {
+  const util::Timestamp ts = util::kApril2021Start + 999999;
+  {
+    PcapWriter writer(path_);
+    writer.write(make_packet(ts, 1));
+  }
+  PcapReader reader(path_);
+  auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->timestamp, ts);
+}
+
+TEST_F(PcapTest, ForEachCountsAllPackets) {
+  {
+    PcapWriter writer(path_);
+    for (int i = 0; i < 10; ++i) {
+      writer.write(make_packet(i * util::kSecond, static_cast<std::uint16_t>(i)));
+    }
+  }
+  PcapReader reader(path_);
+  std::uint64_t seen = 0;
+  const auto n = reader.for_each([&](const RawPacket&) { ++seen; });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST_F(PcapTest, EmptyFileHasNoPackets) {
+  { PcapWriter writer(path_); }
+  PcapReader reader(path_);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(PcapTest, RejectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const char junk[24] = {0};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(PcapReader reader(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, RejectsMissingFile) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/path.pcap"),
+               std::runtime_error);
+}
+
+TEST_F(PcapTest, ThrowsOnTruncatedRecord) {
+  {
+    PcapWriter writer(path_);
+    writer.write(make_packet(0, 1));
+  }
+  // Chop the last 2 bytes off the record body.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 2);
+  PcapReader reader(path_);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapTest, StripsEthernetHeader) {
+  // Hand-craft an Ethernet-linktype capture containing one frame.
+  const auto ip_packet = make_packet(0, 7).data;
+  {
+    std::ofstream out(path_, std::ios::binary);
+    auto w32 = [&](std::uint32_t v) {
+      char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                   static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+      out.write(b, 4);
+    };
+    auto w16 = [&](std::uint16_t v) {
+      char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+      out.write(b, 2);
+    };
+    w32(kPcapMagicMicros);
+    w16(2);
+    w16(4);
+    w32(0);
+    w32(0);
+    w32(65535);
+    w32(kLinktypeEthernet);
+    const std::uint32_t framelen =
+        static_cast<std::uint32_t>(ip_packet.size()) + 14;
+    w32(42);  // ts sec
+    w32(0);   // ts usec
+    w32(framelen);
+    w32(framelen);
+    const char eth[14] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                          0x08, 0x00};
+    out.write(eth, sizeof(eth));
+    out.write(reinterpret_cast<const char*>(ip_packet.data()),
+              static_cast<std::streamsize>(ip_packet.size()));
+  }
+  PcapReader reader(path_);
+  EXPECT_EQ(reader.linktype(), kLinktypeEthernet);
+  auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->data, ip_packet);
+  EXPECT_EQ(p->timestamp, 42 * util::kSecond);
+}
+
+}  // namespace
+}  // namespace quicsand::net

@@ -1,0 +1,232 @@
+#include "net/pcapng.hpp"
+
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "net/headers.hpp"
+
+namespace quicsand::net {
+namespace {
+
+/// Minimal pcapng writer for tests (the library itself only reads).
+class TestPcapngWriter {
+ public:
+  explicit TestPcapngWriter(bool big_endian = false)
+      : big_endian_(big_endian) {}
+
+  void section_header() {
+    std::vector<std::uint8_t> body;
+    put_u32(body, kPcapngByteOrderMagic);
+    put_u16(body, 1);  // major
+    put_u16(body, 0);  // minor
+    for (int i = 0; i < 8; ++i) body.push_back(0xff);  // section length -1
+    block(kPcapngSectionHeader, body);
+  }
+
+  void interface_description(std::uint16_t linktype,
+                             std::optional<std::uint8_t> tsresol = {}) {
+    std::vector<std::uint8_t> body;
+    put_u16(body, linktype);
+    put_u16(body, 0);  // reserved
+    put_u32(body, 65535);  // snaplen
+    if (tsresol) {
+      put_u16(body, 9);  // if_tsresol
+      put_u16(body, 1);
+      body.push_back(*tsresol);
+      body.push_back(0);  // padding to 4
+      body.push_back(0);
+      body.push_back(0);
+      put_u16(body, 0);  // opt_endofopt
+      put_u16(body, 0);
+    }
+    block(kPcapngInterfaceDescription, body);
+  }
+
+  void enhanced_packet(std::uint32_t interface_id, std::uint64_t ticks,
+                       std::span<const std::uint8_t> data) {
+    std::vector<std::uint8_t> body;
+    put_u32(body, interface_id);
+    put_u32(body, static_cast<std::uint32_t>(ticks >> 32));
+    put_u32(body, static_cast<std::uint32_t>(ticks));
+    put_u32(body, static_cast<std::uint32_t>(data.size()));
+    put_u32(body, static_cast<std::uint32_t>(data.size()));
+    body.insert(body.end(), data.begin(), data.end());
+    while (body.size() % 4 != 0) body.push_back(0);
+    block(kPcapngEnhancedPacket, body);
+  }
+
+  void unknown_block() { block(0x0bad, {0x01, 0x02, 0x03, 0x04}); }
+
+  void save(const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes_.data()),
+              static_cast<std::streamsize>(bytes_.size()));
+  }
+
+ private:
+  void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    if (big_endian_) {
+      out.push_back(static_cast<std::uint8_t>(v >> 8));
+      out.push_back(static_cast<std::uint8_t>(v));
+    } else {
+      out.push_back(static_cast<std::uint8_t>(v));
+      out.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+  }
+  void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    if (big_endian_) {
+      for (int i = 3; i >= 0; --i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    }
+  }
+  void block(std::uint32_t type, std::vector<std::uint8_t> body) {
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(12 + body.size());
+    put_u32(bytes_, type);
+    put_u32(bytes_, total);
+    bytes_.insert(bytes_.end(), body.begin(), body.end());
+    put_u32(bytes_, total);
+  }
+
+  bool big_endian_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+std::vector<std::uint8_t> sample_ip_packet(std::uint16_t sport) {
+  Ipv4Header ip;
+  ip.src = Ipv4Address::from_octets(192, 0, 2, 1);
+  ip.dst = Ipv4Address::from_octets(44, 0, 0, 9);
+  return build_udp(ip, sport, 443, std::vector<std::uint8_t>{1, 2, 3});
+}
+
+class PcapngTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("quicsand_pcapng_") +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name() +
+              ".pcapng"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(PcapngTest, ReadsRawPackets) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw);
+  const auto packet = sample_ip_packet(1000);
+  writer.enhanced_packet(0, 1617235200000000ULL, packet);  // µs default
+  writer.enhanced_packet(0, 1617235200123456ULL, packet);
+  writer.save(path_);
+
+  PcapngReader reader(path_);
+  auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->timestamp, 1617235200000000LL);
+  EXPECT_EQ(first->data, packet);
+  auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->timestamp, 1617235200123456LL);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.interface_count(), 1u);
+}
+
+TEST_F(PcapngTest, StripsEthernetAndSkipsUnknownBlocks) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeEthernet);
+  writer.unknown_block();
+  const auto ip_packet = sample_ip_packet(2000);
+  std::vector<std::uint8_t> frame(14, 0xee);
+  frame[12] = 0x08;
+  frame[13] = 0x00;
+  frame.insert(frame.end(), ip_packet.begin(), ip_packet.end());
+  writer.enhanced_packet(0, 42, frame);
+  writer.save(path_);
+
+  PcapngReader reader(path_);
+  auto packet = reader.next();
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->data, ip_packet);
+}
+
+TEST_F(PcapngTest, HonoursNanosecondTsresol) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw, std::uint8_t{9});  // 10^-9
+  const auto packet = sample_ip_packet(3000);
+  writer.enhanced_packet(0, 5000000000ULL, packet);  // 5 s in ns
+  writer.save(path_);
+
+  PcapngReader reader(path_);
+  auto read = reader.next();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->timestamp, 5000000LL);  // 5 s in µs
+}
+
+TEST_F(PcapngTest, BigEndianSections) {
+  TestPcapngWriter writer(/*big_endian=*/true);
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw);
+  const auto packet = sample_ip_packet(4000);
+  writer.enhanced_packet(0, 77, packet);
+  writer.save(path_);
+
+  PcapngReader reader(path_);
+  auto read = reader.next();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->data, packet);
+  EXPECT_EQ(read->timestamp, 77);
+}
+
+TEST_F(PcapngTest, ForEachCounts) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw);
+  for (int i = 0; i < 7; ++i) {
+    writer.enhanced_packet(0, static_cast<std::uint64_t>(i),
+                           sample_ip_packet(static_cast<std::uint16_t>(i)));
+  }
+  writer.save(path_);
+  PcapngReader reader(path_);
+  std::uint64_t seen = 0;
+  EXPECT_EQ(reader.for_each([&](const RawPacket&) { ++seen; }), 7u);
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST_F(PcapngTest, RejectsGarbage) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const char junk[32] = {0x42};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(PcapngReader reader(path_), std::runtime_error);
+  EXPECT_THROW(PcapngReader reader("/nonexistent.pcapng"),
+               std::runtime_error);
+}
+
+TEST_F(PcapngTest, RejectsPacketForUnknownInterface) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  // No interface description at all.
+  writer.enhanced_packet(3, 0, sample_ip_packet(1));
+  writer.save(path_);
+  PcapngReader reader(path_);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace quicsand::net

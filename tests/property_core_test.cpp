@@ -1,0 +1,239 @@
+// Property tests for the analysis pipeline: sessionization invariants on
+// random record streams, detector monotonicity in the threshold weight,
+// and correlator consistency against the raw attack intervals.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/correlate.hpp"
+#include "core/dos.hpp"
+#include "core/sessions.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::core {
+namespace {
+
+/// Random stream of QUIC request records from a pool of sources, sorted
+/// by time, as the classifier would produce them.
+std::vector<PacketRecord> random_records(util::Rng& rng,
+                                         std::size_t packets,
+                                         std::size_t sources) {
+  std::vector<PacketRecord> records;
+  records.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    PacketRecord record;
+    record.timestamp =
+        util::kApril2021Start +
+        static_cast<util::Duration>(rng.uniform(6 * util::kHour));
+    record.src = net::Ipv4Address(
+        1000 + static_cast<std::uint32_t>(rng.uniform(sources)));
+    record.dst = net::Ipv4Address(
+        static_cast<std::uint32_t>(0x2c000000 + rng.uniform(1 << 16)));
+    record.src_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    record.dst_port = 443;
+    record.wire_size = 1200;
+    record.cls = TrafficClass::kQuicRequest;
+    record.quic_version = 1;
+    records.push_back(record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return records;
+}
+
+TEST(SessionProperty, PacketsAreConserved) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto records = random_records(rng, 2000, 40);
+    for (const auto timeout :
+         {util::kMinute, 5 * util::kMinute, util::kHour}) {
+      const auto sessions =
+          build_sessions(records, timeout, quic_request_filter());
+      std::uint64_t total = 0;
+      for (const auto& session : sessions) total += session.packets;
+      EXPECT_EQ(total, records.size());
+    }
+  }
+}
+
+TEST(SessionProperty, SameSourceSessionsSeparatedByMoreThanTimeout) {
+  util::Rng rng(43);
+  const auto records = random_records(rng, 3000, 25);
+  const auto timeout = 2 * util::kMinute;
+  const auto sessions =
+      build_sessions(records, timeout, quic_request_filter());
+  std::map<std::uint32_t, std::vector<const Session*>> by_source;
+  for (const auto& session : sessions) {
+    by_source[session.source.value()].push_back(&session);
+  }
+  for (auto& [source, list] : by_source) {
+    std::sort(list.begin(), list.end(),
+              [](const Session* a, const Session* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GT(list[i]->start - list[i - 1]->end, timeout);
+    }
+  }
+}
+
+TEST(SessionProperty, SessionBoundsContainAllMinuteBins) {
+  util::Rng rng(47);
+  const auto records = random_records(rng, 1500, 30);
+  const auto sessions =
+      build_sessions(records, 5 * util::kMinute, quic_request_filter());
+  for (const auto& session : sessions) {
+    EXPECT_LE(session.start, session.end);
+    std::uint64_t binned = 0;
+    for (const auto count : session.minute_counts) binned += count;
+    EXPECT_EQ(binned, session.packets);
+    // The last bin index must match the duration.
+    EXPECT_EQ(session.minute_counts.size(),
+              static_cast<std::size_t>(session.duration() / util::kMinute) +
+                  1);
+  }
+}
+
+TEST(SessionProperty, SweepMatchesBuildSessionsOnRandomTimeouts) {
+  util::Rng rng(53);
+  const auto records = random_records(rng, 2500, 35);
+  std::vector<util::Duration> timeouts;
+  for (int i = 0; i < 12; ++i) {
+    timeouts.push_back(
+        static_cast<util::Duration>(rng.uniform_range(1, 90)) *
+        util::kMinute);
+  }
+  const auto sweep = timeout_sweep(records, timeouts, quic_request_filter());
+  for (const auto& [timeout, count] : sweep) {
+    EXPECT_EQ(count,
+              build_sessions(records, timeout, quic_request_filter()).size());
+  }
+}
+
+TEST(DosProperty, DetectionIsMonotoneInWeight) {
+  util::Rng rng(59);
+  // Build sessions with a wide spread of sizes.
+  std::vector<Session> sessions;
+  for (int i = 0; i < 200; ++i) {
+    Session session;
+    session.source = net::Ipv4Address(static_cast<std::uint32_t>(i));
+    session.start = util::kApril2021Start;
+    const auto minutes = 1 + rng.uniform(120);
+    session.end = session.start +
+                  static_cast<util::Duration>(minutes) * util::kMinute;
+    session.packets = 1 + rng.uniform(2000);
+    session.minute_counts.assign(minutes + 1, 0);
+    for (std::uint64_t p = 0; p < session.packets; ++p) {
+      ++session.minute_counts[rng.uniform(minutes + 1)];
+    }
+    sessions.push_back(std::move(session));
+  }
+  std::size_t previous = sessions.size() + 1;
+  std::set<std::uint32_t> previous_set;
+  bool first = true;
+  for (const double w : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const auto attacks =
+        detect_attacks(sessions, DosThresholds{}.weighted(w));
+    std::set<std::uint32_t> current;
+    for (const auto& attack : attacks) current.insert(attack.victim.value());
+    EXPECT_LE(attacks.size(), previous);
+    if (!first) {
+      // Stricter thresholds select a subset.
+      for (const auto v : current) EXPECT_TRUE(previous_set.contains(v));
+    }
+    previous = attacks.size();
+    previous_set = std::move(current);
+    first = false;
+  }
+}
+
+TEST(DosProperty, DetectedPlusExcludedCoverAllSessions) {
+  util::Rng rng(61);
+  std::vector<Session> sessions;
+  for (int i = 0; i < 150; ++i) {
+    Session session;
+    session.source = net::Ipv4Address(static_cast<std::uint32_t>(i));
+    session.start = util::kApril2021Start;
+    const auto minutes = 1 + rng.uniform(30);
+    session.end = session.start +
+                  static_cast<util::Duration>(minutes) * util::kMinute;
+    session.packets = 1 + rng.uniform(500);
+    session.minute_counts.assign(minutes + 1, 0);
+    session.minute_counts[0] = static_cast<std::uint32_t>(session.packets);
+    sessions.push_back(std::move(session));
+  }
+  const auto attacks = detect_attacks(sessions, {});
+  const auto excluded = summarize_excluded(sessions, {});
+  EXPECT_EQ(attacks.size() + excluded.count, sessions.size());
+}
+
+DetectedAttack make_attack(std::uint32_t victim, util::Timestamp start,
+                           util::Duration duration) {
+  DetectedAttack attack;
+  attack.victim = net::Ipv4Address(victim);
+  attack.start = start;
+  attack.end = start + duration;
+  attack.packets = 100;
+  attack.peak_pps = 1;
+  return attack;
+}
+
+TEST(CorrelatorProperty, RandomSchedulesAreConsistent) {
+  util::Rng rng(67);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<DetectedAttack> quic, common;
+    for (int i = 0; i < 40; ++i) {
+      quic.push_back(make_attack(
+          static_cast<std::uint32_t>(rng.uniform(12)),
+          util::kApril2021Start +
+              static_cast<util::Duration>(rng.uniform(util::kDay)),
+          util::kMinute +
+              static_cast<util::Duration>(rng.uniform(2 * util::kHour))));
+    }
+    for (int i = 0; i < 30; ++i) {
+      common.push_back(make_attack(
+          static_cast<std::uint32_t>(rng.uniform(12)),
+          util::kApril2021Start +
+              static_cast<util::Duration>(rng.uniform(util::kDay)),
+          util::kMinute +
+              static_cast<util::Duration>(rng.uniform(3 * util::kHour))));
+    }
+    const auto report = correlate_attacks(quic, common);
+    EXPECT_EQ(report.total(), quic.size());
+    EXPECT_NEAR(report.share(Relation::kConcurrent) +
+                    report.share(Relation::kSequential) +
+                    report.share(Relation::kIsolated),
+                1.0, 1e-9);
+    for (const auto& correlation : report.per_attack) {
+      const auto& attack = quic[correlation.quic_attack_index];
+      // Re-derive the relation directly from the intervals.
+      bool any_same_victim = false;
+      bool any_overlap = false;
+      for (const auto& other : common) {
+        if (other.victim != attack.victim) continue;
+        any_same_victim = true;
+        if (attack.overlaps(other, util::kSecond)) any_overlap = true;
+      }
+      switch (correlation.relation) {
+        case Relation::kConcurrent:
+          EXPECT_TRUE(any_overlap);
+          EXPECT_GT(correlation.overlap_share, 0.0);
+          EXPECT_LE(correlation.overlap_share, 1.0);
+          break;
+        case Relation::kSequential:
+          EXPECT_TRUE(any_same_victim);
+          EXPECT_GE(correlation.gap, 0);
+          break;
+        case Relation::kIsolated:
+          EXPECT_FALSE(any_same_victim);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quicsand::core

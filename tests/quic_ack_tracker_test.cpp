@@ -1,0 +1,146 @@
+#include "quic/ack_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+TEST(AckTracker, TracksContiguousRange) {
+  AckTracker tracker;
+  for (std::uint64_t pn = 0; pn < 10; ++pn) {
+    EXPECT_TRUE(tracker.on_packet(pn));
+  }
+  EXPECT_EQ(tracker.range_count(), 1u);
+  EXPECT_EQ(tracker.largest(), 9u);
+  EXPECT_EQ(tracker.packet_count(), 10u);
+  const auto ack = tracker.build_ack(25);
+  EXPECT_EQ(ack.largest_acknowledged, 9u);
+  EXPECT_EQ(ack.first_range, 9u);
+  EXPECT_TRUE(ack.ranges.empty());
+  EXPECT_EQ(ack.ack_delay, 25u);
+}
+
+TEST(AckTracker, DetectsDuplicates) {
+  AckTracker tracker;
+  EXPECT_TRUE(tracker.on_packet(5));
+  EXPECT_FALSE(tracker.on_packet(5));
+  EXPECT_EQ(tracker.packet_count(), 1u);
+}
+
+TEST(AckTracker, GapsProduceRanges) {
+  AckTracker tracker;
+  for (const std::uint64_t pn : {0ull, 1ull, 2ull, 5ull, 6ull, 10ull}) {
+    tracker.on_packet(pn);
+  }
+  EXPECT_EQ(tracker.range_count(), 3u);
+  const auto ack = tracker.build_ack(0);
+  EXPECT_EQ(ack.largest_acknowledged, 10u);
+  EXPECT_EQ(ack.first_range, 0u);
+  ASSERT_EQ(ack.ranges.size(), 2u);
+  // 10, then gap to [5,6]: gap = 10-6-2 = 2, length 1.
+  EXPECT_EQ(ack.ranges[0], (std::pair<std::uint64_t, std::uint64_t>{2, 1}));
+  // then gap to [0,2]: gap = 5-2-2 = 1, length 2.
+  EXPECT_EQ(ack.ranges[1], (std::pair<std::uint64_t, std::uint64_t>{1, 2}));
+}
+
+TEST(AckTracker, MergesWhenHoleFills) {
+  AckTracker tracker;
+  tracker.on_packet(0);
+  tracker.on_packet(2);
+  EXPECT_EQ(tracker.range_count(), 2u);
+  tracker.on_packet(1);  // fills the hole
+  EXPECT_EQ(tracker.range_count(), 1u);
+  EXPECT_TRUE(tracker.contains(0));
+  EXPECT_TRUE(tracker.contains(1));
+  EXPECT_TRUE(tracker.contains(2));
+  EXPECT_FALSE(tracker.contains(3));
+}
+
+TEST(AckTracker, FromAckInvertsBuildAck) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    AckTracker original;
+    std::set<std::uint64_t> pns;
+    for (int i = 0; i < 60; ++i) {
+      const auto pn = rng.uniform(200);
+      pns.insert(pn);
+      original.on_packet(pn);
+    }
+    EXPECT_EQ(original.packet_count(), pns.size());
+    const auto ack = original.build_ack(0, /*max_ranges=*/1000);
+    const auto rebuilt = AckTracker::from_ack(ack);
+    EXPECT_EQ(rebuilt.packet_count(), original.packet_count());
+    for (const auto pn : pns) EXPECT_TRUE(rebuilt.contains(pn)) << pn;
+  }
+}
+
+TEST(AckTracker, RoundTripsThroughFrameCodec) {
+  AckTracker tracker;
+  for (const std::uint64_t pn : {1ull, 2ull, 3ull, 7ull, 9ull, 20ull}) {
+    tracker.on_packet(pn);
+  }
+  util::ByteWriter w;
+  write_frame(w, tracker.build_ack(12, 1000));
+  const auto frames = parse_frames(w.view());
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_EQ(frames->size(), 1u);
+  const auto rebuilt =
+      AckTracker::from_ack(std::get<AckFrame>((*frames)[0]));
+  for (const std::uint64_t pn : {1ull, 2ull, 3ull, 7ull, 9ull, 20ull}) {
+    EXPECT_TRUE(rebuilt.contains(pn));
+  }
+  EXPECT_FALSE(rebuilt.contains(4));
+  EXPECT_FALSE(rebuilt.contains(19));
+}
+
+TEST(AckTracker, MaxRangesBoundsFrame) {
+  AckTracker tracker;
+  for (std::uint64_t pn = 0; pn < 100; pn += 2) tracker.on_packet(pn);
+  EXPECT_EQ(tracker.range_count(), 50u);
+  const auto ack = tracker.build_ack(0, 8);
+  EXPECT_EQ(ack.ranges.size(), 7u);  // largest range + 7 more
+}
+
+TEST(AckTracker, EmptyTrackerThrows) {
+  AckTracker tracker;
+  EXPECT_THROW((void)tracker.largest(), std::logic_error);
+  EXPECT_THROW((void)tracker.build_ack(0), std::logic_error);
+}
+
+TEST(AckTracker, FromAckRejectsMalformedFrames) {
+  AckFrame underflow;
+  underflow.largest_acknowledged = 3;
+  underflow.first_range = 5;
+  EXPECT_THROW(AckTracker::from_ack(underflow), std::invalid_argument);
+
+  AckFrame bad_gap;
+  bad_gap.largest_acknowledged = 10;
+  bad_gap.first_range = 0;
+  bad_gap.ranges = {{20, 1}};
+  EXPECT_THROW(AckTracker::from_ack(bad_gap), std::invalid_argument);
+}
+
+TEST(AckTracker, RandomInsertionOrderIsCanonical) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> pns;
+    for (int i = 0; i < 40; ++i) pns.push_back(rng.uniform(120));
+    AckTracker forward, backward;
+    for (const auto pn : pns) forward.on_packet(pn);
+    for (auto it = pns.rbegin(); it != pns.rend(); ++it) {
+      backward.on_packet(*it);
+    }
+    EXPECT_EQ(forward.range_count(), backward.range_count());
+    EXPECT_EQ(forward.packet_count(), backward.packet_count());
+    for (std::uint64_t pn = 0; pn < 120; ++pn) {
+      EXPECT_EQ(forward.contains(pn), backward.contains(pn));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quicsand::quic

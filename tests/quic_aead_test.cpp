@@ -1,0 +1,205 @@
+#include "quic/initial_aead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quic/frames.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+using util::from_hex_strict;
+using util::to_hex;
+
+const ConnectionId kRfcDcid{
+    [] { return ConnectionId(from_hex_strict("8394c8f03e515708")); }()};
+
+// RFC 9001 Appendix A.1 key values.
+TEST(InitialKeys, MatchRfc9001AppendixA) {
+  const auto client = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  EXPECT_EQ(to_hex(client.key), "1f369613dd76d5467730efcbe3b1a22d");
+  EXPECT_EQ(to_hex(client.iv), "fa044b2f42a3fd3b46fb255c");
+  EXPECT_EQ(to_hex(client.hp), "9f50449e04a0e810283a1e9933adedd2");
+
+  const auto server = derive_initial_keys(1, kRfcDcid, Perspective::kServer);
+  EXPECT_EQ(to_hex(server.key), "cf3a5331653c364c88f0f379b6067e37");
+  EXPECT_EQ(to_hex(server.iv), "0ac1493ca1905853b0bba03e");
+  EXPECT_EQ(to_hex(server.hp), "c206b8d9b9f0f37644430b490eeaa314");
+}
+
+TEST(InitialKeys, DependOnVersionSalt) {
+  const auto v1 = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  const auto d29 =
+      derive_initial_keys(0xff00001d, kRfcDcid, Perspective::kClient);
+  const auto d27 =
+      derive_initial_keys(0xff00001b, kRfcDcid, Perspective::kClient);
+  EXPECT_NE(to_hex(v1.key), to_hex(d29.key));
+  EXPECT_NE(to_hex(d29.key), to_hex(d27.key));
+  // mvfst-draft-27 shares the draft-23..28 salt.
+  const auto mvfst =
+      derive_initial_keys(0xfaceb002, kRfcDcid, Perspective::kClient);
+  EXPECT_EQ(to_hex(mvfst.key), to_hex(d27.key));
+}
+
+TEST(InitialKeys, ThrowsForGquic) {
+  EXPECT_THROW(derive_initial_keys(0x51303433, kRfcDcid, Perspective::kClient),
+               std::invalid_argument);
+}
+
+TEST(HandshakeKeysSimulated, DistinctFromInitialKeys) {
+  const auto initial = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  const auto hs =
+      derive_handshake_keys_simulated(1, kRfcDcid, Perspective::kClient);
+  EXPECT_NE(to_hex(initial.key), to_hex(hs.key));
+  const auto hs_server =
+      derive_handshake_keys_simulated(1, kRfcDcid, Perspective::kServer);
+  EXPECT_NE(to_hex(hs.key), to_hex(hs_server.key));
+}
+
+LongHeader make_header(std::uint64_t pn = 2, int pn_len = 4) {
+  LongHeader hdr;
+  hdr.type = PacketType::kInitial;
+  hdr.version = 1;
+  hdr.dcid = kRfcDcid;
+  hdr.scid = ConnectionId(from_hex_strict("c0ffee"));
+  hdr.packet_number = pn;
+  hdr.packet_number_length = pn_len;
+  return hdr;
+}
+
+TEST(SealOpen, RoundTripsAcrossPnLengths) {
+  util::Rng rng(1);
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  for (int pn_len = 1; pn_len <= 4; ++pn_len) {
+    const auto payload = rng.bytes(120);
+    const auto packet =
+        seal_long_header_packet(keys, make_header(7, pn_len), payload);
+    const auto view = parse_long_header(packet, 0);
+    ASSERT_TRUE(view.has_value()) << "pn_len " << pn_len;
+    const auto opened = open_long_header_packet(keys, packet, *view);
+    ASSERT_TRUE(opened.has_value()) << "pn_len " << pn_len;
+    EXPECT_EQ(opened->packet_number, 7u);
+    EXPECT_EQ(opened->payload, payload);
+  }
+}
+
+TEST(SealOpen, HeaderProtectionMasksFirstByteAndPn) {
+  util::Rng rng(2);
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  const auto payload = rng.bytes(64);
+  const auto packet = seal_long_header_packet(keys, make_header(), payload);
+  // The protected first byte should (almost surely) differ from the
+  // plaintext encoding 0xc3 in its low bits OR the pn bytes must differ;
+  // verify protection is in effect by flipping: unprotected encode.
+  const auto enc = encode_long_header(make_header());
+  bool differs = packet[0] != enc.bytes[0];
+  for (std::size_t i = 0; i < 4 && !differs; ++i) {
+    differs = packet[enc.pn_offset + i] != enc.bytes[enc.pn_offset + i];
+  }
+  EXPECT_TRUE(differs);
+  // Reserved/type bits above the mask are untouched.
+  EXPECT_EQ(packet[0] & 0xf0, 0xc0);
+}
+
+TEST(SealOpen, WrongKeysFail) {
+  util::Rng rng(3);
+  const auto client = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  const auto server = derive_initial_keys(1, kRfcDcid, Perspective::kServer);
+  const auto packet =
+      seal_long_header_packet(client, make_header(), rng.bytes(50));
+  const auto view = parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(open_long_header_packet(client, packet, *view).has_value());
+  EXPECT_FALSE(open_long_header_packet(server, packet, *view).has_value());
+}
+
+TEST(SealOpen, TamperedPacketFails) {
+  util::Rng rng(4);
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  auto packet = seal_long_header_packet(keys, make_header(), rng.bytes(50));
+  packet[packet.size() / 2] ^= 0x01;
+  const auto view = parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(open_long_header_packet(keys, packet, *view).has_value());
+}
+
+TEST(SealOpen, TamperedHeaderAadFails) {
+  util::Rng rng(5);
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  auto packet = seal_long_header_packet(keys, make_header(), rng.bytes(50));
+  packet[6] ^= 0x01;  // inside the DCID (AAD)
+  // Reparse with the altered DCID; decryption must fail (AAD mismatch)
+  // even with the right traffic keys.
+  const auto view = parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(open_long_header_packet(keys, packet, *view).has_value());
+}
+
+TEST(SealOpen, EmptyPayloadStillHasTag) {
+  util::Rng rng(6);
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  // A real endpoint always has >= 1 frame; sealing an empty payload is
+  // still well-formed (pn + tag = 20 bytes length).
+  const auto packet = seal_long_header_packet(keys, make_header(), {});
+  const auto view = parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->length, 20u);
+  const auto opened = open_long_header_packet(keys, packet, *view);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->payload.empty());
+}
+
+TEST(SealOpen, RejectsOversizedPayload) {
+  const auto keys = derive_initial_keys(1, kRfcDcid, Perspective::kClient);
+  const std::vector<std::uint8_t> huge(17000, 0);
+  EXPECT_THROW(seal_long_header_packet(keys, make_header(), huge),
+               std::invalid_argument);
+}
+
+TEST(SealOpen, HandshakeSpaceRoundTrip) {
+  util::Rng rng(7);
+  const auto keys =
+      derive_handshake_keys_simulated(0xff00001d, kRfcDcid,
+                                      Perspective::kServer);
+  LongHeader hdr = make_header(1, 2);
+  hdr.type = PacketType::kHandshake;
+  hdr.version = 0xff00001d;
+  const auto payload = rng.bytes(800);
+  const auto packet = seal_long_header_packet(keys, hdr, payload);
+  const auto view = parse_long_header(packet, 0);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->type, PacketType::kHandshake);
+  const auto opened = open_long_header_packet(keys, packet, *view);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->payload, payload);
+}
+
+TEST(SealOpen, CoalescedPacketsOpenIndependently) {
+  util::Rng rng(8);
+  const auto ikeys = derive_initial_keys(1, kRfcDcid, Perspective::kServer);
+  const auto hkeys =
+      derive_handshake_keys_simulated(1, kRfcDcid, Perspective::kServer);
+  const auto p1 = seal_long_header_packet(ikeys, make_header(0, 2),
+                                          rng.bytes(100));
+  LongHeader hs = make_header(0, 2);
+  hs.type = PacketType::kHandshake;
+  const auto p2 = seal_long_header_packet(hkeys, hs, rng.bytes(200));
+  std::vector<std::uint8_t> datagram = p1;
+  datagram.insert(datagram.end(), p2.begin(), p2.end());
+
+  const auto v1 = parse_long_header(datagram, 0);
+  ASSERT_TRUE(v1.has_value());
+  const auto o1 = open_long_header_packet(ikeys, datagram, *v1);
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(o1->payload.size(), 100u);
+
+  const auto v2 = parse_long_header(datagram, v1->packet_end);
+  ASSERT_TRUE(v2.has_value());
+  const auto o2 = open_long_header_packet(hkeys, datagram, *v2);
+  ASSERT_TRUE(o2.has_value());
+  EXPECT_EQ(o2->payload.size(), 200u);
+}
+
+}  // namespace
+}  // namespace quicsand::quic

@@ -1,0 +1,226 @@
+#include "quic/dissector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quic/packets.hpp"
+#include "quic/retry.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+using util::from_hex_strict;
+
+class DissectorTest : public ::testing::TestWithParam<CryptoFidelity> {
+ protected:
+  util::Rng rng_{42};
+};
+
+INSTANTIATE_TEST_SUITE_P(BothFidelities, DissectorTest,
+                         ::testing::Values(CryptoFidelity::kFull,
+                                           CryptoFidelity::kFast),
+                         [](const auto& info) {
+                           return info.param == CryptoFidelity::kFull
+                                      ? std::string("full")
+                                      : std::string("fast");
+                         });
+
+TEST_P(DissectorTest, ClientInitialDissects) {
+  const auto ctx = HandshakeContext::random(1, rng_);
+  const auto datagram =
+      build_client_initial(ctx, "example.org", rng_, GetParam());
+  EXPECT_EQ(datagram.size(), 1200u);
+  const auto result = dissect_udp_payload(datagram);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  ASSERT_EQ(result.packets.size(), 1u);
+  const auto& pkt = result.packets[0];
+  EXPECT_EQ(pkt.kind, QuicPacketKind::kInitial);
+  EXPECT_EQ(pkt.version, 1u);
+  EXPECT_EQ(pkt.dcid, ctx.client_dcid);
+  EXPECT_EQ(pkt.scid, ctx.client_scid);
+  EXPECT_EQ(pkt.token_length, 0u);
+  EXPECT_EQ(pkt.size, 1200u);
+  EXPECT_EQ(pkt.direction, InitialDirection::kNotAttempted);
+}
+
+TEST_P(DissectorTest, ServerFlightDissectsAsCoalesced) {
+  const auto ctx = HandshakeContext::random(0xff00001d, rng_);
+  const auto datagram = build_server_initial_handshake(ctx, rng_, GetParam());
+  const auto result = dissect_udp_payload(datagram);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  ASSERT_EQ(result.packets.size(), 2u);
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kInitial);
+  EXPECT_EQ(result.packets[1].kind, QuicPacketKind::kHandshake);
+  // The backscatter SCID is the server's connection ID (Figure 9 counts
+  // these), and the DCID routes back to the spoofed client.
+  EXPECT_EQ(result.packets[0].scid, ctx.server_scid);
+  EXPECT_EQ(result.packets[0].dcid, ctx.client_scid);
+}
+
+TEST_P(DissectorTest, HandshakeAndPingDatagrams) {
+  const auto ctx = HandshakeContext::random(0xfaceb002, rng_);
+  const auto hs = build_server_handshake(ctx, rng_, GetParam());
+  const auto ping = build_server_handshake_ping(ctx, rng_, GetParam());
+  const auto r1 = dissect_udp_payload(hs);
+  ASSERT_TRUE(r1.is_quic);
+  EXPECT_EQ(r1.packets[0].kind, QuicPacketKind::kHandshake);
+  EXPECT_EQ(r1.packets[0].version, 0xfaceb002u);
+  const auto r2 = dissect_udp_payload(ping);
+  ASSERT_TRUE(r2.is_quic);
+  EXPECT_EQ(r2.packets[0].kind, QuicPacketKind::kHandshake);
+  EXPECT_LT(ping.size(), 100u);
+}
+
+TEST_F(DissectorTest, VersionNegotiationDissects) {
+  util::Rng rng(1);
+  const std::uint32_t versions[] = {1, 0xff00001d};
+  const auto vn = build_version_negotiation(
+      ConnectionId(from_hex_strict("aabb")),
+      ConnectionId(from_hex_strict("ccdd")), versions, rng);
+  const auto result = dissect_udp_payload(vn);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kVersionNegotiation);
+}
+
+TEST_F(DissectorTest, RetryDissects) {
+  const auto odcid = ConnectionId(from_hex_strict("8394c8f03e515708"));
+  const auto packet = build_retry_packet(
+      1, ConnectionId(from_hex_strict("c0ffee")),
+      ConnectionId(from_hex_strict("0011223344556677")),
+      from_hex_strict("aabbccddeeff00112233"), odcid);
+  const auto result = dissect_udp_payload(packet);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kRetry);
+  EXPECT_EQ(result.packets[0].token_length, 10u);
+}
+
+TEST_F(DissectorTest, StatelessResetLooksLikeShortHeader) {
+  util::Rng rng(2);
+  const auto reset = build_stateless_reset(rng);
+  const auto result = dissect_udp_payload(reset);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kShort);
+}
+
+TEST_F(DissectorTest, GquicVersionClassified) {
+  // Long-header-looking first byte with version Q043.
+  std::vector<std::uint8_t> pkt = {0xc0, 'Q', '0', '4', '3'};
+  pkt.resize(40, 0xab);
+  const auto result = dissect_udp_payload(pkt);
+  ASSERT_TRUE(result.is_quic);
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kGquic);
+}
+
+TEST_F(DissectorTest, RejectsEmptyPayload) {
+  const auto result = dissect_udp_payload({});
+  EXPECT_FALSE(result.is_quic);
+  EXPECT_EQ(result.reject_reason, "empty");
+}
+
+TEST_F(DissectorTest, RejectsNonQuicDns) {
+  // A plausible DNS response over UDP: no fixed bit in the first byte.
+  const std::vector<std::uint8_t> dns = {0x12, 0x34, 0x81, 0x80,
+                                         0x00, 0x01, 0x00, 0x01};
+  const auto result = dissect_udp_payload(dns);
+  EXPECT_FALSE(result.is_quic);
+}
+
+TEST_F(DissectorTest, RejectsShortHeaderRunt) {
+  const std::vector<std::uint8_t> runt = {0x40, 0x01, 0x02};
+  const auto result = dissect_udp_payload(runt);
+  EXPECT_FALSE(result.is_quic);
+  EXPECT_EQ(result.reject_reason, "short-header-too-small");
+}
+
+TEST_F(DissectorTest, RejectsUnknownVersion) {
+  std::vector<std::uint8_t> pkt = {0xc0, 0xde, 0xad, 0xbe, 0xef};
+  pkt.resize(1200, 0);
+  const auto result = dissect_udp_payload(pkt);
+  EXPECT_FALSE(result.is_quic);
+  EXPECT_EQ(result.reject_reason, "unknown-version");
+}
+
+TEST_F(DissectorTest, RejectsTruncatedLongHeader) {
+  util::Rng rng(3);
+  const auto ctx = HandshakeContext::random(1, rng);
+  auto datagram =
+      build_client_initial(ctx, "example.org", rng, CryptoFidelity::kFast);
+  datagram.resize(300);  // cut mid-payload; length field now overruns
+  const auto result = dissect_udp_payload(datagram);
+  EXPECT_FALSE(result.is_quic);
+  EXPECT_EQ(result.reject_reason, "bad-length");
+}
+
+TEST_F(DissectorTest, DeepModeIdentifiesClientHello) {
+  util::Rng rng(4);
+  const auto ctx = HandshakeContext::random(1, rng);
+  const auto datagram =
+      build_client_initial(ctx, "www.google.com", rng, CryptoFidelity::kFull);
+  DissectOptions opts;
+  opts.decrypt_initials = true;
+  const auto result = dissect_udp_payload(datagram, opts);
+  ASSERT_TRUE(result.is_quic);
+  EXPECT_EQ(result.packets[0].direction, InitialDirection::kClientHello);
+}
+
+TEST_F(DissectorTest, DeepModeClassifiesServerResponse) {
+  util::Rng rng(5);
+  const auto ctx = HandshakeContext::random(1, rng);
+  const auto datagram =
+      build_server_initial_handshake(ctx, rng, CryptoFidelity::kFull);
+  DissectOptions opts;
+  opts.decrypt_initials = true;
+  const auto result = dissect_udp_payload(datagram, opts);
+  ASSERT_TRUE(result.is_quic);
+  ASSERT_EQ(result.packets.size(), 2u);
+  // The server reply is keyed on the original client DCID, which is not
+  // in this datagram: an observer cannot decrypt it. This matches the
+  // paper's "Initials without unencrypted Client Hello" observation.
+  EXPECT_EQ(result.packets[0].direction, InitialDirection::kUndecryptable);
+}
+
+TEST_F(DissectorTest, DeepModeOnFastFidelityIsUndecryptable) {
+  util::Rng rng(6);
+  const auto ctx = HandshakeContext::random(1, rng);
+  const auto datagram =
+      build_client_initial(ctx, "example.org", rng, CryptoFidelity::kFast);
+  DissectOptions opts;
+  opts.decrypt_initials = true;
+  const auto result = dissect_udp_payload(datagram, opts);
+  ASSERT_TRUE(result.is_quic);
+  EXPECT_EQ(result.packets[0].direction, InitialDirection::kUndecryptable);
+}
+
+TEST_F(DissectorTest, CoalescedWithTrailingShortHeader) {
+  util::Rng rng(7);
+  const auto ctx = HandshakeContext::random(1, rng);
+  auto datagram = build_server_initial_handshake(ctx, rng,
+                                                 CryptoFidelity::kFast);
+  const auto reset = build_stateless_reset(rng, 30);
+  datagram.insert(datagram.end(), reset.begin(), reset.end());
+  const auto result = dissect_udp_payload(datagram);
+  ASSERT_TRUE(result.is_quic);
+  ASSERT_EQ(result.packets.size(), 3u);
+  EXPECT_EQ(result.packets[2].kind, QuicPacketKind::kShort);
+}
+
+TEST_F(DissectorTest, TrailingZeroPaddingAccepted) {
+  util::Rng rng(8);
+  const auto ctx = HandshakeContext::random(1, rng);
+  auto datagram = build_server_handshake(ctx, rng, CryptoFidelity::kFast);
+  datagram.resize(datagram.size() + 40, 0x00);
+  const auto result = dissect_udp_payload(datagram);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  EXPECT_EQ(result.packets.size(), 1u);
+}
+
+TEST_F(DissectorTest, KindNamesAreStable) {
+  EXPECT_STREQ(quic_packet_kind_name(QuicPacketKind::kInitial), "initial");
+  EXPECT_STREQ(quic_packet_kind_name(QuicPacketKind::kVersionNegotiation),
+               "version-negotiation");
+  EXPECT_STREQ(quic_packet_kind_name(QuicPacketKind::kGquic), "gquic");
+}
+
+}  // namespace
+}  // namespace quicsand::quic

@@ -1,0 +1,72 @@
+#include "quic/packet_number.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+// RFC 9000 Appendix A.2 worked example.
+TEST(PacketNumberLength, Rfc9000AppendixA2Example) {
+  // full_pn = 0xac5c02, largest_acked = 0xabe8b3 -> 16 bits (2 bytes).
+  EXPECT_EQ(packet_number_length(0xac5c02, 0xabe8b3), 2);
+  // full_pn = 0xace8fe, largest_acked = 0xabe8b3 -> 18 bits -> 3 bytes.
+  EXPECT_EQ(packet_number_length(0xace8fe, 0xabe8b3), 3);
+}
+
+TEST(PacketNumberLength, FirstPacketNeedsFullValue) {
+  EXPECT_EQ(packet_number_length(0, -1), 1);
+  EXPECT_EQ(packet_number_length(200, -1), 2);
+  EXPECT_EQ(packet_number_length(0xffff, -1), 3);
+}
+
+TEST(PacketNumberLength, ThrowsWhenRangeExceedsFourBytes) {
+  EXPECT_THROW(packet_number_length(1ULL << 40, 0), std::invalid_argument);
+}
+
+// RFC 9000 Appendix A.3 worked example.
+TEST(DecodePacketNumber, Rfc9000AppendixA3Example) {
+  // largest = 0xa82f30ea, truncated = 0x9b32 (16 bits) -> 0xa82f9b32.
+  EXPECT_EQ(decode_packet_number(0xa82f30ea, 0x9b32, 16), 0xa82f9b32u);
+}
+
+TEST(DecodePacketNumber, WindowWrapForward) {
+  // Largest 0xff, next expected 0x100; truncated 0x00 over 8 bits must
+  // decode forward to 0x100.
+  EXPECT_EQ(decode_packet_number(0xff, 0x00, 8), 0x100u);
+}
+
+TEST(DecodePacketNumber, WindowWrapBackward) {
+  // Expected 0x102, truncated 0xfe is closer behind: 0xfe.
+  EXPECT_EQ(decode_packet_number(0x101, 0xfe, 8), 0xfeu);
+}
+
+TEST(DecodePacketNumber, RejectsBadBitWidth) {
+  EXPECT_THROW(decode_packet_number(0, 0, 12), std::invalid_argument);
+}
+
+TEST(DecodePacketNumber, RoundTripsWithEncoder) {
+  util::Rng rng(1);
+  // Property: for any largest_acked and a full_pn within a sane distance,
+  // encoding with packet_number_length() then decoding with
+  // largest = full_pn - delta recovers full_pn.
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::uint64_t largest_acked = rng.uniform(1ULL << 40);
+    const std::uint64_t delta = 1 + rng.uniform(1 << 15);
+    const std::uint64_t full_pn = largest_acked + delta;
+    const int bytes = packet_number_length(
+        full_pn, static_cast<std::int64_t>(largest_acked));
+    const std::uint64_t truncated =
+        full_pn & ((bytes == 8 ? 0 : (1ULL << (8 * bytes))) - 1);
+    // The receiver has processed everything up to full_pn - 1 at worst
+    // one window behind.
+    const std::uint64_t receiver_largest = full_pn - 1;
+    EXPECT_EQ(decode_packet_number(receiver_largest, truncated, 8 * bytes),
+              full_pn)
+        << "largest_acked=" << largest_acked << " full=" << full_pn;
+  }
+}
+
+}  // namespace
+}  // namespace quicsand::quic

@@ -1,0 +1,69 @@
+#include "quic/stateless_reset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quic/dissector.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+TEST(StatelessReset, TokenIsDeterministicPerKeyAndCid) {
+  util::Rng rng(1);
+  const auto key = rng.bytes(32);
+  StatelessResetter a(key), b(key);
+  const auto cid = ConnectionId(rng.bytes(8));
+  EXPECT_EQ(a.token_for(cid), b.token_for(cid));
+  EXPECT_NE(a.token_for(cid), a.token_for(ConnectionId(rng.bytes(8))));
+  StatelessResetter other(rng.bytes(32));
+  EXPECT_NE(a.token_for(cid), other.token_for(cid));
+}
+
+TEST(StatelessReset, BuildAndDetect) {
+  util::Rng rng(2);
+  StatelessResetter resetter(rng.bytes(32));
+  const auto cid = ConnectionId(rng.bytes(8));
+  const auto packet = resetter.build(cid, rng, 48);
+  EXPECT_EQ(packet.size(), 48u);
+  EXPECT_EQ(packet[0] & 0xc0, 0x40);  // short-header form + fixed bit
+  EXPECT_TRUE(resetter.is_reset_for(packet, cid));
+  // The wrong connection id does not match.
+  EXPECT_FALSE(resetter.is_reset_for(packet, ConnectionId(rng.bytes(8))));
+  // Another endpoint's key does not recognize it either.
+  StatelessResetter other(rng.bytes(32));
+  EXPECT_FALSE(other.is_reset_for(packet, cid));
+}
+
+TEST(StatelessReset, LooksLikeAnOrdinaryShortHeaderPacket) {
+  // Indistinguishability: the dissector must classify it as a plain
+  // short-header packet, exactly like for any 1-RTT traffic.
+  util::Rng rng(3);
+  StatelessResetter resetter(rng.bytes(32));
+  const auto packet = resetter.build(ConnectionId(rng.bytes(8)), rng);
+  const auto result = dissect_udp_payload(packet);
+  ASSERT_TRUE(result.is_quic) << result.reject_reason;
+  EXPECT_EQ(result.packets[0].kind, QuicPacketKind::kShort);
+}
+
+TEST(StatelessReset, RejectsDegenerateArguments) {
+  util::Rng rng(4);
+  EXPECT_THROW(StatelessResetter resetter({}), std::invalid_argument);
+  StatelessResetter resetter(rng.bytes(32));
+  EXPECT_THROW((void)resetter.build(ConnectionId(rng.bytes(8)), rng, 20),
+               std::invalid_argument);
+  // Runt datagrams never match.
+  EXPECT_FALSE(resetter.is_reset_for(rng.bytes(10),
+                                     ConnectionId(rng.bytes(8))));
+}
+
+TEST(StatelessReset, BitFlipInTokenBreaksDetection) {
+  util::Rng rng(5);
+  StatelessResetter resetter(rng.bytes(32));
+  const auto cid = ConnectionId(rng.bytes(8));
+  auto packet = resetter.build(cid, rng);
+  packet[packet.size() - 1] ^= 0x01;
+  EXPECT_FALSE(resetter.is_reset_for(packet, cid));
+}
+
+}  // namespace
+}  // namespace quicsand::quic

@@ -1,0 +1,145 @@
+#include "quic/transport_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quic/tls_messages.hpp"
+#include "quic/varint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+TEST(TransportParams, TypicalClientRoundTrips) {
+  util::Rng rng(1);
+  const auto scid = ConnectionId(rng.bytes(8));
+  const auto params = TransportParameters::typical_client(scid);
+  const auto encoded = encode_transport_parameters(params);
+  EXPECT_GT(encoded.size(), 30u);
+  const auto parsed = parse_transport_parameters(encoded);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->max_idle_timeout_ms, 30000u);
+  EXPECT_EQ(parsed->max_udp_payload_size, 1472u);
+  EXPECT_EQ(parsed->initial_max_data, 1u << 20);
+  EXPECT_EQ(parsed->initial_max_streams_bidi, 100u);
+  EXPECT_EQ(parsed->ack_delay_exponent, 3u);
+  EXPECT_EQ(parsed->max_ack_delay_ms, 25u);
+  EXPECT_EQ(parsed->active_connection_id_limit, 4u);
+  ASSERT_TRUE(parsed->initial_source_connection_id.has_value());
+  EXPECT_EQ(*parsed->initial_source_connection_id, scid);
+  EXPECT_FALSE(parsed->disable_active_migration);
+  EXPECT_TRUE(parsed->unknown.empty());
+}
+
+TEST(TransportParams, FlagAndCidParameters) {
+  util::Rng rng(2);
+  TransportParameters params;
+  params.disable_active_migration = true;
+  params.original_destination_connection_id = ConnectionId(rng.bytes(8));
+  params.retry_source_connection_id = ConnectionId(rng.bytes(16));
+  const auto parsed =
+      parse_transport_parameters(encode_transport_parameters(params));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->disable_active_migration);
+  EXPECT_EQ(parsed->original_destination_connection_id,
+            params.original_destination_connection_id);
+  EXPECT_EQ(parsed->retry_source_connection_id,
+            params.retry_source_connection_id);
+}
+
+TEST(TransportParams, UnknownAndGreaseIdsPreserved) {
+  util::Rng rng(3);
+  TransportParameters params;
+  params.initial_max_data = 5;
+  params.unknown.emplace_back(27 + 31 * 7,  // grease id
+                              rng.bytes(5));
+  params.unknown.emplace_back(0x7733, rng.bytes(3));
+  const auto parsed =
+      parse_transport_parameters(encode_transport_parameters(params));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->unknown.size(), 2u);
+  EXPECT_EQ(parsed->unknown[0].first, 27u + 31 * 7);
+  EXPECT_EQ(parsed->unknown[0].second, params.unknown[0].second);
+  EXPECT_EQ(parsed->initial_max_data, 5u);
+}
+
+TEST(TransportParams, RejectsDuplicates) {
+  util::ByteWriter w;
+  for (int i = 0; i < 2; ++i) {
+    write_varint(w, 0x04);  // initial_max_data twice
+    write_varint(w, 1);
+    write_varint(w, 7);
+  }
+  EXPECT_FALSE(parse_transport_parameters(w.view()).has_value());
+}
+
+TEST(TransportParams, RejectsMalformedRecords) {
+  // Length exceeding the buffer.
+  util::ByteWriter truncated;
+  write_varint(truncated, 0x04);
+  write_varint(truncated, 10);
+  truncated.write_u8(1);
+  EXPECT_FALSE(parse_transport_parameters(truncated.view()).has_value());
+
+  // Varint parameter with trailing garbage inside the value.
+  util::ByteWriter garbage;
+  write_varint(garbage, 0x04);
+  write_varint(garbage, 3);
+  garbage.write_u8(0x01);
+  garbage.write_u8(0xff);
+  garbage.write_u8(0xff);
+  EXPECT_FALSE(parse_transport_parameters(garbage.view()).has_value());
+
+  // disable_active_migration with a non-empty value.
+  util::ByteWriter flag;
+  write_varint(flag, 0x0c);
+  write_varint(flag, 1);
+  flag.write_u8(0);
+  EXPECT_FALSE(parse_transport_parameters(flag.view()).has_value());
+
+  // Connection id longer than 20 bytes.
+  util::ByteWriter cid;
+  write_varint(cid, 0x0f);
+  write_varint(cid, 21);
+  cid.write_repeated(0xaa, 21);
+  EXPECT_FALSE(parse_transport_parameters(cid.view()).has_value());
+}
+
+TEST(TransportParams, EmptyInputIsEmptyParams) {
+  const auto parsed = parse_transport_parameters({});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->initial_max_data.has_value());
+}
+
+TEST(TransportParams, FuzzNeverThrows) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto junk = rng.bytes(rng.uniform(80));
+    ASSERT_NO_THROW((void)parse_transport_parameters(junk));
+  }
+}
+
+TEST(TransportParams, ClientHelloCarriesFullParameterSet) {
+  // The ClientHello builder embeds typical_client(); dig the extension
+  // out and parse it.
+  util::Rng rng(5);
+  const auto ch = build_client_hello("tp.example", rng);
+  // Scan for the quic_transport_parameters extension (type 0x0039).
+  bool found = false;
+  for (std::size_t i = 0; i + 4 <= ch.size(); ++i) {
+    if (ch[i] == 0x00 && ch[i + 1] == 0x39) {
+      const std::size_t len = (ch[i + 2] << 8) | ch[i + 3];
+      if (i + 4 + len > ch.size() || len < 20) continue;
+      const auto parsed = parse_transport_parameters(
+          {ch.data() + i + 4, len});
+      if (parsed && parsed->initial_max_data == (1u << 20)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace quicsand::quic

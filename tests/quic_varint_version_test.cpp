@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "quic/varint.hpp"
+#include "quic/version.hpp"
+#include "util/bytes.hpp"
+
+namespace quicsand::quic {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::from_hex_strict;
+using util::to_hex;
+
+// RFC 9000 §A.1 example encodings.
+TEST(Varint, Rfc9000Examples) {
+  struct Case {
+    const char* hex;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"c2197c5eff14e88c", 151288809941952652ULL},
+      {"9d7f3e7d", 494878333},
+      {"7bbd", 15293},
+      {"25", 37},
+      {"4025", 37},  // non-minimal two-byte encoding of 37
+  };
+  for (const auto& c : cases) {
+    const auto bytes = from_hex_strict(c.hex);
+    ByteReader r(bytes);
+    EXPECT_EQ(read_varint(r), c.value) << c.hex;
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(Varint, EncodesMinimally) {
+  struct Case {
+    std::uint64_t value;
+    const char* hex;
+  };
+  const Case cases[] = {
+      {0, "00"},
+      {37, "25"},
+      {63, "3f"},
+      {64, "4040"},
+      {15293, "7bbd"},
+      {16383, "7fff"},
+      {16384, "80004000"},
+      {494878333, "9d7f3e7d"},
+      {1073741823, "bfffffff"},
+      {1073741824, "c000000040000000"},
+      {151288809941952652ULL, "c2197c5eff14e88c"},
+      {kVarintMax, "ffffffffffffffff"},
+  };
+  for (const auto& c : cases) {
+    ByteWriter w;
+    write_varint(w, c.value);
+    EXPECT_EQ(to_hex(w.view()), c.hex) << c.value;
+  }
+}
+
+TEST(Varint, SizeBoundaries) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(63), 1u);
+  EXPECT_EQ(varint_size(64), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 4u);
+  EXPECT_EQ(varint_size((1ULL << 30) - 1), 4u);
+  EXPECT_EQ(varint_size(1ULL << 30), 8u);
+  EXPECT_EQ(varint_size(kVarintMax), 8u);
+  EXPECT_THROW(varint_size(kVarintMax + 1), std::invalid_argument);
+}
+
+TEST(Varint, RoundTripSweep) {
+  const std::uint64_t values[] = {0,     1,          63,
+                                  64,    16383,      16384,
+                                  1u << 20, (1ULL << 30) - 1, 1ULL << 30,
+                                  1ULL << 40, kVarintMax};
+  for (std::uint64_t v : values) {
+    ByteWriter w;
+    write_varint(w, v);
+    ByteReader r(w.view());
+    EXPECT_EQ(read_varint(r), v);
+  }
+}
+
+TEST(Varint, FixedSizeEncoding) {
+  ByteWriter w;
+  write_varint_with_size(w, 37, 2);
+  EXPECT_EQ(to_hex(w.view()), "4025");
+  EXPECT_THROW(write_varint_with_size(w, 16384, 2), std::invalid_argument);
+  EXPECT_THROW(write_varint_with_size(w, 1, 3), std::invalid_argument);
+}
+
+TEST(Varint, ReadTruncatedThrows) {
+  const auto bytes = from_hex_strict("c2197c");
+  ByteReader r(bytes);
+  EXPECT_THROW(read_varint(r), util::BufferUnderflow);
+}
+
+TEST(Version, Families) {
+  EXPECT_EQ(version_family(0), VersionFamily::kNegotiation);
+  EXPECT_EQ(version_family(1), VersionFamily::kIetf);
+  EXPECT_EQ(version_family(0xff00001d), VersionFamily::kIetf);
+  EXPECT_EQ(version_family(0xfaceb002), VersionFamily::kIetf);
+  EXPECT_EQ(version_family(0x51303433), VersionFamily::kGquic);
+  EXPECT_EQ(version_family(0x1a2a3a4a), VersionFamily::kIetf);  // grease
+  EXPECT_EQ(version_family(0xdeadbeef), VersionFamily::kUnknown);
+}
+
+TEST(Version, SaltGenerations) {
+  EXPECT_EQ(salt_generation(1), SaltGeneration::kV1);
+  EXPECT_EQ(salt_generation(0xff00001d), SaltGeneration::kDraft29_32);
+  EXPECT_EQ(salt_generation(0xff000020), SaltGeneration::kDraft29_32);
+  EXPECT_EQ(salt_generation(0xff00001b), SaltGeneration::kDraft23_28);
+  EXPECT_EQ(salt_generation(0xff000017), SaltGeneration::kDraft23_28);
+  EXPECT_EQ(salt_generation(0xfaceb002), SaltGeneration::kDraft23_28);
+  EXPECT_EQ(salt_generation(0x51303433), SaltGeneration::kNone);
+  EXPECT_EQ(salt_generation(0xff000010), SaltGeneration::kNone);  // draft-16
+}
+
+TEST(Version, InitialSaltValues) {
+  EXPECT_EQ(to_hex(initial_salt(SaltGeneration::kV1)),
+            "38762cf7f55934b34d179ae6a4c80cadccbb7f0a");
+  EXPECT_EQ(to_hex(initial_salt(SaltGeneration::kDraft29_32)),
+            "afbfec289993d24c9e9786f19c6111e04390a899");
+  EXPECT_EQ(to_hex(initial_salt(SaltGeneration::kDraft23_28)),
+            "c3eef712c72ebb5a11a7d2432bb46365bef9f502");
+  EXPECT_THROW(initial_salt(SaltGeneration::kNone), std::invalid_argument);
+}
+
+TEST(Version, Names) {
+  EXPECT_EQ(version_name(1), "v1");
+  EXPECT_EQ(version_name(0xff00001d), "draft-29");
+  EXPECT_EQ(version_name(0xff00001b), "draft-27");
+  EXPECT_EQ(version_name(0xfaceb002), "mvfst-draft-27");
+  EXPECT_EQ(version_name(0x51303433), "Q043");
+  EXPECT_EQ(version_name(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Version, KnownVersions) {
+  EXPECT_TRUE(is_known_version(1));
+  EXPECT_TRUE(is_known_version(0xff00001d));
+  EXPECT_TRUE(is_known_version(0xfaceb002));
+  EXPECT_TRUE(is_known_version(0x51303530));
+  EXPECT_FALSE(is_known_version(0xdeadbeef));
+}
+
+TEST(Version, Grease) {
+  EXPECT_TRUE(is_grease_version(0x0a0a0a0a));
+  EXPECT_TRUE(is_grease_version(0x1a2a3a4a));
+  EXPECT_FALSE(is_grease_version(0x00000001));
+}
+
+}  // namespace
+}  // namespace quicsand::quic

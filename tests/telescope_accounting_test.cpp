@@ -1,0 +1,125 @@
+// Ground-truth accounting: the generator's ledger tallies must agree
+// with what a classifier actually sees on the wire, category by
+// category. This pins the contract between the ledger (used to score
+// the detectors) and the byte stream.
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/generator.hpp"
+
+namespace quicsand::telescope {
+namespace {
+
+const asdb::AsRegistry& registry() {
+  static const auto reg = asdb::AsRegistry::synthetic({}, 77);
+  return reg;
+}
+
+const scanner::Deployment& deployment() {
+  static const auto dep = scanner::Deployment::synthetic(registry(), {}, 77);
+  return dep;
+}
+
+ScenarioConfig base_scenario(std::uint64_t seed) {
+  auto config = ScenarioConfig::april2021(1, seed);
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 22};
+  config.tum.passes_per_day = 0;
+  config.rwth.passes_per_day = 0;
+  config.botnet.sessions_per_day = 0;
+  config.attacks.quic_attacks_per_day = 0;
+  config.attacks.common_attacks_per_day = 0;
+  config.misconfig.sessions_per_day = 0;
+  return config;
+}
+
+core::ClassifierStats classify_all(TelescopeGenerator& generator) {
+  core::Classifier classifier({});
+  while (auto packet = generator.next()) classifier.classify(*packet);
+  return classifier.stats();
+}
+
+TEST(Accounting, BotnetPacketsMatchLedgerExactly) {
+  auto config = base_scenario(1);
+  config.botnet.sessions_per_day = 400;
+  TelescopeGenerator generator(config, registry(), deployment());
+  const auto stats = classify_all(generator);
+  const auto& truth = generator.ground_truth();
+  // Every botnet packet is a QUIC request; sessions are planned up
+  // front, but packets near the window edge may be clipped.
+  EXPECT_LE(stats.of(core::TrafficClass::kQuicRequest),
+            truth.botnet_packet_count);
+  EXPECT_GT(stats.of(core::TrafficClass::kQuicRequest),
+            truth.botnet_packet_count * 9 / 10);
+  EXPECT_EQ(stats.of(core::TrafficClass::kQuicResponse), 0u);
+  EXPECT_EQ(stats.of(core::TrafficClass::kTcpBackscatter), 0u);
+}
+
+TEST(Accounting, MisconfigPacketsAreAllResponses) {
+  auto config = base_scenario(2);
+  config.misconfig.sessions_per_day = 300;
+  TelescopeGenerator generator(config, registry(), deployment());
+  const auto stats = classify_all(generator);
+  const auto& truth = generator.ground_truth();
+  EXPECT_LE(stats.of(core::TrafficClass::kQuicResponse),
+            truth.misconfig_packet_count);
+  EXPECT_GT(stats.of(core::TrafficClass::kQuicResponse),
+            truth.misconfig_packet_count * 9 / 10);
+  EXPECT_EQ(stats.of(core::TrafficClass::kQuicRequest), 0u);
+  // Misconfiguration noise is valid QUIC: nothing rejected at UDP/443.
+  EXPECT_EQ(stats.quic_port_rejects, 0u);
+}
+
+TEST(Accounting, AttackOnlyScenarioSplitsByProtocol) {
+  auto config = base_scenario(3);
+  config.attacks.quic_attacks_per_day = 40;
+  config.attacks.common_attacks_per_day = 40;
+  TelescopeGenerator generator(config, registry(), deployment());
+  const auto stats = classify_all(generator);
+  EXPECT_GT(stats.of(core::TrafficClass::kQuicResponse), 1000u);
+  EXPECT_GT(stats.of(core::TrafficClass::kTcpBackscatter), 500u);
+  EXPECT_GT(stats.of(core::TrafficClass::kIcmpBackscatter), 50u);
+  EXPECT_EQ(stats.of(core::TrafficClass::kTcpRequest), 0u);
+  EXPECT_EQ(stats.undecodable, 0u);
+  // Total ledger count equals classified total.
+  EXPECT_EQ(stats.total, generator.ground_truth().total_packet_count);
+}
+
+TEST(Accounting, PlannedQuicAttackCountsSurviveGeneration) {
+  auto config = base_scenario(4);
+  config.attacks.quic_attacks_per_day = 60;
+  TelescopeGenerator generator(config, registry(), deployment());
+  const auto& truth = generator.ground_truth();
+  const auto quic_attacks = truth.quic_attacks();
+  EXPECT_EQ(quic_attacks.size(), 60u);
+  for (const auto* attack : quic_attacks) {
+    EXPECT_GE(attack->start, config.start);
+    EXPECT_LT(attack->start, config.end());
+    EXPECT_GT(attack->duration, 0);
+    EXPECT_NE(attack->relation, PlannedRelation::kNotApplicable);
+  }
+  // Relations are only assigned to QUIC attacks.
+  for (const auto& attack : truth.attacks) {
+    if (attack.protocol != AttackProtocol::kQuic) {
+      EXPECT_EQ(attack.relation, PlannedRelation::kNotApplicable);
+    }
+  }
+}
+
+TEST(Accounting, ResearchLedgerMatchesExactly) {
+  auto config = base_scenario(5);
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 24};
+  config.tum.passes_per_day = 2.0;  // two passes in one day
+  // Short passes so both complete inside the window (the generator
+  // clips packets past the window end).
+  config.tum.pass_duration = 2 * util::kHour;
+  TelescopeGenerator generator(config, registry(), deployment());
+  const auto stats = classify_all(generator);
+  const auto& truth = generator.ground_truth();
+  EXPECT_EQ(truth.research_probe_count, 2u * 256u);
+  EXPECT_EQ(stats.of(core::TrafficClass::kQuicRequest),
+            truth.research_probe_count);
+}
+
+}  // namespace
+}  // namespace quicsand::telescope

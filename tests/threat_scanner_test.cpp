@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scanner/deployment.hpp"
+#include "scanner/retry_prober.hpp"
+#include "scanner/zmap.hpp"
+#include "threat/intel.hpp"
+
+namespace quicsand {
+namespace {
+
+using net::Ipv4Address;
+
+TEST(IntelDb, LookupAndSummary) {
+  threat::IntelDb db;
+  db.add(Ipv4Address(1), threat::Category::kMalicious, {threat::tags::kMirai});
+  db.add(Ipv4Address(2), threat::Category::kBenign,
+         {threat::tags::kResearch});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.lookup(Ipv4Address(1)).category, threat::Category::kMalicious);
+  EXPECT_EQ(db.lookup(Ipv4Address(9)).category, threat::Category::kUnknown);
+
+  const std::vector<Ipv4Address> sources = {Ipv4Address(1), Ipv4Address(2),
+                                            Ipv4Address(3), Ipv4Address(4)};
+  const auto summary = db.summarize(sources);
+  EXPECT_EQ(summary.total, 4u);
+  EXPECT_EQ(summary.malicious, 1u);
+  EXPECT_EQ(summary.benign, 1u);
+  EXPECT_EQ(summary.unknown, 2u);
+  EXPECT_DOUBLE_EQ(summary.malicious_share(), 0.25);
+  EXPECT_EQ(summary.tag_counts.at(threat::tags::kMirai), 1u);
+}
+
+TEST(IntelDb, OverwriteReplacesClassification) {
+  threat::IntelDb db;
+  db.add(Ipv4Address(1), threat::Category::kBenign);
+  db.add(Ipv4Address(1), threat::Category::kMalicious,
+         {threat::tags::kBruteforcer});
+  EXPECT_EQ(db.lookup(Ipv4Address(1)).category, threat::Category::kMalicious);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(IntelDb, CategoryNames) {
+  EXPECT_STREQ(threat::category_name(threat::Category::kBenign), "benign");
+  EXPECT_STREQ(threat::category_name(threat::Category::kMalicious),
+               "malicious");
+  EXPECT_STREQ(threat::category_name(threat::Category::kUnknown), "unknown");
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  static const asdb::AsRegistry& registry() {
+    static const auto reg = asdb::AsRegistry::synthetic({}, 7);
+    return reg;
+  }
+  static const scanner::Deployment& deployment() {
+    static const auto dep =
+        scanner::Deployment::synthetic(registry(), {}, 7);
+    return dep;
+  }
+};
+
+TEST_F(DeploymentTest, SizesMatchConfig) {
+  const scanner::DeploymentConfig config{};
+  EXPECT_EQ(deployment().size(),
+            config.google_servers + config.facebook_servers +
+                config.cloudflare_servers + config.other_content_servers +
+                config.long_tail_servers);
+}
+
+TEST_F(DeploymentTest, MembershipAndFind) {
+  const auto& first = deployment().servers().front();
+  EXPECT_TRUE(deployment().is_quic_server(first.address));
+  const auto* found = deployment().find(first.address);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->asn, first.asn);
+  EXPECT_FALSE(deployment().is_quic_server(Ipv4Address(1)));
+  EXPECT_EQ(deployment().find(Ipv4Address(1)), nullptr);
+}
+
+TEST_F(DeploymentTest, AddressesAreUnique) {
+  std::set<std::uint32_t> seen;
+  for (const auto& server : deployment().servers()) {
+    EXPECT_TRUE(seen.insert(server.address.value()).second);
+  }
+}
+
+TEST_F(DeploymentTest, ProviderVersionMixes) {
+  std::uint64_t fb_total = 0, fb_mvfst27 = 0;
+  std::uint64_t google_total = 0, google_d29 = 0;
+  for (const auto& server : deployment().servers()) {
+    if (server.asn == asdb::AsRegistry::kFacebook) {
+      ++fb_total;
+      if (server.version == 0xfaceb002) ++fb_mvfst27;
+    } else if (server.asn == asdb::AsRegistry::kGoogle) {
+      ++google_total;
+      if (server.version == 0xff00001d) ++google_d29;
+    }
+  }
+  ASSERT_GT(fb_total, 100u);
+  ASSERT_GT(google_total, 100u);
+  // §5.2: mvfst-draft-27 95% at Facebook, draft-29 78% at Google.
+  EXPECT_NEAR(static_cast<double>(fb_mvfst27) / fb_total, 0.95, 0.05);
+  EXPECT_NEAR(static_cast<double>(google_d29) / google_total, 0.78, 0.07);
+}
+
+TEST_F(DeploymentTest, RetrySupportedButNotEnabled) {
+  // §6: Google and Facebook implementations support RETRY but do not
+  // deploy it.
+  for (const auto& server : deployment().servers()) {
+    if (server.asn == asdb::AsRegistry::kGoogle ||
+        server.asn == asdb::AsRegistry::kFacebook) {
+      EXPECT_TRUE(server.supports_retry);
+      EXPECT_FALSE(server.retry_enabled);
+    }
+  }
+}
+
+TEST(ScanPassTest, CoversWholeTelescopeExactlyOnce) {
+  scanner::ScanPassConfig config;
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 20};
+  config.start = util::kApril2021Start;
+  config.duration = util::kHour;
+  config.seed = 3;
+  scanner::ScanPass pass(config);
+  EXPECT_EQ(pass.total(), 1u << 12);
+  std::set<std::uint32_t> seen;
+  util::Timestamp last = 0;
+  std::uint64_t count = 0;
+  while (auto probe = pass.next()) {
+    EXPECT_TRUE(config.telescope.contains(probe->target));
+    EXPECT_GE(probe->time, last);
+    last = probe->time;
+    seen.insert(probe->target.value());
+    ++count;
+  }
+  EXPECT_EQ(count, 1u << 12);
+  EXPECT_EQ(seen.size(), 1u << 12);  // a permutation: every address once
+}
+
+TEST(ScanPassTest, AddressOrderIsPermutedNotSequential) {
+  scanner::ScanPassConfig config;
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 22};
+  config.duration = util::kHour;
+  config.seed = 5;
+  scanner::ScanPass pass(config);
+  int ascending_runs = 0;
+  std::uint32_t prev = 0;
+  for (int i = 0; i < 256; ++i) {
+    const auto probe = pass.next();
+    ASSERT_TRUE(probe.has_value());
+    if (probe->target.value() == prev + 1) ++ascending_runs;
+    prev = probe->target.value();
+  }
+  EXPECT_LT(ascending_runs, 8);
+}
+
+TEST(ScanPassTest, CoverageSubsamples) {
+  scanner::ScanPassConfig config;
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 18};
+  config.duration = util::kHour;
+  config.coverage = 0.5;
+  config.seed = 9;
+  scanner::ScanPass pass(config);
+  std::uint64_t count = 0;
+  while (pass.next()) ++count;
+  EXPECT_NEAR(static_cast<double>(count), 1 << 13, (1 << 13) * 0.05);
+}
+
+TEST(ScanPassTest, DurationSpreadsProbes) {
+  scanner::ScanPassConfig config;
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 22};
+  config.start = util::kApril2021Start;
+  config.duration = 2 * util::kHour;
+  config.seed = 11;
+  scanner::ScanPass pass(config);
+  util::Timestamp last = 0;
+  while (auto probe = pass.next()) last = probe->time;
+  EXPECT_NEAR(util::to_seconds(last - config.start),
+              util::to_seconds(config.duration),
+              util::to_seconds(config.duration) * 0.1);
+}
+
+TEST(ScanPassTest, RejectsBadConfig) {
+  scanner::ScanPassConfig config;
+  config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 24};
+  config.coverage = 0;
+  EXPECT_THROW(scanner::ScanPass pass(config), std::invalid_argument);
+  config.coverage = 1;
+  config.duration = 0;
+  EXPECT_THROW(scanner::ScanPass pass(config), std::invalid_argument);
+}
+
+class ProberTest : public DeploymentTest {};
+
+TEST_F(ProberTest, UnknownAddressUnreachable) {
+  scanner::RetryProber prober(deployment(), 1);
+  const auto obs = prober.probe(Ipv4Address(12345));
+  EXPECT_FALSE(obs.reachable);
+  EXPECT_FALSE(obs.received_retry);
+}
+
+TEST_F(ProberTest, DeployedServersAnswerWithoutRetry) {
+  scanner::RetryProber prober(deployment(), 2);
+  std::vector<Ipv4Address> targets;
+  for (const auto& server : deployment().servers()) {
+    if (server.asn == asdb::AsRegistry::kGoogle ||
+        server.asn == asdb::AsRegistry::kFacebook) {
+      targets.push_back(server.address);
+      if (targets.size() == 10) break;
+    }
+  }
+  const auto observations = prober.probe_all(targets);
+  ASSERT_EQ(observations.size(), 10u);
+  for (const auto& obs : observations) {
+    EXPECT_TRUE(obs.reachable);
+    // §6: no RETRY in the wild from the top attacked providers.
+    EXPECT_FALSE(obs.received_retry);
+    EXPECT_TRUE(obs.handshake_completed);
+    EXPECT_EQ(obs.round_trips, 1);
+  }
+}
+
+TEST_F(ProberTest, RetryEnabledServerCostsExtraRoundTrip) {
+  // A tiny deployment with RETRY flipped on (what-if configuration).
+  scanner::DeploymentConfig tiny;
+  tiny.google_servers = 1;
+  tiny.facebook_servers = 0;
+  tiny.cloudflare_servers = 0;
+  tiny.other_content_servers = 0;
+  tiny.long_tail_servers = 0;
+  auto dep = scanner::Deployment::synthetic(registry(), tiny, 4);
+  ASSERT_EQ(dep.size(), 1u);
+  EXPECT_TRUE(dep.set_retry_enabled(dep.servers()[0].address, true));
+  EXPECT_FALSE(dep.set_retry_enabled(Ipv4Address(1), true));
+  scanner::RetryProber prober(dep, 5);
+  const auto obs = prober.probe(dep.servers()[0].address);
+  EXPECT_TRUE(obs.reachable);
+  EXPECT_TRUE(obs.received_retry);
+  EXPECT_TRUE(obs.retry_integrity_valid);
+  EXPECT_EQ(obs.round_trips, 2);
+}
+
+}  // namespace
+}  // namespace quicsand

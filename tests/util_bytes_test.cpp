@@ -1,0 +1,119 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicsand::util {
+namespace {
+
+TEST(ByteReader, ReadsBigEndianIntegers) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                               0x06, 0x07, 0x08, 0x09};
+  ByteReader r(data);
+  EXPECT_EQ(r.read_u8(), 0x01);
+  EXPECT_EQ(r.read_u16(), 0x0203);
+  EXPECT_EQ(r.read_u24(), 0x040506);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.read_u8(), 0x07);
+}
+
+TEST(ByteReader, ReadU32AndU64) {
+  const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x00,
+                               0x00, 0x00, 0x00, 0x00, 0x00, 0x2a};
+  ByteReader r(data);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 42u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ThrowsOnUnderflow) {
+  const std::uint8_t data[] = {0x01};
+  ByteReader r(data);
+  EXPECT_THROW(r.read_u16(), BufferUnderflow);
+  // Failed read must not consume anything.
+  EXPECT_EQ(r.read_u8(), 0x01);
+  EXPECT_THROW(r.read_u8(), BufferUnderflow);
+}
+
+TEST(ByteReader, PeekDoesNotConsume) {
+  const std::uint8_t data[] = {0xab, 0xcd};
+  ByteReader r(data);
+  EXPECT_EQ(r.peek_u8(), 0xab);
+  EXPECT_EQ(r.peek_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0xabcd);
+}
+
+TEST(ByteReader, ReadBytesAndRest) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  auto head = r.read_bytes(2);
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head[1], 2);
+  auto rest = r.rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+}
+
+TEST(ByteWriter, RoundTripsThroughReader) {
+  ByteWriter w;
+  w.write_u8(0x7f);
+  w.write_u16(0xbeef);
+  w.write_u32(123456789);
+  w.write_u64(0x0123456789abcdefULL);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.read_u8(), 0x7f);
+  EXPECT_EQ(r.read_u16(), 0xbeef);
+  EXPECT_EQ(r.read_u32(), 123456789u);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+}
+
+TEST(ByteWriter, PatchBeOverwritesInPlace) {
+  ByteWriter w;
+  w.write_u32(0);
+  w.write_u8(0xaa);
+  w.patch_be(0, 0xcafe, 4);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.read_u32(), 0xcafeu);
+  EXPECT_EQ(r.read_u8(), 0xaa);
+}
+
+TEST(ByteWriter, PatchBeOutOfRangeThrows) {
+  ByteWriter w;
+  w.write_u16(0);
+  EXPECT_THROW(w.patch_be(1, 0, 2), std::out_of_range);
+}
+
+TEST(ByteWriter, WriteRepeated) {
+  ByteWriter w;
+  w.write_repeated(0x00, 5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.view()[4], 0x00);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0xff, 0x10, 0xab};
+  EXPECT_EQ(to_hex(data), "00ff10ab");
+  auto back = from_hex("00ff10ab");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, AcceptsUpperCase) {
+  auto v = from_hex("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_hex(*v), "deadbeef");
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
+  EXPECT_THROW(from_hex_strict("q0"), std::invalid_argument);
+}
+
+TEST(Hex, EmptyStringIsEmptyVector) {
+  auto v = from_hex("");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+}  // namespace
+}  // namespace quicsand::util

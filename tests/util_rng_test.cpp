@@ -1,0 +1,180 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace quicsand::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.fork(3);
+  // Forking must not advance the parent.
+  Rng parent2(7);
+  Rng child2 = parent2.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(5);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(6)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, kDraws / 6, kDraws / 60) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_range(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng rng(29);
+  std::vector<double> v;
+  for (int i = 0; i < 20001; ++i) v.push_back(rng.lognormal_median(255.0, 1.0));
+  std::nth_element(v.begin(), v.begin() + 10000, v.end());
+  EXPECT_NEAR(v[10000], 255.0, 15.0);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(31);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.poisson(4.2));
+  }
+  EXPECT_NEAR(sum / kDraws, 4.2, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(37);
+  double sum = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.poisson(500.0));
+  }
+  EXPECT_NEAR(sum / kDraws, 500.0, 5.0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(41);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], kDraws / 4, kDraws / 40);
+  EXPECT_NEAR(counts[2], 3 * kDraws / 4, kDraws / 40);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  Rng rng(43);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, FillCoversWholeBuffer) {
+  Rng rng(47);
+  std::vector<std::uint8_t> buf(33, 0);
+  rng.fill(buf);
+  int zeros = 0;
+  for (auto b : buf) {
+    if (b == 0) ++zeros;
+  }
+  EXPECT_LT(zeros, 5);  // all-zero tail would indicate an unfilled region
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(53);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, kDraws / 4, kDraws / 50);
+}
+
+TEST(Mix64, IsDeterministicAndSensitive) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+}
+
+}  // namespace
+}  // namespace quicsand::util

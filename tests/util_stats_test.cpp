@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicsand::util {
+namespace {
+
+TEST(Cdf, AtComputesFractionAtOrBelow) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99), 1.0);
+}
+
+TEST(Cdf, QuantileInterpolates) {
+  Cdf cdf({0, 10});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(Cdf, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Cdf({1, 2, 3}).median(), 2.0);
+  EXPECT_DOUBLE_EQ(Cdf({1, 2, 3, 4}).median(), 2.5);
+}
+
+TEST(Cdf, AddKeepsSorted) {
+  Cdf cdf;
+  cdf.add(5);
+  cdf.add(1);
+  cdf.add(3);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+}
+
+TEST(Cdf, SeriesHasRequestedPoints) {
+  Cdf cdf({1, 2, 3, 4, 5});
+  auto s = cdf.series(4);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(s.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(s.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(s.back().first, 5.0);
+}
+
+TEST(Cdf, MeanIsArithmeticMean) {
+  EXPECT_DOUBLE_EQ(Cdf({2, 4, 6}).mean(), 4.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(-5);    // clamped to bin 0
+  h.add(100);   // clamped to bin 4
+  h.add(4.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0, 1, 1);
+  h.add(0.5, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.counts()[0], 10u);
+}
+
+TEST(Histogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+}
+
+TEST(MedianOf, HandlesUnsortedInput) {
+  const double odd[] = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(median_of(odd), 5.0);
+  const double even[] = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+  EXPECT_THROW(median_of({}), std::logic_error);
+}
+
+TEST(WithCommas, FormatsGroups) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(92000000), "92,000,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace quicsand::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace quicsand::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "count"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name    count"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RejectsTooWideRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Pct, FormatsFraction) {
+  EXPECT_EQ(pct(0.515), "51.5%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+  EXPECT_EQ(pct(0.023), "2.3%");
+}
+
+TEST(PrintHeading, EmitsTitle) {
+  std::ostringstream os;
+  print_heading(os, "Figure 2");
+  EXPECT_NE(os.str().find("== Figure 2 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicsand::util

@@ -1,0 +1,64 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicsand::util {
+namespace {
+
+TEST(Time, April2021WindowBounds) {
+  EXPECT_EQ(format_utc(kApril2021Start), "2021-04-01 00:00:00");
+  EXPECT_EQ(format_utc(kApril2021End - kSecond), "2021-04-30 23:59:59");
+  EXPECT_EQ((kApril2021End - kApril2021Start) / kDay, 30);
+}
+
+TEST(Time, FormatUtcEpoch) {
+  EXPECT_EQ(format_utc(0), "1970-01-01 00:00:00");
+}
+
+TEST(Time, FormatUtcKnownInstant) {
+  // 2021-04-06 18:00:00 UTC = 1617732000
+  EXPECT_EQ(format_utc(1617732000LL * kSecond), "2021-04-06 18:00:00");
+}
+
+TEST(Time, HourBinning) {
+  const Timestamp origin = kApril2021Start;
+  EXPECT_EQ(hour_bin(origin, origin), 0);
+  EXPECT_EQ(hour_bin(origin + kHour - 1, origin), 0);
+  EXPECT_EQ(hour_bin(origin + kHour, origin), 1);
+  EXPECT_EQ(hour_bin(origin + 30 * kDay - 1, origin), 30 * 24 - 1);
+}
+
+TEST(Time, MinuteBinning) {
+  const Timestamp origin = 0;
+  EXPECT_EQ(minute_bin(59 * kSecond, origin), 0);
+  EXPECT_EQ(minute_bin(60 * kSecond, origin), 1);
+}
+
+TEST(Time, HourOfDay) {
+  EXPECT_EQ(hour_of_day(kApril2021Start), 0);
+  EXPECT_EQ(hour_of_day(kApril2021Start + 6 * kHour), 6);
+  EXPECT_EQ(hour_of_day(kApril2021Start + 18 * kHour + 30 * kMinute), 18);
+  EXPECT_EQ(hour_of_day(kApril2021Start + 2 * kDay + 23 * kHour), 23);
+}
+
+TEST(Time, SecondsOfDay) {
+  EXPECT_EQ(seconds_of_day(kApril2021Start), 0);
+  EXPECT_EQ(seconds_of_day(kApril2021Start + 90 * kSecond), 90);
+}
+
+TEST(Time, DurationConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(255.0)), 255.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(5 * kSecond), "5s");
+  EXPECT_EQ(format_duration(255 * kSecond), "4m15s");
+  EXPECT_EQ(format_duration(90 * kMinute), "1h30m");
+  EXPECT_EQ(format_duration(36 * kHour), "36h0m");
+  EXPECT_EQ(format_duration(28 * kDay), "28d0h");
+  EXPECT_EQ(format_duration(-5 * kSecond), "-5s");
+}
+
+}  // namespace
+}  // namespace quicsand::util
