@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_research_bias"
+  "../bench/fig02_research_bias.pdb"
+  "CMakeFiles/fig02_research_bias.dir/fig02_research_bias.cpp.o"
+  "CMakeFiles/fig02_research_bias.dir/fig02_research_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_research_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_requests_responses"
+  "../bench/fig03_requests_responses.pdb"
+  "CMakeFiles/fig03_requests_responses.dir/fig03_requests_responses.cpp.o"
+  "CMakeFiles/fig03_requests_responses.dir/fig03_requests_responses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_requests_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_timeout_knee"
+  "../bench/fig04_timeout_knee.pdb"
+  "CMakeFiles/fig04_timeout_knee.dir/fig04_timeout_knee.cpp.o"
+  "CMakeFiles/fig04_timeout_knee.dir/fig04_timeout_knee.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_timeout_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

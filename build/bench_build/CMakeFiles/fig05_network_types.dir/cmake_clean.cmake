@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_network_types"
+  "../bench/fig05_network_types.pdb"
+  "CMakeFiles/fig05_network_types.dir/fig05_network_types.cpp.o"
+  "CMakeFiles/fig05_network_types.dir/fig05_network_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_network_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_network_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_attacks_per_victim"
+  "../bench/fig06_attacks_per_victim.pdb"
+  "CMakeFiles/fig06_attacks_per_victim.dir/fig06_attacks_per_victim.cpp.o"
+  "CMakeFiles/fig06_attacks_per_victim.dir/fig06_attacks_per_victim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_attacks_per_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

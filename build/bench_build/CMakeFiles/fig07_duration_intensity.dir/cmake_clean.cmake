@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_duration_intensity"
+  "../bench/fig07_duration_intensity.pdb"
+  "CMakeFiles/fig07_duration_intensity.dir/fig07_duration_intensity.cpp.o"
+  "CMakeFiles/fig07_duration_intensity.dir/fig07_duration_intensity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_duration_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

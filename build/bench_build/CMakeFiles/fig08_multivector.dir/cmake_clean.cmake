@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_multivector"
+  "../bench/fig08_multivector.pdb"
+  "CMakeFiles/fig08_multivector.dir/fig08_multivector.cpp.o"
+  "CMakeFiles/fig08_multivector.dir/fig08_multivector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multivector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_provider_properties"
+  "../bench/fig09_provider_properties.pdb"
+  "CMakeFiles/fig09_provider_properties.dir/fig09_provider_properties.cpp.o"
+  "CMakeFiles/fig09_provider_properties.dir/fig09_provider_properties.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_provider_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

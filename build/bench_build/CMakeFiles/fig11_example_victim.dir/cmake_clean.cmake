@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_example_victim"
+  "../bench/fig11_example_victim.pdb"
+  "CMakeFiles/fig11_example_victim.dir/fig11_example_victim.cpp.o"
+  "CMakeFiles/fig11_example_victim.dir/fig11_example_victim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_example_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

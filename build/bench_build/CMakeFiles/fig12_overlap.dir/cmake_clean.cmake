@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_overlap"
+  "../bench/fig12_overlap.pdb"
+  "CMakeFiles/fig12_overlap.dir/fig12_overlap.cpp.o"
+  "CMakeFiles/fig12_overlap.dir/fig12_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_gaps"
+  "../bench/fig13_gaps.pdb"
+  "CMakeFiles/fig13_gaps.dir/fig13_gaps.cpp.o"
+  "CMakeFiles/fig13_gaps.dir/fig13_gaps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/quicsand_benchlib.dir/bench_common.cpp.o.d"
+  "libquicsand_benchlib.a"
+  "libquicsand_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_nginx_dos"
+  "../bench/table1_nginx_dos.pdb"
+  "CMakeFiles/table1_nginx_dos.dir/table1_nginx_dos.cpp.o"
+  "CMakeFiles/table1_nginx_dos.dir/table1_nginx_dos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nginx_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissect.dir/dissect.cpp.o"
+  "CMakeFiles/dissect.dir/dissect.cpp.o.d"
+  "dissect"
+  "dissect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flood_lab.dir/flood_lab.cpp.o"
+  "CMakeFiles/flood_lab.dir/flood_lab.cpp.o.d"
+  "flood_lab"
+  "flood_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flood_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

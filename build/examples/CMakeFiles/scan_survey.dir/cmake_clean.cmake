@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_survey.dir/scan_survey.cpp.o"
+  "CMakeFiles/scan_survey.dir/scan_survey.cpp.o.d"
+  "scan_survey"
+  "scan_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

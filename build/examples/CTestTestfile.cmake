@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scan_survey "/root/repo/build/examples/scan_survey" "--probes" "4")
+set_tests_properties(example_scan_survey PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_flood_lab "/root/repo/build/examples/flood_lab" "--pps" "500" "--packets" "20000" "--retry")
+set_tests_properties(example_flood_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dissect "/root/repo/build/examples/dissect" "--sample" "retry")
+set_tests_properties(example_dissect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_monitor "/root/repo/build/examples/monitor" "--days" "1" "--seed" "5")
+set_tests_properties(example_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_analyze_pcap_roundtrip "sh" "-c" "/root/repo/build/examples/analyze_pcap --emit quicsand_smoke.pcap --days 1           && /root/repo/build/examples/analyze_pcap --in quicsand_smoke.pcap --days 1           && rm quicsand_smoke.pcap")
+set_tests_properties(example_analyze_pcap_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

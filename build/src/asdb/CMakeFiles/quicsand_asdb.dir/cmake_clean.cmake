@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_asdb.dir/registry.cpp.o"
+  "CMakeFiles/quicsand_asdb.dir/registry.cpp.o.d"
+  "CMakeFiles/quicsand_asdb.dir/serialize.cpp.o"
+  "CMakeFiles/quicsand_asdb.dir/serialize.cpp.o.d"
+  "libquicsand_asdb.a"
+  "libquicsand_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

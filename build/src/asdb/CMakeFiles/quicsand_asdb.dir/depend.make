@@ -1,0 +1,2 @@
+# Empty dependencies file for quicsand_asdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/quicsand_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/correlate.cpp" "src/core/CMakeFiles/quicsand_core.dir/correlate.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/correlate.cpp.o.d"
+  "/root/repo/src/core/dos.cpp" "src/core/CMakeFiles/quicsand_core.dir/dos.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/dos.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/quicsand_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/quicsand_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/quicsand_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sessions.cpp" "src/core/CMakeFiles/quicsand_core.dir/sessions.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/sessions.cpp.o.d"
+  "/root/repo/src/core/victims.cpp" "src/core/CMakeFiles/quicsand_core.dir/victims.cpp.o" "gcc" "src/core/CMakeFiles/quicsand_core.dir/victims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asdb/CMakeFiles/quicsand_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/quicsand_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/quicsand_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quicsand_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quicsand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/quicsand_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

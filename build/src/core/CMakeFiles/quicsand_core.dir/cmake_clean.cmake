@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_core.dir/classifier.cpp.o"
+  "CMakeFiles/quicsand_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/correlate.cpp.o"
+  "CMakeFiles/quicsand_core.dir/correlate.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/dos.cpp.o"
+  "CMakeFiles/quicsand_core.dir/dos.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/online.cpp.o"
+  "CMakeFiles/quicsand_core.dir/online.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/pipeline.cpp.o"
+  "CMakeFiles/quicsand_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/report.cpp.o"
+  "CMakeFiles/quicsand_core.dir/report.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/sessions.cpp.o"
+  "CMakeFiles/quicsand_core.dir/sessions.cpp.o.d"
+  "CMakeFiles/quicsand_core.dir/victims.cpp.o"
+  "CMakeFiles/quicsand_core.dir/victims.cpp.o.d"
+  "libquicsand_core.a"
+  "libquicsand_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/quicsand_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/quicsand_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/quicsand_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/quicsand_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/quicsand_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/quicsand_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/quicsand_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/quicsand_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/quicsand_crypto.dir/sha256.cpp.o.d"
+  "libquicsand_crypto.a"
+  "libquicsand_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

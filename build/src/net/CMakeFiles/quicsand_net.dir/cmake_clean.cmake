@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_net.dir/headers.cpp.o"
+  "CMakeFiles/quicsand_net.dir/headers.cpp.o.d"
+  "CMakeFiles/quicsand_net.dir/ip.cpp.o"
+  "CMakeFiles/quicsand_net.dir/ip.cpp.o.d"
+  "CMakeFiles/quicsand_net.dir/pcap.cpp.o"
+  "CMakeFiles/quicsand_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/quicsand_net.dir/pcapng.cpp.o"
+  "CMakeFiles/quicsand_net.dir/pcapng.cpp.o.d"
+  "libquicsand_net.a"
+  "libquicsand_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

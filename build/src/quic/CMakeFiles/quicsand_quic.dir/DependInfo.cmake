@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/ack_tracker.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/ack_tracker.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/ack_tracker.cpp.o.d"
+  "/root/repo/src/quic/connection_id.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/connection_id.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/connection_id.cpp.o.d"
+  "/root/repo/src/quic/dissector.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/dissector.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/dissector.cpp.o.d"
+  "/root/repo/src/quic/frames.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/frames.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/frames.cpp.o.d"
+  "/root/repo/src/quic/gquic.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/gquic.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/gquic.cpp.o.d"
+  "/root/repo/src/quic/header.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/header.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/header.cpp.o.d"
+  "/root/repo/src/quic/initial_aead.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/initial_aead.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/initial_aead.cpp.o.d"
+  "/root/repo/src/quic/packet_number.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/packet_number.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/packet_number.cpp.o.d"
+  "/root/repo/src/quic/packets.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/packets.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/packets.cpp.o.d"
+  "/root/repo/src/quic/retry.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/retry.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/retry.cpp.o.d"
+  "/root/repo/src/quic/stateless_reset.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/stateless_reset.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/stateless_reset.cpp.o.d"
+  "/root/repo/src/quic/tls_messages.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/tls_messages.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/tls_messages.cpp.o.d"
+  "/root/repo/src/quic/transport_params.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/transport_params.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/transport_params.cpp.o.d"
+  "/root/repo/src/quic/varint.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/varint.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/varint.cpp.o.d"
+  "/root/repo/src/quic/version.cpp" "src/quic/CMakeFiles/quicsand_quic.dir/version.cpp.o" "gcc" "src/quic/CMakeFiles/quicsand_quic.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/quicsand_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quicsand_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quicsand_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_quic.dir/ack_tracker.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/ack_tracker.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/connection_id.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/connection_id.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/dissector.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/dissector.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/frames.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/frames.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/gquic.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/gquic.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/header.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/header.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/initial_aead.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/initial_aead.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/packet_number.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/packet_number.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/packets.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/packets.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/retry.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/retry.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/stateless_reset.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/stateless_reset.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/tls_messages.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/tls_messages.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/transport_params.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/transport_params.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/varint.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/varint.cpp.o.d"
+  "CMakeFiles/quicsand_quic.dir/version.cpp.o"
+  "CMakeFiles/quicsand_quic.dir/version.cpp.o.d"
+  "libquicsand_quic.a"
+  "libquicsand_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/deployment.cpp" "src/scanner/CMakeFiles/quicsand_scanner.dir/deployment.cpp.o" "gcc" "src/scanner/CMakeFiles/quicsand_scanner.dir/deployment.cpp.o.d"
+  "/root/repo/src/scanner/retry_prober.cpp" "src/scanner/CMakeFiles/quicsand_scanner.dir/retry_prober.cpp.o" "gcc" "src/scanner/CMakeFiles/quicsand_scanner.dir/retry_prober.cpp.o.d"
+  "/root/repo/src/scanner/zmap.cpp" "src/scanner/CMakeFiles/quicsand_scanner.dir/zmap.cpp.o" "gcc" "src/scanner/CMakeFiles/quicsand_scanner.dir/zmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asdb/CMakeFiles/quicsand_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/quicsand_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quicsand_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quicsand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/quicsand_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_scanner.dir/deployment.cpp.o"
+  "CMakeFiles/quicsand_scanner.dir/deployment.cpp.o.d"
+  "CMakeFiles/quicsand_scanner.dir/retry_prober.cpp.o"
+  "CMakeFiles/quicsand_scanner.dir/retry_prober.cpp.o.d"
+  "CMakeFiles/quicsand_scanner.dir/zmap.cpp.o"
+  "CMakeFiles/quicsand_scanner.dir/zmap.cpp.o.d"
+  "libquicsand_scanner.a"
+  "libquicsand_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/experiment.cpp" "src/server/CMakeFiles/quicsand_server.dir/experiment.cpp.o" "gcc" "src/server/CMakeFiles/quicsand_server.dir/experiment.cpp.o.d"
+  "/root/repo/src/server/replay.cpp" "src/server/CMakeFiles/quicsand_server.dir/replay.cpp.o" "gcc" "src/server/CMakeFiles/quicsand_server.dir/replay.cpp.o.d"
+  "/root/repo/src/server/sim.cpp" "src/server/CMakeFiles/quicsand_server.dir/sim.cpp.o" "gcc" "src/server/CMakeFiles/quicsand_server.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quic/CMakeFiles/quicsand_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quicsand_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quicsand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/quicsand_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_server.dir/experiment.cpp.o"
+  "CMakeFiles/quicsand_server.dir/experiment.cpp.o.d"
+  "CMakeFiles/quicsand_server.dir/replay.cpp.o"
+  "CMakeFiles/quicsand_server.dir/replay.cpp.o.d"
+  "CMakeFiles/quicsand_server.dir/sim.cpp.o"
+  "CMakeFiles/quicsand_server.dir/sim.cpp.o.d"
+  "libquicsand_server.a"
+  "libquicsand_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

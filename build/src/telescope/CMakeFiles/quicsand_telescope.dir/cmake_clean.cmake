@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_telescope.dir/attack_schedule.cpp.o"
+  "CMakeFiles/quicsand_telescope.dir/attack_schedule.cpp.o.d"
+  "CMakeFiles/quicsand_telescope.dir/emitters.cpp.o"
+  "CMakeFiles/quicsand_telescope.dir/emitters.cpp.o.d"
+  "CMakeFiles/quicsand_telescope.dir/generator.cpp.o"
+  "CMakeFiles/quicsand_telescope.dir/generator.cpp.o.d"
+  "CMakeFiles/quicsand_telescope.dir/scenario.cpp.o"
+  "CMakeFiles/quicsand_telescope.dir/scenario.cpp.o.d"
+  "libquicsand_telescope.a"
+  "libquicsand_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

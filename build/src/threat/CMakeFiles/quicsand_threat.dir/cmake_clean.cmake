@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_threat.dir/intel.cpp.o"
+  "CMakeFiles/quicsand_threat.dir/intel.cpp.o.d"
+  "libquicsand_threat.a"
+  "libquicsand_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

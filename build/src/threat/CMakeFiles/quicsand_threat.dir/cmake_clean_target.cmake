@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquicsand_threat.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsand_util.dir/bytes.cpp.o"
+  "CMakeFiles/quicsand_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/quicsand_util.dir/stats.cpp.o"
+  "CMakeFiles/quicsand_util.dir/stats.cpp.o.d"
+  "CMakeFiles/quicsand_util.dir/table.cpp.o"
+  "CMakeFiles/quicsand_util.dir/table.cpp.o.d"
+  "CMakeFiles/quicsand_util.dir/time.cpp.o"
+  "CMakeFiles/quicsand_util.dir/time.cpp.o.d"
+  "libquicsand_util.a"
+  "libquicsand_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsand_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dos_correlate_test.dir/core_dos_correlate_test.cpp.o"
+  "CMakeFiles/core_dos_correlate_test.dir/core_dos_correlate_test.cpp.o.d"
+  "core_dos_correlate_test"
+  "core_dos_correlate_test.pdb"
+  "core_dos_correlate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dos_correlate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

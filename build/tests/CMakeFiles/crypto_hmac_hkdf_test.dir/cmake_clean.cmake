@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hmac_hkdf_test.dir/crypto_hmac_hkdf_test.cpp.o"
+  "CMakeFiles/crypto_hmac_hkdf_test.dir/crypto_hmac_hkdf_test.cpp.o.d"
+  "crypto_hmac_hkdf_test"
+  "crypto_hmac_hkdf_test.pdb"
+  "crypto_hmac_hkdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hmac_hkdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

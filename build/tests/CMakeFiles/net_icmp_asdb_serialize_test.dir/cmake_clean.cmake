@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_icmp_asdb_serialize_test.dir/net_icmp_asdb_serialize_test.cpp.o"
+  "CMakeFiles/net_icmp_asdb_serialize_test.dir/net_icmp_asdb_serialize_test.cpp.o.d"
+  "net_icmp_asdb_serialize_test"
+  "net_icmp_asdb_serialize_test.pdb"
+  "net_icmp_asdb_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_icmp_asdb_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

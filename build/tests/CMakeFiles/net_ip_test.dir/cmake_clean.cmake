@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ip_test.dir/net_ip_test.cpp.o"
+  "CMakeFiles/net_ip_test.dir/net_ip_test.cpp.o.d"
+  "net_ip_test"
+  "net_ip_test.pdb"
+  "net_ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pcap_test.dir/net_pcap_test.cpp.o"
+  "CMakeFiles/net_pcap_test.dir/net_pcap_test.cpp.o.d"
+  "net_pcap_test"
+  "net_pcap_test.pdb"
+  "net_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pcapng_test.dir/net_pcapng_test.cpp.o"
+  "CMakeFiles/net_pcapng_test.dir/net_pcapng_test.cpp.o.d"
+  "net_pcapng_test"
+  "net_pcapng_test.pdb"
+  "net_pcapng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pcapng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_crypto_test.dir/property_crypto_test.cpp.o"
+  "CMakeFiles/property_crypto_test.dir/property_crypto_test.cpp.o.d"
+  "property_crypto_test"
+  "property_crypto_test.pdb"
+  "property_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_net_test.dir/property_net_test.cpp.o"
+  "CMakeFiles/property_net_test.dir/property_net_test.cpp.o.d"
+  "property_net_test"
+  "property_net_test.pdb"
+  "property_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

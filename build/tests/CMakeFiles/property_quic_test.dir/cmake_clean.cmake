@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_quic_test.dir/property_quic_test.cpp.o"
+  "CMakeFiles/property_quic_test.dir/property_quic_test.cpp.o.d"
+  "property_quic_test"
+  "property_quic_test.pdb"
+  "property_quic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_quic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

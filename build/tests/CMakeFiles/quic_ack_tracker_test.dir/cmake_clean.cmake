@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_ack_tracker_test.dir/quic_ack_tracker_test.cpp.o"
+  "CMakeFiles/quic_ack_tracker_test.dir/quic_ack_tracker_test.cpp.o.d"
+  "quic_ack_tracker_test"
+  "quic_ack_tracker_test.pdb"
+  "quic_ack_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_ack_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

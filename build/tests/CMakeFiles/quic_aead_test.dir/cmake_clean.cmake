@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_aead_test.dir/quic_aead_test.cpp.o"
+  "CMakeFiles/quic_aead_test.dir/quic_aead_test.cpp.o.d"
+  "quic_aead_test"
+  "quic_aead_test.pdb"
+  "quic_aead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_aead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_dissector_test.dir/quic_dissector_test.cpp.o"
+  "CMakeFiles/quic_dissector_test.dir/quic_dissector_test.cpp.o.d"
+  "quic_dissector_test"
+  "quic_dissector_test.pdb"
+  "quic_dissector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_dissector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_frames_tls_test.dir/quic_frames_tls_test.cpp.o"
+  "CMakeFiles/quic_frames_tls_test.dir/quic_frames_tls_test.cpp.o.d"
+  "quic_frames_tls_test"
+  "quic_frames_tls_test.pdb"
+  "quic_frames_tls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_frames_tls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_gquic_test.dir/quic_gquic_test.cpp.o"
+  "CMakeFiles/quic_gquic_test.dir/quic_gquic_test.cpp.o.d"
+  "quic_gquic_test"
+  "quic_gquic_test.pdb"
+  "quic_gquic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_gquic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_header_test.dir/quic_header_test.cpp.o"
+  "CMakeFiles/quic_header_test.dir/quic_header_test.cpp.o.d"
+  "quic_header_test"
+  "quic_header_test.pdb"
+  "quic_header_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

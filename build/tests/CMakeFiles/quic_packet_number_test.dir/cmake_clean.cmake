@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_packet_number_test.dir/quic_packet_number_test.cpp.o"
+  "CMakeFiles/quic_packet_number_test.dir/quic_packet_number_test.cpp.o.d"
+  "quic_packet_number_test"
+  "quic_packet_number_test.pdb"
+  "quic_packet_number_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_packet_number_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

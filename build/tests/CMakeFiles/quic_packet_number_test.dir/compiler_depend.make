@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quic_packet_number_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_packets_test.dir/quic_packets_test.cpp.o"
+  "CMakeFiles/quic_packets_test.dir/quic_packets_test.cpp.o.d"
+  "quic_packets_test"
+  "quic_packets_test.pdb"
+  "quic_packets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_packets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quic_retry_test.cpp" "tests/CMakeFiles/quic_retry_test.dir/quic_retry_test.cpp.o" "gcc" "tests/CMakeFiles/quic_retry_test.dir/quic_retry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quic/CMakeFiles/quicsand_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/quicsand_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quicsand_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quicsand_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_retry_test.dir/quic_retry_test.cpp.o"
+  "CMakeFiles/quic_retry_test.dir/quic_retry_test.cpp.o.d"
+  "quic_retry_test"
+  "quic_retry_test.pdb"
+  "quic_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_stateless_reset_test.dir/quic_stateless_reset_test.cpp.o"
+  "CMakeFiles/quic_stateless_reset_test.dir/quic_stateless_reset_test.cpp.o.d"
+  "quic_stateless_reset_test"
+  "quic_stateless_reset_test.pdb"
+  "quic_stateless_reset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_stateless_reset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quic_stateless_reset_test.
+# This may be replaced when dependencies are built.

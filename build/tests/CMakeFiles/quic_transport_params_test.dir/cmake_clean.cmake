@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_transport_params_test.dir/quic_transport_params_test.cpp.o"
+  "CMakeFiles/quic_transport_params_test.dir/quic_transport_params_test.cpp.o.d"
+  "quic_transport_params_test"
+  "quic_transport_params_test.pdb"
+  "quic_transport_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_transport_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic_varint_version_test.dir/quic_varint_version_test.cpp.o"
+  "CMakeFiles/quic_varint_version_test.dir/quic_varint_version_test.cpp.o.d"
+  "quic_varint_version_test"
+  "quic_varint_version_test.pdb"
+  "quic_varint_version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic_varint_version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_accounting_test.dir/telescope_accounting_test.cpp.o"
+  "CMakeFiles/telescope_accounting_test.dir/telescope_accounting_test.cpp.o.d"
+  "telescope_accounting_test"
+  "telescope_accounting_test.pdb"
+  "telescope_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_emitters_test.dir/telescope_emitters_test.cpp.o"
+  "CMakeFiles/telescope_emitters_test.dir/telescope_emitters_test.cpp.o.d"
+  "telescope_emitters_test"
+  "telescope_emitters_test.pdb"
+  "telescope_emitters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_emitters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

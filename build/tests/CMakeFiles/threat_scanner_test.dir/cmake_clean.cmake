@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_scanner_test.dir/threat_scanner_test.cpp.o"
+  "CMakeFiles/threat_scanner_test.dir/threat_scanner_test.cpp.o.d"
+  "threat_scanner_test"
+  "threat_scanner_test.pdb"
+  "threat_scanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
