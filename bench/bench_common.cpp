@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 namespace quicsand::bench {
 
@@ -34,6 +35,12 @@ int env_telescope_bits(int default_bits) {
                                   static_cast<std::uint64_t>(default_bits)));
 }
 
+std::size_t env_threads() {
+  const auto hw = std::thread::hardware_concurrency();
+  return static_cast<std::size_t>(
+      env_u64("QUICSAND_THREADS", hw == 0 ? 1 : hw));
+}
+
 const asdb::AsRegistry& registry() {
   static const auto instance = asdb::AsRegistry::synthetic({}, 2021);
   return instance;
@@ -59,10 +66,8 @@ telescope::ScenarioConfig light_scenario(
   return config;
 }
 
-AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
-  AnalyzedScenario result;
-  result.config = config;
-
+core::PipelineOptions pipeline_options(
+    const telescope::ScenarioConfig& config) {
   core::PipelineOptions options;
   options.window_start = config.start;
   options.days = config.days;
@@ -70,11 +75,22 @@ AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
       registry().prefixes_of(asdb::AsRegistry::kTumScanner).front());
   options.research_prefixes.push_back(
       registry().prefixes_of(asdb::AsRegistry::kRwthScanner).front());
-  result.pipeline = std::make_unique<core::Pipeline>(options);
+  return options;
+}
 
+AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
+  AnalyzedScenario result;
+  result.config = config;
+  result.pipeline = std::make_unique<core::ParallelPipeline>(
+      pipeline_options(config), env_threads());
+
+  // Classification overlaps generation on the worker pool; finish()
+  // drains it, so the generate timing covers ingest like the serial
+  // pipeline's did.
   const auto generate_start = std::chrono::steady_clock::now();
   telescope::TelescopeGenerator generator(config, registry(), deployment());
   while (auto packet = generator.next()) result.pipeline->consume(*packet);
+  result.pipeline->finish();
   result.generate_seconds = seconds_since(generate_start);
 
   const auto analyze_start = std::chrono::steady_clock::now();
@@ -89,7 +105,8 @@ void print_scale(const telescope::ScenarioConfig& config) {
   std::cout << "scale: window=" << config.days << "d (paper: 30d)"
             << "  telescope=" << config.telescope.to_string()
             << " (paper: /9)"
-            << "  seed=" << config.seed << "\n";
+            << "  seed=" << config.seed
+            << "  threads=" << env_threads() << "\n";
 }
 
 void compare(const std::string& metric, const std::string& paper,

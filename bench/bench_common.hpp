@@ -8,6 +8,9 @@
 //   QUICSAND_DAYS  — window length in days (default: per-bench)
 //   QUICSAND_SEED  — scenario seed (default 2021)
 //   QUICSAND_TELESCOPE_BITS — telescope prefix length (default per-bench)
+//   QUICSAND_THREADS — analysis shards/threads (default: hardware).
+//     The parallel pipeline is bit-identical to the serial one for any
+//     value, so this only affects wall-clock time.
 //
 // Each binary prints its effective scale and, where the paper reports a
 // number, a "paper vs measured" line.
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "asdb/registry.hpp"
+#include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
@@ -30,6 +34,7 @@ namespace quicsand::bench {
 int env_days(int default_days);
 std::uint64_t env_seed();
 int env_telescope_bits(int default_bits);
+std::size_t env_threads();  ///< QUICSAND_THREADS, default hardware
 
 const asdb::AsRegistry& registry();
 const scanner::Deployment& deployment();
@@ -44,16 +49,23 @@ struct LightScenarioOptions {
 };
 telescope::ScenarioConfig light_scenario(const LightScenarioOptions& options);
 
-/// One fully generated + analyzed scenario.
+/// One fully generated + analyzed scenario. All harnesses run the
+/// sharded ParallelPipeline, whose products are bit-identical to the
+/// serial Pipeline (the differential tests in
+/// tests/core_parallel_pipeline_test.cpp enforce this).
 struct AnalyzedScenario {
   telescope::ScenarioConfig config;
   telescope::GroundTruth truth;
-  std::unique_ptr<core::Pipeline> pipeline;
+  std::unique_ptr<core::ParallelPipeline> pipeline;
   core::Pipeline::AttackAnalysis analysis;
   threat::IntelDb intel;
   double generate_seconds = 0;
   double analyze_seconds = 0;
 };
+
+/// The pipeline options run_scenario uses for `config`.
+core::PipelineOptions pipeline_options(
+    const telescope::ScenarioConfig& config);
 
 AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config);
 

@@ -5,7 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "asdb/registry.hpp"
+#include "bench_common.hpp"
 #include "core/classifier.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "telescope/generator.hpp"
 #include "crypto/gcm.hpp"
 #include "crypto/sha256.hpp"
 #include "net/headers.hpp"
@@ -201,6 +205,59 @@ void BM_ServerSim_Datagram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServerSim_Datagram);
+
+// Serial vs parallel end-to-end analysis (classify + hourly binning +
+// sessionize + detect) on a one-day cut of the fig06 scenario. Arg(0)
+// runs the serial Pipeline; Arg(N) runs ParallelPipeline with N
+// shards/threads. items/sec is packets/sec.
+struct Fig06Workload {
+  std::vector<net::RawPacket> packets;
+  core::PipelineOptions options;
+};
+
+const Fig06Workload& fig06_workload() {
+  static const Fig06Workload workload = [] {
+    const auto config =
+        bench::light_scenario({.days = 1, .telescope_bits = 18,
+                               .common_attacks_per_day = 600});
+    Fig06Workload out;
+    out.options = bench::pipeline_options(config);
+    telescope::TelescopeGenerator generator(config, bench::registry(),
+                                            bench::deployment());
+    while (auto packet = generator.next()) {
+      out.packets.push_back(std::move(*packet));
+    }
+    return out;
+  }();
+  return workload;
+}
+
+void BM_Pipeline_Fig06(benchmark::State& state) {
+  const auto& workload = fig06_workload();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    if (shards == 0) {
+      core::Pipeline pipeline(workload.options);
+      for (const auto& packet : workload.packets) pipeline.consume(packet);
+      benchmark::DoNotOptimize(pipeline.analyze_attacks());
+    } else {
+      core::ParallelPipeline pipeline(workload.options, shards);
+      for (const auto& packet : workload.packets) pipeline.consume(packet);
+      benchmark::DoNotOptimize(pipeline.analyze_attacks());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.packets.size()));
+  state.SetLabel(state.range(0) == 0 ? "serial" : "parallel");
+}
+BENCHMARK(BM_Pipeline_Fig06)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace quicsand

@@ -14,6 +14,17 @@ bool is_backscatter_icmp(std::uint8_t type) {
 
 }  // namespace
 
+void ClassifierStats::merge_from(const ClassifierStats& other) {
+  total += other.total;
+  undecodable += other.undecodable;
+  for (std::size_t i = 0; i < by_class.size(); ++i) {
+    by_class[i] += other.by_class[i];
+  }
+  research += other.research;
+  research_requests += other.research_requests;
+  quic_port_rejects += other.quic_port_rejects;
+}
+
 const char* traffic_class_name(TrafficClass cls) {
   switch (cls) {
     case TrafficClass::kQuicRequest:

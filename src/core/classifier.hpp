@@ -48,6 +48,10 @@ struct ClassifierStats {
     return of(TrafficClass::kQuicResponse) -
            (research - research_requests);
   }
+
+  /// Fold another classifier's counters into this one (parallel
+  /// classification keeps one Classifier per worker).
+  void merge_from(const ClassifierStats& other);
 };
 
 class Classifier {

@@ -1,25 +1,23 @@
 #include "core/dos.hpp"
 
+#include <algorithm>
+
 #include "util/stats.hpp"
 
 namespace quicsand::core {
 
-namespace {
-
-bool is_attack(const Session& session, const DosThresholds& thresholds) {
-  return static_cast<double>(session.packets) > thresholds.min_packets &&
-         util::to_seconds(session.duration()) > thresholds.min_duration_s &&
-         session.peak_pps() > thresholds.min_peak_pps;
+bool DosThresholds::admits(const Session& session) const {
+  return static_cast<double>(session.packets) > min_packets &&
+         util::to_seconds(session.duration()) > min_duration_s &&
+         session.peak_pps() > min_peak_pps;
 }
-
-}  // namespace
 
 std::vector<DetectedAttack> detect_attacks(std::span<const Session> sessions,
                                            const DosThresholds& thresholds) {
   std::vector<DetectedAttack> attacks;
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     const Session& session = sessions[i];
-    if (!is_attack(session, thresholds)) continue;
+    if (!thresholds.admits(session)) continue;
     DetectedAttack attack;
     attack.session_index = i;
     attack.victim = session.source;
@@ -32,12 +30,34 @@ std::vector<DetectedAttack> detect_attacks(std::span<const Session> sessions,
   return attacks;
 }
 
+std::vector<DetectedAttack> merge_attacks(
+    std::vector<std::vector<DetectedAttack>> parts,
+    const std::vector<std::vector<std::size_t>>& global_index) {
+  std::vector<DetectedAttack> merged;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  merged.reserve(total);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (auto& attack : parts[p]) {
+      attack.session_index = global_index[p][attack.session_index];
+      merged.push_back(attack);
+    }
+  }
+  // Global session indices are unique, so ordering by them recovers the
+  // serial emission order exactly.
+  std::sort(merged.begin(), merged.end(),
+            [](const DetectedAttack& a, const DetectedAttack& b) {
+              return a.session_index < b.session_index;
+            });
+  return merged;
+}
+
 ExcludedSummary summarize_excluded(std::span<const Session> sessions,
                                    const DosThresholds& thresholds) {
   ExcludedSummary summary;
   std::vector<double> packets, durations, rates;
   for (const auto& session : sessions) {
-    if (is_attack(session, thresholds)) continue;
+    if (thresholds.admits(session)) continue;
     ++summary.count;
     packets.push_back(static_cast<double>(session.packets));
     durations.push_back(util::to_seconds(session.duration()));

@@ -24,6 +24,10 @@ struct DosThresholds {
   [[nodiscard]] DosThresholds weighted(double w) const {
     return {min_packets * w, min_duration_s * w, min_peak_pps * w};
   }
+
+  /// The attack test itself (shared by the batch, parallel and online
+  /// detectors): every threshold must be strictly exceeded.
+  [[nodiscard]] bool admits(const Session& session) const;
 };
 
 struct DetectedAttack {
@@ -41,11 +45,22 @@ struct DetectedAttack {
     const auto hi = std::min(end, other.end);
     return hi - lo >= min_overlap;
   }
+
+  friend bool operator==(const DetectedAttack&,
+                         const DetectedAttack&) = default;
 };
 
 /// Select the sessions exceeding all thresholds.
 std::vector<DetectedAttack> detect_attacks(std::span<const Session> sessions,
                                            const DosThresholds& thresholds);
+
+/// Combine per-shard detect_attacks() outputs into the list the serial
+/// detector would produce over the merged session list: session_index is
+/// remapped through `global_index` (from merge_sessions) and the attacks
+/// ordered by their merged session position.
+std::vector<DetectedAttack> merge_attacks(
+    std::vector<std::vector<DetectedAttack>> parts,
+    const std::vector<std::vector<std::size_t>>& global_index);
 
 /// Summary of the sessions NOT classified as attacks (Appendix B checks
 /// their median intensity/duration/packets).

@@ -2,42 +2,11 @@
 
 namespace quicsand::core {
 
-namespace {
-
-void absorb_record(Session& session, const PacketRecord& record) {
-  session.end = record.timestamp;
-  ++session.packets;
-  session.bytes += record.wire_size;
-  const auto minute = static_cast<std::size_t>(
-      (record.timestamp - session.start) / util::kMinute);
-  if (session.minute_counts.size() <= minute) {
-    session.minute_counts.resize(minute + 1, 0);
-  }
-  ++session.minute_counts[minute];
-  if (record.has_scid) session.scids.insert(record.scid_hash);
-  session.peers.insert(record.dst.value());
-  session.peer_ports.insert(
-      (static_cast<std::uint64_t>(record.dst.value()) << 16) |
-      record.dst_port);
-  for (std::size_t k = 0; k < kQuicKindCount; ++k) {
-    session.kind_counts[k] += record.kind_counts[k];
-  }
-  if (record.quic_version != 0) {
-    ++session.version_counts[record.quic_version];
-  }
-}
-
-}  // namespace
-
 OnlineDetector::OnlineDetector(OnlineDetectorConfig config)
     : config_(std::move(config)) {}
 
 bool OnlineDetector::exceeds_thresholds(const Session& session) const {
-  return static_cast<double>(session.packets) >
-             config_.thresholds.min_packets &&
-         util::to_seconds(session.duration()) >
-             config_.thresholds.min_duration_s &&
-         session.peak_pps() > config_.thresholds.min_peak_pps;
+  return config_.thresholds.admits(session);
 }
 
 DetectedAttack OnlineDetector::to_attack(const Session& session) const {

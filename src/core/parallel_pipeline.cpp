@@ -1,0 +1,227 @@
+#include "core/parallel_pipeline.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace quicsand::core {
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  const auto hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+ParallelPipeline::ParallelPipeline(ParallelPipelineOptions options)
+    : options_(std::move(options)),
+      shards_(resolve_shards(options_.shards)),
+      hours_(static_cast<std::size_t>(options_.base.days) * 24) {
+  if (options_.batch_size == 0) options_.batch_size = 4096;
+  worker_classifiers_.reserve(shards_);
+  for (std::size_t i = 0; i < shards_; ++i) {
+    worker_classifiers_.push_back(std::make_unique<Classifier>(
+        ClassifierConfig{options_.base.research_prefixes}));
+  }
+  worker_hourly_.reserve(kHourlySlotCount);
+  for (std::size_t slot = 0; slot < kHourlySlotCount; ++slot) {
+    worker_hourly_.emplace_back(shards_, hours_);
+  }
+  pending_.reserve(options_.batch_size);
+  pool_ = std::make_unique<util::ThreadPool>(shards_);
+}
+
+ParallelPipeline::ParallelPipeline(PipelineOptions base, std::size_t shards)
+    : ParallelPipeline(
+          ParallelPipelineOptions{std::move(base), shards, 4096}) {}
+
+ParallelPipeline::~ParallelPipeline() {
+  if (pool_) pool_->wait_idle();
+}
+
+void ParallelPipeline::consume(const net::RawPacket& packet) {
+  pending_.push_back(packet);
+  if (pending_.size() >= options_.batch_size) dispatch_batch();
+}
+
+void ParallelPipeline::dispatch_batch() {
+  if (pending_.empty()) return;
+  // Backpressure: bound the raw-packet batches in flight so a fast
+  // capture loop cannot buffer the whole trace ahead of the workers.
+  {
+    std::unique_lock lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
+    ++inflight_;
+  }
+  batches_.emplace_back();
+  auto* out = &batches_.back();
+  auto batch =
+      std::make_shared<std::vector<net::RawPacket>>(std::move(pending_));
+  pending_.clear();
+  pending_.reserve(options_.batch_size);
+  pool_->submit([this, out, batch](std::size_t worker) {
+    auto& classifier = *worker_classifiers_[worker];
+    out->reserve(batch->size());
+    for (const auto& packet : *batch) {
+      const auto record = classifier.classify(packet);
+      if (!record) continue;
+      bin_hourly(*record, options_.base.window_start, hours_,
+                 [this, worker](HourlySlot slot, std::size_t hour) {
+                   worker_hourly_[static_cast<std::size_t>(slot)].add(worker,
+                                                                      hour);
+                 });
+      if (!keep_for_analysis(*record)) continue;
+      out->push_back(*record);
+    }
+    std::lock_guard lock(inflight_mutex_);
+    --inflight_;
+    inflight_cv_.notify_all();
+  });
+}
+
+void ParallelPipeline::finish() {
+  if (finished_) return;
+  dispatch_batch();
+  pool_->wait_idle();
+
+  for (const auto& classifier : worker_classifiers_) {
+    stats_.merge_from(classifier->stats());
+  }
+  for (std::size_t slot = 0; slot < kHourlySlotCount; ++slot) {
+    hourly_.of(static_cast<HourlySlot>(slot)) = worker_hourly_[slot].merged();
+  }
+  std::size_t total = 0;
+  for (const auto& batch : batches_) total += batch.size();
+  records_.reserve(total);
+  // Batches were dispatched in arrival order, so concatenating them
+  // reproduces the serial pipeline's record stream exactly.
+  for (auto& batch : batches_) {
+    records_.insert(records_.end(), batch.begin(), batch.end());
+  }
+  batches_.clear();
+  finished_ = true;
+}
+
+const ClassifierStats& ParallelPipeline::stats() {
+  finish();
+  return stats_;
+}
+
+const HourlySeries& ParallelPipeline::hourly() {
+  finish();
+  return hourly_;
+}
+
+std::span<const PacketRecord> ParallelPipeline::records() {
+  finish();
+  return records_;
+}
+
+const std::vector<std::vector<PacketRecord>>&
+ParallelPipeline::shard_records() {
+  finish();
+  if (!sharded_) {
+    shard_records_.assign(shards_, {});
+    for (const auto& record : records_) {
+      shard_records_[util::shard_of(record.src.value(), shards_)].push_back(
+          record);
+    }
+    sharded_ = true;
+  }
+  return shard_records_;
+}
+
+std::vector<std::vector<Session>> ParallelPipeline::sharded_sessions(
+    util::Duration timeout, const RecordFilter& filter) {
+  const auto& shards = shard_records();
+  std::vector<std::vector<Session>> parts(shards_);
+  pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    parts[s] = build_sessions(shards[s], timeout, filter);
+  });
+  return parts;
+}
+
+std::vector<Session> ParallelPipeline::request_sessions(
+    util::Duration timeout) {
+  return merge_sessions(sharded_sessions(timeout, quic_request_filter()))
+      .sessions;
+}
+
+std::vector<Session> ParallelPipeline::response_sessions(
+    util::Duration timeout) {
+  return merge_sessions(sharded_sessions(timeout, quic_response_filter()))
+      .sessions;
+}
+
+std::vector<Session> ParallelPipeline::common_sessions(
+    util::Duration timeout) {
+  return merge_sessions(sharded_sessions(timeout, common_backscatter_filter()))
+      .sessions;
+}
+
+std::vector<std::pair<util::Duration, std::uint64_t>>
+ParallelPipeline::session_timeout_sweep(
+    std::span<const util::Duration> timeouts) {
+  const auto& shards = shard_records();
+  const auto filter = sanitized_quic_filter();
+  std::vector<GapProfile> profiles(shards_);
+  pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    profiles[s] = collect_gap_profile(shards[s], filter);
+  });
+  GapProfile merged;
+  for (auto& profile : profiles) {
+    merge_gap_profiles(merged, std::move(profile));
+  }
+  return sweep_counts(std::move(merged), timeouts);
+}
+
+Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks() {
+  return analyze_attacks(options_.base.thresholds);
+}
+
+Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
+    const DosThresholds& thresholds) {
+  const auto& shards = shard_records();
+  const auto timeout = options_.base.session_timeout;
+  const auto response_filter = quic_response_filter();
+  const auto common_filter = common_backscatter_filter();
+
+  struct ShardAnalysis {
+    std::vector<Session> response, common;
+    std::vector<DetectedAttack> quic_attacks, common_attacks;
+  };
+  std::vector<ShardAnalysis> outs(shards_);
+  pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    auto& out = outs[s];
+    out.response = build_sessions(shards[s], timeout, response_filter);
+    out.common = build_sessions(shards[s], timeout, common_filter);
+    out.quic_attacks = detect_attacks(out.response, thresholds);
+    out.common_attacks = detect_attacks(out.common, thresholds);
+  });
+
+  std::vector<std::vector<Session>> response_parts(shards_);
+  std::vector<std::vector<Session>> common_parts(shards_);
+  std::vector<std::vector<DetectedAttack>> quic_parts(shards_);
+  std::vector<std::vector<DetectedAttack>> common_attack_parts(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    response_parts[s] = std::move(outs[s].response);
+    common_parts[s] = std::move(outs[s].common);
+    quic_parts[s] = std::move(outs[s].quic_attacks);
+    common_attack_parts[s] = std::move(outs[s].common_attacks);
+  }
+
+  Pipeline::AttackAnalysis analysis;
+  auto response_merge = merge_sessions(std::move(response_parts));
+  analysis.quic_attacks =
+      merge_attacks(std::move(quic_parts), response_merge.global_index);
+  analysis.response_sessions = std::move(response_merge.sessions);
+  auto common_merge = merge_sessions(std::move(common_parts));
+  analysis.common_attacks =
+      merge_attacks(std::move(common_attack_parts), common_merge.global_index);
+  analysis.common_sessions = std::move(common_merge.sessions);
+  return analysis;
+}
+
+}  // namespace quicsand::core

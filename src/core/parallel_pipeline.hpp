@@ -1,0 +1,111 @@
+// Sharded, multi-threaded variant of the serial analysis Pipeline.
+//
+// Ingest classifies fixed-size packet batches on a worker pool: each
+// worker owns a Classifier and a row of hourly ShardedCounters, merged by
+// summation when ingest finishes. The analyses then shard the record
+// stream by hash(source IP) % N; sessionization and DoS detection are
+// purely source-local (§5.1), so every shard runs the serial inner loops
+// on its own subspan and the merged output is bit-identical to the
+// serial Pipeline regardless of shard count. See DESIGN.md
+// "Parallel execution model" for the determinism argument.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/sharded_counter.hpp"
+#include "util/thread_pool.hpp"
+
+namespace quicsand::core {
+
+struct ParallelPipelineOptions {
+  PipelineOptions base;
+  /// Worker threads == analysis shards. 0 means hardware concurrency.
+  std::size_t shards = 0;
+  /// Packets classified per worker task.
+  std::size_t batch_size = 4096;
+};
+
+class ParallelPipeline {
+ public:
+  explicit ParallelPipeline(ParallelPipelineOptions options);
+  ParallelPipeline(PipelineOptions base, std::size_t shards);
+  ~ParallelPipeline();
+
+  ParallelPipeline(const ParallelPipeline&) = delete;
+  ParallelPipeline& operator=(const ParallelPipeline&) = delete;
+
+  /// Ingest one packet (must arrive in time order). Classification runs
+  /// on the pool, overlapping with the caller's capture/generation loop.
+  void consume(const net::RawPacket& packet);
+
+  /// Flush pending batches and merge per-worker state. Idempotent; every
+  /// analysis accessor calls it, after which consume() must not be
+  /// called again.
+  void finish();
+
+  [[nodiscard]] const ClassifierStats& stats();
+  [[nodiscard]] const HourlySeries& hourly();
+
+  /// Sanitized records in arrival order, identical to the serial
+  /// pipeline's record stream.
+  [[nodiscard]] std::span<const PacketRecord> records();
+
+  std::vector<Session> request_sessions(util::Duration timeout);
+  std::vector<Session> response_sessions(util::Duration timeout);
+  std::vector<Session> common_sessions(util::Duration timeout);
+
+  std::vector<std::pair<util::Duration, std::uint64_t>>
+  session_timeout_sweep(std::span<const util::Duration> timeouts);
+
+  Pipeline::AttackAnalysis analyze_attacks();
+  Pipeline::AttackAnalysis analyze_attacks(const DosThresholds& thresholds);
+
+  [[nodiscard]] const PipelineOptions& options() const {
+    return options_.base;
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+
+ private:
+  void dispatch_batch();
+  /// Partition records() by hash(source IP) % shards, once.
+  const std::vector<std::vector<PacketRecord>>& shard_records();
+  std::vector<std::vector<Session>> sharded_sessions(
+      util::Duration timeout, const RecordFilter& filter);
+
+  ParallelPipelineOptions options_;
+  std::size_t shards_;
+  std::size_t hours_;
+
+  // Per-worker ingest state: workers only touch their own slot/row.
+  std::vector<std::unique_ptr<Classifier>> worker_classifiers_;
+  std::vector<util::ShardedCounter> worker_hourly_;  // one per HourlySlot
+
+  // Ingest: the main thread appends an output slot per batch before
+  // submitting it, so workers write disjoint, stable deque elements.
+  std::vector<net::RawPacket> pending_;
+  std::deque<std::vector<PacketRecord>> batches_;
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
+
+  // Merged state, valid once finished_.
+  bool finished_ = false;
+  ClassifierStats stats_;
+  HourlySeries hourly_;
+  std::vector<PacketRecord> records_;
+  bool sharded_ = false;
+  std::vector<std::vector<PacketRecord>> shard_records_;
+
+  // Declared last so jobs referencing the members above are drained
+  // before anything else is destroyed.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace quicsand::core

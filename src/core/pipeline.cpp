@@ -16,36 +16,21 @@ void Pipeline::consume(const net::RawPacket& packet) {
   const auto record = classifier_.classify(packet);
   if (!record) return;
 
-  if (record->is_quic()) {
-    const auto bin = util::hour_bin(record->timestamp, options_.window_start);
-    if (bin >= 0 &&
-        bin < static_cast<std::int64_t>(hourly_.research_quic.size())) {
-      const auto hour = static_cast<std::size_t>(bin);
-      if (record->is_research) {
-        ++hourly_.research_quic[hour];
-      } else {
-        ++hourly_.other_quic[hour];
-        if (record->cls == TrafficClass::kQuicRequest) {
-          ++hourly_.quic_requests[hour];
-        } else {
-          ++hourly_.quic_responses[hour];
-        }
-      }
-    }
-  }
+  bin_hourly(*record, options_.window_start, hourly_.research_quic.size(),
+             [this](HourlySlot slot, std::size_t hour) {
+               ++hourly_.of(slot)[hour];
+             });
 
   // Keep only the records the later stages need: sanitized QUIC traffic
   // plus TCP/ICMP scans and backscatter.
-  if (record->is_research || record->cls == TrafficClass::kOther) return;
+  if (!keep_for_analysis(*record)) return;
   records_.push_back(*record);
 }
 
 std::vector<std::pair<util::Duration, std::uint64_t>>
 Pipeline::session_timeout_sweep(
     std::span<const util::Duration> timeouts) const {
-  return timeout_sweep(records_, timeouts, [](const PacketRecord& r) {
-    return r.is_quic() && !r.is_research;
-  });
+  return timeout_sweep(records_, timeouts, sanitized_quic_filter());
 }
 
 Pipeline::AttackAnalysis Pipeline::analyze_attacks() const {

@@ -26,13 +26,59 @@ struct PipelineOptions {
   DosThresholds thresholds;
 };
 
+/// The four hourly series the figures consume.
+enum class HourlySlot : std::uint8_t {
+  kResearchQuic,
+  kOtherQuic,
+  kQuicRequests,
+  kQuicResponses,
+};
+constexpr std::size_t kHourlySlotCount = 4;
+
 /// Per-hour packet counts over the analysis window.
 struct HourlySeries {
   std::vector<std::uint64_t> research_quic;  ///< Figure 2
   std::vector<std::uint64_t> other_quic;     ///< Figure 2
   std::vector<std::uint64_t> quic_requests;  ///< Figure 3 (sanitized)
   std::vector<std::uint64_t> quic_responses; ///< Figure 3 (sanitized)
+
+  [[nodiscard]] std::vector<std::uint64_t>& of(HourlySlot slot) {
+    switch (slot) {
+      case HourlySlot::kResearchQuic: return research_quic;
+      case HourlySlot::kOtherQuic: return other_quic;
+      case HourlySlot::kQuicRequests: return quic_requests;
+      case HourlySlot::kQuicResponses: return quic_responses;
+    }
+    return research_quic;
+  }
 };
+
+/// True when the record feeds the analysis stages: research scanners and
+/// unclassified traffic are counted, then dropped.
+[[nodiscard]] inline bool keep_for_analysis(const PacketRecord& record) {
+  return !record.is_research && record.cls != TrafficClass::kOther;
+}
+
+/// Invoke add(slot, hour) for each hourly series the record contributes
+/// to (shared by the serial and parallel ingest paths). Out-of-window
+/// records contribute nothing.
+template <typename AddFn>
+void bin_hourly(const PacketRecord& record, util::Timestamp window_start,
+                std::size_t hours, AddFn&& add) {
+  if (!record.is_quic()) return;
+  const auto bin = util::hour_bin(record.timestamp, window_start);
+  if (bin < 0 || bin >= static_cast<std::int64_t>(hours)) return;
+  const auto hour = static_cast<std::size_t>(bin);
+  if (record.is_research) {
+    add(HourlySlot::kResearchQuic, hour);
+  } else {
+    add(HourlySlot::kOtherQuic, hour);
+    add(record.cls == TrafficClass::kQuicRequest
+            ? HourlySlot::kQuicRequests
+            : HourlySlot::kQuicResponses,
+        hour);
+  }
+}
 
 class Pipeline {
  public:

@@ -54,6 +54,8 @@ struct PacketRecord {
     return cls == TrafficClass::kQuicRequest ||
            cls == TrafficClass::kQuicResponse;
   }
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
 };
 
 }  // namespace quicsand::core

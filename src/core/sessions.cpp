@@ -6,12 +6,28 @@ namespace quicsand::core {
 
 namespace {
 
-void absorb(Session& session, const PacketRecord& record) {
+Session open_session(const PacketRecord& record) {
+  Session session;
+  session.source = record.src;
+  session.start = record.timestamp;
+  session.end = record.timestamp;
+  absorb_record(session, record);
+  return session;
+}
+
+}  // namespace
+
+void absorb_record(Session& session, const PacketRecord& record) {
   session.end = record.timestamp;
   ++session.packets;
   session.bytes += record.wire_size;
+  // Boundary packets (elapsed time an exact multiple of a minute) close
+  // the previous slot instead of opening a new one; otherwise a 1 µs
+  // timing difference around the boundary would flip peak_pps() across
+  // the DoS threshold.
+  const auto elapsed = record.timestamp - session.start;
   const auto minute = static_cast<std::size_t>(
-      (record.timestamp - session.start) / util::kMinute);
+      elapsed == 0 ? 0 : (elapsed - 1) / util::kMinute);
   if (session.minute_counts.size() <= minute) {
     session.minute_counts.resize(minute + 1, 0);
   }
@@ -31,16 +47,9 @@ void absorb(Session& session, const PacketRecord& record) {
   }
 }
 
-Session open_session(const PacketRecord& record) {
-  Session session;
-  session.source = record.src;
-  session.start = record.timestamp;
-  session.end = record.timestamp;
-  absorb(session, record);
-  return session;
+bool session_before(const Session& a, const Session& b) {
+  return a.start < b.start || (a.start == b.start && a.source < b.source);
 }
-
-}  // namespace
 
 std::uint32_t Session::dominant_version() const {
   std::uint32_t best_version = 0;
@@ -74,6 +83,10 @@ RecordFilter common_backscatter_filter() {
   };
 }
 
+RecordFilter sanitized_quic_filter() {
+  return [](const PacketRecord& r) { return r.is_quic() && !r.is_research; };
+}
+
 std::vector<Session> build_sessions(std::span<const PacketRecord> records,
                                     util::Duration timeout,
                                     const RecordFilter& filter) {
@@ -91,44 +104,81 @@ std::vector<Session> build_sessions(std::span<const PacketRecord> records,
       closed.push_back(std::move(session));
       it->second = open_session(record);
     } else {
-      absorb(session, record);
+      absorb_record(session, record);
     }
   }
   closed.reserve(closed.size() + open.size());
   for (auto& [source, session] : open) closed.push_back(std::move(session));
-  std::sort(closed.begin(), closed.end(),
-            [](const Session& a, const Session& b) {
-              return a.start < b.start ||
-                     (a.start == b.start && a.source < b.source);
-            });
+  std::sort(closed.begin(), closed.end(), session_before);
   return closed;
 }
 
-std::vector<std::pair<util::Duration, std::uint64_t>> timeout_sweep(
-    std::span<const PacketRecord> records,
-    std::span<const util::Duration> timeouts, const RecordFilter& filter) {
-  // One pass: collect every per-source inactivity gap; for timeout T the
-  // session count is (#sources) + (#gaps > T).
+SessionMerge merge_sessions(std::vector<std::vector<Session>> parts) {
+  SessionMerge merge;
+  merge.global_index.resize(parts.size());
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].size();
+    merge.global_index[p].resize(parts[p].size());
+  }
+  merge.sessions.reserve(total);
+  std::vector<std::size_t> cursor(parts.size(), 0);
+  while (merge.sessions.size() < total) {
+    std::size_t best = parts.size();
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (cursor[p] >= parts[p].size()) continue;
+      if (best == parts.size() ||
+          session_before(parts[p][cursor[p]], parts[best][cursor[best]])) {
+        best = p;
+      }
+    }
+    merge.global_index[best][cursor[best]] = merge.sessions.size();
+    merge.sessions.push_back(std::move(parts[best][cursor[best]]));
+    ++cursor[best];
+  }
+  return merge;
+}
+
+GapProfile collect_gap_profile(std::span<const PacketRecord> records,
+                               const RecordFilter& filter) {
+  GapProfile profile;
   std::unordered_map<std::uint32_t, util::Timestamp> last_seen;
-  std::vector<util::Duration> gaps;
   for (const auto& record : records) {
     if (!filter(record)) continue;
     const auto [it, inserted] =
         last_seen.try_emplace(record.src.value(), record.timestamp);
     if (!inserted) {
-      gaps.push_back(record.timestamp - it->second);
+      profile.gaps.push_back(record.timestamp - it->second);
       it->second = record.timestamp;
     }
   }
+  profile.sources = last_seen.size();
+  return profile;
+}
+
+void merge_gap_profiles(GapProfile& into, GapProfile&& from) {
+  into.sources += from.sources;
+  into.gaps.insert(into.gaps.end(), from.gaps.begin(), from.gaps.end());
+}
+
+std::vector<std::pair<util::Duration, std::uint64_t>> sweep_counts(
+    GapProfile profile, std::span<const util::Duration> timeouts) {
+  auto& gaps = profile.gaps;
   std::sort(gaps.begin(), gaps.end());
   std::vector<std::pair<util::Duration, std::uint64_t>> out;
   out.reserve(timeouts.size());
   for (const auto timeout : timeouts) {
     const auto it = std::upper_bound(gaps.begin(), gaps.end(), timeout);
     const auto above = static_cast<std::uint64_t>(gaps.end() - it);
-    out.emplace_back(timeout, last_seen.size() + above);
+    out.emplace_back(timeout, profile.sources + above);
   }
   return out;
+}
+
+std::vector<std::pair<util::Duration, std::uint64_t>> timeout_sweep(
+    std::span<const PacketRecord> records,
+    std::span<const util::Duration> timeouts, const RecordFilter& filter) {
+  return sweep_counts(collect_gap_profile(records, filter), timeouts);
 }
 
 }  // namespace quicsand::core

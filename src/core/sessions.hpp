@@ -43,7 +43,21 @@ struct Session {
 
   /// Dominant QUIC version (most packets); 0 when none seen.
   [[nodiscard]] std::uint32_t dominant_version() const;
+
+  friend bool operator==(const Session&, const Session&) = default;
 };
+
+/// Fold one record into an open session (shared by build_sessions and
+/// the online detector). Minute slots are (i·60s, (i+1)·60s] relative to
+/// the session start, with the start packet in slot 0: a packet exactly
+/// 60 s after the start has one minute of elapsed activity and belongs
+/// to the closing minute rather than opening a phantom trailing slot.
+void absorb_record(Session& session, const PacketRecord& record);
+
+/// Strict ordering of session lists: by start time, ties broken by
+/// source. Two distinct sessions never compare equal (a source's
+/// sessions are time-disjoint), so sorted output is unique.
+[[nodiscard]] bool session_before(const Session& a, const Session& b);
 
 using RecordFilter = std::function<bool(const PacketRecord&)>;
 
@@ -51,6 +65,7 @@ using RecordFilter = std::function<bool(const PacketRecord&)>;
 RecordFilter quic_request_filter(bool include_research = false);
 RecordFilter quic_response_filter();
 RecordFilter common_backscatter_filter();  ///< TCP + ICMP backscatter
+RecordFilter sanitized_quic_filter();      ///< both QUIC directions
 
 /// Group the filtered records into per-source sessions with the given
 /// inactivity timeout. Records must be in non-decreasing time order
@@ -58,6 +73,36 @@ RecordFilter common_backscatter_filter();  ///< TCP + ICMP backscatter
 std::vector<Session> build_sessions(std::span<const PacketRecord> records,
                                     util::Duration timeout,
                                     const RecordFilter& filter);
+
+/// K-way merge of session lists each sorted by `session_before` (the
+/// order build_sessions returns). When the parts partition the record
+/// stream by source, the merged list is identical to sessionizing the
+/// whole stream at once — sessionization is source-local.
+struct SessionMerge {
+  std::vector<Session> sessions;
+  /// global_index[part][i] = position of part's i-th session in
+  /// `sessions` (for remapping per-part DetectedAttack indices).
+  std::vector<std::vector<std::size_t>> global_index;
+};
+
+SessionMerge merge_sessions(std::vector<std::vector<Session>> parts);
+
+/// Per-source inactivity gaps of a filtered record span — the sufficient
+/// statistic for the timeout sweep. Profiles of a source-partitioned
+/// stream combine by summing `sources` and concatenating `gaps`.
+struct GapProfile {
+  std::uint64_t sources = 0;
+  std::vector<util::Duration> gaps;  ///< unsorted
+};
+
+GapProfile collect_gap_profile(std::span<const PacketRecord> records,
+                               const RecordFilter& filter);
+void merge_gap_profiles(GapProfile& into, GapProfile&& from);
+
+/// Session count per timeout from a gap profile: for timeout T the count
+/// is `sources` + the number of gaps above T.
+std::vector<std::pair<util::Duration, std::uint64_t>> sweep_counts(
+    GapProfile profile, std::span<const util::Duration> timeouts);
 
 /// Number of sessions for each timeout in `timeouts` (Figure 4 sweep),
 /// computed in one pass over the inactivity-gap distribution. A timeout

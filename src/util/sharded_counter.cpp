@@ -1,0 +1,17 @@
+#include "util/sharded_counter.hpp"
+
+namespace quicsand::util {
+
+ShardedCounter::ShardedCounter(std::size_t shards, std::size_t bins)
+    : bins_(bins),
+      rows_(shards, std::vector<std::uint64_t>(bins, 0)) {}
+
+std::vector<std::uint64_t> ShardedCounter::merged() const {
+  std::vector<std::uint64_t> out(bins_, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t bin = 0; bin < bins_; ++bin) out[bin] += row[bin];
+  }
+  return out;
+}
+
+}  // namespace quicsand::util

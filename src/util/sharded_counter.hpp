@@ -1,0 +1,51 @@
+// Sharding helpers for the parallel analysis pipeline.
+//
+// shard_of() assigns 32-bit keys (source IPs) to shards with a splitmix64
+// finalizer, so the assignment is deterministic across platforms and
+// independent of std::hash. ShardedCounter keeps one histogram row per
+// shard/worker; rows are written without synchronization (each worker
+// owns its row) and merged by summation, which is order-independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quicsand::util {
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic shard for a 32-bit key.
+[[nodiscard]] constexpr std::size_t shard_of(std::uint32_t key,
+                                             std::size_t shards) {
+  return shards <= 1 ? 0 : static_cast<std::size_t>(mix64(key) % shards);
+}
+
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(std::size_t shards, std::size_t bins);
+
+  /// Increment `bin` on `shard`'s row. Safe to call concurrently from
+  /// different shards; a single shard's row must stay single-writer.
+  void add(std::size_t shard, std::size_t bin, std::uint64_t n = 1) {
+    rows_[shard][bin] += n;
+  }
+
+  [[nodiscard]] std::size_t shards() const { return rows_.size(); }
+  [[nodiscard]] std::size_t bins() const { return bins_; }
+
+  /// Per-bin sum across all shard rows.
+  [[nodiscard]] std::vector<std::uint64_t> merged() const;
+
+ private:
+  std::size_t bins_ = 0;
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace quicsand::util

@@ -1,0 +1,64 @@
+#include "util/thread_pool.hpp"
+
+namespace quicsand::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  for (std::size_t index = 0; index < count; ++index) {
+    submit([&fn, index](std::size_t worker) { fn(index, worker); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and the queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job(worker);
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace quicsand::util

@@ -1,0 +1,60 @@
+// Reusable fixed-size worker pool.
+//
+// Jobs receive the index of the worker thread executing them, so callers
+// can keep per-worker accumulators (classifier stats, ShardedCounter
+// rows) that need no synchronization. Jobs must not throw; ordering
+// between jobs is unspecified, so deterministic callers must make their
+// reductions order-independent (see DESIGN.md "Parallel execution
+// model").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quicsand::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is treated as 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// A job; `worker` is in [0, size()).
+  using Job = std::function<void(std::size_t worker)>;
+
+  /// Enqueue a job for any worker.
+  void submit(Job job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  /// Run fn(index, worker) for every index in [0, count), then wait for
+  /// the pool to drain (including any jobs submitted earlier).
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t index, std::size_t worker)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  std::deque<Job> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace quicsand::util

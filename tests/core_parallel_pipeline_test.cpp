@@ -1,0 +1,255 @@
+// Differential serial-vs-parallel harness: ParallelPipeline must produce
+// byte-identical analysis products to the serial Pipeline — hourly
+// series, classifier stats, record stream, session lists, timeout sweep
+// and detected attacks — for every shard count, including non-powers of
+// two. Also exercises the ThreadPool and ShardedCounter primitives the
+// parallel path is built on (run these under the `tsan` preset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <numeric>
+
+#include "asdb/registry.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/pipeline.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/generator.hpp"
+#include "util/sharded_counter.hpp"
+#include "util/thread_pool.hpp"
+
+namespace quicsand::core {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(), [&](std::size_t index, std::size_t worker) {
+    ASSERT_LT(worker, pool.size());
+    ++hits[index];
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  util::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&total](std::size_t) { ++total; });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsBecomesOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&ran](std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++ran;
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ShardedCounterTest, MergedSumsAllRows) {
+  util::ShardedCounter counter(3, 5);
+  counter.add(0, 1);
+  counter.add(1, 1, 4);
+  counter.add(2, 1);
+  counter.add(2, 4, 7);
+  const auto merged = counter.merged();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[1], 6u);
+  EXPECT_EQ(merged[4], 7u);
+  EXPECT_EQ(merged[0] + merged[2] + merged[3], 0u);
+}
+
+TEST(ShardedCounterTest, ShardOfIsDeterministicAndInRange) {
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (std::uint32_t key = 0; key < 1000; ++key) {
+      const auto s = util::shard_of(key, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, util::shard_of(key, shards));
+    }
+  }
+  // The mix spreads consecutive IPs across shards rather than clumping.
+  std::vector<std::size_t> counts(7, 0);
+  for (std::uint32_t key = 0; key < 7000; ++key) {
+    ++counts[util::shard_of(key, 7)];
+  }
+  for (const auto count : counts) EXPECT_GT(count, 500u);
+}
+
+const asdb::AsRegistry& test_registry() {
+  static const auto instance = asdb::AsRegistry::synthetic({}, 2021);
+  return instance;
+}
+
+const scanner::Deployment& test_deployment() {
+  static const auto instance =
+      scanner::Deployment::synthetic(test_registry(), {}, 2021);
+  return instance;
+}
+
+struct TestScenario {
+  std::vector<net::RawPacket> packets;
+  PipelineOptions options;
+};
+
+/// One-day, small-telescope version of the paper's mixture, with the
+/// research scanners kept in so the research hourly series and the
+/// sanitization paths are exercised too.
+const TestScenario& scenario() {
+  static const TestScenario instance = [] {
+    auto config = telescope::ScenarioConfig::april2021(1, 97);
+    config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 20};
+    config.attacks.quic_attacks_per_day = 60;
+    config.attacks.common_attacks_per_day = 150;
+    config.botnet.sessions_per_day = 300;
+    config.misconfig.sessions_per_day = 200;
+
+    TestScenario scenario;
+    scenario.options.window_start = config.start;
+    scenario.options.days = config.days;
+    scenario.options.research_prefixes.push_back(
+        test_registry().prefixes_of(asdb::AsRegistry::kTumScanner).front());
+    scenario.options.research_prefixes.push_back(
+        test_registry().prefixes_of(asdb::AsRegistry::kRwthScanner).front());
+
+    telescope::TelescopeGenerator generator(config, test_registry(),
+                                            test_deployment());
+    while (auto packet = generator.next()) {
+      scenario.packets.push_back(std::move(*packet));
+    }
+    return scenario;
+  }();
+  return instance;
+}
+
+Pipeline& serial_pipeline() {
+  static Pipeline instance = [] {
+    Pipeline pipeline(scenario().options);
+    for (const auto& packet : scenario().packets) pipeline.consume(packet);
+    return pipeline;
+  }();
+  return instance;
+}
+
+std::unique_ptr<ParallelPipeline> parallel_pipeline(std::size_t shards) {
+  ParallelPipelineOptions options;
+  options.base = scenario().options;
+  options.shards = shards;
+  // Small batches so multiple classification tasks are actually in
+  // flight even on the one-day scenario.
+  options.batch_size = 512;
+  auto pipeline = std::make_unique<ParallelPipeline>(std::move(options));
+  for (const auto& packet : scenario().packets) pipeline->consume(packet);
+  pipeline->finish();
+  return pipeline;
+}
+
+void expect_stats_equal(const ClassifierStats& a, const ClassifierStats& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.undecodable, b.undecodable);
+  EXPECT_EQ(a.by_class, b.by_class);
+  EXPECT_EQ(a.research, b.research);
+  EXPECT_EQ(a.research_requests, b.research_requests);
+  EXPECT_EQ(a.quic_port_rejects, b.quic_port_rejects);
+}
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 7};
+
+TEST(ParallelPipelineDifferentialTest, StatsHourlyAndRecordsMatchSerial) {
+  Pipeline& serial = serial_pipeline();
+  ASSERT_FALSE(serial.records().empty());
+  for (const auto shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    auto parallel = parallel_pipeline(shards);
+    expect_stats_equal(parallel->stats(), serial.stats());
+    EXPECT_EQ(parallel->hourly().research_quic, serial.hourly().research_quic);
+    EXPECT_EQ(parallel->hourly().other_quic, serial.hourly().other_quic);
+    EXPECT_EQ(parallel->hourly().quic_requests, serial.hourly().quic_requests);
+    EXPECT_EQ(parallel->hourly().quic_responses,
+              serial.hourly().quic_responses);
+    const auto records = parallel->records();
+    ASSERT_EQ(records.size(), serial.records().size());
+    EXPECT_TRUE(std::equal(records.begin(), records.end(),
+                           serial.records().begin()));
+  }
+}
+
+TEST(ParallelPipelineDifferentialTest, SessionListsMatchSerial) {
+  Pipeline& serial = serial_pipeline();
+  for (const auto shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    auto parallel = parallel_pipeline(shards);
+    for (const auto timeout : {util::kMinute, 5 * util::kMinute}) {
+      EXPECT_EQ(parallel->request_sessions(timeout),
+                serial.request_sessions(timeout));
+      EXPECT_EQ(parallel->response_sessions(timeout),
+                serial.response_sessions(timeout));
+      EXPECT_EQ(parallel->common_sessions(timeout),
+                serial.common_sessions(timeout));
+    }
+  }
+}
+
+TEST(ParallelPipelineDifferentialTest, TimeoutSweepMatchesSerial) {
+  Pipeline& serial = serial_pipeline();
+  std::vector<util::Duration> timeouts;
+  for (const int minutes : {1, 2, 5, 10, 30, 60}) {
+    timeouts.push_back(minutes * util::kMinute);
+  }
+  timeouts.push_back(std::numeric_limits<util::Duration>::max());
+  const auto expected = serial.session_timeout_sweep(timeouts);
+  for (const auto shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    EXPECT_EQ(parallel_pipeline(shards)->session_timeout_sweep(timeouts),
+              expected);
+  }
+}
+
+TEST(ParallelPipelineDifferentialTest, AttackAnalysisMatchesSerial) {
+  Pipeline& serial = serial_pipeline();
+  const auto expected = serial.analyze_attacks();
+  ASSERT_FALSE(expected.quic_attacks.empty());
+  ASSERT_FALSE(expected.common_attacks.empty());
+  for (const auto shards : kShardCounts) {
+    SCOPED_TRACE(shards);
+    auto parallel = parallel_pipeline(shards);
+    const auto analysis = parallel->analyze_attacks();
+    EXPECT_EQ(analysis.response_sessions, expected.response_sessions);
+    EXPECT_EQ(analysis.common_sessions, expected.common_sessions);
+    EXPECT_EQ(analysis.quic_attacks, expected.quic_attacks);
+    EXPECT_EQ(analysis.common_attacks, expected.common_attacks);
+    // Weighted thresholds (the Figure 10 sweep) must agree as well.
+    const auto strict = DosThresholds{}.weighted(0.5);
+    EXPECT_EQ(parallel->analyze_attacks(strict).quic_attacks,
+              serial.analyze_attacks(strict).quic_attacks);
+  }
+}
+
+TEST(ParallelPipelineTest, FinishIsIdempotentAndEmptyInputWorks) {
+  ParallelPipeline pipeline(scenario().options, 3);
+  pipeline.finish();
+  pipeline.finish();
+  EXPECT_TRUE(pipeline.records().empty());
+  EXPECT_EQ(pipeline.stats().total, 0u);
+  EXPECT_TRUE(pipeline.request_sessions(util::kMinute).empty());
+  const auto analysis = pipeline.analyze_attacks();
+  EXPECT_TRUE(analysis.quic_attacks.empty());
+  EXPECT_TRUE(analysis.common_attacks.empty());
+}
+
+TEST(ParallelPipelineTest, ShardCountDefaultsToHardware) {
+  ParallelPipeline pipeline(scenario().options, 0);
+  EXPECT_GE(pipeline.shard_count(), 1u);
+}
+
+}  // namespace
+}  // namespace quicsand::core

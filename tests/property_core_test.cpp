@@ -10,6 +10,7 @@
 #include "core/dos.hpp"
 #include "core/sessions.hpp"
 #include "util/rng.hpp"
+#include "util/sharded_counter.hpp"
 
 namespace quicsand::core {
 namespace {
@@ -90,10 +91,115 @@ TEST(SessionProperty, SessionBoundsContainAllMinuteBins) {
     std::uint64_t binned = 0;
     for (const auto count : session.minute_counts) binned += count;
     EXPECT_EQ(binned, session.packets);
-    // The last bin index must match the duration.
-    EXPECT_EQ(session.minute_counts.size(),
-              static_cast<std::size_t>(session.duration() / util::kMinute) +
-                  1);
+    // The last bin index must match the duration: slots are
+    // (i*60s, (i+1)*60s] with the start packet in slot 0, so a duration
+    // of exactly k minutes still ends in slot k-1.
+    const auto expected_slots =
+        session.duration() == 0
+            ? 1u
+            : static_cast<std::size_t>((session.duration() - 1) /
+                                       util::kMinute) +
+                  1;
+    EXPECT_EQ(session.minute_counts.size(), expected_slots);
+  }
+}
+
+TEST(SessionRegression, MinuteBoundaryPacketStaysInClosingMinute) {
+  // A packet exactly 60 s after the session start has one minute of
+  // elapsed activity: it must land in minute slot 0, not open a phantom
+  // trailing slot whose near-empty count would let a 1 µs timing
+  // difference flip peak_pps() across the DoS threshold.
+  std::vector<PacketRecord> records;
+  for (int i = 0; i < 30; ++i) {
+    PacketRecord record;
+    record.timestamp = util::kApril2021Start +
+                       static_cast<util::Duration>(i) * 2 * util::kSecond;
+    record.src = net::Ipv4Address(1);
+    record.dst = net::Ipv4Address(2);
+    record.dst_port = 443;
+    record.wire_size = 100;
+    record.cls = TrafficClass::kQuicRequest;
+    records.push_back(record);
+  }
+  PacketRecord boundary = records.back();
+  boundary.timestamp = util::kApril2021Start + util::kMinute;  // start + 60 s
+  records.push_back(boundary);
+
+  const auto sessions =
+      build_sessions(records, 5 * util::kMinute, quic_request_filter());
+  ASSERT_EQ(sessions.size(), 1u);
+  const Session& session = sessions.front();
+  EXPECT_EQ(session.duration(), util::kMinute);
+  ASSERT_EQ(session.minute_counts.size(), 1u);
+  EXPECT_EQ(session.minute_counts[0], 31u);
+  EXPECT_DOUBLE_EQ(session.peak_pps(), 31.0 / 60.0);
+
+  // One microsecond past the boundary genuinely starts the next minute.
+  PacketRecord past = boundary;
+  past.timestamp += util::kMicrosecond;
+  records.push_back(past);
+  const auto extended =
+      build_sessions(records, 5 * util::kMinute, quic_request_filter());
+  ASSERT_EQ(extended.size(), 1u);
+  ASSERT_EQ(extended.front().minute_counts.size(), 2u);
+  EXPECT_EQ(extended.front().minute_counts[1], 1u);
+  EXPECT_DOUBLE_EQ(extended.front().peak_pps(), 31.0 / 60.0);
+}
+
+TEST(SessionProperty, ShardPartitionedSessionizationMergesToWhole) {
+  // Sessionization is source-local: building sessions over a
+  // shard-partitioned record stream and merging must equal building them
+  // over the whole stream — the invariant the ParallelPipeline rests on.
+  util::Rng rng(71);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto records = random_records(rng, 2000, 50);
+    const auto whole =
+        build_sessions(records, 3 * util::kMinute, quic_request_filter());
+    for (const std::size_t shards : {2u, 4u, 7u}) {
+      std::vector<std::vector<PacketRecord>> parts(shards);
+      for (const auto& record : records) {
+        parts[util::shard_of(record.src.value(), shards)].push_back(record);
+      }
+      std::vector<std::vector<Session>> sessions(shards);
+      for (std::size_t s = 0; s < shards; ++s) {
+        sessions[s] = build_sessions(parts[s], 3 * util::kMinute,
+                                     quic_request_filter());
+      }
+      const auto merged = merge_sessions(std::move(sessions));
+      EXPECT_EQ(merged.sessions, whole);
+      // The index maps must address every merged slot exactly once.
+      std::vector<bool> seen(merged.sessions.size(), false);
+      for (const auto& part : merged.global_index) {
+        for (const auto index : part) {
+          ASSERT_LT(index, seen.size());
+          EXPECT_FALSE(seen[index]);
+          seen[index] = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(SessionProperty, ShardedGapProfilesMergeToWholeSweep) {
+  util::Rng rng(73);
+  const auto records = random_records(rng, 2500, 40);
+  std::vector<util::Duration> timeouts;
+  for (const int minutes : {1, 3, 10, 45}) {
+    timeouts.push_back(minutes * util::kMinute);
+  }
+  const auto expected =
+      timeout_sweep(records, timeouts, quic_request_filter());
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    std::vector<std::vector<PacketRecord>> parts(shards);
+    for (const auto& record : records) {
+      parts[util::shard_of(record.src.value(), shards)].push_back(record);
+    }
+    GapProfile merged;
+    for (auto& part : parts) {
+      merge_gap_profiles(merged,
+                         collect_gap_profile(part, quic_request_filter()));
+    }
+    EXPECT_EQ(sweep_counts(std::move(merged), timeouts), expected);
   }
 }
 
