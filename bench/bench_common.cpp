@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 namespace quicsand::bench {
@@ -21,7 +23,106 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct ObsOutputs {
+  std::string metrics_out;
+  std::string trace_out;
+  std::string bench_out;
+  std::vector<BenchResult> results;
+};
+
+ObsOutputs& obs_outputs() {
+  static ObsOutputs outputs;
+  return outputs;
+}
+
 }  // namespace
+
+void init(int argc, char** argv) {
+  auto& outputs = obs_outputs();
+  if (const char* env = std::getenv("QUICSAND_BENCH_OUT")) {
+    outputs.bench_out = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metrics-out") {
+      outputs.metrics_out = value();
+    } else if (arg == "--trace-out") {
+      outputs.trace_out = value();
+    } else if (arg == "--bench-out") {
+      outputs.bench_out = value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--metrics-out FILE] [--trace-out FILE]"
+                   " [--bench-out FILE]\n";
+      std::exit(2);
+    }
+  }
+}
+
+obs::MetricsRegistry& metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+obs::Tracer& tracer() {
+  static obs::Tracer instance;
+  return instance;
+}
+
+void append_bench_result(BenchResult result) {
+  obs_outputs().results.push_back(std::move(result));
+}
+
+void write_obs_outputs() {
+  const auto& outputs = obs_outputs();
+  if (!outputs.metrics_out.empty()) {
+    if (metrics().write_json_file(outputs.metrics_out)) {
+      std::cout << "[metrics snapshot written to " << outputs.metrics_out
+                << "]\n";
+    } else {
+      std::cerr << "cannot write " << outputs.metrics_out << "\n";
+    }
+  }
+  if (!outputs.trace_out.empty()) {
+    if (tracer().write_chrome_json_file(outputs.trace_out)) {
+      std::cout << "[trace written to " << outputs.trace_out
+                << " — load in chrome://tracing]\n";
+    } else {
+      std::cerr << "cannot write " << outputs.trace_out << "\n";
+    }
+  }
+  if (!outputs.bench_out.empty() && !outputs.results.empty()) {
+    std::ofstream out(outputs.bench_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write " << outputs.bench_out << "\n";
+      return;
+    }
+    out << "[";
+    bool first = true;
+    for (const auto& result : outputs.results) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      std::ostringstream row;
+      row.precision(3);
+      row << std::fixed;
+      row << "  {\"name\": \"" << result.name
+          << "\", \"wall_ms\": " << result.wall_ms
+          << ", \"records_per_s\": " << result.records_per_s
+          << ", \"threads\": " << result.threads << "}";
+      out << row.str();
+    }
+    out << "\n]\n";
+    std::cout << "[benchmark datapoints written to " << outputs.bench_out
+              << "]\n";
+  }
+}
 
 int env_days(int default_days) {
   return static_cast<int>(
@@ -81,22 +182,33 @@ core::PipelineOptions pipeline_options(
 AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
   AnalyzedScenario result;
   result.config = config;
-  result.pipeline = std::make_unique<core::ParallelPipeline>(
-      pipeline_options(config), env_threads());
+  auto options = pipeline_options(config);
+  // Every harness feeds the process-wide sinks; writing the files is
+  // opt-in via --metrics-out/--trace-out (see write_obs_outputs).
+  options.obs.metrics = &metrics();
+  options.obs.tracer = &tracer();
+  result.pipeline =
+      std::make_unique<core::ParallelPipeline>(options, env_threads());
 
   // Classification overlaps generation on the worker pool; finish()
   // drains it, so the generate timing covers ingest like the serial
   // pipeline's did.
   const auto generate_start = std::chrono::steady_clock::now();
   telescope::TelescopeGenerator generator(config, registry(), deployment());
-  while (auto packet = generator.next()) result.pipeline->consume(*packet);
-  result.pipeline->finish();
+  {
+    obs::Span span(&tracer(), "bench.generate_ingest");
+    while (auto packet = generator.next()) result.pipeline->consume(*packet);
+    result.pipeline->finish();
+  }
   result.generate_seconds = seconds_since(generate_start);
 
   const auto analyze_start = std::chrono::steady_clock::now();
-  result.truth = generator.ground_truth();
-  result.intel = generator.make_intel_db();
-  result.analysis = result.pipeline->analyze_attacks();
+  {
+    obs::Span span(&tracer(), "bench.analyze");
+    result.truth = generator.ground_truth();
+    result.intel = generator.make_intel_db();
+    result.analysis = result.pipeline->analyze_attacks();
+  }
   result.analyze_seconds = seconds_since(analyze_start);
   return result;
 }

@@ -12,16 +12,27 @@
 //     The parallel pipeline is bit-identical to the serial one for any
 //     value, so this only affects wall-clock time.
 //
+// Every harness also takes observability flags (parsed by init()):
+//
+//   --metrics-out FILE — write a JSON metrics snapshot after the run
+//   --trace-out FILE   — write a chrome://tracing / Perfetto trace
+//   --bench-out FILE   — append machine-readable benchmark datapoints
+//                        (also via env QUICSAND_BENCH_OUT); see
+//                        append_bench_result()
+//
 // Each binary prints its effective scale and, where the paper reports a
 // number, a "paper vs measured" line.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "asdb/registry.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
 #include "threat/intel.hpp"
@@ -29,6 +40,29 @@
 #include "util/table.hpp"
 
 namespace quicsand::bench {
+
+/// Parse the common observability flags (--metrics-out, --trace-out,
+/// --bench-out). Prints usage and exits(2) on unknown flags or missing
+/// values. Call first in every harness main().
+void init(int argc, char** argv);
+
+/// Process-wide sinks; run_scenario attaches them to the pipeline, and
+/// harnesses can add their own metrics/spans.
+obs::MetricsRegistry& metrics();
+obs::Tracer& tracer();
+
+/// One machine-readable benchmark datapoint (BENCH_pipeline.json schema).
+struct BenchResult {
+  std::string name;
+  double wall_ms = 0;
+  double records_per_s = 0;  ///< packets (records) per second of wall time
+  std::size_t threads = 0;
+};
+void append_bench_result(BenchResult result);
+
+/// Write whatever --metrics-out/--trace-out/--bench-out requested. Call
+/// after run(); a no-op when no output was requested.
+void write_obs_outputs();
 
 /// Environment overrides with defaults.
 int env_days(int default_days);

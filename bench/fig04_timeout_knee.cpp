@@ -59,4 +59,9 @@ int run() {
 }  // namespace
 }  // namespace quicsand::bench
 
-int main() { return quicsand::bench::run(); }
+int main(int argc, char** argv) {
+  quicsand::bench::init(argc, argv);
+  const int rc = quicsand::bench::run();
+  quicsand::bench::write_obs_outputs();
+  return rc;
+}

@@ -45,10 +45,32 @@ int run() {
   std::cout << "[generate " << util::fmt(scenario.generate_seconds, 1)
             << "s, analyze " << util::fmt(scenario.analyze_seconds, 1)
             << "s]\n";
+
+  // Perf-trajectory datapoints (--bench-out / QUICSAND_BENCH_OUT):
+  // packets through generate+ingest, records through the analyses.
+  const auto packets = scenario.pipeline->stats().total;
+  const auto records = scenario.pipeline->records().size();
+  append_bench_result(
+      {"fig06.generate_ingest", scenario.generate_seconds * 1e3,
+       scenario.generate_seconds > 0
+           ? static_cast<double>(packets) / scenario.generate_seconds
+           : 0,
+       env_threads()});
+  append_bench_result(
+      {"fig06.analyze", scenario.analyze_seconds * 1e3,
+       scenario.analyze_seconds > 0
+           ? static_cast<double>(records) / scenario.analyze_seconds
+           : 0,
+       env_threads()});
   return 0;
 }
 
 }  // namespace
 }  // namespace quicsand::bench
 
-int main() { return quicsand::bench::run(); }
+int main(int argc, char** argv) {
+  quicsand::bench::init(argc, argv);
+  const int rc = quicsand::bench::run();
+  quicsand::bench::write_obs_outputs();
+  return rc;
+}

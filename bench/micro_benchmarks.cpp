@@ -4,6 +4,10 @@
 // pipeline.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
 #include "asdb/registry.hpp"
 #include "bench_common.hpp"
 #include "core/classifier.hpp"
@@ -259,7 +263,98 @@ BENCHMARK(BM_Pipeline_Fig06)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Same workload with the obs sinks attached (a live metrics registry and
+// a tracer) — the acceptance gate for "instrumentation is near-free":
+// compare against the matching BM_Pipeline_Fig06 arg; the delta must stay
+// under 5% (recorded in EXPERIMENTS.md).
+void BM_Pipeline_Fig06_Observed(benchmark::State& state) {
+  const auto& workload = fig06_workload();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  static obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  auto options = workload.options;
+  options.obs.metrics = &registry;
+  options.obs.tracer = &tracer;
+  for (auto _ : state) {
+    tracer.clear();  // keep span memory bounded across iterations
+    if (shards == 0) {
+      core::Pipeline pipeline(options);
+      for (const auto& packet : workload.packets) pipeline.consume(packet);
+      benchmark::DoNotOptimize(pipeline.analyze_attacks());
+    } else {
+      core::ParallelPipeline pipeline(options, shards);
+      for (const auto& packet : workload.packets) pipeline.consume(packet);
+      benchmark::DoNotOptimize(pipeline.analyze_attacks());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.packets.size()));
+  state.SetLabel(state.range(0) == 0 ? "serial+obs" : "parallel+obs");
+}
+BENCHMARK(BM_Pipeline_Fig06_Observed)
+    ->Arg(0)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Console output plus the repo's simple perf-trajectory schema: every
+// pipeline benchmark run becomes one {name, wall_ms, records/s, threads}
+// datapoint for BENCH_pipeline.json (see bench_common.hpp).
+class BenchOutReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const auto name = run.benchmark_name();
+      if (name.find("BM_Pipeline_") != 0) continue;
+      bench::BenchResult result;
+      result.name = name;
+      result.wall_ms = run.GetAdjustedRealTime();  // Unit(kMillisecond)
+      const auto items = run.counters.find("items_per_second");
+      result.records_per_s =
+          items != run.counters.end() ? static_cast<double>(items->second) : 0;
+      // The benchmark arg is the shard count; 0 encodes the serial
+      // pipeline, i.e. one thread.
+      const auto slash = name.find('/');
+      std::uint64_t shards = 0;
+      if (slash != std::string::npos) {
+        shards = std::strtoull(name.c_str() + slash + 1, nullptr, 10);
+      }
+      result.threads = shards == 0 ? 1 : static_cast<std::size_t>(shards);
+      bench::append_bench_result(std::move(result));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 }  // namespace quicsand
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the repo's obs flags (--bench-out etc.) before google
+  // benchmark sees the rest of the command line.
+  std::vector<char*> own{argv[0]};
+  std::vector<char*> forwarded{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--bench-out" || arg == "--metrics-out" ||
+        arg == "--trace-out") {
+      own.push_back(argv[i]);
+      if (i + 1 < argc) own.push_back(argv[++i]);
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+  quicsand::bench::init(static_cast<int>(own.size()), own.data());
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  quicsand::BenchOutReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  quicsand::bench::write_obs_outputs();
+  return 0;
+}

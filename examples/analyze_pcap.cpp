@@ -18,8 +18,10 @@
 #include "core/report.hpp"
 #include "net/pcap.hpp"
 #include "net/pcapng.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
@@ -31,6 +33,7 @@ struct Args {
   std::string in;
   std::string registry_file;       ///< load AS data instead of synthetic
   std::string dump_registry_file;  ///< export the synthetic registry
+  std::string metrics_out;         ///< JSON metrics snapshot (--in mode)
   int days = 1;
   std::uint64_t seed = 7;
   util::Timestamp window_start = util::kApril2021Start;
@@ -53,15 +56,19 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (arg == "--days") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.days = std::atoi(v);
+      args.days = util::require_int("--days", v);
     } else if (arg == "--seed") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.seed = std::strtoull(v, nullptr, 10);
+      args.seed = util::require_u64("--seed", v);
     } else if (arg == "--window-start") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.window_start = std::strtoll(v, nullptr, 10) * util::kSecond;
+      args.window_start = util::require_i64("--window-start", v) * util::kSecond;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.metrics_out = v;
     } else if (arg == "--registry") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -119,9 +126,11 @@ int emit(const Args& args) {
 }
 
 int analyze(const Args& args) {
+  obs::MetricsRegistry metrics;
   core::PipelineOptions options;
   options.window_start = args.window_start;
   options.days = args.days;
+  options.obs.metrics = &metrics;
   // Flag the known research scanner prefixes (TUM / RWTH).
   options.research_prefixes.push_back(
       *net::Ipv4Prefix::parse("138.246.0.0/16"));
@@ -139,10 +148,12 @@ int analyze(const Args& args) {
                         magic[2] == 0x0d && magic[3] == 0x0a;
     if (pcapng) {
       net::PcapngReader reader(args.in);
+      reader.set_metrics(&metrics);
       n = reader.for_each(
           [&](const net::RawPacket& packet) { pipeline.consume(packet); });
     } else {
       net::PcapReader reader(args.in);
+      reader.set_metrics(&metrics);
       n = reader.for_each(
           [&](const net::RawPacket& packet) { pipeline.consume(packet); });
     }
@@ -190,6 +201,13 @@ int analyze(const Args& args) {
     std::cout << "\nfirst QUIC floods:\n";
     attacks.print(std::cout);
   }
+  if (!args.metrics_out.empty()) {
+    if (!metrics.write_json_file(args.metrics_out)) {
+      std::cerr << "cannot write " << args.metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "\nmetrics snapshot written to " << args.metrics_out << "\n";
+  }
   return 0;
 }
 
@@ -200,7 +218,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::cerr << "usage: analyze_pcap --emit FILE | --in FILE "
                  "[--days N] [--seed S] [--window-start EPOCH] "
-                 "[--registry FILE] [--dump-registry FILE]\n";
+                 "[--registry FILE] [--dump-registry FILE] "
+                 "[--metrics-out FILE]\n";
     return 2;
   }
   if (!args.dump_registry_file.empty()) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "server/replay.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
@@ -31,15 +32,15 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--pps") {
-      replay.pps = std::atof(value());
+      replay.pps = util::require_f64("--pps", value());
     } else if (arg == "--packets") {
-      replay.packets = std::strtoull(value(), nullptr, 10);
+      replay.packets = util::require_u64("--packets", value());
     } else if (arg == "--workers") {
-      server.workers = std::atoi(value());
+      server.workers = util::require_int("--workers", value());
     } else if (arg == "--retry") {
       server.retry_enabled = true;
     } else if (arg == "--hold") {
-      server.handshake_hold = std::atoi(value()) * util::kSecond;
+      server.handshake_hold = util::require_i64("--hold", value()) * util::kSecond;
     } else if (arg == "--dump-pcap") {
       dump_path = value();
     } else {

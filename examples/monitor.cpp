@@ -4,15 +4,26 @@
 // backscatter session crosses the DoS thresholds, long before the
 // session ends — the early-warning view an operator would watch.
 //
-//   ./monitor [--days N] [--seed S]
+// Alongside the alert stream it prints a periodic metrics snapshot (one
+// line per simulated interval) drawn from the obs registry, and can
+// export the full state for dashboards:
+//
+//   ./monitor [--days N] [--seed S] [--snapshot-every SECONDS]
+//             [--metrics-out FILE]   JSON metrics snapshot on exit
+//             [--prom-out FILE]      Prometheus text exposition on exit
+//             [--events-out FILE]    NDJSON detector event log
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "asdb/registry.hpp"
 #include "core/classifier.hpp"
 #include "core/online.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
@@ -20,6 +31,10 @@ using namespace quicsand;
 int main(int argc, char** argv) {
   int days = 1;
   std::uint64_t seed = 5;
+  std::uint64_t snapshot_every_s = 6 * 60 * 60;  // simulated time
+  std::string metrics_out;
+  std::string prom_out;
+  std::string events_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -30,11 +45,21 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--days") {
-      days = std::atoi(value());
+      days = util::require_int("--days", value());
     } else if (arg == "--seed") {
-      seed = std::strtoull(value(), nullptr, 10);
+      seed = util::require_u64("--seed", value());
+    } else if (arg == "--snapshot-every") {
+      snapshot_every_s = util::require_u64("--snapshot-every", value());
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
+    } else if (arg == "--prom-out") {
+      prom_out = value();
+    } else if (arg == "--events-out") {
+      events_out = value();
     } else {
-      std::cerr << "usage: monitor [--days N] [--seed S]\n";
+      std::cerr << "usage: monitor [--days N] [--seed S]"
+                   " [--snapshot-every SECONDS] [--metrics-out FILE]"
+                   " [--prom-out FILE] [--events-out FILE]\n";
       return 2;
     }
   }
@@ -49,8 +74,14 @@ int main(int argc, char** argv) {
   config.attacks.common_attacks_per_day = 0;
   telescope::TelescopeGenerator generator(config, registry, deployment);
 
+  obs::MetricsRegistry metrics;
+  obs::EventLog events;
+
   core::Classifier classifier({});
-  core::OnlineDetector detector({});
+  core::OnlineDetectorConfig detector_config;
+  detector_config.obs.metrics = &metrics;
+  detector_config.obs.events = &events;
+  core::OnlineDetector detector(detector_config);
   std::uint64_t alerts = 0;
   detector.set_on_alert([&](const core::DetectedAttack& attack) {
     ++alerts;
@@ -70,21 +101,73 @@ int main(int argc, char** argv) {
               << util::format_duration(attack.end - attack.start) << "\n";
   });
 
-  std::uint64_t packets = 0;
+  auto& packets_counter =
+      metrics.counter("monitor.packets", "telescope packets streamed");
+  const util::Duration snapshot_every =
+      static_cast<util::Duration>(snapshot_every_s) * util::kSecond;
+  util::Timestamp next_snapshot = 0;
+  auto print_snapshot = [&](util::Timestamp now) {
+    std::cout << util::format_utc(now) << "  [metrics] packets="
+              << packets_counter.value()
+              << " records=" << metrics.counter("online.records").value()
+              << " open_sessions=" << detector.open_sessions()
+              << " alerts=" << detector.alerts_fired()
+              << " attacks_closed=" << detector.attacks_closed()
+              << " evicted=" << detector.sessions_evicted() << "\n";
+  };
+
   while (auto packet = generator.next()) {
-    ++packets;
+    packets_counter.add();
+    if (snapshot_every_s > 0) {
+      if (next_snapshot == 0) {
+        next_snapshot = packet->timestamp + snapshot_every;
+      } else if (packet->timestamp >= next_snapshot) {
+        print_snapshot(packet->timestamp);
+        while (next_snapshot <= packet->timestamp) {
+          next_snapshot += snapshot_every;
+        }
+      }
+    }
     if (const auto record = classifier.classify(*packet)) {
       detector.consume(*record);
     }
   }
   detector.finish();
 
-  std::cout << "\nprocessed " << packets << " packets over " << days
-            << " day(s)\n";
+  std::cout << "\nprocessed " << packets_counter.value() << " packets over "
+            << days << " day(s)\n";
   std::cout << "alerts: " << detector.alerts_fired() << ", attacks closed: "
             << detector.attacks_closed() << "\n";
   std::cout << "mean time from attack start to alert: "
             << util::fmt(detector.mean_alert_latency_s(), 0)
             << " s (vs waiting for session end + batch analysis)\n";
+
+  if (!metrics_out.empty()) {
+    if (metrics.write_json_file(metrics_out)) {
+      std::cout << "metrics snapshot written to " << metrics_out << "\n";
+    } else {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 2;
+    }
+  }
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out, std::ios::trunc);
+    if (out) out << metrics.to_prometheus();
+    if (out) {
+      std::cout << "prometheus exposition written to " << prom_out << "\n";
+    } else {
+      std::cerr << "cannot write " << prom_out << "\n";
+      return 2;
+    }
+  }
+  if (!events_out.empty()) {
+    if (events.write_ndjson_file(events_out)) {
+      std::cout << events.events().size() << " detector events written to "
+                << events_out << "\n";
+    } else {
+      std::cerr << "cannot write " << events_out << "\n";
+      return 2;
+    }
+  }
   return alerts > 0 ? 0 : 1;
 }

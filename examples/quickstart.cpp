@@ -11,13 +11,14 @@
 #include "core/victims.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
 
 int main(int argc, char** argv) {
   const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+      argc > 1 ? util::require_u64("seed", argv[1]) : 1;
 
   // 1. A miniature Internet: AS registry (PeeringDB substitute) and a
   //    QUIC server deployment (active-scan hitlist substitute).

@@ -13,6 +13,7 @@
 #include "quic/version.hpp"
 #include "scanner/deployment.hpp"
 #include "scanner/retry_prober.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
@@ -30,9 +31,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      seed = std::strtoull(value(), nullptr, 10);
+      seed = util::require_u64("--seed", value());
     } else if (arg == "--probes") {
-      probes = std::strtoull(value(), nullptr, 10);
+      probes = util::require_u64("--probes", value());
     } else {
       std::cerr << "usage: scan_survey [--seed S] [--probes N]\n";
       return 2;

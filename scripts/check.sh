@@ -1,0 +1,41 @@
+#!/bin/sh
+# Tier-1 gate, runnable locally and in CI:
+#   1. configure + build the default preset
+#   2. run the tier-1 ctest label (every registered gtest suite)
+#   3. build the tsan preset and run the concurrency-sensitive suites
+#      (thread pool, parallel pipeline, obs registry/tracer/event log)
+#      under ThreadSanitizer
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configure+build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+echo "==> ctest tier1"
+ctest --preset tier1 -j "$jobs"
+
+if [ "$run_tsan" = 1 ]; then
+  echo "==> configure+build (tsan preset)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target \
+    core_parallel_pipeline_test obs_metrics_test obs_trace_test \
+    obs_events_test
+  echo "==> ctest tsan (parallel + obs suites)"
+  ctest --preset tsan -j "$jobs"
+fi
+
+echo "==> all checks passed"

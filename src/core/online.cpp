@@ -1,9 +1,44 @@
 #include "core/online.hpp"
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
 namespace quicsand::core {
 
+namespace {
+
+obs::DetectorEvent make_event(obs::DetectorEventType type,
+                              const Session& session) {
+  obs::DetectorEvent event;
+  event.type = type;
+  event.time = session.end;
+  event.victim = session.source.to_string();
+  event.packets = session.packets;
+  event.peak_pps = session.peak_pps();
+  event.duration_s = util::to_seconds(session.duration());
+  return event;
+}
+
+}  // namespace
+
 OnlineDetector::OnlineDetector(OnlineDetectorConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  if (auto* metrics = config_.obs.metrics) {
+    records_counter_ = &metrics->counter(
+        "online.records", "records consumed by the online detector");
+    alerts_counter_ =
+        &metrics->counter("online.alerts", "threshold-crossing alerts fired");
+    attacks_counter_ =
+        &metrics->counter("online.attacks_closed", "alerted sessions closed");
+    evictions_counter_ = &metrics->counter(
+        "online.sessions_evicted", "sessions removed by expiry or finish");
+    open_gauge_ =
+        &metrics->gauge("online.open_sessions", "sessions currently open");
+    alert_latency_us_ = &metrics->histogram(
+        "online.alert_latency_us", obs::latency_bounds_us(),
+        "session start to alert, simulation time");
+  }
+}
 
 bool OnlineDetector::exceeds_thresholds(const Session& session) const {
   return config_.thresholds.admits(session);
@@ -22,22 +57,45 @@ DetectedAttack OnlineDetector::to_attack(const Session& session) const {
 void OnlineDetector::close(OpenSession& open) {
   if (open.alerted) {
     ++closed_;
+    if (attacks_counter_ != nullptr) attacks_counter_->add();
+    if (config_.obs.events != nullptr) {
+      config_.obs.events->emit(make_event(
+          obs::DetectorEventType::kAttackClosed, open.session));
+    }
     if (on_attack_) on_attack_(to_attack(open.session));
+  }
+}
+
+/// Bookkeeping for any session leaving the open table; close() first for
+/// the attack-closed side effects, then the eviction event.
+void OnlineDetector::evict(OpenSession& open) {
+  close(open);
+  ++evicted_;
+  if (evictions_counter_ != nullptr) evictions_counter_->add();
+  if (config_.obs.events != nullptr) {
+    auto event =
+        make_event(obs::DetectorEventType::kSessionEvicted, open.session);
+    event.alerted = open.alerted;
+    config_.obs.events->emit(std::move(event));
   }
 }
 
 void OnlineDetector::sweep(util::Timestamp now) {
   for (auto it = open_.begin(); it != open_.end();) {
     if (now - it->second.session.end > config_.session_timeout) {
-      close(it->second);
+      evict(it->second);
       it = open_.erase(it);
     } else {
       ++it;
     }
   }
+  if (open_gauge_ != nullptr) {
+    open_gauge_->set(static_cast<std::int64_t>(open_.size()));
+  }
 }
 
 void OnlineDetector::consume(const PacketRecord& record) {
+  if (records_counter_ != nullptr) records_counter_->add();
   if (last_sweep_ == 0) last_sweep_ = record.timestamp;
   if (record.timestamp - last_sweep_ >= config_.sweep_interval) {
     sweep(record.timestamp);
@@ -50,7 +108,7 @@ void OnlineDetector::consume(const PacketRecord& record) {
   if (!inserted &&
       record.timestamp - open.session.end > config_.session_timeout) {
     // The previous session expired: close it and start fresh.
-    close(open);
+    evict(open);
     open = OpenSession{};
     inserted = true;
   }
@@ -58,21 +116,36 @@ void OnlineDetector::consume(const PacketRecord& record) {
     open.session.source = record.src;
     open.session.start = record.timestamp;
     open.session.end = record.timestamp;
+    if (open_gauge_ != nullptr) {
+      open_gauge_->set(static_cast<std::int64_t>(open_.size()));
+    }
   }
   absorb_record(open.session, record);
 
   if (!open.alerted && exceeds_thresholds(open.session)) {
     open.alerted = true;
     ++alerts_;
-    latency_sum_s_ += util::to_seconds(record.timestamp -
-                                       open.session.start);
+    const auto latency = record.timestamp - open.session.start;
+    latency_sum_s_ += util::to_seconds(latency);
+    if (alerts_counter_ != nullptr) alerts_counter_->add();
+    if (alert_latency_us_ != nullptr) {
+      alert_latency_us_->observe(static_cast<std::uint64_t>(latency));
+    }
+    if (config_.obs.events != nullptr) {
+      auto event =
+          make_event(obs::DetectorEventType::kAlertFired, open.session);
+      event.alert_latency_s = util::to_seconds(latency);
+      event.duration_s = -1;  // session still open
+      config_.obs.events->emit(std::move(event));
+    }
     if (on_alert_) on_alert_(to_attack(open.session));
   }
 }
 
 void OnlineDetector::finish() {
-  for (auto& [source, open] : open_) close(open);
+  for (auto& [source, open] : open_) evict(open);
   open_.clear();
+  if (open_gauge_ != nullptr) open_gauge_->set(0);
 }
 
 }  // namespace quicsand::core

@@ -19,6 +19,7 @@
 #include "core/dos.hpp"
 #include "core/record.hpp"
 #include "core/sessions.hpp"
+#include "obs/hooks.hpp"
 
 namespace quicsand::core {
 
@@ -28,6 +29,10 @@ struct OnlineDetectorConfig {
   RecordFilter filter = quic_response_filter();
   /// Sweep cadence for evicting idle sessions.
   util::Duration sweep_interval = util::kMinute;
+  /// Optional observability sinks: obs.events receives the structured
+  /// alert-fired / attack-closed / session-evicted stream (NDJSON-able),
+  /// obs.metrics the online.* counters and the alert-latency histogram.
+  obs::Hooks obs;
 };
 
 class OnlineDetector {
@@ -55,6 +60,8 @@ class OnlineDetector {
   [[nodiscard]] std::size_t open_sessions() const { return open_.size(); }
   [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_; }
   [[nodiscard]] std::uint64_t attacks_closed() const { return closed_; }
+  /// Sessions removed so far (expiry or finish), alerted or not.
+  [[nodiscard]] std::uint64_t sessions_evicted() const { return evicted_; }
   /// Detection latency: seconds from session start to alert, averaged.
   [[nodiscard]] double mean_alert_latency_s() const {
     return alerts_ == 0 ? 0.0
@@ -70,6 +77,7 @@ class OnlineDetector {
   [[nodiscard]] bool exceeds_thresholds(const Session& session) const;
   [[nodiscard]] DetectedAttack to_attack(const Session& session) const;
   void close(OpenSession& open);
+  void evict(OpenSession& open);
   void sweep(util::Timestamp now);
 
   OnlineDetectorConfig config_;
@@ -79,7 +87,15 @@ class OnlineDetector {
   util::Timestamp last_sweep_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t closed_ = 0;
+  std::uint64_t evicted_ = 0;
   double latency_sum_s_ = 0;
+  // Resolved metric handles; nullptr without an attached registry.
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* alerts_counter_ = nullptr;
+  obs::Counter* attacks_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Gauge* open_gauge_ = nullptr;
+  obs::Histogram* alert_latency_us_ = nullptr;
 };
 
 }  // namespace quicsand::core

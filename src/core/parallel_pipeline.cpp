@@ -1,7 +1,11 @@
 #include "core/parallel_pipeline.hpp"
 
+#include <chrono>
 #include <thread>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quicsand::core {
 
@@ -11,6 +15,13 @@ std::size_t resolve_shards(std::size_t requested) {
   if (requested > 0) return requested;
   const auto hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -30,6 +41,25 @@ ParallelPipeline::ParallelPipeline(ParallelPipelineOptions options)
     worker_hourly_.emplace_back(shards_, hours_);
   }
   pending_.reserve(options_.batch_size);
+  if (auto* metrics = options_.base.obs.metrics) {
+    packets_counter_ = &metrics->counter(
+        "pipeline.packets", "packets consumed by the pipeline");
+    records_counter_ = &metrics->counter(
+        "pipeline.records", "sanitized records kept for analysis");
+    batches_counter_ =
+        &metrics->counter("parallel.batches", "classify batches dispatched");
+    backpressure_wait_us_ = &metrics->histogram(
+        "parallel.backpressure_wait_us", obs::latency_bounds_us(),
+        "time the capture loop blocked on in-flight batch backpressure");
+    queue_wait_us_ = &metrics->histogram(
+        "parallel.queue_wait_us", obs::latency_bounds_us(),
+        "time a classify batch waited in the pool queue");
+    shard_records_hist_ = &metrics->histogram(
+        "parallel.shard_records", obs::size_bounds(),
+        "records per analysis shard (imbalance indicator)");
+    metrics->gauge("parallel.shards", "analysis shards / worker threads")
+        .set(static_cast<std::int64_t>(shards_));
+  }
   pool_ = std::make_unique<util::ThreadPool>(shards_);
 }
 
@@ -42,6 +72,7 @@ ParallelPipeline::~ParallelPipeline() {
 }
 
 void ParallelPipeline::consume(const net::RawPacket& packet) {
+  if (packets_counter_ != nullptr) packets_counter_->add();
   pending_.push_back(packet);
   if (pending_.size() >= options_.batch_size) dispatch_batch();
 }
@@ -51,17 +82,28 @@ void ParallelPipeline::dispatch_batch() {
   // Backpressure: bound the raw-packet batches in flight so a fast
   // capture loop cannot buffer the whole trace ahead of the workers.
   {
+    const auto wait_start =
+        backpressure_wait_us_ != nullptr ? steady_us() : 0;
     std::unique_lock lock(inflight_mutex_);
     inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
     ++inflight_;
+    if (backpressure_wait_us_ != nullptr) {
+      backpressure_wait_us_->observe(steady_us() - wait_start);
+    }
   }
+  if (batches_counter_ != nullptr) batches_counter_->add();
   batches_.emplace_back();
   auto* out = &batches_.back();
   auto batch =
       std::make_shared<std::vector<net::RawPacket>>(std::move(pending_));
   pending_.clear();
   pending_.reserve(options_.batch_size);
-  pool_->submit([this, out, batch](std::size_t worker) {
+  const auto submit_us = queue_wait_us_ != nullptr ? steady_us() : 0;
+  pool_->submit([this, out, batch, submit_us](std::size_t worker) {
+    if (queue_wait_us_ != nullptr) {
+      queue_wait_us_->observe(steady_us() - submit_us);
+    }
+    obs::Span span(options_.base.obs.tracer, "parallel.classify_batch");
     auto& classifier = *worker_classifiers_[worker];
     out->reserve(batch->size());
     for (const auto& packet : *batch) {
@@ -75,6 +117,9 @@ void ParallelPipeline::dispatch_batch() {
       if (!keep_for_analysis(*record)) continue;
       out->push_back(*record);
     }
+    if (records_counter_ != nullptr) {
+      records_counter_->add(out->size());
+    }
     std::lock_guard lock(inflight_mutex_);
     --inflight_;
     inflight_cv_.notify_all();
@@ -84,8 +129,12 @@ void ParallelPipeline::dispatch_batch() {
 void ParallelPipeline::finish() {
   if (finished_) return;
   dispatch_batch();
-  pool_->wait_idle();
+  {
+    obs::Span span(options_.base.obs.tracer, "parallel.ingest_drain");
+    pool_->wait_idle();
+  }
 
+  obs::Span span(options_.base.obs.tracer, "parallel.merge_ingest");
   for (const auto& classifier : worker_classifiers_) {
     stats_.merge_from(classifier->stats());
   }
@@ -102,6 +151,9 @@ void ParallelPipeline::finish() {
   }
   batches_.clear();
   finished_ = true;
+  if (auto* metrics = options_.base.obs.metrics) {
+    publish_classifier_stats(stats_, *metrics);
+  }
 }
 
 const ClassifierStats& ParallelPipeline::stats() {
@@ -123,12 +175,18 @@ const std::vector<std::vector<PacketRecord>>&
 ParallelPipeline::shard_records() {
   finish();
   if (!sharded_) {
+    obs::Span span(options_.base.obs.tracer, "parallel.shard_partition");
     shard_records_.assign(shards_, {});
     for (const auto& record : records_) {
       shard_records_[util::shard_of(record.src.value(), shards_)].push_back(
           record);
     }
     sharded_ = true;
+    if (shard_records_hist_ != nullptr) {
+      for (const auto& shard : shard_records_) {
+        shard_records_hist_->observe(shard.size());
+      }
+    }
   }
   return shard_records_;
 }
@@ -138,6 +196,8 @@ std::vector<std::vector<Session>> ParallelPipeline::sharded_sessions(
   const auto& shards = shard_records();
   std::vector<std::vector<Session>> parts(shards_);
   pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    obs::Span span(options_.base.obs.tracer,
+                   "parallel.sessionize.shard" + std::to_string(s));
     parts[s] = build_sessions(shards[s], timeout, filter);
   });
   return parts;
@@ -145,20 +205,23 @@ std::vector<std::vector<Session>> ParallelPipeline::sharded_sessions(
 
 std::vector<Session> ParallelPipeline::request_sessions(
     util::Duration timeout) {
-  return merge_sessions(sharded_sessions(timeout, quic_request_filter()))
-      .sessions;
+  auto parts = sharded_sessions(timeout, quic_request_filter());
+  obs::Span span(options_.base.obs.tracer, "parallel.merge_sessions");
+  return merge_sessions(std::move(parts)).sessions;
 }
 
 std::vector<Session> ParallelPipeline::response_sessions(
     util::Duration timeout) {
-  return merge_sessions(sharded_sessions(timeout, quic_response_filter()))
-      .sessions;
+  auto parts = sharded_sessions(timeout, quic_response_filter());
+  obs::Span span(options_.base.obs.tracer, "parallel.merge_sessions");
+  return merge_sessions(std::move(parts)).sessions;
 }
 
 std::vector<Session> ParallelPipeline::common_sessions(
     util::Duration timeout) {
-  return merge_sessions(sharded_sessions(timeout, common_backscatter_filter()))
-      .sessions;
+  auto parts = sharded_sessions(timeout, common_backscatter_filter());
+  obs::Span span(options_.base.obs.tracer, "parallel.merge_sessions");
+  return merge_sessions(std::move(parts)).sessions;
 }
 
 std::vector<std::pair<util::Duration, std::uint64_t>>
@@ -168,8 +231,11 @@ ParallelPipeline::session_timeout_sweep(
   const auto filter = sanitized_quic_filter();
   std::vector<GapProfile> profiles(shards_);
   pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    obs::Span span(options_.base.obs.tracer,
+                   "parallel.gap_profile.shard" + std::to_string(s));
     profiles[s] = collect_gap_profile(shards[s], filter);
   });
+  obs::Span span(options_.base.obs.tracer, "parallel.merge_gap_profiles");
   GapProfile merged;
   for (auto& profile : profiles) {
     merge_gap_profiles(merged, std::move(profile));
@@ -194,12 +260,18 @@ Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
   };
   std::vector<ShardAnalysis> outs(shards_);
   pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
+    obs::Span span(options_.base.obs.tracer,
+                   "parallel.analyze.shard" + std::to_string(s));
     auto& out = outs[s];
     out.response = build_sessions(shards[s], timeout, response_filter);
     out.common = build_sessions(shards[s], timeout, common_filter);
     out.quic_attacks = detect_attacks(out.response, thresholds);
     out.common_attacks = detect_attacks(out.common, thresholds);
   });
+
+  obs::Span merge_span(options_.base.obs.tracer, "parallel.merge_analysis");
+  const auto merge_start_us =
+      options_.base.obs.metrics != nullptr ? steady_us() : 0;
 
   std::vector<std::vector<Session>> response_parts(shards_);
   std::vector<std::vector<Session>> common_parts(shards_);
@@ -221,6 +293,17 @@ Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
   analysis.common_attacks =
       merge_attacks(std::move(common_attack_parts), common_merge.global_index);
   analysis.common_sessions = std::move(common_merge.sessions);
+
+  if (auto* metrics = options_.base.obs.metrics) {
+    metrics
+        ->histogram("parallel.merge_analysis_us", obs::latency_bounds_us(),
+                    "wall time of the final session/attack merge")
+        .observe(steady_us() - merge_start_us);
+    metrics->gauge("pipeline.quic_attacks")
+        .set(static_cast<std::int64_t>(analysis.quic_attacks.size()));
+    metrics->gauge("pipeline.common_attacks")
+        .set(static_cast<std::int64_t>(analysis.common_attacks.size()));
+  }
   return analysis;
 }
 

@@ -103,6 +103,15 @@ class ParallelPipeline {
   bool sharded_ = false;
   std::vector<std::vector<PacketRecord>> shard_records_;
 
+  // Observability handles, resolved once at construction; all nullptr
+  // when no registry is attached (options_.base.obs).
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Histogram* backpressure_wait_us_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::Histogram* shard_records_hist_ = nullptr;
+
   // Declared last so jobs referencing the members above are drained
   // before anything else is destroyed.
   std::unique_ptr<util::ThreadPool> pool_;

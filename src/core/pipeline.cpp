@@ -1,6 +1,29 @@
 #include "core/pipeline.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace quicsand::core {
+
+void publish_classifier_stats(const ClassifierStats& stats,
+                              obs::MetricsRegistry& metrics) {
+  metrics.gauge("classifier.total", "decodable+undecodable packets seen")
+      .set(static_cast<std::int64_t>(stats.total));
+  metrics.gauge("classifier.undecodable", "not parseable as IPv4/UDP/TCP/ICMP")
+      .set(static_cast<std::int64_t>(stats.undecodable));
+  metrics
+      .gauge("classifier.quic_port_rejects",
+             "UDP port 443 that failed QUIC dissection")
+      .set(static_cast<std::int64_t>(stats.quic_port_rejects));
+  metrics.gauge("classifier.research", "research-scanner QUIC packets")
+      .set(static_cast<std::int64_t>(stats.research));
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    metrics
+        .gauge(std::string("classifier.class.") +
+               traffic_class_name(static_cast<TrafficClass>(c)))
+        .set(static_cast<std::int64_t>(stats.by_class[c]));
+  }
+}
 
 Pipeline::Pipeline(PipelineOptions options)
     : options_(std::move(options)),
@@ -10,9 +33,16 @@ Pipeline::Pipeline(PipelineOptions options)
   hourly_.other_quic.resize(hours, 0);
   hourly_.quic_requests.resize(hours, 0);
   hourly_.quic_responses.resize(hours, 0);
+  if (options_.obs.metrics != nullptr) {
+    packets_counter_ = &options_.obs.metrics->counter(
+        "pipeline.packets", "packets consumed by the pipeline");
+    records_counter_ = &options_.obs.metrics->counter(
+        "pipeline.records", "sanitized records kept for analysis");
+  }
 }
 
 void Pipeline::consume(const net::RawPacket& packet) {
+  if (packets_counter_ != nullptr) packets_counter_->add();
   const auto record = classifier_.classify(packet);
   if (!record) return;
 
@@ -24,12 +54,14 @@ void Pipeline::consume(const net::RawPacket& packet) {
   // Keep only the records the later stages need: sanitized QUIC traffic
   // plus TCP/ICMP scans and backscatter.
   if (!keep_for_analysis(*record)) return;
+  if (records_counter_ != nullptr) records_counter_->add();
   records_.push_back(*record);
 }
 
 std::vector<std::pair<util::Duration, std::uint64_t>>
 Pipeline::session_timeout_sweep(
     std::span<const util::Duration> timeouts) const {
+  obs::Span span(options_.obs.tracer, "pipeline.timeout_sweep");
   return timeout_sweep(records_, timeouts, sanitized_quic_filter());
 }
 
@@ -39,13 +71,28 @@ Pipeline::AttackAnalysis Pipeline::analyze_attacks() const {
 
 Pipeline::AttackAnalysis Pipeline::analyze_attacks(
     const DosThresholds& thresholds) const {
+  if (options_.obs.metrics != nullptr) {
+    publish_classifier_stats(stats(), *options_.obs.metrics);
+  }
   AttackAnalysis analysis;
-  analysis.response_sessions = response_sessions(options_.session_timeout);
-  analysis.common_sessions = common_sessions(options_.session_timeout);
-  analysis.quic_attacks =
-      detect_attacks(analysis.response_sessions, thresholds);
-  analysis.common_attacks =
-      detect_attacks(analysis.common_sessions, thresholds);
+  {
+    obs::Span span(options_.obs.tracer, "pipeline.sessionize");
+    analysis.response_sessions = response_sessions(options_.session_timeout);
+    analysis.common_sessions = common_sessions(options_.session_timeout);
+  }
+  {
+    obs::Span span(options_.obs.tracer, "pipeline.detect");
+    analysis.quic_attacks =
+        detect_attacks(analysis.response_sessions, thresholds);
+    analysis.common_attacks =
+        detect_attacks(analysis.common_sessions, thresholds);
+  }
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->gauge("pipeline.quic_attacks")
+        .set(static_cast<std::int64_t>(analysis.quic_attacks.size()));
+    options_.obs.metrics->gauge("pipeline.common_attacks")
+        .set(static_cast<std::int64_t>(analysis.common_attacks.size()));
+  }
   return analysis;
 }
 

@@ -15,6 +15,7 @@
 #include "core/dos.hpp"
 #include "core/sessions.hpp"
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 
 namespace quicsand::core {
 
@@ -24,7 +25,16 @@ struct PipelineOptions {
   std::vector<net::Ipv4Prefix> research_prefixes;
   util::Duration session_timeout = 5 * util::kMinute;
   DosThresholds thresholds;
+  /// Optional metrics/tracing sinks; all-null (the default) costs one
+  /// pointer check per packet.
+  obs::Hooks obs;
 };
+
+/// Publish a ClassifierStats snapshot as gauges ("classifier.*") on
+/// `metrics`; shared by the serial and parallel pipelines and usable
+/// directly by tools that run a bare Classifier.
+void publish_classifier_stats(const ClassifierStats& stats,
+                              obs::MetricsRegistry& metrics);
 
 /// The four hourly series the figures consume.
 enum class HourlySlot : std::uint8_t {
@@ -133,6 +143,9 @@ class Pipeline {
   Classifier classifier_;
   HourlySeries hourly_;
   std::vector<PacketRecord> records_;
+  // Resolved once at construction; nullptr when no registry is attached.
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
 };
 
 }  // namespace quicsand::core

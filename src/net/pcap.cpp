@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace quicsand::net {
 
 namespace {
@@ -97,19 +99,39 @@ PcapReader::PcapReader(const std::string& path)
   }
 }
 
+void PcapReader::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    packets_counter_ = bytes_counter_ = truncated_counter_ =
+        ethernet_counter_ = nullptr;
+    return;
+  }
+  packets_counter_ =
+      &metrics->counter("pcap.packets_read", "records read from pcap files");
+  bytes_counter_ =
+      &metrics->counter("pcap.bytes_read", "captured payload bytes read");
+  truncated_counter_ = &metrics->counter(
+      "pcap.truncated", "records cut short by EOF or a bad caplen");
+  ethernet_counter_ = &metrics->counter(
+      "pcap.ethernet_stripped", "LINKTYPE_ETHERNET frames unwrapped");
+}
+
 std::optional<RawPacket> PcapReader::next() {
   std::array<std::uint8_t, 16> rec{};
   in_.read(reinterpret_cast<char*>(rec.data()),
            static_cast<std::streamsize>(rec.size()));
   if (in_.gcount() == 0) return std::nullopt;
   if (in_.gcount() != 16) {
+    if (truncated_counter_ != nullptr) truncated_counter_->add();
     throw std::runtime_error("PcapReader: truncated record header");
   }
   auto fix = [&](std::uint32_t v) { return swapped_ ? bswap32(v) : v; };
   const std::uint32_t secs = fix(get_u32le(&rec[0]));
   const std::uint32_t frac = fix(get_u32le(&rec[4]));
   const std::uint32_t caplen = fix(get_u32le(&rec[8]));
-  if (caplen > 1 << 20) throw std::runtime_error("PcapReader: absurd caplen");
+  if (caplen > 1 << 20) {
+    if (truncated_counter_ != nullptr) truncated_counter_->add();
+    throw std::runtime_error("PcapReader: absurd caplen");
+  }
 
   RawPacket packet;
   packet.timestamp =
@@ -119,13 +141,20 @@ std::optional<RawPacket> PcapReader::next() {
   in_.read(reinterpret_cast<char*>(packet.data.data()),
            static_cast<std::streamsize>(caplen));
   if (in_.gcount() != static_cast<std::streamsize>(caplen)) {
+    if (truncated_counter_ != nullptr) truncated_counter_->add();
     throw std::runtime_error("PcapReader: truncated record body");
   }
   if (linktype_ == kLinktypeEthernet) {
     if (packet.data.size() < 14) {
+      if (truncated_counter_ != nullptr) truncated_counter_->add();
       throw std::runtime_error("PcapReader: short ethernet frame");
     }
     packet.data.erase(packet.data.begin(), packet.data.begin() + 14);
+    if (ethernet_counter_ != nullptr) ethernet_counter_->add();
+  }
+  if (packets_counter_ != nullptr) {
+    packets_counter_->add();
+    bytes_counter_->add(packet.data.size());
   }
   return packet;
 }

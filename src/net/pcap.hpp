@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 
 namespace quicsand::net {
 
@@ -55,11 +56,20 @@ class PcapReader {
 
   [[nodiscard]] std::uint32_t linktype() const { return linktype_; }
 
+  /// Attach a metrics registry: counts packets/bytes read, truncated
+  /// records (before the exception) and stripped Ethernet frames under
+  /// "pcap.*". Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   std::ifstream in_;
   std::uint32_t linktype_ = kLinktypeRaw;
   bool nanos_ = false;
   bool swapped_ = false;
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* truncated_counter_ = nullptr;
+  obs::Counter* ethernet_counter_ = nullptr;
 };
 
 }  // namespace quicsand::net

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace quicsand::net {
 
 namespace {
@@ -173,9 +175,30 @@ std::optional<RawPacket> PcapngReader::parse_enhanced_packet(
     }
     packet.data.erase(packet.data.begin(), packet.data.begin() + 14);
   } else if (iface.linktype != kLinktypeRaw) {
+    if (linktype_drops_counter_ != nullptr) linktype_drops_counter_->add();
     return std::nullopt;  // unsupported link type: skip
   }
+  if (packets_counter_ != nullptr) {
+    packets_counter_->add();
+    bytes_counter_->add(packet.data.size());
+  }
   return packet;
+}
+
+void PcapngReader::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    packets_counter_ = bytes_counter_ = skipped_blocks_counter_ =
+        linktype_drops_counter_ = nullptr;
+    return;
+  }
+  packets_counter_ = &metrics->counter("pcapng.packets_read",
+                                       "packets read from pcapng files");
+  bytes_counter_ =
+      &metrics->counter("pcapng.bytes_read", "captured payload bytes read");
+  skipped_blocks_counter_ = &metrics->counter(
+      "pcapng.blocks_skipped", "non-packet blocks (stats, NRB, custom)");
+  linktype_drops_counter_ = &metrics->counter(
+      "pcapng.linktype_drops", "packets on unsupported link types");
 }
 
 std::optional<RawPacket> PcapngReader::next() {
@@ -195,7 +218,9 @@ std::optional<RawPacket> PcapngReader::next() {
         break;
       }
       default:
-        break;  // statistics, name resolution, custom blocks: skip
+        // statistics, name resolution, custom blocks: skip
+        if (skipped_blocks_counter_ != nullptr) skipped_blocks_counter_->add();
+        break;
     }
   }
   return std::nullopt;

@@ -18,6 +18,7 @@
 
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
+#include "obs/hooks.hpp"
 
 namespace quicsand::net {
 
@@ -46,6 +47,10 @@ class PcapngReader {
     return interfaces_.size();
   }
 
+  /// Attach a metrics registry: counts packets/bytes read, skipped
+  /// non-packet blocks and unsupported-linktype drops under "pcapng.*".
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Interface {
     std::uint16_t linktype = 0;
@@ -65,6 +70,10 @@ class PcapngReader {
   std::ifstream in_;
   bool big_endian_ = false;
   std::vector<Interface> interfaces_;
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* skipped_blocks_counter_ = nullptr;
+  obs::Counter* linktype_drops_counter_ = nullptr;
 };
 
 }  // namespace quicsand::net

@@ -1,0 +1,74 @@
+#include "obs/events.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace quicsand::obs {
+
+const char* detector_event_name(DetectorEventType type) {
+  switch (type) {
+    case DetectorEventType::kAlertFired: return "alert_fired";
+    case DetectorEventType::kAttackClosed: return "attack_closed";
+    case DetectorEventType::kSessionEvicted: return "session_evicted";
+  }
+  return "unknown";
+}
+
+std::string to_json_line(const DetectorEvent& event) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"event\": \"" << detector_event_name(event.type)
+      << "\", \"time\": \"" << util::format_utc(event.time)
+      << "\", \"time_us\": " << event.time
+      << ", \"victim\": \"" << event.victim
+      << "\", \"packets\": " << event.packets
+      << ", \"peak_pps\": " << event.peak_pps;
+  if (event.alert_latency_s >= 0) {
+    out << ", \"alert_latency_s\": " << event.alert_latency_s;
+  }
+  if (event.duration_s >= 0) {
+    out << ", \"duration_s\": " << event.duration_s;
+  }
+  if (event.type == DetectorEventType::kSessionEvicted) {
+    out << ", \"alerted\": " << (event.alerted ? "true" : "false");
+  }
+  out << "}";
+  return out.str();
+}
+
+void EventLog::set_stream(std::ostream* out) {
+  std::lock_guard lock(mutex_);
+  stream_ = out;
+}
+
+void EventLog::emit(DetectorEvent event) {
+  std::lock_guard lock(mutex_);
+  if (stream_ != nullptr) *stream_ << to_json_line(event) << "\n";
+  events_.push_back(std::move(event));
+}
+
+std::vector<DetectorEvent> EventLog::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void EventLog::write_ndjson(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& event : events_) out << to_json_line(event) << "\n";
+}
+
+bool EventLog::write_ndjson_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_ndjson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace quicsand::obs

@@ -1,0 +1,76 @@
+// Structured event log for the online detector.
+//
+// Every alert / attack-close / session-eviction becomes one line of
+// line-delimited JSON (NDJSON), the format log shippers and jq expect:
+//
+//   {"event": "alert_fired", "time": "2021-04-01 00:05:26",
+//    "time_us": 1617235526000000, "victim": "44.1.2.3",
+//    "packets": 131, "peak_pps": 2.18, "alert_latency_s": 86.0}
+//
+// The log keeps events in memory for tests and batch export, and can tee
+// each line to an ostream as it happens (the monitor example streams them
+// to a file an operator can tail). emit() takes a mutex — detector events
+// are orders of magnitude rarer than packets, so this is not a hot path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::obs {
+
+enum class DetectorEventType : std::uint8_t {
+  kAlertFired,      ///< session first crossed every DoS threshold
+  kAttackClosed,    ///< alerted session expired/finished: final numbers
+  kSessionEvicted,  ///< session removed (alerted or not)
+};
+
+[[nodiscard]] const char* detector_event_name(DetectorEventType type);
+
+struct DetectorEvent {
+  DetectorEventType type = DetectorEventType::kAlertFired;
+  util::Timestamp time = 0;  ///< simulation/capture time of the event
+  std::string victim;        ///< dotted-quad backscatter source
+  std::uint64_t packets = 0;
+  double peak_pps = 0;
+  /// Seconds from session start to alert; alert/attack events only (<0
+  /// means not applicable and is omitted from the JSON).
+  double alert_latency_s = -1;
+  /// Session length in seconds; close/evict events only (<0 omitted).
+  double duration_s = -1;
+  bool alerted = false;  ///< eviction events: had this session alerted?
+};
+
+/// One NDJSON line (no trailing newline).
+[[nodiscard]] std::string to_json_line(const DetectorEvent& event);
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Tee each event to `out` as an NDJSON line the moment it is emitted
+  /// (in addition to the in-memory log). Pass nullptr to stop.
+  void set_stream(std::ostream* out);
+
+  void emit(DetectorEvent event);
+
+  [[nodiscard]] std::vector<DetectorEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Write the whole log as NDJSON.
+  void write_ndjson(std::ostream& out) const;
+  bool write_ndjson_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DetectorEvent> events_;
+  std::ostream* stream_ = nullptr;
+};
+
+}  // namespace quicsand::obs

@@ -1,0 +1,214 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace quicsand::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map dotted paths to
+/// underscores and prefix the project name.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "quicsand_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void json_escape_to(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void Histogram::observe(std::uint64_t sample) noexcept {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
+  count_.add(1);
+  sum_.add(sample);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    out.push_back(bucket->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> latency_bounds_us() {
+  return {1000,    2000,    5000,     10000,    20000,    50000,   100000,
+          200000,  500000,  1000000,  2000000,  5000000,  10000000,
+          30000000};
+}
+
+std::vector<std::uint64_t> size_bounds() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ULL << 20); b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  if (!entry.counter) {
+    entry.counter = std::make_unique<Counter>();
+    entry.help = help;
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  if (!entry.gauge) {
+    entry.gauge = std::make_unique<Gauge>();
+    entry.help = help;
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds,
+                                      const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    entry.help = help;
+  }
+  return *entry.histogram;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    const auto prom = prometheus_name(name);
+    if (!entry.help.empty()) {
+      out << "# HELP " << prom << " " << entry.help << "\n";
+    }
+    if (entry.counter) {
+      out << "# TYPE " << prom << " counter\n"
+          << prom << " " << entry.counter->value() << "\n";
+    }
+    if (entry.gauge) {
+      out << "# TYPE " << prom << " gauge\n"
+          << prom << " " << entry.gauge->value() << "\n";
+    }
+    if (entry.histogram) {
+      const auto& h = *entry.histogram;
+      out << "# TYPE " << prom << " histogram\n";
+      const auto counts = h.bucket_counts();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += counts[i];
+        out << prom << "_bucket{le=\"" << h.bounds()[i] << "\"} "
+            << cumulative << "\n";
+      }
+      cumulative += counts.back();
+      out << prom << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << prom << "_sum " << h.sum() << "\n";
+      out << prom << "_count " << h.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  bool first = false;
+  auto begin_section = [&](const char* title) {
+    out << "  ";
+    json_escape_to(out, title);
+    out << ": {";
+    first = true;
+  };
+  auto key = [&](const std::string& name) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    json_escape_to(out, name);
+    out << ": ";
+  };
+
+  out << "{\n";
+  begin_section("counters");
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.counter) continue;
+    key(name);
+    out << entry.counter->value();
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  begin_section("gauges");
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.gauge) continue;
+    key(name);
+    out << entry.gauge->value();
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  begin_section("histograms");
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.histogram) continue;
+    key(name);
+    const auto& h = *entry.histogram;
+    out << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+        << ", \"buckets\": [";
+    const auto counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < h.bounds().size()) {
+        out << h.bounds()[i];
+      } else {
+        out << "null";
+      }
+      out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace quicsand::obs

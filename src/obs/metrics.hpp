@@ -1,0 +1,130 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The pipeline, the pcap readers and the online detector are instrumented
+// unconditionally but observe nothing unless a registry is attached — each
+// instrumentation site keeps a raw Counter*/Histogram* that is nullptr
+// when no sink is configured, so the hot-path cost without observability
+// is a single pointer check (see DESIGN.md §7 for the cost model).
+//
+// With a registry attached the write path stays lock-free: counters and
+// histograms accumulate into util::StripedAdder cells (relaxed atomics on
+// a per-thread cache line), so pool workers, the capture loop and detector
+// callbacks can all increment the same metric without synchronization.
+// Reads (snapshot/export) sum the stripes; registration takes a mutex but
+// happens once per metric, not per observation.
+//
+// Exports: Prometheus text exposition (to_prometheus) and a JSON snapshot
+// (to_json), both with deterministic (sorted-by-name) ordering so golden
+// tests can pin the formats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/sharded_counter.hpp"
+
+namespace quicsand::obs {
+
+/// Monotonic counter. add() is wait-free; value() sums the stripes.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { cells_.add(n); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return cells_.value(); }
+
+ private:
+  util::StripedAdder cells_;
+};
+
+/// Last-write-wins signed value (queue depths, open sessions, shard
+/// sizes). set/add are relaxed atomics.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (durations in
+/// microseconds, sizes in records). Bucket upper bounds are set at
+/// registration and never change; observe() is two relaxed fetch_adds
+/// plus a striped add for the sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t sample) noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket counts; the last entry is the overflow (+Inf) bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.value();
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_.value(); }
+
+ private:
+  std::vector<std::uint64_t> bounds_;  ///< ascending upper bounds
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> buckets_;
+  util::StripedAdder count_;
+  util::StripedAdder sum_;
+};
+
+/// Commonly useful bounds: 1ms..30s in roughly 1-2-5 steps, microseconds.
+[[nodiscard]] std::vector<std::uint64_t> latency_bounds_us();
+/// Powers of four from 1 to ~1M, for record/packet counts per unit.
+[[nodiscard]] std::vector<std::uint64_t> size_bounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned reference stays valid for the registry's
+  /// lifetime. Names use dotted paths ("pipeline.packets"); exports
+  /// sanitize them per format. `help` is kept from the first registration.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be ascending; it is fixed at first registration
+  /// (subsequent calls with the same name ignore `bounds`).
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (metric names sanitized to
+  /// [a-zA-Z0-9_], dots become underscores).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`; returns false if the file cannot be
+  /// written.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< sorted => deterministic export
+};
+
+}  // namespace quicsand::obs

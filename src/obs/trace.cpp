@@ -1,0 +1,66 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace quicsand::obs {
+
+Tracer::Tracer()
+    : Tracer([epoch = std::chrono::steady_clock::now()] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - epoch)
+                .count());
+      }) {}
+
+Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {}
+
+void Tracer::record(std::string name, std::uint64_t start_us,
+                    std::uint64_t duration_us) {
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = tids_.try_emplace(
+      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size()));
+  events_.push_back(
+      TraceEvent{std::move(name), start_us, duration_us, it->second});
+}
+
+std::vector<Tracer::TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& event : events_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"name\": \"";
+    for (const char c : event.name) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\", \"cat\": \"quicsand\", \"ph\": \"X\", \"ts\": "
+        << event.start_us << ", \"dur\": " << event.duration_us
+        << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+  }
+  out << (first ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+bool Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace quicsand::obs

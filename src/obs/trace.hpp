@@ -1,0 +1,101 @@
+// Stage tracing: RAII spans over the pipeline's stages, exported in the
+// chrome://tracing / Perfetto "traceEvents" JSON format so shard
+// imbalance and merge stalls are visible on a timeline (load the file at
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// A Span records wall time between construction and destruction (or an
+// explicit end()) and appends one complete event to the Tracer on close.
+// Span accepts a null Tracer and then does nothing, so instrumentation
+// sites need no conditionals. Recording takes a mutex per *completed*
+// span; spans wrap coarse units (a classify batch, one shard's
+// sessionization, a merge), not per-packet work, so contention is nil.
+//
+// Thread ids in the export are small stable integers assigned in order of
+// first appearance on the recording thread, which keeps the JSON
+// deterministic enough for tests while still separating pool workers into
+// their own timeline rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace quicsand::obs {
+
+class Tracer {
+ public:
+  /// Microsecond clock; the default measures steady time since the
+  /// tracer was constructed. Tests inject a manual clock.
+  using Clock = std::function<std::uint64_t()>;
+
+  Tracer();
+  explicit Tracer(Clock clock);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  struct TraceEvent {
+    std::string name;
+    std::uint64_t start_us = 0;
+    std::uint64_t duration_us = 0;
+    std::uint32_t tid = 0;  ///< small int per recording thread
+  };
+
+  [[nodiscard]] std::uint64_t now_us() const { return clock_(); }
+
+  /// Append one completed event (called by ~Span).
+  void record(std::string name, std::uint64_t start_us,
+              std::uint64_t duration_us);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Drop all recorded events (benchmark loops reuse one tracer).
+  void clear();
+
+  /// {"traceEvents":[...]} — complete ("ph":"X") events.
+  [[nodiscard]] std::string to_chrome_json() const;
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  Clock clock_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// RAII span; null tracer => no-op. Movable so helpers can return spans.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer), name_(std::move(name)) {
+    if (tracer_ != nullptr) start_ = tracer_->now_us();
+  }
+  Span(Span&& other) noexcept
+      : tracer_(other.tracer_),
+        name_(std::move(other.name_)),
+        start_(other.start_) {
+    other.tracer_ = nullptr;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  ~Span() { end(); }
+
+  /// Close early (idempotent).
+  void end() {
+    if (tracer_ == nullptr) return;
+    tracer_->record(std::move(name_), start_, tracer_->now_us() - start_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace quicsand::obs

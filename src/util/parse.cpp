@@ -1,0 +1,72 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+
+namespace quicsand::util {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_with_from_chars(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+[[noreturn]] void die(const char* flag, std::string_view text,
+                      const char* expected) {
+  std::cerr << "invalid value for " << flag << ": '" << text
+            << "' (expected " << expected << ")\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  return parse_with_from_chars<std::int64_t>(text);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  return parse_with_from_chars<std::uint64_t>(text);
+}
+
+std::optional<double> parse_f64(std::string_view text) {
+  return parse_with_from_chars<double>(text);
+}
+
+std::int64_t require_i64(const char* flag, std::string_view text) {
+  const auto value = parse_i64(text);
+  if (!value) die(flag, text, "integer");
+  return *value;
+}
+
+std::uint64_t require_u64(const char* flag, std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value) die(flag, text, "non-negative integer");
+  return *value;
+}
+
+double require_f64(const char* flag, std::string_view text) {
+  const auto value = parse_f64(text);
+  if (!value) die(flag, text, "number");
+  return *value;
+}
+
+int require_int(const char* flag, std::string_view text) {
+  const auto value = parse_i64(text);
+  if (!value || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
+    die(flag, text, "integer");
+  }
+  return static_cast<int>(*value);
+}
+
+}  // namespace quicsand::util

@@ -1,0 +1,30 @@
+// Strict numeric parsing for CLI arguments.
+//
+// std::atoi / strtoull silently turn garbage into 0 ("monitor --days
+// bogus" used to run a zero-day window); these helpers require the whole
+// token to parse and return nullopt otherwise. The require_* wrappers are
+// for example binaries: they print "invalid value for --days: 'bogus'
+// (expected integer)" to stderr and exit(2) on bad input, which keeps
+// every tool's flag loop to one line per flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace quicsand::util {
+
+/// Whole-string strict parses; leading '+'/whitespace/trailing junk all
+/// fail. parse_u64 also rejects a leading '-'.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view text);
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+[[nodiscard]] std::optional<double> parse_f64(std::string_view text);
+
+/// CLI wrappers: parse or print "invalid value for <flag>: '<text>'
+/// (expected ...)" and exit(2). `flag` is only used in the message.
+std::int64_t require_i64(const char* flag, std::string_view text);
+std::uint64_t require_u64(const char* flag, std::string_view text);
+double require_f64(const char* flag, std::string_view text);
+int require_int(const char* flag, std::string_view text);
+
+}  // namespace quicsand::util

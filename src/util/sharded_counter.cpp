@@ -2,6 +2,13 @@
 
 namespace quicsand::util {
 
+std::size_t thread_stripe(std::size_t stripes) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % stripes;
+}
+
 ShardedCounter::ShardedCounter(std::size_t shards, std::size_t bins)
     : bins_(bins),
       rows_(shards, std::vector<std::uint64_t>(bins, 0)) {}

@@ -5,8 +5,12 @@
 // independent of std::hash. ShardedCounter keeps one histogram row per
 // shard/worker; rows are written without synchronization (each worker
 // owns its row) and merged by summation, which is order-independent.
+// StripedAdder is its free-running sibling for callers without a worker
+// index: a fixed set of cache-line-padded atomic cells, one picked per
+// thread, summed on read (the storage under obs:: counters/histograms).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -46,6 +50,41 @@ class ShardedCounter {
  private:
   std::size_t bins_ = 0;
   std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+/// Stable per-thread stripe index in [0, stripes): threads are assigned
+/// round-robin on first use, so up to `stripes` concurrent threads never
+/// share a cell.
+[[nodiscard]] std::size_t thread_stripe(std::size_t stripes);
+
+/// Lock-free accumulator: add() is a relaxed fetch_add on the calling
+/// thread's cache-line-padded cell; value() sums the cells. Unlike
+/// ShardedCounter there is no caller-managed worker index, so it works
+/// from any thread (pool workers, the capture loop, detector callbacks).
+class StripedAdder {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  StripedAdder() noexcept : cells_(kStripes) {}
+
+  void add(std::uint64_t n) noexcept {
+    cells_[thread_stripe(kStripes)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& cell : cells_) {
+      sum += cell.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<Cell> cells_;
 };
 
 }  // namespace quicsand::util

@@ -1,0 +1,151 @@
+// Metrics registry: concurrent increments merge losslessly across
+// threads, histogram bucketing follows Prometheus le (inclusive upper
+// bound) semantics, and both export formats are pinned by golden files.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace quicsand::obs {
+namespace {
+
+TEST(ObsMetrics, CounterMergesConcurrentIncrements) {
+  MetricsRegistry registry;
+  auto& counter = registry.counter("test.concurrent", "concurrency test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, HistogramMergesConcurrentObservations) {
+  MetricsRegistry registry;
+  auto& histogram =
+      registry.histogram("test.hist", {10, 100, 1000}, "concurrency test");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.observe(static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  // Threads 0..7 all observed values <= 10: everything lands in bucket 0.
+  EXPECT_EQ(histogram.bucket_counts()[0], kThreads * kPerThread);
+  // sum = kPerThread * (0+1+...+7)
+  EXPECT_EQ(histogram.sum(), kPerThread * 28);
+}
+
+TEST(ObsMetrics, GetOrCreateReturnsSameInstance) {
+  MetricsRegistry registry;
+  auto& a = registry.counter("same.counter", "first registration");
+  auto& b = registry.counter("same.counter", "ignored help");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  auto& h1 = registry.histogram("same.hist", {1, 2, 3});
+  auto& h2 = registry.histogram("same.hist", {99});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 3u);
+}
+
+TEST(ObsMetrics, HistogramBucketUpperBoundsAreInclusive) {
+  Histogram histogram({10, 20});
+  histogram.observe(10);  // == bound: first bucket (le="10")
+  histogram.observe(11);  // second bucket (le="20")
+  histogram.observe(21);  // overflow (+Inf)
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  auto& gauge = registry.gauge("test.gauge");
+  gauge.set(10);
+  gauge.add(-12);
+  EXPECT_EQ(gauge.value(), -2);
+}
+
+TEST(ObsMetrics, StandardBoundsAreStrictlyAscending) {
+  for (const auto& bounds : {latency_bounds_us(), size_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+/// A small registry with one metric of each kind, used by both golden
+/// tests: counter=3, gauge=-2, histogram bounds {1,2} fed 0,1,2,5.
+void populate(MetricsRegistry& registry) {
+  registry.counter("a.count", "things counted").add(3);
+  registry.gauge("b.gauge").set(-2);
+  auto& histogram = registry.histogram("c.hist", {1, 2}, "a histogram");
+  for (const std::uint64_t sample : {0, 1, 2, 5}) histogram.observe(sample);
+}
+
+TEST(ObsMetrics, GoldenPrometheusExposition) {
+  MetricsRegistry registry;
+  populate(registry);
+  EXPECT_EQ(registry.to_prometheus(),
+            "# HELP quicsand_a_count things counted\n"
+            "# TYPE quicsand_a_count counter\n"
+            "quicsand_a_count 3\n"
+            "# TYPE quicsand_b_gauge gauge\n"
+            "quicsand_b_gauge -2\n"
+            "# HELP quicsand_c_hist a histogram\n"
+            "# TYPE quicsand_c_hist histogram\n"
+            "quicsand_c_hist_bucket{le=\"1\"} 2\n"
+            "quicsand_c_hist_bucket{le=\"2\"} 3\n"
+            "quicsand_c_hist_bucket{le=\"+Inf\"} 4\n"
+            "quicsand_c_hist_sum 8\n"
+            "quicsand_c_hist_count 4\n");
+}
+
+TEST(ObsMetrics, GoldenJsonSnapshot) {
+  MetricsRegistry registry;
+  populate(registry);
+  EXPECT_EQ(registry.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"b.gauge\": -2\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"c.hist\": {\"count\": 4, \"sum\": 8, \"buckets\": "
+            "[{\"le\": 1, \"count\": 2}, {\"le\": 2, \"count\": 1}, "
+            "{\"le\": null, \"count\": 1}]}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ObsMetrics, EmptyRegistryExportsAreWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_prometheus(), "");
+  EXPECT_EQ(registry.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+}  // namespace
+}  // namespace quicsand::obs

@@ -1,0 +1,114 @@
+// Stage tracing: span lifetimes with an injected manual clock, nesting
+// order (inner spans complete first), per-thread timeline ids, and the
+// chrome://tracing JSON export format.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace quicsand::obs {
+namespace {
+
+TEST(ObsTrace, SpanRecordsStartAndDuration) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  {
+    now = 10;
+    Span span(&tracer, "stage");
+    now = 25;
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "stage");
+  EXPECT_EQ(events[0].start_us, 10u);
+  EXPECT_EQ(events[0].duration_us, 15u);
+  EXPECT_EQ(events[0].tid, 0u);
+}
+
+TEST(ObsTrace, NestedSpansCompleteInnerFirst) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  {
+    Span outer(&tracer, "outer");
+    now = 5;
+    {
+      Span inner(&tracer, "inner");
+      now = 7;
+    }
+    now = 10;
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].start_us, 5u);
+  EXPECT_EQ(events[0].duration_us, 2u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].start_us, 0u);
+  EXPECT_EQ(events[1].duration_us, 10u);
+  // The inner span's interval nests inside the outer's.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].duration_us,
+            events[1].start_us + events[1].duration_us);
+}
+
+TEST(ObsTrace, ExplicitEndIsIdempotent) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  Span span(&tracer, "once");
+  now = 3;
+  span.end();
+  now = 99;
+  span.end();  // no second event
+  EXPECT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].duration_us, 3u);
+}
+
+TEST(ObsTrace, NullTracerSpanIsNoop) {
+  Span span(nullptr, "nothing");
+  span.end();  // must not crash
+}
+
+TEST(ObsTrace, MovedFromSpanDoesNotDoubleRecord) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  {
+    Span outer(&tracer, "moved");
+    Span inner(std::move(outer));
+    now = 4;
+  }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].duration_us, 4u);
+}
+
+TEST(ObsTrace, ThreadsGetDistinctSmallTids) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  { Span span(&tracer, "main-thread"); }
+  std::thread worker([&tracer] { Span span(&tracer, "worker"); });
+  worker.join();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tid, 0u);  // first appearance order
+  EXPECT_EQ(events[1].tid, 1u);
+}
+
+TEST(ObsTrace, GoldenChromeJson) {
+  std::uint64_t now = 0;
+  Tracer tracer([&now] { return now; });
+  {
+    Span span(&tracer, "sessionize");
+    now = 12;
+  }
+  EXPECT_EQ(tracer.to_chrome_json(),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"sessionize\", \"cat\": \"quicsand\", "
+            "\"ph\": \"X\", \"ts\": 0, \"dur\": 12, \"pid\": 1, "
+            "\"tid\": 0}\n"
+            "]}\n");
+  tracer.clear();
+  EXPECT_EQ(tracer.to_chrome_json(), "{\"traceEvents\": []}\n");
+}
+
+}  // namespace
+}  // namespace quicsand::obs

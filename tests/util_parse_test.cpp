@@ -1,0 +1,60 @@
+// Strict CLI parsing: the whole token must parse (atoi's silent
+// garbage-to-zero is exactly what these helpers replace), and the
+// require_* wrappers exit(2) with a diagnostic.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/parse.hpp"
+
+namespace quicsand::util {
+namespace {
+
+TEST(UtilParse, ParsesWholeIntegers) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(UtilParse, RejectsPartialAndMalformedIntegers) {
+  for (const char* bad : {"", " 42", "42 ", "42x", "x42", "4 2", "+42",
+                          "0x10", "12.5", "--3"}) {
+    EXPECT_FALSE(parse_i64(bad).has_value()) << "input: '" << bad << "'";
+    EXPECT_FALSE(parse_u64(bad).has_value()) << "input: '" << bad << "'";
+  }
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  // Overflow is rejected, not wrapped.
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+}
+
+TEST(UtilParse, ParsesDoubles) {
+  EXPECT_DOUBLE_EQ(parse_f64("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_f64("10").value(), 10.0);
+  for (const char* bad : {"", "abc", "1.5x", " 1.5", "1.5 "}) {
+    EXPECT_FALSE(parse_f64(bad).has_value()) << "input: '" << bad << "'";
+  }
+}
+
+TEST(UtilParseDeathTest, RequireExitsWithDiagnostic) {
+  EXPECT_EXIT(require_i64("--days", "bogus"),
+              testing::ExitedWithCode(2), "invalid value for --days");
+  EXPECT_EXIT(require_u64("--seed", "-1"),
+              testing::ExitedWithCode(2), "invalid value for --seed");
+  EXPECT_EXIT(require_f64("--pps", "fast"),
+              testing::ExitedWithCode(2), "invalid value for --pps");
+}
+
+TEST(UtilParse, RequirePassesThroughValidValues) {
+  EXPECT_EQ(require_i64("--days", "30"), 30);
+  EXPECT_EQ(require_u64("--seed", "2021"), 2021u);
+  EXPECT_DOUBLE_EQ(require_f64("--pps", "1000.5"), 1000.5);
+  EXPECT_EQ(require_int("--workers", "4"), 4);
+}
+
+}  // namespace
+}  // namespace quicsand::util
