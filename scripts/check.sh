@@ -5,21 +5,30 @@
 #   3. build the tsan preset and run the concurrency-sensitive suites
 #      (thread pool, parallel pipeline, obs registry/tracer/event log)
 #      under ThreadSanitizer
+#   4. build the asan and ubsan presets' fuzz drivers and run a bounded
+#      smoke (FUZZ_SMOKE_ITERATIONS per target, default 500) from the
+#      committed corpus — replays every committed crasher, then fuzzes
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-tsan] [--no-fuzz]
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
+run_fuzz=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+    --no-fuzz) run_fuzz=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-fuzz]" >&2; exit 2 ;;
   esac
 done
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+fuzz_targets="fuzz_net_headers fuzz_pcap fuzz_pcapng fuzz_quic_dissect \
+fuzz_quic_header fuzz_quic_transport_params fuzz_quic_varint"
+smoke_iters="${FUZZ_SMOKE_ITERATIONS:-500}"
 
 echo "==> configure+build (default preset)"
 cmake --preset default
@@ -36,6 +45,21 @@ if [ "$run_tsan" = 1 ]; then
     obs_events_test
   echo "==> ctest tsan (parallel + obs suites)"
   ctest --preset tsan -j "$jobs"
+fi
+
+if [ "$run_fuzz" = 1 ]; then
+  for preset in asan ubsan; do
+    echo "==> configure+build fuzz drivers ($preset preset)"
+    cmake --preset "$preset"
+    # shellcheck disable=SC2086
+    cmake --build --preset "$preset" -j "$jobs" --target $fuzz_targets
+    echo "==> fuzz smoke ($preset, $smoke_iters iterations per target)"
+    for target in $fuzz_targets; do
+      name="${target#fuzz_}"
+      "build-$preset/tests/fuzz/$target" \
+        --iterations "$smoke_iters" --corpus "tests/corpus/$name"
+    done
+  done
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,320 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/headers.hpp"
+#include "quic/gquic.hpp"
+#include "quic/packets.hpp"
+#include "quic/retry.hpp"
+#include "quic/transport_params.hpp"
+#include "quic/varint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void append_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+/// A small telescope-style UDP datagram (QUIC backscatter) to embed in
+/// capture-format seeds.
+std::vector<std::uint8_t> sample_udp_datagram(util::Rng& rng) {
+  const auto ctx = quic::HandshakeContext::random(1, rng);
+  const auto payload = quic::build_server_initial_handshake(
+      ctx, rng, quic::CryptoFidelity::kFast);
+  net::Ipv4Header ip;
+  ip.src = net::Ipv4Address::from_octets(142, 250, 0, 1);
+  ip.dst = net::Ipv4Address::from_octets(44, 1, 2, 3);
+  return net::build_udp(ip, 443, 40001, payload);
+}
+
+/// Classic pcap bytes: little-endian global header + `packets` records.
+std::vector<std::uint8_t> make_pcap(
+    std::uint32_t magic, std::uint32_t linktype,
+    std::span<const std::vector<std::uint8_t>> packets) {
+  std::vector<std::uint8_t> out;
+  append_u32le(out, magic);
+  append_u16le(out, 2);
+  append_u16le(out, 4);
+  append_u32le(out, 0);
+  append_u32le(out, 0);
+  append_u32le(out, 65535);
+  append_u32le(out, linktype);
+  std::uint32_t ts = 1617235200;
+  for (const auto& packet : packets) {
+    append_u32le(out, ts++);
+    append_u32le(out, 250000);
+    append_u32le(out, static_cast<std::uint32_t>(packet.size()));
+    append_u32le(out, static_cast<std::uint32_t>(packet.size()));
+    out.insert(out.end(), packet.begin(), packet.end());
+  }
+  return out;
+}
+
+void append_pcapng_block(std::vector<std::uint8_t>& out, std::uint32_t type,
+                         std::span<const std::uint8_t> body) {
+  const auto padded = (body.size() + 3) & ~std::size_t{3};
+  const auto total = static_cast<std::uint32_t>(12 + padded);
+  append_u32le(out, type);
+  append_u32le(out, total);
+  out.insert(out.end(), body.begin(), body.end());
+  out.insert(out.end(), padded - body.size(), 0);
+  append_u32le(out, total);
+}
+
+/// Minimal pcapng: SHB + one IDB (with an if_tsresol option when
+/// `tsresol` is nonzero) + one EPB per packet.
+std::vector<std::uint8_t> make_pcapng(
+    std::uint16_t linktype, std::uint8_t tsresol,
+    std::span<const std::vector<std::uint8_t>> packets) {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> shb;
+  append_u32le(shb, 0x1a2b3c4d);
+  append_u16le(shb, 1);
+  append_u16le(shb, 0);
+  for (int i = 0; i < 8; ++i) shb.push_back(0xff);  // section length: -1
+  append_pcapng_block(out, 0x0a0d0d0a, shb);
+
+  std::vector<std::uint8_t> idb;
+  append_u16le(idb, linktype);
+  append_u16le(idb, 0);       // reserved
+  append_u32le(idb, 65535);   // snaplen
+  if (tsresol != 0) {
+    append_u16le(idb, 9);  // if_tsresol
+    append_u16le(idb, 1);
+    idb.push_back(tsresol);
+    idb.insert(idb.end(), 3, 0);  // option padding
+    append_u16le(idb, 0);         // opt_endofopt
+    append_u16le(idb, 0);
+  }
+  append_pcapng_block(out, 0x00000001, idb);
+
+  std::uint64_t ts = 1617235200000000ULL;
+  for (const auto& packet : packets) {
+    std::vector<std::uint8_t> epb;
+    append_u32le(epb, 0);  // interface id
+    append_u32le(epb, static_cast<std::uint32_t>(ts >> 32));
+    append_u32le(epb, static_cast<std::uint32_t>(ts));
+    ts += 1000;
+    append_u32le(epb, static_cast<std::uint32_t>(packet.size()));
+    append_u32le(epb, static_cast<std::uint32_t>(packet.size()));
+    epb.insert(epb.end(), packet.begin(), packet.end());
+    append_pcapng_block(out, 0x00000006, epb);
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> named(std::vector<std::vector<std::uint8_t>> seeds) {
+  std::vector<CorpusEntry> out;
+  out.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    out.push_back({"builtin:" + std::to_string(i), std::move(seeds[i])});
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> quic_datagram_seeds() {
+  util::Rng rng(0xc0ffee);
+  const auto ctx = quic::HandshakeContext::random(1, rng);
+  auto ctx29 = quic::HandshakeContext::random(0xff00001d, rng);
+  const std::vector<std::uint32_t> versions = {1, 0xff00001d, 0x0a0a0a0a};
+  std::vector<std::uint8_t> token(16);
+  rng.fill(token);
+  return {
+      quic::build_client_initial(ctx, "example.org", rng,
+                                 quic::CryptoFidelity::kFast),
+      quic::build_client_initial(ctx29, "example.org", rng,
+                                 quic::CryptoFidelity::kFast, token),
+      quic::build_server_initial_handshake(ctx, rng,
+                                           quic::CryptoFidelity::kFast),
+      quic::build_server_handshake(ctx, rng, quic::CryptoFidelity::kFast),
+      quic::build_version_negotiation(ctx.client_scid, ctx.client_dcid,
+                                      versions, rng),
+      quic::build_retry_packet(1, ctx.client_scid, ctx.server_scid, token,
+                               ctx.client_dcid),
+      quic::build_stateless_reset(rng),
+      quic::build_gquic_packet(quic::ConnectionId(rng.bytes(8)), 0x51303433,
+                               7, rng.bytes(40)),
+      // Real-protection Initial so deep dissection has a decryptable seed.
+      quic::build_client_initial(ctx, "deep.example", rng,
+                                 quic::CryptoFidelity::kFull),
+  };
+}
+
+std::vector<std::vector<std::uint8_t>> header_seeds() {
+  auto seeds = quic_datagram_seeds();
+  seeds.resize(6);  // long-header-shaped subset
+  return seeds;
+}
+
+std::vector<std::vector<std::uint8_t>> varint_seeds() {
+  util::ByteWriter w;
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 63ULL, 64ULL, 16383ULL, 16384ULL, (1ULL << 30) - 1,
+        1ULL << 30, (1ULL << 62) - 1}) {
+    quic::write_varint(w, v);
+  }
+  quic::write_varint_with_size(w, 5, 8);  // non-minimal encoding
+  return {w.take()};
+}
+
+std::vector<std::vector<std::uint8_t>> transport_params_seeds() {
+  util::Rng rng(0xbeef);
+  const auto scid = quic::ConnectionId(rng.bytes(8));
+  auto params = quic::TransportParameters::typical_client(scid);
+  std::vector<std::vector<std::uint8_t>> seeds;
+  seeds.push_back(quic::encode_transport_parameters(params));
+  params.original_destination_connection_id = quic::ConnectionId(rng.bytes(20));
+  params.retry_source_connection_id = quic::ConnectionId(rng.bytes(0));
+  seeds.push_back(quic::encode_transport_parameters(params));
+  seeds.push_back({});  // empty body is valid
+  return seeds;
+}
+
+std::vector<std::vector<std::uint8_t>> net_header_seeds() {
+  util::Rng rng(0xdead);
+  auto udp = sample_udp_datagram(rng);
+
+  net::Ipv4Header tcp_ip;
+  tcp_ip.src = net::Ipv4Address::from_octets(93, 184, 216, 34);
+  tcp_ip.dst = net::Ipv4Address::from_octets(44, 9, 9, 9);
+  tcp_ip.protocol = net::IpProtocol::kTcp;
+  net::TcpInfo tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 50123;
+  tcp.seq = 1;
+  tcp.ack = 2;
+  tcp.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  auto syn_ack = net::build_tcp(tcp_ip, tcp);
+
+  net::Ipv4Header icmp_ip;
+  icmp_ip.src = net::Ipv4Address::from_octets(203, 0, 113, 7);
+  icmp_ip.dst = net::Ipv4Address::from_octets(44, 3, 3, 3);
+  icmp_ip.protocol = net::IpProtocol::kIcmp;
+  auto unreachable = net::build_icmp_error(icmp_ip, 3, 3, udp);
+
+  return {std::move(udp), std::move(syn_ack), std::move(unreachable)};
+}
+
+std::vector<std::vector<std::uint8_t>> pcap_seeds() {
+  util::Rng rng(0xfeed);
+  const std::vector<std::vector<std::uint8_t>> raw_packets = {
+      sample_udp_datagram(rng), sample_udp_datagram(rng)};
+  std::vector<std::uint8_t> ether(14, 0);
+  ether[12] = 0x08;  // ethertype IPv4
+  auto framed = sample_udp_datagram(rng);
+  framed.insert(framed.begin(), ether.begin(), ether.end());
+  const std::vector<std::vector<std::uint8_t>> ether_packets = {framed};
+  return {
+      make_pcap(0xa1b2c3d4, 101, raw_packets),
+      make_pcap(0xa1b23c4d, 101, raw_packets),  // nanosecond magic
+      make_pcap(0xa1b2c3d4, 1, ether_packets),  // ethernet linktype
+  };
+}
+
+std::vector<std::vector<std::uint8_t>> pcapng_seeds() {
+  util::Rng rng(0xace);
+  const std::vector<std::vector<std::uint8_t>> packets = {
+      sample_udp_datagram(rng), sample_udp_datagram(rng)};
+  return {
+      make_pcapng(101, 0, packets),
+      make_pcapng(101, 9, packets),     // decimal nanosecond resolution
+      make_pcapng(101, 0x83, packets),  // binary 2^-3 resolution
+  };
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> parse_hex_corpus(std::string_view text) {
+  std::string hex;
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+    } else if (c == '#') {
+      in_comment = true;
+    } else if (!in_comment && is_hex_digit(c)) {
+      hex.push_back(c);
+    } else if (!in_comment && c != ' ' && c != '\t' && c != '\r') {
+      throw std::runtime_error("corpus: non-hex byte in .hex file");
+    }
+  }
+  return util::from_hex_strict(hex);
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir) {
+  std::vector<CorpusEntry> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("corpus: cannot open " +
+                               entry.path().string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+    CorpusEntry item;
+    item.name = entry.path().filename().string();
+    if (entry.path().extension() == ".hex") {
+      item.data = parse_hex_corpus(raw);
+    } else {
+      item.data.assign(raw.begin(), raw.end());
+    }
+    out.push_back(std::move(item));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void write_hex_corpus_file(const std::string& path, std::string_view comment,
+                           std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("corpus: cannot write " + path);
+  out << "# " << comment << "\n";
+  const std::string hex = util::to_hex(data);
+  for (std::size_t i = 0; i < hex.size(); i += 64) {
+    out << hex.substr(i, 64) << "\n";
+  }
+}
+
+std::vector<CorpusEntry> builtin_seeds(std::string_view target) {
+  if (target == "quic_dissect") return named(quic_datagram_seeds());
+  if (target == "quic_header") return named(header_seeds());
+  if (target == "quic_varint") return named(varint_seeds());
+  if (target == "quic_transport_params") {
+    return named(transport_params_seeds());
+  }
+  if (target == "net_headers") return named(net_header_seeds());
+  if (target == "pcap") return named(pcap_seeds());
+  if (target == "pcapng") return named(pcapng_seeds());
+  return {};
+}
+
+}  // namespace quicsand::fuzz

@@ -1,0 +1,44 @@
+// Corpus management for the deterministic fuzz drivers.
+//
+// Two sources of seeds are unioned per target:
+//  * builtin_seeds(target): well-formed inputs built programmatically
+//    from the project's own encoders (client Initials, VN packets,
+//    pcap/pcapng files, transport-parameter blobs, ...) so the mutation
+//    engine always starts from structurally valid bytes;
+//  * a committed on-disk corpus under tests/corpus/<target>/ holding
+//    hand-picked edge cases and every crasher a fuzzer ever found,
+//    stored hex-encoded (one file per input, '#' comment lines allowed)
+//    so the corpus stays reviewable in git.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quicsand::fuzz {
+
+struct CorpusEntry {
+  std::string name;  ///< "builtin:<n>" or the on-disk file name
+  std::vector<std::uint8_t> data;
+};
+
+/// Load every corpus file in `dir`, sorted by file name for determinism.
+/// Files ending in `.hex` are hex-decoded (whitespace and '#'-comment
+/// lines ignored); anything else is read raw. A missing directory yields
+/// an empty corpus (targets still have their builtin seeds).
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir);
+
+/// Write `data` hex-encoded (64 chars per line) with a leading comment.
+void write_hex_corpus_file(const std::string& path, std::string_view comment,
+                           std::span<const std::uint8_t> data);
+
+/// Decode the hex corpus format (inverse of write_hex_corpus_file).
+std::vector<std::uint8_t> parse_hex_corpus(std::string_view text);
+
+/// Programmatic well-formed seeds for a fuzz target name; empty for
+/// unknown targets.
+std::vector<CorpusEntry> builtin_seeds(std::string_view target);
+
+}  // namespace quicsand::fuzz

@@ -1,0 +1,179 @@
+#include "fuzz/driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::fuzz {
+
+namespace {
+
+struct DriverOptions {
+  std::uint64_t iterations = 10000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::string corpus_dir;
+  std::string write_seeds_dir;
+  std::string dump_last_path;
+  std::vector<std::string> replay_files;
+};
+
+[[noreturn]] void usage(std::string_view target, int code) {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_%.*s [--iterations N] [--seed S] [--corpus DIR]\n"
+      "       [--max-len BYTES] [--write-seeds DIR] [--dump-last FILE]\n"
+      "       [FILE...]\n"
+      "Deterministic mutation fuzzing of the %.*s parser; FILE arguments\n"
+      "replay saved inputs (.hex or raw) instead of fuzzing.\n",
+      static_cast<int>(target.size()), target.data(),
+      static_cast<int>(target.size()), target.data());
+  std::exit(code);
+}
+
+DriverOptions parse_args(std::string_view target, int argc, char** argv) {
+  DriverOptions options;
+  if (const char* env = std::getenv("QUICSAND_FUZZ_ITERATIONS")) {
+    options.iterations = util::require_u64("QUICSAND_FUZZ_ITERATIONS", env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(target, 2);
+      return argv[++i];
+    };
+    if (arg == "--iterations") {
+      options.iterations = util::require_u64("--iterations", value());
+    } else if (arg == "--seed") {
+      options.seed = util::require_u64("--seed", value());
+    } else if (arg == "--max-len") {
+      options.max_len = util::require_u64("--max-len", value());
+    } else if (arg == "--corpus") {
+      options.corpus_dir = value();
+    } else if (arg == "--write-seeds") {
+      options.write_seeds_dir = value();
+    } else if (arg == "--dump-last") {
+      options.dump_last_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(target, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(target, 2);
+    } else {
+      options.replay_files.emplace_back(arg);
+    }
+  }
+  return options;
+}
+
+std::vector<std::uint8_t> read_input_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".hex") {
+    return parse_hex_corpus(raw);
+  }
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace
+
+int driver_main(std::string_view target_name, int argc, char** argv) {
+  const FuzzTarget* target = find_target(target_name);
+  if (target == nullptr) {
+    std::fprintf(stderr, "unknown fuzz target %.*s\n",
+                 static_cast<int>(target_name.size()), target_name.data());
+    return 2;
+  }
+  const auto options = parse_args(target_name, argc, argv);
+
+  if (!options.write_seeds_dir.empty()) {
+    const auto seeds = builtin_seeds(target->name);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/seed-%03zu.hex", i);
+      write_hex_corpus_file(
+          options.write_seeds_dir + name,
+          std::string(target->name) + " builtin seed", seeds[i].data);
+    }
+    std::printf("wrote %zu seeds to %s\n", seeds.size(),
+                options.write_seeds_dir.c_str());
+    return 0;
+  }
+
+  if (!options.replay_files.empty()) {
+    for (const auto& path : options.replay_files) {
+      const auto data = read_input_file(path);
+      std::printf("replay %s (%zu bytes)\n", path.c_str(), data.size());
+      target->fn(data);
+    }
+    std::printf("replayed %zu input(s) clean\n",
+                options.replay_files.size());
+    return 0;
+  }
+
+  auto corpus = builtin_seeds(target->name);
+  if (!options.corpus_dir.empty()) {
+    auto disk = load_corpus_dir(options.corpus_dir);
+    corpus.insert(corpus.end(), std::make_move_iterator(disk.begin()),
+                  std::make_move_iterator(disk.end()));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "no corpus entries for %s\n",
+                 std::string(target->name).c_str());
+    return 2;
+  }
+
+  // Every corpus entry runs unmutated first: committed crashers act as
+  // regression inputs on every invocation.
+  for (const auto& entry : corpus) target->fn(entry.data);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t bytes = 0;
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    // One fresh (rng, input) pair per iteration: reproducing iteration i
+    // never requires replaying iterations 0..i-1.
+    util::Rng rng(util::mix64(options.seed, i));
+    Mutator mutator(rng.fork(1),
+                    {.max_size = options.max_len, .max_stacked = 5});
+    auto data = corpus[rng.uniform(corpus.size())].data;
+    mutator.mutate(data);
+    bytes += data.size();
+    if (!options.dump_last_path.empty()) {
+      // Written before the target runs: after a crash the file holds the
+      // offending input, ready to commit under tests/corpus/.
+      char comment[64];
+      std::snprintf(comment, sizeof(comment), "iteration %llu seed %llu",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(options.seed));
+      write_hex_corpus_file(options.dump_last_path, comment, data);
+    }
+    target->fn(data);
+  }
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "%s: %llu iterations clean (%zu corpus seeds, %.1f MB mutated, "
+      "%.0f exec/s)\n",
+      std::string(target->name).c_str(),
+      static_cast<unsigned long long>(options.iterations), corpus.size(),
+      static_cast<double>(bytes) / 1e6,
+      elapsed > 0 ? static_cast<double>(options.iterations) / elapsed : 0.0);
+  return 0;
+}
+
+}  // namespace quicsand::fuzz

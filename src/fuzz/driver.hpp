@@ -1,0 +1,24 @@
+// Standalone deterministic fuzz driver.
+//
+// Every fuzz binary under tests/fuzz/ is either linked as a libFuzzer
+// target (clang, -DQUICSAND_LIBFUZZER=ON: LLVMFuzzerTestOneInput only)
+// or gets a main() from driver_main(): N deterministic mutation
+// iterations over the union of builtin and on-disk corpus seeds.
+//
+//   fuzz_<target> [--iterations N] [--seed S] [--corpus DIR]
+//                 [--max-len BYTES] [--write-seeds DIR] [FILE...]
+//
+// With FILE arguments the driver replays those inputs verbatim (crash
+// reproduction) instead of fuzzing. --write-seeds dumps the builtin
+// seeds as .hex files (how tests/corpus/ was first populated).
+// QUICSAND_FUZZ_ITERATIONS in the environment overrides --iterations,
+// so one ctest invocation can scale every registered fuzz test at once.
+#pragma once
+
+#include "fuzz/targets.hpp"
+
+namespace quicsand::fuzz {
+
+int driver_main(std::string_view target_name, int argc, char** argv);
+
+}  // namespace quicsand::fuzz

@@ -1,0 +1,196 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace quicsand::fuzz {
+
+namespace {
+
+/// Boundary values that historically break varint/length handling:
+/// encoding-size boundaries, the varint maximum, and a few values just
+/// past what a UDP datagram or pcap record can actually hold.
+constexpr std::array<std::uint64_t, 14> kInterestingValues = {
+    0,      1,          63,         64,        127,        128,
+    16383,  16384,      65535,      65536,     (1u << 30) - 1,
+    1u << 30, (1ULL << 62) - 1, 0xffffffffffffffffULL};
+
+constexpr std::array<std::string_view, 12> kMutationNames = {
+    "flip-bit",       "set-byte",     "insert-interesting", "truncate",
+    "extend-random",  "dup-chunk",    "erase-chunk",        "splice-varint",
+    "patch-length",   "coalesce",     "split-tail",         "zero-pad"};
+
+}  // namespace
+
+std::string_view mutation_name(std::size_t index) {
+  return index < kMutationNames.size() ? kMutationNames[index] : "?";
+}
+
+Mutator::Mutator(util::Rng rng, MutatorOptions options)
+    : rng_(rng), options_(options) {}
+
+std::size_t Mutator::primitive_count() { return kMutationNames.size(); }
+
+void Mutator::mutate(std::vector<std::uint8_t>& data) {
+  const auto stacked =
+      1 + rng_.uniform(static_cast<std::uint64_t>(options_.max_stacked));
+  for (std::uint64_t i = 0; i < stacked; ++i) {
+    apply(rng_.uniform(primitive_count()), data);
+  }
+  clamp(data);
+}
+
+void Mutator::apply(std::size_t primitive, std::vector<std::uint8_t>& data) {
+  switch (primitive) {
+    case 0: flip_bit(data); break;
+    case 1: set_byte(data); break;
+    case 2: insert_interesting(data); break;
+    case 3: truncate(data); break;
+    case 4: extend_random(data); break;
+    case 5: duplicate_chunk(data); break;
+    case 6: erase_chunk(data); break;
+    case 7: splice_varint(data); break;
+    case 8: patch_length_field(data); break;
+    case 9: coalesce_self(data); break;
+    case 10: split_tail(data); break;
+    case 11: zero_pad_tail(data); break;
+    default: flip_bit(data); break;
+  }
+  clamp(data);
+}
+
+void Mutator::clamp(std::vector<std::uint8_t>& data) const {
+  if (data.size() > options_.max_size) data.resize(options_.max_size);
+}
+
+void Mutator::flip_bit(std::vector<std::uint8_t>& data) {
+  if (data.empty()) {
+    data.push_back(static_cast<std::uint8_t>(rng_.next()));
+    return;
+  }
+  const auto bit = rng_.uniform(data.size() * 8);
+  data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void Mutator::set_byte(std::vector<std::uint8_t>& data) {
+  if (data.empty()) {
+    data.push_back(static_cast<std::uint8_t>(rng_.next()));
+    return;
+  }
+  data[rng_.uniform(data.size())] = static_cast<std::uint8_t>(rng_.next());
+}
+
+void Mutator::insert_interesting(std::vector<std::uint8_t>& data) {
+  const auto value = kInterestingValues[rng_.uniform(kInterestingValues.size())];
+  const std::size_t width = std::size_t{1} << rng_.uniform(4);  // 1/2/4/8
+  const auto offset = rng_.uniform(data.size() + 1);
+  std::array<std::uint8_t, 8> bytes{};
+  for (std::size_t i = 0; i < width; ++i) {  // big-endian, the wire order
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)));
+  }
+  if (rng_.bernoulli(0.5) && offset + width <= data.size()) {
+    std::copy_n(bytes.begin(), width, data.begin() + offset);  // overwrite
+  } else {
+    data.insert(data.begin() + offset, bytes.begin(), bytes.begin() + width);
+  }
+}
+
+void Mutator::truncate(std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  data.resize(rng_.uniform(data.size() + 1));
+}
+
+void Mutator::extend_random(std::vector<std::uint8_t>& data) {
+  const auto extra = 1 + rng_.uniform(64);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng_.next()));
+  }
+}
+
+void Mutator::duplicate_chunk(std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  const auto start = rng_.uniform(data.size());
+  const auto len = 1 + rng_.uniform(data.size() - start);
+  const auto dest = rng_.uniform(data.size() + 1);
+  std::vector<std::uint8_t> chunk(data.begin() + start,
+                                  data.begin() + start + len);
+  data.insert(data.begin() + dest, chunk.begin(), chunk.end());
+}
+
+void Mutator::erase_chunk(std::vector<std::uint8_t>& data) {
+  if (data.empty()) return;
+  const auto start = rng_.uniform(data.size());
+  const auto len = 1 + rng_.uniform(data.size() - start);
+  data.erase(data.begin() + start, data.begin() + start + len);
+}
+
+void Mutator::splice_varint(std::vector<std::uint8_t>& data) {
+  // Overwrite a random position with a well-formed RFC 9000 varint
+  // holding a boundary value: exercises token/Length/parameter-id
+  // handling far better than random byte noise.
+  const auto value =
+      kInterestingValues[rng_.uniform(kInterestingValues.size())] &
+      ((1ULL << 62) - 1);
+  std::size_t width = std::size_t{1} << rng_.uniform(4);
+  // Smallest legal width for the value, keeping the chosen width when
+  // it is large enough (QUIC allows non-minimal encodings).
+  std::size_t min_width = value < 64 ? 1 : value < 16384 ? 2
+                          : value < (1ULL << 30) ? 4 : 8;
+  width = std::max(width, min_width);
+  std::array<std::uint8_t, 8> bytes{};
+  std::uint64_t v = value;
+  for (std::size_t i = width; i-- > 0;) {
+    bytes[i] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+  bytes[0] = static_cast<std::uint8_t>(
+      (bytes[0] & 0x3f) |
+      (width == 1 ? 0x00 : width == 2 ? 0x40 : width == 4 ? 0x80 : 0xc0));
+  const auto offset = rng_.uniform(data.size() + 1);
+  if (offset + width <= data.size()) {
+    std::copy_n(bytes.begin(), width, data.begin() + offset);
+  } else {
+    data.resize(offset);
+    data.insert(data.end(), bytes.begin(), bytes.begin() + width);
+  }
+}
+
+void Mutator::patch_length_field(std::vector<std::uint8_t>& data) {
+  // Rewrite two adjacent bytes as a big-endian length that is slightly
+  // off from the bytes actually remaining — the classic trigger for
+  // over-reads in TLV and record parsers.
+  if (data.size() < 2) return;
+  const auto offset = rng_.uniform(data.size() - 1);
+  const std::size_t remaining = data.size() - offset - 2;
+  const std::int64_t delta =
+      static_cast<std::int64_t>(rng_.uniform(9)) - 4;  // -4..+4
+  const auto length = static_cast<std::uint16_t>(std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(remaining) + delta));
+  data[offset] = static_cast<std::uint8_t>(length >> 8);
+  data[offset + 1] = static_cast<std::uint8_t>(length);
+}
+
+void Mutator::coalesce_self(std::vector<std::uint8_t>& data) {
+  // Append a copy of a prefix of the input: turns one well-formed packet
+  // into a coalesced datagram (QUIC) or a multi-record stream (pcap).
+  if (data.empty()) return;
+  const auto len = 1 + rng_.uniform(data.size());
+  std::vector<std::uint8_t> prefix(data.begin(), data.begin() + len);
+  data.insert(data.end(), prefix.begin(), prefix.end());
+}
+
+void Mutator::split_tail(std::vector<std::uint8_t>& data) {
+  // Keep a random suffix: simulates mid-stream capture / lost prefix.
+  if (data.size() < 2) return;
+  const auto start = rng_.uniform(data.size());
+  data.erase(data.begin(), data.begin() + start);
+}
+
+void Mutator::zero_pad_tail(std::vector<std::uint8_t>& data) {
+  // QUIC datagrams legally end in zero padding; pcap files in zero
+  // records. Also a cheap way to probe "length says more than payload".
+  const auto extra = 1 + rng_.uniform(32);
+  data.insert(data.end(), extra, 0);
+}
+
+}  // namespace quicsand::fuzz

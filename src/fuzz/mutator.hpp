@@ -1,0 +1,66 @@
+// Seed-driven structured mutation engine for the fuzz drivers.
+//
+// libFuzzer-style byte mutations plus wire-format aware transforms
+// (varint splices, length-field patches, packet coalescing/splitting)
+// built on util::Rng, so a (corpus, seed, iteration) triple always
+// produces the same input on every platform — crashes reproduce from
+// the command line without saving the mutated bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace quicsand::fuzz {
+
+struct MutatorOptions {
+  /// Mutated inputs are clamped to this size (parsers under test cap
+  /// out around one UDP datagram / a handful of pcap records).
+  std::size_t max_size = 4096;
+  /// Upper bound on stacked primitive mutations per mutate() call.
+  int max_stacked = 5;
+};
+
+/// Names of the mutation primitives, index-aligned with
+/// Mutator::primitive_count(); used by tests and stats reporting.
+std::string_view mutation_name(std::size_t index);
+
+class Mutator {
+ public:
+  explicit Mutator(util::Rng rng, MutatorOptions options = {});
+
+  /// Apply 1..max_stacked randomly chosen primitives in place.
+  void mutate(std::vector<std::uint8_t>& data);
+
+  /// Apply exactly one primitive by index (tests drive this directly).
+  void apply(std::size_t primitive, std::vector<std::uint8_t>& data);
+
+  static std::size_t primitive_count();
+
+ private:
+  // Byte-level primitives.
+  void flip_bit(std::vector<std::uint8_t>& data);
+  void set_byte(std::vector<std::uint8_t>& data);
+  void insert_interesting(std::vector<std::uint8_t>& data);
+  void truncate(std::vector<std::uint8_t>& data);
+  void extend_random(std::vector<std::uint8_t>& data);
+  void duplicate_chunk(std::vector<std::uint8_t>& data);
+  void erase_chunk(std::vector<std::uint8_t>& data);
+
+  // Structure-aware primitives.
+  void splice_varint(std::vector<std::uint8_t>& data);
+  void patch_length_field(std::vector<std::uint8_t>& data);
+  void coalesce_self(std::vector<std::uint8_t>& data);
+  void split_tail(std::vector<std::uint8_t>& data);
+  void zero_pad_tail(std::vector<std::uint8_t>& data);
+
+  void clamp(std::vector<std::uint8_t>& data) const;
+
+  util::Rng rng_;
+  MutatorOptions options_;
+};
+
+}  // namespace quicsand::fuzz

@@ -1,0 +1,227 @@
+#include "fuzz/targets.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "net/headers.hpp"
+#include "net/pcap.hpp"
+#include "net/pcapng.hpp"
+#include "quic/dissector.hpp"
+#include "quic/header.hpp"
+#include "quic/transport_params.hpp"
+#include "quic/varint.hpp"
+#include "util/bytes.hpp"
+
+// Abort with a message when a parser invariant breaks. Active in every
+// build type: the fuzz drivers run under asan/ubsan *and* plain
+// RelWithDebInfo, and a silent invariant violation is exactly the class
+// of bug the subsystem exists to catch.
+#define QUICSAND_FUZZ_CHECK(cond, target, what)                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz invariant violated [%s]: %s (%s:%d)\n", \
+                   target, what, __FILE__, __LINE__);                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+namespace quicsand::fuzz {
+
+namespace {
+
+void fuzz_quic_dissect(std::span<const std::uint8_t> data) {
+  // Shallow pass: what the bulk classifier runs on every UDP payload.
+  const auto shallow = quic::dissect_udp_payload(data);
+  if (!shallow.is_quic) {
+    QUICSAND_FUZZ_CHECK(shallow.packets.empty(), "quic_dissect",
+                        "rejected payload still lists packets");
+    QUICSAND_FUZZ_CHECK(!shallow.reject_reason.empty(), "quic_dissect",
+                        "rejection without a reason");
+  } else {
+    QUICSAND_FUZZ_CHECK(!shallow.packets.empty(), "quic_dissect",
+                        "accepted payload with no packets");
+    std::size_t total = 0;
+    for (const auto& packet : shallow.packets) {
+      QUICSAND_FUZZ_CHECK(packet.size > 0, "quic_dissect",
+                          "zero-size dissected packet");
+      QUICSAND_FUZZ_CHECK(packet.size <= data.size(), "quic_dissect",
+                          "packet larger than the datagram");
+      QUICSAND_FUZZ_CHECK(packet.token_length <= data.size(), "quic_dissect",
+                          "token longer than the datagram");
+      total += packet.size;
+    }
+    QUICSAND_FUZZ_CHECK(total <= data.size(), "quic_dissect",
+                        "coalesced packet sizes exceed the datagram");
+  }
+  // Deep pass: Initial decryption as the §6 backscatter validation runs
+  // it. Must classify, never throw.
+  const auto deep = quic::dissect_udp_payload(data, {.decrypt_initials = true});
+  QUICSAND_FUZZ_CHECK(deep.is_quic == shallow.is_quic, "quic_dissect",
+                      "deep and shallow passes disagree on is_quic");
+  QUICSAND_FUZZ_CHECK(deep.packets.size() == shallow.packets.size(),
+                      "quic_dissect",
+                      "deep and shallow passes disagree on packet count");
+}
+
+void fuzz_quic_header(std::span<const std::uint8_t> data) {
+  // Walk coalesced long-header packets exactly like the dissector does.
+  std::size_t offset = 0;
+  int parsed = 0;
+  while (offset < data.size() && parsed < 64) {
+    quic::ParseError error{};
+    const auto view = quic::parse_long_header(data, offset, &error);
+    if (!view) break;
+    ++parsed;
+    QUICSAND_FUZZ_CHECK(view->packet_start == offset, "quic_header",
+                        "view does not start at the requested offset");
+    QUICSAND_FUZZ_CHECK(view->packet_end > offset, "quic_header",
+                        "empty packet view");
+    QUICSAND_FUZZ_CHECK(view->packet_end <= data.size(), "quic_header",
+                        "packet end past the buffer");
+    QUICSAND_FUZZ_CHECK(view->token.size() == view->token_length ||
+                            !view->retry_token.empty(),
+                        "quic_header", "token span/length mismatch");
+    if (!view->is_version_negotiation() &&
+        view->type != quic::PacketType::kRetry) {
+      QUICSAND_FUZZ_CHECK(view->pn_offset >= offset &&
+                              view->pn_offset < view->packet_end,
+                          "quic_header", "pn offset outside the packet");
+    }
+    offset = view->packet_end;
+  }
+}
+
+void fuzz_quic_varint(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  int decoded = 0;
+  try {
+    while (!r.empty() && decoded < 4096) {
+      const auto before = r.position();
+      const std::uint64_t value = quic::read_varint(r);
+      const auto consumed = r.position() - before;
+      ++decoded;
+      QUICSAND_FUZZ_CHECK(value <= quic::kVarintMax, "quic_varint",
+                          "decoded value above 2^62-1");
+      QUICSAND_FUZZ_CHECK(consumed >= 1 && consumed <= 8, "quic_varint",
+                          "varint consumed an impossible byte count");
+      // Round-trip: the minimal re-encoding must decode to the same
+      // value and never be longer than what the wire used.
+      util::ByteWriter w;
+      quic::write_varint(w, value);
+      QUICSAND_FUZZ_CHECK(w.size() == quic::varint_size(value), "quic_varint",
+                          "write_varint size disagrees with varint_size");
+      QUICSAND_FUZZ_CHECK(w.size() <= consumed, "quic_varint",
+                          "minimal encoding longer than the wire encoding");
+      util::ByteReader back(w.view());
+      QUICSAND_FUZZ_CHECK(quic::read_varint(back) == value, "quic_varint",
+                          "varint round-trip mismatch");
+    }
+  } catch (const util::BufferUnderflow&) {
+    // Truncated tail: the documented failure mode.
+  }
+}
+
+void fuzz_quic_transport_params(std::span<const std::uint8_t> data) {
+  const auto parsed = quic::parse_transport_parameters(data);
+  if (!parsed) return;
+  // Encode/parse must be idempotent: re-encoding the parsed view and
+  // parsing it again yields byte-identical bytes.
+  const auto encoded = quic::encode_transport_parameters(*parsed);
+  const auto reparsed = quic::parse_transport_parameters(encoded);
+  QUICSAND_FUZZ_CHECK(reparsed.has_value(), "quic_transport_params",
+                      "re-encoded parameters failed to parse");
+  const auto reencoded = quic::encode_transport_parameters(*reparsed);
+  QUICSAND_FUZZ_CHECK(encoded == reencoded, "quic_transport_params",
+                      "encode/parse round-trip is not stable");
+}
+
+void fuzz_net_headers(std::span<const std::uint8_t> data) {
+  const auto decoded = net::decode_ipv4(data);
+  net::verify_checksums(data);  // must never throw, any input
+  if (!decoded) return;
+  QUICSAND_FUZZ_CHECK(data.size() >= 20, "net_headers",
+                      "decoded an impossibly short datagram");
+  if (decoded->is_udp()) {
+    const auto& udp = decoded->udp();
+    QUICSAND_FUZZ_CHECK(udp.payload.size() <= data.size(), "net_headers",
+                        "UDP payload larger than the datagram");
+    if (!udp.payload.empty()) {
+      QUICSAND_FUZZ_CHECK(udp.payload.data() >= data.data() &&
+                              udp.payload.data() + udp.payload.size() <=
+                                  data.data() + data.size(),
+                          "net_headers", "UDP payload span escapes buffer");
+    }
+  } else if (decoded->is_icmp()) {
+    net::parse_icmp_quote(decoded->icmp().payload);
+  }
+}
+
+/// Shared by the pcap and pcapng targets: drain a reader, feeding every
+/// packet into the IPv4 decoder like analyze_pcap does. The readers'
+/// documented failure mode is std::runtime_error; anything else escapes
+/// and crashes the driver.
+template <typename Reader>
+void drain_capture_reader(std::span<const std::uint8_t> data,
+                          const char* target) {
+  std::istringstream stream(
+      std::string(reinterpret_cast<const char*>(data.data()), data.size()));
+  try {
+    Reader reader(stream);
+    int packets = 0;
+    while (auto packet = reader.next()) {
+      QUICSAND_FUZZ_CHECK(packet->data.size() <= data.size(), target,
+                          "record larger than the whole capture");
+      net::decode_ipv4(packet->data);
+      if (++packets > 16384) break;
+    }
+  } catch (const std::runtime_error&) {
+    // Malformed capture: the documented failure mode.
+  }
+}
+
+void fuzz_pcap(std::span<const std::uint8_t> data) {
+  drain_capture_reader<net::PcapReader>(data, "pcap");
+}
+
+void fuzz_pcapng(std::span<const std::uint8_t> data) {
+  drain_capture_reader<net::PcapngReader>(data, "pcapng");
+}
+
+constexpr FuzzTarget kTargets[] = {
+    {"net_headers", fuzz_net_headers,
+     "net::decode_ipv4 + checksum verification + ICMP quote parsing"},
+    {"pcap", fuzz_pcap, "net::PcapReader over an in-memory capture"},
+    {"pcapng", fuzz_pcapng, "net::PcapngReader over an in-memory capture"},
+    {"quic_dissect", fuzz_quic_dissect,
+     "quic::dissect_udp_payload, shallow and deep (Initial decryption)"},
+    {"quic_header", fuzz_quic_header,
+     "quic::parse_long_header over coalesced packets"},
+    {"quic_transport_params", fuzz_quic_transport_params,
+     "quic::parse_transport_parameters + round-trip stability"},
+    {"quic_varint", fuzz_quic_varint,
+     "quic::read_varint stream decode + round-trip"},
+};
+
+}  // namespace
+
+std::span<const FuzzTarget> all_targets() { return kTargets; }
+
+const FuzzTarget* find_target(std::string_view name) {
+  for (const auto& target : kTargets) {
+    if (target.name == name) return &target;
+  }
+  return nullptr;
+}
+
+void run_target(std::string_view name, std::span<const std::uint8_t> data) {
+  const auto* target = find_target(name);
+  if (target == nullptr) {
+    throw std::invalid_argument("unknown fuzz target: " + std::string(name));
+  }
+  target->fn(data);
+}
+
+}  // namespace quicsand::fuzz

@@ -1,0 +1,32 @@
+// Fuzz targets: one entry point per byte-level parser in the analysis
+// path. Each target feeds the input through the parser exactly as the
+// classification pipeline would, then asserts structural invariants on
+// the result (sizes within bounds, round-trips stable). A violated
+// invariant or an unexpected exception aborts the process — that is the
+// fuzzer's crash signal, under asan/ubsan or not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace quicsand::fuzz {
+
+using FuzzTargetFn = void (*)(std::span<const std::uint8_t>);
+
+struct FuzzTarget {
+  std::string_view name;
+  FuzzTargetFn fn;
+  std::string_view description;
+};
+
+/// All registered targets, name-sorted.
+std::span<const FuzzTarget> all_targets();
+
+/// Find a target by name; nullptr when unknown.
+const FuzzTarget* find_target(std::string_view name);
+
+/// Invoke a target by name; throws std::invalid_argument when unknown.
+void run_target(std::string_view name, std::span<const std::uint8_t> data);
+
+}  // namespace quicsand::fuzz

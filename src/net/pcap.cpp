@@ -74,12 +74,18 @@ void PcapWriter::write(const RawPacket& packet) {
 }
 
 PcapReader::PcapReader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+    : file_(path, std::ios::binary), in_(&file_) {
+  if (!file_) throw std::runtime_error("PcapReader: cannot open " + path);
+  read_global_header();
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(&in) { read_global_header(); }
+
+void PcapReader::read_global_header() {
   std::array<std::uint8_t, 24> header{};
-  in_.read(reinterpret_cast<char*>(header.data()),
-           static_cast<std::streamsize>(header.size()));
-  if (in_.gcount() != 24) throw std::runtime_error("PcapReader: short header");
+  in_->read(reinterpret_cast<char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  if (in_->gcount() != 24) throw std::runtime_error("PcapReader: short header");
   std::uint32_t magic = get_u32le(&header[0]);
   if (magic == bswap32(kPcapMagicMicros)) {
     swapped_ = true;
@@ -117,10 +123,10 @@ void PcapReader::set_metrics(obs::MetricsRegistry* metrics) {
 
 std::optional<RawPacket> PcapReader::next() {
   std::array<std::uint8_t, 16> rec{};
-  in_.read(reinterpret_cast<char*>(rec.data()),
+  in_->read(reinterpret_cast<char*>(rec.data()),
            static_cast<std::streamsize>(rec.size()));
-  if (in_.gcount() == 0) return std::nullopt;
-  if (in_.gcount() != 16) {
+  if (in_->gcount() == 0) return std::nullopt;
+  if (in_->gcount() != 16) {
     if (truncated_counter_ != nullptr) truncated_counter_->add();
     throw std::runtime_error("PcapReader: truncated record header");
   }
@@ -138,9 +144,9 @@ std::optional<RawPacket> PcapReader::next() {
       static_cast<util::Timestamp>(secs) * util::kSecond +
       static_cast<util::Timestamp>(nanos_ ? frac / 1000 : frac);
   packet.data.resize(caplen);
-  in_.read(reinterpret_cast<char*>(packet.data.data()),
+  in_->read(reinterpret_cast<char*>(packet.data.data()),
            static_cast<std::streamsize>(caplen));
-  if (in_.gcount() != static_cast<std::streamsize>(caplen)) {
+  if (in_->gcount() != static_cast<std::streamsize>(caplen)) {
     if (truncated_counter_ != nullptr) truncated_counter_->add();
     throw std::runtime_error("PcapReader: truncated record body");
   }

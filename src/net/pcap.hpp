@@ -46,6 +46,11 @@ class PcapReader {
   /// Throws std::runtime_error on open failure or bad magic.
   explicit PcapReader(const std::string& path);
 
+  /// Reads from a caller-owned stream (in-memory captures, sockets,
+  /// fuzz drivers). The stream must outlive the reader. Throws
+  /// std::runtime_error on bad magic, like the file constructor.
+  explicit PcapReader(std::istream& in);
+
   /// Read the next record as a raw IPv4 datagram (Ethernet stripped when
   /// the capture is LINKTYPE_ETHERNET). Returns nullopt at end of file.
   /// Throws std::runtime_error on a truncated record.
@@ -62,7 +67,10 @@ class PcapReader {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  std::ifstream in_;
+  void read_global_header();
+
+  std::ifstream file_;
+  std::istream* in_ = nullptr;  ///< &file_ or the caller's stream
   std::uint32_t linktype_ = kLinktypeRaw;
   bool nanos_ = false;
   bool swapped_ = false;

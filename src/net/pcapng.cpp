@@ -1,6 +1,7 @@
 #include "net/pcapng.hpp"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -14,8 +15,16 @@ constexpr std::size_t kMaxBlockSize = 16u << 20;
 }  // namespace
 
 PcapngReader::PcapngReader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("PcapngReader: cannot open " + path);
+    : file_(path, std::ios::binary), in_(&file_) {
+  if (!file_) throw std::runtime_error("PcapngReader: cannot open " + path);
+  read_first_section_header();
+}
+
+PcapngReader::PcapngReader(std::istream& in) : in_(&in) {
+  read_first_section_header();
+}
+
+void PcapngReader::read_first_section_header() {
   std::uint32_t type = 0;
   std::vector<std::uint8_t> body;
   if (!read_block(type, body) || type != kPcapngSectionHeader) {
@@ -42,9 +51,9 @@ std::uint32_t PcapngReader::get_u32(const std::uint8_t* p) const {
 bool PcapngReader::read_block(std::uint32_t& type,
                               std::vector<std::uint8_t>& body) {
   std::uint8_t header[8];
-  in_.read(reinterpret_cast<char*>(header), 8);
-  if (in_.gcount() == 0) return false;
-  if (in_.gcount() != 8) {
+  in_->read(reinterpret_cast<char*>(header), 8);
+  if (in_->gcount() == 0) return false;
+  if (in_->gcount() != 8) {
     throw std::runtime_error("PcapngReader: truncated block header");
   }
   // The SHB's own length field must be read with the right endianness,
@@ -54,8 +63,8 @@ bool PcapngReader::read_block(std::uint32_t& type,
   if (raw_type == kPcapngSectionHeader) {
     // Read the magic to fix endianness, then re-interpret the length.
     std::uint8_t magic[4];
-    in_.read(reinterpret_cast<char*>(magic), 4);
-    if (in_.gcount() != 4) {
+    in_->read(reinterpret_cast<char*>(magic), 4);
+    if (in_->gcount() != 4) {
       throw std::runtime_error("PcapngReader: truncated section header");
     }
     if (get_u32(magic) == kPcapngByteOrderMagic) {
@@ -73,14 +82,14 @@ bool PcapngReader::read_block(std::uint32_t& type,
     }
     body.resize(total_length - 12);
     std::memcpy(body.data(), magic, 4);
-    in_.read(reinterpret_cast<char*>(body.data() + 4),
+    in_->read(reinterpret_cast<char*>(body.data() + 4),
              static_cast<std::streamsize>(body.size() - 4));
-    if (in_.gcount() != static_cast<std::streamsize>(body.size() - 4)) {
+    if (in_->gcount() != static_cast<std::streamsize>(body.size() - 4)) {
       throw std::runtime_error("PcapngReader: truncated section header");
     }
     std::uint8_t trailer[4];
-    in_.read(reinterpret_cast<char*>(trailer), 4);
-    if (in_.gcount() != 4 || get_u32(trailer) != total_length) {
+    in_->read(reinterpret_cast<char*>(trailer), 4);
+    if (in_->gcount() != 4 || get_u32(trailer) != total_length) {
       throw std::runtime_error("PcapngReader: bad section header trailer");
     }
     type = raw_type;
@@ -92,11 +101,11 @@ bool PcapngReader::read_block(std::uint32_t& type,
     throw std::runtime_error("PcapngReader: bad block length");
   }
   body.resize(total_length - 12);
-  in_.read(reinterpret_cast<char*>(body.data()),
+  in_->read(reinterpret_cast<char*>(body.data()),
            static_cast<std::streamsize>(body.size()));
   std::uint8_t trailer[4];
-  in_.read(reinterpret_cast<char*>(trailer), 4);
-  if (in_.gcount() != 4) {
+  in_->read(reinterpret_cast<char*>(trailer), 4);
+  if (in_->gcount() != 4) {
     throw std::runtime_error("PcapngReader: truncated block");
   }
   if (get_u32(trailer) != total_length) {
@@ -131,11 +140,18 @@ void PcapngReader::parse_interface_description(
     if (offset + length > body.size()) break;
     if (code == 9 && length >= 1) {
       const std::uint8_t tsresol = body[offset];
+      const int exponent = tsresol & 0x7f;
+      // Resolutions that overflow uint64 ticks-per-second (2^64, 10^20,
+      // ...) cannot describe a real capture; reject instead of shifting
+      // by >= 64 or wrapping the multiply.
+      if ((tsresol & 0x80) ? exponent > 63 : exponent > 19) {
+        throw std::runtime_error("PcapngReader: unsupported if_tsresol");
+      }
       if (tsresol & 0x80) {
-        iface.ticks_per_second = std::uint64_t{1} << (tsresol & 0x7f);
+        iface.ticks_per_second = std::uint64_t{1} << exponent;
       } else {
         iface.ticks_per_second = 1;
-        for (int i = 0; i < (tsresol & 0x7f); ++i) {
+        for (int i = 0; i < exponent; ++i) {
           iface.ticks_per_second *= 10;
         }
       }
@@ -158,16 +174,24 @@ std::optional<RawPacket> PcapngReader::parse_enhanced_packet(
   if (interface_id >= interfaces_.size()) {
     throw std::runtime_error("PcapngReader: packet for unknown interface");
   }
-  if (20 + caplen > body.size()) {
+  // 64-bit sum: `20 + caplen` wraps in uint32 when caplen is near
+  // UINT32_MAX and would pass the bound check.
+  if (std::uint64_t{20} + caplen > body.size()) {
     throw std::runtime_error("PcapngReader: packet data truncated");
   }
   const auto& iface = interfaces_[interface_id];
 
   RawPacket packet;
-  // Convert interface ticks to microseconds.
-  packet.timestamp = static_cast<util::Timestamp>(
-      static_cast<double>(ts) * 1e6 /
-      static_cast<double>(iface.ticks_per_second));
+  // Convert interface ticks to microseconds in 128-bit integer math: the
+  // old double path hit UB casting out-of-range values (a fabricated ts
+  // near 2^64 at 1-tick/s resolution overflows int64 microseconds).
+  const auto micros = static_cast<unsigned __int128>(ts) * 1'000'000 /
+                      iface.ticks_per_second;
+  if (micros > static_cast<std::uint64_t>(
+                   std::numeric_limits<util::Timestamp>::max())) {
+    throw std::runtime_error("PcapngReader: timestamp out of range");
+  }
+  packet.timestamp = static_cast<util::Timestamp>(micros);
   packet.data.assign(body.begin() + 20, body.begin() + 20 + caplen);
   if (iface.linktype == kLinktypeEthernet) {
     if (packet.data.size() < 14) {

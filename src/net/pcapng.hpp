@@ -34,6 +34,11 @@ class PcapngReader {
   /// Throws std::runtime_error on open failure or bad magic.
   explicit PcapngReader(const std::string& path);
 
+  /// Reads from a caller-owned stream (in-memory captures, fuzz
+  /// drivers). The stream must outlive the reader. Throws
+  /// std::runtime_error when no Section Header Block is found.
+  explicit PcapngReader(std::istream& in);
+
   /// Next packet as a raw IPv4 datagram (Ethernet stripped for
   /// LINKTYPE_ETHERNET interfaces). Non-packet blocks are skipped.
   /// Returns nullopt at end of file; throws on truncated blocks.
@@ -67,7 +72,10 @@ class PcapngReader {
   [[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) const;
   [[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) const;
 
-  std::ifstream in_;
+  void read_first_section_header();
+
+  std::ifstream file_;
+  std::istream* in_ = nullptr;  ///< &file_ or the caller's stream
   bool big_endian_ = false;
   std::vector<Interface> interfaces_;
   obs::Counter* packets_counter_ = nullptr;

@@ -27,7 +27,9 @@ class ConnectionId {
       throw std::invalid_argument("ConnectionId: longer than 20 bytes");
     }
     length_ = static_cast<std::uint8_t>(bytes.size());
-    std::memcpy(data_.data(), bytes.data(), bytes.size());
+    // Zero-length CIDs are valid and may carry bytes.data() == nullptr,
+    // which memcpy forbids even for size 0.
+    if (length_ > 0) std::memcpy(data_.data(), bytes.data(), bytes.size());
   }
 
   [[nodiscard]] std::size_t size() const { return length_; }

@@ -1,0 +1,48 @@
+#include "telescope/scoring.hpp"
+
+namespace quicsand::telescope {
+
+namespace {
+
+bool matches(const core::DetectedAttack& detected,
+             const PlannedAttack& planned, util::Duration slack) {
+  if (detected.victim != planned.victim) return false;
+  const auto planned_start = planned.start - slack;
+  const auto planned_end = planned.start + planned.duration + slack;
+  return detected.start <= planned_end && detected.end >= planned_start;
+}
+
+}  // namespace
+
+MatchStats score_detections(std::span<const core::DetectedAttack> detected,
+                            std::span<const PlannedAttack* const> planned,
+                            util::Duration slack) {
+  MatchStats stats;
+  stats.detected = detected.size();
+  stats.planned = planned.size();
+  for (const auto& attack : detected) {
+    for (const auto* plan : planned) {
+      if (matches(attack, *plan, slack)) {
+        ++stats.matched_detected;
+        break;
+      }
+    }
+  }
+  for (const auto* plan : planned) {
+    for (const auto& attack : detected) {
+      if (matches(attack, *plan, slack)) {
+        ++stats.matched_planned;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+bool comfortably_detectable(const PlannedAttack& attack,
+                            const core::DosThresholds& thresholds) {
+  return attack.peak_pps > 2.0 * thresholds.min_peak_pps &&
+         util::to_seconds(attack.duration) > 3.0 * thresholds.min_duration_s;
+}
+
+}  // namespace quicsand::telescope

@@ -1,0 +1,51 @@
+// Ground-truth scoring of the DoS detector.
+//
+// The synthetic telescope knows every attack it injected, so unlike the
+// paper we can score the pipeline's detections directly: a detected
+// attack matches a planned one when the victims are equal and the time
+// ranges overlap (with slack for sessionization rounding at the edges).
+// The integration and differential-oracle tests assert floors on the
+// resulting precision/recall.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/dos.hpp"
+#include "telescope/ground_truth.hpp"
+
+namespace quicsand::telescope {
+
+struct MatchStats {
+  std::uint64_t detected = 0;         ///< detections scored
+  std::uint64_t matched_detected = 0; ///< detections matching a planned attack
+  std::uint64_t planned = 0;          ///< planned attacks scored
+  std::uint64_t matched_planned = 0;  ///< planned attacks found at least once
+
+  [[nodiscard]] double precision() const {
+    return detected == 0 ? 1.0
+                         : static_cast<double>(matched_detected) /
+                               static_cast<double>(detected);
+  }
+  [[nodiscard]] double recall() const {
+    return planned == 0 ? 1.0
+                        : static_cast<double>(matched_planned) /
+                              static_cast<double>(planned);
+  }
+};
+
+/// Score `detected` against `planned` (as returned by
+/// GroundTruth::quic_attacks()). `slack` extends every planned window on
+/// both ends before testing for overlap.
+MatchStats score_detections(std::span<const core::DetectedAttack> detected,
+                            std::span<const PlannedAttack* const> planned,
+                            util::Duration slack = util::kMinute);
+
+/// True when the planned attack sits comfortably above the detection
+/// thresholds (3x the duration floor, double the rate floor): recall
+/// floors apply to these, since borderline floods legitimately fall
+/// below Moore et al.'s cutoffs.
+[[nodiscard]] bool comfortably_detectable(const PlannedAttack& attack,
+                                          const core::DosThresholds& thresholds);
+
+}  // namespace quicsand::telescope

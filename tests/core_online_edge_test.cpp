@@ -1,0 +1,209 @@
+// OnlineDetector edge cases: eviction-strategy equivalence, finish()
+// idempotence, and timestamp-tie / timeout-boundary behavior. These pin
+// the semantics the differential oracle relies on (strict `gap >
+// timeout` splits, alert at the exact threshold-crossing record).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/online.hpp"
+
+namespace quicsand::core {
+namespace {
+
+constexpr util::Timestamp kT0 = util::kApril2021Start;
+constexpr util::Duration kTimeout = 5 * util::kMinute;
+
+PacketRecord response_record(util::Timestamp t, std::uint32_t src) {
+  PacketRecord record;
+  record.timestamp = t;
+  record.src = net::Ipv4Address(src);
+  record.dst = net::Ipv4Address(0x2c000001);
+  record.src_port = 443;
+  record.dst_port = 40000;
+  record.wire_size = 1200;
+  record.cls = TrafficClass::kQuicResponse;
+  record.quic_version = 1;
+  return record;
+}
+
+struct Capture {
+  std::vector<DetectedAttack> alerts;
+  std::vector<DetectedAttack> attacks;
+
+  void attach(OnlineDetector& detector) {
+    detector.set_on_alert(
+        [this](const DetectedAttack& a) { alerts.push_back(a); });
+    detector.set_on_attack(
+        [this](const DetectedAttack& a) { attacks.push_back(a); });
+  }
+};
+
+/// A stream with attack bursts from rotating sources and long quiet
+/// gaps, so both lazy (per-record) and sweep-driven eviction paths run.
+std::vector<PacketRecord> churn_stream() {
+  std::vector<PacketRecord> records;
+  for (int burst = 0; burst < 6; ++burst) {
+    const auto base = kT0 + burst * util::kHour;
+    const auto src = 0xaa000000 + static_cast<std::uint32_t>(burst % 3);
+    for (int i = 0; i < 200; ++i) {
+      records.push_back(response_record(base + i * util::kSecond, src));
+    }
+    // Sub-threshold chatter from a second source inside each burst.
+    for (int i = 0; i < 10; ++i) {
+      records.push_back(
+          response_record(base + (200 + i) * util::kSecond, 0xbb000000));
+    }
+  }
+  return records;
+}
+
+TEST(OnlineEdge, LazyEvictionMatchesPeriodicSweep) {
+  // Eviction timing (every record vs almost never) must not change what
+  // is detected, only when sessions leave the table.
+  OnlineDetectorConfig eager;
+  eager.sweep_interval = util::kSecond;
+  OnlineDetectorConfig lazy;
+  lazy.sweep_interval = 365 * util::kDay;
+
+  OnlineDetector a(eager), b(lazy);
+  Capture ca, cb;
+  ca.attach(a);
+  cb.attach(b);
+  for (const auto& record : churn_stream()) {
+    a.consume(record);
+    b.consume(record);
+  }
+  a.finish();
+  b.finish();
+
+  // Alerts fire in record order (identical); attacks close in eviction
+  // order, which legitimately differs between the strategies.
+  const auto sorted = [](std::vector<DetectedAttack> attacks) {
+    std::sort(attacks.begin(), attacks.end(),
+              [](const DetectedAttack& x, const DetectedAttack& y) {
+                return std::tie(x.start, x.victim) <
+                       std::tie(y.start, y.victim);
+              });
+    return attacks;
+  };
+  EXPECT_EQ(sorted(ca.attacks), sorted(cb.attacks));
+  EXPECT_EQ(ca.alerts, cb.alerts);
+  EXPECT_EQ(a.alerts_fired(), b.alerts_fired());
+  EXPECT_EQ(a.attacks_closed(), b.attacks_closed());
+  EXPECT_EQ(a.sessions_evicted(), b.sessions_evicted());
+  EXPECT_DOUBLE_EQ(a.mean_alert_latency_s(), b.mean_alert_latency_s());
+}
+
+TEST(OnlineEdge, FinishIsIdempotent) {
+  OnlineDetector detector({});
+  Capture capture;
+  capture.attach(detector);
+  for (int i = 0; i < 200; ++i) {
+    detector.consume(response_record(kT0 + i * util::kSecond, 0xcc000001));
+  }
+  detector.finish();
+  const auto attacks_after_first = capture.attacks;
+  const auto evicted_after_first = detector.sessions_evicted();
+  EXPECT_EQ(attacks_after_first.size(), 1u);
+  EXPECT_EQ(detector.open_sessions(), 0u);
+
+  detector.finish();  // second finish: no sessions left, no new events
+  EXPECT_EQ(capture.attacks, attacks_after_first);
+  EXPECT_EQ(detector.sessions_evicted(), evicted_after_first);
+  EXPECT_EQ(detector.attacks_closed(), 1u);
+}
+
+TEST(OnlineEdge, GapEqualToTimeoutStaysInSession) {
+  // Session splitting is strict (`gap > timeout`): a record arriving
+  // exactly `timeout` after the previous one continues the session; one
+  // microsecond later starts a new one.
+  for (const util::Duration extra : {util::Duration{0}, util::Duration{1}}) {
+    OnlineDetectorConfig config;
+    config.session_timeout = kTimeout;
+    OnlineDetector detector(config);
+    Capture capture;
+    capture.attach(detector);
+
+    // 100 packets over 99 s (above every threshold), then the gap.
+    for (int i = 0; i < 100; ++i) {
+      detector.consume(response_record(kT0 + i * util::kSecond, 0xdd000001));
+    }
+    const auto last = kT0 + 99 * util::kSecond;
+    detector.consume(response_record(last + kTimeout + extra, 0xdd000001));
+    detector.finish();
+
+    ASSERT_EQ(capture.attacks.size(), 1u) << "extra " << extra;
+    if (extra == 0) {
+      // Same session: the boundary record extends the attack.
+      EXPECT_EQ(capture.attacks[0].end, last + kTimeout);
+      EXPECT_EQ(capture.attacks[0].packets, 101u);
+      EXPECT_EQ(detector.sessions_evicted(), 1u);
+    } else {
+      // Split: the attack ends at the last pre-gap record; the stray
+      // packet forms a separate below-threshold session.
+      EXPECT_EQ(capture.attacks[0].end, last);
+      EXPECT_EQ(capture.attacks[0].packets, 100u);
+      EXPECT_EQ(detector.sessions_evicted(), 2u);
+    }
+  }
+}
+
+TEST(OnlineEdge, EqualTimestampRunsDoNotAlertUntilDurationExceeded) {
+  // A burst of records sharing one timestamp has zero duration no matter
+  // its size: the alert must wait for the duration threshold, then fire
+  // at the exact record that crosses it.
+  OnlineDetector detector({});
+  Capture capture;
+  capture.attach(detector);
+
+  for (int i = 0; i < 100; ++i) {
+    detector.consume(response_record(kT0, 0xee000001));
+  }
+  EXPECT_EQ(detector.alerts_fired(), 0u);
+
+  // Still at 60 s sharp: duration not strictly exceeded.
+  detector.consume(response_record(kT0 + 60 * util::kSecond, 0xee000001));
+  EXPECT_EQ(detector.alerts_fired(), 0u);
+
+  detector.consume(
+      response_record(kT0 + 60 * util::kSecond + 1, 0xee000001));
+  ASSERT_EQ(capture.alerts.size(), 1u);
+  EXPECT_EQ(capture.alerts[0].end, kT0 + 60 * util::kSecond + 1);
+  EXPECT_EQ(capture.alerts[0].packets, 102u);
+
+  detector.finish();
+  ASSERT_EQ(capture.attacks.size(), 1u);
+  EXPECT_EQ(capture.attacks[0].packets, 102u);
+}
+
+TEST(OnlineEdge, SweepAtExactTimeoutBoundaryKeepsSession) {
+  // sweep() evicts on `now - end > timeout`, mirroring the split rule: a
+  // session whose last record is exactly `timeout` old survives a sweep
+  // triggered by other traffic and can still be extended.
+  OnlineDetectorConfig config;
+  config.session_timeout = kTimeout;
+  config.sweep_interval = util::kSecond;
+  OnlineDetector detector(config);
+  Capture capture;
+  capture.attach(detector);
+
+  for (int i = 0; i < 100; ++i) {
+    detector.consume(response_record(kT0 + i * util::kSecond, 0xaa000001));
+  }
+  const auto last = kT0 + 99 * util::kSecond;
+  // Unrelated source triggers a sweep exactly at the boundary.
+  detector.consume(response_record(last + kTimeout, 0xbb000002));
+  EXPECT_EQ(detector.open_sessions(), 2u);
+  // The original session is still extendable at the boundary.
+  detector.consume(response_record(last + kTimeout, 0xaa000001));
+  detector.finish();
+  ASSERT_EQ(capture.attacks.size(), 1u);
+  EXPECT_EQ(capture.attacks[0].packets, 101u);
+  EXPECT_EQ(capture.attacks[0].end, last + kTimeout);
+}
+
+}  // namespace
+}  // namespace quicsand::core

@@ -1,0 +1,32 @@
+// Entry-point boilerplate shared by every fuzz binary.
+//
+// QUICSAND_FUZZ_ENTRY("name") expands to both interfaces a target needs:
+//  * LLVMFuzzerTestOneInput — link with clang -fsanitize=fuzzer
+//    (-DQUICSAND_LIBFUZZER=ON) for coverage-guided exploration;
+//  * main() via fuzz::driver_main — the deterministic CI driver
+//    (omitted under QUICSAND_LIBFUZZER, which supplies its own main).
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/driver.hpp"
+#include "fuzz/targets.hpp"
+
+#ifdef QUICSAND_LIBFUZZER
+#define QUICSAND_FUZZ_ENTRY(target)                                         \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,           \
+                                        std::size_t size) {                 \
+    quicsand::fuzz::run_target(target, {data, size});                       \
+    return 0;                                                               \
+  }
+#else
+#define QUICSAND_FUZZ_ENTRY(target)                                         \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,           \
+                                        std::size_t size) {                 \
+    quicsand::fuzz::run_target(target, {data, size});                       \
+    return 0;                                                               \
+  }                                                                         \
+  int main(int argc, char** argv) {                                         \
+    return quicsand::fuzz::driver_main(target, argc, argv);                 \
+  }
+#endif

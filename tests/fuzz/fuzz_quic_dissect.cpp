@@ -1,0 +1,3 @@
+#include "fuzz_entry.hpp"
+
+QUICSAND_FUZZ_ENTRY("quic_dissect")

@@ -1,0 +1,117 @@
+#include "fuzz/mutator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::fuzz {
+namespace {
+
+std::vector<std::uint8_t> sample_input() {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  return data;
+}
+
+TEST(Mutator, PrimitiveNamesAreDistinctAndIndexAligned) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < Mutator::primitive_count(); ++i) {
+    const auto name = mutation_name(i);
+    EXPECT_FALSE(name.empty()) << "primitive " << i;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), Mutator::primitive_count());
+}
+
+TEST(Mutator, SameSeedSameMutation) {
+  for (std::uint64_t seed : {1u, 2u, 99u}) {
+    Mutator a{util::Rng(seed)};
+    Mutator b{util::Rng(seed)};
+    auto da = sample_input();
+    auto db = sample_input();
+    for (int round = 0; round < 50; ++round) {
+      a.mutate(da);
+      b.mutate(db);
+      ASSERT_EQ(da, db) << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+TEST(Mutator, EveryPrimitiveRespectsMaxSize) {
+  constexpr std::size_t kMax = 128;
+  for (std::size_t p = 0; p < Mutator::primitive_count(); ++p) {
+    Mutator mutator{util::Rng(7 + p), {.max_size = kMax}};
+    auto data = sample_input();
+    for (int round = 0; round < 200; ++round) {
+      mutator.apply(p, data);
+      ASSERT_LE(data.size(), kMax) << mutation_name(p);
+    }
+  }
+}
+
+TEST(Mutator, PrimitivesHandleEmptyInput) {
+  for (std::size_t p = 0; p < Mutator::primitive_count(); ++p) {
+    Mutator mutator{util::Rng(13)};
+    std::vector<std::uint8_t> data;
+    mutator.apply(p, data);  // must not crash
+  }
+  Mutator mutator{util::Rng(13)};
+  std::vector<std::uint8_t> data;
+  for (int round = 0; round < 100; ++round) mutator.mutate(data);
+}
+
+TEST(Mutator, MutateChangesInputEventually) {
+  Mutator mutator{util::Rng(3)};
+  const auto original = sample_input();
+  auto data = original;
+  int changed = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto copy = original;
+    mutator.mutate(copy);
+    if (copy != original) ++changed;
+  }
+  EXPECT_GE(changed, 15);
+}
+
+TEST(Corpus, HexRoundTrip) {
+  const auto data = sample_input();
+  const std::string dir = ::testing::TempDir() + "mutator_corpus";
+  std::filesystem::create_directories(dir);
+  write_hex_corpus_file(dir + "/seed-000.hex", "round trip", data);
+  const auto loaded = load_corpus_dir(dir);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "seed-000.hex");
+  EXPECT_EQ(loaded[0].data, data);
+}
+
+TEST(Corpus, ParseHexSkipsCommentsAndWhitespace) {
+  const auto bytes = parse_hex_corpus("# crasher from fuzz_pcapng\n00 01\nff\n");
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0x00, 0x01, 0xff}));
+}
+
+TEST(Corpus, MissingDirectoryYieldsEmptyCorpus) {
+  EXPECT_TRUE(load_corpus_dir("/nonexistent/fuzz/corpus").empty());
+}
+
+TEST(Corpus, LoadIsNameSorted) {
+  const std::string dir = ::testing::TempDir() + "mutator_corpus_sorted";
+  std::filesystem::create_directories(dir);
+  write_hex_corpus_file(dir + "/b.hex", "second", std::vector<std::uint8_t>{2});
+  write_hex_corpus_file(dir + "/a.hex", "first", std::vector<std::uint8_t>{1});
+  const auto loaded = load_corpus_dir(dir);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "a.hex");
+  EXPECT_EQ(loaded[1].name, "b.hex");
+}
+
+}  // namespace
+}  // namespace quicsand::fuzz

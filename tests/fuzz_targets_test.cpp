@@ -1,0 +1,100 @@
+// Tier-1 smoke for the fuzz targets: every builtin seed parses clean,
+// and a short deterministic mutation run per target stays clean. The
+// full 10k-iteration runs live under the `fuzz` ctest label and the
+// asan/ubsan presets; this test keeps the machinery itself gated.
+#include "fuzz/targets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "quic/connection_id.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::fuzz {
+namespace {
+
+TEST(FuzzTargets, RegistryIsSortedAndUnique) {
+  const auto targets = all_targets();
+  ASSERT_FALSE(targets.empty());
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_FALSE(targets[i].name.empty());
+    EXPECT_FALSE(targets[i].description.empty());
+    EXPECT_NE(targets[i].fn, nullptr);
+    names.insert(targets[i].name);
+    if (i > 0) {
+      EXPECT_LT(targets[i - 1].name, targets[i].name);
+    }
+  }
+  EXPECT_EQ(names.size(), targets.size());
+}
+
+TEST(FuzzTargets, FindAndRunByName) {
+  for (const auto& target : all_targets()) {
+    EXPECT_EQ(find_target(target.name), &target);
+  }
+  EXPECT_EQ(find_target("no_such_target"), nullptr);
+  EXPECT_THROW(run_target("no_such_target", {}), std::invalid_argument);
+}
+
+TEST(FuzzTargets, EveryTargetHasBuiltinSeeds) {
+  for (const auto& target : all_targets()) {
+    EXPECT_FALSE(builtin_seeds(target.name).empty()) << target.name;
+  }
+  EXPECT_TRUE(builtin_seeds("no_such_target").empty());
+}
+
+TEST(FuzzTargets, BuiltinSeedsParseClean) {
+  for (const auto& target : all_targets()) {
+    for (const auto& seed : builtin_seeds(target.name)) {
+      SCOPED_TRACE(std::string(target.name) + " " + seed.name);
+      target.fn(seed.data);
+    }
+  }
+}
+
+TEST(FuzzTargets, TargetsSurviveDegenerateInputs) {
+  const std::vector<std::uint8_t> zeros(2048, 0x00);
+  const std::vector<std::uint8_t> ones(2048, 0xff);
+  for (const auto& target : all_targets()) {
+    SCOPED_TRACE(target.name);
+    target.fn({});
+    target.fn(std::span<const std::uint8_t>(zeros).first(1));
+    target.fn(zeros);
+    target.fn(ones);
+  }
+}
+
+// Found by fuzz_quic_transport_params under -fsanitize=undefined: a
+// zero-length connection ID parsed from an empty span passed nullptr to
+// memcpy (UB even for size 0).
+TEST(FuzzRegressions, ZeroLengthConnectionIdFromNullSpan) {
+  const quic::ConnectionId id{std::span<const std::uint8_t>{}};
+  EXPECT_TRUE(id.empty());
+  EXPECT_EQ(id, quic::ConnectionId{});
+}
+
+TEST(FuzzTargets, ShortDeterministicMutationRunStaysClean) {
+  constexpr std::uint64_t kIterations = 300;
+  for (const auto& target : all_targets()) {
+    SCOPED_TRACE(target.name);
+    const auto corpus = builtin_seeds(target.name);
+    ASSERT_FALSE(corpus.empty());
+    for (std::uint64_t i = 0; i < kIterations; ++i) {
+      // Mirrors driver_main: a fresh (rng, input) pair per iteration.
+      util::Rng rng(util::mix64(1, i));
+      Mutator mutator(rng.fork(1), {.max_size = 4096, .max_stacked = 5});
+      auto data = corpus[rng.uniform(corpus.size())].data;
+      mutator.mutate(data);
+      target.fn(data);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quicsand::fuzz

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "net/headers.hpp"
 
@@ -223,6 +225,75 @@ TEST_F(PcapngTest, RejectsPacketForUnknownInterface) {
   writer.section_header();
   // No interface description at all.
   writer.enhanced_packet(3, 0, sample_ip_packet(1));
+  writer.save(path_);
+  PcapngReader reader(path_);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapngTest, ReadsFromCallerOwnedStream) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw);
+  const auto packet = sample_ip_packet(1234);
+  writer.enhanced_packet(0, 42, packet);
+  writer.save(path_);
+  std::ifstream file(path_, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::istringstream in(buffer.str());
+  PcapngReader reader(in);
+  auto read = reader.next();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->data, packet);
+}
+
+// The next three are fuzzer-found regressions (see tests/corpus/pcapng).
+
+TEST_F(PcapngTest, RejectsCaplenOverflowingBoundsCheck) {
+  // An EPB claiming caplen 0xffffffff used to wrap the 32-bit
+  // `20 + caplen` bounds check and read out of bounds.
+  TestPcapngWriter writer;
+  writer.section_header();
+  writer.interface_description(kLinktypeRaw);
+  writer.enhanced_packet(0, 0, sample_ip_packet(1));
+  writer.save(path_);
+  std::ifstream file(path_, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string bytes = buffer.str();
+  // Locate the last block (the EPB) via its trailing total-length copy,
+  // then patch its caplen field: block header (8) + id (4) + ts (8).
+  std::uint32_t total = 0;
+  std::memcpy(&total, bytes.data() + bytes.size() - 4, 4);
+  ASSERT_LT(total, bytes.size());
+  const std::size_t caplen_offset = bytes.size() - total + 8 + 4 + 8;
+  for (int i = 0; i < 4; ++i) bytes[caplen_offset + i] = '\xff';
+  std::istringstream in(bytes);
+  PcapngReader reader(in);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapngTest, RejectsOverflowingTimestampResolution) {
+  for (const std::uint8_t tsresol : {std::uint8_t{20},    // 10^20
+                                     std::uint8_t{0xc0},  // 2^64
+                                     std::uint8_t{0xff}}) {
+    TestPcapngWriter writer;
+    writer.section_header();
+    writer.interface_description(kLinktypeRaw, tsresol);
+    writer.enhanced_packet(0, 1, sample_ip_packet(1));
+    writer.save(path_);
+    PcapngReader reader(path_);
+    EXPECT_THROW((void)reader.next(), std::runtime_error)
+        << "tsresol " << int(tsresol);
+  }
+}
+
+TEST_F(PcapngTest, RejectsTimestampBeyondMicrosecondRange) {
+  TestPcapngWriter writer;
+  writer.section_header();
+  // 1 tick per second: ~2^64 ticks exceeds int64 microseconds.
+  writer.interface_description(kLinktypeRaw, std::uint8_t{0x80});
+  writer.enhanced_packet(0, 0xffffffffffffffffULL, sample_ip_packet(1));
   writer.save(path_);
   PcapngReader reader(path_);
   EXPECT_THROW((void)reader.next(), std::runtime_error);

@@ -1,0 +1,121 @@
+// Unit tests for the ground-truth scoring helpers (precision/recall
+// matching rules); scenario-level floors live in
+// diff_online_offline_test.cpp.
+#include "telescope/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace quicsand::telescope {
+namespace {
+
+constexpr util::Timestamp kT0 = util::kApril2021Start;
+
+PlannedAttack planned(std::uint32_t victim, util::Timestamp start,
+                      util::Duration duration, double peak_pps = 2.0) {
+  PlannedAttack attack;
+  attack.protocol = AttackProtocol::kQuic;
+  attack.victim = net::Ipv4Address(victim);
+  attack.start = start;
+  attack.duration = duration;
+  attack.peak_pps = peak_pps;
+  return attack;
+}
+
+core::DetectedAttack detected(std::uint32_t victim, util::Timestamp start,
+                              util::Timestamp end) {
+  core::DetectedAttack attack;
+  attack.victim = net::Ipv4Address(victim);
+  attack.start = start;
+  attack.end = end;
+  attack.packets = 100;
+  attack.peak_pps = 2.0;
+  return attack;
+}
+
+std::vector<const PlannedAttack*> pointers(
+    const std::vector<PlannedAttack>& attacks) {
+  std::vector<const PlannedAttack*> out;
+  for (const auto& a : attacks) out.push_back(&a);
+  return out;
+}
+
+TEST(Scoring, PerfectMatch) {
+  const std::vector<PlannedAttack> plan = {
+      planned(0x01010101, kT0, 10 * util::kMinute),
+      planned(0x02020202, kT0 + util::kHour, 20 * util::kMinute),
+  };
+  const std::vector<core::DetectedAttack> found = {
+      detected(0x01010101, kT0, kT0 + 10 * util::kMinute),
+      detected(0x02020202, kT0 + util::kHour,
+               kT0 + util::kHour + 20 * util::kMinute),
+  };
+  const auto stats = score_detections(found, pointers(plan));
+  EXPECT_EQ(stats.matched_detected, 2u);
+  EXPECT_EQ(stats.matched_planned, 2u);
+  EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+}
+
+TEST(Scoring, VictimMismatchNeverMatches) {
+  const std::vector<PlannedAttack> plan = {
+      planned(0x01010101, kT0, 10 * util::kMinute)};
+  const std::vector<core::DetectedAttack> found = {
+      detected(0x99999999, kT0, kT0 + 10 * util::kMinute)};
+  const auto stats = score_detections(found, pointers(plan));
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.0);
+}
+
+TEST(Scoring, SlackToleratesSessionizationRounding) {
+  const std::vector<PlannedAttack> plan = {
+      planned(0x01010101, kT0, 10 * util::kMinute)};
+  // Detection starts 30 s after the planned window ends: inside the
+  // default 1-minute slack, outside a zero slack.
+  const std::vector<core::DetectedAttack> found = {detected(
+      0x01010101, kT0 + 10 * util::kMinute + 30 * util::kSecond,
+      kT0 + 20 * util::kMinute)};
+  EXPECT_DOUBLE_EQ(
+      score_detections(found, pointers(plan)).precision(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      score_detections(found, pointers(plan), util::Duration{0}).precision(),
+      0.0);
+}
+
+TEST(Scoring, SplitDetectionsCountOncePerPlan) {
+  // One long planned attack detected as two sessions: recall is full,
+  // precision too (both sessions trace to the plan).
+  const std::vector<PlannedAttack> plan = {
+      planned(0x01010101, kT0, util::kHour)};
+  const std::vector<core::DetectedAttack> found = {
+      detected(0x01010101, kT0, kT0 + 20 * util::kMinute),
+      detected(0x01010101, kT0 + 40 * util::kMinute, kT0 + util::kHour),
+  };
+  const auto stats = score_detections(found, pointers(plan));
+  EXPECT_EQ(stats.matched_detected, 2u);
+  EXPECT_EQ(stats.matched_planned, 1u);
+  EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+}
+
+TEST(Scoring, EmptyInputsScorePerfect) {
+  const auto stats = score_detections({}, {});
+  EXPECT_DOUBLE_EQ(stats.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall(), 1.0);
+}
+
+TEST(Scoring, ComfortablyDetectableRequiresMargin) {
+  const core::DosThresholds thresholds;  // 25 pkts, 60 s, 0.5 pps
+  EXPECT_TRUE(comfortably_detectable(
+      planned(1, kT0, 4 * util::kMinute, /*peak_pps=*/1.5), thresholds));
+  // 1.2x the rate floor: detectable, but not comfortably.
+  EXPECT_FALSE(comfortably_detectable(
+      planned(1, kT0, 4 * util::kMinute, /*peak_pps=*/0.6), thresholds));
+  // Barely past the duration floor.
+  EXPECT_FALSE(comfortably_detectable(
+      planned(1, kT0, 90 * util::kSecond, /*peak_pps=*/1.5), thresholds));
+}
+
+}  // namespace
+}  // namespace quicsand::telescope
