@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include "util/parse.hpp"
+
 namespace quicsand::bench {
 
 namespace {
@@ -14,7 +16,7 @@ namespace {
 std::uint64_t env_u64(const char* name, std::uint64_t default_value) {
   const char* value = std::getenv(name);
   if (value == nullptr) return default_value;
-  return std::strtoull(value, nullptr, 10);
+  return util::parse_u64(value).value_or(default_value);
 }
 
 double seconds_since(std::chrono::steady_clock::time_point start) {

@@ -58,9 +58,7 @@ int run() {
   util::Table table({"hour (UTC)", "research pkts", "other pkts"});
   const std::size_t hours = hourly.research_quic.size();
   for (std::size_t h = 0; h < hours; h += 4) {
-    table.add_row({util::format_utc(config.start +
-                                    static_cast<util::Duration>(h) *
-                                        util::kHour),
+    table.add_row({util::format_utc(config.start + h * util::kHour),
                    util::with_commas(hourly.research_quic[h]),
                    util::with_commas(hourly.other_quic[h])});
   }

@@ -59,9 +59,11 @@ int run() {
 
   // Average session sizes (paper: requests 11 pkts, responses 44 pkts).
   double req_pkts = 0, resp_pkts = 0;
-  for (const auto& s : requests) req_pkts += static_cast<double>(s.packets);
+  for (const auto& s : requests) {
+    req_pkts += static_cast<double>(s.packets.count());
+  }
   for (const auto& s : responses) {
-    resp_pkts += static_cast<double>(s.packets);
+    resp_pkts += static_cast<double>(s.packets.count());
   }
   compare("mean packets per request session", "11",
           util::fmt(req_pkts / std::max<double>(1, requests.size()), 1));

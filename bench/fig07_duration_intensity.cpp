@@ -19,12 +19,12 @@ int run() {
   std::vector<double> quic_durations, quic_rates;
   for (const auto& attack : scenario.analysis.quic_attacks) {
     quic_durations.push_back(util::to_seconds(attack.duration()));
-    quic_rates.push_back(attack.peak_pps);
+    quic_rates.push_back(attack.peak_pps.count());
   }
   std::vector<double> common_durations, common_rates;
   for (const auto& attack : scenario.analysis.common_attacks) {
     common_durations.push_back(util::to_seconds(attack.duration()));
-    common_rates.push_back(attack.peak_pps);
+    common_rates.push_back(attack.peak_pps.count());
   }
   std::cout << "QUIC attacks: " << quic_durations.size()
             << "  TCP/ICMP attacks: " << common_durations.size() << "\n";

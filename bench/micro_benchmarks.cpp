@@ -10,6 +10,7 @@
 
 #include "asdb/registry.hpp"
 #include "bench_common.hpp"
+#include "util/parse.hpp"
 #include "core/classifier.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "core/pipeline.hpp"
@@ -121,7 +122,7 @@ void BM_Classifier(benchmark::State& state) {
   ip.src = net::Ipv4Address::from_octets(142, 250, 0, 1);
   ip.dst = net::Ipv4Address::from_octets(44, 0, 0, 1);
   const net::RawPacket packet{
-      0, net::build_udp(ip, 443, 40000,
+      util::Timestamp{}, net::build_udp(ip, 443, 40000,
                         quic::build_server_initial_handshake(
                             ctx, rng, quic::CryptoFidelity::kFast))};
   core::Classifier classifier({});
@@ -318,7 +319,10 @@ class BenchOutReporter : public benchmark::ConsoleReporter {
       const auto slash = name.find('/');
       std::uint64_t shards = 0;
       if (slash != std::string::npos) {
-        shards = std::strtoull(name.c_str() + slash + 1, nullptr, 10);
+        auto digits = name.substr(slash + 1);
+        const auto tail = digits.find_first_not_of("0123456789");
+        if (tail != std::string::npos) digits = digits.substr(0, tail);
+        shards = util::parse_u64(digits).value_or(0);
       }
       result.threads = shards == 0 ? 1 : static_cast<std::size_t>(shards);
       bench::append_bench_result(std::move(result));

@@ -64,7 +64,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (arg == "--window-start") {
       const char* v = value();
       if (v == nullptr) return false;
-      args.window_start = util::require_i64("--window-start", v) * util::kSecond;
+      args.window_start =
+          util::Timestamp{} +
+          util::require_i64("--window-start", v) * util::kSecond;
     } else if (arg == "--metrics-out") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -194,8 +196,8 @@ int analyze(const Args& args) {
       attacks.add_row({attack.victim.to_string(),
                        util::format_utc(attack.start),
                        util::format_duration(attack.duration()),
-                       std::to_string(attack.packets),
-                       util::fmt(attack.peak_pps, 2)});
+                       std::to_string(attack.packets.count()),
+                       util::fmt(attack.peak_pps.count(), 2)});
       if (++shown == 10) break;
     }
     std::cout << "\nfirst QUIC floods:\n";

@@ -89,23 +89,22 @@ int main(int argc, char** argv) {
     std::cout << util::format_utc(attack.end) << "  ALERT  victim "
               << attack.victim.to_string() << " ("
               << (info != nullptr ? info->name : "?") << ")  "
-              << attack.packets << " pkts in "
+              << attack.packets.count() << " pkts in "
               << util::format_duration(attack.end - attack.start)
-              << ", running at " << util::fmt(attack.peak_pps, 2)
+              << ", running at " << util::fmt(attack.peak_pps.count(), 2)
               << " max pps\n";
   });
   detector.set_on_attack([&](const core::DetectedAttack& attack) {
     std::cout << util::format_utc(attack.end) << "  ended  victim "
               << attack.victim.to_string() << "  total "
-              << attack.packets << " pkts over "
+              << attack.packets.count() << " pkts over "
               << util::format_duration(attack.end - attack.start) << "\n";
   });
 
   auto& packets_counter =
       metrics.counter("monitor.packets", "telescope packets streamed");
-  const util::Duration snapshot_every =
-      static_cast<util::Duration>(snapshot_every_s) * util::kSecond;
-  util::Timestamp next_snapshot = 0;
+  const util::Duration snapshot_every = snapshot_every_s * util::kSecond;
+  util::Timestamp next_snapshot{};
   auto print_snapshot = [&](util::Timestamp now) {
     std::cout << util::format_utc(now) << "  [metrics] packets="
               << packets_counter.value()
@@ -119,7 +118,7 @@ int main(int argc, char** argv) {
   while (auto packet = generator.next()) {
     packets_counter.add();
     if (snapshot_every_s > 0) {
-      if (next_snapshot == 0) {
+      if (next_snapshot == util::Timestamp{}) {
         next_snapshot = packet->timestamp + snapshot_every;
       } else if (packet->timestamp >= next_snapshot) {
         print_snapshot(packet->timestamp);

@@ -8,19 +8,25 @@
 #   4. build the asan and ubsan presets' fuzz drivers and run a bounded
 #      smoke (FUZZ_SMOKE_ITERATIONS per target, default 500) from the
 #      committed corpus — replays every committed crasher, then fuzzes
+#   5. run quicsand_lint over every first-party tree (also the `lint`
+#      ctest label) and, when clang-tidy is installed, tidy the files
+#      changed relative to origin/main (or all of src/ on main itself)
 #
-# Usage: scripts/check.sh [--no-tsan] [--no-fuzz]
+# Usage: scripts/check.sh [--no-tsan] [--no-fuzz] [--no-tidy]
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_fuzz=1
+run_tidy=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-fuzz) run_fuzz=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan] [--no-fuzz]" >&2; exit 2 ;;
+    --no-tidy) run_tidy=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-fuzz] [--no-tidy]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -60,6 +66,30 @@ if [ "$run_fuzz" = 1 ]; then
         --iterations "$smoke_iters" --corpus "tests/corpus/$name"
     done
   done
+fi
+
+echo "==> quicsand_lint"
+build/tools/quicsand_lint src tests bench examples tools
+
+if [ "$run_tidy" = 1 ] && command -v clang-tidy >/dev/null 2>&1; then
+  # Tidy only the .cpp files changed against origin/main (keeps the
+  # stage fast on feature branches); fall back to all of src/ when
+  # there's no diff base.
+  if git rev-parse --verify origin/main >/dev/null 2>&1; then
+    changed="$(git diff --name-only origin/main -- '*.cpp' |
+               while read -r f; do [ -f "$f" ] && echo "$f"; done)"
+  else
+    changed="$(find src -name '*.cpp')"
+  fi
+  if [ -n "$changed" ]; then
+    echo "==> clang-tidy ($(echo "$changed" | wc -l) files)"
+    # shellcheck disable=SC2086
+    clang-tidy -p build --quiet $changed
+  else
+    echo "==> clang-tidy (no changed files)"
+  fi
+else
+  echo "==> clang-tidy skipped (not installed or --no-tidy)"
 fi
 
 echo "==> all checks passed"

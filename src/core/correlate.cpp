@@ -79,9 +79,10 @@ MultiVectorReport correlate_attacks(
 
     // Union of overlap with all common attacks on this victim; the lists
     // are sorted and per-victim attack counts are small.
-    util::Duration overlap_total = 0;
+    util::Duration overlap_total{};
     util::Timestamp covered_until = quic.start;
-    util::Duration best_gap = std::numeric_limits<util::Duration>::max();
+    constexpr util::Duration kNoGap{std::numeric_limits<std::int64_t>::max()};
+    util::Duration best_gap = kNoGap;
     for (const auto* common : it->second) {
       const auto lo = std::max(quic.start, common->start);
       const auto hi = std::min(quic.end, common->end);
@@ -104,16 +105,15 @@ MultiVectorReport correlate_attacks(
       correlation.relation = Relation::kConcurrent;
       const auto duration = quic.duration();
       correlation.overlap_share =
-          duration > 0 ? std::min(1.0, static_cast<double>(overlap_total) /
-                                           static_cast<double>(duration))
+          duration > util::Duration{}
+              ? std::min(1.0, util::to_seconds(overlap_total) /
+                                  util::to_seconds(duration))
                        : 1.0;
       ++report.concurrent;
     } else {
       correlation.relation = Relation::kSequential;
       // Sub-second overlap with no disjoint attack: effectively adjacent.
-      correlation.gap =
-          best_gap == std::numeric_limits<util::Duration>::max() ? 0
-                                                                 : best_gap;
+      correlation.gap = best_gap == kNoGap ? util::Duration{} : best_gap;
       ++report.sequential;
     }
     report.per_attack.push_back(correlation);

@@ -27,7 +27,7 @@ struct AttackCorrelation {
   double overlap_share = 0;
   /// Sequential only: distance to the nearest TCP/ICMP attack
   /// (Figure 13).
-  util::Duration gap = 0;
+  util::Duration gap{};
 };
 
 struct MultiVectorReport {
@@ -56,8 +56,8 @@ MultiVectorReport correlate_attacks(
 /// Timeline entry for one victim (Figure 11's per-victim illustration).
 struct TimelineEntry {
   bool is_quic = false;
-  util::Timestamp start = 0;
-  util::Timestamp end = 0;
+  util::Timestamp start{};
+  util::Timestamp end{};
 };
 
 std::vector<TimelineEntry> victim_timeline(

@@ -7,7 +7,7 @@
 namespace quicsand::core {
 
 bool DosThresholds::admits(const Session& session) const {
-  return static_cast<double>(session.packets) > min_packets &&
+  return static_cast<double>(session.packets.count()) > min_packets &&
          util::to_seconds(session.duration()) > min_duration_s &&
          session.peak_pps() > min_peak_pps;
 }
@@ -59,9 +59,9 @@ ExcludedSummary summarize_excluded(std::span<const Session> sessions,
   for (const auto& session : sessions) {
     if (thresholds.admits(session)) continue;
     ++summary.count;
-    packets.push_back(static_cast<double>(session.packets));
+    packets.push_back(static_cast<double>(session.packets.count()));
     durations.push_back(util::to_seconds(session.duration()));
-    rates.push_back(session.peak_pps());
+    rates.push_back(session.peak_pps().count());
   }
   if (summary.count > 0) {
     summary.median_packets = util::median_of(packets);

@@ -18,7 +18,7 @@ namespace quicsand::core {
 struct DosThresholds {
   double min_packets = 25;
   double min_duration_s = 60;
-  double min_peak_pps = 0.5;
+  Pps min_peak_pps{0.5};
 
   /// Moore et al. thresholds scaled by `w` (Figure 10).
   [[nodiscard]] DosThresholds weighted(double w) const {
@@ -33,10 +33,10 @@ struct DosThresholds {
 struct DetectedAttack {
   std::size_t session_index = 0;  ///< into the analyzed session span
   net::Ipv4Address victim;        ///< the backscatter source
-  util::Timestamp start = 0;
-  util::Timestamp end = 0;
-  std::uint64_t packets = 0;
-  double peak_pps = 0;
+  util::Timestamp start{};
+  util::Timestamp end{};
+  PacketCount packets{};
+  Pps peak_pps{};
 
   [[nodiscard]] util::Duration duration() const { return end - start; }
   [[nodiscard]] bool overlaps(const DetectedAttack& other,
@@ -68,7 +68,7 @@ struct ExcludedSummary {
   std::uint64_t count = 0;
   double median_packets = 0;
   double median_duration_s = 0;
-  double median_peak_pps = 0;
+  double median_peak_pps = 0;  ///< median of peak rates, in pps
 };
 
 ExcludedSummary summarize_excluded(std::span<const Session> sessions,

@@ -13,8 +13,8 @@ obs::DetectorEvent make_event(obs::DetectorEventType type,
   event.type = type;
   event.time = session.end;
   event.victim = session.source.to_string();
-  event.packets = session.packets;
-  event.peak_pps = session.peak_pps();
+  event.packets = session.packets.count();
+  event.peak_pps = session.peak_pps().count();
   event.duration_s = util::to_seconds(session.duration());
   return event;
 }
@@ -96,7 +96,7 @@ void OnlineDetector::sweep(util::Timestamp now) {
 
 void OnlineDetector::consume(const PacketRecord& record) {
   if (records_counter_ != nullptr) records_counter_->add();
-  if (last_sweep_ == 0) last_sweep_ = record.timestamp;
+  if (last_sweep_ == util::Timestamp{}) last_sweep_ = record.timestamp;
   if (record.timestamp - last_sweep_ >= config_.sweep_interval) {
     sweep(record.timestamp);
     last_sweep_ = record.timestamp;
@@ -129,7 +129,7 @@ void OnlineDetector::consume(const PacketRecord& record) {
     latency_sum_s_ += util::to_seconds(latency);
     if (alerts_counter_ != nullptr) alerts_counter_->add();
     if (alert_latency_us_ != nullptr) {
-      alert_latency_us_->observe(static_cast<std::uint64_t>(latency));
+      alert_latency_us_->observe(static_cast<std::uint64_t>(latency.count()));
     }
     if (config_.obs.events != nullptr) {
       auto event =

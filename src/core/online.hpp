@@ -84,7 +84,7 @@ class OnlineDetector {
   AlertCallback on_alert_;
   AlertCallback on_attack_;
   std::unordered_map<std::uint32_t, OpenSession> open_;
-  util::Timestamp last_sweep_ = 0;
+  util::Timestamp last_sweep_{};
   std::uint64_t alerts_ = 0;
   std::uint64_t closed_ = 0;
   std::uint64_t evicted_ = 0;

@@ -77,8 +77,10 @@ void bin_hourly(const PacketRecord& record, util::Timestamp window_start,
                 std::size_t hours, AddFn&& add) {
   if (!record.is_quic()) return;
   const auto bin = util::hour_bin(record.timestamp, window_start);
-  if (bin < 0 || bin >= static_cast<std::int64_t>(hours)) return;
-  const auto hour = static_cast<std::size_t>(bin);
+  if (bin.count() < 0 || bin.count() >= static_cast<std::int64_t>(hours)) {
+    return;
+  }
+  const auto hour = static_cast<std::size_t>(bin.count());
   if (record.is_research) {
     add(HourlySlot::kResearchQuic, hour);
   } else {

@@ -32,7 +32,7 @@ const char* traffic_class_name(TrafficClass cls);
 constexpr std::size_t kQuicKindCount = 7;
 
 struct PacketRecord {
-  util::Timestamp timestamp = 0;
+  util::Timestamp timestamp{};
   net::Ipv4Address src;
   net::Ipv4Address dst;
   std::uint16_t src_port = 0;

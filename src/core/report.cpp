@@ -31,11 +31,11 @@ AnalysisReport build_report(const Pipeline& pipeline,
   report.response_sessions = analysis.response_sessions.size();
   double req_packets = 0;
   for (const auto& s : requests) {
-    req_packets += static_cast<double>(s.packets);
+    req_packets += static_cast<double>(s.packets.count());
   }
   double resp_packets = 0;
   for (const auto& s : analysis.response_sessions) {
-    resp_packets += static_cast<double>(s.packets);
+    resp_packets += static_cast<double>(s.packets.count());
   }
   report.mean_request_session_packets =
       req_packets / std::max<double>(1.0, static_cast<double>(requests.size()));
@@ -49,7 +49,7 @@ AnalysisReport build_report(const Pipeline& pipeline,
   std::vector<double> quic_durations, common_durations, quic_rates;
   for (const auto& a : analysis.quic_attacks) {
     quic_durations.push_back(util::to_seconds(a.duration()));
-    quic_rates.push_back(a.peak_pps);
+    quic_rates.push_back(a.peak_pps.count());
   }
   for (const auto& a : analysis.common_attacks) {
     common_durations.push_back(util::to_seconds(a.duration()));

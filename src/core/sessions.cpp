@@ -26,8 +26,11 @@ void absorb_record(Session& session, const PacketRecord& record) {
   // timing difference around the boundary would flip peak_pps() across
   // the DoS threshold.
   const auto elapsed = record.timestamp - session.start;
-  const auto minute = static_cast<std::size_t>(
-      elapsed == 0 ? 0 : (elapsed - 1) / util::kMinute);
+  const auto slot =
+      elapsed == util::Duration{}
+          ? util::MinuteBin{}
+          : util::MinuteBin{(elapsed - util::kMicrosecond) / util::kMinute};
+  const auto minute = static_cast<std::size_t>(slot.count());
   if (session.minute_counts.size() <= minute) {
     session.minute_counts.resize(minute + 1, 0);
   }

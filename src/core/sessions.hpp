@@ -13,14 +13,15 @@
 #include <vector>
 
 #include "core/record.hpp"
+#include "core/units.hpp"
 
 namespace quicsand::core {
 
 struct Session {
   net::Ipv4Address source;
-  util::Timestamp start = 0;
-  util::Timestamp end = 0;
-  std::uint64_t packets = 0;
+  util::Timestamp start{};
+  util::Timestamp end{};
+  PacketCount packets{};
   std::uint64_t bytes = 0;
   /// Packet count per 1-minute slot since `start` (max-pps computation).
   std::vector<std::uint32_t> minute_counts;
@@ -35,10 +36,10 @@ struct Session {
   [[nodiscard]] util::Duration duration() const { return end - start; }
 
   /// Highest 1-minute packet rate, in packets per second.
-  [[nodiscard]] double peak_pps() const {
+  [[nodiscard]] Pps peak_pps() const {
     std::uint32_t best = 0;
     for (const auto c : minute_counts) best = std::max(best, c);
-    return static_cast<double>(best) / 60.0;
+    return per_minute_rate(best);
   }
 
   /// Dominant QUIC version (most packets); 0 when none seen.

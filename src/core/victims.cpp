@@ -91,7 +91,7 @@ std::vector<ProviderProfile> profile_providers(
     ProviderProfile& profile = profiles[it->second];
     const Session& session = sessions[attack.session_index];
     ++profile.attacks;
-    profile.packets_per_attack.add(static_cast<double>(session.packets));
+    profile.packets_per_attack.add(static_cast<double>(session.packets.count()));
     profile.client_ips_per_attack.add(
         static_cast<double>(session.peers.size()));
     profile.client_ports_per_attack.add(

@@ -1,0 +1,135 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace quicsand::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  const auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? source[i + k] : '\0';
+  };
+  const auto push = [&](TokenKind kind, std::size_t start, int start_line) {
+    out.push_back({kind, source.substr(start, i - start), start_line, start});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      push(TokenKind::kComment, start, line);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;
+      push(TokenKind::kComment, start, start_line);
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      // Raw string: R"delim( ... )delim".
+      const std::size_t start = i;
+      const int start_line = line;
+      std::size_t d = i + 2;
+      while (d < n && source[d] != '(' && d - (i + 2) < 16) ++d;
+      const std::string_view delim = source.substr(i + 2, d - (i + 2));
+      std::string closer = ")";
+      closer.append(delim);
+      closer.push_back('"');
+      const std::size_t end = source.find(closer, d);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      i = stop;
+      push(TokenKind::kString, start, start_line);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const std::size_t start = i;
+      const int start_line = line;
+      ++i;
+      while (i < n && source[i] != c) {
+        if (source[i] == '\\') ++i;
+        if (i < n && source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      push(TokenKind::kString, start, start_line);
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      push(TokenKind::kIdentifier, start, line);
+      continue;
+    }
+    if (digit(c) || (c == '.' && digit(peek(1)))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = source[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                    source[i - 1] == 'p' || source[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, start, line);
+      continue;
+    }
+    if (c == ':' && peek(1) == ':') {
+      const std::size_t start = i;
+      i += 2;
+      push(TokenKind::kPunct, start, line);
+      continue;
+    }
+    {
+      const std::size_t start = i;
+      ++i;
+      push(TokenKind::kPunct, start, line);
+    }
+  }
+  return out;
+}
+
+}  // namespace quicsand::lint

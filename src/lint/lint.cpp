@@ -1,0 +1,152 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <cstdio>
+#include <sstream>
+
+namespace quicsand::lint {
+
+namespace {
+
+/// Parse `lint:allow(a, b)` markers out of one comment token, recording
+/// the allowed rule names against the comment's line.
+void collect_allows(const Token& comment,
+                    std::map<int, std::set<std::string>>* allows) {
+  std::string_view text = comment.text;
+  std::size_t pos = 0;
+  while ((pos = text.find("lint:allow(", pos)) != std::string_view::npos) {
+    pos += std::string_view("lint:allow(").size();
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string names(text.substr(pos, close - pos));
+    std::stringstream stream(names);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      const auto first = name.find_first_not_of(" \t");
+      const auto last = name.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      (*allows)[comment.line].insert(name.substr(first, last - first + 1));
+    }
+    pos = close;
+  }
+}
+
+void append_json_escaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+LintResult lint_source(const std::string& path, std::string_view source,
+                       const RuleSet& rules) {
+  const auto tokens = lex(source);
+
+  std::map<int, std::set<std::string>> allows;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kComment) collect_allows(token, &allows);
+  }
+  const auto allowed = [&](const Finding& finding) {
+    for (const int line : {finding.line, finding.line - 1}) {
+      const auto it = allows.find(line);
+      if (it != allows.end() && it->second.contains(finding.rule)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  LintResult result;
+  std::vector<TextEdit> fixes;
+  auto findings = check_tokens(path, tokens, rules, &fixes);
+  for (auto& finding : findings) {
+    if (allowed(finding)) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  // Keep fixes only if the fixable findings survived suppression — a
+  // suppressed finding must not be "fixed" behind the author's back.
+  const bool any_fixable =
+      std::any_of(result.findings.begin(), result.findings.end(),
+                  [](const Finding& f) { return f.fixable; });
+  if (any_fixable) result.fixes = std::move(fixes);
+  return result;
+}
+
+std::string apply_edits(std::string_view source, std::vector<TextEdit> edits) {
+  std::sort(edits.begin(), edits.end(),
+            [](const TextEdit& a, const TextEdit& b) {
+              return a.offset < b.offset;
+            });
+  std::string out;
+  out.reserve(source.size() + edits.size() * 2);
+  std::size_t cursor = 0;
+  for (const TextEdit& edit : edits) {
+    if (edit.offset < cursor || edit.offset + edit.length > source.size()) {
+      continue;  // overlapping or out-of-range edit: skip defensively
+    }
+    out.append(source.substr(cursor, edit.offset - cursor));
+    out.append(edit.replacement);
+    cursor = edit.offset + edit.length;
+  }
+  out.append(source.substr(cursor));
+  return out;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t checked_files,
+                             std::size_t suppressed) {
+  std::string out = "{\n";
+  out += "  \"checked_files\": " + std::to_string(checked_files) + ",\n";
+  out += "  \"suppressed\": " + std::to_string(suppressed) + ",\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    append_json_escaped(&out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    append_json_escaped(&out, f.rule);
+    out += "\", \"fixable\": ";
+    out += f.fixable ? "true" : "false";
+    out += ", \"message\": \"";
+    append_json_escaped(&out, f.message);
+    out += "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string finding_to_text(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace quicsand::lint

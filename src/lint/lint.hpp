@@ -1,0 +1,39 @@
+// File-level driver for the lint pass: tokenizes a source buffer, runs
+// the rule set, strips findings suppressed with `// lint:allow(<rule>)`
+// (same or preceding line), and renders reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace quicsand::lint {
+
+struct LintResult {
+  std::vector<Finding> findings;   ///< after suppression filtering
+  std::size_t suppressed = 0;      ///< findings silenced by lint:allow
+  std::vector<TextEdit> fixes;     ///< edits for the fixable findings
+};
+
+/// Lint one in-memory source buffer. `path` names the file in findings
+/// and drives the per-rule allowlists.
+[[nodiscard]] LintResult lint_source(const std::string& path,
+                                     std::string_view source,
+                                     const RuleSet& rules);
+
+/// Apply text edits to `source` (offsets refer to the original buffer).
+[[nodiscard]] std::string apply_edits(std::string_view source,
+                                      std::vector<TextEdit> edits);
+
+/// Render findings as a JSON report:
+/// {"checked_files": N, "suppressed": M, "findings": [...]}.
+[[nodiscard]] std::string findings_to_json(const std::vector<Finding>& findings,
+                                           std::size_t checked_files,
+                                           std::size_t suppressed);
+
+/// One finding in compiler-style text form: "path:line: [rule] message".
+[[nodiscard]] std::string finding_to_text(const Finding& finding);
+
+}  // namespace quicsand::lint

@@ -1,0 +1,89 @@
+// Repo-specific lint rules over the token stream.
+//
+// Rules come in two families:
+//
+//  * banned calls — a data-driven table of identifiers that must not be
+//    called outside an allowlisted set of paths (the blessed wrappers).
+//  * structural rules — small token-pattern checks enforcing the strong
+//    time/packet axis conventions that the type system alone cannot see
+//    (e.g. in not-yet-migrated code or generic contexts).
+//
+// A finding can be suppressed with `// lint:allow(<rule>)` on the same
+// or the preceding line. Rule names are stable identifiers used both in
+// suppressions and in the machine-readable report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace quicsand::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool fixable = false;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Identifiers that may only be called from allowlisted paths.
+struct BannedCallRule {
+  std::string name;
+  std::vector<std::string> identifiers;
+  /// Substrings of the (slash-normalized) path where use is allowed.
+  std::vector<std::string> allowed_paths;
+  std::string message;
+  /// If true, only fires when the identifier is directly called
+  /// (followed by '('); otherwise any mention fires.
+  bool require_call = true;
+};
+
+/// Structural rule names (stable, used in suppressions and reports).
+inline constexpr char kRuleMixedUnits[] = "time-literal-parens";
+inline constexpr char kRuleInt64TimeParam[] = "naked-int64-time-param";
+inline constexpr char kRuleTimestampDoubleCast[] = "timestamp-double-cast";
+
+struct RuleSet {
+  std::vector<BannedCallRule> banned;
+
+  /// Time-unit constants participating in the mixed-units rule.
+  std::vector<std::string> unit_constants;
+  std::vector<std::string> mixed_units_allowed_paths;
+
+  /// Name patterns that mark an int64 parameter as carrying time.
+  std::vector<std::string> time_name_substrings;
+  std::vector<std::string> time_name_suffixes;
+  std::vector<std::string> time_name_exact;
+  std::vector<std::string> int64_param_allowed_paths;
+
+  std::vector<std::string> double_cast_allowed_paths;
+};
+
+/// The repo's rule table (see DESIGN.md §9 for rationale).
+[[nodiscard]] RuleSet default_rules();
+
+/// True if `path` (slash-normalized) matches one of the allowlist
+/// substrings.
+[[nodiscard]] bool path_allowed(const std::string& path,
+                                const std::vector<std::string>& allowed);
+
+/// A mechanical fix: insert/replace `replacement` over
+/// [offset, offset+length) of the original source.
+struct TextEdit {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::string replacement;
+};
+
+/// Run every rule over one file's tokens. `path` is used for allowlist
+/// matching and as the finding's file name. Fixable findings append
+/// their edits to `fixes` (offsets into the original source).
+[[nodiscard]] std::vector<Finding> check_tokens(
+    const std::string& path, const std::vector<Token>& tokens,
+    const RuleSet& rules, std::vector<TextEdit>* fixes);
+
+}  // namespace quicsand::lint

@@ -1,0 +1,35 @@
+// Token-level C++ scanner for the repo lint pass.
+//
+// This is deliberately NOT a parser: the lint rules only need to see
+// identifiers, punctuation and comments with line/offset information,
+// with string/char literals and comments correctly skipped so a banned
+// name inside a string never fires. `::` is fused into one token so
+// qualified names (`util::kMinute`) stay one expression operand.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace quicsand::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,   ///< string or char literal, raw strings included
+  kPunct,    ///< single punctuation char, except the fused "::"
+  kComment,  ///< full comment text including the // or /* */ markers
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;    ///< view into the lexed source
+  int line = 0;             ///< 1-based line of the token's first char
+  std::size_t offset = 0;   ///< byte offset into the source
+};
+
+/// Scan `source` into tokens. Never throws: malformed input (unterminated
+/// literals) is tokenized best-effort to the end of the buffer.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace quicsand::lint

@@ -167,14 +167,14 @@ std::optional<IcmpQuote> parse_icmp_quote(
     r.skip(1);  // ttl
     quote.protocol = static_cast<IpProtocol>(r.read_u8());
     r.skip(2);  // checksum
-    quote.original_src = Ipv4Address(r.read_u32());
-    quote.original_dst = Ipv4Address(r.read_u32());
+    quote.original_src = Ipv4Address(r.read_u32().to_host());
+    quote.original_dst = Ipv4Address(r.read_u32().to_host());
     r.skip(ihl - kIpv4HeaderSize);  // options
     if ((quote.protocol == IpProtocol::kUdp ||
          quote.protocol == IpProtocol::kTcp) &&
         r.remaining() >= 4) {
-      quote.src_port = r.read_u16();
-      quote.dst_port = r.read_u16();
+      quote.src_port = r.read_u16().to_host();
+      quote.dst_port = r.read_u16().to_host();
     }
     return quote;
   } catch (const util::BufferUnderflow&) {
@@ -190,15 +190,15 @@ std::optional<DecodedPacket> decode_ipv4(std::span<const std::uint8_t> data) {
     const std::size_t ihl = (version_ihl & 0x0f) * std::size_t{4};
     if (ihl < kIpv4HeaderSize || data.size() < ihl) return std::nullopt;
     r.skip(1);  // DSCP/ECN
-    const std::uint16_t total_length = r.read_u16();
+    const std::uint16_t total_length = r.read_u16().to_host();
     if (total_length < ihl || total_length > data.size()) return std::nullopt;
-    const std::uint16_t identification = r.read_u16();
+    const std::uint16_t identification = r.read_u16().to_host();
     r.skip(2);  // flags/fragment
     const std::uint8_t ttl = r.read_u8();
     const std::uint8_t protocol = r.read_u8();
     r.skip(2);  // checksum
-    const Ipv4Address src(r.read_u32());
-    const Ipv4Address dst(r.read_u32());
+    const Ipv4Address src(r.read_u32().to_host());
+    const Ipv4Address dst(r.read_u32().to_host());
     // Skip IPv4 options if present.
     r.skip(ihl - kIpv4HeaderSize);
 
@@ -211,9 +211,9 @@ std::optional<DecodedPacket> decode_ipv4(std::span<const std::uint8_t> data) {
     switch (static_cast<IpProtocol>(protocol)) {
       case IpProtocol::kUdp: {
         UdpInfo udp;
-        udp.src_port = l4.read_u16();
-        udp.dst_port = l4.read_u16();
-        const std::uint16_t udp_len = l4.read_u16();
+        udp.src_port = l4.read_u16().to_host();
+        udp.dst_port = l4.read_u16().to_host();
+        const std::uint16_t udp_len = l4.read_u16().to_host();
         l4.skip(2);  // checksum
         if (udp_len < kUdpHeaderSize || udp_len > l4_len) return std::nullopt;
         udp.payload = data.subspan(ihl + kUdpHeaderSize,
@@ -223,10 +223,10 @@ std::optional<DecodedPacket> decode_ipv4(std::span<const std::uint8_t> data) {
       }
       case IpProtocol::kTcp: {
         TcpInfo tcp;
-        tcp.src_port = l4.read_u16();
-        tcp.dst_port = l4.read_u16();
-        tcp.seq = l4.read_u32();
-        tcp.ack = l4.read_u32();
+        tcp.src_port = l4.read_u16().to_host();
+        tcp.dst_port = l4.read_u16().to_host();
+        tcp.seq = l4.read_u32().to_host();
+        tcp.ack = l4.read_u32().to_host();
         const std::size_t data_offset = (l4.read_u8() >> 4) * std::size_t{4};
         tcp.flags = l4.read_u8();
         if (data_offset < kTcpHeaderSize || data_offset > l4_len) {

@@ -10,7 +10,7 @@
 namespace quicsand::net {
 
 struct RawPacket {
-  util::Timestamp timestamp = 0;
+  util::Timestamp timestamp{};
   std::vector<std::uint8_t> data;
 
   RawPacket() = default;

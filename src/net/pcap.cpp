@@ -57,10 +57,9 @@ PcapWriter::PcapWriter(const std::string& path, std::uint32_t linktype)
 
 void PcapWriter::write(const RawPacket& packet) {
   std::array<std::uint8_t, 16> rec{};
-  const auto secs =
-      static_cast<std::uint32_t>(packet.timestamp / util::kSecond);
-  const auto micros =
-      static_cast<std::uint32_t>(packet.timestamp % util::kSecond);
+  const std::int64_t ts_us = packet.timestamp.count();
+  const auto secs = static_cast<std::uint32_t>(ts_us / util::kSecond.count());
+  const auto micros = static_cast<std::uint32_t>(ts_us % util::kSecond.count());
   put_u32le(&rec[0], secs);
   put_u32le(&rec[4], micros);
   put_u32le(&rec[8], static_cast<std::uint32_t>(packet.data.size()));
@@ -141,8 +140,8 @@ std::optional<RawPacket> PcapReader::next() {
 
   RawPacket packet;
   packet.timestamp =
-      static_cast<util::Timestamp>(secs) * util::kSecond +
-      static_cast<util::Timestamp>(nanos_ ? frac / 1000 : frac);
+      util::Timestamp{} + static_cast<std::int64_t>(secs) * util::kSecond +
+      util::Duration{nanos_ ? frac / 1000 : frac};
   packet.data.resize(caplen);
   in_->read(reinterpret_cast<char*>(packet.data.data()),
            static_cast<std::streamsize>(caplen));

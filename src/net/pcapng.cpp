@@ -81,6 +81,7 @@ bool PcapngReader::read_block(std::uint32_t& type,
       throw std::runtime_error("PcapngReader: bad section header length");
     }
     body.resize(total_length - 12);
+    // lint:allow(raw-memcpy): fixed-width magic stamp, no framing here
     std::memcpy(body.data(), magic, 4);
     in_->read(reinterpret_cast<char*>(body.data() + 4),
              static_cast<std::streamsize>(body.size() - 4));
@@ -188,10 +189,10 @@ std::optional<RawPacket> PcapngReader::parse_enhanced_packet(
   const auto micros = static_cast<unsigned __int128>(ts) * 1'000'000 /
                       iface.ticks_per_second;
   if (micros > static_cast<std::uint64_t>(
-                   std::numeric_limits<util::Timestamp>::max())) {
+                   std::numeric_limits<util::Timestamp::rep>::max())) {
     throw std::runtime_error("PcapngReader: timestamp out of range");
   }
-  packet.timestamp = static_cast<util::Timestamp>(micros);
+  packet.timestamp = util::Timestamp{static_cast<std::int64_t>(micros)};
   packet.data.assign(body.begin() + 20, body.begin() + 20 + caplen);
   if (iface.linktype == kLinktypeEthernet) {
     if (packet.data.size() < 14) {

@@ -21,7 +21,7 @@ std::string to_json_line(const DetectorEvent& event) {
   out << std::fixed;
   out << "{\"event\": \"" << detector_event_name(event.type)
       << "\", \"time\": \"" << util::format_utc(event.time)
-      << "\", \"time_us\": " << event.time
+      << "\", \"time_us\": " << event.time.count()
       << ", \"victim\": \"" << event.victim
       << "\", \"packets\": " << event.packets
       << ", \"peak_pps\": " << event.peak_pps;

@@ -33,7 +33,7 @@ enum class DetectorEventType : std::uint8_t {
 
 struct DetectorEvent {
   DetectorEventType type = DetectorEventType::kAlertFired;
-  util::Timestamp time = 0;  ///< simulation/capture time of the event
+  util::Timestamp time{};  ///< simulation/capture time of the event
   std::string victim;        ///< dotted-quad backscatter source
   std::uint64_t packets = 0;
   double peak_pps = 0;

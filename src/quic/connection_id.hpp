@@ -29,6 +29,7 @@ class ConnectionId {
     length_ = static_cast<std::uint8_t>(bytes.size());
     // Zero-length CIDs are valid and may carry bytes.data() == nullptr,
     // which memcpy forbids even for size 0.
+    // lint:allow(raw-memcpy): bounded copy into the inline buffer
     if (length_ > 0) std::memcpy(data_.data(), bytes.data(), bytes.size());
   }
 

@@ -92,7 +92,7 @@ std::optional<GquicPacketView> parse_gquic_packet(
     view.connection_id = ConnectionId(r.read_bytes(8));
     if (flags & GquicPublicFlags::kVersion) {
       view.has_version = true;
-      view.version = r.read_u32();
+      view.version = r.read_u32().to_host();
       // gQUIC versions are ASCII 'Q' + digits.
       if ((view.version >> 24) != 'Q') return std::nullopt;
     }

@@ -89,7 +89,7 @@ std::optional<LongHeaderView> parse_long_header(
 
     LongHeaderView view;
     view.packet_start = offset;
-    view.version = r.read_u32();
+    view.version = r.read_u32().to_host();
 
     // Version Negotiation: version == 0, fixed bit may be anything.
     if (view.version == 0) {
@@ -106,7 +106,7 @@ std::optional<LongHeaderView> parse_long_header(
       if (r.remaining() % 4 != 0 || r.remaining() == 0) {
         return fail(ParseError::kBadLength);
       }
-      while (!r.empty()) view.supported_versions.push_back(r.read_u32());
+      while (!r.empty()) view.supported_versions.push_back(r.read_u32().to_host());
       view.packet_end = data.size();
       return view;
     }

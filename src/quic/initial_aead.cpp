@@ -16,9 +16,10 @@ PacketKeys keys_from_secret(std::span<const std::uint8_t> secret) {
   const auto key = crypto::hkdf_expand_label(secret, "quic key", {}, 16);
   const auto iv = crypto::hkdf_expand_label(secret, "quic iv", {}, 12);
   const auto hp = crypto::hkdf_expand_label(secret, "quic hp", {}, 16);
+  // lint:allow(raw-memcpy): fixed-size key material splits
   std::memcpy(keys.key.data(), key.data(), 16);
-  std::memcpy(keys.iv.data(), iv.data(), 12);
-  std::memcpy(keys.hp.data(), hp.data(), 16);
+  std::memcpy(keys.iv.data(), iv.data(), 12);   // lint:allow(raw-memcpy)
+  std::memcpy(keys.hp.data(), hp.data(), 16);   // lint:allow(raw-memcpy)
   return keys;
 }
 

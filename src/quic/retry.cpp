@@ -81,7 +81,7 @@ std::vector<std::uint8_t> RetryTokenMinter::mint(
     const ConnectionId& original_dcid, util::Timestamp now) const {
   // Token layout: ts(8) | odcid_len(1) | odcid | mac(16).
   util::ByteWriter body;
-  body.write_u64(static_cast<std::uint64_t>(now));
+  body.write_u64(static_cast<std::uint64_t>(now.count()));
   body.write_u8(static_cast<std::uint8_t>(original_dcid.size()));
   body.write_bytes(original_dcid.bytes());
 
@@ -114,7 +114,7 @@ std::optional<ConnectionId> RetryTokenMinter::validate(
   if (diff != 0) return std::nullopt;
 
   util::ByteReader r(token.first(body_len));
-  const auto issued = static_cast<util::Timestamp>(r.read_u64());
+  const auto issued = util::Timestamp{static_cast<std::int64_t>(r.read_u64())};
   const std::size_t odcid_len = r.read_u8();
   if (odcid_len > ConnectionId::kMaxSize || odcid_len != r.remaining()) {
     return std::nullopt;

@@ -18,6 +18,7 @@ StatelessResetter::Token StatelessResetter::token_for(
     const ConnectionId& cid) const {
   const auto mac = crypto::hmac_sha256(key_, cid.bytes());
   Token token;
+  // lint:allow(raw-memcpy): fixed-size MAC truncation
   std::memcpy(token.data(), mac.data(), kTokenSize);
   return token;
 }
@@ -32,6 +33,7 @@ std::vector<std::uint8_t> StatelessResetter::build(const ConnectionId& cid,
   // Short-header form with the fixed bit, like any 1-RTT packet.
   packet[0] = static_cast<std::uint8_t>((packet[0] & 0x3f) | 0x40);
   const auto token = token_for(cid);
+  // lint:allow(raw-memcpy): token trailer at a bounds-checked offset
   std::memcpy(packet.data() + size - kTokenSize, token.data(), kTokenSize);
   return packet;
 }

@@ -187,23 +187,23 @@ std::optional<TlsMessageInfo> parse_tls_message(
     r.skip(32);  // random
     const std::uint8_t session_len = r.read_u8();
     r.skip(session_len);
-    const std::uint16_t ciphers_len = r.read_u16();
+    const std::uint16_t ciphers_len = r.read_u16().to_host();
     r.skip(ciphers_len);
     const std::uint8_t compression_len = r.read_u8();
     r.skip(compression_len);
     if (r.remaining() < 2) return info;
-    const std::uint16_t ext_block_len = r.read_u16();
+    const std::uint16_t ext_block_len = r.read_u16().to_host();
     if (ext_block_len > r.remaining()) return std::nullopt;
     ByteReader exts(r.read_bytes(ext_block_len));
     while (exts.remaining() >= 4) {
-      const std::uint16_t ext_type = exts.read_u16();
-      const std::uint16_t ext_len = exts.read_u16();
+      const std::uint16_t ext_type = exts.read_u16().to_host();
+      const std::uint16_t ext_len = exts.read_u16().to_host();
       if (ext_len > exts.remaining()) return std::nullopt;
       if (ext_type == kExtServerName && ext_len >= 5) {
         ByteReader sni(exts.read_bytes(ext_len));
         sni.skip(2);  // list length
         sni.skip(1);  // name type
-        const std::uint16_t name_len = sni.read_u16();
+        const std::uint16_t name_len = sni.read_u16().to_host();
         if (name_len <= sni.remaining()) {
           const auto name = sni.read_bytes(name_len);
           info.sni = std::string(name.begin(), name.end());

@@ -9,7 +9,7 @@ ScanPass::ScanPass(const ScanPassConfig& config)
   if (config.coverage <= 0.0 || config.coverage > 1.0) {
     throw std::invalid_argument("ScanPass: coverage must be in (0, 1]");
   }
-  if (config.duration <= 0) {
+  if (config.duration <= util::Duration{}) {
     throw std::invalid_argument("ScanPass: non-positive duration");
   }
   space_ = config.telescope.size();

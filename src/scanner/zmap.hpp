@@ -18,7 +18,7 @@ namespace quicsand::scanner {
 
 struct ScanPassConfig {
   net::Ipv4Prefix telescope;          ///< portion of the scan we observe
-  util::Timestamp start = 0;          ///< first probe hits the telescope
+  util::Timestamp start{};          ///< first probe hits the telescope
   util::Duration duration = 8 * util::kHour;  ///< full-IPv4 pass length
   /// Fraction of telescope addresses actually probed (packet loss,
   /// blocklists); 1.0 probes every address once.
@@ -57,7 +57,7 @@ class ScanPass {
   std::uint64_t space_ = 0;     ///< telescope address count
   std::uint32_t round_keys_[4] = {0, 0, 0, 0};
   int half_bits_ = 0;
-  util::Timestamp next_time_ = 0;
+  util::Timestamp next_time_{};
 };
 
 }  // namespace quicsand::scanner

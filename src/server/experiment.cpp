@@ -41,9 +41,8 @@ ClientExperienceResult run_client_experience(
   auto flood_record = flood.next();
   const util::Timestamp start = config.flood.start;
   const util::Timestamp end =
-      start + static_cast<util::Duration>(
-                  static_cast<double>(config.flood.packets) /
-                  config.flood.pps * static_cast<double>(util::kSecond));
+      start + util::from_seconds(static_cast<double>(config.flood.packets) /
+                                 config.flood.pps);
   util::Timestamp next_legit =
       start + util::from_seconds(rng.exponential(config.legit_rate));
 

@@ -28,10 +28,8 @@ void RecordedFlood::rewind() {
 std::optional<RecordedFlood::Record> RecordedFlood::next() {
   if (index_ >= config_.packets) return std::nullopt;
   Record record;
-  record.time = config_.start +
-                static_cast<util::Duration>(
-                    static_cast<double>(index_) / config_.pps *
-                    static_cast<double>(util::kSecond));
+  record.time = config_.start + util::from_seconds(
+                                    static_cast<double>(index_) / config_.pps);
   record.source =
       config_.spoofed_sources
           ? net::Ipv4Address(static_cast<std::uint32_t>(rng_.next()))

@@ -103,7 +103,8 @@ void QuicServerSim::respond_flight(util::Timestamp now,
   ctx.client_scid = view.scid;
   ctx.server_scid = quic::ConnectionId(rng_.bytes(16));
   const std::pair<util::Duration, std::vector<std::uint8_t>> datagrams[] = {
-      {0, quic::build_server_initial_handshake(ctx, rng_, sink_fidelity_)},
+      {util::Duration{},
+       quic::build_server_initial_handshake(ctx, rng_, sink_fidelity_)},
       {10 * util::kMillisecond,
        quic::build_server_handshake(ctx, rng_, sink_fidelity_)},
       {2 * util::kSecond,

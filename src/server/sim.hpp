@@ -154,7 +154,7 @@ class QuicServerSim {
       filter_;
   // Token-bucket packet admission.
   double rx_tokens_ = 0;
-  util::Timestamp rx_last_ = 0;
+  util::Timestamp rx_last_{};
   bool rx_initialized_ = false;
 
   ResponseSink sink_;

@@ -228,9 +228,10 @@ std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
     std::vector<util::Timestamp> starts;
     starts.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-      starts.push_back(window_start +
-                       static_cast<util::Duration>(rng.uniform(
-                           static_cast<std::uint64_t>(window))));
+      starts.push_back(
+          window_start +
+          util::Duration{static_cast<std::int64_t>(rng.uniform(
+              static_cast<std::uint64_t>(window.count())))});
     }
     std::sort(starts.begin(), starts.end());
 
@@ -271,12 +272,12 @@ std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
       // SCIDs (connections = packets / flight size).
       if (victim.asn == AsRegistry::kFacebook) {
         attack.duration = std::min(
-            static_cast<util::Duration>(
-                1.25 * static_cast<double>(attack.duration)),
+            util::Duration{static_cast<std::int64_t>(
+                1.25 * static_cast<double>(attack.duration.count()))},
             window_end - attack.start);
       } else if (victim.asn == AsRegistry::kGoogle) {
-        attack.duration = static_cast<util::Duration>(
-            0.95 * static_cast<double>(attack.duration));
+        attack.duration = util::Duration{static_cast<std::int64_t>(
+            0.95 * static_cast<double>(attack.duration.count()))};
       }
       previous_end = attack.start + attack.duration;
       quic_spans.emplace_back(attack.start, previous_end);
@@ -290,24 +291,26 @@ std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
         util::Timestamp c_start;
         util::Duration c_duration;
         if (full) {
-          c_duration = static_cast<util::Duration>(
-              static_cast<double>(attack.duration) *
-              (1.0 + rng.uniform01()));
+          c_duration = util::Duration{static_cast<std::int64_t>(
+              static_cast<double>(attack.duration.count()) *
+              (1.0 + rng.uniform01()))};
           const auto slack = c_duration - attack.duration;
           c_start = attack.start -
-                    static_cast<util::Duration>(rng.uniform(
-                        static_cast<std::uint64_t>(slack) + 1));
+                    util::Duration{static_cast<std::int64_t>(rng.uniform(
+                        static_cast<std::uint64_t>(slack.count()) + 1))};
         } else {
           // Partial overlaps skew high (Fig. 12: mean share 95%).
           const double u = rng.uniform01();
           const double f = 1.0 - 0.55 * u * u;
-          const auto overlap = static_cast<util::Duration>(
-              std::max<double>(static_cast<double>(util::kSecond),
-                               f * static_cast<double>(attack.duration)));
-          c_duration = overlap + static_cast<util::Duration>(rng.uniform(
-                                     static_cast<std::uint64_t>(
-                                         attack.duration) +
-                                     1));
+          const auto overlap = util::Duration{static_cast<std::int64_t>(
+              std::max<double>(static_cast<double>(util::kSecond.count()),
+                               f * static_cast<double>(
+                                       attack.duration.count())))};
+          c_duration =
+              overlap + util::Duration{static_cast<std::int64_t>(rng.uniform(
+                            static_cast<std::uint64_t>(
+                                attack.duration.count()) +
+                            1))};
           if (rng.bernoulli(0.5)) {
             // Common attack leads, overlapping the QUIC head.
             c_start = attack.start + overlap - c_duration;
@@ -330,9 +333,9 @@ std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
     if (!isolated && !victim_has_common && !quic_spans.empty()) {
       const double gap_h = rng.lognormal_median(mix.sequential_gap_median_h,
                                                 mix.sequential_gap_sigma);
-      auto gap = std::min(
-          static_cast<util::Duration>(gap_h * static_cast<double>(util::kHour)),
-          kMaxGap);
+      auto gap = std::min(util::Duration{static_cast<std::int64_t>(
+                              gap_h * static_cast<double>(util::kHour.count()))},
+                          kMaxGap);
       gap = std::max(gap, 2 * util::kMinute);
       const auto duration = draw_duration(
           rng, mix.common_duration_median_s, mix.common_duration_sigma);
@@ -362,9 +365,10 @@ std::vector<PlannedAttack> plan_attacks(const ScenarioConfig& config,
     util::Timestamp previous_end = window_start;
     std::vector<util::Timestamp> starts;
     for (std::uint64_t i = 0; i < count; ++i) {
-      starts.push_back(window_start +
-                       static_cast<util::Duration>(rng.uniform(
-                           static_cast<std::uint64_t>(window))));
+      starts.push_back(
+          window_start +
+          util::Duration{static_cast<std::int64_t>(rng.uniform(
+              static_cast<std::uint64_t>(window.count())))});
     }
     std::sort(starts.begin(), starts.end());
     for (std::uint64_t i = 0; i < count; ++i) {

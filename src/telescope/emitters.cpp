@@ -52,8 +52,8 @@ ResearchScanEmitter::ResearchScanEmitter(
   for (double day = phase * interval_days; day < scenario.days;
        day += interval_days) {
     pass_starts_.push_back(
-        scenario.start +
-        static_cast<util::Duration>(day * static_cast<double>(util::kDay)));
+        scenario.start + util::Duration{static_cast<std::int64_t>(
+                             day * static_cast<double>(util::kDay.count()))});
   }
   total_ = pass_starts_.size() * scenario.telescope.size();
 
@@ -165,8 +165,9 @@ QuicBackscatterEmitter::QuicBackscatterEmitter(const ScenarioConfig& scenario,
                                                std::uint64_t seed)
     : scenario_(scenario),
       attack_(attack),
-      rng_(util::mix64(seed, attack.victim.value() ^
-                                 static_cast<std::uint64_t>(attack.start))) {
+      rng_(util::mix64(seed,
+                       attack.victim.value() ^
+                           static_cast<std::uint64_t>(attack.start.count()))) {
   // Spoofed client addresses that fall inside the telescope: attackers
   // randomize ports over a modest IP set (§5.2 / Figure 9).
   const std::size_t ip_count = 1 + rng_.uniform(18);
@@ -191,8 +192,8 @@ QuicBackscatterEmitter::QuicBackscatterEmitter(const ScenarioConfig& scenario,
                                ? attack.duration - util::kMinute
                                : util::Duration{0};
   burst_start_ = attack.start +
-                 static_cast<util::Duration>(rng_.uniform(
-                     static_cast<std::uint64_t>(burst_slack) + 1));
+                 util::Duration{static_cast<std::int64_t>(rng_.uniform(
+                     static_cast<std::uint64_t>(burst_slack.count()) + 1))};
   next_connection_ = attack.start;
   refill();
 }
@@ -238,14 +239,15 @@ void QuicBackscatterEmitter::schedule_connection(util::Timestamp start) {
   if (rng_.bernoulli(0.02)) {
     const std::uint32_t versions[] = {attack_.quic_version,
                                       0x00000001u};
-    push(0, quic::build_version_negotiation(ctx.client_scid,
-                                            ctx.server_scid, versions,
-                                            rng_));
+    push(util::Duration{},
+         quic::build_version_negotiation(ctx.client_scid, ctx.server_scid,
+                                         versions, rng_));
     return;
   }
 
   const auto fidelity = scenario_.fidelity;
-  push(0, quic::build_server_initial_handshake(ctx, rng_, fidelity));
+  push(util::Duration{},
+       quic::build_server_initial_handshake(ctx, rng_, fidelity));
   push(50 * util::kMillisecond,
        quic::build_server_handshake(ctx, rng_, fidelity,
                                     700 + rng_.uniform(500)));
@@ -266,8 +268,9 @@ void QuicBackscatterEmitter::schedule_connection(util::Timestamp start) {
   if (rng_.bernoulli(profile_.reset)) {
     // Proper RFC 9000 reset: trailing token bound to the client's CID
     // under the victim's static key, randomized length.
-    push(5 * util::kSecond + static_cast<util::Duration>(
-                                 rng_.uniform(2 * util::kSecond)),
+    push(5 * util::kSecond +
+             util::Duration{static_cast<std::int64_t>(rng_.uniform(
+                 static_cast<std::uint64_t>((2 * util::kSecond).count())))},
          resetter_->build(ctx.client_scid, rng_, 40 + rng_.uniform(40)));
   }
 }
@@ -300,9 +303,10 @@ CommonBackscatterEmitter::CommonBackscatterEmitter(
     std::uint64_t seed)
     : scenario_(scenario),
       attack_(attack),
-      rng_(util::mix64(seed, attack.victim.value() ^
-                                 static_cast<std::uint64_t>(attack.start) ^
-                                 0xc0)) {
+      rng_(util::mix64(seed,
+                       attack.victim.value() ^
+                           static_cast<std::uint64_t>(attack.start.count()) ^
+                           0xc0)) {
   service_port_ = rng_.bernoulli(0.6) ? 80 : 443;
   // TCP victims answer a spoofed SYN with ~4 SYN-ACK (re)transmissions;
   // ICMP backscatter is one reply per probe.
@@ -321,7 +325,7 @@ std::optional<net::RawPacket> CommonBackscatterEmitter::next() {
     const auto seq = static_cast<std::uint32_t>(rng_.next());
     if (attack_.protocol == AttackProtocol::kTcp) {
       // SYN-ACK retransmissions with exponential backoff (1s, 2s, 4s).
-      util::Duration offset = 0;
+      util::Duration offset{};
       const int retx = 3 + static_cast<int>(rng_.uniform(3));
       for (int i = 0; i < retx && budget_ > 0; ++i) {
         --budget_;
@@ -397,7 +401,7 @@ MisconfigEmitter::MisconfigEmitter(const ScenarioConfig& scenario,
   ctx_ = quic::HandshakeContext::random(version_, rng_);
   gap_ = packet_count > 1
              ? scenario.misconfig.session_duration /
-                   static_cast<util::Duration>(packet_count)
+                   static_cast<std::int64_t>(packet_count)
              : util::kSecond;
 }
 
@@ -422,8 +426,8 @@ std::optional<net::RawPacket> MisconfigEmitter::next() {
   net::RawPacket packet{
       time_, net::build_udp(ip_header(source_, target_, rng_), kQuicPort,
                             target_port_, payload)};
-  time_ += gap_ + static_cast<util::Duration>(
-                      rng_.uniform(static_cast<std::uint64_t>(gap_) + 1));
+  time_ += gap_ + util::Duration{static_cast<std::int64_t>(rng_.uniform(
+                      static_cast<std::uint64_t>(gap_.count()) + 1))};
   return packet;
 }
 

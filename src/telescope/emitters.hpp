@@ -121,7 +121,7 @@ class QuicBackscatterEmitter : public PacketEmitter {
   FlightProfile profile_;
   double connection_rate_ = 0;  ///< base connections per second
   double burst_rate_ = 0;       ///< rate during the one-minute peak
-  util::Timestamp burst_start_ = 0;
+  util::Timestamp burst_start_{};
   util::Timestamp next_connection_;
   util::Timestamp attack_end_;
   /// Hard per-attack datagram budget (tail-risk backstop).

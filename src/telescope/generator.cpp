@@ -24,11 +24,12 @@ double diurnal_factor(double hour_of_day, double amplitude) {
 util::Timestamp draw_diurnal_time(const ScenarioConfig& config,
                                   util::Rng& rng) {
   const auto window =
-      static_cast<std::uint64_t>(config.end() - config.start);
+      static_cast<std::uint64_t>((config.end() - config.start).count());
   const double max_factor = 1.0 + config.botnet.diurnal_amplitude;
   for (;;) {
-    const auto t = config.start +
-                   static_cast<util::Duration>(rng.uniform(window));
+    const auto t =
+        config.start +
+        util::Duration{static_cast<std::int64_t>(rng.uniform(window))};
     const double hour =
         static_cast<double>(util::seconds_of_day(t)) / 3600.0;
     const double f = diurnal_factor(hour, config.botnet.diurnal_amplitude);
@@ -122,12 +123,13 @@ TelescopeGenerator::TelescopeGenerator(const ScenarioConfig& config,
         config.misconfig.sessions_per_day * config.days);
     const auto content = registry.by_type(asdb::NetworkType::kContent);
     const auto window =
-        static_cast<std::uint64_t>(config.end() - config.start);
+        static_cast<std::uint64_t>((config.end() - config.start).count());
     for (std::uint64_t i = 0; i < session_count && !content.empty(); ++i) {
       const auto asn = content[noise_rng.uniform(content.size())];
       const auto source = registry.random_address_in(asn, noise_rng);
       const auto start =
-          config.start + static_cast<util::Duration>(noise_rng.uniform(window));
+          config.start +
+          util::Duration{static_cast<std::int64_t>(noise_rng.uniform(window))};
       const auto packets = std::max<std::uint64_t>(
           2, noise_rng.poisson(config.misconfig.packets_per_session));
       truth_.misconfig_packet_count += packets;

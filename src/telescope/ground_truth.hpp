@@ -35,8 +35,8 @@ struct PlannedAttack {
   asdb::Asn victim_asn = 0;
   bool victim_is_known_server = false;
   std::uint32_t quic_version = 0;  ///< QUIC attacks only
-  util::Timestamp start = 0;
-  util::Duration duration = 0;
+  util::Timestamp start{};
+  util::Duration duration{};
   double peak_pps = 0;  ///< telescope-observed 1-minute peak target
   PlannedRelation relation = PlannedRelation::kNotApplicable;
 };

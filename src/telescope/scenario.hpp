@@ -88,7 +88,7 @@ struct ScenarioConfig {
   MisconfigConfig misconfig;
 
   [[nodiscard]] util::Timestamp end() const {
-    return start + static_cast<util::Duration>(days) * util::kDay;
+    return start + days * util::kDay;
   }
 
   /// The paper's April 2021 mixture over a `days`-long window.

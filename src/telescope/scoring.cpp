@@ -41,7 +41,7 @@ MatchStats score_detections(std::span<const core::DetectedAttack> detected,
 
 bool comfortably_detectable(const PlannedAttack& attack,
                             const core::DosThresholds& thresholds) {
-  return attack.peak_pps > 2.0 * thresholds.min_peak_pps &&
+  return attack.peak_pps > 2.0 * thresholds.min_peak_pps.count() &&
          util::to_seconds(attack.duration) > 3.0 * thresholds.min_duration_s;
 }
 

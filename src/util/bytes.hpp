@@ -22,6 +22,33 @@ class BufferUnderflow : public std::runtime_error {
   BufferUnderflow() : std::runtime_error("buffer underflow") {}
 };
 
+/// A 16-bit integer field decoded from network (big-endian) byte order.
+///
+/// The reader has already assembled the bytes most-significant-first;
+/// this wrapper carries no arithmetic or comparisons, so a parser cannot
+/// consume a wire field without explicitly acknowledging the byte order
+/// via to_host().
+class NetU16 {
+ public:
+  constexpr NetU16() = default;
+  constexpr explicit NetU16(std::uint16_t host_value) : host_(host_value) {}
+  [[nodiscard]] constexpr std::uint16_t to_host() const { return host_; }
+
+ private:
+  std::uint16_t host_ = 0;
+};
+
+/// 32-bit sibling of NetU16.
+class NetU32 {
+ public:
+  constexpr NetU32() = default;
+  constexpr explicit NetU32(std::uint32_t host_value) : host_(host_value) {}
+  [[nodiscard]] constexpr std::uint32_t to_host() const { return host_; }
+
+ private:
+  std::uint32_t host_ = 0;
+};
+
 /// Sequential big-endian reader over a non-owning byte span.
 class ByteReader {
  public:
@@ -42,9 +69,9 @@ class ByteReader {
     return data_[pos_++];
   }
 
-  std::uint16_t read_u16() { return static_cast<std::uint16_t>(read_be(2)); }
+  NetU16 read_u16() { return NetU16{static_cast<std::uint16_t>(read_be(2))}; }
   std::uint32_t read_u24() { return static_cast<std::uint32_t>(read_be(3)); }
-  std::uint32_t read_u32() { return static_cast<std::uint32_t>(read_be(4)); }
+  NetU32 read_u32() { return NetU32{static_cast<std::uint32_t>(read_be(4))}; }
   std::uint64_t read_u64() { return read_be(8); }
 
   /// Consume `n` bytes and return a view into the underlying buffer.

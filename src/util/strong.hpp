@@ -1,0 +1,231 @@
+// Zero-overhead tagged scalars.
+//
+// `Strong<Tag, Rep>` wraps an arithmetic `Rep` so that values measured on
+// different axes (microseconds, minute bins, packet counts, packets per
+// second) are distinct types: construction is explicit, arithmetic is
+// same-tag-only, and the wrapped value only comes back out through
+// `count()`. Two algebras are supported:
+//
+//  * vector (default): V+V, V-V, -V, scalar multiply/divide, V/V -> Rep,
+//    V%V -> V. Durations, counts and rates are vectors.
+//  * point: declared by giving the tag a `Difference` member type.
+//    P-P -> Difference, P±Difference -> P, and nothing else — adding two
+//    points (Timestamp+Timestamp) or scaling a point is a compile error.
+//
+// `strong_cast<To>(v, num, den)` converts between strong types through an
+// explicit exact ratio; lossy conversions are rejected at runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <type_traits>
+
+namespace quicsand::util {
+
+template <class Tag, class Rep>
+class Strong;
+
+namespace detail {
+
+/// Placeholder difference type for vector tags: a valid (so overload
+/// declarations form) but unconstructible type no argument can match.
+struct NoDifference {
+  NoDifference() = delete;
+  [[nodiscard]] std::int64_t count() const;  // never defined
+};
+
+template <class Tag, class = void>
+struct TagDifference {
+  using type = NoDifference;  // vector algebra
+};
+
+template <class Tag>
+struct TagDifference<Tag, std::void_t<typename Tag::Difference>> {
+  using type = typename Tag::Difference;  // point algebra
+};
+
+template <class Tag>
+using difference_t = typename TagDifference<Tag>::type;
+
+template <class Tag>
+inline constexpr bool is_point_v =
+    !std::is_same_v<difference_t<Tag>, NoDifference>;
+
+// Round-to-nearest (half away from zero) for double-scaled integers, so
+// that scaling a Duration by 1.25 never truncates toward zero.
+constexpr std::int64_t round_to_int64(double v) {
+  return static_cast<std::int64_t>(v < 0 ? v - 0.5 : v + 0.5);
+}
+
+template <class Rep>
+constexpr Rep scale(Rep value, double factor) {
+  if constexpr (std::is_floating_point_v<Rep>) {
+    return static_cast<Rep>(static_cast<double>(value) * factor);
+  } else {
+    return static_cast<Rep>(round_to_int64(static_cast<double>(value) * factor));
+  }
+}
+
+}  // namespace detail
+
+template <class Tag, class Rep>
+class Strong {
+  static_assert(std::is_arithmetic_v<Rep>, "Strong wraps arithmetic types");
+
+ public:
+  using tag_type = Tag;
+  using rep = Rep;
+
+  constexpr Strong() = default;
+  constexpr explicit Strong(Rep value) : value_(value) {}
+
+  /// The wrapped value, in this axis' unit. The only way out.
+  [[nodiscard]] constexpr Rep count() const { return value_; }
+
+  // -- comparisons (same tag only) ------------------------------------
+  friend constexpr bool operator==(Strong, Strong) = default;
+  friend constexpr auto operator<=>(Strong, Strong) = default;
+
+  // -- vector algebra -------------------------------------------------
+  template <class T = Tag>
+  friend constexpr auto operator+(Strong a, Strong b)
+      -> std::enable_if_t<!detail::is_point_v<T>, Strong> {
+    return Strong{static_cast<Rep>(a.value_ + b.value_)};
+  }
+  template <class T = Tag>
+  friend constexpr auto operator-(Strong a, Strong b)
+      -> std::enable_if_t<!detail::is_point_v<T>, Strong> {
+    return Strong{static_cast<Rep>(a.value_ - b.value_)};
+  }
+  template <class T = Tag>
+  constexpr auto operator-() const
+      -> std::enable_if_t<!detail::is_point_v<T>, Strong> {
+    return Strong{static_cast<Rep>(-value_)};
+  }
+
+  template <class T = Tag>
+  constexpr auto operator+=(Strong other)
+      -> std::enable_if_t<!detail::is_point_v<T>, Strong&> {
+    value_ = static_cast<Rep>(value_ + other.value_);
+    return *this;
+  }
+  template <class T = Tag>
+  constexpr auto operator-=(Strong other)
+      -> std::enable_if_t<!detail::is_point_v<T>, Strong&> {
+    value_ = static_cast<Rep>(value_ - other.value_);
+    return *this;
+  }
+  template <class T = Tag>
+  constexpr auto operator++()
+      -> std::enable_if_t<!detail::is_point_v<T> && std::is_integral_v<Rep>,
+                          Strong&> {
+    ++value_;
+    return *this;
+  }
+
+  // Scaling by a dimensionless factor (int exact, double rounded).
+  template <class S, class T = Tag,
+            class = std::enable_if_t<std::is_arithmetic_v<S> &&
+                                     !detail::is_point_v<T>>>
+  friend constexpr Strong operator*(Strong v, S factor) {
+    if constexpr (std::is_floating_point_v<S>) {
+      return Strong{detail::scale(v.value_, static_cast<double>(factor))};
+    } else {
+      return Strong{static_cast<Rep>(v.value_ * static_cast<Rep>(factor))};
+    }
+  }
+  template <class S, class T = Tag,
+            class = std::enable_if_t<std::is_arithmetic_v<S> &&
+                                     !detail::is_point_v<T>>>
+  friend constexpr Strong operator*(S factor, Strong v) {
+    return v * factor;
+  }
+  template <class S, class T = Tag,
+            class = std::enable_if_t<std::is_arithmetic_v<S> &&
+                                     !detail::is_point_v<T>>>
+  friend constexpr Strong operator/(Strong v, S divisor) {
+    if constexpr (std::is_floating_point_v<S>) {
+      return Strong{detail::scale(v.value_, 1.0 / static_cast<double>(divisor))};
+    } else {
+      return Strong{static_cast<Rep>(v.value_ / static_cast<Rep>(divisor))};
+    }
+  }
+
+  /// Ratio of two same-tag values (e.g. Duration / kMinute -> bin count).
+  template <class T = Tag>
+  friend constexpr auto operator/(Strong a, Strong b)
+      -> std::enable_if_t<!detail::is_point_v<T>, Rep> {
+    return static_cast<Rep>(a.value_ / b.value_);
+  }
+  template <class T = Tag, class R = Rep>
+  friend constexpr auto operator%(Strong a, Strong b)
+      -> std::enable_if_t<!detail::is_point_v<T> && std::is_integral_v<R>,
+                          Strong> {
+    return Strong{static_cast<Rep>(a.value_ % b.value_)};
+  }
+
+  // -- point algebra --------------------------------------------------
+  template <class T = Tag>
+  friend constexpr auto operator-(Strong a, Strong b)
+      -> std::enable_if_t<detail::is_point_v<T>, detail::difference_t<T>> {
+    using Diff = detail::difference_t<T>;
+    return Diff{static_cast<typename Diff::rep>(a.value_ - b.value_)};
+  }
+  template <class T = Tag>
+  friend constexpr auto operator+(Strong p, detail::difference_t<T> d)
+      -> std::enable_if_t<detail::is_point_v<T>, Strong> {
+    return Strong{static_cast<Rep>(p.value_ + d.count())};
+  }
+  template <class T = Tag>
+  friend constexpr auto operator+(detail::difference_t<T> d, Strong p)
+      -> std::enable_if_t<detail::is_point_v<T>, Strong> {
+    return p + d;
+  }
+  template <class T = Tag>
+  friend constexpr auto operator-(Strong p, detail::difference_t<T> d)
+      -> std::enable_if_t<detail::is_point_v<T>, Strong> {
+    return Strong{static_cast<Rep>(p.value_ - d.count())};
+  }
+  template <class T = Tag>
+  constexpr auto operator+=(detail::difference_t<T> d)
+      -> std::enable_if_t<detail::is_point_v<T>, Strong&> {
+    value_ = static_cast<Rep>(value_ + d.count());
+    return *this;
+  }
+  template <class T = Tag>
+  constexpr auto operator-=(detail::difference_t<T> d)
+      -> std::enable_if_t<detail::is_point_v<T>, Strong&> {
+    value_ = static_cast<Rep>(value_ - d.count());
+    return *this;
+  }
+
+ private:
+  Rep value_{};
+};
+
+/// Convert between strong axes through an explicit exact ratio:
+/// `to = from * num / den` with a divisibility check, so accidental
+/// precision loss (e.g. microseconds -> minutes on a non-minute value)
+/// throws instead of rounding silently.
+template <class To, class FromTag, class FromRep>
+constexpr To strong_cast(Strong<FromTag, FromRep> from, std::int64_t num,
+                         std::int64_t den = 1) {
+  const auto scaled =
+      static_cast<std::int64_t>(from.count()) * num;
+  if (den != 1 && scaled % den != 0) {
+    throw std::domain_error("strong_cast: inexact conversion");
+  }
+  return To{static_cast<typename To::rep>(scaled / den)};
+}
+
+}  // namespace quicsand::util
+
+/// Hash support so strong types can key unordered containers.
+template <class Tag, class Rep>
+struct std::hash<quicsand::util::Strong<Tag, Rep>> {
+  std::size_t operator()(
+      const quicsand::util::Strong<Tag, Rep>& v) const noexcept {
+    return std::hash<Rep>{}(v.count());
+  }
+};

@@ -30,7 +30,7 @@ CivilDate civil_from_days(std::int64_t z) {
 }  // namespace
 
 std::string format_utc(Timestamp t) {
-  std::int64_t secs = t / kSecond;
+  std::int64_t secs = t.count() / kSecond.count();
   std::int64_t days = secs / 86400;
   std::int64_t sod = secs % 86400;
   if (sod < 0) {
@@ -48,7 +48,7 @@ std::string format_utc(Timestamp t) {
 }
 
 std::string format_duration(Duration d) {
-  if (d < 0) return "-" + format_duration(-d);
+  if (d < Duration{}) return "-" + format_duration(-d);
   const std::int64_t secs = d / kSecond;
   std::array<char, 48> buf{};
   if (secs >= 48 * 3600) {

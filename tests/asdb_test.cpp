@@ -152,7 +152,7 @@ TEST_F(RegistryTest, RejectsDuplicatesAndEmptyPrefixLists) {
                std::invalid_argument);
   EXPECT_THROW(reg.add({2, "EMPTY", NetworkType::kEnterprise, "US"}, {}),
                std::invalid_argument);
-  EXPECT_THROW(reg.prefixes_of(99), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(reg.prefixes_of(99)), std::out_of_range);
 }
 
 }  // namespace

@@ -14,6 +14,9 @@ const net::Ipv4Address kTelescopeAddr =
 const net::Ipv4Address kOutside =
     net::Ipv4Address::from_octets(142, 250, 1, 1);
 
+// All synthetic packets are timed relative to the epoch origin.
+constexpr util::Timestamp kT0{};
+
 util::Rng& rng() {
   static util::Rng instance(1234);
   return instance;
@@ -47,14 +50,14 @@ net::RawPacket quic_response(util::Timestamp t,
 
 TEST(ClassifierTest, QuicRequestAndResponse) {
   Classifier classifier({});
-  const auto request = classifier.classify(quic_request(0));
+  const auto request = classifier.classify(quic_request(kT0));
   ASSERT_TRUE(request.has_value());
   EXPECT_EQ(request->cls, TrafficClass::kQuicRequest);
   EXPECT_EQ(request->quic_version, 1u);
   EXPECT_EQ(request->quic_packet_count, 1);
   EXPECT_FALSE(request->is_research);
 
-  const auto response = classifier.classify(quic_response(0));
+  const auto response = classifier.classify(quic_response(kT0));
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->cls, TrafficClass::kQuicResponse);
   EXPECT_EQ(response->quic_packet_count, 2);  // coalesced Initial+Handshake
@@ -74,11 +77,11 @@ TEST(ClassifierTest, ResearchPrefixFlagging) {
       *net::Ipv4Prefix::parse("138.246.0.0/16"));
   Classifier classifier(config);
   const auto flagged = classifier.classify(
-      quic_request(0, net::Ipv4Address::from_octets(138, 246, 0, 32)));
+      quic_request(kT0, net::Ipv4Address::from_octets(138, 246, 0, 32)));
   ASSERT_TRUE(flagged.has_value());
   EXPECT_TRUE(flagged->is_research);
   EXPECT_EQ(classifier.stats().research, 1u);
-  const auto normal = classifier.classify(quic_request(0));
+  const auto normal = classifier.classify(quic_request(kT0));
   EXPECT_FALSE(normal->is_research);
   EXPECT_EQ(classifier.stats().sanitized_quic(), 1u);
 }
@@ -91,7 +94,7 @@ TEST(ClassifierTest, NonQuicUdp443Rejected) {
   const std::vector<std::uint8_t> dns = {0x12, 0x34, 0x01, 0x00,
                                          0x00, 0x01, 0x00, 0x00};
   const auto record =
-      classifier.classify({0, net::build_udp(ip, 443, 53000, dns)});
+      classifier.classify({kT0, net::build_udp(ip, 443, 53000, dns)});
   ASSERT_TRUE(record.has_value());
   EXPECT_EQ(record->cls, TrafficClass::kOther);
   EXPECT_EQ(classifier.stats().quic_port_rejects, 1u);
@@ -103,7 +106,7 @@ TEST(ClassifierTest, UdpOffPort443IsOther) {
   ip.src = kOutside;
   ip.dst = kTelescopeAddr;
   const auto record = classifier.classify(
-      {0, net::build_udp(ip, 5000, 6000, std::vector<std::uint8_t>{0xc0})});
+      {kT0, net::build_udp(ip, 5000, 6000, std::vector<std::uint8_t>{0xc0})});
   ASSERT_TRUE(record.has_value());
   EXPECT_EQ(record->cls, TrafficClass::kOther);
   EXPECT_EQ(classifier.stats().quic_port_rejects, 0u);
@@ -118,19 +121,19 @@ TEST(ClassifierTest, TcpFlagClassification) {
   syn.src_port = 4000;
   syn.dst_port = 443;
   syn.flags = net::TcpFlags::kSyn;
-  EXPECT_EQ(classifier.classify({0, net::build_tcp(ip, syn)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_tcp(ip, syn)})->cls,
             TrafficClass::kTcpRequest);
   net::TcpInfo synack = syn;
   synack.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
-  EXPECT_EQ(classifier.classify({0, net::build_tcp(ip, synack)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_tcp(ip, synack)})->cls,
             TrafficClass::kTcpBackscatter);
   net::TcpInfo rst = syn;
   rst.flags = net::TcpFlags::kRst;
-  EXPECT_EQ(classifier.classify({0, net::build_tcp(ip, rst)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_tcp(ip, rst)})->cls,
             TrafficClass::kTcpBackscatter);
   net::TcpInfo ack = syn;
   ack.flags = net::TcpFlags::kAck;
-  EXPECT_EQ(classifier.classify({0, net::build_tcp(ip, ack)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_tcp(ip, ack)})->cls,
             TrafficClass::kOther);
 }
 
@@ -141,22 +144,22 @@ TEST(ClassifierTest, IcmpClassification) {
   ip.dst = kTelescopeAddr;
   net::IcmpInfo echo_reply;
   echo_reply.type = 0;
-  EXPECT_EQ(classifier.classify({0, net::build_icmp(ip, echo_reply)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_icmp(ip, echo_reply)})->cls,
             TrafficClass::kIcmpBackscatter);
   net::IcmpInfo unreachable;
   unreachable.type = 3;
   unreachable.code = 1;
-  EXPECT_EQ(classifier.classify({0, net::build_icmp(ip, unreachable)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_icmp(ip, unreachable)})->cls,
             TrafficClass::kIcmpBackscatter);
   net::IcmpInfo echo_request;
   echo_request.type = 8;
-  EXPECT_EQ(classifier.classify({0, net::build_icmp(ip, echo_request)})->cls,
+  EXPECT_EQ(classifier.classify({kT0, net::build_icmp(ip, echo_request)})->cls,
             TrafficClass::kOther);
 }
 
 TEST(ClassifierTest, UndecodableCounted) {
   Classifier classifier({});
-  EXPECT_FALSE(classifier.classify({0, {0x45, 0x00}}).has_value());
+  EXPECT_FALSE(classifier.classify({kT0, {0x45, 0x00}}).has_value());
   EXPECT_EQ(classifier.stats().undecodable, 1u);
   EXPECT_EQ(classifier.stats().total, 1u);
 }
@@ -174,15 +177,15 @@ std::vector<PacketRecord> classify_all(std::vector<net::RawPacket> packets) {
 TEST(SessionsTest, TimeoutSplitsSessions) {
   const auto src = net::Ipv4Address::from_octets(98, 0, 0, 1);
   const auto records = classify_all({
-      quic_request(0, src),
-      quic_request(util::kMinute, src),
-      quic_request(10 * util::kMinute, src),  // > 5 min gap: new session
+      quic_request(kT0, src),
+      quic_request(kT0 + util::kMinute, src),
+      quic_request(kT0 + 10 * util::kMinute, src),  // > 5 min gap: new session
   });
   const auto sessions =
       build_sessions(records, 5 * util::kMinute, quic_request_filter());
   ASSERT_EQ(sessions.size(), 2u);
-  EXPECT_EQ(sessions[0].packets, 2u);
-  EXPECT_EQ(sessions[1].packets, 1u);
+  EXPECT_EQ(sessions[0].packets.count(), 2u);
+  EXPECT_EQ(sessions[1].packets.count(), 1u);
   EXPECT_EQ(sessions[0].duration(), util::kMinute);
 }
 
@@ -190,9 +193,9 @@ TEST(SessionsTest, SourcesAreIndependent) {
   const auto a = net::Ipv4Address::from_octets(98, 0, 0, 1);
   const auto b = net::Ipv4Address::from_octets(98, 0, 0, 2);
   const auto records = classify_all({
-      quic_request(0, a),
-      quic_request(util::kSecond, b),
-      quic_request(2 * util::kSecond, a),
+      quic_request(kT0, a),
+      quic_request(kT0 + util::kSecond, b),
+      quic_request(kT0 + 2 * util::kSecond, a),
   });
   const auto sessions =
       build_sessions(records, 5 * util::kMinute, quic_request_filter());
@@ -204,23 +207,23 @@ TEST(SessionsTest, AggregatesDistinctCountsAndVersions) {
   std::vector<net::RawPacket> packets;
   // Same victim, 3 distinct telescope peers, 4 ports, draft-29.
   packets.push_back(quic_response(
-      0, victim, net::Ipv4Address::from_octets(44, 0, 0, 1), 1000,
+      kT0, victim, net::Ipv4Address::from_octets(44, 0, 0, 1), 1000,
       0xff00001d));
   packets.push_back(quic_response(
-      util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 1),
+      kT0 + util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 1),
       1001, 0xff00001d));
   packets.push_back(quic_response(
-      2 * util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 2),
+      kT0 + 2 * util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 2),
       1000, 0xff00001d));
   packets.push_back(quic_response(
-      3 * util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 3),
+      kT0 + 3 * util::kSecond, victim, net::Ipv4Address::from_octets(44, 0, 0, 3),
       1002, 0xff00001d));
   const auto records = classify_all(std::move(packets));
   const auto sessions =
       build_sessions(records, 5 * util::kMinute, quic_response_filter());
   ASSERT_EQ(sessions.size(), 1u);
   const auto& session = sessions[0];
-  EXPECT_EQ(session.packets, 4u);
+  EXPECT_EQ(session.packets.count(), 4u);
   EXPECT_EQ(session.peers.size(), 3u);
   EXPECT_EQ(session.peer_ports.size(), 4u);
   EXPECT_EQ(session.scids.size(), 4u);  // fresh SCID per handshake
@@ -235,23 +238,23 @@ TEST(SessionsTest, PeakPpsUsesMinuteBins) {
   std::vector<net::RawPacket> packets;
   // 120 packets in minute 0, 6 in minute 2.
   for (int i = 0; i < 120; ++i) {
-    packets.push_back(quic_request(i * util::kSecond / 2, src));
+    packets.push_back(quic_request(kT0 + i * util::kSecond / 2, src));
   }
   for (int i = 0; i < 6; ++i) {
     packets.push_back(
-        quic_request(2 * util::kMinute + i * util::kSecond, src));
+        quic_request(kT0 + (2 * util::kMinute) + (i * util::kSecond), src));
   }
   const auto records = classify_all(std::move(packets));
   const auto sessions =
       build_sessions(records, 5 * util::kMinute, quic_request_filter());
   ASSERT_EQ(sessions.size(), 1u);
-  EXPECT_NEAR(sessions[0].peak_pps(), 2.0, 0.01);
+  EXPECT_NEAR(sessions[0].peak_pps().count(), 2.0, 0.01);
 }
 
 TEST(SessionsTest, FiltersSeparateClasses) {
   const auto records = classify_all({
-      quic_request(0),
-      quic_response(util::kSecond,
+      quic_request(kT0),
+      quic_response(kT0 + util::kSecond,
                     net::Ipv4Address::from_octets(157, 240, 1, 1)),
   });
   EXPECT_EQ(
@@ -270,10 +273,10 @@ TEST(SessionsTest, TimeoutSweepMatchesBuildSessions) {
   const auto src = net::Ipv4Address::from_octets(98, 0, 0, 1);
   std::vector<net::RawPacket> packets;
   for (int i = 0; i < 20; ++i) {
-    packets.push_back(quic_request(i * 3 * util::kMinute, src));
+    packets.push_back(quic_request(kT0 + i * 3 * util::kMinute, src));
   }
   packets.push_back(
-      quic_request(100 * util::kMinute,
+      quic_request(kT0 + 100 * util::kMinute,
                    net::Ipv4Address::from_octets(98, 0, 0, 2)));
   const auto records = classify_all(std::move(packets));
 
@@ -285,7 +288,7 @@ TEST(SessionsTest, TimeoutSweepMatchesBuildSessions) {
   for (const auto& [timeout, count] : sweep) {
     EXPECT_EQ(count,
               build_sessions(records, timeout, quic_request_filter()).size())
-        << "timeout " << timeout;
+        << "timeout " << timeout.count();
   }
   // Monotone decreasing in the timeout.
   EXPECT_GE(sweep[0].second, sweep[1].second);

@@ -15,7 +15,7 @@ Session make_session(net::Ipv4Address source, util::Timestamp start,
   session.source = source;
   session.start = start;
   session.end = start + duration;
-  session.packets = packets;
+  session.packets = PacketCount{packets};
   const auto minutes = static_cast<std::size_t>(duration / util::kMinute) + 1;
   session.minute_counts.assign(minutes, 0);
   for (std::uint64_t i = 0; i < packets; ++i) {
@@ -43,9 +43,9 @@ TEST(DosDetector, AppliesAllThreeThresholds) {
   const auto attacks = detect_attacks(sessions, {});
   ASSERT_EQ(attacks.size(), 1u);
   EXPECT_EQ(attacks[0].victim, victim(1));
-  EXPECT_EQ(attacks[0].packets, 300u);
+  EXPECT_EQ(attacks[0].packets.count(), 300u);
   EXPECT_EQ(attacks[0].session_index, 0u);
-  EXPECT_GT(attacks[0].peak_pps, 0.5);
+  EXPECT_GT(attacks[0].peak_pps.count(), 0.5);
 }
 
 TEST(DosDetector, ThresholdsAreStrict) {
@@ -91,8 +91,8 @@ DetectedAttack attack(net::Ipv4Address v, util::Timestamp start,
   a.victim = v;
   a.start = start;
   a.end = start + duration;
-  a.packets = 100;
-  a.peak_pps = 1.0;
+  a.packets = PacketCount{100};
+  a.peak_pps = Pps{1.0};
   return a;
 }
 
@@ -128,7 +128,7 @@ TEST(Correlator, OneSecondOverlapRule) {
       attack(victim(1), kT0 - util::kMinute, util::kMinute)};
   auto report = correlate_attacks(quic, common);
   EXPECT_EQ(report.sequential, 1u);
-  EXPECT_EQ(report.per_attack[0].gap, 0);
+  EXPECT_EQ(report.per_attack[0].gap, util::Duration{});
   // One second of overlap flips it to concurrent.
   common[0].end += util::kSecond;
   report = correlate_attacks(quic, common);
@@ -171,10 +171,10 @@ TEST(Correlator, SequentialGapPicksNearest) {
   const auto report = correlate_attacks(quic, common);
   ASSERT_EQ(report.sequential, 1u);
   EXPECT_EQ(report.per_attack[0].gap,
-            2 * util::kHour - util::kMinute);
+            (2 * util::kHour) - (util::kMinute));
   const auto gaps = report.gaps_seconds();
   ASSERT_EQ(gaps.size(), 1u);
-  EXPECT_NEAR(gaps[0], util::to_seconds(2 * util::kHour - util::kMinute),
+  EXPECT_NEAR(gaps[0], util::to_seconds((2 * util::kHour) - (util::kMinute)),
               0.01);
 }
 

@@ -135,17 +135,17 @@ TEST(OnlineEdge, GapEqualToTimeoutStaysInSession) {
     detector.consume(response_record(last + kTimeout + extra, 0xdd000001));
     detector.finish();
 
-    ASSERT_EQ(capture.attacks.size(), 1u) << "extra " << extra;
-    if (extra == 0) {
+    ASSERT_EQ(capture.attacks.size(), 1u) << "extra " << extra.count();
+    if (extra == util::Duration{}) {
       // Same session: the boundary record extends the attack.
       EXPECT_EQ(capture.attacks[0].end, last + kTimeout);
-      EXPECT_EQ(capture.attacks[0].packets, 101u);
+      EXPECT_EQ(capture.attacks[0].packets.count(), 101u);
       EXPECT_EQ(detector.sessions_evicted(), 1u);
     } else {
       // Split: the attack ends at the last pre-gap record; the stray
       // packet forms a separate below-threshold session.
       EXPECT_EQ(capture.attacks[0].end, last);
-      EXPECT_EQ(capture.attacks[0].packets, 100u);
+      EXPECT_EQ(capture.attacks[0].packets.count(), 100u);
       EXPECT_EQ(detector.sessions_evicted(), 2u);
     }
   }
@@ -169,14 +169,16 @@ TEST(OnlineEdge, EqualTimestampRunsDoNotAlertUntilDurationExceeded) {
   EXPECT_EQ(detector.alerts_fired(), 0u);
 
   detector.consume(
-      response_record(kT0 + 60 * util::kSecond + 1, 0xee000001));
+      response_record(kT0 + (60 * util::kSecond) + (util::kMicrosecond),
+                      0xee000001));
   ASSERT_EQ(capture.alerts.size(), 1u);
-  EXPECT_EQ(capture.alerts[0].end, kT0 + 60 * util::kSecond + 1);
-  EXPECT_EQ(capture.alerts[0].packets, 102u);
+  EXPECT_EQ(capture.alerts[0].end,
+            kT0 + (60 * util::kSecond) + (util::kMicrosecond));
+  EXPECT_EQ(capture.alerts[0].packets.count(), 102u);
 
   detector.finish();
   ASSERT_EQ(capture.attacks.size(), 1u);
-  EXPECT_EQ(capture.attacks[0].packets, 102u);
+  EXPECT_EQ(capture.attacks[0].packets.count(), 102u);
 }
 
 TEST(OnlineEdge, SweepAtExactTimeoutBoundaryKeepsSession) {
@@ -201,7 +203,7 @@ TEST(OnlineEdge, SweepAtExactTimeoutBoundaryKeepsSession) {
   detector.consume(response_record(last + kTimeout, 0xaa000001));
   detector.finish();
   ASSERT_EQ(capture.attacks.size(), 1u);
-  EXPECT_EQ(capture.attacks[0].packets, 101u);
+  EXPECT_EQ(capture.attacks[0].packets.count(), 101u);
   EXPECT_EQ(capture.attacks[0].end, last + kTimeout);
 }
 

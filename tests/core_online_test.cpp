@@ -50,7 +50,7 @@ TEST(OnlineDetector, AlertsBeforeSessionEnds) {
   EXPECT_TRUE(attacks.empty());  // session still open
   detector.finish();
   ASSERT_EQ(attacks.size(), 1u);
-  EXPECT_EQ(attacks[0].packets, 1200u);
+  EXPECT_EQ(attacks[0].packets.count(), 1200u);
 }
 
 TEST(OnlineDetector, BelowThresholdSessionsNeverAlert) {
@@ -83,8 +83,8 @@ TEST(OnlineDetector, TimeoutSplitsSessions) {
   }
   detector.finish();
   ASSERT_EQ(attacks.size(), 2u);
-  EXPECT_EQ(attacks[0].packets, 200u);
-  EXPECT_EQ(attacks[1].packets, 200u);
+  EXPECT_EQ(attacks[0].packets.count(), 200u);
+  EXPECT_EQ(attacks[1].packets.count(), 200u);
 }
 
 TEST(OnlineDetector, SweepBoundsOpenSessions) {
@@ -141,10 +141,10 @@ TEST(OnlineDetector, MatchesBatchDetectorOnScenario) {
   // Same victims, same packet counts.
   std::multiset<std::pair<std::uint32_t, std::uint64_t>> a, b;
   for (const auto& attack : batch.quic_attacks) {
-    a.emplace(attack.victim.value(), attack.packets);
+    a.emplace(attack.victim.value(), attack.packets.count());
   }
   for (const auto& attack : online_attacks) {
-    b.emplace(attack.victim.value(), attack.packets);
+    b.emplace(attack.victim.value(), attack.packets.count());
   }
   EXPECT_EQ(a, b);
 }

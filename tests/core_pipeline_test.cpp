@@ -127,7 +127,7 @@ TEST(DetectedAttackTest, OverlapPredicate) {
   a.start = kT0;
   a.end = kT0 + util::kMinute;
   DetectedAttack b;
-  b.start = kT0 + util::kMinute - util::kSecond;
+  b.start = kT0 + (util::kMinute) - (util::kSecond);
   b.end = kT0 + util::kHour;
   EXPECT_TRUE(a.overlaps(b, util::kSecond));
   EXPECT_FALSE(a.overlaps(b, 2 * util::kSecond));

@@ -75,7 +75,7 @@ TEST(EdgeCases, ClassifierIgnoresQuicOnOtherPorts) {
   // Perfectly valid QUIC bytes, but on port 8443: the paper's
   // classification is port-based first.
   const auto record = classifier.classify(
-      {0, net::build_udp(ip, 50000, 8443,
+      {util::Timestamp{}, net::build_udp(ip, 50000, 8443,
                          quic::build_client_initial(
                              ctx, "x", rng, quic::CryptoFidelity::kFast))});
   ASSERT_TRUE(record.has_value());
@@ -95,9 +95,9 @@ TEST(EdgeCases, SessionizerHandlesEqualTimestamps) {
   const auto sessions = core::build_sessions(records, util::kMinute,
                                              core::quic_request_filter());
   ASSERT_EQ(sessions.size(), 1u);
-  EXPECT_EQ(sessions[0].packets, 2u);
-  EXPECT_EQ(sessions[0].duration(), 0);
-  EXPECT_DOUBLE_EQ(sessions[0].peak_pps(), 2.0 / 60.0);
+  EXPECT_EQ(sessions[0].packets.count(), 2u);
+  EXPECT_EQ(sessions[0].duration(), util::Duration{});
+  EXPECT_DOUBLE_EQ(sessions[0].peak_pps().count(), 2.0 / 60.0);
 }
 
 TEST(EdgeCases, ZeroLengthConnectionIdsInHeaders) {

@@ -139,7 +139,7 @@ TEST_F(GoldenFigures, Fig07DurationIntensityMedians) {
   std::vector<double> durations, peaks;
   for (const auto& attack : analysis_->quic_attacks) {
     durations.push_back(util::to_seconds(attack.duration()));
-    peaks.push_back(attack.peak_pps);
+    peaks.push_back(attack.peak_pps.count());
   }
   ASSERT_FALSE(durations.empty());
   std::sort(durations.begin(), durations.end());

@@ -1,0 +1,16 @@
+// Fixture: casting timestamps to double loses microsecond precision.
+#include "util/time.hpp"
+
+namespace quicsand {
+
+double as_seconds(util::Timestamp timestamp) {
+  // finding: timestamp-double-cast
+  return static_cast<double>(timestamp.count()) / 1e6;
+}
+
+double plain(std::int64_t packets) {
+  // No finding: nothing timestamp-like inside the cast.
+  return static_cast<double>(packets);
+}
+
+}  // namespace quicsand

@@ -1,0 +1,15 @@
+// Fixture: time-valued parameters must use the strong types.
+#include <cstdint>
+
+namespace quicsand {
+
+// finding: naked-int64-time-param (suffix `_us`)
+void advance(std::int64_t start_us, int packets);
+
+// finding: naked-int64-time-param (exact name `deadline`)
+bool expired(std::int64_t deadline);
+
+// No finding: `count` does not look time-valued.
+void reserve(std::int64_t count);
+
+}  // namespace quicsand

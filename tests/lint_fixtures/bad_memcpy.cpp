@@ -1,0 +1,13 @@
+// Fixture: raw memcpy outside util::bytes / crypto is banned.
+#include <cstdint>
+#include <cstring>
+
+std::uint32_t load_u32(const unsigned char* data) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, data, sizeof(value));  // finding: raw-memcpy
+  return value;
+}
+
+void shift_left(unsigned char* data, std::size_t n) {
+  std::memmove(data, data + 1, n - 1);  // finding: raw-memcpy
+}

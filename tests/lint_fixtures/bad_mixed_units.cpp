@@ -1,0 +1,26 @@
+// Fixture: mixed time-unit literals in one additive chain must be
+// parenthesized per term. Every finding here is mechanically fixable.
+#include "util/time.hpp"
+
+namespace quicsand {
+
+util::Duration grace() {
+  return 2 * util::kMinute + 30 * util::kSecond;  // finding (fixable)
+}
+
+util::Duration window(int hours) {
+  const util::Duration pad = hours * util::kHour + 5 * util::kMinute;  // finding
+  return pad;
+}
+
+util::Duration fine() {
+  // Already parenthesized: no finding.
+  return (2 * util::kMinute) + (30 * util::kSecond);
+}
+
+std::int64_t ratio() {
+  // Single operand with two units binds unambiguously: no finding.
+  return util::kMinute / util::kSecond;
+}
+
+}  // namespace quicsand

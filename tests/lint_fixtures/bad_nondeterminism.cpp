@@ -1,0 +1,15 @@
+// Fixture: nondeterministic sources are banned everywhere.
+#include <chrono>
+#include <cstdlib>
+
+int roll_die() {
+  return std::rand() % 6;  // finding: nondeterministic-source
+}
+
+long long now_us() {
+  // finding: nondeterministic-source (mention-form, no call required)
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}

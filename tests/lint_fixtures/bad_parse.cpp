@@ -1,0 +1,16 @@
+// Fixture: libc parsers must go through util::parse_* wrappers.
+#include <cstdlib>
+#include <cstdio>
+
+int parse_port(const char* text) {
+  return atoi(text);  // finding: parse-functions
+}
+
+long parse_offset(const char* text) {
+  char* end = nullptr;
+  return strtol(text, &end, 10);  // finding: parse-functions
+}
+
+int scan_pair(const char* text, int* a, int* b) {
+  return sscanf(text, "%d %d", a, b);  // finding: parse-functions
+}

@@ -1,0 +1,15 @@
+// Fixture: idiomatic code produces no findings.
+#include "util/parse.hpp"
+#include "util/time.hpp"
+
+namespace quicsand {
+
+util::Duration timeout() { return (2 * util::kMinute) + (30 * util::kSecond); }
+
+std::int64_t parse_count(std::string_view text) {
+  return util::parse_i64(text).value_or(0);
+}
+
+void step(util::Timestamp now, util::Duration budget);
+
+}  // namespace quicsand

@@ -1,0 +1,18 @@
+// Fixture: every violation here carries a lint:allow marker, so the
+// file must report zero findings and count each one as suppressed.
+#include <cstdlib>
+#include <cstring>
+
+int legacy_parse(const char* text) {
+  return atoi(text);  // lint:allow(parse-functions)
+}
+
+void legacy_copy(unsigned char* dst, const unsigned char* src) {
+  // lint:allow(raw-memcpy): interop shim measured hot; bounds checked above
+  std::memcpy(dst, src, 16);
+}
+
+int legacy_roll() {
+  // lint:allow(nondeterministic-source)
+  return std::rand() % 6;
+}

@@ -1,0 +1,137 @@
+// Fixture tests for the repo lint pass. Each fixture under
+// tests/lint_fixtures/ exercises one rule with a known set of expected
+// findings; the mixed-units fixture additionally pins the --fix output
+// against a golden file. QUICSAND_LINT_FIXTURE_DIR is injected by CMake.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace quicsand::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(QUICSAND_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LintResult lint_fixture(const std::string& name) {
+  return lint_source(name, read_fixture(name), default_rules());
+}
+
+std::vector<std::pair<int, std::string>> lines_and_rules(
+    const LintResult& result) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Finding& f : result.findings) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+using Expected = std::vector<std::pair<int, std::string>>;
+
+TEST(LintFixtures, ParseFunctions) {
+  const auto result = lint_fixture("bad_parse.cpp");
+  EXPECT_EQ(lines_and_rules(result), (Expected{{6, "parse-functions"},
+                                               {11, "parse-functions"},
+                                               {15, "parse-functions"}}));
+  EXPECT_EQ(result.suppressed, 0u);
+}
+
+TEST(LintFixtures, RawMemcpy) {
+  const auto result = lint_fixture("bad_memcpy.cpp");
+  EXPECT_EQ(lines_and_rules(result),
+            (Expected{{7, "raw-memcpy"}, {12, "raw-memcpy"}}));
+}
+
+TEST(LintFixtures, NondeterministicSource) {
+  const auto result = lint_fixture("bad_nondeterminism.cpp");
+  EXPECT_EQ(lines_and_rules(result),
+            (Expected{{6, "nondeterministic-source"},
+                      {11, "nondeterministic-source"}}));
+}
+
+TEST(LintFixtures, MixedUnits) {
+  const auto result = lint_fixture("bad_mixed_units.cpp");
+  EXPECT_EQ(lines_and_rules(result), (Expected{{8, kRuleMixedUnits},
+                                               {12, kRuleMixedUnits}}));
+  for (const Finding& f : result.findings) EXPECT_TRUE(f.fixable);
+  EXPECT_FALSE(result.fixes.empty());
+}
+
+TEST(LintFixtures, MixedUnitsFixMatchesGolden) {
+  const std::string source = read_fixture("bad_mixed_units.cpp");
+  auto result = lint_source("bad_mixed_units.cpp", source, default_rules());
+  const std::string patched = apply_edits(source, std::move(result.fixes));
+  EXPECT_EQ(patched, read_fixture("bad_mixed_units.fixed"));
+  // The fixed output must lint clean.
+  const auto relint =
+      lint_source("bad_mixed_units.cpp", patched, default_rules());
+  EXPECT_TRUE(relint.findings.empty());
+}
+
+TEST(LintFixtures, Int64TimeParam) {
+  const auto result = lint_fixture("bad_int64_time_param.cpp");
+  EXPECT_EQ(lines_and_rules(result), (Expected{{7, kRuleInt64TimeParam},
+                                               {10, kRuleInt64TimeParam}}));
+}
+
+TEST(LintFixtures, TimestampDoubleCast) {
+  const auto result = lint_fixture("bad_double_cast.cpp");
+  EXPECT_EQ(lines_and_rules(result),
+            (Expected{{8, kRuleTimestampDoubleCast}}));
+}
+
+TEST(LintFixtures, SuppressionsSilenceFindings) {
+  const auto result = lint_fixture("suppressed.cpp");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressed, 3u);
+  // A suppressed fixable finding must not leave edits behind.
+  EXPECT_TRUE(result.fixes.empty());
+}
+
+TEST(LintFixtures, CleanFileHasNoFindings) {
+  const auto result = lint_fixture("clean.cpp");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressed, 0u);
+}
+
+TEST(LintFixtures, AllowlistedPathsAreExempt) {
+  const std::string source = read_fixture("bad_parse.cpp");
+  const auto result =
+      lint_source("src/util/parse.cpp", source, default_rules());
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LintUnit, ApplyEditsSkipsOverlapsAndOutOfRange) {
+  const std::string source = "abcdef";
+  std::vector<TextEdit> edits = {
+      {2, 0, "("},   // insert
+      {3, 2, "YZ"},  // replace "de"
+      {4, 1, "!"},   // overlaps the previous replacement: dropped
+      {99, 0, "?"},  // out of range: dropped
+  };
+  EXPECT_EQ(apply_edits(source, std::move(edits)), "ab(cYZf");
+}
+
+TEST(LintUnit, JsonReportShape) {
+  const std::vector<Finding> findings = {
+      {"a.cpp", 3, "raw-memcpy", "msg \"quoted\"", false}};
+  const std::string json = findings_to_json(findings, 2, 1);
+  EXPECT_NE(json.find("\"checked_files\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"raw-memcpy\""), std::string::npos);
+  EXPECT_NE(json.find("msg \\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicsand::lint

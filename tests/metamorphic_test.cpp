@@ -140,7 +140,7 @@ TEST(Metamorphic, EqualTimestampCrossSourcePermutation) {
 TEST(Metamorphic, OnlineTimeShiftShiftsAttacksByDelta) {
   // The online detector carries no absolute-time state: shifting the
   // stream shifts alerts and attacks, and nothing else changes.
-  constexpr util::Duration kDelta = 37 * util::kHour + 123 * util::kSecond;
+  constexpr util::Duration kDelta = (37 * util::kHour) + (123 * util::kSecond);
   const auto run = [](util::Duration delta) {
     OnlineDetector detector({});
     std::vector<DetectedAttack> attacks;
@@ -149,14 +149,14 @@ TEST(Metamorphic, OnlineTimeShiftShiftsAttacksByDelta) {
     for (int burst = 0; burst < 3; ++burst) {
       for (int i = 0; i < 150; ++i) {
         detector.consume(response_record(
-            kT0 + delta + burst * util::kHour + i * util::kSecond,
+            kT0 + delta + (burst * util::kHour) + (i * util::kSecond),
             0xdd000000 + static_cast<std::uint32_t>(burst)));
       }
     }
     detector.finish();
     return sorted_attacks(std::move(attacks));
   };
-  const auto base = run(0);
+  const auto base = run(util::Duration{});
   auto shifted = run(kDelta);
   ASSERT_EQ(base.size(), 3u);
   ASSERT_EQ(shifted.size(), base.size());

@@ -41,7 +41,7 @@ TEST_F(PcapTest, WriteThenReadRoundTrip) {
   {
     PcapWriter writer(path_);
     writer.write(make_packet(util::kApril2021Start, 1000));
-    writer.write(make_packet(util::kApril2021Start + 123456, 1001));
+    writer.write(make_packet(util::kApril2021Start + util::Duration{123456}, 1001));
     EXPECT_EQ(writer.packets_written(), 2u);
   }
   PcapReader reader(path_);
@@ -55,12 +55,12 @@ TEST_F(PcapTest, WriteThenReadRoundTrip) {
 
   auto p2 = reader.next();
   ASSERT_TRUE(p2.has_value());
-  EXPECT_EQ(p2->timestamp, util::kApril2021Start + 123456);
+  EXPECT_EQ(p2->timestamp, util::kApril2021Start + util::Duration{123456});
   EXPECT_FALSE(reader.next().has_value());
 }
 
 TEST_F(PcapTest, MicrosecondPrecisionPreserved) {
-  const util::Timestamp ts = util::kApril2021Start + 999999;
+  const util::Timestamp ts = util::kApril2021Start + util::Duration{999999};
   {
     PcapWriter writer(path_);
     writer.write(make_packet(ts, 1));
@@ -75,7 +75,7 @@ TEST_F(PcapTest, ForEachCountsAllPackets) {
   {
     PcapWriter writer(path_);
     for (int i = 0; i < 10; ++i) {
-      writer.write(make_packet(i * util::kSecond, static_cast<std::uint16_t>(i)));
+      writer.write(make_packet(util::Timestamp{} + i * util::kSecond, static_cast<std::uint16_t>(i)));
     }
   }
   PcapReader reader(path_);
@@ -108,7 +108,7 @@ TEST_F(PcapTest, RejectsMissingFile) {
 TEST_F(PcapTest, ThrowsOnTruncatedRecord) {
   {
     PcapWriter writer(path_);
-    writer.write(make_packet(0, 1));
+    writer.write(make_packet(util::Timestamp{}, 1));
   }
   // Chop the last 2 bytes off the record body.
   const auto size = std::filesystem::file_size(path_);
@@ -119,7 +119,7 @@ TEST_F(PcapTest, ThrowsOnTruncatedRecord) {
 
 TEST_F(PcapTest, StripsEthernetHeader) {
   // Hand-craft an Ethernet-linktype capture containing one frame.
-  const auto ip_packet = make_packet(0, 7).data;
+  const auto ip_packet = make_packet(util::Timestamp{}, 7).data;
   {
     std::ofstream out(path_, std::ios::binary);
     auto w32 = [&](std::uint32_t v) {
@@ -155,7 +155,7 @@ TEST_F(PcapTest, StripsEthernetHeader) {
   auto p = reader.next();
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->data, ip_packet);
-  EXPECT_EQ(p->timestamp, 42 * util::kSecond);
+  EXPECT_EQ(p->timestamp, util::Timestamp{} + 42 * util::kSecond);
 }
 
 }  // namespace

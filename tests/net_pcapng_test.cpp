@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -137,11 +138,11 @@ TEST_F(PcapngTest, ReadsRawPackets) {
   PcapngReader reader(path_);
   auto first = reader.next();
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->timestamp, 1617235200000000LL);
+  EXPECT_EQ(first->timestamp, util::Timestamp{1617235200000000LL});
   EXPECT_EQ(first->data, packet);
   auto second = reader.next();
   ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->timestamp, 1617235200123456LL);
+  EXPECT_EQ(second->timestamp, util::Timestamp{1617235200123456LL});
   EXPECT_FALSE(reader.next().has_value());
   EXPECT_EQ(reader.interface_count(), 1u);
 }
@@ -152,10 +153,10 @@ TEST_F(PcapngTest, StripsEthernetAndSkipsUnknownBlocks) {
   writer.interface_description(kLinktypeEthernet);
   writer.unknown_block();
   const auto ip_packet = sample_ip_packet(2000);
-  std::vector<std::uint8_t> frame(14, 0xee);
+  std::vector<std::uint8_t> frame(14 + ip_packet.size(), 0xee);
   frame[12] = 0x08;
   frame[13] = 0x00;
-  frame.insert(frame.end(), ip_packet.begin(), ip_packet.end());
+  std::copy(ip_packet.begin(), ip_packet.end(), frame.begin() + 14);
   writer.enhanced_packet(0, 42, frame);
   writer.save(path_);
 
@@ -176,7 +177,7 @@ TEST_F(PcapngTest, HonoursNanosecondTsresol) {
   PcapngReader reader(path_);
   auto read = reader.next();
   ASSERT_TRUE(read.has_value());
-  EXPECT_EQ(read->timestamp, 5000000LL);  // 5 s in µs
+  EXPECT_EQ(read->timestamp, util::Timestamp{5000000LL});  // 5 s in µs
 }
 
 TEST_F(PcapngTest, BigEndianSections) {
@@ -191,7 +192,7 @@ TEST_F(PcapngTest, BigEndianSections) {
   auto read = reader.next();
   ASSERT_TRUE(read.has_value());
   EXPECT_EQ(read->data, packet);
-  EXPECT_EQ(read->timestamp, 77);
+  EXPECT_EQ(read->timestamp, util::Timestamp{77});
 }
 
 TEST_F(PcapngTest, ForEachCounts) {
@@ -264,6 +265,7 @@ TEST_F(PcapngTest, RejectsCaplenOverflowingBoundsCheck) {
   // Locate the last block (the EPB) via its trailing total-length copy,
   // then patch its caplen field: block header (8) + id (4) + ts (8).
   std::uint32_t total = 0;
+  // lint:allow(raw-memcpy): fixed 4-byte read of the trailing length copy
   std::memcpy(&total, bytes.data() + bytes.size() - 4, 4);
   ASSERT_LT(total, bytes.size());
   const std::size_t caplen_offset = bytes.size() - total + 8 + 4 + 8;

@@ -17,6 +17,11 @@ namespace {
 
 /// Random stream of QUIC request records from a pool of sources, sorted
 /// by time, as the classifier would produce them.
+util::Duration random_duration(util::Rng& rng, util::Duration bound) {
+  return util::Duration{static_cast<std::int64_t>(
+      rng.uniform(static_cast<std::uint64_t>(bound.count())))};
+}
+
 std::vector<PacketRecord> random_records(util::Rng& rng,
                                          std::size_t packets,
                                          std::size_t sources) {
@@ -25,8 +30,7 @@ std::vector<PacketRecord> random_records(util::Rng& rng,
   for (std::size_t i = 0; i < packets; ++i) {
     PacketRecord record;
     record.timestamp =
-        util::kApril2021Start +
-        static_cast<util::Duration>(rng.uniform(6 * util::kHour));
+        util::kApril2021Start + random_duration(rng, 6 * util::kHour);
     record.src = net::Ipv4Address(
         1000 + static_cast<std::uint32_t>(rng.uniform(sources)));
     record.dst = net::Ipv4Address(
@@ -54,7 +58,7 @@ TEST(SessionProperty, PacketsAreConserved) {
       const auto sessions =
           build_sessions(records, timeout, quic_request_filter());
       std::uint64_t total = 0;
-      for (const auto& session : sessions) total += session.packets;
+      for (const auto& session : sessions) total += session.packets.count();
       EXPECT_EQ(total, records.size());
     }
   }
@@ -90,14 +94,15 @@ TEST(SessionProperty, SessionBoundsContainAllMinuteBins) {
     EXPECT_LE(session.start, session.end);
     std::uint64_t binned = 0;
     for (const auto count : session.minute_counts) binned += count;
-    EXPECT_EQ(binned, session.packets);
+    EXPECT_EQ(binned, session.packets.count());
     // The last bin index must match the duration: slots are
     // (i*60s, (i+1)*60s] with the start packet in slot 0, so a duration
     // of exactly k minutes still ends in slot k-1.
     const auto expected_slots =
-        session.duration() == 0
+        session.duration() == util::Duration{}
             ? 1u
-            : static_cast<std::size_t>((session.duration() - 1) /
+            : static_cast<std::size_t>((session.duration() -
+                                        util::kMicrosecond) /
                                        util::kMinute) +
                   1;
     EXPECT_EQ(session.minute_counts.size(), expected_slots);
@@ -112,8 +117,8 @@ TEST(SessionRegression, MinuteBoundaryPacketStaysInClosingMinute) {
   std::vector<PacketRecord> records;
   for (int i = 0; i < 30; ++i) {
     PacketRecord record;
-    record.timestamp = util::kApril2021Start +
-                       static_cast<util::Duration>(i) * 2 * util::kSecond;
+    record.timestamp =
+        util::kApril2021Start + i * 2 * util::kSecond;
     record.src = net::Ipv4Address(1);
     record.dst = net::Ipv4Address(2);
     record.dst_port = 443;
@@ -132,7 +137,7 @@ TEST(SessionRegression, MinuteBoundaryPacketStaysInClosingMinute) {
   EXPECT_EQ(session.duration(), util::kMinute);
   ASSERT_EQ(session.minute_counts.size(), 1u);
   EXPECT_EQ(session.minute_counts[0], 31u);
-  EXPECT_DOUBLE_EQ(session.peak_pps(), 31.0 / 60.0);
+  EXPECT_DOUBLE_EQ(session.peak_pps().count(), 31.0 / 60.0);
 
   // One microsecond past the boundary genuinely starts the next minute.
   PacketRecord past = boundary;
@@ -143,7 +148,7 @@ TEST(SessionRegression, MinuteBoundaryPacketStaysInClosingMinute) {
   ASSERT_EQ(extended.size(), 1u);
   ASSERT_EQ(extended.front().minute_counts.size(), 2u);
   EXPECT_EQ(extended.front().minute_counts[1], 1u);
-  EXPECT_DOUBLE_EQ(extended.front().peak_pps(), 31.0 / 60.0);
+  EXPECT_DOUBLE_EQ(extended.front().peak_pps().count(), 31.0 / 60.0);
 }
 
 TEST(SessionProperty, ShardPartitionedSessionizationMergesToWhole) {
@@ -208,9 +213,7 @@ TEST(SessionProperty, SweepMatchesBuildSessionsOnRandomTimeouts) {
   const auto records = random_records(rng, 2500, 35);
   std::vector<util::Duration> timeouts;
   for (int i = 0; i < 12; ++i) {
-    timeouts.push_back(
-        static_cast<util::Duration>(rng.uniform_range(1, 90)) *
-        util::kMinute);
+    timeouts.push_back(rng.uniform_range(1, 90) * util::kMinute);
   }
   const auto sweep = timeout_sweep(records, timeouts, quic_request_filter());
   for (const auto& [timeout, count] : sweep) {
@@ -228,11 +231,10 @@ TEST(DosProperty, DetectionIsMonotoneInWeight) {
     session.source = net::Ipv4Address(static_cast<std::uint32_t>(i));
     session.start = util::kApril2021Start;
     const auto minutes = 1 + rng.uniform(120);
-    session.end = session.start +
-                  static_cast<util::Duration>(minutes) * util::kMinute;
-    session.packets = 1 + rng.uniform(2000);
+    session.end = session.start + minutes * util::kMinute;
+    session.packets = PacketCount{1 + rng.uniform(2000)};
     session.minute_counts.assign(minutes + 1, 0);
-    for (std::uint64_t p = 0; p < session.packets; ++p) {
+    for (std::uint64_t p = 0; p < session.packets.count(); ++p) {
       ++session.minute_counts[rng.uniform(minutes + 1)];
     }
     sessions.push_back(std::move(session));
@@ -264,11 +266,11 @@ TEST(DosProperty, DetectedPlusExcludedCoverAllSessions) {
     session.source = net::Ipv4Address(static_cast<std::uint32_t>(i));
     session.start = util::kApril2021Start;
     const auto minutes = 1 + rng.uniform(30);
-    session.end = session.start +
-                  static_cast<util::Duration>(minutes) * util::kMinute;
-    session.packets = 1 + rng.uniform(500);
+    session.end = session.start + minutes * util::kMinute;
+    session.packets = PacketCount{1 + rng.uniform(500)};
     session.minute_counts.assign(minutes + 1, 0);
-    session.minute_counts[0] = static_cast<std::uint32_t>(session.packets);
+    session.minute_counts[0] =
+        static_cast<std::uint32_t>(session.packets.count());
     sessions.push_back(std::move(session));
   }
   const auto attacks = detect_attacks(sessions, {});
@@ -282,8 +284,8 @@ DetectedAttack make_attack(std::uint32_t victim, util::Timestamp start,
   attack.victim = net::Ipv4Address(victim);
   attack.start = start;
   attack.end = start + duration;
-  attack.packets = 100;
-  attack.peak_pps = 1;
+  attack.packets = PacketCount{100};
+  attack.peak_pps = Pps{1.0};
   return attack;
 }
 
@@ -294,18 +296,14 @@ TEST(CorrelatorProperty, RandomSchedulesAreConsistent) {
     for (int i = 0; i < 40; ++i) {
       quic.push_back(make_attack(
           static_cast<std::uint32_t>(rng.uniform(12)),
-          util::kApril2021Start +
-              static_cast<util::Duration>(rng.uniform(util::kDay)),
-          util::kMinute +
-              static_cast<util::Duration>(rng.uniform(2 * util::kHour))));
+          util::kApril2021Start + random_duration(rng, util::kDay),
+          util::kMinute + random_duration(rng, 2 * util::kHour)));
     }
     for (int i = 0; i < 30; ++i) {
       common.push_back(make_attack(
           static_cast<std::uint32_t>(rng.uniform(12)),
-          util::kApril2021Start +
-              static_cast<util::Duration>(rng.uniform(util::kDay)),
-          util::kMinute +
-              static_cast<util::Duration>(rng.uniform(3 * util::kHour))));
+          util::kApril2021Start + random_duration(rng, util::kDay),
+          util::kMinute + random_duration(rng, 3 * util::kHour)));
     }
     const auto report = correlate_attacks(quic, common);
     EXPECT_EQ(report.total(), quic.size());
@@ -331,7 +329,7 @@ TEST(CorrelatorProperty, RandomSchedulesAreConsistent) {
           break;
         case Relation::kSequential:
           EXPECT_TRUE(any_same_victim);
-          EXPECT_GE(correlation.gap, 0);
+          EXPECT_GE(correlation.gap, util::Duration{});
           break;
         case Relation::kIsolated:
           EXPECT_FALSE(any_same_victim);

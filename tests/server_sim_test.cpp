@@ -44,7 +44,7 @@ TEST(RecordedFlood, DeterministicAndRewindable) {
 
 TEST(RecordedFlood, TimestampsFollowRate) {
   RecordedFlood flood(replay_at(10, 21));
-  util::Timestamp first = 0, last = 0;
+  util::Timestamp first{}, last{};
   std::uint64_t count = 0;
   while (auto record = flood.next()) {
     if (count == 0) first = record->time;

@@ -95,7 +95,7 @@ TEST(Accounting, PlannedQuicAttackCountsSurviveGeneration) {
   for (const auto* attack : quic_attacks) {
     EXPECT_GE(attack->start, config.start);
     EXPECT_LT(attack->start, config.end());
-    EXPECT_GT(attack->duration, 0);
+    EXPECT_GT(attack->duration, util::Duration{});
     EXPECT_NE(attack->relation, PlannedRelation::kNotApplicable);
   }
   // Relations are only assigned to QUIC attacks.

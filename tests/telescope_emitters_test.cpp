@@ -48,7 +48,7 @@ TEST(QuicBackscatterEmitterTest, WireInvariants) {
   const auto attack = quic_attack(config);
   QuicBackscatterEmitter emitter(config, attack, 99);
   std::uint64_t packets = 0;
-  util::Timestamp last = 0;
+  util::Timestamp last{};
   std::set<std::uint32_t> clients;
   std::set<std::uint16_t> ports;
   while (auto packet = emitter.next()) {

@@ -29,8 +29,8 @@ core::DetectedAttack detected(std::uint32_t victim, util::Timestamp start,
   attack.victim = net::Ipv4Address(victim);
   attack.start = start;
   attack.end = end;
-  attack.packets = 100;
-  attack.peak_pps = 2.0;
+  attack.packets = core::PacketCount{100};
+  attack.peak_pps = core::Pps{2.0};
   return attack;
 }
 
@@ -49,7 +49,7 @@ TEST(Scoring, PerfectMatch) {
   const std::vector<core::DetectedAttack> found = {
       detected(0x01010101, kT0, kT0 + 10 * util::kMinute),
       detected(0x02020202, kT0 + util::kHour,
-               kT0 + util::kHour + 20 * util::kMinute),
+               kT0 + (util::kHour) + (20 * util::kMinute)),
   };
   const auto stats = score_detections(found, pointers(plan));
   EXPECT_EQ(stats.matched_detected, 2u);
@@ -74,7 +74,7 @@ TEST(Scoring, SlackToleratesSessionizationRounding) {
   // Detection starts 30 s after the planned window ends: inside the
   // default 1-minute slack, outside a zero slack.
   const std::vector<core::DetectedAttack> found = {detected(
-      0x01010101, kT0 + 10 * util::kMinute + 30 * util::kSecond,
+      0x01010101, kT0 + (10 * util::kMinute) + (30 * util::kSecond),
       kT0 + 20 * util::kMinute)};
   EXPECT_DOUBLE_EQ(
       score_detections(found, pointers(plan)).precision(), 1.0);

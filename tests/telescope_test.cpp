@@ -51,13 +51,13 @@ TEST(AttackSchedule, CountsAndOrdering) {
   util::Rng rng(7);
   const auto attacks = plan_attacks(config, registry(), deployment(), rng);
   std::uint64_t quic = 0, common = 0;
-  util::Timestamp last = 0;
+  util::Timestamp last{};
   for (const auto& attack : attacks) {
     EXPECT_GE(attack.start, last);
     last = attack.start;
     EXPECT_GE(attack.start, config.start);
     EXPECT_LT(attack.start, config.end());
-    EXPECT_GT(attack.duration, 0);
+    EXPECT_GT(attack.duration, util::Duration{});
     EXPECT_GT(attack.peak_pps, 0);
     if (attack.protocol == AttackProtocol::kQuic) {
       ++quic;
@@ -143,7 +143,7 @@ TEST(Generator, StreamIsTimeOrderedAndInWindow) {
   config.tum.passes_per_day = 0;  // keep this test light
   config.rwth.passes_per_day = 0;
   TelescopeGenerator generator(config, registry(), deployment());
-  util::Timestamp last = 0;
+  util::Timestamp last{};
   std::uint64_t count = 0;
   while (auto packet = generator.next()) {
     EXPECT_GE(packet->timestamp, last);

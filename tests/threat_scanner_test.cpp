@@ -126,7 +126,7 @@ TEST(ScanPassTest, CoversWholeTelescopeExactlyOnce) {
   scanner::ScanPass pass(config);
   EXPECT_EQ(pass.total(), 1u << 12);
   std::set<std::uint32_t> seen;
-  util::Timestamp last = 0;
+  util::Timestamp last{};
   std::uint64_t count = 0;
   while (auto probe = pass.next()) {
     EXPECT_TRUE(config.telescope.contains(probe->target));
@@ -175,7 +175,7 @@ TEST(ScanPassTest, DurationSpreadsProbes) {
   config.duration = 2 * util::kHour;
   config.seed = 11;
   scanner::ScanPass pass(config);
-  util::Timestamp last = 0;
+  util::Timestamp last{};
   while (auto probe = pass.next()) last = probe->time;
   EXPECT_NEAR(util::to_seconds(last - config.start),
               util::to_seconds(config.duration),
@@ -188,7 +188,7 @@ TEST(ScanPassTest, RejectsBadConfig) {
   config.coverage = 0;
   EXPECT_THROW(scanner::ScanPass pass(config), std::invalid_argument);
   config.coverage = 1;
-  config.duration = 0;
+  config.duration = util::Duration{};
   EXPECT_THROW(scanner::ScanPass pass(config), std::invalid_argument);
 }
 

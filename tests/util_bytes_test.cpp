@@ -10,7 +10,7 @@ TEST(ByteReader, ReadsBigEndianIntegers) {
                                0x06, 0x07, 0x08, 0x09};
   ByteReader r(data);
   EXPECT_EQ(r.read_u8(), 0x01);
-  EXPECT_EQ(r.read_u16(), 0x0203);
+  EXPECT_EQ(r.read_u16().to_host(), 0x0203);
   EXPECT_EQ(r.read_u24(), 0x040506);
   EXPECT_EQ(r.remaining(), 3u);
   EXPECT_EQ(r.read_u8(), 0x07);
@@ -20,7 +20,7 @@ TEST(ByteReader, ReadU32AndU64) {
   const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x00,
                                0x00, 0x00, 0x00, 0x00, 0x00, 0x2a};
   ByteReader r(data);
-  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u32().to_host(), 0xdeadbeefu);
   EXPECT_EQ(r.read_u64(), 42u);
   EXPECT_TRUE(r.empty());
 }
@@ -39,7 +39,7 @@ TEST(ByteReader, PeekDoesNotConsume) {
   ByteReader r(data);
   EXPECT_EQ(r.peek_u8(), 0xab);
   EXPECT_EQ(r.peek_u8(), 0xab);
-  EXPECT_EQ(r.read_u16(), 0xabcd);
+  EXPECT_EQ(r.read_u16().to_host(), 0xabcd);
 }
 
 TEST(ByteReader, ReadBytesAndRest) {
@@ -61,8 +61,8 @@ TEST(ByteWriter, RoundTripsThroughReader) {
   w.write_u64(0x0123456789abcdefULL);
   ByteReader r(w.view());
   EXPECT_EQ(r.read_u8(), 0x7f);
-  EXPECT_EQ(r.read_u16(), 0xbeef);
-  EXPECT_EQ(r.read_u32(), 123456789u);
+  EXPECT_EQ(r.read_u16().to_host(), 0xbeef);
+  EXPECT_EQ(r.read_u32().to_host(), 123456789u);
   EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
 }
 
@@ -72,7 +72,7 @@ TEST(ByteWriter, PatchBeOverwritesInPlace) {
   w.write_u8(0xaa);
   w.patch_be(0, 0xcafe, 4);
   ByteReader r(w.view());
-  EXPECT_EQ(r.read_u32(), 0xcafeu);
+  EXPECT_EQ(r.read_u32().to_host(), 0xcafeu);
   EXPECT_EQ(r.read_u8(), 0xaa);
 }
 

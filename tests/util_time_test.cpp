@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace quicsand::util {
 namespace {
 
@@ -12,33 +15,56 @@ TEST(Time, April2021WindowBounds) {
 }
 
 TEST(Time, FormatUtcEpoch) {
-  EXPECT_EQ(format_utc(0), "1970-01-01 00:00:00");
+  EXPECT_EQ(format_utc(Timestamp{}), "1970-01-01 00:00:00");
 }
 
 TEST(Time, FormatUtcKnownInstant) {
   // 2021-04-06 18:00:00 UTC = 1617732000
-  EXPECT_EQ(format_utc(1617732000LL * kSecond), "2021-04-06 18:00:00");
+  EXPECT_EQ(format_utc(Timestamp{} + 1617732000LL * kSecond),
+            "2021-04-06 18:00:00");
 }
 
 TEST(Time, HourBinning) {
   const Timestamp origin = kApril2021Start;
-  EXPECT_EQ(hour_bin(origin, origin), 0);
-  EXPECT_EQ(hour_bin(origin + kHour - 1, origin), 0);
-  EXPECT_EQ(hour_bin(origin + kHour, origin), 1);
-  EXPECT_EQ(hour_bin(origin + 30 * kDay - 1, origin), 30 * 24 - 1);
+  EXPECT_EQ(hour_bin(origin, origin), HourBin{0});
+  EXPECT_EQ(hour_bin(origin + kHour - kMicrosecond, origin), HourBin{0});
+  EXPECT_EQ(hour_bin(origin + kHour, origin), HourBin{1});
+  EXPECT_EQ(hour_bin(origin + (30 * kDay) - kMicrosecond, origin),
+            HourBin{30 * 24 - 1});
 }
 
 TEST(Time, MinuteBinning) {
-  const Timestamp origin = 0;
-  EXPECT_EQ(minute_bin(59 * kSecond, origin), 0);
-  EXPECT_EQ(minute_bin(60 * kSecond, origin), 1);
+  const Timestamp origin{};
+  EXPECT_EQ(minute_bin(origin + 59 * kSecond, origin), MinuteBin{0});
+  EXPECT_EQ(minute_bin(origin + 60 * kSecond, origin), MinuteBin{1});
+}
+
+TEST(Time, PreOriginBinsUseFloorDivision) {
+  // Truncation toward zero would put the whole (-1h, 1h) range in bin 0;
+  // floor semantics give pre-origin timestamps their own negative bins.
+  const Timestamp origin = kApril2021Start;
+  EXPECT_EQ(minute_bin(origin - kMicrosecond, origin), MinuteBin{-1});
+  EXPECT_EQ(minute_bin(origin - kMinute, origin), MinuteBin{-1});
+  EXPECT_EQ(minute_bin(origin - kMinute - kMicrosecond, origin),
+            MinuteBin{-2});
+  EXPECT_EQ(hour_bin(origin - kMicrosecond, origin), HourBin{-1});
+  EXPECT_EQ(hour_bin(origin - kHour, origin), HourBin{-1});
+}
+
+TEST(Time, BinOffsetOverflowThrows) {
+  const Timestamp far_future{std::numeric_limits<std::int64_t>::max()};
+  const Timestamp before_epoch{-2};
+  EXPECT_THROW(hour_bin(far_future, before_epoch), std::overflow_error);
+  EXPECT_THROW(minute_bin(far_future, before_epoch), std::overflow_error);
+  EXPECT_EQ(hour_bin(far_future, Timestamp{}),
+            HourBin{std::numeric_limits<std::int64_t>::max() / kHour.count()});
 }
 
 TEST(Time, HourOfDay) {
   EXPECT_EQ(hour_of_day(kApril2021Start), 0);
   EXPECT_EQ(hour_of_day(kApril2021Start + 6 * kHour), 6);
-  EXPECT_EQ(hour_of_day(kApril2021Start + 18 * kHour + 30 * kMinute), 18);
-  EXPECT_EQ(hour_of_day(kApril2021Start + 2 * kDay + 23 * kHour), 23);
+  EXPECT_EQ(hour_of_day(kApril2021Start + (18 * kHour) + (30 * kMinute)), 18);
+  EXPECT_EQ(hour_of_day(kApril2021Start + (2 * kDay) + (23 * kHour)), 23);
 }
 
 TEST(Time, SecondsOfDay) {
@@ -49,6 +75,18 @@ TEST(Time, SecondsOfDay) {
 TEST(Time, DurationConversionRoundTrip) {
   EXPECT_DOUBLE_EQ(to_seconds(from_seconds(255.0)), 255.0);
   EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+}
+
+TEST(Time, FromSecondsFloorsNegativeDurations) {
+  // Truncation toward zero used to collapse (-1, 0) microsecond values
+  // to zero; floor semantics keep negative durations negative while
+  // leaving every non-negative input bit-identical to the old behavior.
+  EXPECT_EQ(from_seconds(to_seconds(-kMicrosecond)), -kMicrosecond);
+  EXPECT_EQ(from_seconds(-0.0000001), -kMicrosecond);
+  EXPECT_EQ(from_seconds(-1.0), -kSecond);
+  EXPECT_EQ(from_seconds(-1.5), -(kSecond + (500 * kMillisecond)));
+  EXPECT_EQ(from_seconds(1.5), kSecond + (500 * kMillisecond));
+  EXPECT_EQ(from_seconds(2.5), (2 * kSecond) + (500 * kMillisecond));
 }
 
 TEST(Time, FormatDuration) {

@@ -1,0 +1,152 @@
+// quicsand_lint — the repo-specific static checker.
+//
+// Usage:
+//   quicsand_lint [--fix] [--report FILE] [--list-rules] PATH...
+//
+// Each PATH is a file or a directory (searched recursively for
+// .cpp/.hpp/.cc/.h). Directories skip `lint_fixtures/` and build trees;
+// naming a file explicitly always lints it, which is how the fixture
+// tests drive the tool. Exits 0 when clean, 1 when findings remain,
+// 2 on usage errors.
+//
+// `--fix` applies the mechanical fixes in place (currently: inserting
+// parentheses for the time-literal-parens rule) and then reports
+// whatever is left. `--report` writes the machine-readable JSON the CI
+// job uploads as an artifact.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using quicsand::lint::Finding;
+using quicsand::lint::LintResult;
+
+namespace {
+
+bool lintable_extension(const fs::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skipped_directory_entry(const fs::path& path) {
+  const std::string text = path.generic_string();
+  return text.find("lint_fixtures") != std::string::npos ||
+         text.find("/build") != std::string::npos ||
+         text.find("CMakeFiles") != std::string::npos;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fix = false;
+  std::string report_path;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "quicsand_lint: --report needs a file argument\n";
+        return 2;
+      }
+      report_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      const auto rules = quicsand::lint::default_rules();
+      std::vector<std::string> names;
+      for (const auto& rule : rules.banned) {
+        if (std::find(names.begin(), names.end(), rule.name) == names.end()) {
+          names.push_back(rule.name);
+        }
+      }
+      for (const auto& name : names) std::cout << name << "\n";
+      std::cout << quicsand::lint::kRuleMixedUnits << "\n"
+                << quicsand::lint::kRuleInt64TimeParam << "\n"
+                << quicsand::lint::kRuleTimestampDoubleCast << "\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "quicsand_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: quicsand_lint [--fix] [--report FILE] PATH...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(input, ec)) {
+        if (!entry.is_regular_file()) continue;
+        if (!lintable_extension(entry.path())) continue;
+        if (skipped_directory_entry(entry.path())) continue;
+        files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "quicsand_lint: no such file or directory: "
+                << input.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto rules = quicsand::lint::default_rules();
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+  std::size_t fixed_files = 0;
+  for (const auto& file : files) {
+    const std::string path = file.generic_string();
+    std::string source = read_file(file);
+    LintResult result = quicsand::lint::lint_source(path, source, rules);
+    if (fix && !result.fixes.empty()) {
+      const std::string patched =
+          quicsand::lint::apply_edits(source, std::move(result.fixes));
+      if (patched != source) {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out << patched;
+        ++fixed_files;
+        // Re-lint the patched buffer so the report reflects the result.
+        result = quicsand::lint::lint_source(path, patched, rules);
+      }
+    }
+    suppressed += result.suppressed;
+    for (auto& finding : result.findings) {
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  for (const auto& finding : findings) {
+    std::cout << quicsand::lint::finding_to_text(finding) << "\n";
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << quicsand::lint::findings_to_json(findings, files.size(),
+                                            suppressed);
+  }
+  std::cerr << "quicsand_lint: " << files.size() << " files, "
+            << findings.size() << " findings, " << suppressed
+            << " suppressed";
+  if (fix) std::cerr << ", " << fixed_files << " files fixed";
+  std::cerr << "\n";
+  return findings.empty() ? 0 : 1;
+}
