@@ -4,16 +4,36 @@
 //
 //   ./flood_lab [--pps N] [--packets N] [--workers N] [--retry]
 //               [--hold SECONDS] [--dump-pcap FILE]
+//               [--listen HOST:PORT]   live admin endpoint during the
+//                                      replay; port 0 picks one
+//               [--serve-for SECONDS]  keep serving after the replay,
+//                                      0 = until SIGINT/SIGTERM
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 
+#include "obs/health.hpp"
+#include "obs/http/admin.hpp"
+#include "obs/metrics.hpp"
 #include "server/replay.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 
 using namespace quicsand;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   server::ServerConfig server;
@@ -21,6 +41,8 @@ int main(int argc, char** argv) {
   replay.pps = 1000;
   replay.packets = 100000;
   std::string dump_path;
+  std::optional<util::HostPort> listen;
+  std::uint64_t serve_for_s = 0;  // 0 = until SIGINT/SIGTERM
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,11 +65,40 @@ int main(int argc, char** argv) {
       server.handshake_hold = util::require_i64("--hold", value()) * util::kSecond;
     } else if (arg == "--dump-pcap") {
       dump_path = value();
+    } else if (arg == "--listen") {
+      listen = util::require_host_port("--listen", value());
+    } else if (arg == "--serve-for") {
+      serve_for_s = util::require_u64("--serve-for", value());
     } else {
       std::cerr << "usage: flood_lab [--pps N] [--packets N] [--workers N]"
-                   " [--retry] [--hold SECONDS] [--dump-pcap FILE]\n";
+                   " [--retry] [--hold SECONDS] [--dump-pcap FILE]"
+                   " [--listen HOST:PORT] [--serve-for SECONDS]\n";
       return 2;
     }
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::Health health;
+  obs::http::AdminServer admin([&] {
+    obs::http::AdminOptions options;
+    options.http.host = listen ? listen->host : "127.0.0.1";
+    options.http.port = listen ? listen->port : 0;
+    options.metrics = &metrics;
+    options.health = &health;
+    return options;
+  }());
+  if (listen) {
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    replay.obs.metrics = &metrics;
+    replay.obs.health = &health;
+    if (!admin.start()) {
+      std::cerr << "cannot listen on " << listen->host << ":" << listen->port
+                << ": " << admin.last_error() << "\n";
+      return 2;
+    }
+    std::cout << "admin endpoint on http://" << listen->host << ":"
+              << admin.port() << "/ (metrics, healthz, stats)" << std::endl;
   }
 
   std::cout << "replaying " << replay.packets << " client Initials at "
@@ -82,6 +133,21 @@ int main(int argc, char** argv) {
   if (!server.retry_enabled && stats.availability() < 0.5) {
     std::cout << "\nhint: rerun with --retry to see the stateless "
                  "mitigation hold 100% availability\n";
+  }
+
+  if (listen) {
+    std::cout << "serving until "
+              << (serve_for_s > 0 ? "--serve-for elapses" : "SIGINT/SIGTERM")
+              << std::endl;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(serve_for_s);
+    while (!g_stop.load() &&
+           (serve_for_s == 0 ||
+            std::chrono::steady_clock::now() < deadline)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    admin.stop();
+    std::cout << "admin endpoint stopped\n";
   }
   return 0;
 }

@@ -12,14 +12,26 @@
 //             [--metrics-out FILE]   JSON metrics snapshot on exit
 //             [--prom-out FILE]      Prometheus text exposition on exit
 //             [--events-out FILE]    NDJSON detector event log
+//             [--listen HOST:PORT]   live admin endpoint (/metrics,
+//                                    /healthz, /events, ...); port 0
+//                                    picks one and prints it
+//             [--serve-for SECONDS]  in listen mode, exit after this
+//                                    long instead of waiting for ^C
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "asdb/registry.hpp"
 #include "core/classifier.hpp"
 #include "core/online.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/http/admin.hpp"
 #include "obs/metrics.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
@@ -28,6 +40,14 @@
 
 using namespace quicsand;
 
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int days = 1;
   std::uint64_t seed = 5;
@@ -35,6 +55,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string prom_out;
   std::string events_out;
+  std::optional<util::HostPort> listen;
+  std::uint64_t serve_for_s = 0;  // 0 = until SIGINT/SIGTERM
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -56,17 +78,24 @@ int main(int argc, char** argv) {
       prom_out = value();
     } else if (arg == "--events-out") {
       events_out = value();
+    } else if (arg == "--listen") {
+      listen = util::require_host_port("--listen", value());
+    } else if (arg == "--serve-for") {
+      serve_for_s = util::require_u64("--serve-for", value());
     } else {
       std::cerr << "usage: monitor [--days N] [--seed S]"
                    " [--snapshot-every SECONDS] [--metrics-out FILE]"
-                   " [--prom-out FILE] [--events-out FILE]\n";
+                   " [--prom-out FILE] [--events-out FILE]"
+                   " [--listen HOST:PORT] [--serve-for SECONDS]\n";
       return 2;
     }
   }
 
   const auto registry = asdb::AsRegistry::synthetic({}, seed);
   const auto deployment = scanner::Deployment::synthetic(registry, {}, seed);
-  auto config = telescope::ScenarioConfig::april2021(days, seed);
+  // --days 0 skips ingest entirely (serve-only mode for smoke tests);
+  // the scenario builder itself requires at least one day.
+  auto config = telescope::ScenarioConfig::april2021(days > 0 ? days : 1, seed);
   config.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 18};
   config.tum.passes_per_day = 0;
   config.rwth.passes_per_day = 0;
@@ -76,11 +105,13 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry metrics;
   obs::EventLog events;
+  obs::Health health;
 
   core::Classifier classifier({});
   core::OnlineDetectorConfig detector_config;
   detector_config.obs.metrics = &metrics;
   detector_config.obs.events = &events;
+  detector_config.obs.health = &health;
   core::OnlineDetector detector(detector_config);
   std::uint64_t alerts = 0;
   detector.set_on_alert([&](const core::DetectedAttack& attack) {
@@ -103,6 +134,33 @@ int main(int argc, char** argv) {
 
   auto& packets_counter =
       metrics.counter("monitor.packets", "telescope packets streamed");
+
+  // The admin server (when requested) serves live state for the whole
+  // run, including the post-ingest serve window.
+  obs::http::AdminServer admin([&] {
+    obs::http::AdminOptions options;
+    options.http.host = listen ? listen->host : "127.0.0.1";
+    options.http.port = listen ? listen->port : 0;
+    options.metrics = &metrics;
+    options.health = &health;
+    options.events = &events;
+    return options;
+  }());
+  if (listen) {
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    if (!admin.start()) {
+      std::cerr << "cannot listen on " << listen->host << ":" << listen->port
+                << ": " << admin.last_error() << "\n";
+      return 2;
+    }
+    // Port 0 binds an ephemeral port; print the real one (flushed, so
+    // scripts that parse it see the line before any curl).
+    std::cout << "admin endpoint on http://" << listen->host << ":"
+              << admin.port() << "/ (metrics, healthz, events)" << std::endl;
+  }
+  auto& ingest_health = health.component("telescope_generator");
+  ingest_health.set_ready(true);
   const util::Duration snapshot_every = snapshot_every_s * util::kSecond;
   util::Timestamp next_snapshot{};
   auto print_snapshot = [&](util::Timestamp now) {
@@ -115,8 +173,11 @@ int main(int argc, char** argv) {
               << " evicted=" << detector.sessions_evicted() << "\n";
   };
 
-  while (auto packet = generator.next()) {
+  std::uint64_t streamed = 0;
+  while (auto packet = days > 0 ? generator.next() : std::nullopt) {
+    if (g_stop.load()) break;
     packets_counter.add();
+    if ((++streamed & 0x3FF) == 0) ingest_health.heartbeat();
     if (snapshot_every_s > 0) {
       if (next_snapshot == util::Timestamp{}) {
         next_snapshot = packet->timestamp + snapshot_every;
@@ -132,6 +193,8 @@ int main(int argc, char** argv) {
     }
   }
   detector.finish();
+  ingest_health.heartbeat();
+  ingest_health.set_idle(true);  // scenario drained: quiet, not stale
 
   std::cout << "\nprocessed " << packets_counter.value() << " packets over "
             << days << " day(s)\n";
@@ -167,6 +230,24 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << events_out << "\n";
       return 2;
     }
+  }
+
+  if (listen) {
+    // Keep serving live state until a signal (or --serve-for elapses);
+    // operators curl /metrics and /events against the finished run.
+    std::cout << "serving until "
+              << (serve_for_s > 0 ? "--serve-for elapses" : "SIGINT/SIGTERM")
+              << std::endl;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(serve_for_s);
+    while (!g_stop.load() &&
+           (serve_for_s == 0 ||
+            std::chrono::steady_clock::now() < deadline)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    admin.stop();
+    std::cout << "admin endpoint stopped\n";
+    return 0;  // listen mode exits clean even on a zero-alert window
   }
   return alerts > 0 ? 0 : 1;
 }

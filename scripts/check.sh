@@ -3,8 +3,8 @@
 #   1. configure + build the default preset
 #   2. run the tier-1 ctest label (every registered gtest suite)
 #   3. build the tsan preset and run the concurrency-sensitive suites
-#      (thread pool, parallel pipeline, obs registry/tracer/event log)
-#      under ThreadSanitizer
+#      (thread pool, parallel pipeline, obs registry/tracer/event log,
+#      health model, admin HTTP server) under ThreadSanitizer
 #   4. build the asan and ubsan presets' fuzz drivers and run a bounded
 #      smoke (FUZZ_SMOKE_ITERATIONS per target, default 500) from the
 #      committed corpus — replays every committed crasher, then fuzzes
@@ -43,12 +43,15 @@ cmake --build --preset default -j "$jobs"
 echo "==> ctest tier1"
 ctest --preset tier1 -j "$jobs"
 
+echo "==> live-endpoint smoke (monitor --listen)"
+scripts/smoke_monitor.sh
+
 if [ "$run_tsan" = 1 ]; then
   echo "==> configure+build (tsan preset)"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" --target \
     core_parallel_pipeline_test obs_metrics_test obs_trace_test \
-    obs_events_test
+    obs_events_test obs_health_test obs_http_test
   echo "==> ctest tsan (parallel + obs suites)"
   ctest --preset tsan -j "$jobs"
 fi

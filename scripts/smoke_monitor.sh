@@ -1,0 +1,66 @@
+#!/bin/sh
+# Live-endpoint smoke: launch `monitor --listen 127.0.0.1:0 --days 0`
+# (serve-only mode), scrape /metrics and /healthz with curl, assert a
+# known counter is present and healthz reports every component live,
+# then SIGTERM the process and require a clean exit.
+#
+# Usage: scripts/smoke_monitor.sh [path/to/monitor]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+monitor="${1:-build/examples/monitor}"
+if [ ! -x "$monitor" ]; then
+  echo "smoke_monitor: $monitor not built" >&2
+  exit 2
+fi
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+"$monitor" --listen 127.0.0.1:0 --days 0 --serve-for 60 >"$log" 2>&1 &
+pid=$!
+
+# The bound port is printed (flushed) on the first line that mentions
+# the admin endpoint; poll briefly for it.
+port=""
+for _ in $(seq 1 50); do
+  port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' "$log" | head -1)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "smoke_monitor: monitor never printed its admin port" >&2
+  cat "$log" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+fi
+echo "monitor serving on port $port"
+
+metrics="$(curl -sf "http://127.0.0.1:$port/metrics")"
+echo "$metrics" | grep -q '^quicsand_monitor_packets_total ' || {
+  echo "smoke_monitor: /metrics is missing quicsand_monitor_packets_total" >&2
+  echo "$metrics" | head -20 >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+
+healthz="$(curl -sf "http://127.0.0.1:$port/healthz")"
+echo "$healthz" | grep -q '"status": "healthy"' || {
+  echo "smoke_monitor: /healthz not healthy: $healthz" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+
+curl -sf "http://127.0.0.1:$port/readyz" >/dev/null
+curl -sf "http://127.0.0.1:$port/stats" | grep -q '"uptime_s"'
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" != 0 ]; then
+  echo "smoke_monitor: monitor exited $rc after SIGTERM" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke_monitor: OK (metrics + healthz served, clean exit)"

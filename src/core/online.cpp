@@ -1,6 +1,7 @@
 #include "core/online.hpp"
 
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace quicsand::core {
@@ -37,6 +38,10 @@ OnlineDetector::OnlineDetector(OnlineDetectorConfig config)
     alert_latency_us_ = &metrics->histogram(
         "online.alert_latency_us", obs::latency_bounds_us(),
         "session start to alert, simulation time");
+  }
+  if (auto* health = config_.obs.health) {
+    health_ = &health->component("online_detector");
+    health_->set_ready(true);
   }
 }
 
@@ -96,6 +101,15 @@ void OnlineDetector::sweep(util::Timestamp now) {
 
 void OnlineDetector::consume(const PacketRecord& record) {
   if (records_counter_ != nullptr) records_counter_->add();
+  // One heartbeat per 256 records keeps the watchdog fed without a
+  // clock read on every record.
+  if (health_ != nullptr) {
+    if (idle_) {
+      health_->set_idle(false);
+      idle_ = false;
+    }
+    if ((++consumed_ & 0xFF) == 0) health_->heartbeat();
+  }
   if (last_sweep_ == util::Timestamp{}) last_sweep_ = record.timestamp;
   if (record.timestamp - last_sweep_ >= config_.sweep_interval) {
     sweep(record.timestamp);
@@ -146,6 +160,12 @@ void OnlineDetector::finish() {
   for (auto& [source, open] : open_) evict(open);
   open_.clear();
   if (open_gauge_ != nullptr) open_gauge_->set(0);
+  if (config_.obs.events != nullptr) config_.obs.events->flush();
+  if (health_ != nullptr) {
+    health_->heartbeat();
+    health_->set_idle(true);  // stream drained: quiet, not stale
+    idle_ = true;
+  }
 }
 
 }  // namespace quicsand::core

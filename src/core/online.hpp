@@ -19,6 +19,7 @@
 #include "core/dos.hpp"
 #include "core/record.hpp"
 #include "core/sessions.hpp"
+#include "obs/health.hpp"
 #include "obs/hooks.hpp"
 
 namespace quicsand::core {
@@ -96,6 +97,10 @@ class OnlineDetector {
   obs::Counter* evictions_counter_ = nullptr;
   obs::Gauge* open_gauge_ = nullptr;
   obs::Histogram* alert_latency_us_ = nullptr;
+  // Liveness component; heartbeat every 256 records, idle after finish.
+  obs::Health::Component* health_ = nullptr;
+  std::uint64_t consumed_ = 0;
+  bool idle_ = false;
 };
 
 }  // namespace quicsand::core

@@ -57,8 +57,26 @@ ParallelPipeline::ParallelPipeline(ParallelPipelineOptions options)
     shard_records_hist_ = &metrics->histogram(
         "parallel.shard_records", obs::size_bounds(),
         "records per analysis shard (imbalance indicator)");
+    classify_batch_us_ = &metrics->histogram(
+        "parallel.classify_batch_us", obs::latency_bounds_us(),
+        "wall time a worker spent classifying one batch");
+    sessionize_shard_us_ = &metrics->histogram(
+        "parallel.sessionize_shard_us", obs::latency_bounds_us(),
+        "wall time one shard spent in sessionization");
+    analyze_shard_us_ = &metrics->histogram(
+        "parallel.analyze_shard_us", obs::latency_bounds_us(),
+        "wall time one shard spent in session + attack analysis");
+    inflight_gauge_ = &metrics->gauge(
+        "parallel.inflight_batches", "classify batches queued or running");
+    pending_gauge_ = &metrics->gauge(
+        "parallel.pending_packets",
+        "packets buffered in the current (undispatched) batch");
     metrics->gauge("parallel.shards", "analysis shards / worker threads")
         .set(static_cast<std::int64_t>(shards_));
+  }
+  if (auto* health = options_.base.obs.health) {
+    health_ = &health->component("parallel_pipeline");
+    health_->set_ready(true);
   }
   pool_ = std::make_unique<util::ThreadPool>(shards_);
 }
@@ -74,6 +92,9 @@ ParallelPipeline::~ParallelPipeline() {
 void ParallelPipeline::consume(const net::RawPacket& packet) {
   if (packets_counter_ != nullptr) packets_counter_->add();
   pending_.push_back(packet);
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+  }
   if (pending_.size() >= options_.batch_size) dispatch_batch();
 }
 
@@ -87,22 +108,28 @@ void ParallelPipeline::dispatch_batch() {
     std::unique_lock lock(inflight_mutex_);
     inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
     ++inflight_;
+    if (inflight_gauge_ != nullptr) {
+      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+    }
     if (backpressure_wait_us_ != nullptr) {
       backpressure_wait_us_->observe(steady_us() - wait_start);
     }
   }
   if (batches_counter_ != nullptr) batches_counter_->add();
+  if (health_ != nullptr) health_->heartbeat();
   batches_.emplace_back();
   auto* out = &batches_.back();
   auto batch =
       std::make_shared<std::vector<net::RawPacket>>(std::move(pending_));
   pending_.clear();
   pending_.reserve(options_.batch_size);
+  if (pending_gauge_ != nullptr) pending_gauge_->set(0);
   const auto submit_us = queue_wait_us_ != nullptr ? steady_us() : 0;
   pool_->submit([this, out, batch, submit_us](std::size_t worker) {
     if (queue_wait_us_ != nullptr) {
       queue_wait_us_->observe(steady_us() - submit_us);
     }
+    const auto batch_start = classify_batch_us_ != nullptr ? steady_us() : 0;
     obs::Span span(options_.base.obs.tracer, "parallel.classify_batch");
     auto& classifier = *worker_classifiers_[worker];
     out->reserve(batch->size());
@@ -120,8 +147,14 @@ void ParallelPipeline::dispatch_batch() {
     if (records_counter_ != nullptr) {
       records_counter_->add(out->size());
     }
+    if (classify_batch_us_ != nullptr) {
+      classify_batch_us_->observe(steady_us() - batch_start);
+    }
     std::lock_guard lock(inflight_mutex_);
     --inflight_;
+    if (inflight_gauge_ != nullptr) {
+      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+    }
     inflight_cv_.notify_all();
   });
 }
@@ -153,6 +186,10 @@ void ParallelPipeline::finish() {
   finished_ = true;
   if (auto* metrics = options_.base.obs.metrics) {
     publish_classifier_stats(stats_, *metrics);
+  }
+  if (health_ != nullptr) {
+    health_->heartbeat();
+    health_->set_idle(true);  // ingest drained and merged
   }
 }
 
@@ -198,7 +235,11 @@ std::vector<std::vector<Session>> ParallelPipeline::sharded_sessions(
   pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
     obs::Span span(options_.base.obs.tracer,
                    "parallel.sessionize.shard" + std::to_string(s));
+    const auto start = sessionize_shard_us_ != nullptr ? steady_us() : 0;
     parts[s] = build_sessions(shards[s], timeout, filter);
+    if (sessionize_shard_us_ != nullptr) {
+      sessionize_shard_us_->observe(steady_us() - start);
+    }
   });
   return parts;
 }
@@ -262,11 +303,15 @@ Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
   pool_->parallel_for(shards_, [&](std::size_t s, std::size_t) {
     obs::Span span(options_.base.obs.tracer,
                    "parallel.analyze.shard" + std::to_string(s));
+    const auto start = analyze_shard_us_ != nullptr ? steady_us() : 0;
     auto& out = outs[s];
     out.response = build_sessions(shards[s], timeout, response_filter);
     out.common = build_sessions(shards[s], timeout, common_filter);
     out.quic_attacks = detect_attacks(out.response, thresholds);
     out.common_attacks = detect_attacks(out.common, thresholds);
+    if (analyze_shard_us_ != nullptr) {
+      analyze_shard_us_->observe(steady_us() - start);
+    }
   });
 
   obs::Span merge_span(options_.base.obs.tracer, "parallel.merge_analysis");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/health.hpp"
 #include "util/sharded_counter.hpp"
 #include "util/thread_pool.hpp"
 
@@ -111,6 +112,14 @@ class ParallelPipeline {
   obs::Histogram* backpressure_wait_us_ = nullptr;
   obs::Histogram* queue_wait_us_ = nullptr;
   obs::Histogram* shard_records_hist_ = nullptr;
+  obs::Histogram* classify_batch_us_ = nullptr;
+  obs::Histogram* sessionize_shard_us_ = nullptr;
+  obs::Histogram* analyze_shard_us_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  // Liveness component; heartbeat per dispatched batch, idle once
+  // finish() has merged.
+  obs::Health::Component* health_ = nullptr;
 
   // Declared last so jobs referencing the members above are drained
   // before anything else is destroyed.

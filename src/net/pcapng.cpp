@@ -1,5 +1,6 @@
 #include "net/pcapng.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -11,6 +12,30 @@ namespace quicsand::net {
 namespace {
 
 constexpr std::size_t kMaxBlockSize = 16u << 20;
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Records scope duration into `hist` on destruction; reads the clock
+/// only when a histogram is attached, so unobserved readers stay free.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(obs::Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? steady_us() : 0) {}
+  ~ScopedLatency() {
+    if (hist_ != nullptr) hist_->observe(steady_us() - start_);
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::uint64_t start_;
+};
 
 }  // namespace
 
@@ -214,6 +239,7 @@ void PcapngReader::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     packets_counter_ = bytes_counter_ = skipped_blocks_counter_ =
         linktype_drops_counter_ = nullptr;
+    read_us_ = nullptr;
     return;
   }
   packets_counter_ = &metrics->counter("pcapng.packets_read",
@@ -224,9 +250,13 @@ void PcapngReader::set_metrics(obs::MetricsRegistry* metrics) {
       "pcapng.blocks_skipped", "non-packet blocks (stats, NRB, custom)");
   linktype_drops_counter_ = &metrics->counter(
       "pcapng.linktype_drops", "packets on unsupported link types");
+  read_us_ = &metrics->histogram(
+      "pcapng.read_us", obs::latency_bounds_us(),
+      "wall time to read one packet, skipped blocks included");
 }
 
 std::optional<RawPacket> PcapngReader::next() {
+  const ScopedLatency latency(read_us_);
   std::uint32_t type = 0;
   std::vector<std::uint8_t> body;
   while (read_block(type, body)) {

@@ -1,5 +1,7 @@
 #include "obs/events.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -38,6 +40,54 @@ std::string to_json_line(const DetectorEvent& event) {
   return out.str();
 }
 
+std::optional<std::string> EventSubscription::pop(util::Duration wait) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, std::chrono::microseconds(wait.count()),
+               [this] { return !lines_.empty() || closed_; });
+  if (lines_.empty()) return std::nullopt;
+  std::string line = std::move(lines_.front());
+  lines_.pop_front();
+  return line;
+}
+
+std::uint64_t EventSubscription::take_dropped() {
+  std::lock_guard lock(mutex_);
+  const auto dropped = dropped_;
+  dropped_ = 0;
+  return dropped;
+}
+
+bool EventSubscription::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+void EventSubscription::push(std::string line) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    if (lines_.size() >= capacity_) {
+      lines_.pop_front();  // drop the oldest line, keep the alert fresh
+      ++dropped_;
+    }
+    lines_.push_back(std::move(line));
+  }
+  cv_.notify_all();
+}
+
+void EventSubscription::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+EventLog::~EventLog() {
+  std::lock_guard lock(mutex_);
+  for (const auto& subscription : subscriptions_) subscription->close();
+}
+
 void EventLog::set_stream(std::ostream* out) {
   std::lock_guard lock(mutex_);
   stream_ = out;
@@ -45,8 +95,53 @@ void EventLog::set_stream(std::ostream* out) {
 
 void EventLog::emit(DetectorEvent event) {
   std::lock_guard lock(mutex_);
-  if (stream_ != nullptr) *stream_ << to_json_line(event) << "\n";
+  const auto line = to_json_line(event);
+  if (stream_ != nullptr) {
+    *stream_ << line << "\n";
+    // Alerts are the time-critical lines: flush so a tail -f (or the
+    // /events endpoint's file-backed cousin) sees them immediately
+    // instead of at buffer-flush granularity.
+    if (event.type == DetectorEventType::kAlertFired) stream_->flush();
+  }
+  for (const auto& subscription : subscriptions_) subscription->push(line);
   events_.push_back(std::move(event));
+}
+
+void EventLog::flush() {
+  std::lock_guard lock(mutex_);
+  if (stream_ != nullptr) stream_->flush();
+}
+
+std::shared_ptr<EventSubscription> EventLog::subscribe(std::size_t capacity) {
+  return subscribe(capacity, 0, nullptr);
+}
+
+std::shared_ptr<EventSubscription> EventLog::subscribe(
+    std::size_t capacity, std::size_t backlog,
+    std::vector<std::string>* replay) {
+  auto subscription = std::shared_ptr<EventSubscription>(
+      new EventSubscription(capacity == 0 ? 1 : capacity));
+  std::lock_guard lock(mutex_);
+  // Backlog capture and registration happen under the same lock emit()
+  // takes, so an event lands in exactly one of the two: the replayed
+  // tail or the live ring. No gap, no duplicate.
+  if (replay != nullptr && backlog > 0) {
+    const std::size_t start =
+        events_.size() > backlog ? events_.size() - backlog : 0;
+    for (std::size_t i = start; i < events_.size(); ++i) {
+      replay->push_back(to_json_line(events_[i]));
+    }
+  }
+  subscriptions_.push_back(subscription);
+  return subscription;
+}
+
+void EventLog::unsubscribe(
+    const std::shared_ptr<EventSubscription>& subscription) {
+  if (!subscription) return;
+  subscription->close();
+  std::lock_guard lock(mutex_);
+  std::erase(subscriptions_, subscription);
 }
 
 std::vector<DetectorEvent> EventLog::events() const {

@@ -13,9 +13,13 @@
 // are orders of magnitude rarer than packets, so this is not a hot path.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +52,37 @@ struct DetectorEvent {
 /// One NDJSON line (no trailing newline).
 [[nodiscard]] std::string to_json_line(const DetectorEvent& event);
 
+/// Live-tail handle returned by EventLog::subscribe(): a bounded ring of
+/// rendered NDJSON lines. The emitter never blocks on a subscriber — when
+/// the ring is full the oldest line is dropped and counted, so a slow
+/// /events consumer loses history, not the pipeline's throughput.
+class EventSubscription {
+ public:
+  /// Wait up to `wait` for the next line; nullopt on timeout or once the
+  /// subscription is closed and drained.
+  std::optional<std::string> pop(util::Duration wait);
+
+  /// Lines dropped because the ring was full since the last call
+  /// (read-and-reset, so the consumer can report each gap once).
+  [[nodiscard]] std::uint64_t take_dropped();
+
+  [[nodiscard]] bool closed() const;
+
+ private:
+  friend class EventLog;
+  explicit EventSubscription(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(std::string line);
+  void close();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
 class EventLog {
  public:
   EventLog() = default;
@@ -60,6 +95,26 @@ class EventLog {
 
   void emit(DetectorEvent event);
 
+  /// Flush the tee stream so an operator tailing the file sees every
+  /// line written so far. emit() calls this automatically for alert
+  /// events — an early-warning line must not sit in a stdio buffer.
+  void flush();
+
+  /// Attach a live tail with a ring of `capacity` lines (see
+  /// EventSubscription). Every event emitted after this call is pushed
+  /// to the subscriber; closed via unsubscribe() or ~EventLog.
+  [[nodiscard]] std::shared_ptr<EventSubscription> subscribe(
+      std::size_t capacity);
+
+  /// Same, but atomically captures the last `backlog` stored events as
+  /// rendered NDJSON lines into `replay` under the emit lock: an event
+  /// fired while a client attaches appears in exactly one of the replay
+  /// or the ring, never neither (and never both).
+  [[nodiscard]] std::shared_ptr<EventSubscription> subscribe(
+      std::size_t capacity, std::size_t backlog,
+      std::vector<std::string>* replay);
+  void unsubscribe(const std::shared_ptr<EventSubscription>& subscription);
+
   [[nodiscard]] std::vector<DetectorEvent> events() const;
   [[nodiscard]] std::size_t size() const;
 
@@ -67,10 +122,13 @@ class EventLog {
   void write_ndjson(std::ostream& out) const;
   bool write_ndjson_file(const std::string& path) const;
 
+  ~EventLog();
+
  private:
   mutable std::mutex mutex_;
   std::vector<DetectorEvent> events_;
   std::ostream* stream_ = nullptr;
+  std::vector<std::shared_ptr<EventSubscription>> subscriptions_;
 };
 
 }  // namespace quicsand::obs

@@ -1,0 +1,109 @@
+#include "obs/health.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace quicsand::obs {
+
+namespace {
+
+Health::Clock steady_clock_since_construction() {
+  const auto origin = std::chrono::steady_clock::now();
+  return [origin] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+  };
+}
+
+HealthState evaluate(std::uint64_t age_us, std::uint64_t degraded_after_us,
+                     std::uint64_t unhealthy_after_us, bool idle) {
+  if (idle) return HealthState::kHealthy;
+  if (age_us >= unhealthy_after_us) return HealthState::kUnhealthy;
+  if (age_us >= degraded_after_us) return HealthState::kDegraded;
+  return HealthState::kHealthy;
+}
+
+}  // namespace
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kUnhealthy: return "unhealthy";
+  }
+  return "unknown";
+}
+
+Health::Component::Component(Health* owner, std::string name,
+                             util::Duration degraded_after,
+                             util::Duration unhealthy_after)
+    : owner_(owner),
+      name_(std::move(name)),
+      degraded_after_us_(static_cast<std::uint64_t>(degraded_after.count())),
+      unhealthy_after_us_(
+          static_cast<std::uint64_t>(unhealthy_after.count())),
+      last_beat_us_(owner->now_us()) {}
+
+Health::Health() : clock_(steady_clock_since_construction()) {}
+
+Health::Health(Clock clock) : clock_(std::move(clock)) {}
+
+Health::Component& Health::component(const std::string& name,
+                                     util::Duration degraded_after,
+                                     util::Duration unhealthy_after) {
+  std::lock_guard lock(mutex_);
+  for (auto& component : components_) {
+    if (component.name_ == name) return component;
+  }
+  components_.emplace_back(this, name, degraded_after, unhealthy_after);
+  return components_.back();
+}
+
+Health::Snapshot Health::snapshot() const {
+  const auto now = now_us();
+  std::lock_guard lock(mutex_);
+  Snapshot snapshot;
+  for (const auto& component : components_) {
+    ComponentStatus status;
+    status.name = component.name_;
+    status.ready = component.ready_.load(std::memory_order_relaxed);
+    status.idle = component.idle_.load(std::memory_order_relaxed);
+    status.beats = component.beats();
+    const auto last = component.last_beat_us_.load(std::memory_order_relaxed);
+    status.age_us = now >= last ? now - last : 0;
+    status.state = evaluate(status.age_us, component.degraded_after_us_,
+                            component.unhealthy_after_us_, status.idle);
+    if (static_cast<int>(status.state) >
+        static_cast<int>(snapshot.overall)) {
+      snapshot.overall = status.state;
+    }
+    snapshot.ready = snapshot.ready && status.ready;
+    snapshot.components.push_back(std::move(status));
+  }
+  return snapshot;
+}
+
+std::string Health::to_json() const {
+  const auto snap = snapshot();
+  std::ostringstream out;
+  out << "{\"status\": \"" << health_state_name(snap.overall)
+      << "\", \"ready\": " << (snap.ready ? "true" : "false")
+      << ", \"components\": [";
+  bool first = true;
+  for (const auto& component : snap.components) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"name\": \"" << component.name << "\", \"state\": \""
+        << health_state_name(component.state)
+        << "\", \"ready\": " << (component.ready ? "true" : "false")
+        << ", \"idle\": " << (component.idle ? "true" : "false")
+        << ", \"beats\": " << component.beats
+        << ", \"age_us\": " << component.age_us << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace quicsand::obs

@@ -15,11 +15,15 @@ class Gauge;
 class Histogram;
 class Tracer;
 class EventLog;
+class Health;
 
 struct Hooks {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   EventLog* events = nullptr;
+  /// Liveness registry: long-running stages register a component and
+  /// heartbeat it so /healthz can flag a stalled stage (see health.hpp).
+  Health* health = nullptr;
 };
 
 }  // namespace quicsand::obs

@@ -1,0 +1,218 @@
+#include "obs/http/admin.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "util/parse.hpp"
+
+namespace quicsand::obs::http {
+
+namespace {
+
+std::function<std::uint64_t()> steady_clock_since_construction() {
+  const auto origin = std::chrono::steady_clock::now();
+  return [origin] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin)
+            .count());
+  };
+}
+
+/// Threads of this process, from /proc/self/status (-1 off Linux).
+std::int64_t proc_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    constexpr std::string_view kKey = "Threads:";
+    if (line.rfind(kKey, 0) != 0) continue;
+    std::string_view rest = std::string_view(line).substr(kKey.size());
+    const auto begin = rest.find_first_not_of(" \t");
+    if (begin == std::string_view::npos) return -1;
+    const auto end = rest.find_last_not_of(" \t\r");
+    return util::parse_i64(rest.substr(begin, end - begin + 1)).value_or(-1);
+  }
+  return -1;
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream out;
+  out.precision(digits);
+  out << std::fixed << value;
+  return out.str();
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options)
+    : options_(std::move(options)), server_(options_.http) {
+  if (!options_.clock) options_.clock = steady_clock_since_construction();
+  if (!options_.thread_count) options_.thread_count = proc_thread_count;
+  if (options_.events_buffer == 0) options_.events_buffer = 1;
+  install_routes();
+}
+
+std::string AdminServer::stats_json() const {
+  const auto uptime_us = options_.clock();
+  const double uptime_s =
+      static_cast<double>(uptime_us) / 1e6;
+  std::ostringstream out;
+  out << "{\"uptime_s\": " << fmt_fixed(uptime_s, 3)
+      << ", \"threads\": " << options_.thread_count()
+      << ", \"http\": {\"accepted\": " << server_.connections_accepted()
+      << ", \"served\": " << server_.requests_served()
+      << ", \"rejected\": " << server_.connections_rejected() << "}";
+  if (options_.metrics != nullptr) {
+    out << ", \"counters\": {";
+    bool first = true;
+    const auto counters = options_.metrics->counter_snapshot();
+    for (const auto& [name, value] : counters) {
+      out << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    out << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : options_.metrics->gauge_snapshot()) {
+      out << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    // Per-stage throughput: every counter divided by uptime. Stages that
+    // report packet/record counters (pipeline.*, online.*, pcap.*) thus
+    // show up as rates without extra bookkeeping.
+    out << "}, \"throughput_per_s\": {";
+    first = true;
+    for (const auto& [name, value] : counters) {
+      const double rate =
+          uptime_s > 0 ? static_cast<double>(value) / uptime_s : 0.0;
+      out << (first ? "" : ", ") << "\"" << name
+          << "\": " << fmt_fixed(rate, 3);
+      first = false;
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void AdminServer::install_routes() {
+  server_.handle("/", [](const Request&) {
+    Response response;
+    response.body =
+        "quicsand admin endpoints:\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  JSON metrics snapshot\n"
+        "  /healthz       component health (watchdog verdict)\n"
+        "  /readyz        readiness (503 until every component is ready)\n"
+        "  /stats         uptime, threads, per-stage throughput\n"
+        "  /events        NDJSON live tail of detector events"
+        " (?backlog=N)\n";
+    return response;
+  });
+
+  server_.handle("/metrics", [this](const Request&) {
+    Response response;
+    if (options_.metrics == nullptr) {
+      response.status = 503;
+      response.body = "no metrics registry attached\n";
+      return response;
+    }
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = options_.metrics->to_prometheus();
+    return response;
+  });
+
+  server_.handle("/metrics.json", [this](const Request&) {
+    Response response;
+    if (options_.metrics == nullptr) {
+      response.status = 503;
+      response.body = "no metrics registry attached\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = options_.metrics->to_json();
+    return response;
+  });
+
+  server_.handle("/healthz", [this](const Request&) {
+    Response response;
+    if (options_.health == nullptr) {
+      response.status = 503;
+      response.body = "no health model attached\n";
+      return response;
+    }
+    const auto snapshot = options_.health->snapshot();
+    response.status =
+        snapshot.overall == HealthState::kUnhealthy ? 503 : 200;
+    response.content_type = "application/json";
+    response.body = options_.health->to_json() + "\n";
+    return response;
+  });
+
+  server_.handle("/readyz", [this](const Request&) {
+    Response response;
+    if (options_.health == nullptr) {
+      response.status = 503;
+      response.body = "no health model attached\n";
+      return response;
+    }
+    const auto snapshot = options_.health->snapshot();
+    response.status = snapshot.ready ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = std::string("{\"ready\": ") +
+                    (snapshot.ready ? "true" : "false") + "}\n";
+    return response;
+  });
+
+  server_.handle("/stats", [this](const Request&) {
+    Response response;
+    response.content_type = "application/json";
+    response.body = stats_json() + "\n";
+    return response;
+  });
+
+  server_.handle_stream("/events", [this](const Request& request,
+                                          ClientStream& stream) {
+    if (options_.events == nullptr) {
+      stream.write_chunk("{\"error\": \"no event log attached\"}\n");
+      return;
+    }
+    // Replay the tail of the stored log first when asked: an operator
+    // attaching late still sees the recent alerts. Backlog capture and
+    // subscription are one atomic step, so an alert firing while the
+    // client attaches is never lost between the two.
+    std::uint64_t backlog = 0;
+    if (const auto it = request.query.find("backlog");
+        it != request.query.end()) {
+      backlog = util::parse_u64(it->second).value_or(0);
+    }
+    std::vector<std::string> replay;
+    const auto subscription = options_.events->subscribe(
+        options_.events_buffer, static_cast<std::size_t>(backlog), &replay);
+    for (const auto& line : replay) {
+      if (!stream.write_chunk(line + "\n")) {
+        options_.events->unsubscribe(subscription);
+        return;
+      }
+    }
+    while (stream.alive() && !subscription->closed()) {
+      if (const auto dropped = subscription->take_dropped(); dropped > 0) {
+        std::ostringstream notice;
+        notice << "{\"event\": \"events_dropped\", \"count\": " << dropped
+               << "}\n";
+        if (!stream.write_chunk(notice.str())) break;
+      }
+      const auto line = subscription->pop(options_.events_poll);
+      if (!line) continue;  // timeout: loop to re-check liveness
+      if (!stream.write_chunk(*line + "\n")) break;
+    }
+    options_.events->unsubscribe(subscription);
+  });
+}
+
+}  // namespace quicsand::obs::http

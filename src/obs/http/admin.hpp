@@ -1,0 +1,83 @@
+// Admin/telemetry endpoint: the obs layer's live serving surface.
+//
+// Wraps an http::Server with the routes a running deployment needs:
+//
+//   GET /             endpoint index (text)
+//   GET /metrics      Prometheus text exposition from the MetricsRegistry
+//   GET /metrics.json the registry's deterministic JSON snapshot
+//   GET /healthz      obs::Health watchdog verdict; 503 when unhealthy
+//   GET /readyz       200 once every component reported ready, else 503
+//   GET /stats        uptime, thread count, counters/gauges + per-stage
+//                     throughput derived from counter/uptime
+//   GET /events       chunked NDJSON live tail of the detector EventLog
+//                     (?backlog=N replays the last N stored events first)
+//
+// Every endpoint renders under a read snapshot: scrapes sum the striped
+// counter cells and never block the wait-free write path, so Prometheus
+// can poll /metrics while the pipeline ingests millions of records per
+// second. /events subscribers get a bounded per-client ring
+// (events_buffer lines) that drops-and-counts when the client reads
+// slower than the detector fires — a stalled curl costs history, never
+// ingest throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/http/server.hpp"
+#include "util/time.hpp"
+
+namespace quicsand::obs {
+
+class MetricsRegistry;
+class Health;
+class EventLog;
+
+namespace http {
+
+struct AdminOptions {
+  ServerOptions http;
+  /// Sinks to serve; any of these may stay nullptr and the matching
+  /// endpoint answers 503 with a one-line explanation.
+  MetricsRegistry* metrics = nullptr;
+  Health* health = nullptr;
+  EventLog* events = nullptr;
+  /// Uptime clock (monotonic microseconds); defaults to steady time
+  /// since the AdminServer was constructed. Tests inject a manual clock.
+  std::function<std::uint64_t()> clock;
+  /// Thread-count probe for /stats; defaults to /proc/self/status.
+  std::function<std::int64_t()> thread_count;
+  /// Per-client /events ring capacity (lines) and poll cadence.
+  std::size_t events_buffer = 256;
+  util::Duration events_poll = 200 * util::kMillisecond;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminOptions options);
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  bool start() { return server_.start(); }
+  void stop() { server_.stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] const std::string& last_error() const {
+    return server_.last_error();
+  }
+  [[nodiscard]] bool running() const { return server_.running(); }
+
+  /// The /stats JSON body (exposed for tests and file export).
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  void install_routes();
+
+  AdminOptions options_;
+  Server server_;
+};
+
+}  // namespace http
+}  // namespace quicsand::obs

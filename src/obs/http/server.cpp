@@ -1,0 +1,325 @@
+#include "obs/http/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace quicsand::obs::http {
+
+namespace {
+
+/// send() the whole buffer; false on any error (including timeout).
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const auto n = ::send(fd, data.data() + sent, data.size() - sent,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_socket_timeout(int fd, int option, util::Duration timeout) {
+  timeval tv{};
+  tv.tv_sec = timeout.count() / util::kSecond.count();
+  tv.tv_usec = timeout.count() % util::kSecond.count();
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+std::string response_head(int status, const std::string& content_type,
+                          std::size_t content_length, bool chunked) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << status_reason(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n";
+  if (chunked) {
+    out << "Transfer-Encoding: chunked\r\n";
+  } else {
+    out << "Content-Length: " << content_length << "\r\n";
+  }
+  out << "Connection: close\r\n\r\n";
+  return out.str();
+}
+
+bool send_response(int fd, const Response& response, bool head_only) {
+  std::string payload = response_head(response.status, response.content_type,
+                                      response.body.size(), false);
+  if (!head_only) payload += response.body;
+  return send_all(fd, payload);
+}
+
+Response simple_status(int status, const std::string& detail = "") {
+  Response response;
+  response.status = status;
+  response.body = std::string(status_reason(status));
+  if (!detail.empty()) response.body += ": " + detail;
+  response.body += "\n";
+  return response;
+}
+
+std::string to_hex(std::size_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  if (value == 0) return "0";
+  std::string out;
+  while (value > 0) {
+    out.insert(out.begin(), kDigits[value & 0xF]);
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+bool ClientStream::write_chunk(std::string_view data) {
+  if (data.empty()) return alive();
+  if (!alive()) return false;
+  std::string framed = to_hex(data.size()) + "\r\n";
+  framed.append(data);
+  framed += "\r\n";
+  if (!send_all(fd_, framed)) broken_ = true;
+  return alive();
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+void Server::handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void Server::handle_stream(const std::string& path, StreamHandler handler) {
+  stream_handlers_[path] = std::move(handler);
+}
+
+bool Server::start() {
+  if (running_.load(std::memory_order_relaxed)) return true;
+  stopping_.store(false, std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "invalid listen host: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error_ = "bind " + options_.host + ": " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    error_ = "listen: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    error_ = "pipe: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  running_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wake the accept poll; the accept thread tears everything else down.
+  const char byte = 'x';
+  [[maybe_unused]] const auto ignored = ::write(wake_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Server::reap_connections(bool join_all) {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& connection = **it;
+    if (join_all || connection.done.load(std::memory_order_acquire)) {
+      if (join_all) {
+        // Unblock a connection thread stuck in recv/send.
+        ::shutdown(connection.fd, SHUT_RDWR);
+      }
+      if (connection.thread.joinable()) connection.thread.join();
+      ::close(connection.fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    // Finite timeout so finished connection threads are reaped promptly
+    // even when no new connection arrives.
+    const int ready = ::poll(fds, 2, 100);
+    reap_connections(false);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_socket_timeout(fd, SO_RCVTIMEO, options_.read_timeout);
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.write_timeout);
+
+    if (connections_.size() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, simple_status(503, "connection limit reached"),
+                    false);
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { serve_connection(raw); });
+    connections_.push_back(std::move(connection));
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  reap_connections(true);
+}
+
+int Server::read_request(int fd, Request* request) const {
+  std::string buffer;
+  while (buffer.find("\r\n\r\n") == std::string::npos) {
+    if (buffer.size() > options_.max_request_bytes) return 413;
+    char chunk[1024];
+    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 408;
+      return -1;  // client gone; nothing to answer
+    }
+    if (n == 0) return -1;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (buffer.size() > options_.max_request_bytes) return 413;
+
+  const auto line_end = buffer.find("\r\n");
+  const std::string line = buffer.substr(0, line_end);
+  const auto method_end = line.find(' ');
+  if (method_end == std::string::npos) return 400;
+  const auto target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return 400;
+  request->method = line.substr(0, method_end);
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target[0] != '/') return 400;
+
+  const auto query_start = target.find('?');
+  request->path = target.substr(0, query_start);
+  if (query_start != std::string::npos) {
+    std::string query = target.substr(query_start + 1);
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      auto amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      const auto eq = pair.find('=');
+      if (eq != std::string::npos) {
+        request->query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      } else if (!pair.empty()) {
+        request->query[pair] = "";
+      }
+      pos = amp + 1;
+    }
+  }
+  return 0;
+}
+
+void Server::serve_connection(Connection* connection) {
+  const int fd = connection->fd;
+  Request request;
+  const int status = read_request(fd, &request);
+  if (status > 0) {
+    send_response(fd, simple_status(status), false);
+  } else if (status == 0) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    const bool head_only = request.method == "HEAD";
+    if (request.method != "GET" && request.method != "HEAD") {
+      send_response(fd, simple_status(405, "only GET and HEAD"), false);
+    } else if (const auto it = stream_handlers_.find(request.path);
+               it != stream_handlers_.end() && !head_only) {
+      if (send_all(fd, response_head(200, "application/x-ndjson", 0, true))) {
+        ClientStream stream(fd, &stopping_);
+        it->second(request, stream);
+        if (stream.alive()) send_all(fd, "0\r\n\r\n");
+      }
+    } else if (const auto handler = handlers_.find(request.path);
+               handler != handlers_.end()) {
+      send_response(fd, handler->second(request), head_only);
+    } else if (head_only &&
+               stream_handlers_.find(request.path) != stream_handlers_.end()) {
+      send_response(fd, simple_status(200), true);
+    } else {
+      send_response(fd, simple_status(404, request.path), false);
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  connection->done.store(true, std::memory_order_release);
+}
+
+}  // namespace quicsand::obs::http

@@ -1,0 +1,154 @@
+// Minimal dependency-free HTTP/1.1 server over POSIX sockets, sized for
+// a telemetry/admin surface (a handful of concurrent scrapers), not for
+// serving the public internet:
+//
+//   * one dedicated accept thread; clean shutdown via a self-pipe that
+//     wakes the poll() so stop() never waits out a timeout
+//   * one short-lived thread per connection, capped at
+//     ServerOptions::max_connections (excess connections get 503)
+//   * per-connection read/write timeouts (SO_RCVTIMEO / SO_SNDTIMEO) so
+//     a stuck client cannot pin a connection slot
+//   * a max-request-size cap (413 when exceeded); only GET and HEAD are
+//     accepted (405 otherwise), every response is Connection: close
+//
+// Two handler kinds: a plain Handler returns a complete Response
+// (Content-Length framing); a StreamHandler writes HTTP/1.1 chunks
+// through a ClientStream until the client disconnects or the server
+// stops — the /events NDJSON live tail uses this.
+//
+// The request path never touches the process being observed: handlers
+// run on the connection thread, so a slow scrape can only delay other
+// scrapes, never the pipeline's write path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::obs::http {
+
+struct Request {
+  std::string method;  ///< "GET" / "HEAD"
+  std::string path;    ///< target with the query string stripped
+  std::map<std::string, std::string> query;  ///< decoded ?k=v pairs
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+[[nodiscard]] const char* status_reason(int status);
+
+/// Handle a stream handler writes through. Writes are chunk-framed;
+/// write_chunk returns false once the client is gone or the server is
+/// stopping, at which point the handler should return.
+class ClientStream {
+ public:
+  ClientStream(int fd, const std::atomic<bool>* stopping)
+      : fd_(fd), stopping_(stopping) {}
+
+  /// Write one HTTP chunk. Empty data is skipped (an empty chunk would
+  /// terminate the stream).
+  bool write_chunk(std::string_view data);
+  [[nodiscard]] bool alive() const {
+    return !broken_ && !stopping_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_;
+  const std::atomic<bool>* stopping_;
+  bool broken_ = false;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see Server::port)
+  std::size_t max_request_bytes = 8192;
+  std::size_t max_connections = 16;
+  util::Duration read_timeout = 5 * util::kSecond;
+  util::Duration write_timeout = 5 * util::kSecond;
+};
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+  using StreamHandler = std::function<void(const Request&, ClientStream&)>;
+
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Exact-match routes; register before start().
+  void handle(const std::string& path, Handler handler);
+  void handle_stream(const std::string& path, StreamHandler handler);
+
+  /// Bind, listen and spawn the accept thread. Returns false (with
+  /// last_error() set) if the socket cannot be bound.
+  bool start();
+
+  /// Stop accepting, unblock in-flight connections and join every
+  /// thread. Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Actual bound port (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+  // Introspection for tests and /stats.
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+  void reap_connections(bool join_all);
+  /// Parse the request head; returns an HTTP status (0 = OK).
+  int read_request(int fd, Request* request) const;
+
+  ServerOptions options_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, StreamHandler> stream_handlers_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: stop() wakes the poll
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace quicsand::obs::http

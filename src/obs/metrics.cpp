@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace quicsand::obs {
 
@@ -16,6 +17,36 @@ std::string prometheus_name(const std::string& name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Counters carry the conventional `_total` suffix in the exposition
+/// (OpenMetrics requires it; Prometheus tooling expects it).
+std::string prometheus_counter_name(const std::string& name) {
+  auto out = prometheus_name(name);
+  constexpr std::string_view kSuffix = "_total";
+  if (out.size() < kSuffix.size() ||
+      out.compare(out.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    out += kSuffix;
+  }
+  return out;
+}
+
+/// HELP text escaping per the text exposition format: backslash and
+/// newline must be escaped so multi-line help cannot break the parse.
+std::string prometheus_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -114,9 +145,11 @@ std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, entry] : entries_) {
-    const auto prom = prometheus_name(name);
+    const auto prom = entry.counter && !entry.gauge && !entry.histogram
+                          ? prometheus_counter_name(name)
+                          : prometheus_name(name);
     if (!entry.help.empty()) {
-      out << "# HELP " << prom << " " << entry.help << "\n";
+      out << "# HELP " << prom << " " << prometheus_help(entry.help) << "\n";
     }
     if (entry.counter) {
       out << "# TYPE " << prom << " counter\n"
@@ -143,6 +176,26 @@ std::string MetricsRegistry::to_prometheus() const {
     }
   }
   return out.str();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) out.emplace_back(name, entry.counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gauge_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.gauge) out.emplace_back(name, entry.gauge->value());
+  }
+  return out;
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/sharded_counter.hpp"
@@ -107,8 +108,17 @@ class MetricsRegistry {
                        const std::string& help = "");
 
   /// Prometheus text exposition format (metric names sanitized to
-  /// [a-zA-Z0-9_], dots become underscores).
+  /// [a-zA-Z0-9_], dots become underscores; counters get the
+  /// conventional `_total` suffix; HELP text is escaped per the format).
   [[nodiscard]] std::string to_prometheus() const;
+
+  /// Point-in-time name/value lists (sorted by name), for surfaces that
+  /// derive their own rendering — the admin server's /stats throughput
+  /// section reads these instead of re-parsing an export.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+  gauge_snapshot() const;
   /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;
   /// Write to_json() to `path`; returns false if the file cannot be

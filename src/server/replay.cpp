@@ -2,6 +2,8 @@
 
 #include "net/headers.hpp"
 #include "net/pcap.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
 
 namespace quicsand::server {
 
@@ -47,10 +49,29 @@ ReplayResult run_replay(const ServerConfig& server_config,
                         const ReplayConfig& replay_config) {
   QuicServerSim sim(server_config);
   RecordedFlood flood(replay_config);
+  obs::Counter* packets_counter = nullptr;
+  if (auto* metrics = replay_config.obs.metrics) {
+    packets_counter = &metrics->counter(
+        "replay.packets", "recorded Initials replayed into server sims");
+  }
+  obs::Health::Component* health = nullptr;
+  if (auto* h = replay_config.obs.health) {
+    health = &h->component("replay");
+    health->set_ready(true);
+  }
   util::Timestamp last = replay_config.start;
+  std::uint64_t replayed = 0;
   while (auto record = flood.next()) {
     last = record->time;
     sim.on_datagram(record->time, record->datagram, record->source);
+    if (packets_counter != nullptr) packets_counter->add();
+    // One heartbeat per 1024 packets keeps the watchdog fed without a
+    // clock read on every datagram.
+    if (health != nullptr && (++replayed & 0x3FF) == 0) health->heartbeat();
+  }
+  if (health != nullptr) {
+    health->heartbeat();
+    health->set_idle(true);  // recording exhausted: quiet, not stale
   }
   ReplayResult result;
   result.server = server_config;

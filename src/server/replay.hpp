@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/ip.hpp"
+#include "obs/hooks.hpp"
 #include "quic/packets.hpp"
 #include "server/sim.hpp"
 #include "util/rng.hpp"
@@ -30,6 +31,9 @@ struct ReplayConfig {
   bool spoofed_sources = true;
   std::uint64_t seed = 2021;
   util::Timestamp start = util::kApril2021Start;
+  /// Optional observability sinks: run_replay counts replayed packets
+  /// and heartbeats a "replay" health component while the loop runs.
+  obs::Hooks obs;
 };
 
 /// Deterministic stream of recorded client Initials.

@@ -42,6 +42,17 @@ std::optional<double> parse_f64(std::string_view text) {
   return parse_with_from_chars<double>(text);
 }
 
+std::optional<HostPort> parse_host_port(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  const auto port = parse_u64(text.substr(colon + 1));
+  if (!port || *port > 65535) return std::nullopt;
+  HostPort result;
+  result.host = std::string(text.substr(0, colon));
+  result.port = static_cast<std::uint16_t>(*port);
+  return result;
+}
+
 std::int64_t require_i64(const char* flag, std::string_view text) {
   const auto value = parse_i64(text);
   if (!value) die(flag, text, "integer");
@@ -67,6 +78,12 @@ int require_int(const char* flag, std::string_view text) {
     die(flag, text, "integer");
   }
   return static_cast<int>(*value);
+}
+
+HostPort require_host_port(const char* flag, std::string_view text) {
+  const auto value = parse_host_port(text);
+  if (!value) die(flag, text, "HOST:PORT");
+  return *value;
 }
 
 }  // namespace quicsand::util

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace quicsand::util {
@@ -20,11 +21,25 @@ namespace quicsand::util {
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
 [[nodiscard]] std::optional<double> parse_f64(std::string_view text);
 
+/// A "HOST:PORT" listen address (--listen flags). Host stays a string:
+/// the socket layer resolves it, so names like "localhost" pass through.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "HOST:PORT". The split is on the *last* colon so a future
+/// bracketed IPv6 host keeps its internal colons; host must be
+/// non-empty, port must be a strict integer in [0, 65535] (0 means
+/// "pick an ephemeral port").
+[[nodiscard]] std::optional<HostPort> parse_host_port(std::string_view text);
+
 /// CLI wrappers: parse or print "invalid value for <flag>: '<text>'
 /// (expected ...)" and exit(2). `flag` is only used in the message.
 std::int64_t require_i64(const char* flag, std::string_view text);
 std::uint64_t require_u64(const char* flag, std::string_view text);
 double require_f64(const char* flag, std::string_view text);
 int require_int(const char* flag, std::string_view text);
+HostPort require_host_port(const char* flag, std::string_view text);
 
 }  // namespace quicsand::util

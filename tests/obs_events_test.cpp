@@ -151,5 +151,94 @@ TEST(ObsEvents, StreamTeeMatchesBatchExport) {
   EXPECT_EQ(n, 2u);
 }
 
+/// Ostream over a streambuf that counts sync() calls, to observe which
+/// emits force a flush through the tee stream.
+class FlushCountingBuf : public std::stringbuf {
+ public:
+  int flushes = 0;
+
+ protected:
+  int sync() override {
+    ++flushes;
+    return std::stringbuf::sync();
+  }
+};
+
+TEST(ObsEvents, AlertEventsFlushTheTeeStream) {
+  obs::EventLog log;
+  FlushCountingBuf buf;
+  std::ostream out(&buf);
+  log.set_stream(&out);
+
+  obs::DetectorEvent event;
+  event.type = obs::DetectorEventType::kSessionEvicted;
+  event.victim = "44.0.0.9";
+  log.emit(event);
+  EXPECT_EQ(buf.flushes, 0);  // routine events may sit in the buffer
+
+  event.type = obs::DetectorEventType::kAlertFired;
+  log.emit(event);
+  EXPECT_EQ(buf.flushes, 1);  // an alert line must hit the sink now
+
+  log.flush();
+  EXPECT_EQ(buf.flushes, 2);
+}
+
+TEST(ObsEvents, SubscriptionReceivesLinesInOrder) {
+  obs::EventLog log;
+  const auto subscription = log.subscribe(8);
+
+  obs::DetectorEvent event;
+  event.type = obs::DetectorEventType::kAlertFired;
+  event.victim = "44.0.0.1";
+  log.emit(event);
+  event.victim = "44.0.0.2";
+  log.emit(event);
+
+  const auto first = subscription->pop(util::Duration{0});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("44.0.0.1"), std::string::npos);
+  const auto second = subscription->pop(util::Duration{0});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("44.0.0.2"), std::string::npos);
+  EXPECT_FALSE(subscription->pop(util::Duration{0}).has_value());
+  EXPECT_EQ(subscription->take_dropped(), 0u);
+  log.unsubscribe(subscription);
+  EXPECT_TRUE(subscription->closed());
+}
+
+TEST(ObsEvents, SlowSubscriberDropsOldestAndCounts) {
+  obs::EventLog log;
+  const auto subscription = log.subscribe(2);
+
+  obs::DetectorEvent event;
+  event.type = obs::DetectorEventType::kAlertFired;
+  for (const char* victim : {"44.0.0.1", "44.0.0.2", "44.0.0.3"}) {
+    event.victim = victim;
+    log.emit(event);
+  }
+
+  // Ring of 2: the oldest line was dropped and counted.
+  EXPECT_EQ(subscription->take_dropped(), 1u);
+  EXPECT_EQ(subscription->take_dropped(), 0u);  // read-and-reset
+  const auto first = subscription->pop(util::Duration{0});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("44.0.0.2"), std::string::npos);
+  const auto second = subscription->pop(util::Duration{0});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("44.0.0.3"), std::string::npos);
+}
+
+TEST(ObsEvents, DestructorClosesSubscriptions) {
+  std::shared_ptr<obs::EventSubscription> subscription;
+  {
+    obs::EventLog log;
+    subscription = log.subscribe(4);
+    EXPECT_FALSE(subscription->closed());
+  }
+  EXPECT_TRUE(subscription->closed());
+  EXPECT_FALSE(subscription->pop(util::Duration{0}).has_value());
+}
+
 }  // namespace
 }  // namespace quicsand::core

@@ -1,0 +1,131 @@
+// Health watchdog: stale-heartbeat state transitions, the idle
+// exemption, explicit readiness and the /healthz JSON body — all driven
+// by a manual clock, no sleeps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/health.hpp"
+
+namespace quicsand::obs {
+namespace {
+
+/// Manual microsecond clock shared with the Health instance under test.
+struct ManualClock {
+  std::shared_ptr<std::uint64_t> now = std::make_shared<std::uint64_t>(0);
+
+  Health::Clock fn() const {
+    return [now = now] { return *now; };
+  }
+  void advance(util::Duration d) {
+    *now += static_cast<std::uint64_t>(d.count());
+  }
+};
+
+TEST(ObsHealth, StaleHeartbeatWalksDegradedThenUnhealthy) {
+  ManualClock clock;
+  Health health(clock.fn());
+  auto& component =
+      health.component("stage", 10 * util::kSecond, 60 * util::kSecond);
+
+  // Registration counts as the first heartbeat.
+  EXPECT_EQ(health.snapshot().overall, HealthState::kHealthy);
+
+  clock.advance(9 * util::kSecond);
+  EXPECT_EQ(health.snapshot().overall, HealthState::kHealthy);
+
+  clock.advance(1 * util::kSecond);  // age == degraded_after
+  EXPECT_EQ(health.snapshot().overall, HealthState::kDegraded);
+
+  clock.advance(49 * util::kSecond);  // age == 59 s
+  EXPECT_EQ(health.snapshot().overall, HealthState::kDegraded);
+
+  clock.advance(1 * util::kSecond);  // age == unhealthy_after
+  EXPECT_EQ(health.snapshot().overall, HealthState::kUnhealthy);
+
+  component.heartbeat();  // recovery is immediate
+  EXPECT_EQ(health.snapshot().overall, HealthState::kHealthy);
+  EXPECT_EQ(component.beats(), 1u);
+}
+
+TEST(ObsHealth, IdleComponentIsExemptFromTheWatchdog) {
+  ManualClock clock;
+  Health health(clock.fn());
+  auto& component = health.component("drained");
+  component.set_idle(true);
+
+  clock.advance(10 * util::kMinute);  // far past both thresholds
+  const auto snapshot = health.snapshot();
+  EXPECT_EQ(snapshot.overall, HealthState::kHealthy);
+  ASSERT_EQ(snapshot.components.size(), 1u);
+  EXPECT_TRUE(snapshot.components[0].idle);
+
+  // Resuming work re-arms the watchdog.
+  component.set_idle(false);
+  EXPECT_EQ(health.snapshot().overall, HealthState::kUnhealthy);
+}
+
+TEST(ObsHealth, OverallIsTheWorstComponent) {
+  ManualClock clock;
+  Health health(clock.fn());
+  health.component("slow", 1 * util::kSecond, 5 * util::kSecond);
+  auto& fresh = health.component("fresh");
+
+  clock.advance(2 * util::kSecond);
+  fresh.heartbeat();
+  const auto snapshot = health.snapshot();
+  EXPECT_EQ(snapshot.overall, HealthState::kDegraded);
+  ASSERT_EQ(snapshot.components.size(), 2u);
+  EXPECT_EQ(snapshot.components[0].state, HealthState::kDegraded);
+  EXPECT_EQ(snapshot.components[1].state, HealthState::kHealthy);
+}
+
+TEST(ObsHealth, ReadinessRequiresEveryComponent) {
+  Health health;
+  EXPECT_TRUE(health.snapshot().ready);  // vacuously ready
+
+  auto& a = health.component("a");
+  auto& b = health.component("b");
+  EXPECT_FALSE(health.snapshot().ready);  // components start not ready
+
+  a.set_ready(true);
+  EXPECT_FALSE(health.snapshot().ready);
+  b.set_ready(true);
+  EXPECT_TRUE(health.snapshot().ready);
+  a.set_ready(false);
+  EXPECT_FALSE(health.snapshot().ready);
+}
+
+TEST(ObsHealth, ComponentIsGetOrCreateByName) {
+  Health health;
+  auto& a = health.component("same");
+  auto& b = health.component("same", 1 * util::kSecond, 2 * util::kSecond);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(health.snapshot().components.size(), 1u);
+}
+
+TEST(ObsHealth, GoldenHealthzJson) {
+  ManualClock clock;
+  Health health(clock.fn());
+  auto& component = health.component("online_detector");
+  component.set_ready(true);
+  clock.advance(3 * util::kSecond);
+  component.heartbeat();
+  clock.advance(3 * util::kSecond);
+
+  EXPECT_EQ(health.to_json(),
+            "{\"status\": \"healthy\", \"ready\": true, \"components\": "
+            "[{\"name\": \"online_detector\", \"state\": \"healthy\", "
+            "\"ready\": true, \"idle\": false, \"beats\": 1, "
+            "\"age_us\": 3000000}]}");
+}
+
+TEST(ObsHealth, StateNames) {
+  EXPECT_STREQ(health_state_name(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(health_state_name(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(health_state_name(HealthState::kUnhealthy), "unhealthy");
+}
+
+}  // namespace
+}  // namespace quicsand::obs

@@ -106,9 +106,9 @@ TEST(ObsMetrics, GoldenPrometheusExposition) {
   MetricsRegistry registry;
   populate(registry);
   EXPECT_EQ(registry.to_prometheus(),
-            "# HELP quicsand_a_count things counted\n"
-            "# TYPE quicsand_a_count counter\n"
-            "quicsand_a_count 3\n"
+            "# HELP quicsand_a_count_total things counted\n"
+            "# TYPE quicsand_a_count_total counter\n"
+            "quicsand_a_count_total 3\n"
             "# TYPE quicsand_b_gauge gauge\n"
             "quicsand_b_gauge -2\n"
             "# HELP quicsand_c_hist a histogram\n"
@@ -118,6 +118,36 @@ TEST(ObsMetrics, GoldenPrometheusExposition) {
             "quicsand_c_hist_bucket{le=\"+Inf\"} 4\n"
             "quicsand_c_hist_sum 8\n"
             "quicsand_c_hist_count 4\n");
+}
+
+TEST(ObsMetrics, PrometheusTotalSuffixNotDoubled) {
+  MetricsRegistry registry;
+  registry.counter("pkts.total").add(1);
+  EXPECT_EQ(registry.to_prometheus(),
+            "# TYPE quicsand_pkts_total counter\n"
+            "quicsand_pkts_total 1\n");
+}
+
+TEST(ObsMetrics, PrometheusHelpEscapesNewlineAndBackslash) {
+  MetricsRegistry registry;
+  registry.counter("esc", "line one\nback\\slash").add(1);
+  EXPECT_EQ(registry.to_prometheus(),
+            "# HELP quicsand_esc_total line one\\nback\\\\slash\n"
+            "# TYPE quicsand_esc_total counter\n"
+            "quicsand_esc_total 1\n");
+}
+
+TEST(ObsMetrics, SnapshotsListRegisteredValuesInNameOrder) {
+  MetricsRegistry registry;
+  populate(registry);
+  const auto counters = registry.counter_snapshot();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "a.count");
+  EXPECT_EQ(counters[0].second, 3u);
+  const auto gauges = registry.gauge_snapshot();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "b.gauge");
+  EXPECT_EQ(gauges[0].second, -2);
 }
 
 TEST(ObsMetrics, GoldenJsonSnapshot) {

@@ -56,5 +56,43 @@ TEST(UtilParse, RequirePassesThroughValidValues) {
   EXPECT_EQ(require_int("--workers", "4"), 4);
 }
 
+TEST(UtilParse, ParsesHostPort) {
+  const auto listen = parse_host_port("127.0.0.1:9100");
+  ASSERT_TRUE(listen.has_value());
+  EXPECT_EQ(listen->host, "127.0.0.1");
+  EXPECT_EQ(listen->port, 9100);
+
+  // Port 0 (ephemeral) and names are both valid hosts.
+  EXPECT_EQ(parse_host_port("localhost:0")->host, "localhost");
+  EXPECT_EQ(parse_host_port("localhost:0")->port, 0);
+  EXPECT_EQ(parse_host_port("0.0.0.0:65535")->port, 65535);
+
+  // The split is on the last colon (bracketed IPv6 hosts keep theirs).
+  const auto v6 = parse_host_port("[::1]:443");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->host, "[::1]");
+  EXPECT_EQ(v6->port, 443);
+}
+
+TEST(UtilParse, RejectsMalformedHostPort) {
+  for (const char* bad :
+       {"", "host", "host:", ":9100", "host:65536", "host:-1", "host:9x",
+        "host: 9", "host:9 "}) {
+    EXPECT_FALSE(parse_host_port(bad).has_value()) << "input: '" << bad
+                                                   << "'";
+  }
+}
+
+TEST(UtilParseDeathTest, RequireHostPortExitsWithDiagnostic) {
+  EXPECT_EXIT(require_host_port("--listen", "nope"),
+              testing::ExitedWithCode(2), "invalid value for --listen");
+}
+
+TEST(UtilParse, RequireHostPortPassesThrough) {
+  const auto listen = require_host_port("--listen", "127.0.0.1:0");
+  EXPECT_EQ(listen.host, "127.0.0.1");
+  EXPECT_EQ(listen.port, 0);
+}
+
 }  // namespace
 }  // namespace quicsand::util
