@@ -1,0 +1,130 @@
+// Live-socket ingest benchmark: the full `monitor --live` path (UDP
+// loopback -> recvmmsg -> rings -> classifier -> sharded online
+// detector) driven at fixed offered rates. Reports achieved pps and the
+// drop counters at each rate; each rate becomes one
+// `live.ingest_pps.rate_N` datapoint in the BENCH_pipeline.json schema
+// (--bench-out / QUICSAND_BENCH_OUT).
+//
+// At 10 and 1000 pps the run documents pacing fidelity (achieved must
+// track offered); at 100k pps it bounds single-socket ingest throughput.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/classifier.hpp"
+#include "core/online_shards.hpp"
+#include "net/live/receiver.hpp"
+#include "net/live/sender.hpp"
+
+namespace quicsand {
+namespace {
+
+struct RateRun {
+  double offered_pps = 0;
+  double achieved_pps = 0;
+  double elapsed_s = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
+                                double rate, std::size_t shards) {
+  // Cap each pass at ~2 s of offered traffic so the slow rates finish.
+  const auto budget = static_cast<std::size_t>(rate * 2.0);
+  const std::size_t count = std::max<std::size_t>(20, budget);
+
+  obs::MetricsRegistry metrics;
+  core::ShardedOnlineDetectorConfig detector_config;
+  detector_config.shards = shards;
+  core::ShardedOnlineDetector detector(detector_config);
+  std::vector<std::unique_ptr<core::Classifier>> classifiers;
+  for (std::size_t i = 0; i < shards; ++i) {
+    classifiers.push_back(
+        std::make_unique<core::Classifier>(core::ClassifierConfig{}));
+  }
+
+  net::live::LiveReceiverConfig receiver_config;
+  receiver_config.port = 0;
+  receiver_config.shards = shards;
+  receiver_config.ring_capacity = std::size_t{1} << 16;
+  receiver_config.rcvbuf_bytes = std::size_t{1} << 22;
+  receiver_config.obs.metrics = &metrics;
+  net::live::LiveReceiver receiver(receiver_config);
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+        if (const auto record = classifiers[shard]->classify(packet)) {
+          detector.consume(shard, *record);
+        }
+      })) {
+    std::fprintf(stderr, "live_ingest: sockets unavailable (%s); skipping\n",
+                 receiver.last_error().c_str());
+    return std::nullopt;
+  }
+
+  net::live::LiveSenderConfig sender_config;
+  sender_config.port = receiver.port();
+  sender_config.pps = rate;
+  net::live::LiveSender sender(sender_config);
+  std::size_t cursor = 0;
+  const auto stats = sender.send_stream(
+      [&]() -> std::optional<net::RawPacket> {
+        if (cursor >= count) return std::nullopt;
+        return packets[cursor++ % packets.size()];
+      });
+  receiver.stop();
+  detector.finish();
+
+  RateRun run;
+  run.offered_pps = rate;
+  run.achieved_pps = stats.achieved_pps;
+  run.elapsed_s = stats.elapsed_s;
+  run.sent = stats.sent;
+  run.delivered = receiver.delivered();
+  run.dropped = receiver.dropped_ring() + receiver.dropped_kernel();
+  return run;
+}
+
+}  // namespace
+}  // namespace quicsand
+
+int main(int argc, char** argv) {
+  using namespace quicsand;
+  bench::init(argc, argv);
+  const auto shards = std::min<std::size_t>(bench::env_threads(), 8);
+
+  // A one-day mixed scan+flood scenario provides realistic datagrams.
+  auto scenario = bench::light_scenario({.days = 1, .telescope_bits = 14});
+  telescope::TelescopeGenerator generator(scenario, bench::registry(),
+                                          bench::deployment());
+  std::vector<net::RawPacket> packets;
+  while (auto packet = generator.next()) {
+    packets.push_back(std::move(*packet));
+    if (packets.size() >= 250000) break;
+  }
+  std::printf("live_ingest: %zu scenario datagrams, %zu shard(s)\n",
+              packets.size(), shards);
+
+  std::printf("%12s %12s %12s %10s %10s %8s\n", "offered_pps", "achieved",
+              "sent", "delivered", "dropped", "secs");
+  for (const double rate : {10.0, 1000.0, 100000.0}) {
+    const auto run = run_rate(packets, rate, shards);
+    if (!run) return 0;  // no sockets in this environment: skip cleanly
+    std::printf("%12.0f %12.0f %12llu %10llu %10llu %8.2f\n",
+                run->offered_pps, run->achieved_pps,
+                static_cast<unsigned long long>(run->sent),
+                static_cast<unsigned long long>(run->delivered),
+                static_cast<unsigned long long>(run->dropped),
+                run->elapsed_s);
+    bench::BenchResult result;
+    result.name =
+        "live.ingest_pps.rate_" + std::to_string(static_cast<long>(rate));
+    result.wall_ms = run->elapsed_s * 1000.0;
+    result.records_per_s = run->delivered / std::max(run->elapsed_s, 1e-9);
+    result.threads = shards;
+    bench::append_bench_result(std::move(result));
+  }
+  bench::write_obs_outputs();
+  return 0;
+}

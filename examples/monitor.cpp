@@ -17,18 +17,33 @@
 //                                    picks one and prints it
 //             [--serve-for SECONDS]  in listen mode, exit after this
 //                                    long instead of waiting for ^C
+//
+// Live capture mode replaces the built-in scenario with real datagrams
+// from a UDP socket (see DESIGN.md §10; flood_lab --send is the matching
+// traffic source):
+//
+//   ./monitor --live PORT|HOST:PORT [--shards N] [--serve-for SECONDS]
+//             [--listen ...] [--metrics-out ...] [--events-out ...]
+//
+// Prints "live capture on udp://HOST:PORT" (flushed) once the socket is
+// bound — with port 0 that line is how scripts learn the real port —
+// then alerts as they fire, until SIGINT/SIGTERM (or --serve-for).
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "asdb/registry.hpp"
 #include "core/classifier.hpp"
 #include "core/online.hpp"
+#include "core/online_shards.hpp"
+#include "net/live/receiver.hpp"
 #include "obs/events.hpp"
 #include "obs/health.hpp"
 #include "obs/http/admin.hpp"
@@ -46,6 +61,127 @@ std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop.store(true); }
 
+/// Live capture mode: socket -> per-shard classifier -> sharded online
+/// detector, until a signal or --serve-for. Owns its own obs stack so
+/// the scenario path below stays untouched.
+int run_live(const util::HostPort& endpoint, std::size_t shards,
+             std::uint64_t serve_for_s, const std::string& metrics_out,
+             const std::string& prom_out, const std::string& events_out,
+             const std::optional<util::HostPort>& listen,
+             const asdb::AsRegistry& registry) {
+  obs::MetricsRegistry metrics;
+  obs::EventLog events;
+  obs::Health health;
+
+  core::ShardedOnlineDetectorConfig detector_config;
+  detector_config.shards = shards;
+  detector_config.detector.obs.metrics = &metrics;
+  detector_config.detector.obs.events = &events;
+  detector_config.detector.obs.health = &health;
+  core::ShardedOnlineDetector detector(detector_config);
+  detector.set_on_alert([&](const core::DetectedAttack& attack) {
+    const auto* info = registry.lookup(attack.victim);
+    // Alerts are the point of live mode: flush each one immediately.
+    std::cout << util::format_utc(attack.end) << "  ALERT  victim "
+              << attack.victim.to_string() << " ("
+              << (info != nullptr ? info->name : "?") << ")  "
+              << attack.packets.count() << " pkts in "
+              << util::format_duration(attack.end - attack.start)
+              << ", running at " << util::fmt(attack.peak_pps.count(), 2)
+              << " max pps" << std::endl;
+  });
+
+  std::vector<std::unique_ptr<core::Classifier>> classifiers;
+  classifiers.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    classifiers.push_back(std::make_unique<core::Classifier>(
+        core::ClassifierConfig{}));
+  }
+
+  net::live::LiveReceiverConfig receiver_config;
+  receiver_config.host = endpoint.host;
+  receiver_config.port = endpoint.port;
+  receiver_config.shards = shards;
+  receiver_config.obs.metrics = &metrics;
+  receiver_config.obs.health = &health;
+  net::live::LiveReceiver receiver(receiver_config);
+
+  obs::http::AdminServer admin([&] {
+    obs::http::AdminOptions options;
+    options.http.host = listen ? listen->host : "127.0.0.1";
+    options.http.port = listen ? listen->port : 0;
+    options.metrics = &metrics;
+    options.health = &health;
+    options.events = &events;
+    return options;
+  }());
+  if (listen) {
+    if (!admin.start()) {
+      std::cerr << "cannot listen on " << listen->host << ":" << listen->port
+                << ": " << admin.last_error() << "\n";
+      return 2;
+    }
+    std::cout << "admin endpoint on http://" << listen->host << ":"
+              << admin.port() << "/ (metrics, healthz, events)" << std::endl;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+        if (const auto record = classifiers[shard]->classify(packet)) {
+          detector.consume(shard, *record);
+        }
+      })) {
+    std::cerr << "cannot capture on udp://" << endpoint.host << ":"
+              << endpoint.port << ": " << receiver.last_error() << "\n";
+    return 2;
+  }
+  std::cout << "live capture on udp://" << endpoint.host << ":"
+            << receiver.port() << " (" << shards << " shard(s))"
+            << std::endl;
+  std::cout << "stopping on "
+            << (serve_for_s > 0 ? "--serve-for elapse or SIGINT/SIGTERM"
+                                : "SIGINT/SIGTERM")
+            << std::endl;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(serve_for_s);
+  while (!g_stop.load() &&
+         (serve_for_s == 0 ||
+          std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  receiver.stop();
+  detector.finish();
+
+  std::cout << "\nreceived " << receiver.received() << " datagrams, "
+            << receiver.delivered() << " analyzed, " << receiver.dropped_ring()
+            << " dropped in rings, " << receiver.dropped_kernel()
+            << " dropped by the kernel, " << receiver.undecodable()
+            << " undecodable\n";
+  std::cout << "alerts: " << detector.alerts_fired()
+            << ", attacks closed: " << detector.attacks_closed() << "\n";
+
+  if (!metrics_out.empty() && !metrics.write_json_file(metrics_out)) {
+    std::cerr << "cannot write " << metrics_out << "\n";
+    return 2;
+  }
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out, std::ios::trunc);
+    if (out) out << metrics.to_prometheus();
+    if (!out) {
+      std::cerr << "cannot write " << prom_out << "\n";
+      return 2;
+    }
+  }
+  if (!events_out.empty() && !events.write_ndjson_file(events_out)) {
+    std::cerr << "cannot write " << events_out << "\n";
+    return 2;
+  }
+  if (listen) admin.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +193,8 @@ int main(int argc, char** argv) {
   std::string events_out;
   std::optional<util::HostPort> listen;
   std::uint64_t serve_for_s = 0;  // 0 = until SIGINT/SIGTERM
+  std::optional<util::HostPort> live;
+  int shards = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -82,16 +220,29 @@ int main(int argc, char** argv) {
       listen = util::require_host_port("--listen", value());
     } else if (arg == "--serve-for") {
       serve_for_s = util::require_u64("--serve-for", value());
+    } else if (arg == "--live") {
+      live = util::require_listen_address("--live", value());
+    } else if (arg == "--shards") {
+      shards = util::require_int("--shards", value());
+      if (shards <= 0) {
+        std::cerr << "invalid value for --shards: must be positive\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: monitor [--days N] [--seed S]"
                    " [--snapshot-every SECONDS] [--metrics-out FILE]"
                    " [--prom-out FILE] [--events-out FILE]"
-                   " [--listen HOST:PORT] [--serve-for SECONDS]\n";
+                   " [--listen HOST:PORT] [--serve-for SECONDS]"
+                   " [--live PORT|HOST:PORT] [--shards N]\n";
       return 2;
     }
   }
 
   const auto registry = asdb::AsRegistry::synthetic({}, seed);
+  if (live) {
+    return run_live(*live, static_cast<std::size_t>(shards), serve_for_s,
+                    metrics_out, prom_out, events_out, listen, registry);
+  }
   const auto deployment = scanner::Deployment::synthetic(registry, {}, seed);
   // --days 0 skips ingest entirely (serve-only mode for smoke tests);
   // the scenario builder itself requires at least one day.

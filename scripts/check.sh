@@ -32,8 +32,9 @@ done
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-fuzz_targets="fuzz_net_headers fuzz_pcap fuzz_pcapng fuzz_quic_dissect \
-fuzz_quic_header fuzz_quic_transport_params fuzz_quic_varint"
+fuzz_targets="fuzz_live_datagram fuzz_net_headers fuzz_pcap fuzz_pcapng \
+fuzz_quic_dissect fuzz_quic_header fuzz_quic_transport_params \
+fuzz_quic_varint"
 smoke_iters="${FUZZ_SMOKE_ITERATIONS:-500}"
 
 echo "==> configure+build (default preset)"
@@ -46,13 +47,17 @@ ctest --preset tier1 -j "$jobs"
 echo "==> live-endpoint smoke (monitor --listen)"
 scripts/smoke_monitor.sh
 
+echo "==> live-capture smoke (monitor --live + flood_lab --send)"
+scripts/smoke_live.sh
+
 if [ "$run_tsan" = 1 ]; then
   echo "==> configure+build (tsan preset)"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" --target \
     core_parallel_pipeline_test obs_metrics_test obs_trace_test \
-    obs_events_test obs_health_test obs_http_test
-  echo "==> ctest tsan (parallel + obs suites)"
+    obs_events_test obs_health_test obs_http_test \
+    net_live_ring_test net_live_error_test live_e2e_test
+  echo "==> ctest tsan (parallel + obs + live suites)"
   ctest --preset tsan -j "$jobs"
 fi
 

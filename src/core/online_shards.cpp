@@ -1,0 +1,85 @@
+#include "core/online_shards.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace quicsand::core {
+
+ShardedOnlineDetector::ShardedOnlineDetector(
+    ShardedOnlineDetectorConfig config) {
+  const std::size_t count = config.shards == 0 ? 1 : config.shards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config.detector));
+    Shard* shard = shards_.back().get();
+    shard->detector.set_on_attack([shard](const DetectedAttack& attack) {
+      shard->attacks.push_back(attack);
+    });
+    shard->detector.set_on_alert([this](const DetectedAttack& attack) {
+      std::lock_guard<std::mutex> lock(alert_mutex_);
+      if (on_alert_) on_alert_(attack);
+    });
+  }
+}
+
+void ShardedOnlineDetector::set_on_alert(AlertCallback callback) {
+  std::lock_guard<std::mutex> lock(alert_mutex_);
+  on_alert_ = std::move(callback);
+}
+
+void ShardedOnlineDetector::consume(std::size_t shard,
+                                    const PacketRecord& record) {
+  shards_[shard % shards_.size()]->detector.consume(record);
+}
+
+const std::vector<DetectedAttack>& ShardedOnlineDetector::finish() {
+  if (finished_) return merged_;
+  finished_ = true;
+  for (auto& shard : shards_) shard->detector.finish();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->attacks.size();
+  merged_.reserve(total);
+  for (const auto& shard : shards_) {
+    merged_.insert(merged_.end(), shard->attacks.begin(),
+                   shard->attacks.end());
+  }
+  std::sort(merged_.begin(), merged_.end(),
+            [](const DetectedAttack& a, const DetectedAttack& b) {
+              return std::tuple(a.start, a.victim, a.end) <
+                     std::tuple(b.start, b.victim, b.end);
+            });
+  for (std::size_t i = 0; i < merged_.size(); ++i) {
+    merged_[i].session_index = i;
+  }
+  return merged_;
+}
+
+std::uint64_t ShardedOnlineDetector::alerts_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector.alerts_fired();
+  return total;
+}
+
+std::uint64_t ShardedOnlineDetector::attacks_closed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->detector.attacks_closed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedOnlineDetector::sessions_evicted() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->detector.sessions_evicted();
+  }
+  return total;
+}
+
+std::size_t ShardedOnlineDetector::open_sessions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->detector.open_sessions();
+  return total;
+}
+
+}  // namespace quicsand::core

@@ -1,0 +1,85 @@
+// Sharded online detection for the live capture path.
+//
+// The live receiver partitions datagrams by IPv4 source — the same key
+// sessionization groups by — so each shard's packet stream contains
+// complete sessions and an independent OnlineDetector per shard is
+// *exact*: no session ever spans two shards. This wrapper owns one
+// detector per shard, lets each shard's worker thread consume() its own
+// stream without locks, serializes the user-facing alert callbacks
+// (shards fire from different threads; the callback itself needs no
+// locking), and merges the per-shard attack lists into one
+// deterministic, (start, victim, end)-ordered result at finish().
+//
+// Shards share one obs::Hooks: the metrics registry is get-or-create,
+// so the online.* counters aggregate across shards. The open-sessions
+// gauge becomes last-writer-wins under concurrency, which is acceptable
+// for a load indicator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/online.hpp"
+
+namespace quicsand::core {
+
+struct ShardedOnlineDetectorConfig {
+  std::size_t shards = 1;
+  /// Per-shard detector configuration (shared verbatim by every shard).
+  OnlineDetectorConfig detector;
+};
+
+class ShardedOnlineDetector {
+ public:
+  using AlertCallback = OnlineDetector::AlertCallback;
+
+  explicit ShardedOnlineDetector(ShardedOnlineDetectorConfig config);
+
+  ShardedOnlineDetector(const ShardedOnlineDetector&) = delete;
+  ShardedOnlineDetector& operator=(const ShardedOnlineDetector&) = delete;
+
+  /// Fired on the first record that crosses every threshold. Invoked
+  /// under an internal mutex, so concurrent shards never interleave
+  /// inside the callback. Set before the first consume().
+  void set_on_alert(AlertCallback callback);
+
+  /// Consume one record on shard `shard`. Thread-safe across *distinct*
+  /// shards (one thread per shard, the live receiver's contract); calls
+  /// for the same shard must stay on one thread in time order.
+  void consume(std::size_t shard, const PacketRecord& record);
+
+  /// Close every open session on every shard and merge the per-shard
+  /// attacks into one list ordered by (start, victim, end), with
+  /// session_index rewritten to the merged position. Call once, after
+  /// all consumers stopped; attacks() returns the same list afterwards.
+  const std::vector<DetectedAttack>& finish();
+
+  [[nodiscard]] const std::vector<DetectedAttack>& attacks() const {
+    return merged_;
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  // Aggregates over all shards.
+  [[nodiscard]] std::uint64_t alerts_fired() const;
+  [[nodiscard]] std::uint64_t attacks_closed() const;
+  [[nodiscard]] std::uint64_t sessions_evicted() const;
+  [[nodiscard]] std::size_t open_sessions() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const OnlineDetectorConfig& config)
+        : detector(config) {}
+    OnlineDetector detector;
+    std::vector<DetectedAttack> attacks;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex alert_mutex_;
+  AlertCallback on_alert_;
+  std::vector<DetectedAttack> merged_;
+  bool finished_ = false;
+};
+
+}  // namespace quicsand::core

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "net/headers.hpp"
+#include "net/live/frame.hpp"
 #include "quic/gquic.hpp"
 #include "quic/packets.hpp"
 #include "quic/retry.hpp"
@@ -218,6 +219,17 @@ std::vector<std::vector<std::uint8_t>> net_header_seeds() {
   return {std::move(udp), std::move(syn_ack), std::move(unreachable)};
 }
 
+std::vector<std::vector<std::uint8_t>> live_datagram_seeds() {
+  util::Rng rng(0x11fe);
+  auto bare = sample_udp_datagram(rng);
+  auto framed =
+      net::live::encode_live_frame(util::Timestamp{1619136000000000LL},
+                                   sample_udp_datagram(rng));
+  // QSL1 magic with a truncated header: must parse as a bare payload.
+  std::vector<std::uint8_t> truncated = {'Q', 'S', 'L', '1', 0xaa, 0xbb};
+  return {std::move(framed), std::move(bare), std::move(truncated)};
+}
+
 std::vector<std::vector<std::uint8_t>> pcap_seeds() {
   util::Rng rng(0xfeed);
   const std::vector<std::vector<std::uint8_t>> raw_packets = {
@@ -312,6 +324,7 @@ std::vector<CorpusEntry> builtin_seeds(std::string_view target) {
     return named(transport_params_seeds());
   }
   if (target == "net_headers") return named(net_header_seeds());
+  if (target == "live_datagram") return named(live_datagram_seeds());
   if (target == "pcap") return named(pcap_seeds());
   if (target == "pcapng") return named(pcapng_seeds());
   return {};

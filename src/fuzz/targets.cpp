@@ -1,5 +1,6 @@
 #include "fuzz/targets.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -7,6 +8,7 @@
 #include <string>
 
 #include "net/headers.hpp"
+#include "net/live/frame.hpp"
 #include "net/pcap.hpp"
 #include "net/pcapng.hpp"
 #include "quic/dissector.hpp"
@@ -138,6 +140,48 @@ void fuzz_quic_transport_params(std::span<const std::uint8_t> data) {
                       "encode/parse round-trip is not stable");
 }
 
+void fuzz_live_datagram(std::span<const std::uint8_t> data) {
+  // The live socket feeds arbitrary UDP payloads straight into this
+  // parse; it must be total and its span must stay inside the input.
+  const auto frame = net::live::parse_live_frame(data);
+  QUICSAND_FUZZ_CHECK(frame.datagram.size() <= data.size(), "live_datagram",
+                      "datagram larger than the payload");
+  if (!frame.datagram.empty()) {
+    QUICSAND_FUZZ_CHECK(frame.datagram.data() >= data.data() &&
+                            frame.datagram.data() + frame.datagram.size() <=
+                                data.data() + data.size(),
+                        "live_datagram", "datagram span escapes the payload");
+  }
+  if (frame.encapsulated) {
+    QUICSAND_FUZZ_CHECK(data.size() >= net::live::kFrameHeaderSize,
+                        "live_datagram", "encapsulated but shorter than the header");
+    QUICSAND_FUZZ_CHECK(
+        frame.datagram.size() == data.size() - net::live::kFrameHeaderSize,
+        "live_datagram", "encapsulated datagram length mismatch");
+    // Re-encoding the parsed frame must reproduce the input bytes.
+    const auto encoded =
+        net::live::encode_live_frame(frame.timestamp, frame.datagram);
+    QUICSAND_FUZZ_CHECK(encoded.size() == data.size() &&
+                            std::equal(encoded.begin(), encoded.end(),
+                                       data.begin()),
+                        "live_datagram", "frame round-trip mismatch");
+  } else {
+    QUICSAND_FUZZ_CHECK(frame.datagram.size() == data.size(),
+                        "live_datagram", "bare payload was truncated");
+  }
+  // Sharding peek vs the real decoder: quick_ipv4_source may accept
+  // more, but must never reject (or disagree on) a datagram
+  // net::decode_ipv4 accepts — otherwise shard-by-source and
+  // sessionization would partition the same packet differently.
+  const auto source = net::live::quick_ipv4_source(frame.datagram);
+  if (const auto decoded = net::decode_ipv4(frame.datagram)) {
+    QUICSAND_FUZZ_CHECK(source.has_value(), "live_datagram",
+                        "quick_ipv4_source rejected a decodable datagram");
+    QUICSAND_FUZZ_CHECK(*source == decoded->ip.src.value(), "live_datagram",
+                        "quick_ipv4_source disagrees with decode_ipv4");
+  }
+}
+
 void fuzz_net_headers(std::span<const std::uint8_t> data) {
   const auto decoded = net::decode_ipv4(data);
   net::verify_checksums(data);  // must never throw, any input
@@ -191,6 +235,8 @@ void fuzz_pcapng(std::span<const std::uint8_t> data) {
 }
 
 constexpr FuzzTarget kTargets[] = {
+    {"live_datagram", fuzz_live_datagram,
+     "net::live::parse_live_frame + quick_ipv4_source vs decode_ipv4"},
     {"net_headers", fuzz_net_headers,
      "net::decode_ipv4 + checksum verification + ICMP quote parsing"},
     {"pcap", fuzz_pcap, "net::PcapReader over an in-memory capture"},

@@ -1,0 +1,47 @@
+#include "net/live/frame.hpp"
+
+#include "util/bytes.hpp"
+
+namespace quicsand::net::live {
+
+LiveFrame parse_live_frame(std::span<const std::uint8_t> payload) {
+  LiveFrame frame;
+  if (payload.size() >= kFrameHeaderSize && payload[0] == kFrameMagic[0] &&
+      payload[1] == kFrameMagic[1] && payload[2] == kFrameMagic[2] &&
+      payload[3] == kFrameMagic[3]) {
+    util::ByteReader reader(payload);
+    reader.read_bytes(4);  // magic
+    frame.encapsulated = true;
+    frame.timestamp =
+        util::Timestamp{static_cast<std::int64_t>(reader.read_u64())};
+    frame.datagram = payload.subspan(kFrameHeaderSize);
+    return frame;
+  }
+  frame.datagram = payload;
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_live_frame(
+    util::Timestamp timestamp, std::span<const std::uint8_t> datagram) {
+  util::ByteWriter writer;
+  writer.write_bytes(kFrameMagic);
+  writer.write_u64(static_cast<std::uint64_t>(timestamp.count()));
+  writer.write_bytes(datagram);
+  return writer.take();
+}
+
+std::optional<std::uint32_t> quick_ipv4_source(
+    std::span<const std::uint8_t> datagram) {
+  // Mirrors the preconditions net::decode_ipv4 enforces before it reads
+  // the source address: 20-byte minimum, version nibble 4. Everything
+  // else (header length, total length, protocol) is left to the full
+  // decoder — rejecting more here could disagree with it.
+  if (datagram.size() < 20) return std::nullopt;
+  if ((datagram[0] >> 4) != 4) return std::nullopt;
+  return (static_cast<std::uint32_t>(datagram[12]) << 24) |
+         (static_cast<std::uint32_t>(datagram[13]) << 16) |
+         (static_cast<std::uint32_t>(datagram[14]) << 8) |
+         static_cast<std::uint32_t>(datagram[15]);
+}
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,59 @@
+// QSL1 live-capture frame: how raw telescope datagrams travel inside a
+// real UDP payload.
+//
+// A UDP socket delivers payloads, not IP headers, so a live sensor
+// cannot see the (spoofed) addresses the analysis pipeline keys on.
+// The lab sender therefore tunnels each synthetic IPv4 datagram as the
+// UDP payload, optionally prefixed with a 12-byte header that carries
+// the scenario timestamp:
+//
+//   | 'Q' 'S' 'L' '1' | i64 timestamp_us, big-endian | raw IPv4 datagram |
+//
+// With the prefix, the receiver replays scenario time (a day of
+// telescope traffic floods through loopback in seconds and the detector
+// still sees April 2021 session dynamics — the same trick the pcap
+// reader plays). Without it, the payload is treated as a bare IPv4
+// datagram stamped with the arrival wall clock — the deployable-sensor
+// mode. A payload that starts with the magic but is shorter than the
+// full prefix is treated as bare bytes (and will then fail IPv4 decode,
+// counted as undecodable, never crashing the receiver).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::net::live {
+
+inline constexpr std::uint8_t kFrameMagic[4] = {'Q', 'S', 'L', '1'};
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+/// Decoded view of one received UDP payload. `datagram` points into the
+/// payload buffer, which must outlive the view.
+struct LiveFrame {
+  bool encapsulated = false;  ///< QSL1 prefix present
+  /// Embedded scenario timestamp; meaningful only when encapsulated.
+  util::Timestamp timestamp{};
+  std::span<const std::uint8_t> datagram;
+};
+
+/// Split a UDP payload into (timestamp, datagram). Total function: any
+/// input yields a frame — garbage comes back as a bare datagram.
+[[nodiscard]] LiveFrame parse_live_frame(std::span<const std::uint8_t> payload);
+
+/// Build the QSL1-encapsulated payload for one raw IPv4 datagram.
+[[nodiscard]] std::vector<std::uint8_t> encode_live_frame(
+    util::Timestamp timestamp, std::span<const std::uint8_t> datagram);
+
+/// Cheap structural probe used by the receiver to shard and count
+/// without a full parse: returns the IPv4 source address (host order)
+/// when the datagram has a plausible IPv4 header, nullopt otherwise.
+/// One-way guarantee (fuzz-pinned): anything net::decode_ipv4 accepts,
+/// this accepts too — the quick path never drops a decodable packet.
+[[nodiscard]] std::optional<std::uint32_t> quick_ipv4_source(
+    std::span<const std::uint8_t> datagram);
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,185 @@
+#include "net/live/receiver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+
+#include "net/live/frame.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::net::live {
+
+namespace {
+
+/// Arrival timestamp for non-encapsulated payloads: epoch microseconds
+/// from CLOCK_REALTIME. Live capture is the one place the pipeline
+/// legitimately reads the wall clock — everything downstream still only
+/// sees util::Timestamp.
+util::Timestamp wall_clock_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return util::Timestamp{ts.tv_sec * util::kSecond.count() +
+                         ts.tv_nsec / 1000};
+}
+
+}  // namespace
+
+LiveReceiver::LiveReceiver(LiveReceiverConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (auto* metrics = config_.obs.metrics) {
+    received_counter_ =
+        &metrics->counter("live.received_packets",
+                          "datagrams read from the live UDP socket");
+    bytes_counter_ = &metrics->counter("live.received_bytes",
+                                       "payload bytes read from the socket");
+    delivered_counter_ =
+        &metrics->counter("live.delivered_packets",
+                          "datagrams handed to a shard sink");
+    dropped_counter_ = &metrics->counter(
+        "live.dropped_packets",
+        "datagrams lost before analysis (ring evictions + kernel overflow)");
+    dropped_ring_counter_ = &metrics->counter(
+        "live.dropped_ring", "drop-oldest ring evictions");
+    dropped_kernel_counter_ = &metrics->counter(
+        "live.dropped_kernel", "socket-buffer overflow (SO_RXQ_OVFL)");
+    undecodable_counter_ = &metrics->counter(
+        "live.undecodable", "payloads without a plausible IPv4 header");
+    batch_hist_ = &metrics->histogram("live.batch_packets",
+                                      obs::size_bounds(),
+                                      "datagrams per recvmmsg batch");
+    ring_depth_gauge_ = &metrics->gauge(
+        "live.ring_depth", "occupancy of the fullest shard ring");
+  }
+  if (auto* health = config_.obs.health) {
+    receiver_health_ = &health->component("live_receiver");
+    workers_health_ = &health->component("live_workers");
+  }
+}
+
+LiveReceiver::~LiveReceiver() { stop(); }
+
+bool LiveReceiver::start(Sink sink) {
+  if (running_.load(std::memory_order_relaxed)) return true;
+  sink_ = std::move(sink);
+  if (!socket_.bind(config_.host, config_.port, config_.rcvbuf_bytes)) {
+    error_ = socket_.last_error();
+    return false;
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  rings_.clear();
+  rings_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    rings_.push_back(
+        std::make_unique<Ring<net::RawPacket>>(config_.ring_capacity));
+  }
+  running_.store(true, std::memory_order_relaxed);
+  if (receiver_health_ != nullptr) receiver_health_->set_ready(true);
+  if (workers_health_ != nullptr) workers_health_->set_ready(true);
+  receive_thread_ = std::thread([this] { receive_loop(); });
+  workers_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  return true;
+}
+
+void LiveReceiver::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  socket_.shutdown_receive();
+  if (receive_thread_.joinable()) receive_thread_.join();
+  // receive_loop closed every ring on exit; workers drain and leave.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  socket_.close();
+  if (receiver_health_ != nullptr) receiver_health_->set_idle(true);
+  if (workers_health_ != nullptr) workers_health_->set_idle(true);
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void LiveReceiver::receive_loop() {
+  ReceiveBatch batch;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::uint64_t kernel_delta = 0;
+    const int n =
+        socket_.receive_batch(&batch, config_.poll_timeout, &kernel_delta);
+    if (kernel_delta > 0) {
+      dropped_kernel_.fetch_add(kernel_delta, std::memory_order_relaxed);
+      if (dropped_kernel_counter_ != nullptr) {
+        dropped_kernel_counter_->add(kernel_delta);
+      }
+      if (dropped_counter_ != nullptr) dropped_counter_->add(kernel_delta);
+    }
+    if (receiver_health_ != nullptr) receiver_health_->heartbeat();
+    if (n < 0) break;      // fatal socket error; stop() still joins cleanly
+    if (n == 0) continue;  // timeout or wake
+    if (batch_hist_ != nullptr) {
+      batch_hist_->observe(static_cast<std::uint64_t>(n));
+    }
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      const auto payload = batch.payload(i);
+      bytes += payload.size();
+      const LiveFrame frame = parse_live_frame(payload);
+      const util::Timestamp timestamp =
+          frame.encapsulated ? frame.timestamp : wall_clock_now();
+      std::size_t shard = 0;
+      if (const auto src = quick_ipv4_source(frame.datagram)) {
+        shard = config_.shards == 1
+                    ? 0
+                    : static_cast<std::size_t>(util::mix64(*src, 0x1157)) %
+                          config_.shards;
+      } else {
+        undecodable_.fetch_add(1, std::memory_order_relaxed);
+        if (undecodable_counter_ != nullptr) undecodable_counter_->add();
+      }
+      received_.fetch_add(1, std::memory_order_relaxed);
+      net::RawPacket packet(
+          timestamp, {frame.datagram.begin(), frame.datagram.end()});
+      const auto evicted =
+          rings_[shard]->push_drop_oldest(std::move(packet));
+      if (evicted > 0) {
+        dropped_ring_.fetch_add(evicted, std::memory_order_relaxed);
+        if (dropped_ring_counter_ != nullptr) {
+          dropped_ring_counter_->add(evicted);
+        }
+        if (dropped_counter_ != nullptr) dropped_counter_->add(evicted);
+      }
+    }
+    if (received_counter_ != nullptr) received_counter_->add(batch.count);
+    if (bytes_counter_ != nullptr) bytes_counter_->add(bytes);
+    if (ring_depth_gauge_ != nullptr) {
+      std::size_t depth = 0;
+      for (const auto& ring : rings_) {
+        depth = std::max(depth, ring->size());
+      }
+      ring_depth_gauge_->set(static_cast<std::int64_t>(depth));
+    }
+  }
+  for (auto& ring : rings_) ring->close();
+}
+
+void LiveReceiver::worker_loop(std::size_t shard) {
+  auto& ring = *rings_[shard];
+  std::uint64_t handled = 0;
+  for (;;) {
+    if (auto packet = ring.try_pop()) {
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (delivered_counter_ != nullptr) delivered_counter_->add();
+      if (sink_) sink_(shard, *packet);
+      if (workers_health_ != nullptr && (++handled & 0xFFF) == 0) {
+        workers_health_->heartbeat();
+      }
+      continue;
+    }
+    if (ring.closed()) break;  // producer done and ring drained
+    if (workers_health_ != nullptr) workers_health_->heartbeat();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,137 @@
+// Live UDP ingestion front-end: the telescope sensor's capture loop.
+//
+// One receiver thread drains the socket with batched recvmmsg, parses
+// the QSL1 frame (or stamps arrival time), shards each datagram by the
+// IPv4 source address — the same per-source partitioning the parallel
+// pipeline uses, so per-shard sessionization stays exact — and hands it
+// to that shard's bounded drop-oldest Ring. One worker thread per shard
+// pops packets and invokes the caller's sink (classifier + online
+// detector in `monitor --live`). Per-shard packet order is the socket
+// arrival order, so each shard sees non-decreasing timestamps whenever
+// the sender emits in time order.
+//
+// Accounting invariant (asserted end-to-end in tests/live_e2e_test.cpp):
+//
+//   sent == delivered + dropped_ring + dropped_kernel
+//
+// where dropped_kernel counts socket-buffer overflow (SO_RXQ_OVFL) and
+// dropped_ring counts drop-oldest evictions. Undecodable payloads are
+// *delivered* and counted, never fatal: the sensor must survive any
+// bytes the internet throws at UDP/443.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/live/ring.hpp"
+#include "net/live/socket.hpp"
+#include "net/packet.hpp"
+#include "obs/health.hpp"
+#include "obs/hooks.hpp"
+
+namespace quicsand::net::live {
+
+struct LiveReceiverConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port (see port())
+  /// Analysis shards == worker threads == rings.
+  std::size_t shards = 1;
+  /// Per-shard ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = std::size_t{1} << 16;
+  /// SO_RCVBUF request; best effort (kernel clamps to rmem_max).
+  std::size_t rcvbuf_bytes = std::size_t{1} << 22;
+  /// Receiver poll timeout: the latency of noticing stop().
+  util::Duration poll_timeout = 50 * util::kMillisecond;
+  obs::Hooks obs;
+};
+
+class LiveReceiver {
+ public:
+  /// Invoked on the shard's worker thread, packets in arrival order.
+  /// The sink owns per-shard state (classifier, detector shard) and
+  /// needs no locking as long as it keeps shards independent.
+  using Sink = std::function<void(std::size_t shard,
+                                  const net::RawPacket& packet)>;
+
+  explicit LiveReceiver(LiveReceiverConfig config);
+  ~LiveReceiver();
+
+  LiveReceiver(const LiveReceiver&) = delete;
+  LiveReceiver& operator=(const LiveReceiver&) = delete;
+
+  /// Bind and spawn the receiver + worker threads. False (with
+  /// last_error() set) when the socket cannot be bound.
+  bool start(Sink sink);
+
+  /// Stop receiving, drain every ring through the sinks, join all
+  /// threads. Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Actual bound port (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const { return socket_.local_port(); }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+  [[nodiscard]] std::size_t shard_count() const { return config_.shards; }
+
+  // Accounting (monotonic, readable while running).
+  [[nodiscard]] std::uint64_t received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_ring() const {
+    return dropped_ring_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_kernel() const {
+    return dropped_kernel_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_ring() + dropped_kernel();
+  }
+  [[nodiscard]] std::uint64_t undecodable() const {
+    return undecodable_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void receive_loop();
+  void worker_loop(std::size_t shard);
+
+  LiveReceiverConfig config_;
+  Sink sink_;
+  UdpSocket socket_;
+  std::string error_;
+  std::vector<std::unique_ptr<Ring<net::RawPacket>>> rings_;
+  std::thread receive_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_ring_{0};
+  std::atomic<std::uint64_t> dropped_kernel_{0};
+  std::atomic<std::uint64_t> undecodable_{0};
+
+  // Resolved metric handles; nullptr without an attached registry.
+  obs::Counter* received_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;        ///< live.dropped_packets
+  obs::Counter* dropped_ring_counter_ = nullptr;
+  obs::Counter* dropped_kernel_counter_ = nullptr;
+  obs::Counter* undecodable_counter_ = nullptr;
+  obs::Histogram* batch_hist_ = nullptr;
+  obs::Gauge* ring_depth_gauge_ = nullptr;
+  obs::Health::Component* receiver_health_ = nullptr;
+  obs::Health::Component* workers_health_ = nullptr;
+};
+
+}  // namespace quicsand::net::live

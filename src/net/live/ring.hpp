@@ -1,0 +1,142 @@
+// Bounded lock-free ring buffer for the live capture path.
+//
+// One ring per analysis shard sits between the single recvmmsg receiver
+// thread (producer) and that shard's worker thread (consumer). The
+// backpressure policy is drop-OLDEST: when a shard's worker falls
+// behind, the producer discards the element at the head and keeps the
+// fresh packet, so the window the detector sees stays current — exactly
+// what an early-warning monitor wants (stale backscatter is worthless,
+// the packets arriving *now* are the alert). Every discarded element is
+// counted by the caller via the push_drop_oldest() return value and
+// exported as live.dropped_ring.
+//
+// Implementation: Dmitry Vyukov's bounded MPMC queue (per-cell sequence
+// numbers). Nominally this is an SPSC hand-off, but drop-oldest makes
+// the producer a second *consumer* when the ring is full, so the
+// general MPMC protocol is what keeps that steal race-free — the
+// produce and consume fast paths are still a single CAS each.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace quicsand::net::live {
+
+template <typename T>
+class Ring {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit Ring(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy (exact when producer and consumer are quiet).
+  [[nodiscard]] std::size_t size() const {
+    const auto head = head_.load(std::memory_order_relaxed);
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// Enqueue; returns false when the ring is full. Takes an rvalue
+  /// reference so a failed push leaves the caller's object intact (the
+  /// move into the cell happens only on the success path) — the
+  /// drop-oldest retry loop depends on that.
+  bool try_push(T&& value) {
+    Cell* cell = nullptr;
+    auto pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const auto seq = cell->sequence.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeue; nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    Cell* cell = nullptr;
+    auto pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const auto seq = cell->sequence.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->value));
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Enqueue unconditionally, discarding head elements while the ring is
+  /// full. Returns how many elements were discarded (usually 0).
+  std::uint64_t push_drop_oldest(T value) {
+    std::uint64_t dropped = 0;
+    while (!try_push(std::move(value))) {
+      // Steal the oldest element; racing with the consumer is fine, one
+      // of us wins and the loop re-checks. The pop can only fail while
+      // the consumer is mid-claim, so retry rather than spin-count.
+      if (auto oldest = try_pop()) ++dropped;
+    }
+    return dropped;
+  }
+
+  /// Producer-side end-of-stream mark; consumers drain then stop.
+  void close() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,158 @@
+#include "net/live/sender.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "net/live/frame.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace quicsand::net::live {
+
+std::optional<RateMode> parse_rate_mode(std::string_view name) {
+  if (name == "constant") return RateMode::kConstant;
+  if (name == "burst") return RateMode::kBurst;
+  if (name == "ramp") return RateMode::kRamp;
+  if (name == "chaos") return RateMode::kChaos;
+  return std::nullopt;
+}
+
+std::string_view rate_mode_name(RateMode mode) {
+  switch (mode) {
+    case RateMode::kConstant:
+      return "constant";
+    case RateMode::kBurst:
+      return "burst";
+    case RateMode::kRamp:
+      return "ramp";
+    case RateMode::kChaos:
+      return "chaos";
+  }
+  return "constant";
+}
+
+RateController::RateController(RateMode mode, double target_pps,
+                               std::uint64_t seed, double ramp_window_s)
+    : mode_(mode),
+      target_pps_(std::max(target_pps, 1.0)),
+      seed_(seed),
+      ramp_window_s_(std::max(ramp_window_s, 0.001)) {}
+
+double RateController::pps_at(double elapsed_s) const {
+  if (elapsed_s < 0) elapsed_s = 0;
+  switch (mode_) {
+    case RateMode::kConstant:
+      return target_pps_;
+    case RateMode::kBurst: {
+      // 2x/0.2x alternating seconds: same average neighborhood as
+      // constant, but each on-second must drain through the rings.
+      const auto second = static_cast<std::uint64_t>(elapsed_s);
+      return (second % 2 == 0) ? 2.0 * target_pps_ : 0.2 * target_pps_;
+    }
+    case RateMode::kRamp: {
+      const double frac = std::min(elapsed_s / ramp_window_s_, 1.0);
+      return std::max(2.0 * target_pps_ * frac, 0.01 * target_pps_);
+    }
+    case RateMode::kChaos: {
+      // Per-second multiplier in [0.2, 3.0] hashed from the second
+      // index, so every controller with this seed replays identically.
+      const auto second = static_cast<std::uint64_t>(elapsed_s);
+      const std::uint64_t h = util::mix64(seed_, second);
+      const double unit =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+      return target_pps_ * (0.2 + 2.8 * unit);
+    }
+  }
+  return target_pps_;
+}
+
+LiveSender::LiveSender(LiveSenderConfig config)
+    : config_(std::move(config)),
+      controller_(config_.mode, config_.pps, config_.seed,
+                  config_.ramp_window_s) {}
+
+SendStats LiveSender::send_stream(const Source& next,
+                                  const std::atomic<bool>* stop) {
+  SendStats stats;
+  if (!socket_.connect(config_.host, config_.port)) {
+    error_ = socket_.last_error();
+    return stats;
+  }
+  obs::Counter* sent_counter = nullptr;
+  obs::Counter* failure_counter = nullptr;
+  if (auto* metrics = config_.obs.metrics) {
+    sent_counter = &metrics->counter("live.sent_packets",
+                                     "datagrams pushed onto the wire");
+    failure_counter = &metrics->counter("live.send_failures",
+                                        "datagrams lost to send errors");
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  std::vector<std::vector<std::uint8_t>> batch;
+  batch.reserve(ReceiveBatch::kMax);
+  // Token bucket: credit accrues at the controller's instantaneous rate
+  // and is spent one datagram per token. The cap bounds the burst we
+  // emit after a scheduling stall to one socket batch.
+  double credit = 0.0;
+  double last = 0.0;
+  bool exhausted = false;
+  while (!exhausted && (stop == nullptr ||
+                        !stop->load(std::memory_order_relaxed))) {
+    batch.clear();
+    while (batch.size() < ReceiveBatch::kMax) {
+      auto packet = next();
+      if (!packet) {
+        exhausted = true;
+        break;
+      }
+      if (config_.encapsulate) {
+        batch.push_back(encode_live_frame(packet->timestamp, packet->data));
+      } else {
+        batch.push_back(std::move(packet->data));
+      }
+    }
+    if (batch.empty()) break;
+
+    for (;;) {
+      const double now = elapsed_s();
+      credit += controller_.pps_at(now) * (now - last);
+      last = now;
+      credit = std::min(credit, 4.0 * static_cast<double>(ReceiveBatch::kMax));
+      if (credit >= static_cast<double>(batch.size())) break;
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+      const double deficit = static_cast<double>(batch.size()) - credit;
+      const double wait_s =
+          std::clamp(deficit / controller_.pps_at(now), 20e-6, 2e-3);
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    credit -= static_cast<double>(batch.size());
+
+    const std::size_t accepted = socket_.send_batch(batch);
+    stats.sent += accepted;
+    if (sent_counter != nullptr) sent_counter->add(accepted);
+    if (accepted < batch.size()) {
+      const auto failed =
+          static_cast<std::uint64_t>(batch.size() - accepted);
+      stats.send_failures += failed;
+      if (failure_counter != nullptr) failure_counter->add(failed);
+      error_ = socket_.last_error();
+    }
+  }
+
+  stats.elapsed_s = elapsed_s();
+  stats.achieved_pps =
+      stats.elapsed_s > 0 ? static_cast<double>(stats.sent) / stats.elapsed_s
+                          : 0.0;
+  socket_.close();
+  return stats;
+}
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,256 @@
+#include "net/live/socket.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace quicsand::net::live {
+
+namespace {
+
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in* out,
+             std::string* error) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    out->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* result = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0 ||
+      result == nullptr) {
+    *error = "cannot resolve host '" + host + "'";
+    return false;
+  }
+  out->sin_addr =
+      reinterpret_cast<const sockaddr_in*>(result->ai_addr)->sin_addr;
+  freeaddrinfo(result);
+  return true;
+}
+
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+bool UdpSocket::set_error(const std::string& what) {
+  error_ = what + ": " + std::strerror(errno);
+  return false;
+}
+
+bool UdpSocket::bind(const std::string& host, std::uint16_t port,
+                     std::size_t rcvbuf_bytes) {
+  close();
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr, &error_)) return false;
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) return set_error("socket");
+  if (rcvbuf_bytes > 0) {
+    // Best effort: the kernel clamps to net.core.rmem_max. A small
+    // buffer only raises the kernel-drop counter, never loses accounting.
+    const int bytes = static_cast<int>(rcvbuf_bytes);
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+  }
+#ifdef SO_RXQ_OVFL
+  {
+    const int on = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RXQ_OVFL, &on, sizeof(on));
+  }
+#endif
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    set_error("bind " + host + ":" + std::to_string(port));
+    close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    set_error("getsockname");
+    close();
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    set_error("pipe");
+    close();
+    return false;
+  }
+  (void)::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  last_ovfl_ = 0;
+  seen_ovfl_ = false;
+  error_.clear();
+  return true;
+}
+
+bool UdpSocket::connect(const std::string& host, std::uint16_t port) {
+  close();
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr, &error_)) return false;
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return set_error("socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    set_error("connect " + host + ":" + std::to_string(port));
+    close();
+    return false;
+  }
+  error_.clear();
+  return true;
+}
+
+void UdpSocket::shutdown_receive() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  port_ = 0;
+}
+
+int UdpSocket::receive_batch(ReceiveBatch* batch, util::Duration poll_timeout,
+                             std::uint64_t* kernel_dropped) {
+  batch->count = 0;
+  if (fd_ < 0) return -1;
+
+  pollfd fds[2];
+  fds[0] = {fd_, POLLIN, 0};
+  fds[1] = {wake_pipe_[0], POLLIN, 0};
+  const int timeout_ms =
+      static_cast<int>(poll_timeout.count() / util::kMillisecond.count());
+  const int ready = ::poll(fds, 2, timeout_ms);
+  if (ready < 0) return errno == EINTR ? 0 : -1;
+  if (ready == 0 || (fds[0].revents & POLLIN) == 0) {
+    if ((fds[1].revents & POLLIN) != 0) {
+      char sink[16];
+      (void)!::read(wake_pipe_[0], sink, sizeof(sink));
+    }
+    return 0;
+  }
+
+#if defined(__linux__)
+  mmsghdr msgs[ReceiveBatch::kMax];
+  iovec iovs[ReceiveBatch::kMax];
+  alignas(cmsghdr) std::uint8_t cmsg_space[ReceiveBatch::kMax][64];
+  for (std::size_t i = 0; i < ReceiveBatch::kMax; ++i) {
+    iovs[i] = {batch->buffers[i].data(), ReceiveBatch::kBufferSize};
+    std::memset(&msgs[i], 0, sizeof(msgs[i]));
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_control = cmsg_space[i];
+    msgs[i].msg_hdr.msg_controllen = sizeof(cmsg_space[i]);
+  }
+  const int n = ::recvmmsg(fd_, msgs, ReceiveBatch::kMax, 0, nullptr);
+  if (n < 0) {
+    return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0
+                                                                       : -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    batch->lengths[static_cast<std::size_t>(i)] = msgs[i].msg_len;
+#ifdef SO_RXQ_OVFL
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msgs[i].msg_hdr); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msgs[i].msg_hdr, cmsg)) {
+      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SO_RXQ_OVFL) {
+        std::uint32_t total = 0;
+        std::memcpy(&total, CMSG_DATA(cmsg),  // lint:allow(raw-memcpy)
+                    sizeof(total));
+        // The kernel reports a cumulative per-socket counter; export
+        // the delta since the last message that carried one.
+        if (kernel_dropped != nullptr && seen_ovfl_) {
+          *kernel_dropped += total - last_ovfl_;
+        } else if (kernel_dropped != nullptr) {
+          *kernel_dropped += total;
+        }
+        last_ovfl_ = total;
+        seen_ovfl_ = true;
+      }
+    }
+#endif
+  }
+  batch->count = static_cast<std::size_t>(n);
+  return n;
+#else
+  (void)kernel_dropped;
+  int n = 0;
+  while (n < static_cast<int>(ReceiveBatch::kMax)) {
+    const ssize_t got =
+        ::recv(fd_, batch->buffers[static_cast<std::size_t>(n)].data(),
+               ReceiveBatch::kBufferSize, 0);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return n > 0 ? n : -1;
+    }
+    batch->lengths[static_cast<std::size_t>(n)] =
+        static_cast<std::size_t>(got);
+    ++n;
+  }
+  batch->count = static_cast<std::size_t>(n);
+  return n;
+#endif
+}
+
+std::size_t UdpSocket::send_batch(
+    std::span<const std::vector<std::uint8_t>> payloads) {
+  if (fd_ < 0) return 0;
+  std::size_t sent = 0;
+#if defined(__linux__)
+  while (sent < payloads.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(payloads.size() - sent, ReceiveBatch::kMax);
+    mmsghdr msgs[ReceiveBatch::kMax];
+    iovec iovs[ReceiveBatch::kMax];
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const auto& payload = payloads[sent + i];
+      iovs[i] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 100);
+        continue;
+      }
+      set_error("sendmmsg");
+      return sent;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+#else
+  for (const auto& payload : payloads) {
+    if (::send(fd_, payload.data(), payload.size(), 0) < 0) {
+      if (errno == EINTR) continue;
+      set_error("send");
+      return sent;
+    }
+    ++sent;
+  }
+#endif
+  return sent;
+}
+
+}  // namespace quicsand::net::live

@@ -1,0 +1,90 @@
+// Non-blocking UDP socket with batched I/O for the live capture path.
+//
+// Receive side: poll() + recvmmsg drains up to ReceiveBatch::kMax
+// datagrams per syscall; SO_RXQ_OVFL ancillary data reports datagrams
+// the kernel dropped because the socket buffer overflowed, so the
+// monitor can account for every packet a sender claims to have sent
+// (sent == delivered + ring drops + kernel drops). Send side: sendmmsg
+// in batches with EAGAIN backoff through poll(POLLOUT).
+//
+// recvmmsg/sendmmsg are Linux syscalls; on other platforms the batch
+// calls degrade to a recvfrom/sendto loop with identical semantics
+// (minus the kernel-drop counter, which then stays 0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::net::live {
+
+/// Reusable receive buffers for one recvmmsg batch (allocated once,
+/// refilled every call — the hot loop never allocates).
+struct ReceiveBatch {
+  static constexpr std::size_t kMax = 64;
+  /// Largest payload we accept: QSL1 header + an MTU-sized datagram.
+  static constexpr std::size_t kBufferSize = 2048;
+
+  std::array<std::array<std::uint8_t, kBufferSize>, kMax> buffers;
+  std::array<std::size_t, kMax> lengths{};  ///< valid payload bytes
+  std::size_t count = 0;                    ///< messages received
+
+  [[nodiscard]] std::span<const std::uint8_t> payload(std::size_t i) const {
+    return {buffers[i].data(), lengths[i]};
+  }
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Bind a non-blocking receive socket. `port` 0 picks an ephemeral
+  /// port (see local_port()). `rcvbuf_bytes` is requested via SO_RCVBUF
+  /// (the kernel may clamp it). Returns false with last_error() set.
+  bool bind(const std::string& host, std::uint16_t port,
+            std::size_t rcvbuf_bytes);
+
+  /// Open a blocking send socket aimed at host:port. Returns false with
+  /// last_error() set (resolution failure, etc.).
+  bool connect(const std::string& host, std::uint16_t port);
+
+  /// Drain up to ReceiveBatch::kMax datagrams. Waits at most
+  /// `poll_timeout` for the first one; returns the number received
+  /// (0 on timeout) or -1 on a fatal socket error. Kernel-dropped
+  /// datagram count (SO_RXQ_OVFL delta) is accumulated into
+  /// *kernel_dropped when non-null.
+  int receive_batch(ReceiveBatch* batch, util::Duration poll_timeout,
+                    std::uint64_t* kernel_dropped);
+
+  /// Send every payload (blocking, batched). Returns the number the
+  /// kernel accepted; anything less means a fatal error mid-batch.
+  std::size_t send_batch(std::span<const std::vector<std::uint8_t>> payloads);
+
+  /// Wake any receive_batch() poll immediately (e.g. from stop()).
+  void shutdown_receive();
+
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t local_port() const { return port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+ private:
+  bool set_error(const std::string& what);
+
+  int fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::uint32_t last_ovfl_ = 0;  ///< cumulative SO_RXQ_OVFL counter
+  bool seen_ovfl_ = false;
+  std::string error_;
+};
+
+}  // namespace quicsand::net::live

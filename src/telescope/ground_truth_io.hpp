@@ -1,0 +1,46 @@
+// NDJSON serialization of the ground-truth ledger.
+//
+// `flood_lab --send` writes the schedule it replayed so that anything on
+// the receiving side (the live e2e test, an operator diffing alerts
+// against truth) can score detections without sharing memory with the
+// sender. One summary line, then one line per planned attack:
+//
+//   {"type": "summary", "attacks": 61, "total_packet_count": 3511245, ...}
+//   {"type": "attack", "protocol": "QUIC", "victim": "44.12.3.7",
+//    "victim_asn": 2119, "known_server": true, "quic_version": 1,
+//    "start_us": 1617235526000000, "duration_us": 363000000,
+//    "peak_pps": 2.18, "relation": "concurrent"}
+//
+// The reader is schema-specific — it round-trips exactly the lines this
+// writer emits (plus blank lines and `#` comments), not arbitrary JSON.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "telescope/ground_truth.hpp"
+
+namespace quicsand::telescope {
+
+/// "concurrent" | "sequential" | "isolated" | "n/a".
+const char* planned_relation_name(PlannedRelation relation);
+std::optional<PlannedRelation> parse_planned_relation(std::string_view name);
+std::optional<AttackProtocol> parse_attack_protocol(std::string_view name);
+
+/// Write the summary line and one line per attack. Botnet sources are
+/// not serialized (the live harness scores attacks, not sources).
+void write_ground_truth_ndjson(std::ostream& out, const GroundTruth& truth);
+bool write_ground_truth_ndjson_file(const std::string& path,
+                                    const GroundTruth& truth);
+
+/// Parse what write_ground_truth_ndjson() produced. Returns nullopt on
+/// a malformed line (with a one-line reason in *error when non-null);
+/// unknown keys are ignored, so the schema can grow.
+std::optional<GroundTruth> read_ground_truth_ndjson(std::istream& in,
+                                                    std::string* error);
+std::optional<GroundTruth> read_ground_truth_ndjson_file(
+    const std::string& path, std::string* error);
+
+}  // namespace quicsand::telescope

@@ -53,6 +53,19 @@ std::optional<HostPort> parse_host_port(std::string_view text) {
   return result;
 }
 
+std::optional<std::uint16_t> parse_port(std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value || *value > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(*value);
+}
+
+std::optional<HostPort> parse_listen_address(std::string_view text) {
+  if (const auto port = parse_port(text)) {
+    return HostPort{"127.0.0.1", *port};
+  }
+  return parse_host_port(text);
+}
+
 std::int64_t require_i64(const char* flag, std::string_view text) {
   const auto value = parse_i64(text);
   if (!value) die(flag, text, "integer");
@@ -83,6 +96,18 @@ int require_int(const char* flag, std::string_view text) {
 HostPort require_host_port(const char* flag, std::string_view text) {
   const auto value = parse_host_port(text);
   if (!value) die(flag, text, "HOST:PORT");
+  return *value;
+}
+
+std::uint16_t require_port(const char* flag, std::string_view text) {
+  const auto value = parse_port(text);
+  if (!value) die(flag, text, "port in [0, 65535]");
+  return *value;
+}
+
+HostPort require_listen_address(const char* flag, std::string_view text) {
+  const auto value = parse_listen_address(text);
+  if (!value) die(flag, text, "PORT or HOST:PORT");
   return *value;
 }
 

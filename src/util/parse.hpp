@@ -34,6 +34,13 @@ struct HostPort {
 /// "pick an ephemeral port").
 [[nodiscard]] std::optional<HostPort> parse_host_port(std::string_view text);
 
+/// A bare port number in [0, 65535] (0 means "pick an ephemeral port").
+[[nodiscard]] std::optional<std::uint16_t> parse_port(std::string_view text);
+
+/// "PORT" or "HOST:PORT"; a bare port listens on 127.0.0.1.
+[[nodiscard]] std::optional<HostPort> parse_listen_address(
+    std::string_view text);
+
 /// CLI wrappers: parse or print "invalid value for <flag>: '<text>'
 /// (expected ...)" and exit(2). `flag` is only used in the message.
 std::int64_t require_i64(const char* flag, std::string_view text);
@@ -41,5 +48,7 @@ std::uint64_t require_u64(const char* flag, std::string_view text);
 double require_f64(const char* flag, std::string_view text);
 int require_int(const char* flag, std::string_view text);
 HostPort require_host_port(const char* flag, std::string_view text);
+std::uint16_t require_port(const char* flag, std::string_view text);
+HostPort require_listen_address(const char* flag, std::string_view text);
 
 }  // namespace quicsand::util

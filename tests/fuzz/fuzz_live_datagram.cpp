@@ -1,0 +1,3 @@
+#include "fuzz_entry.hpp"
+
+QUICSAND_FUZZ_ENTRY("live_datagram")

@@ -1,0 +1,233 @@
+// Ground-truth loopback e2e: a full telescope day (research scans,
+// botnet probes, misconfig noise, QUIC + TCP/ICMP floods) streamed over
+// real UDP sockets through the live capture path, scored against the
+// generator's planned-attack ledger.
+//
+// The pipeline under test is exactly `monitor --live`:
+//
+//   flood_lab-style sender (sendmmsg, QSL1 frames)
+//     -> LiveReceiver (recvmmsg, shard-by-source, drop-oldest rings)
+//     -> per-shard Classifier -> ShardedOnlineDetector
+//
+// Assertions: sender throughput (the harness must be able to stress the
+// receiver, not trickle at it), exact packet accounting
+// (sent == delivered + ring drops + kernel drops), metric export of the
+// drop counters, and precision/recall floors against ground truth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/online_shards.hpp"
+#include "net/live/receiver.hpp"
+#include "net/live/sender.hpp"
+#include "obs/metrics.hpp"
+#include "scanner/deployment.hpp"
+#include "telescope/generator.hpp"
+#include "telescope/scoring.hpp"
+
+// Sanitizer instrumentation costs an order of magnitude of throughput;
+// keep the correctness assertions at full strength but relax the rate
+// floor so the tsan/asan presets can run this test too.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define QUICSAND_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define QUICSAND_SANITIZED 1
+#endif
+#endif
+
+namespace quicsand {
+namespace {
+
+constexpr std::size_t kShards = 4;
+#if defined(QUICSAND_SANITIZED)
+constexpr double kSendRateFloor = 20000.0;
+#else
+constexpr double kSendRateFloor = 100000.0;
+#endif
+constexpr double kSendRateTarget = 150000.0;
+
+telescope::ScenarioConfig mixed_scenario(std::uint64_t seed) {
+  // Mirrors the differential-oracle scenario: scans and floods mixed,
+  // small enough telescope that one day stays in the low hundreds of
+  // thousands of packets.
+  auto scenario = telescope::ScenarioConfig::april2021(1, seed);
+  scenario.telescope = {net::Ipv4Address::from_octets(44, 0, 0, 0), 20};
+  scenario.attacks.quic_attacks_per_day = 40;
+  scenario.attacks.common_attacks_per_day = 120;
+  scenario.botnet.sessions_per_day = 200;
+  scenario.misconfig.sessions_per_day = 150;
+  return scenario;
+}
+
+TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
+  const std::uint64_t seed = 11;
+  const auto registry = asdb::AsRegistry::synthetic({}, seed);
+  const auto deployment = scanner::Deployment::synthetic(registry, {}, seed);
+  const auto scenario = mixed_scenario(seed);
+  telescope::TelescopeGenerator generator(scenario, registry, deployment);
+
+  // Pre-materialize the scenario so the sender measures socket
+  // throughput, not generator throughput.
+  std::vector<net::RawPacket> packets;
+  while (auto packet = generator.next()) packets.push_back(std::move(*packet));
+  ASSERT_GT(packets.size(), 50000u) << "scenario unexpectedly small";
+
+  obs::MetricsRegistry metrics;
+
+  core::ShardedOnlineDetectorConfig detector_config;
+  detector_config.shards = kShards;
+  detector_config.detector.obs.metrics = &metrics;
+  core::ShardedOnlineDetector detector(detector_config);
+
+  std::vector<std::unique_ptr<core::Classifier>> classifiers;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    classifiers.push_back(
+        std::make_unique<core::Classifier>(core::ClassifierConfig{}));
+  }
+
+  net::live::LiveReceiverConfig receiver_config;
+  receiver_config.port = 0;
+  receiver_config.shards = kShards;
+  // Sized so ring drops stay incidental: the detector tolerates loss,
+  // but the recall floor below should reflect detection quality, not
+  // backpressure tuning.
+  receiver_config.ring_capacity = std::size_t{1} << 17;
+  receiver_config.rcvbuf_bytes = std::size_t{1} << 22;
+  receiver_config.obs.metrics = &metrics;
+  net::live::LiveReceiver receiver(receiver_config);
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+        if (const auto record = classifiers[shard]->classify(packet)) {
+          detector.consume(shard, *record);
+        }
+      })) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << receiver.last_error();
+  }
+  ASSERT_NE(receiver.port(), 0);
+
+  net::live::LiveSenderConfig sender_config;
+  sender_config.port = receiver.port();
+  sender_config.pps = kSendRateTarget;
+  sender_config.mode = net::live::RateMode::kConstant;
+  net::live::LiveSender sender(sender_config);
+  std::size_t cursor = 0;
+  const auto stats = sender.send_stream(
+      [&]() -> std::optional<net::RawPacket> {
+        if (cursor >= packets.size()) return std::nullopt;
+        return packets[cursor++];
+      });
+
+  ASSERT_TRUE(sender.last_error().empty()) << sender.last_error();
+  ASSERT_EQ(stats.send_failures, 0u);
+  ASSERT_EQ(stats.sent, packets.size());
+  EXPECT_GE(stats.achieved_pps, kSendRateFloor)
+      << "harness too slow to stress the receiver: " << stats.achieved_pps
+      << " pps over " << stats.elapsed_s << " s";
+
+  // Every datagram the kernel did not drop must surface in received();
+  // give the receiver a moment to drain the socket, then stop (which
+  // drains the rings through the sinks).
+  for (int i = 0; i < 2000; ++i) {
+    if (receiver.received() + receiver.dropped_kernel() >= stats.sent) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.stop();
+
+  // The accounting invariant, exactly: nothing lost without a counter.
+  EXPECT_EQ(receiver.received() + receiver.dropped_kernel(), stats.sent);
+  EXPECT_EQ(receiver.delivered() + receiver.dropped_ring() +
+                receiver.dropped_kernel(),
+            stats.sent)
+      << "delivered=" << receiver.delivered()
+      << " dropped_ring=" << receiver.dropped_ring()
+      << " dropped_kernel=" << receiver.dropped_kernel();
+  EXPECT_EQ(receiver.undecodable(), 0u)
+      << "synthetic scenario datagrams must all decode";
+
+  // The drop counters must be exported through the metrics registry.
+  EXPECT_EQ(metrics.counter("live.received_packets").value(),
+            receiver.received());
+  EXPECT_EQ(metrics.counter("live.dropped_packets").value(),
+            receiver.dropped_ring() + receiver.dropped_kernel());
+  EXPECT_EQ(metrics.counter("live.delivered_packets").value(),
+            receiver.delivered());
+
+  const auto& attacks = detector.finish();
+  ASSERT_GT(attacks.size(), 5u) << "too few detections to score";
+
+  const auto& truth = generator.ground_truth();
+  const auto planned = truth.quic_attacks();
+  ASSERT_FALSE(planned.empty());
+
+  // Precision over every planned QUIC attack.
+  const auto all = telescope::score_detections(attacks, planned);
+  EXPECT_GE(all.precision(), 0.95)
+      << all.matched_detected << "/" << all.detected << " detections matched";
+
+  // Recall over the comfortably-detectable subset.
+  const core::DosThresholds thresholds;
+  std::vector<const telescope::PlannedAttack*> strong;
+  for (const auto* plan : planned) {
+    if (telescope::comfortably_detectable(*plan, thresholds)) {
+      strong.push_back(plan);
+    }
+  }
+  ASSERT_GT(strong.size(), 3u);
+  const auto strong_score = telescope::score_detections(attacks, strong);
+  EXPECT_GE(strong_score.recall(), 0.9)
+      << strong_score.matched_planned << "/" << strong_score.planned
+      << " comfortably-detectable attacks found";
+}
+
+TEST(LiveE2E, BareDatagramsFallBackToArrivalClock) {
+  // Without QSL1 encapsulation the receiver stamps arrival time; the
+  // datagrams must still flow through to the sinks with sane timestamps.
+  net::live::LiveReceiverConfig receiver_config;
+  receiver_config.port = 0;
+  receiver_config.shards = 1;
+  net::live::LiveReceiver receiver(receiver_config);
+  std::atomic<std::uint64_t> sunk{0};
+  util::Timestamp first_seen{};
+  if (!receiver.start([&](std::size_t, const net::RawPacket& packet) {
+        if (sunk.fetch_add(1) == 0) first_seen = packet.timestamp;
+      })) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << receiver.last_error();
+  }
+
+  net::live::LiveSenderConfig sender_config;
+  sender_config.port = receiver.port();
+  sender_config.pps = 1000;
+  sender_config.encapsulate = false;
+  net::live::LiveSender sender(sender_config);
+  // A minimal IPv4 header so the source-sharding peek succeeds.
+  std::vector<std::uint8_t> datagram(28, 0);
+  datagram[0] = 0x45;
+  datagram[12] = 192;
+  int remaining = 32;
+  const auto stats = sender.send_stream(
+      [&]() -> std::optional<net::RawPacket> {
+        if (remaining-- <= 0) return std::nullopt;
+        return net::RawPacket(util::Timestamp{0}, datagram);
+      });
+  ASSERT_EQ(stats.sent, 32u);
+
+  for (int i = 0; i < 2000 && sunk.load() < 32; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  receiver.stop();
+  ASSERT_EQ(sunk.load(), 32u);
+  // Arrival timestamps come from the wall clock: after 2020, not the
+  // epoch the (zeroed) scenario timestamp would suggest.
+  EXPECT_GT(first_seen, util::Timestamp{1577836800LL * 1000000LL});
+  EXPECT_EQ(receiver.undecodable(), 0u);
+}
+
+}  // namespace
+}  // namespace quicsand

@@ -83,6 +83,45 @@ TEST(UtilParse, RejectsMalformedHostPort) {
   }
 }
 
+TEST(UtilParse, ParsesPorts) {
+  EXPECT_EQ(parse_port("0"), 0);
+  EXPECT_EQ(parse_port("4433"), 4433);
+  EXPECT_EQ(parse_port("65535"), 65535);
+  for (const char* bad : {"", "65536", "-1", "4433x", " 4433", "0x10"}) {
+    EXPECT_FALSE(parse_port(bad).has_value()) << "input: '" << bad << "'";
+  }
+}
+
+TEST(UtilParse, ParsesListenAddresses) {
+  // A bare port listens on loopback; HOST:PORT passes through.
+  const auto bare = parse_listen_address("4433");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->host, "127.0.0.1");
+  EXPECT_EQ(bare->port, 4433);
+  const auto full = parse_listen_address("0.0.0.0:4433");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->host, "0.0.0.0");
+  EXPECT_EQ(full->port, 4433);
+  for (const char* bad : {"", "host", "host:", ":4433", "65536", "4433 "}) {
+    EXPECT_FALSE(parse_listen_address(bad).has_value())
+        << "input: '" << bad << "'";
+  }
+}
+
+TEST(UtilParseDeathTest, RequirePortExitsWithDiagnostic) {
+  EXPECT_EXIT(require_port("--port", "65536"),
+              testing::ExitedWithCode(2), "invalid value for --port");
+  EXPECT_EXIT(require_listen_address("--live", "not-an-endpoint"),
+              testing::ExitedWithCode(2), "invalid value for --live");
+}
+
+TEST(UtilParse, RequirePortPassesThrough) {
+  EXPECT_EQ(require_port("--port", "443"), 443);
+  const auto live = require_listen_address("--live", "4433");
+  EXPECT_EQ(live.host, "127.0.0.1");
+  EXPECT_EQ(live.port, 4433);
+}
+
 TEST(UtilParseDeathTest, RequireHostPortExitsWithDiagnostic) {
   EXPECT_EXIT(require_host_port("--listen", "nope"),
               testing::ExitedWithCode(2), "invalid value for --listen");
