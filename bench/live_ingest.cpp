@@ -7,6 +7,10 @@
 //
 // At 10 and 1000 pps the run documents pacing fidelity (achieved must
 // track offered); at 100k pps it bounds single-socket ingest throughput.
+// A second 100k pps pass attaches the 1 s obs::Sampler (the /tsdb
+// history bridge) and reports its per-pass cost as `tsdb.sample_cost`
+// plus the achieved rate with sampling on — the <1% overhead acceptance
+// in EXPERIMENTS.md.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -17,6 +21,8 @@
 #include "core/online_shards.hpp"
 #include "net/live/receiver.hpp"
 #include "net/live/sender.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tsdb.hpp"
 
 namespace quicsand {
 namespace {
@@ -28,10 +34,13 @@ struct RateRun {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t sample_passes = 0;
+  double sample_mean_us = 0;  ///< mean cost of one sampler pass
 };
 
 std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
-                                double rate, std::size_t shards) {
+                                double rate, std::size_t shards,
+                                bool with_sampler = false) {
   // Cap each pass at ~2 s of offered traffic so the slow rates finish.
   const auto budget = static_cast<std::size_t>(rate * 2.0);
   const std::size_t count = std::max<std::size_t>(20, budget);
@@ -63,6 +72,18 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
     return std::nullopt;
   }
 
+  // The sampler rides along exactly as monitor --live wires it: its own
+  // thread, 1 s cadence, snapshotting every registry metric into the
+  // retained-history store while ingest is saturated.
+  obs::TimeSeriesStore store;
+  obs::Sampler sampler([&] {
+    obs::SamplerConfig config;
+    config.metrics = &metrics;
+    config.store = &store;
+    return config;
+  }());
+  if (with_sampler) sampler.start();
+
   net::live::LiveSenderConfig sender_config;
   sender_config.port = receiver.port();
   sender_config.pps = rate;
@@ -75,6 +96,7 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
       });
   receiver.stop();
   detector.finish();
+  if (with_sampler) sampler.stop();
 
   RateRun run;
   run.offered_pps = rate;
@@ -83,6 +105,15 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
   run.sent = stats.sent;
   run.delivered = receiver.delivered();
   run.dropped = receiver.dropped_ring() + receiver.dropped_kernel();
+  if (with_sampler) {
+    for (const auto& h : metrics.histogram_snapshot()) {
+      if (h.name == "tsdb.sample_us" && h.count > 0) {
+        run.sample_passes = h.count;
+        run.sample_mean_us =
+            static_cast<double>(h.sum) / static_cast<double>(h.count);
+      }
+    }
+  }
   return run;
 }
 
@@ -124,6 +155,42 @@ int main(int argc, char** argv) {
     result.records_per_s = run->delivered / std::max(run->elapsed_s, 1e-9);
     result.threads = shards;
     bench::append_bench_result(std::move(result));
+  }
+
+  // Same 100k pps pass with the 1 s history sampler attached: the
+  // achieved rate must not move, and the sampler's own per-pass cost
+  // (tsdb.sample_us, recorded off the hot path) must stay well under 1%
+  // of the capture budget.
+  const double sampled_rate = 100000.0;
+  const auto sampled = run_rate(packets, sampled_rate, shards, true);
+  if (sampled) {
+    const double duty_pct =
+        sampled->elapsed_s > 0
+            ? 100.0 * (static_cast<double>(sampled->sample_passes) *
+                       sampled->sample_mean_us / 1e6) /
+                  sampled->elapsed_s
+            : 0.0;
+    std::printf(
+        "with 1s sampler: achieved %.0f pps, %llu sampler passes, "
+        "%.1f us/pass (%.4f%% of wall time)\n",
+        sampled->achieved_pps,
+        static_cast<unsigned long long>(sampled->sample_passes),
+        sampled->sample_mean_us, duty_pct);
+    bench::BenchResult with_sampler;
+    with_sampler.name = "live.ingest_pps.rate_100000.sampled";
+    with_sampler.wall_ms = sampled->elapsed_s * 1000.0;
+    with_sampler.records_per_s =
+        sampled->delivered / std::max(sampled->elapsed_s, 1e-9);
+    with_sampler.threads = shards;
+    bench::append_bench_result(std::move(with_sampler));
+
+    bench::BenchResult cost;
+    cost.name = "tsdb.sample_cost";
+    cost.wall_ms = sampled->sample_mean_us / 1000.0;  // one pass, in ms
+    cost.records_per_s =
+        sampled->sample_passes / std::max(sampled->elapsed_s, 1e-9);
+    cost.threads = 1;
+    bench::append_bench_result(std::move(cost));
   }
   bench::write_obs_outputs();
   return 0;

@@ -35,6 +35,8 @@
 #include "obs/health.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tsdb.hpp"
 #include "scanner/deployment.hpp"
 #include "server/replay.hpp"
 #include "telescope/generator.hpp"
@@ -200,12 +202,20 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry metrics;
   obs::Health health;
+  obs::TimeSeriesStore tsdb;
+  obs::Sampler sampler([&] {
+    obs::SamplerConfig config;
+    config.metrics = &metrics;
+    config.store = &tsdb;
+    return config;
+  }());
   obs::http::AdminServer admin([&] {
     obs::http::AdminOptions options;
     options.http.host = listen ? listen->host : "127.0.0.1";
     options.http.port = listen ? listen->port : 0;
     options.metrics = &metrics;
     options.health = &health;
+    options.tsdb = &tsdb;
     return options;
   }());
   if (listen) {
@@ -219,7 +229,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cout << "admin endpoint on http://" << listen->host << ":"
-              << admin.port() << "/ (metrics, healthz, stats)" << std::endl;
+              << admin.port() << "/ (metrics, healthz, stats, tsdb, dash)"
+              << std::endl;
+    sampler.start();
   }
 
   std::cout << "replaying " << replay.packets << " client Initials at "
@@ -267,6 +279,7 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::now() < deadline)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    sampler.stop();
     admin.stop();
     std::cout << "admin endpoint stopped\n";
   }

@@ -13,10 +13,21 @@
 //             [--prom-out FILE]      Prometheus text exposition on exit
 //             [--events-out FILE]    NDJSON detector event log
 //             [--listen HOST:PORT]   live admin endpoint (/metrics,
-//                                    /healthz, /events, ...); port 0
-//                                    picks one and prints it
+//                                    /healthz, /events, /tsdb/query,
+//                                    /dash, ...); port 0 picks one and
+//                                    prints it
 //             [--serve-for SECONDS]  in listen mode, exit after this
 //                                    long instead of waiting for ^C
+//             [--flight-out FILE]    write the flight-recorder NDJSON
+//                                    bundle (last ~2 min of 1 s samples
+//                                    + events) on exit — including
+//                                    SIGINT/SIGTERM shutdown
+//
+// Whenever an admin endpoint or live capture is active, a 1 s obs
+// sampler retains every registry metric in an in-process TSDB
+// (multi-resolution ring buffers, see DESIGN.md §11) served at
+// /tsdb/series, /tsdb/query and the /dash sparkline dashboard;
+// tools/quicsand_top is the terminal client for the same endpoints.
 //
 // Live capture mode replaces the built-in scenario with real datagrams
 // from a UDP socket (see DESIGN.md §10; flood_lab --send is the matching
@@ -45,9 +56,12 @@
 #include "core/online_shards.hpp"
 #include "net/live/receiver.hpp"
 #include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tsdb.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
 #include "util/parse.hpp"
@@ -67,11 +81,25 @@ void handle_signal(int) { g_stop.store(true); }
 int run_live(const util::HostPort& endpoint, std::size_t shards,
              std::uint64_t serve_for_s, const std::string& metrics_out,
              const std::string& prom_out, const std::string& events_out,
+             const std::string& flight_out,
              const std::optional<util::HostPort>& listen,
              const asdb::AsRegistry& registry) {
   obs::MetricsRegistry metrics;
   obs::EventLog events;
   obs::Health health;
+  obs::TimeSeriesStore tsdb;
+  obs::Sampler sampler([&] {
+    obs::SamplerConfig config;
+    config.metrics = &metrics;
+    config.store = &tsdb;
+    config.events = &events;
+    return config;
+  }());
+  obs::FlightRecorder flight([&] {
+    obs::FlightRecorderConfig config;
+    config.store = &tsdb;
+    return config;
+  }());
 
   core::ShardedOnlineDetectorConfig detector_config;
   detector_config.shards = shards;
@@ -113,6 +141,8 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
     options.metrics = &metrics;
     options.health = &health;
     options.events = &events;
+    options.tsdb = &tsdb;
+    options.flight = &flight;
     return options;
   }());
   if (listen) {
@@ -122,8 +152,13 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
       return 2;
     }
     std::cout << "admin endpoint on http://" << listen->host << ":"
-              << admin.port() << "/ (metrics, healthz, events)" << std::endl;
+              << admin.port() << "/ (metrics, healthz, events, tsdb, dash)"
+              << std::endl;
   }
+  // Live capture always retains history: /dash and the flight recorder
+  // must have data even when no admin endpoint was requested, so that a
+  // post-incident --flight-out dump is never empty.
+  sampler.start();
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -153,6 +188,7 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
   }
   receiver.stop();
   detector.finish();
+  sampler.stop();  // takes one final sample so the dump includes the tail
 
   std::cout << "\nreceived " << receiver.received() << " datagrams, "
             << receiver.delivered() << " analyzed, " << receiver.dropped_ring()
@@ -178,6 +214,14 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
     std::cerr << "cannot write " << events_out << "\n";
     return 2;
   }
+  if (!flight_out.empty()) {
+    if (flight.dump_file(flight_out)) {
+      std::cout << "flight recorder bundle written to " << flight_out << "\n";
+    } else {
+      std::cerr << "cannot write " << flight_out << "\n";
+      return 2;
+    }
+  }
   if (listen) admin.stop();
   return 0;
 }
@@ -191,6 +235,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string prom_out;
   std::string events_out;
+  std::string flight_out;
   std::optional<util::HostPort> listen;
   std::uint64_t serve_for_s = 0;  // 0 = until SIGINT/SIGTERM
   std::optional<util::HostPort> live;
@@ -216,6 +261,8 @@ int main(int argc, char** argv) {
       prom_out = value();
     } else if (arg == "--events-out") {
       events_out = value();
+    } else if (arg == "--flight-out") {
+      flight_out = value();
     } else if (arg == "--listen") {
       listen = util::require_host_port("--listen", value());
     } else if (arg == "--serve-for") {
@@ -232,8 +279,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: monitor [--days N] [--seed S]"
                    " [--snapshot-every SECONDS] [--metrics-out FILE]"
                    " [--prom-out FILE] [--events-out FILE]"
-                   " [--listen HOST:PORT] [--serve-for SECONDS]"
-                   " [--live PORT|HOST:PORT] [--shards N]\n";
+                   " [--flight-out FILE] [--listen HOST:PORT]"
+                   " [--serve-for SECONDS] [--live PORT|HOST:PORT]"
+                   " [--shards N]\n";
       return 2;
     }
   }
@@ -241,7 +289,8 @@ int main(int argc, char** argv) {
   const auto registry = asdb::AsRegistry::synthetic({}, seed);
   if (live) {
     return run_live(*live, static_cast<std::size_t>(shards), serve_for_s,
-                    metrics_out, prom_out, events_out, listen, registry);
+                    metrics_out, prom_out, events_out, flight_out, listen,
+                    registry);
   }
   const auto deployment = scanner::Deployment::synthetic(registry, {}, seed);
   // --days 0 skips ingest entirely (serve-only mode for smoke tests);
@@ -257,6 +306,19 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   obs::EventLog events;
   obs::Health health;
+  obs::TimeSeriesStore tsdb;
+  obs::Sampler sampler([&] {
+    obs::SamplerConfig config;
+    config.metrics = &metrics;
+    config.store = &tsdb;
+    config.events = &events;
+    return config;
+  }());
+  obs::FlightRecorder flight([&] {
+    obs::FlightRecorderConfig config;
+    config.store = &tsdb;
+    return config;
+  }());
 
   core::Classifier classifier({});
   core::OnlineDetectorConfig detector_config;
@@ -295,6 +357,8 @@ int main(int argc, char** argv) {
     options.metrics = &metrics;
     options.health = &health;
     options.events = &events;
+    options.tsdb = &tsdb;
+    options.flight = &flight;
     return options;
   }());
   if (listen) {
@@ -308,8 +372,13 @@ int main(int argc, char** argv) {
     // Port 0 binds an ephemeral port; print the real one (flushed, so
     // scripts that parse it see the line before any curl).
     std::cout << "admin endpoint on http://" << listen->host << ":"
-              << admin.port() << "/ (metrics, healthz, events)" << std::endl;
+              << admin.port() << "/ (metrics, healthz, events, tsdb, dash)"
+              << std::endl;
   }
+  // History only matters when somebody can read it: an admin endpoint
+  // (/dash, /tsdb/*) or a --flight-out dump on exit. Batch-only runs
+  // skip the sampler thread entirely.
+  if (listen || !flight_out.empty()) sampler.start();
   auto& ingest_health = health.component("telescope_generator");
   ingest_health.set_ready(true);
   const util::Duration snapshot_every = snapshot_every_s * util::kSecond;
@@ -383,6 +452,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Written on every exit path below — including SIGINT/SIGTERM ending
+  // the serve window — so an operator killing a wedged monitor still
+  // gets the incident bundle.
+  auto dump_flight = [&]() -> bool {
+    sampler.stop();  // final sample: the dump includes the last tail
+    if (flight_out.empty()) return true;
+    if (flight.dump_file(flight_out)) {
+      std::cout << "flight recorder bundle written to " << flight_out
+                << "\n";
+      return true;
+    }
+    std::cerr << "cannot write " << flight_out << "\n";
+    return false;
+  };
+
   if (listen) {
     // Keep serving live state until a signal (or --serve-for elapses);
     // operators curl /metrics and /events against the finished run.
@@ -396,9 +480,11 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::now() < deadline)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    const bool flight_ok = dump_flight();
     admin.stop();
     std::cout << "admin endpoint stopped\n";
-    return 0;  // listen mode exits clean even on a zero-alert window
+    return flight_ok ? 0 : 2;  // zero-alert serve windows still exit clean
   }
+  if (!dump_flight()) return 2;
   return alerts > 0 ? 0 : 1;
 }

@@ -55,7 +55,7 @@ if [ "$run_tsan" = 1 ]; then
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" --target \
     core_parallel_pipeline_test obs_metrics_test obs_trace_test \
-    obs_events_test obs_health_test obs_http_test \
+    obs_events_test obs_health_test obs_http_test obs_tsdb_test \
     net_live_ring_test net_live_error_test live_e2e_test
   echo "==> ctest tsan (parallel + obs + live suites)"
   ctest --preset tsan -j "$jobs"

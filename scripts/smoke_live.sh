@@ -1,8 +1,13 @@
 #!/bin/sh
 # Live-capture smoke: launch `monitor --live 127.0.0.1:0` (ephemeral
-# port), replay a capped scenario at it with `flood_lab --send`, then
-# SIGTERM the monitor and require a clean exit whose summary accounts
-# for every datagram the sender reported.
+# port) with a live admin endpoint, replay a capped scenario at it with
+# `flood_lab --send`, scrape the /tsdb history + /dash + flight
+# recorder, then SIGTERM the monitor and require a clean exit whose
+# summary accounts for every datagram the sender reported.
+#
+# On failure, the flight-recorder incident bundle (the last minutes of
+# 1 s samples + detector events) is saved to $FLIGHT_ARTIFACT (default
+# build/flight_live_failure.ndjson) so CI can upload it.
 #
 # Sandboxes that forbid loopback UDP sockets make the monitor exit
 # before it prints its endpoint; that is reported as a skip (exit 0) so
@@ -27,7 +32,24 @@ send_log="$(mktemp)"
 truth="$(mktemp)"
 trap 'rm -f "$log" "$send_log" "$truth"' EXIT
 
-"$monitor" --live 127.0.0.1:0 --shards 2 --serve-for 60 >"$log" 2>&1 &
+flight_artifact="${FLIGHT_ARTIFACT:-build/flight_live_failure.ndjson}"
+admin_port=""
+
+# Preserve the incident bundle before giving up: curl the flight
+# recorder from the still-running monitor into $flight_artifact.
+save_flight() {
+  if [ -n "$admin_port" ]; then
+    curl -s "http://127.0.0.1:$admin_port/debug/flightrecorder" \
+      >"$flight_artifact" 2>/dev/null || true
+    echo "smoke_live: flight recorder bundle saved to $flight_artifact" >&2
+  fi
+}
+
+# --flight-out doubles the artifact path: failures detected after the
+# monitor already exited (bad exit code, datagram accounting) still
+# leave the shutdown bundle on disk for CI to upload.
+"$monitor" --live 127.0.0.1:0 --shards 2 --serve-for 60 \
+  --listen 127.0.0.1:0 --flight-out "$flight_artifact" >"$log" 2>&1 &
 pid=$!
 
 # The bound port is printed (flushed) on the "live capture on udp://"
@@ -51,10 +73,14 @@ if [ -z "$port" ]; then
 fi
 echo "monitor capturing on udp port $port"
 
+admin_port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' "$log" | head -1)"
+[ -n "$admin_port" ] && echo "monitor admin endpoint on port $admin_port"
+
 "$flood_lab" --send "127.0.0.1:$port" --send-pps 50000 --mode burst \
   --send-max-packets 50000 --truth-out "$truth" >"$send_log" 2>&1 || {
   echo "smoke_live: flood_lab --send failed" >&2
   cat "$send_log" >&2
+  save_flight
   kill "$pid" 2>/dev/null || true
   exit 1
 }
@@ -62,14 +88,45 @@ sent="$(sed -n 's/^sent \([0-9]*\) datagrams.*/\1/p' "$send_log" | head -1)"
 if [ -z "$sent" ] || [ "$sent" = 0 ]; then
   echo "smoke_live: sender reported no datagrams" >&2
   cat "$send_log" >&2
+  save_flight
   kill "$pid" 2>/dev/null || true
   exit 1
 fi
 grep -q '"type": "summary"' "$truth" || {
   echo "smoke_live: ground-truth NDJSON missing its summary line" >&2
+  save_flight
   kill "$pid" 2>/dev/null || true
   exit 1
 }
+
+# The sampler has been retaining history the whole time: the live
+# counters must be queryable with the pinned column shape, /dash must be
+# the embedded dashboard, and the flight recorder must serve its bundle.
+if [ -n "$admin_port" ]; then
+  sleep 1.2
+  curl -sf "http://127.0.0.1:$admin_port/tsdb/query?series=live.received_packets&step=0" \
+    | grep -q '"columns": \["t_us", "min", "max", "sum", "count", "last"\]' || {
+    echo "smoke_live: /tsdb/query?series=live.received_packets has no history" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  }
+  curl -sf "http://127.0.0.1:$admin_port/dash" \
+    | grep -q '<title>quicsand dash</title>' || {
+    echo "smoke_live: /dash is not the embedded dashboard" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  }
+  curl -sf "http://127.0.0.1:$admin_port/debug/flightrecorder" | head -1 \
+    | grep -q '"type": "meta"' || {
+    echo "smoke_live: /debug/flightrecorder missing its meta line" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  }
+  echo "tsdb + dash + flight recorder endpoints OK"
+fi
 
 # Give the receiver a beat to drain, then ask for a clean shutdown.
 sleep 1

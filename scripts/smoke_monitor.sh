@@ -1,8 +1,9 @@
 #!/bin/sh
 # Live-endpoint smoke: launch `monitor --listen 127.0.0.1:0 --days 0`
-# (serve-only mode), scrape /metrics and /healthz with curl, assert a
-# known counter is present and healthz reports every component live,
-# then SIGTERM the process and require a clean exit.
+# (serve-only mode), scrape /metrics, /healthz, the /tsdb history
+# endpoints, /dash and /debug/flightrecorder with curl, assert a known
+# counter is present and healthz reports every component live, then
+# SIGTERM the process and require a clean exit.
 #
 # Usage: scripts/smoke_monitor.sh [path/to/monitor]
 set -eu
@@ -54,6 +55,40 @@ echo "$healthz" | grep -q '"status": "healthy"' || {
 
 curl -sf "http://127.0.0.1:$port/readyz" >/dev/null
 curl -sf "http://127.0.0.1:$port/stats" | grep -q '"uptime_s"'
+
+# Retained history: the 1 s sampler has had time to record at least one
+# pass, so the catalog lists series and a query returns the pinned
+# column set.
+sleep 1.2
+curl -sf "http://127.0.0.1:$port/tsdb/series" | grep -q '"tiers"' || {
+  echo "smoke_monitor: /tsdb/series missing its tier table" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+query="$(curl -sf "http://127.0.0.1:$port/tsdb/query?series=monitor.packets&step=0")"
+echo "$query" | grep -q '"columns": \["t_us", "min", "max", "sum", "count", "last"\]' || {
+  echo "smoke_monitor: /tsdb/query returned an unexpected shape: $query" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+# Structured 400s: a malformed parameter answers the uniform error shape.
+bad="$(curl -s "http://127.0.0.1:$port/tsdb/query?series=monitor.packets&from=oops")"
+echo "$bad" | grep -q '"error": {"param": "from"' || {
+  echo "smoke_monitor: malformed ?from= did not produce a structured 400: $bad" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+curl -sf "http://127.0.0.1:$port/dash" | grep -q '<title>quicsand dash</title>' || {
+  echo "smoke_monitor: /dash is not the embedded dashboard" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
+curl -sf "http://127.0.0.1:$port/debug/flightrecorder" | head -1 \
+  | grep -q '"type": "meta"' || {
+  echo "smoke_monitor: /debug/flightrecorder missing its meta line" >&2
+  kill "$pid" 2>/dev/null || true
+  exit 1
+}
 
 kill -TERM "$pid"
 rc=0

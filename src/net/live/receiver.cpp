@@ -166,6 +166,7 @@ void LiveReceiver::receive_loop() {
 void LiveReceiver::worker_loop(std::size_t shard) {
   auto& ring = *rings_[shard];
   std::uint64_t handled = 0;
+  bool draining = false;
   for (;;) {
     if (auto packet = ring.try_pop()) {
       delivered_.fetch_add(1, std::memory_order_relaxed);
@@ -176,7 +177,14 @@ void LiveReceiver::worker_loop(std::size_t shard) {
       }
       continue;
     }
-    if (ring.closed()) break;  // producer done and ring drained
+    // A miss then break on closed() would strand packets published
+    // between the miss and the close. close() is ordered after every
+    // push, so one more drain pass after observing it sees them all.
+    if (draining) break;
+    if (ring.closed()) {
+      draining = true;
+      continue;
+    }
     if (workers_health_ != nullptr) workers_health_->heartbeat();
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }

@@ -154,6 +154,18 @@ std::size_t EventLog::size() const {
   return events_.size();
 }
 
+std::vector<DetectorEvent> EventLog::events_since(std::size_t from,
+                                                  std::size_t* next) const {
+  std::lock_guard lock(mutex_);
+  std::vector<DetectorEvent> out;
+  if (from < events_.size()) {
+    out.assign(events_.begin() + static_cast<std::ptrdiff_t>(from),
+               events_.end());
+  }
+  if (next != nullptr) *next = events_.size();
+  return out;
+}
+
 void EventLog::write_ndjson(std::ostream& out) const {
   std::lock_guard lock(mutex_);
   for (const auto& event : events_) out << to_json_line(event) << "\n";

@@ -118,6 +118,12 @@ class EventLog {
   [[nodiscard]] std::vector<DetectorEvent> events() const;
   [[nodiscard]] std::size_t size() const;
 
+  /// Events stored at index >= `from` (a previous size()); sets `*next`
+  /// to the new size. Lets a poller (the TSDB sampler) drain only the
+  /// new tail instead of copying the whole log every pass.
+  [[nodiscard]] std::vector<DetectorEvent> events_since(
+      std::size_t from, std::size_t* next) const;
+
   /// Write the whole log as NDJSON.
   void write_ndjson(std::ostream& out) const;
   bool write_ndjson_file(const std::string& path) const;

@@ -1,0 +1,109 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/tsdb.hpp"
+
+namespace quicsand::obs {
+
+namespace {
+
+void json_escape_to(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)) {
+  if (config_.window.count() <= 0) config_.window = 120 * util::kSecond;
+}
+
+std::string FlightRecorder::dump() const {
+  std::uint64_t now_us = 0;
+  if (config_.clock) {
+    now_us = config_.clock();
+  } else if (config_.store != nullptr) {
+    for (const auto& info : config_.store->series()) {
+      now_us = std::max(now_us, info.last_us);
+    }
+  }
+  return dump_at(now_us);
+}
+
+std::string FlightRecorder::dump_at(std::uint64_t now_us) const {
+  std::ostringstream out;
+  dump_to(out, now_us);
+  return out.str();
+}
+
+void FlightRecorder::dump_to(std::ostream& out, std::uint64_t now_us) const {
+  if (config_.store == nullptr) {
+    out << "{\"type\": \"meta\", \"error\": \"no store attached\"}\n";
+    return;
+  }
+  const auto& store = *config_.store;
+  auto window_us = static_cast<std::uint64_t>(config_.window.count());
+  if (!store.tiers().empty()) {
+    const auto& finest = store.tiers().front();
+    window_us = std::min(
+        window_us,
+        static_cast<std::uint64_t>(finest.step.count()) * finest.buckets);
+  }
+  const auto from_us = now_us > window_us ? now_us - window_us : 0;
+  const auto catalog = store.series();
+
+  out << "{\"type\": \"meta\", \"now_us\": " << now_us
+      << ", \"from_us\": " << from_us << ", \"window_s\": "
+      << window_us / static_cast<std::uint64_t>(util::kSecond.count())
+      << ", \"series\": " << catalog.size() << "}\n";
+
+  for (const auto& info : catalog) {
+    // step_us = 0 asks for the finest tier: the high-resolution record.
+    const auto result = store.query(info.name, from_us, now_us, 0);
+    for (const auto& point : result.points) {
+      out << "{\"type\": \"sample\", \"series\": ";
+      json_escape_to(out, info.name);
+      out << ", \"kind\": \"" << series_kind_name(info.kind)
+          << "\", \"t_us\": " << point.t_us << ", \"min\": " << point.min
+          << ", \"max\": " << point.max << ", \"sum\": " << point.sum
+          << ", \"count\": " << point.count << ", \"last\": " << point.last
+          << "}\n";
+    }
+  }
+
+  for (const auto& annotation : store.annotations(from_us, now_us)) {
+    out << "{\"type\": \"annotation\", \"t_us\": " << annotation.t_us
+        << ", \"event_time_us\": " << annotation.event_time_us
+        << ", \"kind\": ";
+    json_escape_to(out, annotation.kind);
+    out << ", \"victim\": ";
+    json_escape_to(out, annotation.victim);
+    out << ", \"packets\": " << annotation.packets << ", \"peak_pps\": ";
+    std::ostringstream pps;
+    pps.precision(3);
+    pps << std::fixed << annotation.peak_pps;
+    out << pps.str() << "}\n";
+  }
+}
+
+bool FlightRecorder::dump_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << dump();
+  return static_cast<bool>(out);
+}
+
+}  // namespace quicsand::obs

@@ -1,0 +1,66 @@
+// Incident flight recorder: the last couple of minutes of
+// high-resolution telemetry, dumpable as one NDJSON bundle.
+//
+// The recorder does not keep its own copy of anything — it is a view
+// over the TimeSeriesStore's finest tier (1 s buckets by default) plus
+// the annotation ring, bounded to a trailing `window`. dump() renders:
+//
+//   {"type": "meta", ...}                        one header line
+//   {"type": "sample", "series": ..., ...}       per series, time-ascending
+//   {"type": "annotation", ...}                  detector events in window
+//
+// Everything an operator needs to reconstruct "what was happening right
+// before it died": per-second counter deltas, gauge levels, queue
+// depths and the alerts overlaid on the same clock. The admin server
+// serves it at GET /debug/flightrecorder; `monitor --flight-out FILE`
+// writes the same bundle on (signal) shutdown.
+//
+// Determinism: given a manual clock and a deterministic store, dump_at()
+// is byte-stable — the golden tests pin it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace quicsand::obs {
+
+class TimeSeriesStore;
+
+struct FlightRecorderConfig {
+  TimeSeriesStore* store = nullptr;  ///< required
+  /// Trailing window to dump; clamped to the store's finest-tier
+  /// retention (there is no more high-resolution history than that).
+  util::Duration window = 120 * util::kSecond;
+  /// "now" source for dump(); must share the sampler's axis. Defaults
+  /// to the newest sample in the store, which is always on-axis.
+  std::function<std::uint64_t()> clock;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The NDJSON bundle for [now - window, now], now from the configured
+  /// clock (or the store's newest sample when no clock is set).
+  [[nodiscard]] std::string dump() const;
+  /// Same with an explicit "now" (tests pin this byte-for-byte).
+  [[nodiscard]] std::string dump_at(std::uint64_t now_us) const;
+
+  void dump_to(std::ostream& out, std::uint64_t now_us) const;
+  /// Write dump() to `path`; false when the file cannot be written.
+  bool dump_file(const std::string& path) const;
+
+  [[nodiscard]] util::Duration window() const { return config_.window; }
+
+ private:
+  FlightRecorderConfig config_;
+};
+
+}  // namespace quicsand::obs

@@ -2,13 +2,18 @@
 
 #include <chrono>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
 #include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
+#include "obs/http/dash.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tsdb.hpp"
 #include "util/parse.hpp"
 
 namespace quicsand::obs::http {
@@ -46,6 +51,51 @@ std::string fmt_fixed(double value, int digits) {
   out.precision(digits);
   out << std::fixed << value;
   return out.str();
+}
+
+void json_escape_to(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+/// The uniform query-parameter error shape every admin route answers
+/// with (see the header comment): 400/404 + a structured JSON body.
+Response param_error(int status, const std::string& param,
+                     const std::string& reason, const std::string& value) {
+  Response response;
+  response.status = status;
+  response.content_type = "application/json";
+  std::ostringstream out;
+  out << "{\"error\": {\"param\": ";
+  json_escape_to(out, param);
+  out << ", \"reason\": ";
+  json_escape_to(out, reason);
+  out << ", \"value\": ";
+  json_escape_to(out, value);
+  out << "}}\n";
+  response.body = out.str();
+  return response;
+}
+
+/// Optional unsigned parameter: absent -> `fallback`; present but not a
+/// valid u64 -> a 400 in `*error`.
+std::uint64_t u64_param(const Request& request, const std::string& key,
+                        std::uint64_t fallback,
+                        std::optional<Response>* error) {
+  const auto it = request.query.find(key);
+  if (it == request.query.end()) return fallback;
+  if (const auto parsed = util::parse_u64(it->second)) return *parsed;
+  *error = param_error(400, key, "not an unsigned integer", it->second);
+  return fallback;
 }
 
 }  // namespace
@@ -96,6 +146,23 @@ std::string AdminServer::stats_json() const {
     }
     out << "}";
   }
+  // Recent per-second rates from the retained history (trailing
+  // stats_rate_window, finest tier): unlike throughput_per_s these are
+  // "now" rates, so live-capture health (live.received vs live.dropped_*)
+  // is visible without Prometheus-side rate() math.
+  if (options_.tsdb != nullptr) {
+    out << ", \"rates_per_s\": {";
+    bool first = true;
+    for (const auto& info : options_.tsdb->series()) {
+      if (info.kind != SeriesKind::kCounter) continue;
+      const auto rate =
+          options_.tsdb->rate_per_s(info.name, options_.stats_rate_window);
+      out << (first ? "" : ", ") << "\"" << info.name
+          << "\": " << fmt_fixed(rate, 3);
+      first = false;
+    }
+    out << "}";
+  }
   out << "}";
   return out.str();
 }
@@ -111,7 +178,12 @@ void AdminServer::install_routes() {
         "  /readyz        readiness (503 until every component is ready)\n"
         "  /stats         uptime, threads, per-stage throughput\n"
         "  /events        NDJSON live tail of detector events"
-        " (?backlog=N)\n";
+        " (?backlog=N)\n"
+        "  /tsdb/series   retained time-series catalog + tier table\n"
+        "  /tsdb/query    downsampled history"
+        " (?series=&from=&to=&step=, microseconds)\n"
+        "  /dash          live sparkline dashboard (self-contained HTML)\n"
+        "  /debug/flightrecorder  NDJSON bundle of the last minutes\n";
     return response;
   });
 
@@ -176,6 +248,77 @@ void AdminServer::install_routes() {
     return response;
   });
 
+  server_.handle("/tsdb/series", [this](const Request&) {
+    Response response;
+    if (options_.tsdb == nullptr) {
+      response.status = 503;
+      response.body = "no time-series store attached\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = options_.tsdb->series_json();
+    return response;
+  });
+
+  server_.handle("/tsdb/query", [this](const Request& request) {
+    Response response;
+    if (options_.tsdb == nullptr) {
+      response.status = 503;
+      response.body = "no time-series store attached\n";
+      return response;
+    }
+    const auto series_it = request.query.find("series");
+    if (series_it == request.query.end() || series_it->second.empty()) {
+      return param_error(400, "series", "required", "");
+    }
+    std::optional<Response> error;
+    const auto from = u64_param(request, "from", 0, &error);
+    const auto to = u64_param(request, "to",
+                              std::numeric_limits<std::uint64_t>::max(),
+                              &error);
+    const auto step = u64_param(request, "step", 0, &error);
+    if (error) return *error;
+    if (from > to) {
+      return param_error(400, "from", "exceeds to (reversed range)",
+                         std::to_string(from));
+    }
+    const auto result = options_.tsdb->query(series_it->second, from, to,
+                                             step);
+    if (!result.found) {
+      return param_error(404, "series", "unknown series",
+                         series_it->second);
+    }
+    response.content_type = "application/json";
+    response.body =
+        options_.tsdb->query_json(series_it->second, from, to, step);
+    return response;
+  });
+
+  server_.handle("/dash", [](const Request&) {
+    Response response;
+    response.content_type = "text/html; charset=utf-8";
+    response.body = std::string(dash_html());
+    return response;
+  });
+
+  server_.handle("/debug/flightrecorder", [this](const Request&) {
+    Response response;
+    if (options_.flight == nullptr) {
+      response.status = 503;
+      response.body = "no flight recorder attached\n";
+      return response;
+    }
+    response.content_type = "application/x-ndjson";
+    response.body = options_.flight->dump();
+    return response;
+  });
+
+  const auto backlog_validator =
+      [](const Request& request) -> std::optional<Response> {
+    std::optional<Response> error;
+    u64_param(request, "backlog", 0, &error);
+    return error;
+  };
   server_.handle_stream("/events", [this](const Request& request,
                                           ClientStream& stream) {
     if (options_.events == nullptr) {
@@ -185,7 +328,8 @@ void AdminServer::install_routes() {
     // Replay the tail of the stored log first when asked: an operator
     // attaching late still sees the recent alerts. Backlog capture and
     // subscription are one atomic step, so an alert firing while the
-    // client attaches is never lost between the two.
+    // client attaches is never lost between the two. The validator
+    // already rejected malformed values with a structured 400.
     std::uint64_t backlog = 0;
     if (const auto it = request.query.find("backlog");
         it != request.query.end()) {
@@ -212,7 +356,7 @@ void AdminServer::install_routes() {
       if (!stream.write_chunk(*line + "\n")) break;
     }
     options_.events->unsubscribe(subscription);
-  });
+  }, backlog_validator);
 }
 
 }  // namespace quicsand::obs::http

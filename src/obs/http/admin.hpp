@@ -11,6 +11,10 @@
 //                     throughput derived from counter/uptime
 //   GET /events       chunked NDJSON live tail of the detector EventLog
 //                     (?backlog=N replays the last N stored events first)
+//   GET /tsdb/series  catalog of retained series + tier table
+//   GET /tsdb/query   downsampled points (?series=&from=&to=&step=, µs)
+//   GET /dash         self-contained HTML sparkline dashboard
+//   GET /debug/flightrecorder  NDJSON bundle of the last minutes
 //
 // Every endpoint renders under a read snapshot: scrapes sum the striped
 // counter cells and never block the wait-free write path, so Prometheus
@@ -19,6 +23,11 @@
 // (events_buffer lines) that drops-and-counts when the client reads
 // slower than the detector fires — a stalled curl costs history, never
 // ingest throughput.
+//
+// Query-parameter errors are uniform across routes: a malformed or
+// out-of-range ?from/?to/?step/?backlog answers
+//   400 {"error": {"param": "...", "reason": "...", "value": "..."}}
+// so clients can rely on one shape instead of per-route ad-hoc text.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,8 @@ namespace quicsand::obs {
 class MetricsRegistry;
 class Health;
 class EventLog;
+class TimeSeriesStore;
+class FlightRecorder;
 
 namespace http {
 
@@ -43,6 +54,10 @@ struct AdminOptions {
   MetricsRegistry* metrics = nullptr;
   Health* health = nullptr;
   EventLog* events = nullptr;
+  /// Retained history behind /tsdb/* and /dash (see obs/tsdb.hpp).
+  TimeSeriesStore* tsdb = nullptr;
+  /// Incident bundle behind /debug/flightrecorder.
+  FlightRecorder* flight = nullptr;
   /// Uptime clock (monotonic microseconds); defaults to steady time
   /// since the AdminServer was constructed. Tests inject a manual clock.
   std::function<std::uint64_t()> clock;
@@ -51,6 +66,9 @@ struct AdminOptions {
   /// Per-client /events ring capacity (lines) and poll cadence.
   std::size_t events_buffer = 256;
   util::Duration events_poll = 200 * util::kMillisecond;
+  /// Trailing window for the /stats "rates_per_s" section (per-second
+  /// counter rates computed from the time-series store).
+  util::Duration stats_rate_window = 10 * util::kSecond;
 };
 
 class AdminServer {

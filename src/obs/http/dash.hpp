@@ -1,0 +1,13 @@
+// The /dash page: a self-contained HTML sparkline dashboard over the
+// /tsdb endpoints. No external assets — everything (markup, styles,
+// canvas-drawing JS) is one embedded string, so the page works from an
+// air-gapped sensor with nothing but the admin port reachable.
+#pragma once
+
+#include <string_view>
+
+namespace quicsand::obs::http {
+
+[[nodiscard]] std::string_view dash_html();
+
+}  // namespace quicsand::obs::http

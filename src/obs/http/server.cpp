@@ -114,8 +114,9 @@ void Server::handle(const std::string& path, Handler handler) {
   handlers_[path] = std::move(handler);
 }
 
-void Server::handle_stream(const std::string& path, StreamHandler handler) {
-  stream_handlers_[path] = std::move(handler);
+void Server::handle_stream(const std::string& path, StreamHandler handler,
+                           StreamValidator validator) {
+  stream_handlers_[path] = {std::move(handler), std::move(validator)};
 }
 
 bool Server::start() {
@@ -303,9 +304,17 @@ void Server::serve_connection(Connection* connection) {
       send_response(fd, simple_status(405, "only GET and HEAD"), false);
     } else if (const auto it = stream_handlers_.find(request.path);
                it != stream_handlers_.end() && !head_only) {
-      if (send_all(fd, response_head(200, "application/x-ndjson", 0, true))) {
+      // Validate query parameters while a plain status can still be
+      // sent; once the chunked 200 head is out it is too late for 400.
+      std::optional<Response> rejected;
+      if (it->second.validator) rejected = it->second.validator(request);
+      if (rejected) {
+        send_response(fd, *rejected, false);
+      } else if (send_all(fd,
+                          response_head(200, "application/x-ndjson", 0,
+                                        true))) {
         ClientStream stream(fd, &stopping_);
-        it->second(request, stream);
+        it->second.handler(request, stream);
         if (stream.alive()) send_all(fd, "0\r\n\r\n");
       }
     } else if (const auto handler = handlers_.find(request.path);

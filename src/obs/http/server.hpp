@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -83,6 +84,9 @@ class Server {
  public:
   using Handler = std::function<Response(const Request&)>;
   using StreamHandler = std::function<void(const Request&, ClientStream&)>;
+  /// Runs before the streaming 200 header is committed; returning a
+  /// Response short-circuits the stream (the query-parameter 400 path).
+  using StreamValidator = std::function<std::optional<Response>(const Request&)>;
 
   explicit Server(ServerOptions options);
   ~Server();
@@ -92,7 +96,8 @@ class Server {
 
   /// Exact-match routes; register before start().
   void handle(const std::string& path, Handler handler);
-  void handle_stream(const std::string& path, StreamHandler handler);
+  void handle_stream(const std::string& path, StreamHandler handler,
+                     StreamValidator validator = nullptr);
 
   /// Bind, listen and spawn the accept thread. Returns false (with
   /// last_error() set) if the socket cannot be bound.
@@ -133,9 +138,14 @@ class Server {
   /// Parse the request head; returns an HTTP status (0 = OK).
   int read_request(int fd, Request* request) const;
 
+  struct StreamRoute {
+    StreamHandler handler;
+    StreamValidator validator;  ///< may be null
+  };
+
   ServerOptions options_;
   std::map<std::string, Handler> handlers_;
-  std::map<std::string, StreamHandler> stream_handlers_;
+  std::map<std::string, StreamRoute> stream_handlers_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< self-pipe: stop() wakes the poll

@@ -198,6 +198,18 @@ MetricsRegistry::gauge_snapshot() const {
   return out;
 }
 
+std::vector<MetricsRegistry::HistogramTotals>
+MetricsRegistry::histogram_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<HistogramTotals> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.histogram) {
+      out.push_back({name, entry.histogram->count(), entry.histogram->sum()});
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::lock_guard lock(mutex_);
   std::ostringstream out;

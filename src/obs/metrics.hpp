@@ -119,6 +119,14 @@ class MetricsRegistry {
   counter_snapshot() const;
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
   gauge_snapshot() const;
+  /// Histogram totals (count/sum per name, sorted); the TSDB sampler
+  /// records these as `<name>.count` / `<name>.sum` series.
+  struct HistogramTotals {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  [[nodiscard]] std::vector<HistogramTotals> histogram_snapshot() const;
   /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;
   /// Write to_json() to `path`; returns false if the file cannot be

@@ -1,0 +1,313 @@
+#include "obs/tsdb.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace quicsand::obs {
+
+namespace {
+
+void json_escape_to(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void annotation_json_to(std::ostringstream& out,
+                        const Annotation& annotation) {
+  out << "{\"t_us\": " << annotation.t_us
+      << ", \"event_time_us\": " << annotation.event_time_us
+      << ", \"kind\": ";
+  json_escape_to(out, annotation.kind);
+  out << ", \"victim\": ";
+  json_escape_to(out, annotation.victim);
+  out << ", \"packets\": " << annotation.packets << ", \"peak_pps\": ";
+  std::ostringstream pps;
+  pps.precision(3);
+  pps << std::fixed << annotation.peak_pps;
+  out << pps.str() << "}";
+}
+
+}  // namespace
+
+const char* series_kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistogramCount: return "histogram_count";
+    case SeriesKind::kHistogramSum: return "histogram_sum";
+  }
+  return "unknown";
+}
+
+std::vector<TierConfig> default_tiers() {
+  return {
+      {1 * util::kSecond, 600},    // 1 s resolution for 10 minutes
+      {10 * util::kSecond, 720},   // 10 s resolution for 2 hours
+      {1 * util::kMinute, 1440},   // 1 min resolution for 24 hours
+  };
+}
+
+TimeSeriesStore::TimeSeriesStore(TsdbConfig config)
+    : config_(std::move(config)) {
+  if (config_.tiers.empty()) config_.tiers = default_tiers();
+  for (auto& tier : config_.tiers) {
+    if (tier.step.count() <= 0) tier.step = 1 * util::kSecond;
+    if (tier.buckets == 0) tier.buckets = 1;
+  }
+  if (config_.max_series == 0) config_.max_series = 1;
+  if (config_.max_annotations == 0) config_.max_annotations = 1;
+}
+
+bool TimeSeriesStore::record(const std::string& name, SeriesKind kind,
+                             std::uint64_t t_us, std::int64_t value) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.max_series) {
+      ++series_dropped_;
+      return false;
+    }
+    Series series;
+    series.kind = kind;
+    series.first_us = t_us;
+    series.rings.reserve(config_.tiers.size());
+    for (const auto& tier : config_.tiers) {
+      series.rings.emplace_back(tier.buckets);
+    }
+    it = entries_.emplace(name, std::move(series)).first;
+  }
+  auto& series = it->second;
+  ++series.samples;
+  series.last_us = std::max(series.last_us, t_us);
+  ++samples_recorded_;
+
+  for (std::size_t tier = 0; tier < config_.tiers.size(); ++tier) {
+    const auto step = static_cast<std::uint64_t>(
+        config_.tiers[tier].step.count());
+    const auto index = static_cast<std::int64_t>(t_us / step);
+    auto& ring = series.rings[tier];
+    auto& bucket = ring[static_cast<std::size_t>(index) % ring.size()];
+    if (bucket.index == index) {
+      bucket.min = std::min(bucket.min, value);
+      bucket.max = std::max(bucket.max, value);
+      bucket.sum += value;
+      bucket.last = value;
+      ++bucket.count;
+    } else if (bucket.index < index) {
+      // The slot held an aged-out bucket (or was empty): start fresh.
+      bucket = Bucket{index, value, value, value, value, 1};
+    }
+    // bucket.index > index: the sample is older than the ring's window
+    // at this resolution — already evicted, ignore.
+  }
+  return true;
+}
+
+void TimeSeriesStore::annotate(Annotation annotation) {
+  std::lock_guard lock(mutex_);
+  if (annotations_.size() >= config_.max_annotations) {
+    annotations_.pop_front();
+  }
+  annotations_.push_back(std::move(annotation));
+}
+
+std::vector<TimeSeriesStore::SeriesInfo> TimeSeriesStore::series() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SeriesInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, series] : entries_) {
+    out.push_back({name, series.kind, series.samples, series.first_us,
+                   series.last_us});
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::pick_tier(const Series& series,
+                                       std::uint64_t from_us,
+                                       std::uint64_t step_us) const {
+  // Finest tier satisfying the requested resolution...
+  std::size_t chosen = 0;
+  while (chosen + 1 < config_.tiers.size() &&
+         static_cast<std::uint64_t>(config_.tiers[chosen].step.count()) <
+             step_us) {
+    ++chosen;
+  }
+  // ...escalated until its retention (relative to the newest sample)
+  // still covers `from_us`, or we run out of tiers. A `from` before the
+  // series even existed asks for history no tier has — clamp it to the
+  // first sample so from=0 ("everything") stays on the finest tier that
+  // actually covers the series' lifetime.
+  from_us = std::max(from_us, series.first_us);
+  while (chosen + 1 < config_.tiers.size()) {
+    const auto& tier = config_.tiers[chosen];
+    const auto retention = static_cast<std::uint64_t>(tier.step.count()) *
+                           tier.buckets;
+    if (series.last_us < retention || from_us >= series.last_us - retention) {
+      break;
+    }
+    ++chosen;
+  }
+  return chosen;
+}
+
+void TimeSeriesStore::collect_points(const Series& series, std::size_t tier,
+                                     std::uint64_t from_us,
+                                     std::uint64_t to_us,
+                                     std::vector<TsdbPoint>* out) const {
+  const auto step = static_cast<std::uint64_t>(
+      config_.tiers[tier].step.count());
+  const auto& ring = series.rings[tier];
+  const auto newest = static_cast<std::int64_t>(series.last_us / step);
+  // Valid absolute indices live in (newest - ring.size(), newest]; clip
+  // the request so a from=0 query never walks billions of indices.
+  auto from_index = static_cast<std::int64_t>(from_us / step);
+  auto to_index = static_cast<std::int64_t>(to_us / step);
+  const auto oldest =
+      newest - static_cast<std::int64_t>(ring.size()) + 1;
+  from_index = std::max(from_index, oldest);
+  to_index = std::min(to_index, newest);
+  for (auto index = from_index; index <= to_index; ++index) {
+    const auto& bucket = ring[static_cast<std::size_t>(index) % ring.size()];
+    if (bucket.index != index) continue;  // gap or evicted
+    out->push_back({static_cast<std::uint64_t>(index) * step, bucket.min,
+                    bucket.max, bucket.sum, bucket.last, bucket.count});
+  }
+}
+
+void TimeSeriesStore::collect_annotations(std::uint64_t from_us,
+                                          std::uint64_t to_us,
+                                          std::vector<Annotation>* out) const {
+  for (const auto& annotation : annotations_) {
+    if (annotation.t_us >= from_us && annotation.t_us <= to_us) {
+      out->push_back(annotation);
+    }
+  }
+}
+
+TimeSeriesStore::QueryResult TimeSeriesStore::query(
+    const std::string& name, std::uint64_t from_us, std::uint64_t to_us,
+    std::uint64_t step_us) const {
+  std::lock_guard lock(mutex_);
+  QueryResult result;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return result;
+  const auto& series = it->second;
+  result.found = true;
+  result.kind = series.kind;
+  const auto tier = pick_tier(series, from_us, step_us);
+  result.step_us = static_cast<std::uint64_t>(
+      config_.tiers[tier].step.count());
+  if (from_us > to_us) return result;  // reversed range: empty, not fatal
+  collect_points(series, tier, from_us, to_us, &result.points);
+  collect_annotations(from_us, to_us, &result.annotations);
+  return result;
+}
+
+double TimeSeriesStore::rate_per_s(const std::string& name,
+                                   util::Duration window) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || window.count() <= 0) return 0;
+  const auto& series = it->second;
+  const auto window_us = static_cast<std::uint64_t>(window.count());
+  const auto from_us =
+      series.last_us > window_us ? series.last_us - window_us : 0;
+  std::vector<TsdbPoint> points;
+  collect_points(series, 0, from_us, series.last_us, &points);
+  if (points.size() < 2) return 0;
+  const auto& oldest = points.front();
+  const auto& newest = points.back();
+  const auto elapsed_us = newest.t_us - oldest.t_us;
+  if (elapsed_us == 0) return 0;
+  return static_cast<double>(newest.last - oldest.last) /
+         (static_cast<double>(elapsed_us) / 1e6);
+}
+
+std::vector<Annotation> TimeSeriesStore::annotations(
+    std::uint64_t from_us, std::uint64_t to_us) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Annotation> out;
+  collect_annotations(from_us, to_us, &out);
+  return out;
+}
+
+std::string TimeSeriesStore::series_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\"tiers\": [";
+  for (std::size_t i = 0; i < config_.tiers.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"step_us\": " << config_.tiers[i].step.count()
+        << ", \"buckets\": " << config_.tiers[i].buckets << "}";
+  }
+  out << "], \"series\": [";
+  bool first = true;
+  for (const auto& [name, series] : entries_) {
+    out << (first ? "" : ", ") << "{\"name\": ";
+    json_escape_to(out, name);
+    out << ", \"kind\": \"" << series_kind_name(series.kind)
+        << "\", \"samples\": " << series.samples
+        << ", \"first_us\": " << series.first_us
+        << ", \"last_us\": " << series.last_us << "}";
+    first = false;
+  }
+  out << "], \"dropped_series\": " << series_dropped_ << "}\n";
+  return out.str();
+}
+
+std::string TimeSeriesStore::query_json(const std::string& name,
+                                        std::uint64_t from_us,
+                                        std::uint64_t to_us,
+                                        std::uint64_t step_us) const {
+  const auto result = query(name, from_us, to_us, step_us);
+  std::ostringstream out;
+  out << "{\"series\": ";
+  json_escape_to(out, name);
+  if (!result.found) {
+    out << ", \"error\": \"unknown series\"}\n";
+    return out.str();
+  }
+  out << ", \"kind\": \"" << series_kind_name(result.kind)
+      << "\", \"step_us\": " << result.step_us
+      << ", \"columns\": [\"t_us\", \"min\", \"max\", \"sum\", \"count\","
+         " \"last\"], \"points\": [";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const auto& p = result.points[i];
+    if (i > 0) out << ", ";
+    out << "[" << p.t_us << ", " << p.min << ", " << p.max << ", " << p.sum
+        << ", " << p.count << ", " << p.last << "]";
+  }
+  out << "], \"annotations\": [";
+  for (std::size_t i = 0; i < result.annotations.size(); ++i) {
+    if (i > 0) out << ", ";
+    annotation_json_to(out, result.annotations[i]);
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t TimeSeriesStore::samples_recorded() const {
+  std::lock_guard lock(mutex_);
+  return samples_recorded_;
+}
+
+std::uint64_t TimeSeriesStore::series_dropped() const {
+  std::lock_guard lock(mutex_);
+  return series_dropped_;
+}
+
+}  // namespace quicsand::obs

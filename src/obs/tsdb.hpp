@@ -1,0 +1,203 @@
+// In-process metrics time-series store: the retention layer behind the
+// admin server's /tsdb endpoints and the flight recorder.
+//
+// The store is a fixed-memory, dependency-free TSDB sized for one
+// process observing itself. Every sample lands in a set of
+// multi-resolution tiers (by default 1 s x 10 min, 10 s x 2 h and
+// 1 min x 24 h); each tier is a ring of downsample buckets keyed by the
+// absolute bucket index (floor(t/step)), so writing is O(tiers) with no
+// per-sample allocation and old data is evicted by arithmetic, never by
+// a background job. A bucket keeps min/max/sum/count/last so both rates
+// (delta of `last` between buckets of a cumulative counter) and spikes
+// (`max` of a gauge) survive downsampling.
+//
+// Memory is bounded at construction:
+//
+//   bytes ~= series x sum_over_tiers(buckets) x sizeof(Bucket)  [48 B]
+//
+// The default tiers hold 600+720+1440 = 2760 buckets (~130 KiB per
+// series); a monitor exporting ~60 series retains a full day of history
+// in under 8 MiB. When `max_series` is reached further series are
+// dropped (and counted), never reallocated.
+//
+// Detector alerts enter the same timeline as annotations: a bounded
+// ring of {sample time, event payload} the dashboard and the flight
+// recorder overlay on the sampled series.
+//
+// Concurrency: one mutex guards the whole store. The writer is the
+// Sampler (one pass per cadence tick, not per packet) and readers are
+// admin-server connection threads, so contention is a few locked
+// operations per second — the packet hot path never touches the store.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace quicsand::obs {
+
+enum class SeriesKind : std::uint8_t {
+  kCounter,         ///< cumulative, monotonic (rate = delta of `last`)
+  kGauge,           ///< instantaneous signed level
+  kHistogramCount,  ///< a histogram's cumulative observation count
+  kHistogramSum,    ///< a histogram's cumulative observation sum
+};
+
+[[nodiscard]] const char* series_kind_name(SeriesKind kind);
+
+/// One downsample tier: `buckets` ring slots of `step` each, i.e.
+/// retention = step * buckets.
+struct TierConfig {
+  util::Duration step{};
+  std::size_t buckets = 0;
+};
+
+/// 1 s x 10 min -> 10 s x 2 h -> 1 m x 24 h.
+[[nodiscard]] std::vector<TierConfig> default_tiers();
+
+struct TsdbConfig {
+  /// Ascending by step; empty selects default_tiers().
+  std::vector<TierConfig> tiers;
+  /// Hard cap on distinct series; extra record() calls are counted in
+  /// series_dropped() and otherwise ignored.
+  std::size_t max_series = 512;
+  /// Annotation ring capacity (oldest evicted first).
+  std::size_t max_annotations = 1024;
+};
+
+/// One downsampled point: every aggregate of the samples whose
+/// timestamps fell into [t_us, t_us + step).
+struct TsdbPoint {
+  std::uint64_t t_us = 0;  ///< bucket start on the sample clock
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t sum = 0;
+  std::int64_t last = 0;  ///< most recent raw sample in the bucket
+  std::uint64_t count = 0;
+};
+
+/// A detector event pinned to the sample timeline. `t_us` is when the
+/// sampler observed it (same clock as every TsdbPoint); `event_time_us`
+/// is the event's own capture/simulation timestamp.
+struct Annotation {
+  std::uint64_t t_us = 0;
+  std::int64_t event_time_us = 0;
+  std::string kind;    ///< "alert_fired", "attack_closed", ...
+  std::string victim;  ///< dotted quad (may be empty for non-detector marks)
+  std::uint64_t packets = 0;
+  double peak_pps = 0;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TsdbConfig config = {});
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Record one sample into every tier. Returns false (and counts the
+  /// drop) when the series table is full. Out-of-order samples older
+  /// than a tier's current bucket window are ignored per tier.
+  bool record(const std::string& name, SeriesKind kind, std::uint64_t t_us,
+              std::int64_t value);
+
+  void annotate(Annotation annotation);
+
+  struct SeriesInfo {
+    std::string name;
+    SeriesKind kind = SeriesKind::kCounter;
+    std::uint64_t samples = 0;   ///< raw samples recorded
+    std::uint64_t first_us = 0;  ///< first sample timestamp ever seen
+    std::uint64_t last_us = 0;   ///< newest sample timestamp
+  };
+  [[nodiscard]] std::vector<SeriesInfo> series() const;
+
+  struct QueryResult {
+    bool found = false;  ///< false: no such series
+    SeriesKind kind = SeriesKind::kCounter;
+    std::uint64_t step_us = 0;  ///< effective (tier) resolution
+    std::vector<TsdbPoint> points;
+    std::vector<Annotation> annotations;  ///< annotations inside the range
+  };
+
+  /// Downsampled points for `name` whose buckets overlap [from_us,
+  /// to_us]. The effective resolution is the finest tier with
+  /// step >= step_us that still retains `from_us` (the coarsest tier
+  /// when none does); pass step_us = 0 for the finest available. A
+  /// reversed or out-of-retention range yields an empty point list.
+  [[nodiscard]] QueryResult query(const std::string& name,
+                                  std::uint64_t from_us, std::uint64_t to_us,
+                                  std::uint64_t step_us) const;
+
+  /// Per-second rate of a cumulative series over the trailing `window`
+  /// ending at its newest sample, from the finest tier (0 when fewer
+  /// than two buckets cover the window). Meaningful for kCounter /
+  /// kHistogram* series; gauges get the mean-slope, which is rarely
+  /// what you want.
+  [[nodiscard]] double rate_per_s(const std::string& name,
+                                  util::Duration window) const;
+
+  [[nodiscard]] std::vector<Annotation> annotations(std::uint64_t from_us,
+                                                    std::uint64_t to_us) const;
+
+  /// The /tsdb/series catalog: {"tiers": [...], "series": [...]} with
+  /// deterministic (sorted-by-name) ordering.
+  [[nodiscard]] std::string series_json() const;
+
+  /// The /tsdb/query body for a found series: step, points as
+  /// [t_us, min, max, sum, count, last] rows, annotations in range.
+  /// Deterministic given deterministic sample timestamps.
+  [[nodiscard]] std::string query_json(const std::string& name,
+                                       std::uint64_t from_us,
+                                       std::uint64_t to_us,
+                                       std::uint64_t step_us) const;
+
+  [[nodiscard]] const std::vector<TierConfig>& tiers() const {
+    return config_.tiers;
+  }
+  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] std::uint64_t samples_recorded() const;
+  [[nodiscard]] std::uint64_t series_dropped() const;
+
+ private:
+  struct Bucket {
+    std::int64_t index = -1;  ///< absolute floor(t/step); -1 = empty
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t sum = 0;
+    std::int64_t last = 0;
+    std::uint64_t count = 0;
+  };
+  struct Series {
+    SeriesKind kind = SeriesKind::kCounter;
+    std::uint64_t samples = 0;
+    std::uint64_t first_us = 0;
+    std::uint64_t last_us = 0;
+    /// One ring per tier, config_.tiers order; fixed size at creation.
+    std::vector<std::vector<Bucket>> rings;
+  };
+
+  /// Tier choice for query(); returns an index into config_.tiers.
+  [[nodiscard]] std::size_t pick_tier(const Series& series,
+                                      std::uint64_t from_us,
+                                      std::uint64_t step_us) const;
+  void collect_points(const Series& series, std::size_t tier,
+                      std::uint64_t from_us, std::uint64_t to_us,
+                      std::vector<TsdbPoint>* out) const;
+  void collect_annotations(std::uint64_t from_us, std::uint64_t to_us,
+                           std::vector<Annotation>* out) const;
+
+  TsdbConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> entries_;  ///< sorted => deterministic JSON
+  std::deque<Annotation> annotations_;
+  std::uint64_t samples_recorded_ = 0;
+  std::uint64_t series_dropped_ = 0;
+};
+
+}  // namespace quicsand::obs

@@ -94,12 +94,19 @@ TEST(NetLiveRing, SpscStressPreservesOrderAndCount) {
   std::vector<std::uint64_t> popped;
   popped.reserve(kCount);
   std::thread consumer([&] {
+    bool draining = false;
     for (;;) {
       if (auto value = ring.try_pop()) {
         popped.push_back(*value);
         continue;
       }
-      if (ring.closed()) break;
+      if (draining) break;
+      // One more drain pass after close(): elements pushed between the
+      // miss above and the close would otherwise be stranded.
+      if (ring.closed()) {
+        draining = true;
+        continue;
+      }
       std::this_thread::yield();
     }
   });
@@ -122,6 +129,7 @@ TEST(NetLiveRing, DropOldestStressAccountsForEveryElement) {
   std::vector<std::uint64_t> popped;
   std::thread consumer([&] {
     int spin = 0;
+    bool draining = false;
     for (;;) {
       if (auto value = ring.try_pop()) {
         popped.push_back(*value);
@@ -129,7 +137,14 @@ TEST(NetLiveRing, DropOldestStressAccountsForEveryElement) {
         if ((++spin & 0x3) == 0) std::this_thread::yield();
         continue;
       }
-      if (ring.closed()) break;
+      if (draining) break;
+      // Same drain-after-close handshake as LiveReceiver::worker_loop:
+      // breaking straight on closed() loses whatever was pushed between
+      // the missed pop and the close (up to a full ring).
+      if (ring.closed()) {
+        draining = true;
+        continue;
+      }
     }
   });
   for (std::uint64_t i = 0; i < kCount; ++i) {
@@ -150,12 +165,17 @@ TEST(NetLiveRing, ShutdownWhileFullUnderConcurrency) {
   Ring<std::uint64_t> ring(8);
   std::vector<std::uint64_t> popped;
   std::thread consumer([&] {
+    bool draining = false;
     for (;;) {
       if (auto value = ring.try_pop()) {
         popped.push_back(*value);
         continue;
       }
-      if (ring.closed()) break;
+      if (draining) break;
+      if (ring.closed()) {
+        draining = true;  // drain-after-close, as in worker_loop
+        continue;
+      }
       std::this_thread::yield();
     }
   });

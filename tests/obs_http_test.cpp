@@ -18,10 +18,13 @@
 #include <vector>
 
 #include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/http/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tsdb.hpp"
 
 namespace quicsand::obs::http {
 namespace {
@@ -261,6 +264,11 @@ TEST(ObsHttp, EndpointsAnswer503WithoutAttachedSinks) {
   EXPECT_EQ(http_get(admin.port(), "/healthz").status, 503);
   EXPECT_EQ(http_get(admin.port(), "/readyz").status, 503);
   EXPECT_EQ(http_get(admin.port(), "/stats").status, 200);
+  EXPECT_EQ(http_get(admin.port(), "/tsdb/series").status, 503);
+  EXPECT_EQ(http_get(admin.port(), "/tsdb/query?series=x").status, 503);
+  EXPECT_EQ(http_get(admin.port(), "/debug/flightrecorder").status, 503);
+  // /dash is static HTML: always served.
+  EXPECT_EQ(http_get(admin.port(), "/dash").status, 200);
 }
 
 TEST(ObsHttp, ProtocolErrorPaths) {
@@ -364,6 +372,199 @@ TEST(ObsHttp, EventsStreamReplaysBacklogAndTailsLiveAlerts) {
   EXPECT_NE(body.find("\"victim\": \"44.0.0.1\""), std::string::npos);
   EXPECT_NE(body.find("\"victim\": \"44.0.0.2\""), std::string::npos);
   admin.stop();
+}
+
+/// Store + sampler driven by a manual clock: every /tsdb body below is
+/// byte-deterministic.
+struct TsdbFixture {
+  MetricsRegistry metrics;
+  EventLog events;
+  TimeSeriesStore store;
+  std::uint64_t now_us = 1'000'000'000;  // t = 1000 s
+
+  TsdbFixture() {
+    auto& packets = metrics.counter("pipeline.packets");
+    SamplerConfig config;
+    config.metrics = &metrics;
+    config.store = &store;
+    config.events = &events;
+    config.clock = [this] { return now_us; };
+    config.self_metrics = false;
+    Sampler sampler(config);
+
+    packets.add(100);
+    sampler.sample_once();
+    DetectorEvent event;
+    event.type = DetectorEventType::kAlertFired;
+    event.time = util::Timestamp{} + 999 * util::kSecond;
+    event.victim = "44.1.2.3";
+    event.packets = 5000;
+    event.peak_pps = 250.0;
+    events.emit(event);
+    now_us += 1'000'000;
+    packets.add(400);
+    sampler.sample_once();
+  }
+};
+
+TEST(ObsHttp, TsdbRoutesServeGoldenBodies) {
+  TsdbFixture fixture;
+  AdminOptions options;
+  options.tsdb = &fixture.store;
+  AdminServer admin(std::move(options));
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+
+  const auto series = http_get(admin.port(), "/tsdb/series");
+  EXPECT_EQ(series.status, 200);
+  EXPECT_EQ(series.headers.at("content-type"), "application/json");
+  EXPECT_EQ(series.body,
+            "{\"tiers\": [{\"step_us\": 1000000, \"buckets\": 600},"
+            " {\"step_us\": 10000000, \"buckets\": 720},"
+            " {\"step_us\": 60000000, \"buckets\": 1440}], \"series\":"
+            " [{\"name\": \"pipeline.packets\", \"kind\": \"counter\","
+            " \"samples\": 2, \"first_us\": 1000000000,"
+            " \"last_us\": 1001000000}], \"dropped_series\": 0}\n");
+
+  const auto query = http_get(
+      admin.port(),
+      "/tsdb/query?series=pipeline.packets&from=999000000&to=1002000000");
+  EXPECT_EQ(query.status, 200);
+  EXPECT_EQ(query.body,
+            "{\"series\": \"pipeline.packets\", \"kind\": \"counter\","
+            " \"step_us\": 1000000, \"columns\": [\"t_us\", \"min\","
+            " \"max\", \"sum\", \"count\", \"last\"], \"points\":"
+            " [[1000000000, 100, 100, 100, 1, 100],"
+            " [1001000000, 500, 500, 500, 1, 500]], \"annotations\":"
+            " [{\"t_us\": 1001000000, \"event_time_us\": 999000000,"
+            " \"kind\": \"alert_fired\", \"victim\": \"44.1.2.3\","
+            " \"packets\": 5000, \"peak_pps\": 250.000}]}\n");
+}
+
+TEST(ObsHttp, TsdbQueryParamErrorsAreStructured) {
+  TsdbFixture fixture;
+  AdminOptions options;
+  options.tsdb = &fixture.store;
+  AdminServer admin(std::move(options));
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+
+  // Missing series name.
+  const auto missing = http_get(admin.port(), "/tsdb/query");
+  EXPECT_EQ(missing.status, 400);
+  EXPECT_EQ(missing.body,
+            "{\"error\": {\"param\": \"series\", \"reason\": \"required\","
+            " \"value\": \"\"}}\n");
+  // Malformed numerics, one per parameter.
+  const auto bad_from =
+      http_get(admin.port(), "/tsdb/query?series=x&from=abc");
+  EXPECT_EQ(bad_from.status, 400);
+  EXPECT_EQ(bad_from.body,
+            "{\"error\": {\"param\": \"from\", \"reason\":"
+            " \"not an unsigned integer\", \"value\": \"abc\"}}\n");
+  EXPECT_EQ(http_get(admin.port(), "/tsdb/query?series=x&to=-5").status,
+            400);
+  EXPECT_EQ(http_get(admin.port(), "/tsdb/query?series=x&step=1.5").status,
+            400);
+  // Reversed range.
+  const auto reversed = http_get(
+      admin.port(), "/tsdb/query?series=pipeline.packets&from=9&to=3");
+  EXPECT_EQ(reversed.status, 400);
+  EXPECT_EQ(reversed.body,
+            "{\"error\": {\"param\": \"from\", \"reason\":"
+            " \"exceeds to (reversed range)\", \"value\": \"9\"}}\n");
+  // Unknown series: structured 404.
+  const auto unknown = http_get(admin.port(), "/tsdb/query?series=nope");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_EQ(unknown.body,
+            "{\"error\": {\"param\": \"series\", \"reason\":"
+            " \"unknown series\", \"value\": \"nope\"}}\n");
+  // An empty in-retention range is a 200 with no points, not an error.
+  const auto empty = http_get(
+      admin.port(),
+      "/tsdb/query?series=pipeline.packets&from=1002000000&to=1003000000");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_NE(empty.body.find("\"points\": []"), std::string::npos);
+}
+
+TEST(ObsHttp, EventsBacklogParamValidatedBeforeStreaming) {
+  EventLog events;
+  AdminOptions options;
+  options.events = &events;
+  AdminServer admin(std::move(options));
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+
+  // A malformed backlog is rejected with the uniform 400 shape instead
+  // of a chunked 200 that can no longer carry a status.
+  const auto bad = http_get(admin.port(), "/events?backlog=notanumber");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_EQ(bad.body,
+            "{\"error\": {\"param\": \"backlog\", \"reason\":"
+            " \"not an unsigned integer\", \"value\": \"notanumber\"}}\n");
+}
+
+TEST(ObsHttp, DashServesSelfContainedHtml) {
+  AdminServer admin(AdminOptions{});
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+  const auto dash = http_get(admin.port(), "/dash");
+  EXPECT_EQ(dash.status, 200);
+  EXPECT_EQ(dash.headers.at("content-type"), "text/html; charset=utf-8");
+  EXPECT_NE(dash.body.find("<title>quicsand dash</title>"),
+            std::string::npos);
+  EXPECT_NE(dash.body.find("/tsdb/query"), std::string::npos);
+  // Self-contained: no external scripts, stylesheets, or fonts.
+  EXPECT_EQ(dash.body.find("http://"), std::string::npos);
+  EXPECT_EQ(dash.body.find("https://"), std::string::npos);
+}
+
+TEST(ObsHttp, FlightRecorderRouteDumpsDeterministicBundle) {
+  TsdbFixture fixture;
+  FlightRecorderConfig recorder_config;
+  recorder_config.store = &fixture.store;
+  FlightRecorder recorder(recorder_config);
+
+  AdminOptions options;
+  options.tsdb = &fixture.store;
+  options.flight = &recorder;
+  AdminServer admin(std::move(options));
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+
+  const auto bundle = http_get(admin.port(), "/debug/flightrecorder");
+  EXPECT_EQ(bundle.status, 200);
+  EXPECT_EQ(bundle.headers.at("content-type"), "application/x-ndjson");
+  EXPECT_EQ(bundle.body,
+            "{\"type\": \"meta\", \"now_us\": 1001000000, \"from_us\":"
+            " 881000000, \"window_s\": 120, \"series\": 1}\n"
+            "{\"type\": \"sample\", \"series\": \"pipeline.packets\","
+            " \"kind\": \"counter\", \"t_us\": 1000000000, \"min\": 100,"
+            " \"max\": 100, \"sum\": 100, \"count\": 1, \"last\": 100}\n"
+            "{\"type\": \"sample\", \"series\": \"pipeline.packets\","
+            " \"kind\": \"counter\", \"t_us\": 1001000000, \"min\": 500,"
+            " \"max\": 500, \"sum\": 500, \"count\": 1, \"last\": 500}\n"
+            "{\"type\": \"annotation\", \"t_us\": 1001000000,"
+            " \"event_time_us\": 999000000, \"kind\": \"alert_fired\","
+            " \"victim\": \"44.1.2.3\", \"packets\": 5000,"
+            " \"peak_pps\": 250.000}\n");
+  // Identical on every scrape while the store is quiet.
+  EXPECT_EQ(http_get(admin.port(), "/debug/flightrecorder").body,
+            bundle.body);
+}
+
+TEST(ObsHttp, StatsReportRatesFromTheStore) {
+  TsdbFixture fixture;
+  AdminOptions options;
+  options.metrics = &fixture.metrics;
+  options.tsdb = &fixture.store;
+  options.clock = [] { return std::uint64_t{5'000'000}; };
+  options.thread_count = [] { return std::int64_t{1}; };
+  AdminServer admin(std::move(options));
+  ASSERT_TRUE(admin.start()) << admin.last_error();
+
+  const auto stats = http_get(admin.port(), "/stats");
+  EXPECT_EQ(stats.status, 200);
+  // 100 -> 500 over one second of sample clock: 400/s, from history,
+  // independent of the /stats uptime clock.
+  EXPECT_NE(stats.body.find(
+                "\"rates_per_s\": {\"pipeline.packets\": 400.000}"),
+            std::string::npos);
 }
 
 TEST(ObsHttp, ConcurrentScrapesDuringMetricWrites) {

@@ -1,0 +1,391 @@
+// quicsand_top — terminal dashboard for a running monitor/flood_lab
+// admin endpoint. Polls /metrics.json and /tsdb/query and renders live
+// per-second rates, sparkline history, and recent alerts — `top` for
+// the telescope pipeline, no browser required.
+//
+//   ./quicsand_top HOST:PORT [--interval SECONDS] [--frames N]
+//                  [--series NAME ...] [--window SECONDS] [--no-clear]
+//
+//   --interval S   refresh cadence (default 2)
+//   --frames N     render N frames then exit (0 = until ^C); smoke
+//                  tests run --frames 1 to capture one deterministic-
+//                  shape frame
+//   --series NAME  counter/gauge to track (repeatable; default: the
+//                  live capture + detector headline set, falling back
+//                  to whatever /tsdb/series advertises)
+//   --window S     sparkline history window (default 60)
+//   --no-clear     append frames instead of redrawing in place
+//
+// Speaks just enough HTTP/1.1 over a blocking socket and scans just
+// enough JSON to avoid any client library; everything it needs is the
+// admin server's deterministic output shape (columns [t_us, min, max,
+// sum, count, last]).
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parse.hpp"
+#include "util/time.hpp"
+
+using namespace quicsand;
+
+namespace {
+
+/// One blocking HTTP/1.1 GET; returns the body, or nullopt on any
+/// connect/read error (the caller renders a "endpoint away" frame).
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& target) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &resolved) != 0) {
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* it = resolved; it != nullptr; it = it->ai_next) {
+    fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) return std::nullopt;
+
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const auto n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  if (response.rfind("HTTP/1.1 200", 0) != 0) return std::nullopt;
+  return response.substr(header_end + 4);
+}
+
+/// Scan `"key": <number>` out of a flat JSON object (the /metrics.json
+/// shape); good enough without a parser because the server's output is
+/// deterministic and unnested for counters/gauges.
+std::optional<double> scan_number(const std::string& json,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* begin = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return value;
+}
+
+struct QueryPoint {
+  std::int64_t t_us = 0;
+  std::int64_t last = 0;
+};
+
+/// Pull the [t_us, ..., last] columns out of a /tsdb/query "points"
+/// array: rows are fixed-shape [t,min,max,sum,count,last].
+std::vector<QueryPoint> scan_points(const std::string& json) {
+  std::vector<QueryPoint> points;
+  const auto array_at = json.find("\"points\": [");
+  if (array_at == std::string::npos) return points;
+  std::size_t pos = array_at + std::strlen("\"points\": [");
+  while (true) {
+    const auto row_start = json.find('[', pos);
+    if (row_start == std::string::npos) break;
+    const auto row_end = json.find(']', row_start);
+    if (row_end == std::string::npos) break;
+    // Stop at the end of the points array: the next structural char
+    // after the previous row decides (',' continues, ']' terminates).
+    const auto between = json.substr(pos, row_start - pos);
+    if (between.find(']') != std::string::npos) break;
+    const std::string row =
+        json.substr(row_start + 1, row_end - row_start - 1);
+    std::vector<std::int64_t> cells;
+    std::istringstream cells_in(row);
+    std::string cell;
+    while (std::getline(cells_in, cell, ',')) {
+      if (const auto parsed = util::parse_i64(
+              cell.substr(cell.find_first_not_of(' ')))) {
+        cells.push_back(*parsed);
+      }
+    }
+    if (cells.size() >= 6) points.push_back({cells[0], cells[5]});
+    pos = row_end + 1;
+  }
+  return points;
+}
+
+/// Annotation lines ("kind"/"victim"/"peak_pps") from a /tsdb/query
+/// response, rendered one alert per line.
+std::vector<std::string> scan_annotations(const std::string& json) {
+  std::vector<std::string> alerts;
+  // The top-level response also has a "kind" (the series kind): only
+  // scan past the annotations array so it is never mistaken for one.
+  std::size_t pos = json.find("\"annotations\": [");
+  if (pos == std::string::npos) return alerts;
+  while ((pos = json.find("\"kind\": \"", pos)) != std::string::npos) {
+    pos += std::strlen("\"kind\": \"");
+    const auto kind_end = json.find('"', pos);
+    if (kind_end == std::string::npos) break;
+    std::string line = json.substr(pos, kind_end - pos);
+    const auto victim_at = json.find("\"victim\": \"", pos);
+    if (victim_at != std::string::npos) {
+      const auto victim_start = victim_at + std::strlen("\"victim\": \"");
+      const auto victim_end = json.find('"', victim_start);
+      if (victim_end != std::string::npos) {
+        line += "  victim " +
+                json.substr(victim_start, victim_end - victim_start);
+      }
+    }
+    if (const auto pps = scan_number(json.substr(pos), "peak_pps")) {
+      std::ostringstream out;
+      out.precision(0);
+      out << std::fixed << "  " << *pps << " pps";
+      line += out.str();
+    }
+    alerts.push_back(line);
+    pos = kind_end;
+  }
+  return alerts;
+}
+
+/// Eight-level unicode sparkline over per-second deltas (counters keep
+/// rising; the interesting shape is the derivative).
+std::string sparkline(const std::vector<QueryPoint>& points) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (points.size() < 2) return "(gathering)";
+  std::vector<double> rates;
+  rates.reserve(points.size() - 1);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dt_s =
+        static_cast<double>(points[i].t_us - points[i - 1].t_us) / 1e6;
+    const double delta =
+        static_cast<double>(points[i].last - points[i - 1].last);
+    rates.push_back(dt_s > 0 ? std::max(0.0, delta / dt_s) : 0.0);
+  }
+  const double peak = *std::max_element(rates.begin(), rates.end());
+  std::string out;
+  for (const double rate : rates) {
+    const auto level =
+        peak > 0 ? static_cast<std::size_t>(rate / peak * 7.0) : 0;
+    out += kLevels[std::min<std::size_t>(level, 7)];
+  }
+  std::ostringstream tail;
+  tail.precision(1);
+  tail << std::fixed << "  " << rates.back() << "/s (peak "
+       << peak << ")";
+  return out + tail.str();
+}
+
+/// Newest sample timestamp across the catalog, so queries can ask for
+/// just the trailing window (keeping the server on its finest tier).
+std::int64_t scan_newest_us(const std::string& json) {
+  std::int64_t newest = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"last_us\": ", pos)) != std::string::npos) {
+    pos += std::strlen("\"last_us\": ");
+    // Scanning inside a larger buffer: a partial read is the point
+    // here, util::parse_* would demand the number end the string.
+    char* end = nullptr;  // lint:allow(parse-functions)
+    const auto value = std::strtoll(json.c_str() + pos, &end, 10);
+    newest = std::max<std::int64_t>(newest, value);
+  }
+  return newest;
+}
+
+/// Series names from /tsdb/series (the fallback when no --series given
+/// and none of the defaults exist on this endpoint).
+std::vector<std::string> scan_series_names(const std::string& json) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"name\": \"", pos)) != std::string::npos) {
+    pos += std::strlen("\"name\": \"");
+    const auto end = json.find('"', pos);
+    if (end == std::string::npos) break;
+    names.push_back(json.substr(pos, end - pos));
+    pos = end;
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<util::HostPort> endpoint;
+  double interval_s = 2.0;
+  std::uint64_t frames = 0;  // 0 = until ^C
+  std::uint64_t window_s = 60;
+  bool clear = true;
+  std::vector<std::string> requested;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--interval") {
+      interval_s = util::require_f64("--interval", value());
+    } else if (arg == "--frames") {
+      frames = util::require_u64("--frames", value());
+    } else if (arg == "--window") {
+      window_s = util::require_u64("--window", value());
+    } else if (arg == "--series") {
+      requested.emplace_back(value());
+    } else if (arg == "--no-clear") {
+      clear = false;
+    } else if (!arg.empty() && arg[0] != '-' && !endpoint) {
+      endpoint = util::require_host_port("HOST:PORT", arg.c_str());
+    } else {
+      std::cerr << "usage: quicsand_top HOST:PORT [--interval SECONDS]"
+                   " [--frames N] [--series NAME ...]"
+                   " [--window SECONDS] [--no-clear]\n";
+      return 2;
+    }
+  }
+  if (!endpoint) {
+    std::cerr << "usage: quicsand_top HOST:PORT [--interval SECONDS]"
+                 " [--frames N] [--series NAME ...] [--window SECONDS]"
+                 " [--no-clear]\n";
+    return 2;
+  }
+
+  // The headline set when the user picks nothing: live-capture health
+  // plus detector activity, pruned below to what the endpoint retains.
+  std::vector<std::string> defaults = {
+      "live.received_packets", "live.delivered_packets", "live.dropped_ring",
+      "live.dropped_kernel",   "online.records",         "online.alerts",
+      "monitor.packets",       "tsdb.samples"};
+
+  std::uint64_t frame = 0;
+  int failures_in_a_row = 0;
+  while (frames == 0 || frame < frames) {
+    ++frame;
+
+    const auto series_body =
+        http_get(endpoint->host, endpoint->port, "/tsdb/series");
+    std::vector<std::string> available;
+    if (series_body) available = scan_series_names(*series_body);
+
+    std::vector<std::string> tracked;
+    for (const auto& name : requested.empty() ? defaults : requested) {
+      if (std::find(available.begin(), available.end(), name) !=
+          available.end()) {
+        tracked.push_back(name);
+      }
+    }
+    if (tracked.empty() && requested.empty()) {
+      // Nothing from the headline set: show whatever exists (bounded,
+      // the terminal is only so tall).
+      for (const auto& name : available) {
+        tracked.push_back(name);
+        if (tracked.size() >= 8) break;
+      }
+    }
+
+    if (clear) std::cout << "\033[H\033[2J";
+    std::cout << "quicsand_top — http://" << endpoint->host << ":"
+              << endpoint->port << "  frame " << frame << "\n";
+
+    if (!series_body) {
+      ++failures_in_a_row;
+      std::cout << "  endpoint unreachable ("
+                << failures_in_a_row << " attempt(s))\n";
+      if (frames != 0 && frame >= frames) return 1;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+      continue;
+    }
+    failures_in_a_row = 0;
+
+    const auto metrics_body =
+        http_get(endpoint->host, endpoint->port, "/metrics.json");
+
+    // Ask for just the trailing window, anchored at the newest sample
+    // the catalog advertises: the server then answers from its finest
+    // tier instead of escalating to cover ancient history.
+    const std::int64_t newest_us = scan_newest_us(*series_body);
+    const std::int64_t from_us = std::max<std::int64_t>(
+        0, newest_us - static_cast<std::int64_t>(window_s) * 1000000);
+
+    std::vector<std::string> alerts;
+    for (const auto& name : tracked) {
+      const auto body = http_get(
+          endpoint->host, endpoint->port,
+          "/tsdb/query?series=" + name +
+              "&from=" + std::to_string(from_us) + "&step=0");
+      std::cout << "  " << name;
+      for (std::size_t pad = name.size(); pad < 22; ++pad) std::cout << ' ';
+      if (!body) {
+        std::cout << " (query failed)\n";
+        continue;
+      }
+      auto points = scan_points(*body);
+      const std::size_t max_points = window_s;  // finest tier is 1 s
+      if (points.size() > max_points) {
+        points.erase(points.begin(),
+                     points.end() - static_cast<std::ptrdiff_t>(max_points));
+      }
+      std::cout << " " << sparkline(points);
+      if (metrics_body) {
+        if (const auto total = scan_number(*metrics_body, name)) {
+          std::cout << "  total " << static_cast<std::int64_t>(*total);
+        }
+      }
+      std::cout << "\n";
+      if (alerts.empty()) alerts = scan_annotations(*body);
+    }
+
+    std::cout << "  alerts:\n";
+    if (alerts.empty()) {
+      std::cout << "    (none in window)\n";
+    } else {
+      std::size_t shown = 0;
+      for (auto it = alerts.rbegin(); it != alerts.rend() && shown < 5;
+           ++it, ++shown) {
+        std::cout << "    " << *it << "\n";
+      }
+    }
+    std::cout.flush();
+
+    if (frames != 0 && frame >= frames) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+  return 0;
+}
