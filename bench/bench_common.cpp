@@ -199,7 +199,11 @@ AnalyzedScenario run_scenario(const telescope::ScenarioConfig& config) {
   telescope::TelescopeGenerator generator(config, registry(), deployment());
   {
     obs::Span span(&tracer(), "bench.generate_ingest");
-    while (auto packet = generator.next()) result.pipeline->consume(*packet);
+    auto batch = result.pipeline->acquire_batch();
+    while (generator.next_batch(batch) > 0) {
+      result.pipeline->consume_batch(std::move(batch));
+      batch = result.pipeline->acquire_batch();
+    }
     result.pipeline->finish();
   }
   result.generate_seconds = seconds_since(generate_start);

@@ -56,8 +56,9 @@ if [ "$run_tsan" = 1 ]; then
   cmake --build --preset tsan -j "$jobs" --target \
     core_parallel_pipeline_test obs_metrics_test obs_trace_test \
     obs_events_test obs_health_test obs_http_test obs_tsdb_test \
-    net_live_ring_test net_live_error_test live_e2e_test
-  echo "==> ctest tsan (parallel + obs + live suites)"
+    net_live_ring_test net_live_error_test live_e2e_test \
+    telescope_batch_diff_test net_record_batch_test
+  echo "==> ctest tsan (parallel + obs + live + batch hand-off suites)"
   ctest --preset tsan -j "$jobs"
 fi
 

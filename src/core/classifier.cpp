@@ -48,18 +48,23 @@ Classifier::Classifier(ClassifierConfig config)
 
 std::optional<PacketRecord> Classifier::classify(
     const net::RawPacket& packet) {
+  return classify(packet.timestamp, packet.data);
+}
+
+std::optional<PacketRecord> Classifier::classify(
+    util::Timestamp timestamp, std::span<const std::uint8_t> data) {
   ++stats_.total;
-  const auto decoded = net::decode_ipv4(packet.data);
+  const auto decoded = net::decode_ipv4(data);
   if (!decoded) {
     ++stats_.undecodable;
     return std::nullopt;
   }
 
   PacketRecord record;
-  record.timestamp = packet.timestamp;
+  record.timestamp = timestamp;
   record.src = decoded->ip.src;
   record.dst = decoded->ip.dst;
-  record.wire_size = static_cast<std::uint16_t>(packet.data.size());
+  record.wire_size = static_cast<std::uint16_t>(data.size());
 
   if (decoded->is_udp()) {
     const auto& udp = decoded->udp();

@@ -11,11 +11,13 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/record.hpp"
 #include "net/headers.hpp"
 #include "net/packet.hpp"
+#include "util/time.hpp"
 
 namespace quicsand::core {
 
@@ -61,6 +63,11 @@ class Classifier {
   /// Classify one captured datagram. Returns nullopt for undecodable
   /// packets; all decodable packets produce a record (possibly kOther).
   std::optional<PacketRecord> classify(const net::RawPacket& packet);
+
+  /// Zero-copy variant over a non-owning view (batched ingest); the
+  /// RawPacket overload delegates here.
+  std::optional<PacketRecord> classify(util::Timestamp timestamp,
+                                       std::span<const std::uint8_t> data);
 
   [[nodiscard]] const ClassifierStats& stats() const { return stats_; }
 

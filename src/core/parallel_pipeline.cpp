@@ -98,6 +98,87 @@ void ParallelPipeline::consume(const net::RawPacket& packet) {
   if (pending_.size() >= options_.batch_size) dispatch_batch();
 }
 
+net::RecordBatch ParallelPipeline::acquire_batch() {
+  {
+    std::lock_guard lock(pool_mutex_);
+    if (!batch_pool_.empty()) {
+      auto batch = std::move(batch_pool_.back());
+      batch_pool_.pop_back();
+      return batch;
+    }
+  }
+  return net::RecordBatch(options_.batch_size);
+}
+
+void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
+  if (batch.empty()) {
+    std::lock_guard lock(pool_mutex_);
+    batch_pool_.push_back(std::move(batch));
+    return;
+  }
+  if (packets_counter_ != nullptr) packets_counter_->add(batch.size());
+  // Flush any per-packet consume() stragglers first so the record stream
+  // keeps global arrival order.
+  dispatch_batch();
+  {
+    const auto wait_start =
+        backpressure_wait_us_ != nullptr ? steady_us() : 0;
+    std::unique_lock lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
+    ++inflight_;
+    if (inflight_gauge_ != nullptr) {
+      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+    }
+    if (backpressure_wait_us_ != nullptr) {
+      backpressure_wait_us_->observe(steady_us() - wait_start);
+    }
+  }
+  if (batches_counter_ != nullptr) batches_counter_->add();
+  if (health_ != nullptr) health_->heartbeat();
+  batches_.emplace_back();
+  auto* out = &batches_.back();
+  auto shared = std::make_shared<net::RecordBatch>(std::move(batch));
+  const auto submit_us = queue_wait_us_ != nullptr ? steady_us() : 0;
+  pool_->submit([this, out, shared, submit_us](std::size_t worker) {
+    if (queue_wait_us_ != nullptr) {
+      queue_wait_us_->observe(steady_us() - submit_us);
+    }
+    const auto batch_start = classify_batch_us_ != nullptr ? steady_us() : 0;
+    obs::Span span(options_.base.obs.tracer, "parallel.classify_batch");
+    auto& classifier = *worker_classifiers_[worker];
+    out->reserve(shared->size());
+    for (std::size_t i = 0; i < shared->size(); ++i) {
+      const auto view = shared->view(i);
+      const auto record = classifier.classify(view.timestamp, view.data);
+      if (!record) continue;
+      bin_hourly(*record, options_.base.window_start, hours_,
+                 [this, worker](HourlySlot slot, std::size_t hour) {
+                   worker_hourly_[static_cast<std::size_t>(slot)].add(worker,
+                                                                      hour);
+                 });
+      if (!keep_for_analysis(*record)) continue;
+      out->push_back(*record);
+    }
+    if (records_counter_ != nullptr) {
+      records_counter_->add(out->size());
+    }
+    if (classify_batch_us_ != nullptr) {
+      classify_batch_us_->observe(steady_us() - batch_start);
+    }
+    {
+      std::lock_guard lock(pool_mutex_);
+      shared->clear();
+      batch_pool_.push_back(std::move(*shared));
+    }
+    std::lock_guard lock(inflight_mutex_);
+    --inflight_;
+    if (inflight_gauge_ != nullptr) {
+      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+    }
+    inflight_cv_.notify_all();
+  });
+}
+
 void ParallelPipeline::dispatch_batch() {
   if (pending_.empty()) return;
   // Backpressure: bound the raw-packet batches in flight so a fast
@@ -213,7 +294,16 @@ ParallelPipeline::shard_records() {
   finish();
   if (!sharded_) {
     obs::Span span(options_.base.obs.tracer, "parallel.shard_partition");
+    // Count first so each shard vector is reserved exactly once — the
+    // partition then never reallocates mid-pass.
+    std::vector<std::size_t> counts(shards_, 0);
+    for (const auto& record : records_) {
+      ++counts[util::shard_of(record.src.value(), shards_)];
+    }
     shard_records_.assign(shards_, {});
+    for (std::size_t s = 0; s < shards_; ++s) {
+      shard_records_[s].reserve(counts[s]);
+    }
     for (const auto& record : records_) {
       shard_records_[util::shard_of(record.src.value(), shards_)].push_back(
           record);

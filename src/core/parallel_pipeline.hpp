@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "net/record_batch.hpp"
 #include "obs/health.hpp"
 #include "util/sharded_counter.hpp"
 #include "util/thread_pool.hpp"
@@ -45,6 +46,18 @@ class ParallelPipeline {
   /// Ingest one packet (must arrive in time order). Classification runs
   /// on the pool, overlapping with the caller's capture/generation loop.
   void consume(const net::RawPacket& packet);
+
+  /// Take a recycled (empty) batch from the pool, or a fresh one sized
+  /// to options().batch_size on first use. Fill it with packets in time
+  /// order and hand it back via consume_batch().
+  [[nodiscard]] net::RecordBatch acquire_batch();
+
+  /// Ingest a whole batch: classification of the batch runs as one pool
+  /// task, and the batch itself is recycled into the pool afterwards, so
+  /// the generate→ingest hot loop performs no steady-state allocation.
+  /// Batches (and any interleaved consume() packets) must arrive in
+  /// global time order.
+  void consume_batch(net::RecordBatch&& batch);
 
   /// Flush pending batches and merge per-worker state. Idempotent; every
   /// analysis accessor calls it, after which consume() must not be
@@ -95,6 +108,10 @@ class ParallelPipeline {
   std::mutex inflight_mutex_;
   std::condition_variable inflight_cv_;
   std::size_t inflight_ = 0;
+
+  // Recycled RecordBatch pool for the batched ingest path.
+  std::mutex pool_mutex_;
+  std::vector<net::RecordBatch> batch_pool_;
 
   // Merged state, valid once finished_.
   bool finished_ = false;

@@ -42,8 +42,13 @@ Pipeline::Pipeline(PipelineOptions options)
 }
 
 void Pipeline::consume(const net::RawPacket& packet) {
+  consume(packet.timestamp, packet.data);
+}
+
+void Pipeline::consume(util::Timestamp timestamp,
+                       std::span<const std::uint8_t> data) {
   if (packets_counter_ != nullptr) packets_counter_->add();
-  const auto record = classifier_.classify(packet);
+  const auto record = classifier_.classify(timestamp, data);
   if (!record) return;
 
   bin_hourly(*record, options_.window_start, hourly_.research_quic.size(),

@@ -99,6 +99,10 @@ class Pipeline {
   /// Ingest one packet (must arrive in time order).
   void consume(const net::RawPacket& packet);
 
+  /// Zero-copy variant over a non-owning view (batched ingest, e.g. a
+  /// RecordBatch PacketView); the RawPacket overload delegates here.
+  void consume(util::Timestamp timestamp, std::span<const std::uint8_t> data);
+
   [[nodiscard]] const ClassifierStats& stats() const {
     return classifier_.stats();
   }

@@ -66,11 +66,10 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
   return checksum_fold(checksum_partial(data, 0));
 }
 
-std::vector<std::uint8_t> build_udp(const Ipv4Header& ip, std::uint16_t sport,
-                                    std::uint16_t dport,
-                                    std::span<const std::uint8_t> payload) {
+void build_udp_into(ByteWriter& w, const Ipv4Header& ip, std::uint16_t sport,
+                    std::uint16_t dport,
+                    std::span<const std::uint8_t> payload) {
   const std::size_t l4_length = kUdpHeaderSize + payload.size();
-  ByteWriter w(kIpv4HeaderSize + l4_length);
   Ipv4Header header = ip;
   header.protocol = IpProtocol::kUdp;
   write_ipv4_header(w, header, l4_length);
@@ -88,12 +87,18 @@ std::vector<std::uint8_t> build_udp(const Ipv4Header& ip, std::uint16_t sport,
   std::uint16_t csum = checksum_fold(sum);
   if (csum == 0) csum = 0xffff;  // RFC 768: transmitted zero means "none"
   w.patch_be(udp_start + 6, csum, 2);
+}
+
+std::vector<std::uint8_t> build_udp(const Ipv4Header& ip, std::uint16_t sport,
+                                    std::uint16_t dport,
+                                    std::span<const std::uint8_t> payload) {
+  ByteWriter w(kIpv4HeaderSize + kUdpHeaderSize + payload.size());
+  build_udp_into(w, ip, sport, dport, payload);
   return w.take();
 }
 
-std::vector<std::uint8_t> build_tcp(const Ipv4Header& ip, const TcpInfo& tcp) {
+void build_tcp_into(ByteWriter& w, const Ipv4Header& ip, const TcpInfo& tcp) {
   const std::size_t l4_length = kTcpHeaderSize + tcp.payload.size();
-  ByteWriter w(kIpv4HeaderSize + l4_length);
   Ipv4Header header = ip;
   header.protocol = IpProtocol::kTcp;
   write_ipv4_header(w, header, l4_length);
@@ -114,13 +119,17 @@ std::vector<std::uint8_t> build_tcp(const Ipv4Header& ip, const TcpInfo& tcp) {
       pseudo_header_sum(ip.src, ip.dst, IpProtocol::kTcp, l4_length);
   sum = checksum_partial(w.view().subspan(tcp_start), sum);
   w.patch_be(tcp_start + 16, checksum_fold(sum), 2);
+}
+
+std::vector<std::uint8_t> build_tcp(const Ipv4Header& ip, const TcpInfo& tcp) {
+  ByteWriter w(kIpv4HeaderSize + kTcpHeaderSize + tcp.payload.size());
+  build_tcp_into(w, ip, tcp);
   return w.take();
 }
 
-std::vector<std::uint8_t> build_icmp(const Ipv4Header& ip,
-                                     const IcmpInfo& icmp) {
+void build_icmp_into(ByteWriter& w, const Ipv4Header& ip,
+                     const IcmpInfo& icmp) {
   const std::size_t l4_length = kIcmpHeaderSize + icmp.payload.size();
-  ByteWriter w(kIpv4HeaderSize + l4_length);
   Ipv4Header header = ip;
   header.protocol = IpProtocol::kIcmp;
   write_ipv4_header(w, header, l4_length);
@@ -132,25 +141,44 @@ std::vector<std::uint8_t> build_icmp(const Ipv4Header& ip,
   w.write_bytes(icmp.payload);
   w.patch_be(icmp_start + 2,
              internet_checksum(w.view().subspan(icmp_start)), 2);
+}
+
+std::vector<std::uint8_t> build_icmp(const Ipv4Header& ip,
+                                     const IcmpInfo& icmp) {
+  ByteWriter w(kIpv4HeaderSize + kIcmpHeaderSize + icmp.payload.size());
+  build_icmp_into(w, ip, icmp);
   return w.take();
+}
+
+void build_icmp_error_into(ByteWriter& w, const Ipv4Header& ip,
+                           std::uint8_t type, std::uint8_t code,
+                           std::span<const std::uint8_t> original_datagram) {
+  // Unused/zero field (4 bytes) + original IP header + first 8 bytes of
+  // the original payload (RFC 792), written inline so no temporary quote
+  // buffer is materialised.
+  const std::size_t quoted_len =
+      std::min<std::size_t>(original_datagram.size(), kIpv4HeaderSize + 8);
+  const std::size_t l4_length = kIcmpHeaderSize + 4 + quoted_len;
+  Ipv4Header header = ip;
+  header.protocol = IpProtocol::kIcmp;
+  write_ipv4_header(w, header, l4_length);
+
+  const std::size_t icmp_start = w.size();
+  w.write_u8(type);
+  w.write_u8(code);
+  w.write_u16(0);  // checksum placeholder
+  w.write_u32(0);  // unused field
+  w.write_bytes(original_datagram.first(quoted_len));
+  w.patch_be(icmp_start + 2,
+             internet_checksum(w.view().subspan(icmp_start)), 2);
 }
 
 std::vector<std::uint8_t> build_icmp_error(
     const Ipv4Header& ip, std::uint8_t type, std::uint8_t code,
     std::span<const std::uint8_t> original_datagram) {
-  IcmpInfo icmp;
-  icmp.type = type;
-  icmp.code = code;
-  // Unused/zero field (4 bytes) + original IP header + first 8 bytes of
-  // the original payload (RFC 792).
-  ByteWriter quote;
-  quote.write_u32(0);
-  const std::size_t quoted_len =
-      std::min<std::size_t>(original_datagram.size(), kIpv4HeaderSize + 8);
-  quote.write_bytes(original_datagram.first(quoted_len));
-  const auto body = quote.take();
-  icmp.payload = body;
-  return build_icmp(ip, icmp);
+  ByteWriter w;
+  build_icmp_error_into(w, ip, type, code, original_datagram);
+  return w.take();
 }
 
 std::optional<IcmpQuote> parse_icmp_quote(

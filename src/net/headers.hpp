@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/ip.hpp"
+#include "util/bytes.hpp"
 
 namespace quicsand::net {
 
@@ -104,6 +105,20 @@ std::vector<std::uint8_t> build_icmp(const Ipv4Header& ip,
 std::vector<std::uint8_t> build_icmp_error(
     const Ipv4Header& ip, std::uint8_t type, std::uint8_t code,
     std::span<const std::uint8_t> original_datagram);
+
+// Allocation-free variants: append the same bytes to a caller-owned writer
+// (typically a reusable per-emitter buffer). The vector-returning builders
+// above delegate to these, so the two families cannot drift apart.
+void build_udp_into(util::ByteWriter& w, const Ipv4Header& ip,
+                    std::uint16_t sport, std::uint16_t dport,
+                    std::span<const std::uint8_t> payload);
+void build_tcp_into(util::ByteWriter& w, const Ipv4Header& ip,
+                    const TcpInfo& tcp);
+void build_icmp_into(util::ByteWriter& w, const Ipv4Header& ip,
+                     const IcmpInfo& icmp);
+void build_icmp_error_into(util::ByteWriter& w, const Ipv4Header& ip,
+                           std::uint8_t type, std::uint8_t code,
+                           std::span<const std::uint8_t> original_datagram);
 
 /// The original datagram summary quoted inside an ICMP error payload.
 struct IcmpQuote {

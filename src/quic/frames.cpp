@@ -36,10 +36,7 @@ struct FrameWriter {
     }
   }
   void operator()(const CryptoFrame& f) const {
-    write_varint(w, kFrameCrypto);
-    write_varint(w, f.offset);
-    write_varint(w, f.data.size());
-    w.write_bytes(f.data);
+    write_crypto_frame(w, f.offset, f.data);
   }
   void operator()(const ConnectionCloseFrame& f) const {
     write_varint(w, f.application ? kFrameCloseApplication
@@ -59,6 +56,24 @@ struct FrameWriter {
 
 void write_frame(ByteWriter& w, const Frame& frame) {
   std::visit(FrameWriter{w}, frame);
+}
+
+void write_crypto_frame(ByteWriter& w, std::uint64_t offset,
+                        std::span<const std::uint8_t> data) {
+  write_crypto_frame_header(w, offset, data.size());
+  w.write_bytes(data);
+}
+
+void write_crypto_frame_header(ByteWriter& w, std::uint64_t offset,
+                               std::size_t data_size) {
+  write_varint(w, kFrameCrypto);
+  write_varint(w, offset);
+  write_varint(w, data_size);
+}
+
+std::size_t crypto_frame_size(std::uint64_t offset, std::size_t data_size) {
+  return varint_size(kFrameCrypto) + varint_size(offset) +
+         varint_size(data_size) + data_size;
 }
 
 std::size_t frame_size(const Frame& frame) {

@@ -49,6 +49,22 @@ using Frame = std::variant<PaddingFrame, PingFrame, AckFrame, CryptoFrame,
 /// Serialize one frame.
 void write_frame(util::ByteWriter& w, const Frame& frame);
 
+/// Append a CRYPTO frame carrying `data` without materialising a Frame
+/// (avoids the CryptoFrame copy on the generation hot path). Byte-for-byte
+/// identical to write_frame(CryptoFrame{offset, data}).
+void write_crypto_frame(util::ByteWriter& w, std::uint64_t offset,
+                        std::span<const std::uint8_t> data);
+
+/// Encoded size of a CRYPTO frame with the given offset and data length,
+/// computed without serializing.
+std::size_t crypto_frame_size(std::uint64_t offset, std::size_t data_size);
+
+/// Append only the CRYPTO frame header (type, offset, length) announcing
+/// `data_size` bytes; the caller appends the data itself (e.g. via
+/// rng.fill into uninitialised space).
+void write_crypto_frame_header(util::ByteWriter& w, std::uint64_t offset,
+                               std::size_t data_size);
+
 /// Parse a full decrypted packet payload into frames. Consecutive PADDING
 /// bytes collapse into a single PaddingFrame. Returns nullopt on any
 /// malformed or unsupported frame type.

@@ -41,6 +41,15 @@ std::uint8_t pn_flags_from_length(int length) {
 std::vector<std::uint8_t> build_gquic_packet(
     const ConnectionId& connection_id, std::uint32_t version,
     std::uint64_t packet_number, std::span<const std::uint8_t> payload) {
+  util::ByteWriter w(16 + payload.size());
+  build_gquic_packet_into(w, connection_id, version, packet_number, payload);
+  return w.take();
+}
+
+void build_gquic_packet_into(
+    util::ByteWriter& w, const ConnectionId& connection_id,
+    std::uint32_t version, std::uint64_t packet_number,
+    std::span<const std::uint8_t> payload) {
   if (!connection_id.empty() && connection_id.size() != 8) {
     throw std::invalid_argument("gquic: connection id must be 8 bytes");
   }
@@ -57,7 +66,6 @@ std::vector<std::uint8_t> build_gquic_packet(
     pn_length = 2;
   }
 
-  util::ByteWriter w(16 + payload.size());
   std::uint8_t flags = pn_flags_from_length(pn_length);
   if (!connection_id.empty()) flags |= GquicPublicFlags::kConnectionId;
   if (version != 0) flags |= GquicPublicFlags::kVersion;
@@ -68,7 +76,6 @@ std::vector<std::uint8_t> build_gquic_packet(
     w.write_u8(static_cast<std::uint8_t>(packet_number >> (8 * i)));
   }
   w.write_bytes(payload);
-  return w.take();
 }
 
 std::optional<GquicPacketView> parse_gquic_packet(
@@ -121,10 +128,23 @@ std::optional<GquicPacketView> parse_gquic_packet(
 std::vector<std::uint8_t> build_gquic_server_response(
     const ConnectionId& connection_id, std::uint64_t packet_number,
     std::size_t payload_size, util::Rng& rng) {
+  util::ByteWriter w;
+  build_gquic_server_response_into(w, connection_id, packet_number,
+                                   payload_size, rng);
+  return w.take();
+}
+
+void build_gquic_server_response_into(util::ByteWriter& w,
+                                      const ConnectionId& connection_id,
+                                      std::uint64_t packet_number,
+                                      std::size_t payload_size,
+                                      util::Rng& rng) {
   // Server packets omit the version; payload (message auth hash + frame
-  // data, encrypted at Q050) is opaque on the wire.
-  const auto payload = rng.bytes(std::max<std::size_t>(payload_size, 12));
-  return build_gquic_packet(connection_id, 0, packet_number, payload);
+  // data, encrypted at Q050) is opaque on the wire. The random payload is
+  // drawn with the same fill sequence as the vector-returning builder.
+  const std::size_t n = std::max<std::size_t>(payload_size, 12);
+  build_gquic_packet_into(w, connection_id, 0, packet_number, {});
+  rng.fill(w.append_uninitialized(n));
 }
 
 }  // namespace quicsand::quic

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "quic/connection_id.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace quicsand::quic {
@@ -59,5 +60,18 @@ std::optional<GquicPacketView> parse_gquic_packet(
 std::vector<std::uint8_t> build_gquic_server_response(
     const ConnectionId& connection_id, std::uint64_t packet_number,
     std::size_t payload_size, util::Rng& rng);
+
+// Allocation-free variants appending to a caller-owned writer; the
+// vector-returning builders delegate here.
+void build_gquic_packet_into(util::ByteWriter& w,
+                             const ConnectionId& connection_id,
+                             std::uint32_t version,
+                             std::uint64_t packet_number,
+                             std::span<const std::uint8_t> payload);
+void build_gquic_server_response_into(util::ByteWriter& w,
+                                      const ConnectionId& connection_id,
+                                      std::uint64_t packet_number,
+                                      std::size_t payload_size,
+                                      util::Rng& rng);
 
 }  // namespace quicsand::quic

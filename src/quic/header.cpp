@@ -40,13 +40,22 @@ const char* parse_error_name(ParseError error) {
 }
 
 EncodedHeader encode_long_header(const LongHeader& hdr) {
+  ByteWriter w(64 + hdr.token.size());
+  const HeaderOffsets offsets = encode_long_header_into(w, hdr);
+  EncodedHeader out;
+  out.length_offset = offsets.length_offset;
+  out.pn_offset = offsets.pn_offset;
+  out.bytes = w.take();
+  return out;
+}
+
+HeaderOffsets encode_long_header_into(ByteWriter& w, const LongHeader& hdr) {
   if (hdr.type == PacketType::kRetry) {
     throw std::invalid_argument("encode_long_header: use build_retry_packet");
   }
   if (hdr.packet_number_length < 1 || hdr.packet_number_length > 4) {
     throw std::invalid_argument("encode_long_header: bad pn length");
   }
-  ByteWriter w(64 + hdr.token.size());
   const std::uint8_t first =
       static_cast<std::uint8_t>(0xc0 |
                                 (static_cast<std::uint8_t>(hdr.type) << 4) |
@@ -61,7 +70,7 @@ EncodedHeader encode_long_header(const LongHeader& hdr) {
     write_varint(w, hdr.token.size());
     w.write_bytes(hdr.token);
   }
-  EncodedHeader out;
+  HeaderOffsets out;
   out.length_offset = w.size();
   write_varint_with_size(w, 0, 2);  // placeholder, patched by the sealer
   out.pn_offset = w.size();
@@ -69,8 +78,18 @@ EncodedHeader encode_long_header(const LongHeader& hdr) {
   for (int i = hdr.packet_number_length - 1; i >= 0; --i) {
     w.write_u8(static_cast<std::uint8_t>(hdr.packet_number >> (8 * i)));
   }
-  out.bytes = w.take();
   return out;
+}
+
+std::size_t encoded_long_header_size(const LongHeader& hdr) {
+  // first byte + version + dcid len/bytes + scid len/bytes
+  std::size_t size = 1 + 4 + 1 + hdr.dcid.size() + 1 + hdr.scid.size();
+  if (hdr.type == PacketType::kInitial) {
+    size += varint_size(hdr.token.size()) + hdr.token.size();
+  }
+  size += 2;  // fixed 2-byte Length varint
+  size += static_cast<std::size_t>(hdr.packet_number_length);
+  return size;
 }
 
 std::optional<LongHeaderView> parse_long_header(

@@ -54,6 +54,22 @@ struct EncodedHeader {
 /// Not usable for Retry (which has no Length/PN); see retry.hpp.
 EncodedHeader encode_long_header(const LongHeader& hdr);
 
+/// Field offsets produced by encode_long_header_into; absolute positions
+/// in the destination writer (valid even when the writer was non-empty).
+struct HeaderOffsets {
+  std::size_t pn_offset = 0;
+  std::size_t length_offset = 0;
+};
+
+/// Append the same encoding to a caller-owned writer without allocating.
+/// encode_long_header() delegates here.
+HeaderOffsets encode_long_header_into(util::ByteWriter& w,
+                                      const LongHeader& hdr);
+
+/// Exact size encode_long_header_into will append for `hdr`, computed
+/// without serializing (for padding calculations on the hot path).
+std::size_t encoded_long_header_size(const LongHeader& hdr);
+
 /// Header fields readable without removing header protection.
 struct LongHeaderView {
   PacketType type = PacketType::kInitial;

@@ -1,5 +1,6 @@
 #include "quic/packets.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "crypto/gcm.hpp"
@@ -13,44 +14,7 @@ namespace quicsand::quic {
 
 namespace {
 
-/// Serialize a frame list into one payload buffer.
-std::vector<std::uint8_t> encode_frames(std::span<const Frame> frames) {
-  util::ByteWriter w;
-  for (const auto& frame : frames) write_frame(w, frame);
-  return w.take();
-}
-
-/// Finish a packet at the requested fidelity. For kFast the protected
-/// region keeps the same size (payload + 16-byte tag) but holds random
-/// bytes; header fields stay parseable.
-std::vector<std::uint8_t> protect(const PacketKeys& keys,
-                                  const LongHeader& hdr,
-                                  std::span<const std::uint8_t> payload,
-                                  CryptoFidelity fidelity, util::Rng& rng) {
-  if (fidelity == CryptoFidelity::kFull) {
-    return seal_long_header_packet(keys, hdr, payload);
-  }
-  EncodedHeader enc = encode_long_header(hdr);
-  const std::size_t pn_len =
-      static_cast<std::size_t>(hdr.packet_number_length);
-  const std::size_t total_length =
-      pn_len + payload.size() + crypto::AesGcm::kTagSize;
-  if (total_length > 16383) {
-    throw std::invalid_argument("protect: payload too large");
-  }
-  util::ByteWriter w;
-  w.write_bytes(enc.bytes);
-  w.patch_be(enc.length_offset, 0x4000 | total_length, 2);
-  // Random bytes stand in for ciphertext+tag; also scramble the PN field
-  // the way header protection would.
-  auto packet = w.take();
-  rng.fill({packet.data() + enc.pn_offset, pn_len});
-  const std::size_t body = payload.size() + crypto::AesGcm::kTagSize;
-  const std::size_t old_size = packet.size();
-  packet.resize(old_size + body);
-  rng.fill({packet.data() + old_size, body});
-  return packet;
-}
+enum class KeySpace { kInitial, kHandshake };
 
 PacketKeys initial_keys(const HandshakeContext& ctx, Perspective p) {
   return derive_initial_keys(ctx.version, ctx.client_dcid, p);
@@ -60,28 +24,71 @@ PacketKeys handshake_keys(const HandshakeContext& ctx, Perspective p) {
   return derive_handshake_keys_simulated(ctx.version, ctx.client_dcid, p);
 }
 
+/// kFast finish: identical header and sizes, protected region filled with
+/// random bytes in place of ciphertext+tag. Only the payload *size*
+/// matters here; the plaintext content is discarded either way.
+void protect_fast_into(util::ByteWriter& out, const LongHeader& hdr,
+                       std::size_t payload_size, util::Rng& rng) {
+  const auto offsets = encode_long_header_into(out, hdr);
+  const std::size_t pn_len =
+      static_cast<std::size_t>(hdr.packet_number_length);
+  const std::size_t total_length =
+      pn_len + payload_size + crypto::AesGcm::kTagSize;
+  if (total_length > 16383) {
+    throw std::invalid_argument("protect: payload too large");
+  }
+  out.patch_be(offsets.length_offset, 0x4000 | total_length, 2);
+  // Random bytes stand in for ciphertext+tag; also scramble the PN field
+  // the way header protection would.
+  rng.fill(out.mutable_view().subspan(offsets.pn_offset, pn_len));
+  rng.fill(out.append_uninitialized(payload_size + crypto::AesGcm::kTagSize));
+}
+
+/// Finish a packet at the requested fidelity. Keys are derived lazily:
+/// with kFast no HKDF runs at all (key derivation consumes no RNG, so the
+/// two fidelities stay byte-compatible with the historical eager path).
+void protect_into(util::ByteWriter& out, const HandshakeContext& ctx,
+                  KeySpace space, Perspective perspective,
+                  const LongHeader& hdr,
+                  std::span<const std::uint8_t> payload,
+                  CryptoFidelity fidelity, util::Rng& rng) {
+  if (fidelity == CryptoFidelity::kFull) {
+    const PacketKeys keys = space == KeySpace::kInitial
+                                ? initial_keys(ctx, perspective)
+                                : handshake_keys(ctx, perspective);
+    const auto packet = seal_long_header_packet(keys, hdr, payload);
+    out.write_bytes(packet);
+    return;
+  }
+  protect_fast_into(out, hdr, payload.size(), rng);
+}
+
 }  // namespace
 
 HandshakeContext HandshakeContext::random(std::uint32_t version,
                                           util::Rng& rng) {
   HandshakeContext ctx;
   ctx.version = version;
-  const auto dcid = rng.bytes(8);
-  const auto scid = rng.bytes(8);
-  const auto server = rng.bytes(16);  // CDNs use longer, routable CIDs
+  std::array<std::uint8_t, 8> dcid;
+  rng.fill(dcid);
+  std::array<std::uint8_t, 8> scid;
+  rng.fill(scid);
+  std::array<std::uint8_t, 16> server;  // CDNs use longer, routable CIDs
+  rng.fill(server);
   ctx.client_dcid = ConnectionId(dcid);
   ctx.client_scid = ConnectionId(scid);
   ctx.server_scid = ConnectionId(server);
   return ctx;
 }
 
-std::vector<std::uint8_t> build_client_initial(
-    const HandshakeContext& ctx, std::string_view sni, util::Rng& rng,
-    CryptoFidelity fidelity, std::span<const std::uint8_t> token,
-    std::size_t pad_to) {
-  const auto hello = build_client_hello(sni, rng);
-  std::vector<Frame> frames;
-  frames.push_back(CryptoFrame{0, hello});
+void build_client_initial_into(util::ByteWriter& out,
+                               const HandshakeContext& ctx,
+                               std::string_view sni, util::Rng& rng,
+                               CryptoFidelity fidelity, BuildScratch& scratch,
+                               std::span<const std::uint8_t> token,
+                               std::size_t pad_to) {
+  scratch.hello.clear();
+  build_client_hello_into(scratch.hello, sni, rng);
 
   LongHeader hdr;
   hdr.type = PacketType::kInitial;
@@ -94,21 +101,42 @@ std::vector<std::uint8_t> build_client_initial(
 
   // Pad the plaintext so the final datagram reaches pad_to bytes:
   // header + pn + payload + tag == pad_to.
-  const std::size_t header_size = encode_long_header(hdr).bytes.size();
   const std::size_t fixed =
-      header_size + crypto::AesGcm::kTagSize;  // pn already in header size
-  std::size_t payload_size = 0;
-  for (const auto& f : frames) payload_size += frame_size(f);
-  if (fixed + payload_size < pad_to) {
-    frames.push_back(PaddingFrame{pad_to - fixed - payload_size});
+      encoded_long_header_size(hdr) + crypto::AesGcm::kTagSize;
+  const std::size_t hello_frame = crypto_frame_size(0, scratch.hello.size());
+  std::size_t padding = 0;
+  if (fixed + hello_frame < pad_to) padding = pad_to - fixed - hello_frame;
+
+  if (fidelity == CryptoFidelity::kFast) {
+    // The plaintext is replaced by random fill, so only its size matters.
+    protect_fast_into(out, hdr, hello_frame + padding, rng);
+    return;
   }
-  const auto payload = encode_frames(frames);
-  return protect(initial_keys(ctx, Perspective::kClient), hdr, payload,
-                 fidelity, rng);
+  scratch.payload.clear();
+  write_crypto_frame(scratch.payload, 0, scratch.hello.view());
+  if (padding > 0) write_frame(scratch.payload, PaddingFrame{padding});
+  protect_into(out, ctx, KeySpace::kInitial, Perspective::kClient, hdr,
+               scratch.payload.view(), fidelity, rng);
 }
 
-std::vector<std::uint8_t> build_server_initial_handshake(
-    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+std::vector<std::uint8_t> build_client_initial(
+    const HandshakeContext& ctx, std::string_view sni, util::Rng& rng,
+    CryptoFidelity fidelity, std::span<const std::uint8_t> token,
+    std::size_t pad_to) {
+  util::ByteWriter out;
+  BuildScratch scratch;
+  build_client_initial_into(out, ctx, sni, rng, fidelity, scratch, token,
+                            pad_to);
+  return out.take();
+}
+
+void build_server_initial_handshake_into(util::ByteWriter& out,
+                                         const HandshakeContext& ctx,
+                                         util::Rng& rng,
+                                         CryptoFidelity fidelity,
+                                         BuildScratch& scratch) {
+  const std::size_t base = out.size();
+
   // Initial packet: ACK of the client Initial + ServerHello.
   LongHeader initial;
   initial.type = PacketType::kInitial;
@@ -118,15 +146,16 @@ std::vector<std::uint8_t> build_server_initial_handshake(
   initial.packet_number = 0;
   initial.packet_number_length = 2;
 
-  std::vector<Frame> initial_frames;
   AckFrame ack;
   ack.largest_acknowledged = 0;
   ack.ack_delay = 40;
-  initial_frames.push_back(ack);
-  initial_frames.push_back(CryptoFrame{0, build_server_hello(rng)});
-  const auto initial_payload = encode_frames(initial_frames);
-  auto datagram = protect(initial_keys(ctx, Perspective::kServer), initial,
-                          initial_payload, fidelity, rng);
+  scratch.hello.clear();
+  build_server_hello_into(scratch.hello, rng);
+  scratch.payload.clear();
+  write_frame(scratch.payload, ack);
+  write_crypto_frame(scratch.payload, 0, scratch.hello.view());
+  protect_into(out, ctx, KeySpace::kInitial, Perspective::kServer, initial,
+               scratch.payload.view(), fidelity, rng);
 
   // Coalesced Handshake packet: first chunk of EncryptedExtensions/
   // Certificate flight, sized to fill the datagram toward ~1200 bytes.
@@ -138,21 +167,29 @@ std::vector<std::uint8_t> build_server_initial_handshake(
   hs.packet_number = 0;
   hs.packet_number_length = 2;
 
-  const std::size_t remaining = 1200 > datagram.size() + 64
-                                    ? 1200 - datagram.size() - 64
-                                    : 600;
-  std::vector<Frame> hs_frames;
-  hs_frames.push_back(CryptoFrame{0, rng.bytes(remaining)});
-  const auto hs_payload = encode_frames(hs_frames);
-  const auto hs_packet = protect(handshake_keys(ctx, Perspective::kServer),
-                                 hs, hs_payload, fidelity, rng);
-  datagram.insert(datagram.end(), hs_packet.begin(), hs_packet.end());
-  return datagram;
+  const std::size_t datagram_size = out.size() - base;
+  const std::size_t remaining =
+      1200 > datagram_size + 64 ? 1200 - datagram_size - 64 : 600;
+  scratch.payload.clear();
+  write_crypto_frame_header(scratch.payload, 0, remaining);
+  rng.fill(scratch.payload.append_uninitialized(remaining));
+  protect_into(out, ctx, KeySpace::kHandshake, Perspective::kServer, hs,
+               scratch.payload.view(), fidelity, rng);
 }
 
-std::vector<std::uint8_t> build_server_handshake(
-    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity,
-    std::size_t crypto_bytes) {
+std::vector<std::uint8_t> build_server_initial_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+  util::ByteWriter out;
+  BuildScratch scratch;
+  build_server_initial_handshake_into(out, ctx, rng, fidelity, scratch);
+  return out.take();
+}
+
+void build_server_handshake_into(util::ByteWriter& out,
+                                 const HandshakeContext& ctx, util::Rng& rng,
+                                 CryptoFidelity fidelity,
+                                 BuildScratch& scratch,
+                                 std::size_t crypto_bytes) {
   LongHeader hs;
   hs.type = PacketType::kHandshake;
   hs.version = ctx.version;
@@ -160,14 +197,26 @@ std::vector<std::uint8_t> build_server_handshake(
   hs.scid = ctx.server_scid;
   hs.packet_number = 1;
   hs.packet_number_length = 2;
-  std::vector<Frame> frames;
-  frames.push_back(CryptoFrame{1100, rng.bytes(crypto_bytes)});
-  return protect(handshake_keys(ctx, Perspective::kServer), hs,
-                 encode_frames(frames), fidelity, rng);
+  scratch.payload.clear();
+  write_crypto_frame_header(scratch.payload, 1100, crypto_bytes);
+  rng.fill(scratch.payload.append_uninitialized(crypto_bytes));
+  protect_into(out, ctx, KeySpace::kHandshake, Perspective::kServer, hs,
+               scratch.payload.view(), fidelity, rng);
 }
 
-std::vector<std::uint8_t> build_server_handshake_ping(
-    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+std::vector<std::uint8_t> build_server_handshake(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity,
+    std::size_t crypto_bytes) {
+  util::ByteWriter out;
+  BuildScratch scratch;
+  build_server_handshake_into(out, ctx, rng, fidelity, scratch, crypto_bytes);
+  return out.take();
+}
+
+void build_server_handshake_ping_into(util::ByteWriter& out,
+                                      const HandshakeContext& ctx,
+                                      util::Rng& rng, CryptoFidelity fidelity,
+                                      BuildScratch& scratch) {
   LongHeader hs;
   hs.type = PacketType::kHandshake;
   hs.version = ctx.version;
@@ -175,11 +224,19 @@ std::vector<std::uint8_t> build_server_handshake_ping(
   hs.scid = ctx.server_scid;
   hs.packet_number = 2 + rng.uniform(4);
   hs.packet_number_length = 2;
-  std::vector<Frame> frames;
-  frames.push_back(PingFrame{});
-  frames.push_back(PaddingFrame{6});
-  return protect(handshake_keys(ctx, Perspective::kServer), hs,
-                 encode_frames(frames), fidelity, rng);
+  scratch.payload.clear();
+  write_frame(scratch.payload, PingFrame{});
+  write_frame(scratch.payload, PaddingFrame{6});
+  protect_into(out, ctx, KeySpace::kHandshake, Perspective::kServer, hs,
+               scratch.payload.view(), fidelity, rng);
+}
+
+std::vector<std::uint8_t> build_server_handshake_ping(
+    const HandshakeContext& ctx, util::Rng& rng, CryptoFidelity fidelity) {
+  util::ByteWriter out;
+  BuildScratch scratch;
+  build_server_handshake_ping_into(out, ctx, rng, fidelity, scratch);
+  return out.take();
 }
 
 std::vector<std::uint8_t> build_client_handshake_finish(
@@ -191,43 +248,62 @@ std::vector<std::uint8_t> build_client_handshake_finish(
   hs.scid = ctx.client_scid;
   hs.packet_number = 0;
   hs.packet_number_length = 2;
-  std::vector<Frame> frames;
   AckFrame ack;
   ack.largest_acknowledged = 1;
   ack.first_range = 1;
-  frames.push_back(ack);
-  frames.push_back(CryptoFrame{0, rng.bytes(36)});  // Finished-sized
-  return protect(handshake_keys(ctx, Perspective::kClient), hs,
-                 encode_frames(frames), fidelity, rng);
+  util::ByteWriter payload;
+  write_frame(payload, ack);
+  write_crypto_frame_header(payload, 0, 36);  // Finished-sized
+  rng.fill(payload.append_uninitialized(36));
+  util::ByteWriter out;
+  protect_into(out, ctx, KeySpace::kHandshake, Perspective::kClient, hs,
+               payload.view(), fidelity, rng);
+  return out.take();
+}
+
+void build_version_negotiation_into(util::ByteWriter& out,
+                                    const ConnectionId& dcid,
+                                    const ConnectionId& scid,
+                                    std::span<const std::uint32_t> versions,
+                                    util::Rng& rng) {
+  if (versions.empty()) {
+    throw std::invalid_argument("build_version_negotiation: no versions");
+  }
+  // Random bits in the first byte except the form bit (RFC 9000 §17.2.1).
+  out.write_u8(static_cast<std::uint8_t>(0x80 | (rng.next() & 0x7f)));
+  out.write_u32(0);
+  out.write_u8(static_cast<std::uint8_t>(dcid.size()));
+  out.write_bytes(dcid.bytes());
+  out.write_u8(static_cast<std::uint8_t>(scid.size()));
+  out.write_bytes(scid.bytes());
+  for (std::uint32_t v : versions) out.write_u32(v);
 }
 
 std::vector<std::uint8_t> build_version_negotiation(
     const ConnectionId& dcid, const ConnectionId& scid,
     std::span<const std::uint32_t> versions, util::Rng& rng) {
-  if (versions.empty()) {
-    throw std::invalid_argument("build_version_negotiation: no versions");
+  util::ByteWriter out;
+  build_version_negotiation_into(out, dcid, scid, versions, rng);
+  return out.take();
+}
+
+void build_stateless_reset_into(util::ByteWriter& out, util::Rng& rng,
+                                std::size_t size) {
+  if (size < 21) {
+    throw std::invalid_argument("build_stateless_reset: min 21 bytes");
   }
-  util::ByteWriter w;
-  // Random bits in the first byte except the form bit (RFC 9000 §17.2.1).
-  w.write_u8(static_cast<std::uint8_t>(0x80 | (rng.next() & 0x7f)));
-  w.write_u32(0);
-  w.write_u8(static_cast<std::uint8_t>(dcid.size()));
-  w.write_bytes(dcid.bytes());
-  w.write_u8(static_cast<std::uint8_t>(scid.size()));
-  w.write_bytes(scid.bytes());
-  for (std::uint32_t v : versions) w.write_u32(v);
-  return w.take();
+  const std::size_t base = out.size();
+  rng.fill(out.append_uninitialized(size));
+  // Short-header form: top bit clear, fixed bit set.
+  auto bytes = out.mutable_view();
+  bytes[base] = static_cast<std::uint8_t>((bytes[base] & 0x3f) | 0x40);
 }
 
 std::vector<std::uint8_t> build_stateless_reset(util::Rng& rng,
                                                 std::size_t size) {
-  if (size < 21) {
-    throw std::invalid_argument("build_stateless_reset: min 21 bytes");
-  }
-  auto packet = rng.bytes(size);
-  // Short-header form: top bit clear, fixed bit set.
-  packet[0] = static_cast<std::uint8_t>((packet[0] & 0x3f) | 0x40);
-  return packet;
+  util::ByteWriter out;
+  build_stateless_reset_into(out, rng, size);
+  return out.take();
 }
 
 }  // namespace quicsand::quic

@@ -23,6 +23,7 @@
 
 #include "quic/connection_id.hpp"
 #include "quic/version.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace quicsand::quic {
@@ -76,5 +77,47 @@ std::vector<std::uint8_t> build_version_negotiation(
 /// and a 16-byte token (RFC 9000 §10.3).
 std::vector<std::uint8_t> build_stateless_reset(util::Rng& rng,
                                                 std::size_t size = 43);
+
+/// Reusable working buffers for the allocation-free builders below. One
+/// instance per producer (emitter) keeps the TLS message and frame
+/// plaintext out of the heap once the buffers have grown to working size.
+struct BuildScratch {
+  util::ByteWriter payload;  ///< frame plaintext for one packet
+  util::ByteWriter hello;    ///< TLS handshake message under construction
+};
+
+// Allocation-free variants of the datagram builders: append the same
+// bytes to a caller-owned writer. The vector-returning builders above
+// delegate here, so both families consume the identical RNG sequence and
+// produce the identical wire image. With CryptoFidelity::kFast no packet
+// keys are derived at all (the protected region is random either way),
+// which removes the per-packet HKDF from the telescope hot path.
+void build_client_initial_into(util::ByteWriter& out,
+                               const HandshakeContext& ctx,
+                               std::string_view sni, util::Rng& rng,
+                               CryptoFidelity fidelity, BuildScratch& scratch,
+                               std::span<const std::uint8_t> token = {},
+                               std::size_t pad_to = 1200);
+void build_server_initial_handshake_into(util::ByteWriter& out,
+                                         const HandshakeContext& ctx,
+                                         util::Rng& rng,
+                                         CryptoFidelity fidelity,
+                                         BuildScratch& scratch);
+void build_server_handshake_into(util::ByteWriter& out,
+                                 const HandshakeContext& ctx, util::Rng& rng,
+                                 CryptoFidelity fidelity,
+                                 BuildScratch& scratch,
+                                 std::size_t crypto_bytes = 900);
+void build_server_handshake_ping_into(util::ByteWriter& out,
+                                      const HandshakeContext& ctx,
+                                      util::Rng& rng, CryptoFidelity fidelity,
+                                      BuildScratch& scratch);
+void build_version_negotiation_into(util::ByteWriter& out,
+                                    const ConnectionId& dcid,
+                                    const ConnectionId& scid,
+                                    std::span<const std::uint32_t> versions,
+                                    util::Rng& rng);
+void build_stateless_reset_into(util::ByteWriter& out, util::Rng& rng,
+                                std::size_t size = 43);
 
 }  // namespace quicsand::quic

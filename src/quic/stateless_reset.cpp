@@ -26,16 +26,25 @@ StatelessResetter::Token StatelessResetter::token_for(
 std::vector<std::uint8_t> StatelessResetter::build(const ConnectionId& cid,
                                                    util::Rng& rng,
                                                    std::size_t size) const {
+  util::ByteWriter out(size);
+  build_into(out, cid, rng, size);
+  return out.take();
+}
+
+void StatelessResetter::build_into(util::ByteWriter& out,
+                                   const ConnectionId& cid, util::Rng& rng,
+                                   std::size_t size) const {
   if (size < kMinPacketSize) {
     throw std::invalid_argument("StatelessResetter: packet too small");
   }
-  auto packet = rng.bytes(size);
+  const std::size_t base = out.size();
+  rng.fill(out.append_uninitialized(size));
+  auto packet = out.mutable_view().subspan(base, size);
   // Short-header form with the fixed bit, like any 1-RTT packet.
   packet[0] = static_cast<std::uint8_t>((packet[0] & 0x3f) | 0x40);
   const auto token = token_for(cid);
   // lint:allow(raw-memcpy): token trailer at a bounds-checked offset
   std::memcpy(packet.data() + size - kTokenSize, token.data(), kTokenSize);
-  return packet;
 }
 
 bool StatelessResetter::is_reset_for(std::span<const std::uint8_t> datagram,

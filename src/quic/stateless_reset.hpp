@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "quic/connection_id.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace quicsand::quic {
@@ -38,6 +39,11 @@ class StatelessResetter {
   [[nodiscard]] std::vector<std::uint8_t> build(const ConnectionId& cid,
                                                 util::Rng& rng,
                                                 std::size_t size = 41) const;
+
+  /// Allocation-free variant appending the same bytes to a caller-owned
+  /// writer; build() delegates here.
+  void build_into(util::ByteWriter& out, const ConnectionId& cid,
+                  util::Rng& rng, std::size_t size = 41) const;
 
   /// True if `datagram` ends with the token for `cid` — how a client
   /// that chose `cid` detects the reset.

@@ -1,5 +1,7 @@
 #include "quic/tls_messages.hpp"
 
+#include <array>
+
 #include "quic/transport_params.hpp"
 
 #include "util/bytes.hpp"
@@ -39,25 +41,44 @@ void end_extension(ByteWriter& w, std::size_t len_offset) {
   w.patch_be(len_offset, w.size() - len_offset - 2, 2);
 }
 
-/// Wrap `body` in a handshake message header (type + 24-bit length).
-std::vector<std::uint8_t> wrap_message(TlsHandshakeType type,
-                                       std::span<const std::uint8_t> body) {
-  ByteWriter w(4 + body.size());
+/// Begin a handshake message (type + 24-bit length placeholder); returns
+/// the offset of the length field for end_message().
+std::size_t begin_message(ByteWriter& w, TlsHandshakeType type) {
   w.write_u8(static_cast<std::uint8_t>(type));
-  w.write_u24(static_cast<std::uint32_t>(body.size()));
-  w.write_bytes(body);
-  return w.take();
+  const std::size_t len_offset = w.size();
+  w.write_u24(0);
+  return len_offset;
+}
+
+void end_message(ByteWriter& w, std::size_t len_offset) {
+  w.patch_be(len_offset, w.size() - len_offset - 3, 3);
+}
+
+/// Draw 32 random bytes into the writer without a heap allocation
+/// (byte-identical to write_bytes(rng.bytes(32))).
+void write_random32(ByteWriter& w, util::Rng& rng) {
+  std::array<std::uint8_t, 32> tmp;
+  rng.fill(tmp);
+  w.write_bytes(tmp);
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> build_client_hello(std::string_view sni,
                                              util::Rng& rng) {
-  ByteWriter b(320);
+  ByteWriter w(320);
+  build_client_hello_into(w, sni, rng);
+  return w.take();
+}
+
+void build_client_hello_into(ByteWriter& b, std::string_view sni,
+                             util::Rng& rng) {
+  const std::size_t message_len_offset =
+      begin_message(b, TlsHandshakeType::kClientHello);
   b.write_u16(kTls12);  // legacy_version
-  b.write_bytes(rng.bytes(32));  // random
+  write_random32(b, rng);  // random
   b.write_u8(32);  // legacy_session_id (middlebox compatibility)
-  b.write_bytes(rng.bytes(32));
+  write_random32(b, rng);
   b.write_u16(6);  // cipher_suites length
   b.write_u16(kCipherAes128GcmSha256);
   b.write_u16(kCipherAes256GcmSha384);
@@ -115,30 +136,37 @@ std::vector<std::uint8_t> build_client_hello(std::string_view sni,
     b.write_u16(4 + 32);  // client_shares length
     b.write_u16(kGroupX25519);
     b.write_u16(32);
-    b.write_bytes(rng.bytes(32));  // simulated public key
+    write_random32(b, rng);  // simulated public key
     end_extension(b, ext);
   }
   {
     const std::size_t ext = begin_extension(b, kExtQuicTransportParams);
     // The full RFC 9000 §18 parameter set a typical client advertises;
     // the SCID is random here (the CRYPTO payload is what matters).
-    auto scid_bytes = rng.bytes(8);
-    const auto params = encode_transport_parameters(
-        TransportParameters::typical_client(ConnectionId(scid_bytes)));
-    b.write_bytes(params);
+    std::array<std::uint8_t, 8> scid_bytes;
+    rng.fill(scid_bytes);
+    encode_transport_parameters_into(
+        b, TransportParameters::typical_client(ConnectionId(scid_bytes)));
     end_extension(b, ext);
   }
 
   b.patch_be(ext_block_len_offset, b.size() - ext_block_len_offset - 2, 2);
-  return wrap_message(TlsHandshakeType::kClientHello, b.view());
+  end_message(b, message_len_offset);
 }
 
 std::vector<std::uint8_t> build_server_hello(util::Rng& rng) {
-  ByteWriter b(128);
+  ByteWriter w(128);
+  build_server_hello_into(w, rng);
+  return w.take();
+}
+
+void build_server_hello_into(ByteWriter& b, util::Rng& rng) {
+  const std::size_t message_len_offset =
+      begin_message(b, TlsHandshakeType::kServerHello);
   b.write_u16(kTls12);
-  b.write_bytes(rng.bytes(32));  // random
+  write_random32(b, rng);  // random
   b.write_u8(32);
-  b.write_bytes(rng.bytes(32));  // echoed legacy_session_id
+  write_random32(b, rng);  // echoed legacy_session_id
   b.write_u16(kCipherAes128GcmSha256);
   b.write_u8(0);  // legacy_compression_method
 
@@ -153,11 +181,11 @@ std::vector<std::uint8_t> build_server_hello(util::Rng& rng) {
     const std::size_t ext = begin_extension(b, kExtKeyShare);
     b.write_u16(kGroupX25519);
     b.write_u16(32);
-    b.write_bytes(rng.bytes(32));
+    write_random32(b, rng);
     end_extension(b, ext);
   }
   b.patch_be(ext_block_len_offset, b.size() - ext_block_len_offset - 2, 2);
-  return wrap_message(TlsHandshakeType::kServerHello, b.view());
+  end_message(b, message_len_offset);
 }
 
 std::optional<TlsMessageInfo> parse_tls_message(

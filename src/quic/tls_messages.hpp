@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace quicsand::quic {
@@ -38,6 +39,12 @@ std::vector<std::uint8_t> build_client_hello(std::string_view sni,
 /// Build a TLS 1.3 ServerHello (cipher TLS_AES_128_GCM_SHA256, X25519
 /// key_share) echoing `session_id_length` bytes of legacy session id.
 std::vector<std::uint8_t> build_server_hello(util::Rng& rng);
+
+// Allocation-free variants appending to a caller-owned writer; the
+// vector-returning builders delegate here so the encodings cannot drift.
+void build_client_hello_into(util::ByteWriter& w, std::string_view sni,
+                             util::Rng& rng);
+void build_server_hello_into(util::ByteWriter& w, util::Rng& rng);
 
 /// Header (type + 24-bit length) of the first handshake message in a
 /// CRYPTO stream, if structurally plausible.

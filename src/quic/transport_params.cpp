@@ -54,6 +54,12 @@ TransportParameters TransportParameters::typical_client(
 std::vector<std::uint8_t> encode_transport_parameters(
     const TransportParameters& params) {
   ByteWriter w(128);
+  encode_transport_parameters_into(w, params);
+  return w.take();
+}
+
+void encode_transport_parameters_into(ByteWriter& w,
+                                      const TransportParameters& params) {
   auto maybe = [&](TransportParameterId id,
                    const std::optional<std::uint64_t>& value) {
     if (value) put_varint_param(w, id, *value);
@@ -97,7 +103,6 @@ std::vector<std::uint8_t> encode_transport_parameters(
     write_varint(w, value.size());
     w.write_bytes(value);
   }
-  return w.take();
 }
 
 std::optional<TransportParameters> parse_transport_parameters(

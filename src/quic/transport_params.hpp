@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "quic/connection_id.hpp"
+#include "util/bytes.hpp"
 
 namespace quicsand::quic {
 
@@ -61,6 +62,11 @@ struct TransportParameters {
 /// Encode as the TLS extension body.
 std::vector<std::uint8_t> encode_transport_parameters(
     const TransportParameters& params);
+
+/// Append the same encoding to a caller-owned writer (hot-path variant;
+/// the vector-returning overload delegates here).
+void encode_transport_parameters_into(util::ByteWriter& w,
+                                      const TransportParameters& params);
 
 /// Parse an extension body; nullopt on structural errors (truncated
 /// record, duplicate id).

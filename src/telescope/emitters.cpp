@@ -1,6 +1,7 @@
 #include "telescope/emitters.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "net/headers.hpp"
@@ -9,6 +10,13 @@
 #include "quic/version.hpp"
 
 namespace quicsand::telescope {
+
+std::optional<net::RawPacket> PacketEmitter::next() {
+  if (!produce(adapter_buffer_)) return std::nullopt;
+  const auto bytes = adapter_buffer_.bytes();
+  return net::RawPacket{adapter_buffer_.timestamp,
+                        {bytes.begin(), bytes.end()}};
+}
 
 namespace {
 
@@ -90,15 +98,17 @@ void ResearchScanEmitter::start_next_pass() {
   ++pass_index_;
 }
 
-std::optional<net::RawPacket> ResearchScanEmitter::next() {
+bool ResearchScanEmitter::produce(net::PacketBuffer& out) {
   while (current_pass_) {
     const auto probe = current_pass_->next();
     if (!probe) {
       start_next_pass();
       continue;
     }
-    net::RawPacket packet{probe->time, template_packet_};
-    auto& data = packet.data;
+    out.timestamp = probe->time;
+    out.writer.clear();
+    out.writer.write_bytes(template_packet_);
+    const auto data = out.writer.mutable_view();
     // Destination address.
     const std::uint32_t dst = probe->target.value();
     data[16] = static_cast<std::uint8_t>(dst >> 24);
@@ -122,9 +132,9 @@ std::optional<net::RawPacket> ResearchScanEmitter::next() {
         net::internet_checksum({data.data(), 20});
     data[10] = static_cast<std::uint8_t>(csum >> 8);
     data[11] = static_cast<std::uint8_t>(csum);
-    return packet;
+    return true;
   }
-  return std::nullopt;
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -141,20 +151,26 @@ BotnetSessionEmitter::BotnetSessionEmitter(const ScenarioConfig& scenario,
       remaining_(packet_count),
       rng_(util::mix64(seed, source.value())) {}
 
-std::optional<net::RawPacket> BotnetSessionEmitter::next() {
-  if (remaining_ == 0) return std::nullopt;
+bool BotnetSessionEmitter::produce(net::PacketBuffer& out) {
+  if (remaining_ == 0) return false;
   --remaining_;
   auto ctx = quic::HandshakeContext::random(
       rng_.bernoulli(0.8) ? 1u : 0xff00001du, rng_);
-  const auto payload = quic::build_client_initial(
-      ctx, "", rng_, scenario_.fidelity);
+  datagram_.clear();
+  quic::build_client_initial_into(datagram_, ctx, "", rng_,
+                                  scenario_.fidelity, scratch_);
   const auto target = random_in_prefix(scenario_.telescope, rng_);
-  net::RawPacket packet{
-      time_, net::build_udp(ip_header(source_, target, rng_),
-                            ephemeral_port(rng_), kQuicPort, payload)};
+  // Draw order (port before IP header) matches the historical
+  // right-to-left evaluation of build_udp's arguments.
+  const std::uint16_t source_port = ephemeral_port(rng_);
+  const auto header = ip_header(source_, target, rng_);
+  out.timestamp = time_;
+  out.writer.clear();
+  net::build_udp_into(out.writer, header, source_port, kQuicPort,
+                      datagram_.view());
   const double mean_gap_s = util::to_seconds(scenario_.botnet.intra_gap_mean);
   time_ += util::from_seconds(rng_.exponential(1.0 / mean_gap_s));
-  return packet;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -224,13 +240,18 @@ void QuicBackscatterEmitter::schedule_connection(util::Timestamp start) {
   const auto client = spoofed_clients_[rng_.uniform(spoofed_clients_.size())];
   const std::uint16_t client_port = ephemeral_port(rng_);
 
-  auto push = [&](util::Duration offset, std::vector<std::uint8_t> payload) {
+  // Wraps the QUIC datagram staged in payload_builder_ into an IP/UDP
+  // packet and enqueues it. The datagram is always built first and the
+  // IP header draws happen only inside the budget check, preserving the
+  // historical right-to-left argument evaluation draw order.
+  auto push = [&](util::Duration offset) {
     if (budget_ <= 0) return;
     --budget_;
-    pending_.push(Scheduled{
-        start + offset,
-        net::build_udp(ip_header(attack_.victim, client, rng_), kQuicPort,
-                       client_port, payload)});
+    const auto header = ip_header(attack_.victim, client, rng_);
+    udp_builder_.reset(take_spare());
+    net::build_udp_into(udp_builder_, header, kQuicPort, client_port,
+                        payload_builder_.view());
+    pending_.push(Scheduled{start + offset, udp_builder_.take()});
   };
 
   // A small share of attack tools probe with versions the server does
@@ -239,40 +260,66 @@ void QuicBackscatterEmitter::schedule_connection(util::Timestamp start) {
   if (rng_.bernoulli(0.02)) {
     const std::uint32_t versions[] = {attack_.quic_version,
                                       0x00000001u};
-    push(util::Duration{},
-         quic::build_version_negotiation(ctx.client_scid, ctx.server_scid,
-                                         versions, rng_));
+    payload_builder_.clear();
+    quic::build_version_negotiation_into(payload_builder_, ctx.client_scid,
+                                         ctx.server_scid, versions, rng_);
+    push(util::Duration{});
     return;
   }
 
   const auto fidelity = scenario_.fidelity;
-  push(util::Duration{},
-       quic::build_server_initial_handshake(ctx, rng_, fidelity));
-  push(50 * util::kMillisecond,
-       quic::build_server_handshake(ctx, rng_, fidelity,
-                                    700 + rng_.uniform(500)));
+  payload_builder_.clear();
+  quic::build_server_initial_handshake_into(payload_builder_, ctx, rng_,
+                                            fidelity, scratch_);
+  push(util::Duration{});
+  {
+    const std::size_t crypto_bytes = 700 + rng_.uniform(500);
+    payload_builder_.clear();
+    quic::build_server_handshake_into(payload_builder_, ctx, rng_, fidelity,
+                                      scratch_, crypto_bytes);
+    push(50 * util::kMillisecond);
+  }
   if (rng_.bernoulli(profile_.retx1)) {
-    push(350 * util::kMillisecond,
-         quic::build_server_initial_handshake(ctx, rng_, fidelity));
+    payload_builder_.clear();
+    quic::build_server_initial_handshake_into(payload_builder_, ctx, rng_,
+                                              fidelity, scratch_);
+    push(350 * util::kMillisecond);
     if (rng_.bernoulli(profile_.retx2)) {
-      push(1100 * util::kMillisecond,
-           quic::build_server_initial_handshake(ctx, rng_, fidelity));
+      payload_builder_.clear();
+      quic::build_server_initial_handshake_into(payload_builder_, ctx, rng_,
+                                                fidelity, scratch_);
+      push(1100 * util::kMillisecond);
     }
   }
   if (rng_.bernoulli(profile_.pings)) {
-    push(2 * util::kSecond,
-         quic::build_server_handshake_ping(ctx, rng_, fidelity));
-    push(4 * util::kSecond,
-         quic::build_server_handshake_ping(ctx, rng_, fidelity));
+    payload_builder_.clear();
+    quic::build_server_handshake_ping_into(payload_builder_, ctx, rng_,
+                                           fidelity, scratch_);
+    push(2 * util::kSecond);
+    payload_builder_.clear();
+    quic::build_server_handshake_ping_into(payload_builder_, ctx, rng_,
+                                           fidelity, scratch_);
+    push(4 * util::kSecond);
   }
   if (rng_.bernoulli(profile_.reset)) {
     // Proper RFC 9000 reset: trailing token bound to the client's CID
-    // under the victim's static key, randomized length.
+    // under the victim's static key, randomized length. Size draw, reset
+    // body, then delay draw — the historical evaluation order.
+    const std::size_t reset_size = 40 + rng_.uniform(40);
+    payload_builder_.clear();
+    resetter_->build_into(payload_builder_, ctx.client_scid, rng_,
+                          reset_size);
     push(5 * util::kSecond +
-             util::Duration{static_cast<std::int64_t>(rng_.uniform(
-                 static_cast<std::uint64_t>((2 * util::kSecond).count())))},
-         resetter_->build(ctx.client_scid, rng_, 40 + rng_.uniform(40)));
+         util::Duration{static_cast<std::int64_t>(rng_.uniform(
+             static_cast<std::uint64_t>((2 * util::kSecond).count())))});
   }
+}
+
+std::vector<std::uint8_t> QuicBackscatterEmitter::take_spare() {
+  if (spare_.empty()) return {};
+  auto buf = std::move(spare_.back());
+  spare_.pop_back();
+  return buf;
 }
 
 void QuicBackscatterEmitter::refill() {
@@ -286,13 +333,18 @@ void QuicBackscatterEmitter::refill() {
   }
 }
 
-std::optional<net::RawPacket> QuicBackscatterEmitter::next() {
+bool QuicBackscatterEmitter::produce(net::PacketBuffer& out) {
   refill();
-  if (pending_.empty()) return std::nullopt;
-  // priority_queue::top() is const&; copy out the payload before popping.
-  auto scheduled = pending_.top();
+  if (pending_.empty()) return false;
+  // The queue orders on time alone, so moving the payload out of the top
+  // element before pop() cannot perturb the heap. The consumer's old
+  // buffer goes back into the spare pool, making the hand-off copy-free.
+  auto& top = const_cast<Scheduled&>(pending_.top());
+  out.timestamp = top.time;
+  spare_.push_back(out.writer.take());
+  out.writer.adopt(std::move(top.datagram));
   pending_.pop();
-  return net::RawPacket{scheduled.time, std::move(scheduled.datagram)};
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -317,7 +369,7 @@ CommonBackscatterEmitter::CommonBackscatterEmitter(
   attack_end_ = attack.start + attack.duration;
 }
 
-std::optional<net::RawPacket> CommonBackscatterEmitter::next() {
+bool CommonBackscatterEmitter::produce(net::PacketBuffer& out) {
   while (budget_ > 0 && next_connection_ < attack_end_ &&
          (pending_.empty() || next_connection_ <= pending_.top().time)) {
     const auto client = random_in_prefix(scenario_.telescope, rng_);
@@ -341,9 +393,11 @@ std::optional<net::RawPacket> CommonBackscatterEmitter::next() {
     next_connection_ +=
         util::from_seconds(rng_.exponential(connection_rate_));
   }
-  if (pending_.empty()) return std::nullopt;
+  if (pending_.empty()) return false;
   const auto scheduled = pending_.top();
   pending_.pop();
+  out.timestamp = scheduled.time;
+  out.writer.clear();
 
   if (attack_.protocol == AttackProtocol::kTcp) {
     net::TcpInfo tcp;
@@ -352,33 +406,35 @@ std::optional<net::RawPacket> CommonBackscatterEmitter::next() {
     tcp.seq = scheduled.seq;
     tcp.ack = scheduled.seq + 1;  // echoes the spoofed SYN's ISN + 1
     tcp.flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
-    return net::RawPacket{
-        scheduled.time,
-        net::build_tcp(ip_header(attack_.victim, scheduled.client, rng_),
-                       tcp)};
+    const auto header = ip_header(attack_.victim, scheduled.client, rng_);
+    net::build_tcp_into(out.writer, header, tcp);
+    return true;
   }
   // ICMP backscatter: mostly echo replies to spoofed pings; some
   // port-unreachables that quote the spoofed probe (RFC 792), exactly
-  // like real UDP-flood backscatter.
+  // like real UDP-flood backscatter. Draw order inside each branch
+  // (payload before headers) matches the historical right-to-left
+  // evaluation of the builder arguments.
   if (rng_.bernoulli(0.3)) {
-    const auto original = net::build_udp(
-        ip_header(scheduled.client, attack_.victim, rng_),
-        scheduled.client_port, 443, rng_.bytes(8));
-    return net::RawPacket{
-        scheduled.time,
-        net::build_icmp_error(
-            ip_header(attack_.victim, scheduled.client, rng_), 3, 3,
-            original)};
+    std::array<std::uint8_t, 8> probe_payload;
+    rng_.fill(probe_payload);
+    const auto inner = ip_header(scheduled.client, attack_.victim, rng_);
+    original_.clear();
+    net::build_udp_into(original_, inner, scheduled.client_port, 443,
+                        probe_payload);
+    const auto header = ip_header(attack_.victim, scheduled.client, rng_);
+    net::build_icmp_error_into(out.writer, header, 3, 3, original_.view());
+    return true;
   }
   net::IcmpInfo icmp;
   icmp.type = 0;  // echo reply
   icmp.code = 0;
-  const auto body = rng_.bytes(28);
+  std::array<std::uint8_t, 28> body;
+  rng_.fill(body);
   icmp.payload = body;
-  return net::RawPacket{
-      scheduled.time,
-      net::build_icmp(ip_header(attack_.victim, scheduled.client, rng_),
-                      icmp)};
+  const auto header = ip_header(attack_.victim, scheduled.client, rng_);
+  net::build_icmp_into(out.writer, header, icmp);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -405,30 +461,40 @@ MisconfigEmitter::MisconfigEmitter(const ScenarioConfig& scenario,
              : util::kSecond;
 }
 
-std::optional<net::RawPacket> MisconfigEmitter::next() {
-  if (remaining_ == 0) return std::nullopt;
+bool MisconfigEmitter::produce(net::PacketBuffer& out) {
+  if (remaining_ == 0) return false;
   --remaining_;
   // A confused endpoint retransmitting handshake-space data and pings at
   // a stale address: low volume, short-lived (Appendix B). A share of
-  // these endpoints still run legacy gQUIC (Q0xx public headers).
-  std::vector<std::uint8_t> payload;
+  // these endpoints still run legacy gQUIC (Q0xx public headers). Draws
+  // are sequenced to match the historical right-to-left evaluation of
+  // the builder arguments.
+  payload_.clear();
   if (quic::version_family(version_) == quic::VersionFamily::kGquic) {
-    payload = quic::build_gquic_server_response(
-        quic::ConnectionId(rng_.bytes(8)), 1 + rng_.uniform(500),
-        100 + rng_.uniform(300), rng_);
+    const std::size_t payload_size = 100 + rng_.uniform(300);
+    const std::uint64_t packet_number = 1 + rng_.uniform(500);
+    std::array<std::uint8_t, 8> cid_bytes;
+    rng_.fill(cid_bytes);
+    quic::build_gquic_server_response_into(payload_,
+                                           quic::ConnectionId(cid_bytes),
+                                           packet_number, payload_size, rng_);
   } else if (rng_.bernoulli(0.5)) {
-    payload = quic::build_server_handshake_ping(ctx_, rng_,
-                                                scenario_.fidelity);
+    quic::build_server_handshake_ping_into(payload_, ctx_, rng_,
+                                           scenario_.fidelity, scratch_);
   } else {
-    payload = quic::build_server_handshake(ctx_, rng_, scenario_.fidelity,
-                                           100 + rng_.uniform(200));
+    const std::size_t crypto_bytes = 100 + rng_.uniform(200);
+    quic::build_server_handshake_into(payload_, ctx_, rng_,
+                                      scenario_.fidelity, scratch_,
+                                      crypto_bytes);
   }
-  net::RawPacket packet{
-      time_, net::build_udp(ip_header(source_, target_, rng_), kQuicPort,
-                            target_port_, payload)};
+  const auto header = ip_header(source_, target_, rng_);
+  out.timestamp = time_;
+  out.writer.clear();
+  net::build_udp_into(out.writer, header, kQuicPort, target_port_,
+                      payload_.view());
   time_ += gap_ + util::Duration{static_cast<std::int64_t>(rng_.uniform(
                       static_cast<std::uint64_t>(gap_.count()) + 1))};
-  return packet;
+  return true;
 }
 
 }  // namespace quicsand::telescope

@@ -14,6 +14,7 @@
 
 #include "net/headers.hpp"
 #include "net/packet.hpp"
+#include "net/record_batch.hpp"
 #include "quic/packets.hpp"
 #include "quic/stateless_reset.hpp"
 #include "scanner/zmap.hpp"
@@ -27,8 +28,19 @@ class PacketEmitter {
  public:
   virtual ~PacketEmitter() = default;
 
-  /// Next packet in time order, or nullopt when the emitter is drained.
-  virtual std::optional<net::RawPacket> next() = 0;
+  /// Write the next packet in time order into `out` (timestamp plus raw
+  /// bytes, reusing the buffer's capacity — zero heap traffic once warm).
+  /// Returns false when the emitter is drained.
+  virtual bool produce(net::PacketBuffer& out) = 0;
+
+  /// Legacy per-record adapter over produce(): copies the staged packet
+  /// into a fresh RawPacket. Kept for the differential oracle and
+  /// low-rate callers; both paths share one implementation so they
+  /// cannot drift.
+  std::optional<net::RawPacket> next();
+
+ private:
+  net::PacketBuffer adapter_buffer_;
 };
 
 /// Internet-wide research scanner (TUM / RWTH model): a sequence of
@@ -40,7 +52,7 @@ class ResearchScanEmitter : public PacketEmitter {
                       const ResearchScannerConfig& scanner_config,
                       net::Ipv4Prefix source_prefix, std::uint64_t seed);
 
-  std::optional<net::RawPacket> next() override;
+  bool produce(net::PacketBuffer& out) override;
 
   /// Probes this emitter will produce over the whole window.
   [[nodiscard]] std::uint64_t total_probes() const { return total_; }
@@ -68,7 +80,7 @@ class BotnetSessionEmitter : public PacketEmitter {
                        net::Ipv4Address source, util::Timestamp start,
                        std::uint64_t packet_count, std::uint64_t seed);
 
-  std::optional<net::RawPacket> next() override;
+  bool produce(net::PacketBuffer& out) override;
 
  private:
   ScenarioConfig scenario_;
@@ -76,6 +88,8 @@ class BotnetSessionEmitter : public PacketEmitter {
   util::Timestamp time_;
   std::uint64_t remaining_;
   util::Rng rng_;
+  quic::BuildScratch scratch_;
+  util::ByteWriter datagram_;
 };
 
 /// Per-implementation handshake flight behaviour (retransmission and
@@ -98,7 +112,7 @@ class QuicBackscatterEmitter : public PacketEmitter {
   QuicBackscatterEmitter(const ScenarioConfig& scenario,
                          const PlannedAttack& attack, std::uint64_t seed);
 
-  std::optional<net::RawPacket> next() override;
+  bool produce(net::PacketBuffer& out) override;
 
  private:
   struct Scheduled {
@@ -111,6 +125,8 @@ class QuicBackscatterEmitter : public PacketEmitter {
 
   void schedule_connection(util::Timestamp start);
   void refill();
+  /// Pop a recycled datagram buffer (or an empty one) from the pool.
+  std::vector<std::uint8_t> take_spare();
 
   ScenarioConfig scenario_;
   PlannedAttack attack_;
@@ -128,6 +144,12 @@ class QuicBackscatterEmitter : public PacketEmitter {
   std::int64_t budget_ = 60000;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
       pending_;
+  quic::BuildScratch scratch_;
+  util::ByteWriter payload_builder_;  ///< staged QUIC datagram
+  util::ByteWriter udp_builder_;      ///< staged IP/UDP wrapper
+  /// Recycled datagram buffers: produce() swaps the consumer's buffer in
+  /// here and hands the scheduled datagram out without copying.
+  std::vector<std::vector<std::uint8_t>> spare_;
 };
 
 /// Backscatter of one TCP or ICMP flood (SYN-ACK retransmission bursts,
@@ -137,7 +159,7 @@ class CommonBackscatterEmitter : public PacketEmitter {
   CommonBackscatterEmitter(const ScenarioConfig& scenario,
                            const PlannedAttack& attack, std::uint64_t seed);
 
-  std::optional<net::RawPacket> next() override;
+  bool produce(net::PacketBuffer& out) override;
 
  private:
   struct Scheduled {
@@ -161,6 +183,7 @@ class CommonBackscatterEmitter : public PacketEmitter {
   std::int64_t budget_ = 40000;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
       pending_;
+  util::ByteWriter original_;  ///< staged quoted datagram for ICMP errors
 };
 
 /// Low-volume misconfiguration backscatter: a content host dribbling a
@@ -172,7 +195,7 @@ class MisconfigEmitter : public PacketEmitter {
                    std::uint32_t version, util::Timestamp start,
                    std::uint64_t packet_count, std::uint64_t seed);
 
-  std::optional<net::RawPacket> next() override;
+  bool produce(net::PacketBuffer& out) override;
 
  private:
   ScenarioConfig scenario_;
@@ -185,6 +208,8 @@ class MisconfigEmitter : public PacketEmitter {
   util::Duration gap_;
   std::uint64_t remaining_;
   util::Rng rng_;
+  quic::BuildScratch scratch_;
+  util::ByteWriter payload_;
 };
 
 }  // namespace quicsand::telescope

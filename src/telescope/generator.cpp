@@ -1,6 +1,7 @@
 #include "telescope/generator.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "telescope/attack_schedule.hpp"
 
@@ -145,25 +146,87 @@ TelescopeGenerator::TelescopeGenerator(const ScenarioConfig& config,
 
 void TelescopeGenerator::add_emitter(std::unique_ptr<PacketEmitter> emitter) {
   emitters_.push_back(std::move(emitter));
+  slots_.emplace_back();
   pull_from(emitters_.size() - 1);
 }
 
 void TelescopeGenerator::pull_from(std::size_t emitter_index) {
-  auto packet = emitters_[emitter_index]->next();
-  if (packet && packet->timestamp < config_.end()) {
-    queue_.push(QueueEntry{*std::move(packet), emitter_index});
+  auto& slot = slots_[emitter_index];
+  if (emitters_[emitter_index]->produce(slot) &&
+      slot.timestamp < config_.end()) {
+    heap_push(MergeEntry{slot.timestamp, emitter_index});
+  }
+}
+
+void TelescopeGenerator::heap_push(MergeEntry entry) {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent].time <= entry.time) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void TelescopeGenerator::heap_sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const MergeEntry entry = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].time < heap_[child].time) {
+      ++child;
+    }
+    if (entry.time <= heap_[child].time) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
+}
+
+void TelescopeGenerator::advance_root() {
+  const std::size_t emitter_index = heap_.front().emitter_index;
+  auto& slot = slots_[emitter_index];
+  if (emitters_[emitter_index]->produce(slot) &&
+      slot.timestamp < config_.end()) {
+    heap_.front().time = slot.timestamp;
+    heap_sift_down(0);
+  } else {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) heap_sift_down(0);
   }
 }
 
 std::optional<net::RawPacket> TelescopeGenerator::next() {
-  if (queue_.empty()) return std::nullopt;
-  // top() is const&; the payload must be moved out via a copy of the
-  // entry before pop() invalidates it.
-  QueueEntry entry = queue_.top();
-  queue_.pop();
-  pull_from(entry.emitter_index);
+  if (heap_.empty()) return std::nullopt;
+  // Copy the slot's bytes out before advance_root overwrites the slot
+  // with the emitter's next packet.
+  const auto& slot = slots_[heap_.front().emitter_index];
+  const auto bytes = slot.bytes();
+  net::RawPacket packet{slot.timestamp, {bytes.begin(), bytes.end()}};
+  advance_root();
   ++truth_.total_packet_count;
-  return std::move(entry.packet);
+  return packet;
+}
+
+std::size_t TelescopeGenerator::next_batch(net::RecordBatch& batch) {
+  batch.clear();
+  while (!heap_.empty()) {
+    const auto& slot = slots_[heap_.front().emitter_index];
+    if (!batch.try_append(slot.timestamp, slot.bytes())) {
+      if (batch.empty()) {
+        throw std::invalid_argument(
+            "next_batch: packet larger than the batch arena");
+      }
+      break;
+    }
+    advance_root();
+    ++truth_.total_packet_count;
+  }
+  return batch.size();
 }
 
 std::uint64_t TelescopeGenerator::generate(

@@ -6,11 +6,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "asdb/registry.hpp"
 #include "net/packet.hpp"
+#include "net/record_batch.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/emitters.hpp"
 #include "telescope/ground_truth.hpp"
@@ -30,6 +30,13 @@ class TelescopeGenerator {
   /// Next packet in global time order; nullopt when the window is done.
   std::optional<net::RawPacket> next();
 
+  /// Batched production: clear `batch`, then append packets in global
+  /// time order until the batch is full (capacity or arena) or the
+  /// window is done. Returns the number appended; zero means done.
+  /// Zero heap traffic in steady state — packets are staged in
+  /// per-emitter slots and copied once into the batch arena.
+  std::size_t next_batch(net::RecordBatch& batch);
+
   /// Drain the stream into `sink`; returns the packet count.
   std::uint64_t generate(
       const std::function<void(const net::RawPacket&)>& sink);
@@ -42,22 +49,35 @@ class TelescopeGenerator {
   [[nodiscard]] threat::IntelDb make_intel_db() const;
 
  private:
-  struct QueueEntry {
-    net::RawPacket packet;
+  /// The merge heap holds only (time, emitter) pairs; the packet bytes
+  /// stay in the emitter's slot until the consumer copies or adopts
+  /// them. Ordering looks at time alone.
+  struct MergeEntry {
+    util::Timestamp time;
     std::size_t emitter_index;
-    bool operator>(const QueueEntry& other) const {
-      return packet.timestamp > other.packet.timestamp;
-    }
   };
 
   void add_emitter(std::unique_ptr<PacketEmitter> emitter);
+  /// Produce emitter i's next packet into its slot and push a heap
+  /// entry (construction-time priming).
   void pull_from(std::size_t emitter_index);
+  /// After the root's packet is consumed: refill that emitter's slot and
+  /// restore the heap with a single sift-down (replace-top). During an
+  /// attack burst the refilled packet is usually still the minimum, so
+  /// the sift exits after one comparison — the merge then costs O(1)
+  /// per packet instead of a full pop+push.
+  void advance_root();
+  void heap_push(MergeEntry entry);
+  void heap_sift_down(std::size_t i);
 
   ScenarioConfig config_;
   GroundTruth truth_;
   std::vector<std::unique_ptr<PacketEmitter>> emitters_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      queue_;
+  /// One staging buffer per emitter: slots_[i] holds emitter i's next
+  /// packet while its (time, i) entry sits in the merge heap.
+  std::vector<net::PacketBuffer> slots_;
+  /// Binary min-heap on MergeEntry::time.
+  std::vector<MergeEntry> heap_;
   std::vector<net::Ipv4Address> research_hosts_;
 };
 

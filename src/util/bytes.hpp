@@ -145,8 +145,39 @@ class ByteWriter {
     }
   }
 
+  /// Discard contents but keep the allocated capacity, so a writer can be
+  /// reused across packets without heap traffic once it has grown to the
+  /// working-set size.
+  void clear() { buf_.clear(); }
+
+  /// Replace the backing store with a recycled vector (cleared, capacity
+  /// kept). Pairs with take() to move buffers through a free list.
+  void reset(std::vector<std::uint8_t>&& recycled) {
+    buf_ = std::move(recycled);
+    buf_.clear();
+  }
+
+  /// Replace the backing store with a buffer whose contents are kept
+  /// (ownership transfer from a producer; pairs with take() on the other
+  /// side of a hand-off).
+  void adopt(std::vector<std::uint8_t>&& buf) { buf_ = std::move(buf); }
+
+  /// Grow by `n` bytes without initialising them and return a mutable view
+  /// of the new region (for bulk fills like rng.fill or checksummed copies).
+  std::span<std::uint8_t> append_uninitialized(std::size_t n) {
+    buf_.resize(buf_.size() + n);
+    return std::span<std::uint8_t>(buf_).last(n);
+  }
+
+  /// Drop bytes from the end (undo a speculative append).
+  void truncate(std::size_t new_size) {
+    if (new_size > buf_.size()) throw std::out_of_range("truncate");
+    buf_.resize(new_size);
+  }
+
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
   [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
+  [[nodiscard]] std::span<std::uint8_t> mutable_view() { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] const std::vector<std::uint8_t>& vec() const { return buf_; }
 

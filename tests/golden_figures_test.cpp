@@ -18,6 +18,7 @@
 #include "core/online.hpp"
 #include "core/pipeline.hpp"
 #include "core/victims.hpp"
+#include "net/record_batch.hpp"
 #include "scanner/deployment.hpp"
 #include "telescope/generator.hpp"
 
@@ -60,11 +61,21 @@ class GoldenFigures : public ::testing::Test {
     online_->set_on_attack([](const DetectedAttack& a) {
       online_attacks_->push_back(a);
     });
+    // The figure stream is produced through the batched path — the same
+    // one the benches and the parallel pipeline use — so every pin below
+    // also pins batched generation. Per-record next() stays covered by
+    // tests/telescope_batch_diff_test.cpp, which proves it bit-identical
+    // to this stream.
     Classifier classifier({});
-    while (auto packet = generator.next()) {
-      pipeline_->consume(*packet);
-      if (const auto record = classifier.classify(*packet)) {
-        online_->consume(*record);
+    net::RecordBatch batch;
+    while (generator.next_batch(batch) > 0) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto view = batch.view(i);
+        pipeline_->consume(view.timestamp, view.data);
+        if (const auto record =
+                classifier.classify(view.timestamp, view.data)) {
+          online_->consume(*record);
+        }
       }
     }
     online_->finish();
