@@ -129,10 +129,18 @@ int main(int argc, char** argv) {
   auto scenario = bench::light_scenario({.days = 1, .telescope_bits = 14});
   telescope::TelescopeGenerator generator(scenario, bench::registry(),
                                           bench::deployment());
+  // Cap the pre-materialized stream; drain batches until the cap.
+  constexpr std::size_t kMaxPackets = 250000;
   std::vector<net::RawPacket> packets;
-  while (auto packet = generator.next()) {
-    packets.push_back(std::move(*packet));
-    if (packets.size() >= 250000) break;
+  net::RecordBatch batch;
+  while (packets.size() < kMaxPackets && generator.next_batch(batch) > 0) {
+    for (std::size_t i = 0;
+         i < batch.size() && packets.size() < kMaxPackets; ++i) {
+      const auto view = batch.view(i);
+      packets.emplace_back(
+          view.timestamp,
+          std::vector<std::uint8_t>(view.data.begin(), view.data.end()));
+    }
   }
   std::printf("live_ingest: %zu scenario datagrams, %zu shard(s)\n",
               packets.size(), shards);

@@ -229,9 +229,9 @@ const Fig06Workload& fig06_workload() {
     out.options = bench::pipeline_options(config);
     telescope::TelescopeGenerator generator(config, bench::registry(),
                                             bench::deployment());
-    while (auto packet = generator.next()) {
-      out.packets.push_back(std::move(*packet));
-    }
+    generator.generate([&](const net::RawPacket& packet) {
+      out.packets.push_back(packet);
+    });
     return out;
   }();
   return workload;

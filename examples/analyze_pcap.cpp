@@ -118,7 +118,8 @@ int emit(const Args& args) {
   config.attacks.common_attacks_per_day = 120;
   telescope::TelescopeGenerator generator(config, registry, deployment);
   net::PcapWriter writer(args.emit);
-  while (auto packet = generator.next()) writer.write(*packet);
+  generator.generate(
+      [&](const net::RawPacket& packet) { writer.write(packet); });
   std::cout << "wrote " << writer.packets_written() << " packets to "
             << args.emit << "\n";
   std::cout << "ground truth: " << generator.ground_truth().attacks.size()

@@ -32,6 +32,7 @@
 
 #include "asdb/registry.hpp"
 #include "net/live/sender.hpp"
+#include "net/record_batch.hpp"
 #include "obs/health.hpp"
 #include "obs/http/admin.hpp"
 #include "obs/metrics.hpp"
@@ -84,13 +85,22 @@ int run_send(const util::HostPort& target, double pps,
             << target.port << " at " << pps << " pps ("
             << net::live::rate_mode_name(mode) << ")" << std::endl;
 
+  // The sender pulls one packet at a time; refill from the batched
+  // generator and hand out copies of the staged views.
   std::uint64_t produced = 0;
+  net::RecordBatch batch;
+  std::size_t cursor = 0;
   const auto stats = sender.send_stream(
       [&]() -> std::optional<net::RawPacket> {
         if (max_packets > 0 && produced >= max_packets) return std::nullopt;
-        auto packet = generator.next();
-        if (packet) ++produced;
-        return packet;
+        if (cursor >= batch.size()) {
+          if (generator.next_batch(batch) == 0) return std::nullopt;
+          cursor = 0;
+        }
+        const auto view = batch.view(cursor++);
+        ++produced;
+        return net::RawPacket{view.timestamp,
+                              {view.data.begin(), view.data.end()}};
       },
       &g_stop);
   if (stats.sent == 0 && produced == 0 && !sender.last_error().empty()) {

@@ -55,6 +55,7 @@
 #include "core/online.hpp"
 #include "core/online_shards.hpp"
 #include "net/live/receiver.hpp"
+#include "net/record_batch.hpp"
 #include "obs/events.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/health.hpp"
@@ -394,22 +395,33 @@ int main(int argc, char** argv) {
   };
 
   std::uint64_t streamed = 0;
-  while (auto packet = days > 0 ? generator.next() : std::nullopt) {
-    if (g_stop.load()) break;
-    packets_counter.add();
-    if ((++streamed & 0x3FF) == 0) ingest_health.heartbeat();
-    if (snapshot_every_s > 0) {
-      if (next_snapshot == util::Timestamp{}) {
-        next_snapshot = packet->timestamp + snapshot_every;
-      } else if (packet->timestamp >= next_snapshot) {
-        print_snapshot(packet->timestamp);
-        while (next_snapshot <= packet->timestamp) {
-          next_snapshot += snapshot_every;
+  net::RecordBatch batch;
+  net::RawPacket packet;
+  bool stopped = false;
+  while (!stopped && days > 0 && generator.next_batch(batch) > 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (g_stop.load()) {
+        stopped = true;
+        break;
+      }
+      const auto view = batch.view(i);
+      packet.timestamp = view.timestamp;
+      packet.data.assign(view.data.begin(), view.data.end());
+      packets_counter.add();
+      if ((++streamed & 0x3FF) == 0) ingest_health.heartbeat();
+      if (snapshot_every_s > 0) {
+        if (next_snapshot == util::Timestamp{}) {
+          next_snapshot = packet.timestamp + snapshot_every;
+        } else if (packet.timestamp >= next_snapshot) {
+          print_snapshot(packet.timestamp);
+          while (next_snapshot <= packet.timestamp) {
+            next_snapshot += snapshot_every;
+          }
         }
       }
-    }
-    if (const auto record = classifier.classify(*packet)) {
-      detector.consume(*record);
+      if (const auto record = classifier.classify(packet)) {
+        detector.consume(*record);
+      }
     }
   }
   detector.finish();

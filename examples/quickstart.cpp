@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   options.research_prefixes.push_back(
       registry.prefixes_of(asdb::AsRegistry::kTumScanner).front());
   core::Pipeline pipeline(options);
-  while (auto packet = generator.next()) pipeline.consume(*packet);
+  generator.generate(
+      [&](const net::RawPacket& packet) { pipeline.consume(packet); });
 
   const auto& stats = pipeline.stats();
   std::cout << "telescope packets: " << stats.total << "\n";

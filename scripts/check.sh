@@ -9,8 +9,11 @@
 #      smoke (FUZZ_SMOKE_ITERATIONS per target, default 500) from the
 #      committed corpus — replays every committed crasher, then fuzzes
 #   5. run quicsand_lint over every first-party tree (also the `lint`
-#      ctest label) and, when clang-tidy is installed, tidy the files
-#      changed relative to origin/main (or all of src/ on main itself)
+#      ctest label), writing the JSON report CI uploads as an artifact;
+#      when clang is installed, run the thread-safety gate
+#      (scripts/check_tsa.sh: -Werror=thread-safety build + negative
+#      probes); when clang-tidy is installed, tidy the files changed
+#      relative to origin/main (or all of src/ on main itself)
 #
 # Usage: scripts/check.sh [--no-tsan] [--no-fuzz] [--no-tidy]
 set -eu
@@ -57,7 +60,7 @@ if [ "$run_tsan" = 1 ]; then
     core_parallel_pipeline_test obs_metrics_test obs_trace_test \
     obs_events_test obs_health_test obs_http_test obs_tsdb_test \
     net_live_ring_test net_live_error_test live_e2e_test \
-    telescope_batch_diff_test net_record_batch_test
+    telescope_batch_diff_test net_record_batch_test util_sync_test
   echo "==> ctest tsan (parallel + obs + live + batch hand-off suites)"
   ctest --preset tsan -j "$jobs"
 fi
@@ -78,7 +81,15 @@ if [ "$run_fuzz" = 1 ]; then
 fi
 
 echo "==> quicsand_lint"
-build/tools/quicsand_lint src tests bench examples tools
+build/tools/quicsand_lint --report build/lint_findings.json \
+  src tests bench examples tools
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "==> thread-safety gate (clang-tsa preset + negative probes)"
+  scripts/check_tsa.sh
+else
+  echo "==> thread-safety gate skipped (clang++ not installed)"
+fi
 
 if [ "$run_tidy" = 1 ] && command -v clang-tidy >/dev/null 2>&1; then
   # Tidy only the .cpp files changed against origin/main (keeps the

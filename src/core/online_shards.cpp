@@ -16,14 +16,14 @@ ShardedOnlineDetector::ShardedOnlineDetector(
       shard->attacks.push_back(attack);
     });
     shard->detector.set_on_alert([this](const DetectedAttack& attack) {
-      std::lock_guard<std::mutex> lock(alert_mutex_);
+      util::LockGuard lock(alert_mutex_);
       if (on_alert_) on_alert_(attack);
     });
   }
 }
 
 void ShardedOnlineDetector::set_on_alert(AlertCallback callback) {
-  std::lock_guard<std::mutex> lock(alert_mutex_);
+  util::LockGuard lock(alert_mutex_);
   on_alert_ = std::move(callback);
 }
 

@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/online.hpp"
+#include "util/sync.hpp"
 
 namespace quicsand::core {
 
@@ -76,10 +76,13 @@ class ShardedOnlineDetector {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex alert_mutex_;
-  AlertCallback on_alert_;
-  std::vector<DetectedAttack> merged_;
-  bool finished_ = false;
+  /// Bottom of the repo's lock hierarchy (kOnlineAlert): the serialized
+  /// callback typically emits into an EventLog (kEventLog), which in
+  /// turn pushes to subscriber rings (kEventSubscription).
+  util::Mutex alert_mutex_{util::LockRank::kOnlineAlert, "online_alert"};
+  AlertCallback on_alert_ QS_GUARDED_BY(alert_mutex_);
+  std::vector<DetectedAttack> merged_;  ///< finish()/main thread only
+  bool finished_ = false;               ///< finish()/main thread only
 };
 
 }  // namespace quicsand::core

@@ -100,7 +100,7 @@ void ParallelPipeline::consume(const net::RawPacket& packet) {
 
 net::RecordBatch ParallelPipeline::acquire_batch() {
   {
-    std::lock_guard lock(pool_mutex_);
+    util::LockGuard lock(pool_mutex_);
     if (!batch_pool_.empty()) {
       auto batch = std::move(batch_pool_.back());
       batch_pool_.pop_back();
@@ -110,9 +110,28 @@ net::RecordBatch ParallelPipeline::acquire_batch() {
   return net::RecordBatch(options_.batch_size);
 }
 
+void ParallelPipeline::wait_for_inflight_slot(util::UniqueLock& lock) {
+  // Backpressure: bound the batches in flight so a fast capture or
+  // generation loop cannot buffer the whole trace ahead of the workers.
+  while (inflight_ >= 4 * shards_) inflight_cv_.wait(lock);
+  ++inflight_;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+  }
+}
+
+void ParallelPipeline::release_inflight_slot() {
+  util::LockGuard lock(inflight_mutex_);
+  --inflight_;
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
+  }
+  inflight_cv_.notify_all();
+}
+
 void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
   if (batch.empty()) {
-    std::lock_guard lock(pool_mutex_);
+    util::LockGuard lock(pool_mutex_);
     batch_pool_.push_back(std::move(batch));
     return;
   }
@@ -123,12 +142,8 @@ void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
   {
     const auto wait_start =
         backpressure_wait_us_ != nullptr ? steady_us() : 0;
-    std::unique_lock lock(inflight_mutex_);
-    inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
-    ++inflight_;
-    if (inflight_gauge_ != nullptr) {
-      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
-    }
+    util::UniqueLock lock(inflight_mutex_);
+    wait_for_inflight_slot(lock);
     if (backpressure_wait_us_ != nullptr) {
       backpressure_wait_us_->observe(steady_us() - wait_start);
     }
@@ -166,32 +181,21 @@ void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
       classify_batch_us_->observe(steady_us() - batch_start);
     }
     {
-      std::lock_guard lock(pool_mutex_);
+      util::LockGuard lock(pool_mutex_);
       shared->clear();
       batch_pool_.push_back(std::move(*shared));
     }
-    std::lock_guard lock(inflight_mutex_);
-    --inflight_;
-    if (inflight_gauge_ != nullptr) {
-      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
-    }
-    inflight_cv_.notify_all();
+    release_inflight_slot();
   });
 }
 
 void ParallelPipeline::dispatch_batch() {
   if (pending_.empty()) return;
-  // Backpressure: bound the raw-packet batches in flight so a fast
-  // capture loop cannot buffer the whole trace ahead of the workers.
   {
     const auto wait_start =
         backpressure_wait_us_ != nullptr ? steady_us() : 0;
-    std::unique_lock lock(inflight_mutex_);
-    inflight_cv_.wait(lock, [this] { return inflight_ < 4 * shards_; });
-    ++inflight_;
-    if (inflight_gauge_ != nullptr) {
-      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
-    }
+    util::UniqueLock lock(inflight_mutex_);
+    wait_for_inflight_slot(lock);
     if (backpressure_wait_us_ != nullptr) {
       backpressure_wait_us_->observe(steady_us() - wait_start);
     }
@@ -231,12 +235,7 @@ void ParallelPipeline::dispatch_batch() {
     if (classify_batch_us_ != nullptr) {
       classify_batch_us_->observe(steady_us() - batch_start);
     }
-    std::lock_guard lock(inflight_mutex_);
-    --inflight_;
-    if (inflight_gauge_ != nullptr) {
-      inflight_gauge_->set(static_cast<std::int64_t>(inflight_));
-    }
-    inflight_cv_.notify_all();
+    release_inflight_slot();
   });
 }
 

@@ -10,11 +10,9 @@
 // "Parallel execution model" for the determinism argument.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -22,9 +20,16 @@
 #include "net/record_batch.hpp"
 #include "obs/health.hpp"
 #include "util/sharded_counter.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace quicsand::core {
+
+/// Compile-time tripwire for the thread-safety annotations below;
+/// defined only in tests/tsa_negative.cpp (see scripts/check_tsa.sh).
+/// It MUST fail to compile under -Werror=thread-safety — if deleting a
+/// QS_GUARDED_BY/QS_REQUIRES here makes the probe build, CI fails.
+struct TsaNegativeProbe;
 
 struct ParallelPipelineOptions {
   PipelineOptions base;
@@ -87,7 +92,18 @@ class ParallelPipeline {
   [[nodiscard]] std::size_t shard_count() const { return shards_; }
 
  private:
+  friend struct TsaNegativeProbe;
+
   void dispatch_batch();
+  /// Block until fewer than 4 * shards_ batches are in flight, then
+  /// claim a slot (increments inflight_, publishes the gauge). Caller
+  /// holds inflight_mutex_ via `lock` — both ingest paths share this
+  /// backpressure gate.
+  void wait_for_inflight_slot(util::UniqueLock& lock)
+      QS_REQUIRES(inflight_mutex_);
+  /// Return a claimed slot and wake blocked producers; takes
+  /// inflight_mutex_ itself (called from worker jobs).
+  void release_inflight_slot() QS_EXCLUDES(inflight_mutex_);
   /// Partition records() by hash(source IP) % shards, once.
   const std::vector<std::vector<PacketRecord>>& shard_records();
   std::vector<std::vector<Session>> sharded_sessions(
@@ -105,13 +121,17 @@ class ParallelPipeline {
   // submitting it, so workers write disjoint, stable deque elements.
   std::vector<net::RawPacket> pending_;
   std::deque<std::vector<PacketRecord>> batches_;
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  std::size_t inflight_ = 0;
+  util::Mutex inflight_mutex_{util::LockRank::kPipelineInflight,
+                              "pipeline_inflight"};
+  util::CondVar inflight_cv_;
+  std::size_t inflight_ QS_GUARDED_BY(inflight_mutex_) = 0;
 
-  // Recycled RecordBatch pool for the batched ingest path.
-  std::mutex pool_mutex_;
-  std::vector<net::RecordBatch> batch_pool_;
+  // Recycled RecordBatch pool for the batched ingest path. Workers take
+  // pool_mutex_ and inflight_mutex_ strictly sequentially (never
+  // nested), so both are leaf ranks.
+  util::Mutex pool_mutex_{util::LockRank::kPipelineBatchPool,
+                          "pipeline_batch_pool"};
+  std::vector<net::RecordBatch> batch_pool_ QS_GUARDED_BY(pool_mutex_);
 
   // Merged state, valid once finished_.
   bool finished_ = false;

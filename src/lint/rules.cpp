@@ -296,6 +296,276 @@ void check_timestamp_double_cast(const std::string& path,
   }
 }
 
+// ---------------------------------------------------------------------
+// Raw std synchronization primitives: everything must go through the
+// annotated util::Mutex/util::CondVar wrappers in util/sync.hpp, which
+// carry thread-safety capabilities and a lock rank.
+// ---------------------------------------------------------------------
+
+void check_raw_std_mutex(const std::string& path,
+                         const std::vector<Token>& tokens,
+                         const RuleSet& rules, std::vector<Finding>* out) {
+  if (rules.raw_mutex_identifiers.empty()) return;
+  if (path_allowed(path, rules.raw_mutex_allowed_paths)) return;
+  const auto listed = [](const std::vector<std::string>& list,
+                         std::string_view text) {
+    return std::find(list.begin(), list.end(), text) != list.end();
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const auto prev = prev_token(tokens, i);
+    if (prev == static_cast<std::size_t>(-1)) continue;
+    // std::mutex, std::lock_guard, std::condition_variable, ...
+    if (listed(rules.raw_mutex_identifiers, t.text) &&
+        is_punct(tokens[prev], "::")) {
+      const auto qual = prev_token(tokens, prev);
+      if (qual != static_cast<std::size_t>(-1) &&
+          tokens[qual].kind == TokenKind::kIdentifier &&
+          tokens[qual].text == "std") {
+        out->push_back(
+            {path, t.line, kRuleRawStdMutex,
+             "use util::Mutex/LockGuard/UniqueLock/CondVar (util/sync.hpp) "
+             "instead of std::" +
+                 std::string(t.text) +
+                 ": the wrappers carry thread-safety annotations and a "
+                 "lock rank",
+             false});
+      }
+      continue;
+    }
+    // #include <mutex> and friends: pulling the raw header in at all is
+    // a sign the sync layer is being bypassed.
+    if (listed(rules.raw_mutex_headers, t.text) &&
+        is_punct(tokens[prev], "<")) {
+      const auto inc = prev_token(tokens, prev);
+      if (inc == static_cast<std::size_t>(-1) ||
+          tokens[inc].kind != TokenKind::kIdentifier ||
+          tokens[inc].text != "include") {
+        continue;
+      }
+      const auto hash = prev_token(tokens, inc);
+      if (hash != static_cast<std::size_t>(-1) &&
+          is_punct(tokens[hash], "#")) {
+        out->push_back({path, t.line, kRuleRawStdMutex,
+                        "include util/sync.hpp instead of <" +
+                            std::string(t.text) +
+                            ">: raw std synchronization primitives are "
+                            "banned outside the sync layer",
+                        false});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layering: src/<module> files may only include the modules their edge
+// in the committed DAG allows (plus themselves and util).
+// ---------------------------------------------------------------------
+
+/// Longest module prefix of `rel` (a path relative to src/) among the
+/// modules named in the edge table; empty when none matches.
+std::string module_of(std::string_view rel, const RuleSet& rules) {
+  std::string best;
+  for (const auto& edge : rules.layering) {
+    const auto& m = edge.module;
+    if (rel.size() > m.size() && rel.substr(0, m.size()) == m &&
+        rel[m.size()] == '/' && m.size() > best.size()) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+void check_layering(const std::string& path, const std::vector<Token>& tokens,
+                    const RuleSet& rules, std::vector<Finding>* out) {
+  if (rules.layering.empty()) return;
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  const auto src = normalized.rfind("src/");
+  if (src == std::string::npos) return;  // tests/tools/bench: unconstrained
+  const std::string from = module_of(normalized.substr(src + 4), rules);
+  if (from.empty()) return;
+  const LayeringEdge* edge = nullptr;
+  for (const auto& candidate : rules.layering) {
+    if (candidate.module == from) edge = &candidate;
+  }
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!is_punct(tokens[i], "#")) continue;
+    auto j = skip_comments(tokens, i + 1);
+    if (j >= tokens.size() || tokens[j].kind != TokenKind::kIdentifier ||
+        tokens[j].text != "include") {
+      continue;
+    }
+    j = skip_comments(tokens, j + 1);
+    if (j >= tokens.size() || tokens[j].kind != TokenKind::kString) {
+      continue;  // <system> includes carry no module
+    }
+    const std::string_view quoted = tokens[j].text;
+    if (quoted.size() < 2) continue;
+    const auto target =
+        module_of(quoted.substr(1, quoted.size() - 2), rules);
+    if (target.empty() || target == from || target == "util") continue;
+    if (edge != nullptr &&
+        std::find(edge->deps.begin(), edge->deps.end(), target) !=
+            edge->deps.end()) {
+      continue;
+    }
+    out->push_back({path, tokens[j].line, kRuleLayering,
+                    "module '" + from + "' may not include '" + target +
+                        "' (layering DAG; edge table in "
+                        "lint/rules.cpp, diagram in DESIGN.md)",
+                    false});
+  }
+}
+
+// ---------------------------------------------------------------------
+// Unguarded mutable namespace-scope state: a non-const global is
+// invisible to the thread-safety analysis (no mutex can guard it by
+// annotation), so it is banned outside allowlisted signal-handler
+// files. const/constexpr and thread_local declarations are exempt.
+// ---------------------------------------------------------------------
+
+void check_mutable_static(const std::string& path,
+                          const std::vector<Token>& tokens,
+                          const RuleSet& rules, std::vector<Finding>* out) {
+  if (path_allowed(path, rules.mutable_static_allowed_paths)) return;
+  // Keywords whose statements are not plain variable definitions (type
+  // definitions, templates, aliases, declarations) or are exempt
+  // (const/constexpr/thread_local, extern declarations).
+  static constexpr std::string_view kSkipKeywords[] = {
+      "class",     "struct",        "enum",       "union",
+      "template",  "using",         "typedef",    "extern",
+      "friend",    "static_assert", "const",      "constexpr",
+      "thread_local", "requires",   "concept",    "operator",
+      "namespace", "asm"};
+  std::vector<bool> namespace_scope;  // brace stack: true = namespace
+  bool pending_namespace = false;
+  const std::size_t n = tokens.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kComment) {
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "#")) {  // preprocessor: skip the directive's line
+      const int line = t.line;
+      while (i < n && tokens[i].line == line) ++i;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier && t.text == "namespace") {
+      pending_namespace = true;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      namespace_scope.push_back(pending_namespace);
+      pending_namespace = false;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!namespace_scope.empty()) namespace_scope.pop_back();
+      ++i;
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      pending_namespace = false;
+      ++i;
+      continue;
+    }
+    if (pending_namespace) {
+      ++i;  // the namespace's name / '::' path, up to its '{' or ';'
+      continue;
+    }
+    const bool at_namespace_scope =
+        std::all_of(namespace_scope.begin(), namespace_scope.end(),
+                    [](bool ns) { return ns; });
+    if (!at_namespace_scope) {
+      ++i;
+      continue;
+    }
+    // Start of a namespace-scope statement: classify it, then consume
+    // it whole (including any function/class body or brace initializer).
+    bool skip = false;
+    bool saw_paren = false;
+    bool seen_init = false;
+    std::size_t name_idx = static_cast<std::size_t>(-1);
+    int brace_depth = 0;
+    int paren_depth = 0;
+    std::size_t j = i;
+    for (; j < n; ++j) {
+      const Token& u = tokens[j];
+      if (u.kind == TokenKind::kComment) continue;
+      if (u.text == "namespace" && u.kind == TokenKind::kIdentifier &&
+          j == i) {
+        break;  // let the main loop track the namespace scope
+      }
+      if (brace_depth == 0 && paren_depth == 0 &&
+          u.kind == TokenKind::kIdentifier) {
+        for (const auto kw : kSkipKeywords) {
+          if (u.text == kw) skip = true;
+        }
+        if (!seen_init) name_idx = j;
+      }
+      if (is_punct(u, "(")) {
+        if (brace_depth == 0 && paren_depth == 0) saw_paren = true;
+        ++paren_depth;
+      } else if (is_punct(u, ")")) {
+        --paren_depth;
+      } else if (is_punct(u, "{") && paren_depth == 0) {
+        if (brace_depth == 0) seen_init = true;
+        ++brace_depth;
+      } else if (is_punct(u, "}") && paren_depth == 0) {
+        --brace_depth;
+        // A function definition's closing brace ends the statement with
+        // no ';'. Type definitions keep their trailing ';', which the
+        // main loop swallows as a stray.
+        if (brace_depth == 0 && (saw_paren || skip)) {
+          ++j;
+          break;
+        }
+      } else if (brace_depth == 0 && paren_depth == 0 &&
+                 (is_punct(u, "=") ||
+                  (is_punct(u, "[") &&
+                   name_idx != static_cast<std::size_t>(-1)))) {
+        // '=' starts the initializer; '[' after the declarator is an
+        // array bound (a leading '[' is an attribute, not an init).
+        seen_init = true;
+      } else if (is_punct(u, ";") && brace_depth == 0 && paren_depth == 0) {
+        ++j;
+        break;
+      }
+    }
+    if (j == i) {  // hit the `namespace` bail-out
+      continue;
+    }
+    // Out-of-class static member definitions (`Type Class::member_ =
+    // ...`) are class-scope state defined at namespace scope; the class
+    // is where annotations belong, so they are not flagged here.
+    if (name_idx != static_cast<std::size_t>(-1)) {
+      const auto before = prev_token(tokens, name_idx);
+      if (before != static_cast<std::size_t>(-1) &&
+          is_punct(tokens[before], "::")) {
+        skip = true;
+      }
+    }
+    if (!skip && !saw_paren && name_idx != static_cast<std::size_t>(-1) &&
+        name_idx > i) {
+      out->push_back(
+          {path, tokens[i].line, kRuleMutableStatic,
+           "mutable namespace-scope variable '" +
+               std::string(tokens[name_idx].text) +
+               "' is invisible to the thread-safety analysis; guard it "
+               "behind a class with a util::Mutex, or make it "
+               "const/thread_local",
+           false});
+    }
+    i = j;
+  }
+}
+
 }  // namespace
 
 bool path_allowed(const std::string& path,
@@ -345,6 +615,39 @@ RuleSet default_rules() {
   rules.time_name_exact = {"ts", "deadline", "time"};
   rules.int64_param_allowed_paths = {"src/util/time.", "src/util/strong."};
   rules.double_cast_allowed_paths = {"src/util/time."};
+  rules.raw_mutex_identifiers = {
+      "mutex",       "recursive_mutex", "timed_mutex",
+      "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+      "lock_guard",  "unique_lock",     "scoped_lock",
+      "shared_lock", "condition_variable", "condition_variable_any"};
+  rules.raw_mutex_headers = {"mutex", "condition_variable", "shared_mutex"};
+  // util/sync.hpp wraps the std primitives; nothing else may touch them.
+  rules.raw_mutex_allowed_paths = {"src/util/sync."};
+  // The module DAG, matching the includes actually in the tree (obs sits
+  // LOW: net/core/server all report into it). Self and util are implicit
+  // for every module. Keep DESIGN.md §9's diagram in sync with this.
+  rules.layering = {
+      {"util", {}},
+      {"crypto", {}},
+      {"lint", {}},
+      {"obs", {}},
+      {"obs/http", {"obs"}},
+      {"net", {"obs"}},
+      {"net/live", {"net", "obs"}},
+      {"threat", {"net"}},
+      {"asdb", {"net"}},
+      {"quic", {"crypto", "net"}},
+      {"scanner", {"asdb", "net", "quic"}},
+      {"server", {"net", "obs", "quic"}},
+      {"core", {"asdb", "net", "obs", "quic", "scanner"}},
+      {"telescope",
+       {"asdb", "core", "net", "quic", "scanner", "threat"}},
+      {"fuzz", {"net", "net/live", "quic"}},
+  };
+  // Signal-handler stop flags in the examples: a sig_atomic_t-style
+  // global is the one legitimate namespace-scope mutable.
+  rules.mutable_static_allowed_paths = {"examples/flood_lab.cpp",
+                                        "examples/monitor.cpp"};
   return rules;
 }
 
@@ -359,6 +662,9 @@ std::vector<Finding> check_tokens(const std::string& path,
   check_mixed_units(path, tokens, rules, &findings, fixes);
   check_int64_time_params(path, tokens, rules, &findings);
   check_timestamp_double_cast(path, tokens, rules, &findings);
+  check_raw_std_mutex(path, tokens, rules, &findings);
+  check_layering(path, tokens, rules, &findings);
+  check_mutable_static(path, tokens, rules, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);

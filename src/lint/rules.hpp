@@ -46,6 +46,16 @@ struct BannedCallRule {
 inline constexpr char kRuleMixedUnits[] = "time-literal-parens";
 inline constexpr char kRuleInt64TimeParam[] = "naked-int64-time-param";
 inline constexpr char kRuleTimestampDoubleCast[] = "timestamp-double-cast";
+inline constexpr char kRuleRawStdMutex[] = "raw-std-mutex";
+inline constexpr char kRuleLayering[] = "layering";
+inline constexpr char kRuleMutableStatic[] = "unguarded-mutable-static";
+
+/// One module's allowed include targets. A module may always include
+/// itself and `util`; everything else must be listed here.
+struct LayeringEdge {
+  std::string module;             ///< e.g. "core", "net/live"
+  std::vector<std::string> deps;  ///< modules it may include
+};
 
 struct RuleSet {
   std::vector<BannedCallRule> banned;
@@ -61,6 +71,21 @@ struct RuleSet {
   std::vector<std::string> int64_param_allowed_paths;
 
   std::vector<std::string> double_cast_allowed_paths;
+
+  /// std:: synchronization primitives banned outside util/sync.hpp
+  /// (raw-std-mutex): the type names and the headers that provide them.
+  std::vector<std::string> raw_mutex_identifiers;
+  std::vector<std::string> raw_mutex_headers;
+  std::vector<std::string> raw_mutex_allowed_paths;
+
+  /// The module DAG (layering): src/<module> files may only include the
+  /// listed modules (plus themselves and util). Files outside src/ are
+  /// unconstrained. See DESIGN.md §9 for the diagram.
+  std::vector<LayeringEdge> layering;
+
+  /// Paths exempt from unguarded-mutable-static (signal-handler flags
+  /// in the examples).
+  std::vector<std::string> mutable_static_allowed_paths;
 };
 
 /// The repo's rule table (see DESIGN.md §9 for rationale).

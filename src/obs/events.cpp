@@ -41,9 +41,12 @@ std::string to_json_line(const DetectorEvent& event) {
 }
 
 std::optional<std::string> EventSubscription::pop(util::Duration wait) {
-  std::unique_lock lock(mutex_);
-  cv_.wait_for(lock, std::chrono::microseconds(wait.count()),
-               [this] { return !lines_.empty() || closed_; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait.count());
+  util::UniqueLock lock(mutex_);
+  while (lines_.empty() && !closed_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
   if (lines_.empty()) return std::nullopt;
   std::string line = std::move(lines_.front());
   lines_.pop_front();
@@ -51,20 +54,20 @@ std::optional<std::string> EventSubscription::pop(util::Duration wait) {
 }
 
 std::uint64_t EventSubscription::take_dropped() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto dropped = dropped_;
   dropped_ = 0;
   return dropped;
 }
 
 bool EventSubscription::closed() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return closed_;
 }
 
 void EventSubscription::push(std::string line) {
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (closed_) return;
     if (lines_.size() >= capacity_) {
       lines_.pop_front();  // drop the oldest line, keep the alert fresh
@@ -77,38 +80,42 @@ void EventSubscription::push(std::string line) {
 
 void EventSubscription::close() {
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 EventLog::~EventLog() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (const auto& subscription : subscriptions_) subscription->close();
 }
 
 void EventLog::set_stream(std::ostream* out) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   stream_ = out;
 }
 
+void EventLog::tee_locked(const DetectorEvent& event,
+                          const std::string& line) {
+  if (stream_ == nullptr) return;
+  *stream_ << line << "\n";
+  // Alerts are the time-critical lines: flush so a tail -f (or the
+  // /events endpoint's file-backed cousin) sees them immediately
+  // instead of at buffer-flush granularity.
+  if (event.type == DetectorEventType::kAlertFired) stream_->flush();
+}
+
 void EventLog::emit(DetectorEvent event) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto line = to_json_line(event);
-  if (stream_ != nullptr) {
-    *stream_ << line << "\n";
-    // Alerts are the time-critical lines: flush so a tail -f (or the
-    // /events endpoint's file-backed cousin) sees them immediately
-    // instead of at buffer-flush granularity.
-    if (event.type == DetectorEventType::kAlertFired) stream_->flush();
-  }
+  tee_locked(event, line);
   for (const auto& subscription : subscriptions_) subscription->push(line);
   events_.push_back(std::move(event));
 }
 
 void EventLog::flush() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (stream_ != nullptr) stream_->flush();
 }
 
@@ -121,7 +128,7 @@ std::shared_ptr<EventSubscription> EventLog::subscribe(
     std::vector<std::string>* replay) {
   auto subscription = std::shared_ptr<EventSubscription>(
       new EventSubscription(capacity == 0 ? 1 : capacity));
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   // Backlog capture and registration happen under the same lock emit()
   // takes, so an event lands in exactly one of the two: the replayed
   // tail or the live ring. No gap, no duplicate.
@@ -140,23 +147,23 @@ void EventLog::unsubscribe(
     const std::shared_ptr<EventSubscription>& subscription) {
   if (!subscription) return;
   subscription->close();
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::erase(subscriptions_, subscription);
 }
 
 std::vector<DetectorEvent> EventLog::events() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return events_;
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return events_.size();
 }
 
 std::vector<DetectorEvent> EventLog::events_since(std::size_t from,
                                                   std::size_t* next) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<DetectorEvent> out;
   if (from < events_.size()) {
     out.assign(events_.begin() + static_cast<std::ptrdiff_t>(from),
@@ -167,7 +174,7 @@ std::vector<DetectorEvent> EventLog::events_since(std::size_t from,
 }
 
 void EventLog::write_ndjson(std::ostream& out) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (const auto& event : events_) out << to_json_line(event) << "\n";
 }
 

@@ -13,19 +13,25 @@
 // are orders of magnitude rarer than packets, so this is not a hot path.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace quicsand::obs {
+
+/// Compile-time tripwire for the thread-safety annotations in this
+/// header; defined only in tests/tsa_negative.cpp (see scripts/
+/// check_tsa.sh). The probe accesses guarded fields without their locks
+/// and MUST fail to compile under -Werror=thread-safety — if deleting a
+/// QS_GUARDED_BY/QS_REQUIRES below makes the probe build, CI fails.
+struct TsaNegativeProbe;
 
 enum class DetectorEventType : std::uint8_t {
   kAlertFired,      ///< session first crossed every DoS threshold
@@ -70,17 +76,19 @@ class EventSubscription {
 
  private:
   friend class EventLog;
+  friend struct TsaNegativeProbe;
   explicit EventSubscription(std::size_t capacity) : capacity_(capacity) {}
 
   void push(std::string line);
   void close();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::string> lines_;
-  std::size_t capacity_;
-  std::uint64_t dropped_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mutex_{util::LockRank::kEventSubscription,
+                             "event_subscription"};
+  util::CondVar cv_;
+  std::deque<std::string> lines_ QS_GUARDED_BY(mutex_);
+  const std::size_t capacity_;  ///< immutable after construction
+  std::uint64_t dropped_ QS_GUARDED_BY(mutex_) = 0;
+  bool closed_ QS_GUARDED_BY(mutex_) = false;
 };
 
 class EventLog {
@@ -131,10 +139,18 @@ class EventLog {
   ~EventLog();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<DetectorEvent> events_;
-  std::ostream* stream_ = nullptr;
-  std::vector<std::shared_ptr<EventSubscription>> subscriptions_;
+  friend struct TsaNegativeProbe;
+
+  /// Write `line` to the tee stream if one is attached, flushing
+  /// immediately for alert events. Caller holds mutex_.
+  void tee_locked(const DetectorEvent& event, const std::string& line)
+      QS_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_{util::LockRank::kEventLog, "event_log"};
+  std::vector<DetectorEvent> events_ QS_GUARDED_BY(mutex_);
+  std::ostream* stream_ QS_GUARDED_BY(mutex_) = nullptr;
+  std::vector<std::shared_ptr<EventSubscription>> subscriptions_
+      QS_GUARDED_BY(mutex_);
 };
 
 }  // namespace quicsand::obs

@@ -53,7 +53,7 @@ Health::Health(Clock clock) : clock_(std::move(clock)) {}
 Health::Component& Health::component(const std::string& name,
                                      util::Duration degraded_after,
                                      util::Duration unhealthy_after) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (auto& component : components_) {
     if (component.name_ == name) return component;
   }
@@ -63,7 +63,7 @@ Health::Component& Health::component(const std::string& name,
 
 Health::Snapshot Health::snapshot() const {
   const auto now = now_us();
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   Snapshot snapshot;
   for (const auto& component : components_) {
     ComponentStatus status;

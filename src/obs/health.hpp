@@ -28,10 +28,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace quicsand::obs {
@@ -124,8 +124,11 @@ class Health {
 
  private:
   Clock clock_;
-  mutable std::mutex mutex_;        ///< guards registration only
-  std::deque<Component> components_;  ///< deque => stable references
+  mutable util::Mutex mutex_{util::LockRank::kHealth, "health"};
+  /// Guarded registration list; deque => stable references, so a
+  /// Component& handed out by component() safely escapes the lock (its
+  /// mutators are all relaxed atomics).
+  std::deque<Component> components_ QS_GUARDED_BY(mutex_);
 };
 
 }  // namespace quicsand::obs

@@ -109,7 +109,7 @@ std::vector<std::uint64_t> size_bounds() {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& entry = entries_[name];
   if (!entry.counter) {
     entry.counter = std::make_unique<Counter>();
@@ -120,7 +120,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& entry = entries_[name];
   if (!entry.gauge) {
     entry.gauge = std::make_unique<Gauge>();
@@ -132,7 +132,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<std::uint64_t> bounds,
                                       const std::string& help) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& entry = entries_[name];
   if (!entry.histogram) {
     entry.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -142,7 +142,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, entry] : entries_) {
     const auto prom = entry.counter && !entry.gauge && !entry.histogram
@@ -180,7 +180,7 @@ std::string MetricsRegistry::to_prometheus() const {
 
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counter_snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   for (const auto& [name, entry] : entries_) {
     if (entry.counter) out.emplace_back(name, entry.counter->value());
@@ -190,7 +190,7 @@ MetricsRegistry::counter_snapshot() const {
 
 std::vector<std::pair<std::string, std::int64_t>>
 MetricsRegistry::gauge_snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   for (const auto& [name, entry] : entries_) {
     if (entry.gauge) out.emplace_back(name, entry.gauge->value());
@@ -200,7 +200,7 @@ MetricsRegistry::gauge_snapshot() const {
 
 std::vector<MetricsRegistry::HistogramTotals>
 MetricsRegistry::histogram_snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<HistogramTotals> out;
   for (const auto& [name, entry] : entries_) {
     if (entry.histogram) {
@@ -211,7 +211,7 @@ MetricsRegistry::histogram_snapshot() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::ostringstream out;
   bool first = false;
   auto begin_section = [&](const char* title) {

@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/sharded_counter.hpp"
+#include "util/sync.hpp"
 
 namespace quicsand::obs {
 
@@ -141,8 +141,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  ///< sorted => deterministic export
+  mutable util::Mutex mutex_{util::LockRank::kMetrics, "metrics_registry"};
+  /// Sorted => deterministic export. The map is guarded; the pointed-to
+  /// Counter/Gauge/Histogram objects are lock-free and safely escape the
+  /// lock (they live until the registry dies, and never move).
+  std::map<std::string, Entry> entries_ QS_GUARDED_BY(mutex_);
 };
 
 }  // namespace quicsand::obs

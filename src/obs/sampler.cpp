@@ -82,9 +82,10 @@ void Sampler::sample_once() {
 
 bool Sampler::start() {
   if (config_.metrics == nullptr || config_.store == nullptr) return false;
-  if (running_.load(std::memory_order_relaxed)) return true;
+  util::LockGuard lifecycle(lifecycle_mutex_);
+  if (thread_.joinable()) return true;  // already running
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     stopping_ = false;
   }
   running_.store(true, std::memory_order_relaxed);
@@ -93,22 +94,33 @@ bool Sampler::start() {
 }
 
 void Sampler::stop() {
-  if (!running_.load(std::memory_order_relaxed)) return;
+  // The lifecycle lock (not the lock-free running_ flag) decides who
+  // joins: two concurrent stop() calls used to both pass a running_
+  // check and double-join (std::terminate). The loser now blocks here
+  // until the winner's join completes, then sees thread_ already
+  // joined and returns.
+  util::LockGuard lifecycle(lifecycle_mutex_);
+  if (!thread_.joinable()) return;
   {
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  thread_.join();
+  thread_ = std::thread();
   running_.store(false, std::memory_order_relaxed);
 }
 
 void Sampler::run_loop() {
   while (true) {
     sample_once();
-    std::unique_lock lock(mutex_);
-    cv_.wait_for(lock, std::chrono::microseconds(config_.cadence.count()),
-                 [this] { return stopping_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(config_.cadence.count());
+    util::UniqueLock lock(mutex_);
+    while (!stopping_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (stopping_) break;
   }
   // A final pass so the stored history (and any flight-recorder dump

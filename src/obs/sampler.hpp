@@ -20,12 +20,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace quicsand::obs {
@@ -83,11 +82,20 @@ class Sampler {
   Counter* samples_counter_ = nullptr;
   Histogram* sample_cost_us_ = nullptr;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  bool stopping_ = false;  ///< guarded by mutex_
+  /// Serializes start()/stop() against each other. Two concurrent
+  /// stop() calls used to both pass the lock-free running_ check and
+  /// double-join thread_ (std::terminate); the lifecycle lock makes the
+  /// loser wait until the winner's join finishes, then observe the
+  /// joined thread and return. run_loop() never takes this lock, so
+  /// joining while holding it cannot deadlock.
+  util::Mutex lifecycle_mutex_{util::LockRank::kSamplerLifecycle,
+                               "sampler_lifecycle"};
+  /// Wakes the cadence thread; guards the stop flag it polls.
+  util::Mutex mutex_{util::LockRank::kSamplerState, "sampler_state"};
+  util::CondVar cv_;
+  std::thread thread_ QS_GUARDED_BY(lifecycle_mutex_);
+  std::atomic<bool> running_{false};  ///< lock-free mirror for running()
+  bool stopping_ QS_GUARDED_BY(mutex_) = false;
   std::atomic<std::uint64_t> passes_{0};
 };
 

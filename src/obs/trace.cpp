@@ -18,7 +18,7 @@ Tracer::Tracer(Clock clock) : clock_(std::move(clock)) {}
 
 void Tracer::record(std::string name, std::uint64_t start_us,
                     std::uint64_t duration_us) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto [it, inserted] = tids_.try_emplace(
       std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size()));
   events_.push_back(
@@ -26,17 +26,17 @@ void Tracer::record(std::string name, std::uint64_t start_us,
 }
 
 std::vector<Tracer::TraceEvent> Tracer::events() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return events_;
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   events_.clear();
 }
 
 std::string Tracer::to_chrome_json() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::ostringstream out;
   out << "{\"traceEvents\": [";
   bool first = true;

@@ -18,11 +18,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace quicsand::obs {
 
@@ -61,9 +62,10 @@ class Tracer {
 
  private:
   Clock clock_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+  mutable util::Mutex mutex_{util::LockRank::kTracer, "tracer"};
+  std::vector<TraceEvent> events_ QS_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, std::uint32_t> tids_
+      QS_GUARDED_BY(mutex_);
 };
 
 /// RAII span; null tracer => no-op. Movable so helpers can return spans.

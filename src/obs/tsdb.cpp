@@ -69,7 +69,7 @@ TimeSeriesStore::TimeSeriesStore(TsdbConfig config)
 
 bool TimeSeriesStore::record(const std::string& name, SeriesKind kind,
                              std::uint64_t t_us, std::int64_t value) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     if (entries_.size() >= config_.max_series) {
@@ -113,7 +113,7 @@ bool TimeSeriesStore::record(const std::string& name, SeriesKind kind,
 }
 
 void TimeSeriesStore::annotate(Annotation annotation) {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (annotations_.size() >= config_.max_annotations) {
     annotations_.pop_front();
   }
@@ -121,7 +121,7 @@ void TimeSeriesStore::annotate(Annotation annotation) {
 }
 
 std::vector<TimeSeriesStore::SeriesInfo> TimeSeriesStore::series() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<SeriesInfo> out;
   out.reserve(entries_.size());
   for (const auto& [name, series] : entries_) {
@@ -196,7 +196,7 @@ void TimeSeriesStore::collect_annotations(std::uint64_t from_us,
 TimeSeriesStore::QueryResult TimeSeriesStore::query(
     const std::string& name, std::uint64_t from_us, std::uint64_t to_us,
     std::uint64_t step_us) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   QueryResult result;
   const auto it = entries_.find(name);
   if (it == entries_.end()) return result;
@@ -214,7 +214,7 @@ TimeSeriesStore::QueryResult TimeSeriesStore::query(
 
 double TimeSeriesStore::rate_per_s(const std::string& name,
                                    util::Duration window) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end() || window.count() <= 0) return 0;
   const auto& series = it->second;
@@ -234,14 +234,14 @@ double TimeSeriesStore::rate_per_s(const std::string& name,
 
 std::vector<Annotation> TimeSeriesStore::annotations(
     std::uint64_t from_us, std::uint64_t to_us) const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::vector<Annotation> out;
   collect_annotations(from_us, to_us, &out);
   return out;
 }
 
 std::string TimeSeriesStore::series_json() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::ostringstream out;
   out << "{\"tiers\": [";
   for (std::size_t i = 0; i < config_.tiers.size(); ++i) {
@@ -296,17 +296,17 @@ std::string TimeSeriesStore::query_json(const std::string& name,
 }
 
 std::size_t TimeSeriesStore::series_count() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return entries_.size();
 }
 
 std::uint64_t TimeSeriesStore::samples_recorded() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return samples_recorded_;
 }
 
 std::uint64_t TimeSeriesStore::series_dropped() const {
-  std::lock_guard lock(mutex_);
+  util::LockGuard lock(mutex_);
   return series_dropped_;
 }
 

@@ -33,10 +33,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace quicsand::obs {
@@ -183,21 +183,25 @@ class TimeSeriesStore {
   };
 
   /// Tier choice for query(); returns an index into config_.tiers.
+  /// Caller holds mutex_ (reads the guarded Series in place).
   [[nodiscard]] std::size_t pick_tier(const Series& series,
                                       std::uint64_t from_us,
-                                      std::uint64_t step_us) const;
+                                      std::uint64_t step_us) const
+      QS_REQUIRES(mutex_);
   void collect_points(const Series& series, std::size_t tier,
                       std::uint64_t from_us, std::uint64_t to_us,
-                      std::vector<TsdbPoint>* out) const;
+                      std::vector<TsdbPoint>* out) const QS_REQUIRES(mutex_);
   void collect_annotations(std::uint64_t from_us, std::uint64_t to_us,
-                           std::vector<Annotation>* out) const;
+                           std::vector<Annotation>* out) const
+      QS_REQUIRES(mutex_);
 
-  TsdbConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Series> entries_;  ///< sorted => deterministic JSON
-  std::deque<Annotation> annotations_;
-  std::uint64_t samples_recorded_ = 0;
-  std::uint64_t series_dropped_ = 0;
+  TsdbConfig config_;  ///< immutable after construction
+  mutable util::Mutex mutex_{util::LockRank::kTsdb, "tsdb"};
+  /// Sorted => deterministic JSON.
+  std::map<std::string, Series> entries_ QS_GUARDED_BY(mutex_);
+  std::deque<Annotation> annotations_ QS_GUARDED_BY(mutex_);
+  std::uint64_t samples_recorded_ QS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t series_dropped_ QS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace quicsand::obs

@@ -200,18 +200,6 @@ void TelescopeGenerator::advance_root() {
   }
 }
 
-std::optional<net::RawPacket> TelescopeGenerator::next() {
-  if (heap_.empty()) return std::nullopt;
-  // Copy the slot's bytes out before advance_root overwrites the slot
-  // with the emitter's next packet.
-  const auto& slot = slots_[heap_.front().emitter_index];
-  const auto bytes = slot.bytes();
-  net::RawPacket packet{slot.timestamp, {bytes.begin(), bytes.end()}};
-  advance_root();
-  ++truth_.total_packet_count;
-  return packet;
-}
-
 std::size_t TelescopeGenerator::next_batch(net::RecordBatch& batch) {
   batch.clear();
   while (!heap_.empty()) {
@@ -231,10 +219,17 @@ std::size_t TelescopeGenerator::next_batch(net::RecordBatch& batch) {
 
 std::uint64_t TelescopeGenerator::generate(
     const std::function<void(const net::RawPacket&)>& sink) {
+  net::RecordBatch batch;
+  net::RawPacket packet;
   std::uint64_t count = 0;
-  while (auto packet = next()) {
-    sink(*packet);
-    ++count;
+  while (next_batch(batch) > 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto view = batch.view(i);
+      packet.timestamp = view.timestamp;
+      packet.data.assign(view.data.begin(), view.data.end());
+      sink(packet);
+      ++count;
+    }
   }
   return count;
 }

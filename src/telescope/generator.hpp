@@ -5,7 +5,6 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "asdb/registry.hpp"
@@ -27,9 +26,6 @@ class TelescopeGenerator {
                      const asdb::AsRegistry& registry,
                      const scanner::Deployment& deployment);
 
-  /// Next packet in global time order; nullopt when the window is done.
-  std::optional<net::RawPacket> next();
-
   /// Batched production: clear `batch`, then append packets in global
   /// time order until the batch is full (capacity or arena) or the
   /// window is done. Returns the number appended; zero means done.
@@ -37,7 +33,10 @@ class TelescopeGenerator {
   /// per-emitter slots and copied once into the batch arena.
   std::size_t next_batch(net::RecordBatch& batch);
 
-  /// Drain the stream into `sink`; returns the packet count.
+  /// Drain the stream into `sink`; returns the packet count. Production
+  /// runs through next_batch() underneath — one staging RawPacket is
+  /// reused across calls, so the per-packet cost is a copy into the
+  /// sink's view, not an allocation.
   std::uint64_t generate(
       const std::function<void(const net::RawPacket&)>& sink);
 

@@ -1,0 +1,65 @@
+#include "util/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace quicsand::util::lock_rank {
+
+namespace {
+
+struct HeldLock {
+  const void* addr = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+// Deep enough for every legitimate chain (the longest in the repo is
+// three locks) with generous headroom; overflowing it means the lock
+// discipline has already gone badly wrong.
+constexpr int kMaxHeld = 16;
+
+// Per-thread held-lock stack. Fixed-size POD arrays so an acquire never
+// allocates and the thread_local init is trivial.
+// lint:allow(unguarded-mutable-static) — thread-local by construction.
+thread_local HeldLock g_held[kMaxHeld];
+thread_local int g_held_count = 0;
+
+}  // namespace
+
+void note_acquire(const void* addr, int rank, const char* name) noexcept {
+  for (int i = 0; i < g_held_count; ++i) {
+    if (rank <= g_held[i].rank) {
+      std::fprintf(stderr,
+                   "lock-rank violation: acquiring \"%s\" (rank %d) while "
+                   "holding \"%s\" (rank %d)\n",
+                   name, rank, g_held[i].name, g_held[i].rank);
+      std::abort();
+    }
+  }
+  if (g_held_count == kMaxHeld) {
+    std::fprintf(stderr,
+                 "lock-rank overflow: acquiring \"%s\" (rank %d) with %d "
+                 "locks already held\n",
+                 name, rank, g_held_count);
+    std::abort();
+  }
+  g_held[g_held_count++] = {addr, rank, name};
+}
+
+void note_release(const void* addr) noexcept {
+  // Scan from the top: locks release in (reverse) acquisition order in
+  // the common case. A missing entry is tolerated rather than fatal so
+  // binaries that mix translation units compiled with and without
+  // QUICSAND_LOCK_RANK (e.g. a checked test linked against an unchecked
+  // library) never abort on an unmatched release.
+  for (int i = g_held_count; i-- > 0;) {
+    if (g_held[i].addr != addr) continue;
+    for (int j = i; j + 1 < g_held_count; ++j) g_held[j] = g_held[j + 1];
+    --g_held_count;
+    return;
+  }
+}
+
+int held_count() noexcept { return g_held_count; }
+
+}  // namespace quicsand::util::lock_rank

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -21,15 +21,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Job job) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::parallel_for(
@@ -45,8 +45,8 @@ void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     Job job;
     {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and the queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -54,7 +54,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     }
     job(worker);
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       --running_;
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }

@@ -8,13 +8,13 @@
 // model").
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace quicsand::util {
 
@@ -49,12 +49,12 @@ class ThreadPool {
   void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t running_ = 0;
-  bool stop_ = false;
+  Mutex mutex_{LockRank::kThreadPool, "thread_pool"};
+  std::deque<Job> queue_ QS_GUARDED_BY(mutex_);
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::size_t running_ QS_GUARDED_BY(mutex_) = 0;
+  bool stop_ QS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace quicsand::util

@@ -127,12 +127,12 @@ TEST(OnlineDetector, MatchesBatchDetectorOnScenario) {
       [&](const DetectedAttack& a) { online_attacks.push_back(a); });
 
   Classifier classifier({});
-  while (auto packet = generator.next()) {
-    pipeline.consume(*packet);
-    if (const auto record = classifier.classify(*packet)) {
+  generator.generate([&](const net::RawPacket& packet) {
+    pipeline.consume(packet);
+    if (const auto record = classifier.classify(packet)) {
       online.consume(*record);
     }
-  }
+  });
   online.finish();
 
   const auto batch = pipeline.analyze_attacks();

@@ -123,9 +123,9 @@ const TestScenario& scenario() {
 
     telescope::TelescopeGenerator generator(config, test_registry(),
                                             test_deployment());
-    while (auto packet = generator.next()) {
-      scenario.packets.push_back(std::move(*packet));
-    }
+    generator.generate([&](const net::RawPacket& packet) {
+      scenario.packets.push_back(packet);
+    });
     return scenario;
   }();
   return instance;

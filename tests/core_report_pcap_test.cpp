@@ -50,7 +50,8 @@ TEST(ReportTest, BuildAndPrint) {
   const auto config = small_scenario();
   telescope::TelescopeGenerator generator(config, registry(), deployment());
   core::Pipeline pipeline(pipeline_options(config));
-  while (auto packet = generator.next()) pipeline.consume(*packet);
+  generator.generate(
+      [&](const net::RawPacket& packet) { pipeline.consume(packet); });
   const auto analysis = pipeline.analyze_attacks();
   const auto report =
       core::build_report(pipeline, analysis, registry(), deployment());
@@ -93,10 +94,10 @@ TEST(PcapEquivalence, PcapRoundTripMatchesDirectConsumption) {
   {
     telescope::TelescopeGenerator generator(config, registry(), deployment());
     net::PcapWriter writer(path);
-    while (auto packet = generator.next()) {
-      direct.consume(*packet);
-      writer.write(*packet);
-    }
+    generator.generate([&](const net::RawPacket& packet) {
+      direct.consume(packet);
+      writer.write(packet);
+    });
   }
   // Through the pcap file.
   core::Pipeline via_pcap(pipeline_options(config));

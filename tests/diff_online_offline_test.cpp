@@ -69,13 +69,13 @@ ScenarioRun run_scenario(std::uint64_t seed) {
       [&](const DetectedAttack& a) { run.online.push_back(a); });
 
   Classifier classifier({});
-  while (auto packet = generator.next()) {
-    pipeline.consume(*packet);
-    if (const auto record = classifier.classify(*packet)) {
+  generator.generate([&](const net::RawPacket& packet) {
+    pipeline.consume(packet);
+    if (const auto record = classifier.classify(packet)) {
       online.consume(*record);
       if (keep_for_analysis(*record)) run.records.push_back(*record);
     }
-  }
+  });
   online.finish();
 
   run.offline = pipeline.analyze_attacks().quic_attacks;

@@ -72,7 +72,8 @@ class IntegrationTest : public ::testing::Test {
       State st;
       TelescopeGenerator generator(st.config, registry(), deployment());
       st.pipeline = std::make_unique<Pipeline>(options(st.config));
-      while (auto packet = generator.next()) st.pipeline->consume(*packet);
+      generator.generate(
+          [&](const net::RawPacket& packet) { st.pipeline->consume(packet); });
       st.truth = generator.ground_truth();
       st.analysis = st.pipeline->analyze_attacks();
       return st;

@@ -1,0 +1,15 @@
+// Fixture: layering violations. The lint test feeds this file through
+// lint_source() under the synthetic path "src/obs/bad_layering.cpp";
+// obs sits at the bottom of the module DAG and may only include itself
+// and util, so the core/ and net/ includes below are violations.
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+#include "core/parallel_pipeline.hpp"
+#include "net/record.hpp"
+
+namespace fixture {
+
+int use_everything() { return 0; }
+
+}  // namespace fixture

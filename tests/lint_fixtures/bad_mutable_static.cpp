@@ -1,0 +1,26 @@
+// Fixture: mutable namespace-scope state, which the thread-safety
+// analysis cannot see. Only the two plain globals should fire; the
+// const/thread_local/extern/function/member-definition cases are all
+// legitimate.
+#include <atomic>
+
+namespace fixture {
+
+int g_count = 0;
+
+std::atomic<bool> g_flag{false};
+
+const int kLimit = 4;
+constexpr double kRatio = 0.5;
+thread_local int tls_scratch = 0;
+extern int g_declared_elsewhere;
+
+int helper() { return g_count; }
+
+struct Widget {
+  static int live_count_;
+};
+
+int Widget::live_count_ = 0;
+
+}  // namespace fixture

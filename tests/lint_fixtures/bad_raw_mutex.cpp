@@ -1,0 +1,15 @@
+// Fixture: raw std synchronization primitives outside util/sync.hpp.
+#include <mutex>
+
+#include <vector>
+
+namespace fixture {
+
+std::mutex g_lock;  // lint:allow(unguarded-mutable-static)
+
+int protected_read(std::vector<int>& values) {
+  std::lock_guard guard(g_lock);
+  return values.empty() ? 0 : values.front();
+}
+
+}  // namespace fixture

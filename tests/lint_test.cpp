@@ -91,6 +91,53 @@ TEST(LintFixtures, TimestampDoubleCast) {
             (Expected{{8, kRuleTimestampDoubleCast}}));
 }
 
+TEST(LintFixtures, RawStdMutex) {
+  const auto result = lint_fixture("bad_raw_mutex.cpp");
+  EXPECT_EQ(lines_and_rules(result), (Expected{{2, kRuleRawStdMutex},
+                                               {8, kRuleRawStdMutex},
+                                               {11, kRuleRawStdMutex}}));
+  // The namespace-scope mutex also trips unguarded-mutable-static; the
+  // fixture suppresses that one finding inline.
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(LintFixtures, RawStdMutexAllowedInSyncLayer) {
+  const std::string source = read_fixture("bad_raw_mutex.cpp");
+  const auto result =
+      lint_source("src/util/sync.hpp", source, default_rules());
+  for (const auto& [line, rule] : lines_and_rules(result)) {
+    EXPECT_NE(rule, kRuleRawStdMutex) << "line " << line;
+  }
+}
+
+TEST(LintFixtures, Layering) {
+  // Layering is path-driven: the fixture only violates the DAG when it
+  // claims to live in src/obs/, the bottom layer (deps: none).
+  const std::string source = read_fixture("bad_layering.cpp");
+  const auto result =
+      lint_source("src/obs/bad_layering.cpp", source, default_rules());
+  EXPECT_EQ(lines_and_rules(result),
+            (Expected{{8, kRuleLayering}, {9, kRuleLayering}}));
+}
+
+TEST(LintFixtures, LayeringAllowsDeclaredEdges) {
+  // The same includes are fine from src/core/, whose edge covers both
+  // net and obs — and from outside src/ entirely (tests, tools).
+  const std::string source = read_fixture("bad_layering.cpp");
+  const auto from_core =
+      lint_source("src/core/bad_layering.cpp", source, default_rules());
+  EXPECT_TRUE(from_core.findings.empty());
+  const auto from_tests = lint_fixture("bad_layering.cpp");
+  EXPECT_TRUE(from_tests.findings.empty());
+}
+
+TEST(LintFixtures, UnguardedMutableStatic) {
+  const auto result = lint_fixture("bad_mutable_static.cpp");
+  EXPECT_EQ(lines_and_rules(result), (Expected{{9, kRuleMutableStatic},
+                                               {11, kRuleMutableStatic}}));
+  EXPECT_EQ(result.suppressed, 0u);
+}
+
 TEST(LintFixtures, SuppressionsSilenceFindings) {
   const auto result = lint_fixture("suppressed.cpp");
   EXPECT_TRUE(result.findings.empty());

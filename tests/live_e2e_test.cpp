@@ -77,7 +77,8 @@ TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
   // Pre-materialize the scenario so the sender measures socket
   // throughput, not generator throughput.
   std::vector<net::RawPacket> packets;
-  while (auto packet = generator.next()) packets.push_back(std::move(*packet));
+  generator.generate(
+      [&](const net::RawPacket& packet) { packets.push_back(packet); });
   ASSERT_GT(packets.size(), 50000u) << "scenario unexpectedly small";
 
   obs::MetricsRegistry metrics;

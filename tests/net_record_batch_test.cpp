@@ -25,6 +25,8 @@
 // stays with the default behavior via free()).
 
 namespace {
+// Global by necessity: operator new replacements cannot take state.
+// lint:allow(unguarded-mutable-static)
 std::atomic<std::uint64_t> g_allocations{0};
 
 void* counted_alloc(std::size_t size) {

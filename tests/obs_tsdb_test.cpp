@@ -458,4 +458,36 @@ TEST(Sampler, ConcurrentSamplingAndScrapes) {
   EXPECT_GT(sampler.passes(), 0u);
 }
 
+// Regression: two stop() calls used to both pass the lock-free
+// running() check and double-join the cadence thread (std::terminate).
+// The lifecycle lock now serializes them; the losers must observe the
+// already-joined thread and return, and the sampler must restart
+// cleanly afterwards.
+TEST(Sampler, ConcurrentStopsDoNotDoubleJoin) {
+  obs::MetricsRegistry metrics;
+  obs::TimeSeriesStore store(tiny_config());
+  metrics.counter("c").add(1);
+
+  obs::SamplerConfig config;
+  config.metrics = &metrics;
+  config.store = &store;
+  config.cadence = 1 * util::kMillisecond;
+  obs::Sampler sampler(config);
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(sampler.start());
+    ASSERT_TRUE(sampler.start());  // idempotent: no second thread
+    while (sampler.passes() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&] { sampler.stop(); });
+    }
+    for (auto& stopper : stoppers) stopper.join();
+    EXPECT_FALSE(sampler.running());
+  }
+  EXPECT_GT(store.samples_recorded(), 0u);
+}
+
 }  // namespace

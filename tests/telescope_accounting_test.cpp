@@ -35,7 +35,8 @@ ScenarioConfig base_scenario(std::uint64_t seed) {
 
 core::ClassifierStats classify_all(TelescopeGenerator& generator) {
   core::Classifier classifier({});
-  while (auto packet = generator.next()) classifier.classify(*packet);
+  generator.generate(
+      [&](const net::RawPacket& packet) { classifier.classify(packet); });
   return classifier.stats();
 }
 

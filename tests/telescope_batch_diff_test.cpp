@@ -1,10 +1,12 @@
 // Differential oracle for batched generation: TelescopeGenerator's
-// next_batch() path must be bit-identical to the legacy per-record
-// next() path — same packet count, same timestamps, same bytes — for
-// every committed scenario shape, across seeds, and the batched
-// ParallelPipeline ingest (consume_batch) must reproduce the per-record
-// ingest (consume) exactly for every shard count: identical record
-// streams, classifier stats, and DoS attack sets.
+// next_batch() stream must be invariant under batch geometry — the
+// same packets, timestamps, and bytes whether drained through a tiny
+// batch (many refills, arena resets, partial final batch), the default
+// batch, or the per-record generate() adapter — for every committed
+// scenario shape, across seeds. The batched ParallelPipeline ingest
+// (consume_batch) must likewise reproduce the per-record ingest
+// (consume) exactly for every shard count: identical record streams,
+// classifier stats, and DoS attack sets.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -93,43 +95,62 @@ void expect_same_ground_truth(const GroundTruth& legacy,
   EXPECT_EQ(legacy.botnet_sources.size(), batched.botnet_sources.size());
 }
 
-// --- Stream-level diff: next() vs next_batch() ------------------------
+// --- Stream-level diff: invariance under batch geometry ---------------
 
-TEST(TelescopeBatchDiff, BatchedStreamBitIdenticalAcrossScenariosAndSeeds) {
+/// Flatten the generator's stream through a batch of the given shape.
+std::vector<net::RawPacket> drain(TelescopeGenerator& generator,
+                                  std::size_t capacity,
+                                  std::size_t arena_bytes) {
+  std::vector<net::RawPacket> out;
+  net::RecordBatch batch(capacity, arena_bytes);
+  while (generator.next_batch(batch) > 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto view = batch.view(i);
+      out.emplace_back(
+          view.timestamp,
+          std::vector<std::uint8_t>(view.data.begin(), view.data.end()));
+    }
+  }
+  return out;
+}
+
+TEST(TelescopeBatchDiff, StreamInvariantUnderBatchGeometry) {
   for (const auto seed : kSeeds) {
     for (const auto& [name, config] : committed_scenarios(seed)) {
       SCOPED_TRACE(::testing::Message() << name << " seed " << seed);
 
-      auto legacy = make_generator(config);
-      auto batched = make_generator(config);
+      // Deliberately small batch so the stream crosses many batch
+      // boundaries (refill, arena reset, partial final batch) vs the
+      // default geometry and the per-record generate() adapter.
+      auto small_gen = make_generator(config);
+      const auto small = drain(small_gen, 512, 512 * 1500);
+      auto large_gen = make_generator(config);
+      const auto large = drain(large_gen, net::RecordBatch::kDefaultCapacity,
+                               net::RecordBatch::kDefaultArenaBytes);
+      auto sink_gen = make_generator(config);
+      std::vector<net::RawPacket> sunk;
+      const auto sink_count = sink_gen.generate(
+          [&](const net::RawPacket& packet) { sunk.push_back(packet); });
 
-      // Deliberately small batch so the diff crosses many batch
-      // boundaries (refill, arena reset, partial final batch).
-      net::RecordBatch batch(512, 512 * 1500);
-      std::uint64_t index = 0;
-      bool mismatch = false;
-      while (batched.next_batch(batch) > 0 && !mismatch) {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          const auto view = batch.view(i);
-          const auto packet = legacy.next();
-          ASSERT_TRUE(packet.has_value())
-              << "legacy stream ended early at packet " << index;
-          ASSERT_EQ(packet->timestamp, view.timestamp)
-              << "timestamp mismatch at packet " << index;
-          const bool bytes_equal =
-              packet->data.size() == view.data.size() &&
-              std::equal(view.data.begin(), view.data.end(),
-                         packet->data.begin());
-          ASSERT_TRUE(bytes_equal) << "byte mismatch at packet " << index;
-          ++index;
-        }
+      ASSERT_EQ(small.size(), large.size());
+      ASSERT_EQ(small.size(), sunk.size());
+      EXPECT_EQ(sink_count, sunk.size());
+      for (std::size_t i = 0; i < small.size(); ++i) {
+        ASSERT_EQ(small[i].timestamp, large[i].timestamp)
+            << "timestamp mismatch at packet " << i;
+        ASSERT_EQ(small[i].data, large[i].data)
+            << "byte mismatch at packet " << i;
+        ASSERT_EQ(small[i].timestamp, sunk[i].timestamp)
+            << "sink timestamp mismatch at packet " << i;
+        ASSERT_EQ(small[i].data, sunk[i].data)
+            << "sink byte mismatch at packet " << i;
       }
-      EXPECT_EQ(legacy.next(), std::nullopt)
-          << "batched stream ended early at packet " << index;
-      EXPECT_GT(index, 1000u) << "scenario produced too few packets";
-      expect_same_ground_truth(legacy.ground_truth(),
-                               batched.ground_truth());
-      EXPECT_EQ(legacy.ground_truth().total_packet_count, index);
+      EXPECT_GT(small.size(), 1000u) << "scenario produced too few packets";
+      expect_same_ground_truth(small_gen.ground_truth(),
+                               large_gen.ground_truth());
+      expect_same_ground_truth(small_gen.ground_truth(),
+                               sink_gen.ground_truth());
+      EXPECT_EQ(small_gen.ground_truth().total_packet_count, small.size());
     }
   }
 }
@@ -163,14 +184,13 @@ TEST(TelescopeBatchDiff, BatchedIngestMatchesPerRecordAcrossShardCounts) {
   for (const auto seed : kSeeds) {
     const auto config = committed_scenarios(seed)[1].config;  // light
 
-    // Record the legacy stream once per seed; replayed into the
-    // per-record pipeline at every shard count.
+    // Record the stream once per seed; replayed into the per-record
+    // pipeline at every shard count.
     std::vector<net::RawPacket> packets;
     {
       auto generator = make_generator(config);
-      while (auto packet = generator.next()) {
-        packets.push_back(std::move(*packet));
-      }
+      packets = drain(generator, net::RecordBatch::kDefaultCapacity,
+                      net::RecordBatch::kDefaultArenaBytes);
     }
     ASSERT_GT(packets.size(), 1000u);
 
@@ -219,9 +239,8 @@ TEST(TelescopeBatchDiff, MixedPerRecordAndBatchedIngestIsEquivalent) {
   std::vector<net::RawPacket> packets;
   {
     auto generator = make_generator(config);
-    while (auto packet = generator.next()) {
-      packets.push_back(std::move(*packet));
-    }
+    packets = drain(generator, net::RecordBatch::kDefaultCapacity,
+                    net::RecordBatch::kDefaultArenaBytes);
   }
 
   core::PipelineOptions options;

@@ -144,14 +144,12 @@ TEST(Generator, StreamIsTimeOrderedAndInWindow) {
   config.rwth.passes_per_day = 0;
   TelescopeGenerator generator(config, registry(), deployment());
   util::Timestamp last{};
-  std::uint64_t count = 0;
-  while (auto packet = generator.next()) {
-    EXPECT_GE(packet->timestamp, last);
-    last = packet->timestamp;
-    EXPECT_GE(packet->timestamp, config.start);
-    EXPECT_LT(packet->timestamp, config.end());
-    ++count;
-  }
+  const auto count = generator.generate([&](const net::RawPacket& packet) {
+    EXPECT_GE(packet.timestamp, last);
+    last = packet.timestamp;
+    EXPECT_GE(packet.timestamp, config.start);
+    EXPECT_LT(packet.timestamp, config.end());
+  });
   EXPECT_GT(count, 1000u);
   EXPECT_EQ(generator.ground_truth().total_packet_count, count);
 }
@@ -163,8 +161,8 @@ TEST(Generator, PacketsDecodeAndTargetTelescope) {
   config.attacks.common_attacks_per_day = 10;
   TelescopeGenerator generator(config, registry(), deployment());
   std::uint64_t udp = 0, tcp = 0, icmp = 0;
-  while (auto packet = generator.next()) {
-    const auto decoded = net::decode_ipv4(packet->data);
+  generator.generate([&](const net::RawPacket& packet) {
+    const auto decoded = net::decode_ipv4(packet.data);
     ASSERT_TRUE(decoded.has_value());
     EXPECT_TRUE(config.telescope.contains(decoded->ip.dst));
     EXPECT_FALSE(config.telescope.contains(decoded->ip.src));
@@ -175,7 +173,7 @@ TEST(Generator, PacketsDecodeAndTargetTelescope) {
     } else {
       ++icmp;
     }
-  }
+  });
   EXPECT_GT(udp, 0u);
   EXPECT_GT(tcp, 0u);
   EXPECT_GT(icmp, 0u);
@@ -191,10 +189,9 @@ TEST(Generator, ResearchScannerCoversTelescope) {
   config.rwth.passes_per_day = 0;
   TelescopeGenerator generator(config, registry(), deployment());
   std::unordered_set<std::uint32_t> targets;
-  std::uint64_t count = 0;
   const auto tum_prefix = registry().prefixes_of(config.tum.asn).front();
-  while (auto packet = generator.next()) {
-    const auto decoded = net::decode_ipv4(packet->data);
+  const auto count = generator.generate([&](const net::RawPacket& packet) {
+    const auto decoded = net::decode_ipv4(packet.data);
     ASSERT_TRUE(decoded.has_value());
     EXPECT_TRUE(tum_prefix.contains(decoded->ip.src));
     EXPECT_EQ(decoded->udp().dst_port, 443);
@@ -202,8 +199,7 @@ TEST(Generator, ResearchScannerCoversTelescope) {
     ASSERT_TRUE(dissected.is_quic);
     EXPECT_EQ(dissected.packets[0].kind, quic::QuicPacketKind::kInitial);
     targets.insert(decoded->ip.dst.value());
-    ++count;
-  }
+  });
   EXPECT_EQ(count, 256u);  // one pass over a /24
   EXPECT_EQ(targets.size(), 256u);
   EXPECT_EQ(generator.ground_truth().research_probe_count, 256u);
@@ -219,13 +215,13 @@ TEST(Generator, DeterministicForSameSeed) {
   config.misconfig.sessions_per_day = 5;
   TelescopeGenerator a(config, registry(), deployment());
   TelescopeGenerator b(config, registry(), deployment());
-  while (true) {
-    const auto pa = a.next();
-    const auto pb = b.next();
-    ASSERT_EQ(pa.has_value(), pb.has_value());
-    if (!pa) break;
-    EXPECT_EQ(pa->timestamp, pb->timestamp);
-    EXPECT_EQ(pa->data, pb->data);
+  std::vector<net::RawPacket> pa, pb;
+  a.generate([&](const net::RawPacket& packet) { pa.push_back(packet); });
+  b.generate([&](const net::RawPacket& packet) { pb.push_back(packet); });
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].timestamp, pb[i].timestamp);
+    EXPECT_EQ(pa[i].data, pb[i].data);
   }
 }
 

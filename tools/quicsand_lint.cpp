@@ -75,7 +75,10 @@ int main(int argc, char** argv) {
       for (const auto& name : names) std::cout << name << "\n";
       std::cout << quicsand::lint::kRuleMixedUnits << "\n"
                 << quicsand::lint::kRuleInt64TimeParam << "\n"
-                << quicsand::lint::kRuleTimestampDoubleCast << "\n";
+                << quicsand::lint::kRuleTimestampDoubleCast << "\n"
+                << quicsand::lint::kRuleRawStdMutex << "\n"
+                << quicsand::lint::kRuleLayering << "\n"
+                << quicsand::lint::kRuleMutableStatic << "\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "quicsand_lint: unknown flag " << arg << "\n";
