@@ -11,14 +11,21 @@
 // history bridge) and reports its per-pass cost as `tsdb.sample_cost`
 // plus the achieved rate with sampling on — the <1% overhead acceptance
 // in EXPERIMENTS.md.
+//
+// The saturating pass also reports end-to-end detection latency (QSL2
+// send stamp of the first admitting packet -> alert callback) as
+// `live.detect_latency_p50` / `live.detect_latency_p99` datapoints.
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/classifier.hpp"
 #include "core/online_shards.hpp"
+#include "net/live/frame.hpp"
 #include "net/live/receiver.hpp"
 #include "net/live/sender.hpp"
 #include "obs/sampler.hpp"
@@ -36,6 +43,9 @@ struct RateRun {
   std::uint64_t dropped = 0;
   std::uint64_t sample_passes = 0;
   double sample_mean_us = 0;  ///< mean cost of one sampler pass
+  std::uint64_t detect_count = 0;  ///< attacks with a detection latency
+  double detect_p50_us = 0;
+  double detect_p99_us = 0;
 };
 
 std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
@@ -48,6 +58,10 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
   obs::MetricsRegistry metrics;
   core::ShardedOnlineDetectorConfig detector_config;
   detector_config.shards = shards;
+  // Real wall clock so live.detect_latency_us (first admitting packet's
+  // send stamp -> alert) is measured exactly as monitor --live does.
+  detector_config.detector.wall_clock = net::live::wall_clock_us;
+  detector_config.detector.obs.metrics = &metrics;
   core::ShardedOnlineDetector detector(detector_config);
   std::vector<std::unique_ptr<core::Classifier>> classifiers;
   for (std::size_t i = 0; i < shards; ++i) {
@@ -62,9 +76,12 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
   receiver_config.rcvbuf_bytes = std::size_t{1} << 22;
   receiver_config.obs.metrics = &metrics;
   net::live::LiveReceiver receiver(receiver_config);
-  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet,
+                          const net::live::DatagramTiming& timing) {
         if (const auto record = classifiers[shard]->classify(packet)) {
-          detector.consume(shard, *record);
+          const core::IngestTiming ingest{timing.send_wall_us,
+                                          timing.recv_wall_us};
+          detector.consume(shard, *record, &ingest);
         }
       })) {
     std::fprintf(stderr, "live_ingest: sockets unavailable (%s); skipping\n",
@@ -88,12 +105,19 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
   sender_config.port = receiver.port();
   sender_config.pps = rate;
   net::live::LiveSender sender(sender_config);
+  // Refill the sender's RecordBatch from the pre-materialized stream:
+  // the batched sendmmsg path exercised here is exactly flood_lab
+  // --send's (QSL2 frames stamped in place, no per-packet allocation).
   std::size_t cursor = 0;
-  const auto stats = sender.send_stream(
-      [&]() -> std::optional<net::RawPacket> {
-        if (cursor >= count) return std::nullopt;
-        return packets[cursor++ % packets.size()];
-      });
+  const auto stats = sender.send_batches([&](net::RecordBatch& batch) {
+    if (cursor >= count) return false;
+    while (cursor < count) {
+      const auto& packet = packets[cursor % packets.size()];
+      if (!batch.try_append(packet.timestamp, packet.data)) break;
+      ++cursor;
+    }
+    return true;
+  });
   receiver.stop();
   detector.finish();
   if (with_sampler) sampler.stop();
@@ -105,13 +129,16 @@ std::optional<RateRun> run_rate(const std::vector<net::RawPacket>& packets,
   run.sent = stats.sent;
   run.delivered = receiver.delivered();
   run.dropped = receiver.dropped_ring() + receiver.dropped_kernel();
-  if (with_sampler) {
-    for (const auto& h : metrics.histogram_snapshot()) {
-      if (h.name == "tsdb.sample_us" && h.count > 0) {
-        run.sample_passes = h.count;
-        run.sample_mean_us =
-            static_cast<double>(h.sum) / static_cast<double>(h.count);
-      }
+  for (const auto& h : metrics.latency_snapshot()) {
+    if (with_sampler && h.name == "tsdb.sample_us" && h.snap.count > 0) {
+      run.sample_passes = h.snap.count;
+      run.sample_mean_us = static_cast<double>(h.snap.sum) /
+                           static_cast<double>(h.snap.count);
+    }
+    if (h.name == "live.detect_latency_us" && h.snap.count > 0) {
+      run.detect_count = h.snap.count;
+      run.detect_p50_us = static_cast<double>(h.snap.p50);
+      run.detect_p99_us = static_cast<double>(h.snap.p99);
     }
   }
   return run;
@@ -163,6 +190,27 @@ int main(int argc, char** argv) {
     result.records_per_s = run->delivered / std::max(run->elapsed_s, 1e-9);
     result.threads = shards;
     bench::append_bench_result(std::move(result));
+
+    // End-to-end detection latency (first admitting packet's send stamp
+    // -> alert callback) at the saturating rate, wall_ms carrying the
+    // quantile. Only emitted when the pass actually fired alerts.
+    if (rate >= 100000.0 && run->detect_count > 0) {
+      std::printf(
+          "detect latency: p50 %.0f us, p99 %.0f us over %llu alert(s)\n",
+          run->detect_p50_us, run->detect_p99_us,
+          static_cast<unsigned long long>(run->detect_count));
+      for (const auto& [suffix, value] :
+           {std::pair{"p50", run->detect_p50_us},
+            std::pair{"p99", run->detect_p99_us}}) {
+        bench::BenchResult latency;
+        latency.name = std::string("live.detect_latency_") + suffix;
+        latency.wall_ms = value / 1000.0;  // us -> ms
+        latency.records_per_s =
+            run->detect_count / std::max(run->elapsed_s, 1e-9);
+        latency.threads = shards;
+        bench::append_bench_result(std::move(latency));
+      }
+    }
   }
 
   // Same 100k pps pass with the 1 s history sampler attached: the

@@ -85,22 +85,18 @@ int run_send(const util::HostPort& target, double pps,
             << target.port << " at " << pps << " pps ("
             << net::live::rate_mode_name(mode) << ")" << std::endl;
 
-  // The sender pulls one packet at a time; refill from the batched
-  // generator and hand out copies of the staged views.
+  // The generator refills the sender's RecordBatch in place: no
+  // per-packet RawPacket copy between production and the socket.
   std::uint64_t produced = 0;
-  net::RecordBatch batch;
-  std::size_t cursor = 0;
-  const auto stats = sender.send_stream(
-      [&]() -> std::optional<net::RawPacket> {
-        if (max_packets > 0 && produced >= max_packets) return std::nullopt;
-        if (cursor >= batch.size()) {
-          if (generator.next_batch(batch) == 0) return std::nullopt;
-          cursor = 0;
+  const auto stats = sender.send_batches(
+      [&](net::RecordBatch& batch) {
+        if (max_packets > 0 && produced >= max_packets) return false;
+        if (generator.next_batch(batch) == 0) return false;
+        if (max_packets > 0 && produced + batch.size() > max_packets) {
+          batch.truncate(static_cast<std::size_t>(max_packets - produced));
         }
-        const auto view = batch.view(cursor++);
-        ++produced;
-        return net::RawPacket{view.timestamp,
-                              {view.data.begin(), view.data.end()}};
+        produced += batch.size();
+        return true;
       },
       &g_stop);
   if (stats.sent == 0 && produced == 0 && !sender.last_error().empty()) {

@@ -54,6 +54,7 @@
 #include "core/classifier.hpp"
 #include "core/online.hpp"
 #include "core/online_shards.hpp"
+#include "net/live/frame.hpp"
 #include "net/live/receiver.hpp"
 #include "net/record_batch.hpp"
 #include "obs/events.hpp"
@@ -107,6 +108,9 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
   detector_config.detector.obs.metrics = &metrics;
   detector_config.detector.obs.events = &events;
   detector_config.detector.obs.health = &health;
+  // Wall-clock hook: alerts measure wire -> callback detection latency
+  // against the QSL2 stamps the receiver threads through.
+  detector_config.detector.wall_clock = net::live::wall_clock_us;
   core::ShardedOnlineDetector detector(detector_config);
   detector.set_on_alert([&](const core::DetectedAttack& attack) {
     const auto* info = registry.lookup(attack.victim);
@@ -163,9 +167,14 @@ int run_live(const util::HostPort& endpoint, std::size_t shards,
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet,
+                          const net::live::DatagramTiming& timing) {
         if (const auto record = classifiers[shard]->classify(packet)) {
-          detector.consume(shard, *record);
+          // net cannot depend on core, so the live DatagramTiming is
+          // converted to the detector's IngestTiming at this boundary.
+          const core::IngestTiming ingest{timing.send_wall_us,
+                                          timing.recv_wall_us};
+          detector.consume(shard, *record, &ingest);
         }
       })) {
     std::cerr << "cannot capture on udp://" << endpoint.host << ":"

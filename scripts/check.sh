@@ -57,8 +57,9 @@ if [ "$run_tsan" = 1 ]; then
   echo "==> configure+build (tsan preset)"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" --target \
-    core_parallel_pipeline_test obs_metrics_test obs_trace_test \
-    obs_events_test obs_health_test obs_http_test obs_tsdb_test \
+    core_parallel_pipeline_test obs_latency_test obs_metrics_test \
+    obs_trace_test obs_events_test obs_health_test obs_http_test \
+    obs_tsdb_test \
     net_live_ring_test net_live_error_test live_e2e_test \
     telescope_batch_diff_test net_record_batch_test util_sync_test
   echo "==> ctest tsan (parallel + obs + live + batch hand-off suites)"

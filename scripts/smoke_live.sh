@@ -125,7 +125,35 @@ if [ -n "$admin_port" ]; then
     kill "$pid" 2>/dev/null || true
     exit 1
   }
-  echo "tsdb + dash + flight recorder endpoints OK"
+  # Latency observability: the stage histograms must be populated (the
+  # burst far exceeds the 1-in-64 sample cadence) and bridged into the
+  # retained history as .p50 quantile series.
+  metrics="$(curl -sf "http://127.0.0.1:$admin_port/metrics")"
+  e2e_count="$(printf '%s\n' "$metrics" \
+    | sed -n 's/^quicsand_live_latency_e2e_us_count \([0-9]*\)$/\1/p')"
+  if [ -z "$e2e_count" ] || [ "$e2e_count" = 0 ]; then
+    echo "smoke_live: /metrics has no live.latency.e2e_us samples" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+  # A loopback e2e p99 beyond 60 s would mean broken clock domains.
+  e2e_p99="$(printf '%s\n' "$metrics" \
+    | sed -n 's/^quicsand_live_latency_e2e_us{quantile="0.99"} \([0-9]*\)$/\1/p')"
+  if [ -z "$e2e_p99" ] || [ "$e2e_p99" -gt 60000000 ]; then
+    echo "smoke_live: live.latency.e2e_us p99 missing or insane: '$e2e_p99'" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+  curl -sf "http://127.0.0.1:$admin_port/tsdb/series" \
+    | grep -q '"name": "live.latency.e2e_us.p50"' || {
+    echo "smoke_live: /tsdb/series lacks live.latency.e2e_us.p50" >&2
+    save_flight
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  }
+  echo "tsdb + dash + flight recorder + latency endpoints OK ($e2e_count e2e samples, p99 ${e2e_p99}us)"
 fi
 
 # Give the receiver a beat to drain, then ask for a clean shutdown.

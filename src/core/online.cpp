@@ -1,5 +1,7 @@
 #include "core/online.hpp"
 
+#include <algorithm>
+
 #include "obs/events.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
@@ -35,9 +37,13 @@ OnlineDetector::OnlineDetector(OnlineDetectorConfig config)
         "online.sessions_evicted", "sessions removed by expiry or finish");
     open_gauge_ =
         &metrics->gauge("online.open_sessions", "sessions currently open");
-    alert_latency_us_ = &metrics->histogram(
-        "online.alert_latency_us", obs::latency_bounds_us(),
-        "session start to alert, simulation time");
+    alert_latency_us_ = &metrics->latency(
+        "online.alert_latency_us", "session start to alert, simulation time");
+    if (config_.wall_clock) {
+      detect_latency_us_ = &metrics->latency(
+          "live.detect_latency_us",
+          "first admitted packet on the wire to alert callback (us)");
+    }
   }
   if (auto* health = config_.obs.health) {
     health_ = &health->component("online_detector");
@@ -99,7 +105,8 @@ void OnlineDetector::sweep(util::Timestamp now) {
   }
 }
 
-void OnlineDetector::consume(const PacketRecord& record) {
+void OnlineDetector::consume(const PacketRecord& record,
+                             const IngestTiming* timing) {
   if (records_counter_ != nullptr) records_counter_->add();
   // One heartbeat per 256 records keeps the watchdog fed without a
   // clock read on every record.
@@ -134,6 +141,16 @@ void OnlineDetector::consume(const PacketRecord& record) {
       open_gauge_->set(static_cast<std::int64_t>(open_.size()));
     }
   }
+  if (timing != nullptr) {
+    // First available stamps anchor the session; later packets of an
+    // already-anchored session leave them alone.
+    if (open.first_send_wall_us < 0) {
+      open.first_send_wall_us = timing->send_wall_us;
+    }
+    if (open.first_recv_wall_us < 0) {
+      open.first_recv_wall_us = timing->recv_wall_us;
+    }
+  }
   absorb_record(open.session, record);
 
   if (!open.alerted && exceeds_thresholds(open.session)) {
@@ -143,12 +160,30 @@ void OnlineDetector::consume(const PacketRecord& record) {
     latency_sum_s_ += util::to_seconds(latency);
     if (alerts_counter_ != nullptr) alerts_counter_->add();
     if (alert_latency_us_ != nullptr) {
-      alert_latency_us_->observe(static_cast<std::uint64_t>(latency.count()));
+      alert_latency_us_->record(static_cast<std::uint64_t>(
+          std::max<std::int64_t>(latency.count(), 0)));
+    }
+    // Wall-clock detection latency: first admitted packet's wire stamp
+    // (arrival stamp when the frame carried none) to this callback.
+    double detect_latency_s = -1;
+    if (config_.wall_clock) {
+      const std::int64_t origin = open.first_send_wall_us >= 0
+                                      ? open.first_send_wall_us
+                                      : open.first_recv_wall_us;
+      if (origin >= 0) {
+        const std::int64_t detect_us =
+            std::max<std::int64_t>(config_.wall_clock() - origin, 0);
+        detect_latency_s = static_cast<double>(detect_us) / 1e6;
+        if (detect_latency_us_ != nullptr) {
+          detect_latency_us_->record(static_cast<std::uint64_t>(detect_us));
+        }
+      }
     }
     if (config_.obs.events != nullptr) {
       auto event =
           make_event(obs::DetectorEventType::kAlertFired, open.session);
       event.alert_latency_s = util::to_seconds(latency);
+      event.detect_latency_s = detect_latency_s;
       event.duration_s = -1;  // session still open
       config_.obs.events->emit(std::move(event));
     }

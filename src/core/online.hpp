@@ -34,6 +34,11 @@ struct OnlineDetectorConfig {
   /// alert-fired / attack-closed / session-evicted stream (NDJSON-able),
   /// obs.metrics the online.* counters and the alert-latency histogram.
   obs::Hooks obs;
+  /// Wall-clock source (microseconds since the epoch) read at alert
+  /// time to measure wire -> alert detection latency against the
+  /// IngestTiming stamps. Null (the default) disables the measurement,
+  /// keeping scenario/golden runs free of nondeterministic reads.
+  std::function<std::int64_t()> wall_clock;
 };
 
 class OnlineDetector {
@@ -52,8 +57,12 @@ class OnlineDetector {
     on_attack_ = std::move(callback);
   }
 
-  /// Consume one record (non-decreasing timestamps).
-  void consume(const PacketRecord& record);
+  /// Consume one record (non-decreasing timestamps). `timing`, when
+  /// provided by a live capture path, carries the record's wall-clock
+  /// ingest stamps; the first admitted packet's stamps anchor the
+  /// session's wire -> alert detection latency.
+  void consume(const PacketRecord& record,
+               const IngestTiming* timing = nullptr);
 
   /// Close every open session (end of stream).
   void finish();
@@ -73,6 +82,11 @@ class OnlineDetector {
   struct OpenSession {
     Session session;
     bool alerted = false;
+    /// Wall-clock stamps of the first admitted packet (-1 unknown);
+    /// the send stamp is preferred as the detection-latency origin,
+    /// falling back to arrival when the frame carried none.
+    std::int64_t first_send_wall_us = -1;
+    std::int64_t first_recv_wall_us = -1;
   };
 
   [[nodiscard]] bool exceeds_thresholds(const Session& session) const;
@@ -96,7 +110,8 @@ class OnlineDetector {
   obs::Counter* attacks_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
   obs::Gauge* open_gauge_ = nullptr;
-  obs::Histogram* alert_latency_us_ = nullptr;
+  obs::LatencyHistogram* alert_latency_us_ = nullptr;
+  obs::LatencyHistogram* detect_latency_us_ = nullptr;
   // Liveness component; heartbeat every 256 records, idle after finish.
   obs::Health::Component* health_ = nullptr;
   std::uint64_t consumed_ = 0;

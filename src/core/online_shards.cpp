@@ -28,8 +28,9 @@ void ShardedOnlineDetector::set_on_alert(AlertCallback callback) {
 }
 
 void ShardedOnlineDetector::consume(std::size_t shard,
-                                    const PacketRecord& record) {
-  shards_[shard % shards_.size()]->detector.consume(record);
+                                    const PacketRecord& record,
+                                    const IngestTiming* timing) {
+  shards_[shard % shards_.size()]->detector.consume(record, timing);
 }
 
 const std::vector<DetectedAttack>& ShardedOnlineDetector::finish() {

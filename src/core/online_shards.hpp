@@ -47,8 +47,11 @@ class ShardedOnlineDetector {
 
   /// Consume one record on shard `shard`. Thread-safe across *distinct*
   /// shards (one thread per shard, the live receiver's contract); calls
-  /// for the same shard must stay on one thread in time order.
-  void consume(std::size_t shard, const PacketRecord& record);
+  /// for the same shard must stay on one thread in time order. `timing`
+  /// optionally carries the record's wall-clock ingest stamps for
+  /// detection-latency accounting.
+  void consume(std::size_t shard, const PacketRecord& record,
+               const IngestTiming* timing = nullptr);
 
   /// Close every open session on every shard and merge the per-shard
   /// attacks into one list ordered by (start, victim, end), with

@@ -48,23 +48,23 @@ ParallelPipeline::ParallelPipeline(ParallelPipelineOptions options)
         "pipeline.records", "sanitized records kept for analysis");
     batches_counter_ =
         &metrics->counter("parallel.batches", "classify batches dispatched");
-    backpressure_wait_us_ = &metrics->histogram(
-        "parallel.backpressure_wait_us", obs::latency_bounds_us(),
+    backpressure_wait_us_ = &metrics->latency(
+        "parallel.backpressure_wait_us",
         "time the capture loop blocked on in-flight batch backpressure");
-    queue_wait_us_ = &metrics->histogram(
-        "parallel.queue_wait_us", obs::latency_bounds_us(),
+    queue_wait_us_ = &metrics->latency(
+        "parallel.queue_wait_us",
         "time a classify batch waited in the pool queue");
     shard_records_hist_ = &metrics->histogram(
         "parallel.shard_records", obs::size_bounds(),
         "records per analysis shard (imbalance indicator)");
-    classify_batch_us_ = &metrics->histogram(
-        "parallel.classify_batch_us", obs::latency_bounds_us(),
+    classify_batch_us_ = &metrics->latency(
+        "parallel.classify_batch_us",
         "wall time a worker spent classifying one batch");
-    sessionize_shard_us_ = &metrics->histogram(
-        "parallel.sessionize_shard_us", obs::latency_bounds_us(),
+    sessionize_shard_us_ = &metrics->latency(
+        "parallel.sessionize_shard_us",
         "wall time one shard spent in sessionization");
-    analyze_shard_us_ = &metrics->histogram(
-        "parallel.analyze_shard_us", obs::latency_bounds_us(),
+    analyze_shard_us_ = &metrics->latency(
+        "parallel.analyze_shard_us",
         "wall time one shard spent in session + attack analysis");
     inflight_gauge_ = &metrics->gauge(
         "parallel.inflight_batches", "classify batches queued or running");
@@ -145,7 +145,7 @@ void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
     util::UniqueLock lock(inflight_mutex_);
     wait_for_inflight_slot(lock);
     if (backpressure_wait_us_ != nullptr) {
-      backpressure_wait_us_->observe(steady_us() - wait_start);
+      backpressure_wait_us_->record(steady_us() - wait_start);
     }
   }
   if (batches_counter_ != nullptr) batches_counter_->add();
@@ -156,7 +156,7 @@ void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
   const auto submit_us = queue_wait_us_ != nullptr ? steady_us() : 0;
   pool_->submit([this, out, shared, submit_us](std::size_t worker) {
     if (queue_wait_us_ != nullptr) {
-      queue_wait_us_->observe(steady_us() - submit_us);
+      queue_wait_us_->record(steady_us() - submit_us);
     }
     const auto batch_start = classify_batch_us_ != nullptr ? steady_us() : 0;
     obs::Span span(options_.base.obs.tracer, "parallel.classify_batch");
@@ -178,7 +178,7 @@ void ParallelPipeline::consume_batch(net::RecordBatch&& batch) {
       records_counter_->add(out->size());
     }
     if (classify_batch_us_ != nullptr) {
-      classify_batch_us_->observe(steady_us() - batch_start);
+      classify_batch_us_->record(steady_us() - batch_start);
     }
     {
       util::LockGuard lock(pool_mutex_);
@@ -197,7 +197,7 @@ void ParallelPipeline::dispatch_batch() {
     util::UniqueLock lock(inflight_mutex_);
     wait_for_inflight_slot(lock);
     if (backpressure_wait_us_ != nullptr) {
-      backpressure_wait_us_->observe(steady_us() - wait_start);
+      backpressure_wait_us_->record(steady_us() - wait_start);
     }
   }
   if (batches_counter_ != nullptr) batches_counter_->add();
@@ -212,7 +212,7 @@ void ParallelPipeline::dispatch_batch() {
   const auto submit_us = queue_wait_us_ != nullptr ? steady_us() : 0;
   pool_->submit([this, out, batch, submit_us](std::size_t worker) {
     if (queue_wait_us_ != nullptr) {
-      queue_wait_us_->observe(steady_us() - submit_us);
+      queue_wait_us_->record(steady_us() - submit_us);
     }
     const auto batch_start = classify_batch_us_ != nullptr ? steady_us() : 0;
     obs::Span span(options_.base.obs.tracer, "parallel.classify_batch");
@@ -233,7 +233,7 @@ void ParallelPipeline::dispatch_batch() {
       records_counter_->add(out->size());
     }
     if (classify_batch_us_ != nullptr) {
-      classify_batch_us_->observe(steady_us() - batch_start);
+      classify_batch_us_->record(steady_us() - batch_start);
     }
     release_inflight_slot();
   });
@@ -327,7 +327,7 @@ std::vector<std::vector<Session>> ParallelPipeline::sharded_sessions(
     const auto start = sessionize_shard_us_ != nullptr ? steady_us() : 0;
     parts[s] = build_sessions(shards[s], timeout, filter);
     if (sessionize_shard_us_ != nullptr) {
-      sessionize_shard_us_->observe(steady_us() - start);
+      sessionize_shard_us_->record(steady_us() - start);
     }
   });
   return parts;
@@ -399,7 +399,7 @@ Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
     out.quic_attacks = detect_attacks(out.response, thresholds);
     out.common_attacks = detect_attacks(out.common, thresholds);
     if (analyze_shard_us_ != nullptr) {
-      analyze_shard_us_->observe(steady_us() - start);
+      analyze_shard_us_->record(steady_us() - start);
     }
   });
 
@@ -430,9 +430,9 @@ Pipeline::AttackAnalysis ParallelPipeline::analyze_attacks(
 
   if (auto* metrics = options_.base.obs.metrics) {
     metrics
-        ->histogram("parallel.merge_analysis_us", obs::latency_bounds_us(),
-                    "wall time of the final session/attack merge")
-        .observe(steady_us() - merge_start_us);
+        ->latency("parallel.merge_analysis_us",
+                  "wall time of the final session/attack merge")
+        .record(steady_us() - merge_start_us);
     metrics->gauge("pipeline.quic_attacks")
         .set(static_cast<std::int64_t>(analysis.quic_attacks.size()));
     metrics->gauge("pipeline.common_attacks")

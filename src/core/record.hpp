@@ -58,4 +58,14 @@ struct PacketRecord {
   friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
 };
 
+/// Wall-clock ingest stamps (microseconds since the epoch, -1 unknown)
+/// a live capture path can hand the online detector alongside a record,
+/// so per-attack detection latency can be measured wire -> alert. Kept
+/// out of PacketRecord: scenario/pcap paths have no wall-clock story
+/// and the record stays at its compact size.
+struct IngestTiming {
+  std::int64_t send_wall_us = -1;  ///< sender's wire stamp (QSL2)
+  std::int64_t recv_wall_us = -1;  ///< capture-socket arrival stamp
+};
+
 }  // namespace quicsand::core

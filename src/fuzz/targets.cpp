@@ -153,14 +153,28 @@ void fuzz_live_datagram(std::span<const std::uint8_t> data) {
                         "live_datagram", "datagram span escapes the payload");
   }
   if (frame.encapsulated) {
-    QUICSAND_FUZZ_CHECK(data.size() >= net::live::kFrameHeaderSize,
-                        "live_datagram", "encapsulated but shorter than the header");
-    QUICSAND_FUZZ_CHECK(
-        frame.datagram.size() == data.size() - net::live::kFrameHeaderSize,
-        "live_datagram", "encapsulated datagram length mismatch");
-    // Re-encoding the parsed frame must reproduce the input bytes.
-    const auto encoded =
-        net::live::encode_live_frame(frame.timestamp, frame.datagram);
+    // QSL2 carries a send stamp (any i64 the wire says, -1 reserved
+    // for "absent"); QSL1 must always report the stamp as absent.
+    const bool v2 = frame.send_wall_us >= 0 ||
+                    (data.size() >= 4 &&
+                     std::equal(std::begin(net::live::kFrameMagicV2),
+                                std::end(net::live::kFrameMagicV2),
+                                data.begin()));
+    const std::size_t header = v2 ? net::live::kFrameHeaderSizeV2
+                                  : net::live::kFrameHeaderSize;
+    QUICSAND_FUZZ_CHECK(data.size() >= header, "live_datagram",
+                        "encapsulated but shorter than the header");
+    QUICSAND_FUZZ_CHECK(frame.datagram.size() == data.size() - header,
+                        "live_datagram",
+                        "encapsulated datagram length mismatch");
+    // Re-encoding the parsed frame must reproduce the input bytes;
+    // for v2 the round trip also carries the send stamp, and
+    // patch_send_stamp must restore the original bytes exactly.
+    auto encoded =
+        v2 ? net::live::encode_live_frame_v2(frame.timestamp, 0,
+                                             frame.datagram)
+           : net::live::encode_live_frame(frame.timestamp, frame.datagram);
+    if (v2) net::live::patch_send_stamp(encoded, frame.send_wall_us);
     QUICSAND_FUZZ_CHECK(encoded.size() == data.size() &&
                             std::equal(encoded.begin(), encoded.end(),
                                        data.begin()),
@@ -168,6 +182,13 @@ void fuzz_live_datagram(std::span<const std::uint8_t> data) {
   } else {
     QUICSAND_FUZZ_CHECK(frame.datagram.size() == data.size(),
                         "live_datagram", "bare payload was truncated");
+    // patch_send_stamp must be a total no-op on anything that is not a
+    // full QSL2 frame.
+    std::vector<std::uint8_t> copy(data.begin(), data.end());
+    net::live::patch_send_stamp(copy, 1);
+    QUICSAND_FUZZ_CHECK(std::equal(copy.begin(), copy.end(), data.begin()),
+                        "live_datagram",
+                        "patch_send_stamp mutated a non-QSL2 payload");
   }
   // Sharding peek vs the real decoder: quick_ipv4_source may accept
   // more, but must never reject (or disagree on) a datagram

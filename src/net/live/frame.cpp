@@ -1,20 +1,42 @@
 #include "net/live/frame.hpp"
 
+#include <ctime>
+
 #include "util/bytes.hpp"
 
 namespace quicsand::net::live {
 
+namespace {
+
+bool has_magic(std::span<const std::uint8_t> payload,
+               const std::uint8_t (&magic)[4]) {
+  return payload.size() >= 4 && payload[0] == magic[0] &&
+         payload[1] == magic[1] && payload[2] == magic[2] &&
+         payload[3] == magic[3];
+}
+
+}  // namespace
+
 LiveFrame parse_live_frame(std::span<const std::uint8_t> payload) {
   LiveFrame frame;
-  if (payload.size() >= kFrameHeaderSize && payload[0] == kFrameMagic[0] &&
-      payload[1] == kFrameMagic[1] && payload[2] == kFrameMagic[2] &&
-      payload[3] == kFrameMagic[3]) {
+  if (payload.size() >= kFrameHeaderSize && has_magic(payload, kFrameMagic)) {
     util::ByteReader reader(payload);
     reader.read_bytes(4);  // magic
     frame.encapsulated = true;
     frame.timestamp =
         util::Timestamp{static_cast<std::int64_t>(reader.read_u64())};
     frame.datagram = payload.subspan(kFrameHeaderSize);
+    return frame;
+  }
+  if (payload.size() >= kFrameHeaderSizeV2 &&
+      has_magic(payload, kFrameMagicV2)) {
+    util::ByteReader reader(payload);
+    reader.read_bytes(4);  // magic
+    frame.encapsulated = true;
+    frame.timestamp =
+        util::Timestamp{static_cast<std::int64_t>(reader.read_u64())};
+    frame.send_wall_us = static_cast<std::int64_t>(reader.read_u64());
+    frame.datagram = payload.subspan(kFrameHeaderSizeV2);
     return frame;
   }
   frame.datagram = payload;
@@ -28,6 +50,39 @@ std::vector<std::uint8_t> encode_live_frame(
   writer.write_u64(static_cast<std::uint64_t>(timestamp.count()));
   writer.write_bytes(datagram);
   return writer.take();
+}
+
+std::vector<std::uint8_t> encode_live_frame_v2(
+    util::Timestamp timestamp,
+    std::int64_t send_wall_us,  // lint:allow(naked-int64-time-param)
+    std::span<const std::uint8_t> datagram) {
+  util::ByteWriter writer;
+  writer.write_bytes(kFrameMagicV2);
+  writer.write_u64(static_cast<std::uint64_t>(timestamp.count()));
+  writer.write_u64(static_cast<std::uint64_t>(send_wall_us));
+  writer.write_bytes(datagram);
+  return writer.take();
+}
+
+void patch_send_stamp(
+    std::span<std::uint8_t> payload,
+    std::int64_t send_wall_us) {  // lint:allow(naked-int64-time-param)
+  if (payload.size() < kFrameHeaderSizeV2 ||
+      !has_magic(payload, kFrameMagicV2)) {
+    return;
+  }
+  const auto stamp = static_cast<std::uint64_t>(send_wall_us);
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload[kSendStampOffset + i] =
+        static_cast<std::uint8_t>(stamp >> (8 * (7 - i)));
+  }
+}
+
+std::int64_t wall_clock_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
 }
 
 std::optional<std::uint32_t> quick_ipv4_source(

@@ -1,20 +1,28 @@
-// QSL1 live-capture frame: how raw telescope datagrams travel inside a
-// real UDP payload.
+// QSL1/QSL2 live-capture frames: how raw telescope datagrams travel
+// inside a real UDP payload.
 //
 // A UDP socket delivers payloads, not IP headers, so a live sensor
 // cannot see the (spoofed) addresses the analysis pipeline keys on.
 // The lab sender therefore tunnels each synthetic IPv4 datagram as the
-// UDP payload, optionally prefixed with a 12-byte header that carries
-// the scenario timestamp:
+// UDP payload, optionally prefixed with a header that carries the
+// scenario timestamp:
 //
 //   | 'Q' 'S' 'L' '1' | i64 timestamp_us, big-endian | raw IPv4 datagram |
 //
-// With the prefix, the receiver replays scenario time (a day of
+// QSL2 adds a wall-clock send stamp so the receiver can measure one-way
+// wire latency (valid on loopback / hosts sharing a clock):
+//
+//   | 'Q' 'S' 'L' '2' | i64 timestamp_us | i64 send_wall_us | datagram |
+//
+// The send stamp sits at kSendStampOffset so the sender can patch it in
+// place just before each sendmmsg batch instead of re-encoding frames.
+//
+// With either prefix, the receiver replays scenario time (a day of
 // telescope traffic floods through loopback in seconds and the detector
 // still sees April 2021 session dynamics — the same trick the pcap
-// reader plays). Without it, the payload is treated as a bare IPv4
+// reader plays). Without one, the payload is treated as a bare IPv4
 // datagram stamped with the arrival wall clock — the deployable-sensor
-// mode. A payload that starts with the magic but is shorter than the
+// mode. A payload that starts with a magic but is shorter than the
 // full prefix is treated as bare bytes (and will then fail IPv4 decode,
 // counted as undecodable, never crashing the receiver).
 #pragma once
@@ -29,14 +37,22 @@
 namespace quicsand::net::live {
 
 inline constexpr std::uint8_t kFrameMagic[4] = {'Q', 'S', 'L', '1'};
+inline constexpr std::uint8_t kFrameMagicV2[4] = {'Q', 'S', 'L', '2'};
 inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::size_t kFrameHeaderSizeV2 = 20;
+/// Byte offset of the i64 send-wall-clock stamp in a QSL2 header; the
+/// sender patches it in place right before each send batch.
+inline constexpr std::size_t kSendStampOffset = 12;
 
 /// Decoded view of one received UDP payload. `datagram` points into the
 /// payload buffer, which must outlive the view.
 struct LiveFrame {
-  bool encapsulated = false;  ///< QSL1 prefix present
+  bool encapsulated = false;  ///< QSL1/QSL2 prefix present
   /// Embedded scenario timestamp; meaningful only when encapsulated.
   util::Timestamp timestamp{};
+  /// QSL2 only: sender's wall clock (us since epoch) at send time;
+  /// negative when absent (QSL1 or bare payloads).
+  std::int64_t send_wall_us = -1;
   std::span<const std::uint8_t> datagram;
 };
 
@@ -47,6 +63,26 @@ struct LiveFrame {
 /// Build the QSL1-encapsulated payload for one raw IPv4 datagram.
 [[nodiscard]] std::vector<std::uint8_t> encode_live_frame(
     util::Timestamp timestamp, std::span<const std::uint8_t> datagram);
+
+/// Build the QSL2-encapsulated payload: scenario timestamp plus a
+/// wall-clock send stamp (pass 0 and patch via patch_send_stamp later).
+/// The stamp stays a raw i64: it is a CLOCK_REALTIME scalar with a -1
+/// "absent" sentinel, written as big-endian wire bytes, not a
+/// scenario-clock util::Timestamp.
+[[nodiscard]] std::vector<std::uint8_t> encode_live_frame_v2(
+    util::Timestamp timestamp,
+    std::int64_t send_wall_us,  // lint:allow(naked-int64-time-param)
+    std::span<const std::uint8_t> datagram);
+
+/// Overwrite the send stamp of an already-encoded QSL2 payload in place.
+/// No-op for payloads that are not QSL2 frames.
+void patch_send_stamp(
+    std::span<std::uint8_t> payload,
+    std::int64_t send_wall_us);  // lint:allow(naked-int64-time-param)
+
+/// Microseconds since the Unix epoch (CLOCK_REALTIME): the clock domain
+/// QSL2 send stamps, receiver arrival stamps and /tsdb samples share.
+[[nodiscard]] std::int64_t wall_clock_us();
 
 /// Cheap structural probe used by the receiver to shard and count
 /// without a full parse: returns the IPv4 source address (host order)

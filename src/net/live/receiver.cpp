@@ -2,28 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
-#include <ctime>
 
 #include "net/live/frame.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
+// Arrival timestamps come from frame.hpp's wall_clock_us()
+// (CLOCK_REALTIME): live capture is the one place the pipeline
+// legitimately reads the wall clock — everything downstream still only
+// sees util::Timestamp, and send/arrival stamps stay in one clock
+// domain.
+
 namespace quicsand::net::live {
-
-namespace {
-
-/// Arrival timestamp for non-encapsulated payloads: epoch microseconds
-/// from CLOCK_REALTIME. Live capture is the one place the pipeline
-/// legitimately reads the wall clock — everything downstream still only
-/// sees util::Timestamp.
-util::Timestamp wall_clock_now() {
-  timespec ts{};
-  clock_gettime(CLOCK_REALTIME, &ts);
-  return util::Timestamp{ts.tv_sec * util::kSecond.count() +
-                         ts.tv_nsec / 1000};
-}
-
-}  // namespace
 
 LiveReceiver::LiveReceiver(LiveReceiverConfig config)
     : config_(std::move(config)) {
@@ -51,6 +41,29 @@ LiveReceiver::LiveReceiver(LiveReceiverConfig config)
                                       "datagrams per recvmmsg batch");
     ring_depth_gauge_ = &metrics->gauge(
         "live.ring_depth", "occupancy of the fullest shard ring");
+    wire_latency_ = &metrics->latency(
+        "live.latency.wire_us",
+        "QSL2 send stamp -> socket arrival, sampled (us; loopback clock)");
+    ring_latency_ = &metrics->latency(
+        "live.latency.ring_us",
+        "socket arrival -> shard worker pop, sampled (us)");
+    process_latency_ = &metrics->latency(
+        "live.latency.process_us",
+        "shard worker pop -> sink return, sampled (us)");
+    e2e_latency_ = &metrics->latency(
+        "live.latency.e2e_us",
+        "wire send (or arrival) -> sink return, sampled (us)");
+    shard_lag_gauges_.reserve(config_.shards);
+    shard_high_water_gauges_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      const auto prefix = "live.shard" + std::to_string(i);
+      shard_lag_gauges_.push_back(&metrics->gauge(
+          prefix + ".lag_us",
+          "event-time skew: newest enqueued minus newest processed (us)"));
+      shard_high_water_gauges_.push_back(&metrics->gauge(
+          prefix + ".ring_high_water",
+          "largest ring occupancy observed on this shard"));
+    }
   }
   if (auto* health = config_.obs.health) {
     receiver_health_ = &health->component("live_receiver");
@@ -70,9 +83,12 @@ bool LiveReceiver::start(Sink sink) {
   stopping_.store(false, std::memory_order_relaxed);
   rings_.clear();
   rings_.reserve(config_.shards);
+  watermarks_.clear();
+  watermarks_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     rings_.push_back(
-        std::make_unique<Ring<net::RawPacket>>(config_.ring_capacity));
+        std::make_unique<Ring<TimedPacket>>(config_.ring_capacity));
+    watermarks_.push_back(std::make_unique<ShardWatermark>());
   }
   running_.store(true, std::memory_order_relaxed);
   if (receiver_health_ != nullptr) receiver_health_->set_ready(true);
@@ -103,6 +119,7 @@ void LiveReceiver::stop() {
 
 void LiveReceiver::receive_loop() {
   ReceiveBatch batch;
+  std::uint64_t seen = 0;  ///< datagrams parsed, for 1-in-N sampling
   while (!stopping_.load(std::memory_order_relaxed)) {
     std::uint64_t kernel_delta = 0;
     const int n =
@@ -120,13 +137,16 @@ void LiveReceiver::receive_loop() {
     if (batch_hist_ != nullptr) {
       batch_hist_->observe(static_cast<std::uint64_t>(n));
     }
+    // One wall-clock read stamps the whole recvmmsg batch: the spread
+    // within a batch is microseconds, far below queueing latency.
+    const std::int64_t recv_wall = wall_clock_us();
     std::uint64_t bytes = 0;
     for (std::size_t i = 0; i < batch.count; ++i) {
       const auto payload = batch.payload(i);
       bytes += payload.size();
       const LiveFrame frame = parse_live_frame(payload);
       const util::Timestamp timestamp =
-          frame.encapsulated ? frame.timestamp : wall_clock_now();
+          frame.encapsulated ? frame.timestamp : util::Timestamp{recv_wall};
       std::size_t shard = 0;
       if (const auto src = quick_ipv4_source(frame.datagram)) {
         shard = config_.shards == 1
@@ -138,10 +158,22 @@ void LiveReceiver::receive_loop() {
         if (undecodable_counter_ != nullptr) undecodable_counter_->add();
       }
       received_.fetch_add(1, std::memory_order_relaxed);
-      net::RawPacket packet(
-          timestamp, {frame.datagram.begin(), frame.datagram.end()});
+      TimedPacket timed{
+          net::RawPacket(timestamp,
+                         {frame.datagram.begin(), frame.datagram.end()}),
+          DatagramTiming{frame.send_wall_us, recv_wall,
+                         config_.latency_sample_every > 0 &&
+                             seen++ % config_.latency_sample_every == 0}};
+      if (frame.send_wall_us >= 0 && wire_latency_ != nullptr &&
+          timed.timing.sampled) {
+        const std::int64_t wire = recv_wall - frame.send_wall_us;
+        wire_latency_->record(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(wire, 0)));
+      }
+      watermarks_[shard]->enqueued_event_us.store(timestamp.count(),
+                                                 std::memory_order_relaxed);
       const auto evicted =
-          rings_[shard]->push_drop_oldest(std::move(packet));
+          rings_[shard]->push_drop_oldest(std::move(timed));
       if (evicted > 0) {
         dropped_ring_.fetch_add(evicted, std::memory_order_relaxed);
         if (dropped_ring_counter_ != nullptr) {
@@ -154,8 +186,23 @@ void LiveReceiver::receive_loop() {
     if (bytes_counter_ != nullptr) bytes_counter_->add(bytes);
     if (ring_depth_gauge_ != nullptr) {
       std::size_t depth = 0;
-      for (const auto& ring : rings_) {
-        depth = std::max(depth, ring->size());
+      for (std::size_t s = 0; s < rings_.size(); ++s) {
+        const std::size_t size = rings_[s]->size();
+        depth = std::max(depth, size);
+        auto& mark = *watermarks_[s];
+        if (size > mark.ring_high_water.load(std::memory_order_relaxed)) {
+          mark.ring_high_water.store(size, std::memory_order_relaxed);
+        }
+        if (s < shard_high_water_gauges_.size()) {
+          shard_high_water_gauges_[s]->set(static_cast<std::int64_t>(
+              mark.ring_high_water.load(std::memory_order_relaxed)));
+        }
+        if (s < shard_lag_gauges_.size()) {
+          const std::int64_t lag =
+              mark.enqueued_event_us.load(std::memory_order_relaxed) -
+              mark.processed_event_us.load(std::memory_order_relaxed);
+          shard_lag_gauges_[s]->set(std::max<std::int64_t>(lag, 0));
+        }
       }
       ring_depth_gauge_->set(static_cast<std::int64_t>(depth));
     }
@@ -165,13 +212,33 @@ void LiveReceiver::receive_loop() {
 
 void LiveReceiver::worker_loop(std::size_t shard) {
   auto& ring = *rings_[shard];
+  auto& mark = *watermarks_[shard];
   std::uint64_t handled = 0;
   bool draining = false;
   for (;;) {
-    if (auto packet = ring.try_pop()) {
+    if (auto timed = ring.try_pop()) {
       delivered_.fetch_add(1, std::memory_order_relaxed);
       if (delivered_counter_ != nullptr) delivered_counter_->add();
-      if (sink_) sink_(shard, *packet);
+      if (timed->timing.sampled && ring_latency_ != nullptr) {
+        // Sampled path: two extra clock reads bracket the sink call and
+        // feed the queue/process/end-to-end histograms.
+        const std::int64_t popped = wall_clock_us();
+        ring_latency_->record(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(popped - timed->timing.recv_wall_us, 0)));
+        if (sink_) sink_(shard, timed->packet, timed->timing);
+        const std::int64_t done = wall_clock_us();
+        process_latency_->record(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(done - popped, 0)));
+        const std::int64_t origin = timed->timing.send_wall_us >= 0
+                                        ? timed->timing.send_wall_us
+                                        : timed->timing.recv_wall_us;
+        e2e_latency_->record(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(done - origin, 0)));
+      } else if (sink_) {
+        sink_(shard, timed->packet, timed->timing);
+      }
+      mark.processed_event_us.store(timed->packet.timestamp.count(),
+                                    std::memory_order_relaxed);
       if (workers_health_ != nullptr && (++handled & 0xFFF) == 0) {
         workers_health_->heartbeat();
       }

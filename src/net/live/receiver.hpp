@@ -47,16 +47,34 @@ struct LiveReceiverConfig {
   std::size_t rcvbuf_bytes = std::size_t{1} << 22;
   /// Receiver poll timeout: the latency of noticing stop().
   util::Duration poll_timeout = 50 * util::kMillisecond;
+  /// Record per-stage latency histograms for every Nth received
+  /// datagram (deterministic 1-in-N; 0 disables sampling). Sampled
+  /// packets cost two extra clock reads on the worker thread; the
+  /// timing stamps themselves ride along on every packet.
+  std::size_t latency_sample_every = 64;
   obs::Hooks obs;
+};
+
+/// Wall-clock stamps (microseconds since the epoch) one datagram picked
+/// up on its way through the live path; -1 where unknown. send_wall_us
+/// comes off the QSL2 header, so wire latency is only meaningful when
+/// sender and receiver share a clock (loopback, or NTP-close hosts).
+struct DatagramTiming {
+  std::int64_t send_wall_us = -1;  ///< QSL2 sender stamp
+  std::int64_t recv_wall_us = -1;  ///< socket batch arrival
+  bool sampled = false;  ///< selected for per-stage histogram recording
 };
 
 class LiveReceiver {
  public:
   /// Invoked on the shard's worker thread, packets in arrival order.
   /// The sink owns per-shard state (classifier, detector shard) and
-  /// needs no locking as long as it keeps shards independent.
+  /// needs no locking as long as it keeps shards independent. `timing`
+  /// carries the datagram's wire/arrival stamps for detection-latency
+  /// accounting downstream.
   using Sink = std::function<void(std::size_t shard,
-                                  const net::RawPacket& packet)>;
+                                  const net::RawPacket& packet,
+                                  const DatagramTiming& timing)>;
 
   explicit LiveReceiver(LiveReceiverConfig config);
   ~LiveReceiver();
@@ -101,6 +119,23 @@ class LiveReceiver {
   }
 
  private:
+  /// Ring element: the packet plus its lifecycle stamps.
+  struct TimedPacket {
+    net::RawPacket packet;
+    DatagramTiming timing;
+  };
+
+  /// Per-shard pipeline-lag watermarks, padded to a cache line: the
+  /// receive loop advances `enqueued_event_us`, the shard worker
+  /// advances `processed_event_us`, and their difference is the shard's
+  /// event-time lag gauge. `ring_high_water` is the largest ring
+  /// occupancy the receive loop has observed.
+  struct alignas(64) ShardWatermark {
+    std::atomic<std::int64_t> enqueued_event_us{0};
+    std::atomic<std::int64_t> processed_event_us{0};
+    std::atomic<std::uint64_t> ring_high_water{0};
+  };
+
   void receive_loop();
   void worker_loop(std::size_t shard);
 
@@ -108,7 +143,8 @@ class LiveReceiver {
   Sink sink_;
   UdpSocket socket_;
   std::string error_;
-  std::vector<std::unique_ptr<Ring<net::RawPacket>>> rings_;
+  std::vector<std::unique_ptr<Ring<TimedPacket>>> rings_;
+  std::vector<std::unique_ptr<ShardWatermark>> watermarks_;
   std::thread receive_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
@@ -130,6 +166,14 @@ class LiveReceiver {
   obs::Counter* undecodable_counter_ = nullptr;
   obs::Histogram* batch_hist_ = nullptr;
   obs::Gauge* ring_depth_gauge_ = nullptr;
+  // Per-stage latency histograms for sampled datagrams.
+  obs::LatencyHistogram* wire_latency_ = nullptr;     ///< send -> arrival
+  obs::LatencyHistogram* ring_latency_ = nullptr;     ///< arrival -> pop
+  obs::LatencyHistogram* process_latency_ = nullptr;  ///< pop -> sink done
+  obs::LatencyHistogram* e2e_latency_ = nullptr;      ///< send -> sink done
+  // Per-shard watermark gauges, indexed by shard.
+  std::vector<obs::Gauge*> shard_lag_gauges_;
+  std::vector<obs::Gauge*> shard_high_water_gauges_;
   obs::Health::Component* receiver_health_ = nullptr;
   obs::Health::Component* workers_health_ = nullptr;
 };

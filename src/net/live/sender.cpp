@@ -74,6 +74,90 @@ LiveSender::LiveSender(LiveSenderConfig config)
       controller_(config_.mode, config_.pps, config_.seed,
                   config_.ramp_window_s) {}
 
+namespace {
+
+/// Token bucket shared by both send paths: credit accrues at the
+/// controller's instantaneous rate and is spent one datagram per token.
+/// The cap bounds the burst we emit after a scheduling stall to a few
+/// socket batches.
+class Pacer {
+ public:
+  explicit Pacer(const RateController& controller)
+      : controller_(controller), start_(Clock::now()) {}
+
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Block until `need` tokens are available (or `*stop` turns true),
+  /// then spend them.
+  void acquire(std::size_t need, const std::atomic<bool>* stop) {
+    for (;;) {
+      const double now = elapsed_s();
+      credit_ += controller_.pps_at(now) * (now - last_);
+      last_ = now;
+      credit_ =
+          std::min(credit_, 4.0 * static_cast<double>(ReceiveBatch::kMax));
+      if (credit_ >= static_cast<double>(need)) break;
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+      const double deficit = static_cast<double>(need) - credit_;
+      const double wait_s =
+          std::clamp(deficit / controller_.pps_at(now), 20e-6, 2e-3);
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    credit_ -= static_cast<double>(need);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const RateController& controller_;
+  Clock::time_point start_;
+  double credit_ = 0.0;
+  double last_ = 0.0;
+};
+
+struct SendCounters {
+  obs::Counter* sent = nullptr;
+  obs::Counter* failures = nullptr;
+};
+
+SendCounters make_send_counters(obs::MetricsRegistry* metrics) {
+  SendCounters counters;
+  if (metrics != nullptr) {
+    counters.sent = &metrics->counter("live.sent_packets",
+                                      "datagrams pushed onto the wire");
+    counters.failures = &metrics->counter("live.send_failures",
+                                          "datagrams lost to send errors");
+  }
+  return counters;
+}
+
+/// Stamp (QSL2 payloads only) and send one chunk, folding the result
+/// into `stats`. The wall clock is read once per sendmmsg batch: every
+/// frame in the chunk shares one send stamp, which is at most one batch
+/// (~64 packets) of skew — far below the scheduling noise floor.
+void stamp_and_send(UdpSocket& socket, bool encapsulate,
+                    std::span<std::vector<std::uint8_t>> chunk,
+                    const SendCounters& counters, SendStats& stats,
+                    std::string& error) {
+  if (encapsulate) {
+    const std::int64_t stamp = wall_clock_us();
+    for (auto& payload : chunk) patch_send_stamp(payload, stamp);
+  }
+  const std::size_t accepted =
+      socket.send_batch({chunk.data(), chunk.size()});
+  stats.sent += accepted;
+  if (counters.sent != nullptr) counters.sent->add(accepted);
+  if (accepted < chunk.size()) {
+    const auto failed = static_cast<std::uint64_t>(chunk.size() - accepted);
+    stats.send_failures += failed;
+    if (counters.failures != nullptr) counters.failures->add(failed);
+    error = socket.last_error();
+  }
+}
+
+}  // namespace
+
 SendStats LiveSender::send_stream(const Source& next,
                                   const std::atomic<bool>* stop) {
   SendStats stats;
@@ -81,28 +165,11 @@ SendStats LiveSender::send_stream(const Source& next,
     error_ = socket_.last_error();
     return stats;
   }
-  obs::Counter* sent_counter = nullptr;
-  obs::Counter* failure_counter = nullptr;
-  if (auto* metrics = config_.obs.metrics) {
-    sent_counter = &metrics->counter("live.sent_packets",
-                                     "datagrams pushed onto the wire");
-    failure_counter = &metrics->counter("live.send_failures",
-                                        "datagrams lost to send errors");
-  }
-
-  using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
-  auto elapsed_s = [&start] {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  };
+  const auto counters = make_send_counters(config_.obs.metrics);
+  Pacer pacer(controller_);
 
   std::vector<std::vector<std::uint8_t>> batch;
   batch.reserve(ReceiveBatch::kMax);
-  // Token bucket: credit accrues at the controller's instantaneous rate
-  // and is spent one datagram per token. The cap bounds the burst we
-  // emit after a scheduling stall to one socket batch.
-  double credit = 0.0;
-  double last = 0.0;
   bool exhausted = false;
   while (!exhausted && (stop == nullptr ||
                         !stop->load(std::memory_order_relaxed))) {
@@ -114,40 +181,81 @@ SendStats LiveSender::send_stream(const Source& next,
         break;
       }
       if (config_.encapsulate) {
-        batch.push_back(encode_live_frame(packet->timestamp, packet->data));
+        batch.push_back(
+            encode_live_frame_v2(packet->timestamp, 0, packet->data));
       } else {
         batch.push_back(std::move(packet->data));
       }
     }
     if (batch.empty()) break;
 
-    for (;;) {
-      const double now = elapsed_s();
-      credit += controller_.pps_at(now) * (now - last);
-      last = now;
-      credit = std::min(credit, 4.0 * static_cast<double>(ReceiveBatch::kMax));
-      if (credit >= static_cast<double>(batch.size())) break;
-      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
-      const double deficit = static_cast<double>(batch.size()) - credit;
-      const double wait_s =
-          std::clamp(deficit / controller_.pps_at(now), 20e-6, 2e-3);
-      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
-    }
-    credit -= static_cast<double>(batch.size());
+    pacer.acquire(batch.size(), stop);
+    stamp_and_send(socket_, config_.encapsulate,
+                   {batch.data(), batch.size()}, counters, stats, error_);
+  }
 
-    const std::size_t accepted = socket_.send_batch(batch);
-    stats.sent += accepted;
-    if (sent_counter != nullptr) sent_counter->add(accepted);
-    if (accepted < batch.size()) {
-      const auto failed =
-          static_cast<std::uint64_t>(batch.size() - accepted);
-      stats.send_failures += failed;
-      if (failure_counter != nullptr) failure_counter->add(failed);
-      error_ = socket_.last_error();
+  stats.elapsed_s = pacer.elapsed_s();
+  stats.achieved_pps =
+      stats.elapsed_s > 0 ? static_cast<double>(stats.sent) / stats.elapsed_s
+                          : 0.0;
+  socket_.close();
+  return stats;
+}
+
+SendStats LiveSender::send_batches(const BatchSource& fill,
+                                   const std::atomic<bool>* stop) {
+  SendStats stats;
+  if (!socket_.connect(config_.host, config_.port)) {
+    error_ = socket_.last_error();
+    return stats;
+  }
+  const auto counters = make_send_counters(config_.obs.metrics);
+  Pacer pacer(controller_);
+
+  net::RecordBatch records;
+  // Frame buffers are reused across refills: frames[i] keeps its heap
+  // allocation and is overwritten in place, so steady-state sending
+  // performs no per-packet allocation — the point of the batched path.
+  std::vector<std::vector<std::uint8_t>> frames;
+  bool more = true;
+  while (more && (stop == nullptr ||
+                  !stop->load(std::memory_order_relaxed))) {
+    records.clear();
+    more = fill(records);
+    const std::size_t n = records.size();
+    if (n == 0) {
+      if (!more) break;
+      continue;
+    }
+    if (frames.size() < n) frames.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto view = records.view(i);
+      auto& buf = frames[i];
+      buf.clear();
+      if (config_.encapsulate) {
+        buf.insert(buf.end(), std::begin(kFrameMagicV2),
+                   std::end(kFrameMagicV2));
+        const auto ts = static_cast<std::uint64_t>(view.timestamp.count());
+        for (std::size_t b = 0; b < 8; ++b) {
+          buf.push_back(static_cast<std::uint8_t>(ts >> (8 * (7 - b))));
+        }
+        buf.insert(buf.end(), 8, 0);  // send stamp, patched at send time
+      }
+      buf.insert(buf.end(), view.data.begin(), view.data.end());
+    }
+
+    for (std::size_t offset = 0; offset < n;) {
+      const std::size_t chunk = std::min(n - offset, ReceiveBatch::kMax);
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+      pacer.acquire(chunk, stop);
+      stamp_and_send(socket_, config_.encapsulate,
+                     {frames.data() + offset, chunk}, counters, stats,
+                     error_);
+      offset += chunk;
     }
   }
 
-  stats.elapsed_s = elapsed_s();
+  stats.elapsed_s = pacer.elapsed_s();
   stats.achieved_pps =
       stats.elapsed_s > 0 ? static_cast<double>(stats.sent) / stats.elapsed_s
                           : 0.0;

@@ -1,9 +1,11 @@
 // Loopback traffic generator: the attack side of the live harness.
 //
-// LiveSender streams synthetic IPv4 datagrams (QSL1-encapsulated so the
-// receiver sees the scenario's spoofed sources and timestamps) to a UDP
-// endpoint with batched sendmmsg, pacing the stream through a token
-// bucket whose fill rate comes from a RateController:
+// LiveSender streams synthetic IPv4 datagrams (QSL2-encapsulated so the
+// receiver sees the scenario's spoofed sources and timestamps, plus a
+// wall-clock send stamp patched in right before each sendmmsg batch for
+// one-way latency measurement) to a UDP endpoint with batched sendmmsg,
+// pacing the stream through a token bucket whose fill rate comes from a
+// RateController:
 //
 //   constant  target pps throughout
 //   burst     alternates ~2x and ~0.2x of target every second
@@ -24,6 +26,7 @@
 
 #include "net/live/socket.hpp"
 #include "net/packet.hpp"
+#include "net/record_batch.hpp"
 #include "obs/hooks.hpp"
 #include "util/time.hpp"
 
@@ -62,9 +65,9 @@ struct LiveSenderConfig {
   double pps = 100000.0;  ///< target rate the controller modulates
   RateMode mode = RateMode::kConstant;
   std::uint64_t seed = 1;
-  /// Wrap each datagram in a QSL1 frame carrying its scenario
-  /// timestamp. False sends the raw datagram bytes (deployable mode:
-  /// the receiver stamps arrival time instead).
+  /// Wrap each datagram in a QSL2 frame carrying its scenario timestamp
+  /// and a wall-clock send stamp. False sends the raw datagram bytes
+  /// (deployable mode: the receiver stamps arrival time instead).
   bool encapsulate = true;
   /// Ramp window for RateMode::kRamp; ignored by other modes.
   double ramp_window_s = 10.0;
@@ -82,6 +85,12 @@ class LiveSender {
  public:
   /// Produces the next datagram, nullopt when the stream ends.
   using Source = std::function<std::optional<net::RawPacket>()>;
+  /// Refills a cleared RecordBatch with the next run of records; returns
+  /// false once the stream is exhausted (records appended on that final
+  /// call are still sent). The batched path skips the per-record
+  /// std::function call and RawPacket copy of Source, so loopback send
+  /// rates stop bounding the latency benchmark.
+  using BatchSource = std::function<bool(net::RecordBatch&)>;
 
   explicit LiveSender(LiveSenderConfig config);
 
@@ -94,6 +103,12 @@ class LiveSender {
   /// last_error() set.
   SendStats send_stream(const Source& next,
                         const std::atomic<bool>* stop = nullptr);
+
+  /// Same contract, fed whole RecordBatches: frame buffers are reused
+  /// across batches and the socket still sees <= ReceiveBatch::kMax
+  /// payloads per sendmmsg.
+  SendStats send_batches(const BatchSource& fill,
+                         const std::atomic<bool>* stop = nullptr);
 
   [[nodiscard]] const std::string& last_error() const { return error_; }
 

@@ -50,16 +50,16 @@ std::uint64_t steady_us() {
 /// only when a histogram is attached, so unobserved readers stay free.
 class ScopedLatency {
  public:
-  explicit ScopedLatency(obs::Histogram* hist)
+  explicit ScopedLatency(obs::LatencyHistogram* hist)
       : hist_(hist), start_(hist != nullptr ? steady_us() : 0) {}
   ~ScopedLatency() {
-    if (hist_ != nullptr) hist_->observe(steady_us() - start_);
+    if (hist_ != nullptr) hist_->record(steady_us() - start_);
   }
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
 
  private:
-  obs::Histogram* hist_;
+  obs::LatencyHistogram* hist_;
   std::uint64_t start_;
 };
 
@@ -144,8 +144,8 @@ void PcapReader::set_metrics(obs::MetricsRegistry* metrics) {
       "pcap.truncated", "records cut short by EOF or a bad caplen");
   ethernet_counter_ = &metrics->counter(
       "pcap.ethernet_stripped", "LINKTYPE_ETHERNET frames unwrapped");
-  read_us_ = &metrics->histogram("pcap.read_us", obs::latency_bounds_us(),
-                                 "wall time to read one record");
+  read_us_ = &metrics->latency("pcap.read_us",
+                               "wall time to read one record");
 }
 
 std::optional<RawPacket> PcapReader::next() {

@@ -78,7 +78,7 @@ class PcapReader {
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* truncated_counter_ = nullptr;
   obs::Counter* ethernet_counter_ = nullptr;
-  obs::Histogram* read_us_ = nullptr;  ///< per-record read latency
+  obs::LatencyHistogram* read_us_ = nullptr;  ///< per-record read latency
 };
 
 }  // namespace quicsand::net

@@ -24,16 +24,16 @@ std::uint64_t steady_us() {
 /// only when a histogram is attached, so unobserved readers stay free.
 class ScopedLatency {
  public:
-  explicit ScopedLatency(obs::Histogram* hist)
+  explicit ScopedLatency(obs::LatencyHistogram* hist)
       : hist_(hist), start_(hist != nullptr ? steady_us() : 0) {}
   ~ScopedLatency() {
-    if (hist_ != nullptr) hist_->observe(steady_us() - start_);
+    if (hist_ != nullptr) hist_->record(steady_us() - start_);
   }
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
 
  private:
-  obs::Histogram* hist_;
+  obs::LatencyHistogram* hist_;
   std::uint64_t start_;
 };
 
@@ -250,8 +250,8 @@ void PcapngReader::set_metrics(obs::MetricsRegistry* metrics) {
       "pcapng.blocks_skipped", "non-packet blocks (stats, NRB, custom)");
   linktype_drops_counter_ = &metrics->counter(
       "pcapng.linktype_drops", "packets on unsupported link types");
-  read_us_ = &metrics->histogram(
-      "pcapng.read_us", obs::latency_bounds_us(),
+  read_us_ = &metrics->latency(
+      "pcapng.read_us",
       "wall time to read one packet, skipped blocks included");
 }
 

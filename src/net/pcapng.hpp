@@ -82,7 +82,7 @@ class PcapngReader {
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* skipped_blocks_counter_ = nullptr;
   obs::Counter* linktype_drops_counter_ = nullptr;
-  obs::Histogram* read_us_ = nullptr;  ///< per-packet read latency
+  obs::LatencyHistogram* read_us_ = nullptr;  ///< per-packet read latency
 };
 
 }  // namespace quicsand::net

@@ -95,6 +95,17 @@ class RecordBatch {
     return timestamps_;
   }
 
+  /// Drop records past the first `n`, keeping arena storage (the arena
+  /// high-water mark stays where the last surviving record ends). Lets a
+  /// batch-fed sender honor an exact packet budget mid-batch.
+  void truncate(std::size_t n) {
+    if (n >= timestamps_.size()) return;
+    arena_used_ = n == 0 ? 0 : offsets_[n - 1] + lengths_[n - 1];
+    timestamps_.resize(n);
+    offsets_.resize(n);
+    lengths_.resize(n);
+  }
+
   /// Reset to empty, keeping record capacity and arena storage.
   void clear() {
     timestamps_.clear();

@@ -30,6 +30,9 @@ std::string to_json_line(const DetectorEvent& event) {
   if (event.alert_latency_s >= 0) {
     out << ", \"alert_latency_s\": " << event.alert_latency_s;
   }
+  if (event.detect_latency_s >= 0) {
+    out << ", \"detect_latency_s\": " << event.detect_latency_s;
+  }
   if (event.duration_s >= 0) {
     out << ", \"duration_s\": " << event.duration_s;
   }

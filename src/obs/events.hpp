@@ -50,6 +50,11 @@ struct DetectorEvent {
   /// Seconds from session start to alert; alert/attack events only (<0
   /// means not applicable and is omitted from the JSON).
   double alert_latency_s = -1;
+  /// Wall-clock seconds from the first admitted packet's wire (QSL2
+  /// send, falling back to receive) stamp to the alert callback; alert
+  /// events in live runs only (<0 omitted). Event-time alert_latency_s
+  /// measures the attack; this measures the pipeline.
+  double detect_latency_s = -1;
   /// Session length in seconds; close/evict events only (<0 omitted).
   double duration_s = -1;
   bool alerted = false;  ///< eviction events: had this session alerted?

@@ -95,6 +95,12 @@ void FlightRecorder::dump_to(std::ostream& out, std::uint64_t now_us) const {
     std::ostringstream pps;
     pps.precision(3);
     pps << std::fixed << annotation.peak_pps;
+    if (annotation.alert_latency_s >= 0) {
+      pps << ", \"alert_latency_s\": " << annotation.alert_latency_s;
+    }
+    if (annotation.detect_latency_s >= 0) {
+      pps << ", \"detect_latency_s\": " << annotation.detect_latency_s;
+    }
     out << pps.str() << "}\n";
   }
 }

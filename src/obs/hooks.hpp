@@ -13,6 +13,7 @@ class MetricsRegistry;
 class Counter;
 class Gauge;
 class Histogram;
+class LatencyHistogram;
 class Tracer;
 class EventLog;
 class Health;

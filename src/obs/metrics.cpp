@@ -141,6 +141,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *entry.histogram;
 }
 
+LatencyHistogram& MetricsRegistry::latency(const std::string& name,
+                                           const std::string& help) {
+  util::LockGuard lock(mutex_);
+  auto& entry = entries_[name];
+  if (!entry.latency) {
+    entry.latency = std::make_unique<LatencyHistogram>();
+    entry.help = help;
+  }
+  return *entry.latency;
+}
+
 std::string MetricsRegistry::to_prometheus() const {
   util::LockGuard lock(mutex_);
   std::ostringstream out;
@@ -174,6 +185,19 @@ std::string MetricsRegistry::to_prometheus() const {
       out << prom << "_sum " << h.sum() << "\n";
       out << prom << "_count " << h.count() << "\n";
     }
+    if (entry.latency) {
+      // Quantile histograms export as summaries: the quantiles are
+      // computed server-side (within LatencyHistogram's error bound), so
+      // the exposition carries them directly instead of buckets.
+      const auto snap = entry.latency->snapshot();
+      out << "# TYPE " << prom << " summary\n";
+      out << prom << "{quantile=\"0.5\"} " << snap.p50 << "\n";
+      out << prom << "{quantile=\"0.9\"} " << snap.p90 << "\n";
+      out << prom << "{quantile=\"0.99\"} " << snap.p99 << "\n";
+      out << prom << "{quantile=\"0.999\"} " << snap.p999 << "\n";
+      out << prom << "_sum " << snap.sum << "\n";
+      out << prom << "_count " << snap.count << "\n";
+    }
   }
   return out.str();
 }
@@ -205,6 +229,18 @@ MetricsRegistry::histogram_snapshot() const {
   for (const auto& [name, entry] : entries_) {
     if (entry.histogram) {
       out.push_back({name, entry.histogram->count(), entry.histogram->sum()});
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::LatencyTotals>
+MetricsRegistry::latency_snapshot() const {
+  util::LockGuard lock(mutex_);
+  std::vector<LatencyTotals> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.latency) {
+      out.push_back({name, entry.latency->snapshot()});
     }
   }
   return out;
@@ -264,6 +300,18 @@ std::string MetricsRegistry::to_json() const {
       out << ", \"count\": " << counts[i] << "}";
     }
     out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  begin_section("latencies");
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.latency) continue;
+    key(name);
+    const auto snap = entry.latency->snapshot();
+    out << "{\"count\": " << snap.count << ", \"sum\": " << snap.sum
+        << ", \"max\": " << snap.max << ", \"p50\": " << snap.p50
+        << ", \"p90\": " << snap.p90 << ", \"p99\": " << snap.p99
+        << ", \"p999\": " << snap.p999 << "}";
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
   return out.str();

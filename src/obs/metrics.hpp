@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/latency.hpp"
 #include "util/sharded_counter.hpp"
 #include "util/sync.hpp"
 
@@ -106,6 +107,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds,
                        const std::string& help = "");
+  /// Log-linear quantile histogram for duration metrics (no bounds
+  /// choice; see obs/latency.hpp for the error bound). Exported as a
+  /// Prometheus summary and a "latencies" JSON section.
+  LatencyHistogram& latency(const std::string& name,
+                            const std::string& help = "");
 
   /// Prometheus text exposition format (metric names sanitized to
   /// [a-zA-Z0-9_], dots become underscores; counters get the
@@ -127,7 +133,16 @@ class MetricsRegistry {
     std::uint64_t sum = 0;
   };
   [[nodiscard]] std::vector<HistogramTotals> histogram_snapshot() const;
-  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Latency-histogram snapshots (count/sum/max + quantiles, sorted by
+  /// name); the TSDB sampler records these as `<name>.count/.sum` plus
+  /// `<name>.p50/.p90/.p99` gauge series.
+  struct LatencyTotals {
+    std::string name;
+    LatencyHistogram::Snapshot snap;
+  };
+  [[nodiscard]] std::vector<LatencyTotals> latency_snapshot() const;
+  /// JSON object
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"latencies":{...}}.
   [[nodiscard]] std::string to_json() const;
   /// Write to_json() to `path`; returns false if the file cannot be
   /// written.
@@ -139,6 +154,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyHistogram> latency;
   };
 
   mutable util::Mutex mutex_{util::LockRank::kMetrics, "metrics_registry"};

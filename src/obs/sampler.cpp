@@ -27,9 +27,8 @@ Sampler::Sampler(SamplerConfig config) : config_(std::move(config)) {
   if (config_.self_metrics && config_.metrics != nullptr) {
     samples_counter_ =
         &config_.metrics->counter("tsdb.samples", "TSDB sample passes taken");
-    sample_cost_us_ = &config_.metrics->histogram(
-        "tsdb.sample_us", {10, 20, 50, 100, 200, 500, 1000, 5000, 20000},
-        "cost of one TSDB sample pass (us)");
+    sample_cost_us_ = &config_.metrics->latency(
+        "tsdb.sample_us", "cost of one TSDB sample pass (us)");
   }
 }
 
@@ -54,6 +53,20 @@ void Sampler::sample_once() {
     store.record(totals.name + ".sum", SeriesKind::kHistogramSum, t_us,
                  static_cast<std::int64_t>(totals.sum));
   }
+  for (const auto& totals : config_.metrics->latency_snapshot()) {
+    store.record(totals.name + ".count", SeriesKind::kHistogramCount, t_us,
+                 static_cast<std::int64_t>(totals.snap.count));
+    store.record(totals.name + ".sum", SeriesKind::kHistogramSum, t_us,
+                 static_cast<std::int64_t>(totals.snap.sum));
+    // Quantiles are instantaneous values, not monotone accumulations, so
+    // they go in as gauges — /dash and quicsand_top read them as "last".
+    store.record(totals.name + ".p50", SeriesKind::kGauge, t_us,
+                 static_cast<std::int64_t>(totals.snap.p50));
+    store.record(totals.name + ".p90", SeriesKind::kGauge, t_us,
+                 static_cast<std::int64_t>(totals.snap.p90));
+    store.record(totals.name + ".p99", SeriesKind::kGauge, t_us,
+                 static_cast<std::int64_t>(totals.snap.p99));
+  }
 
   if (config_.events != nullptr) {
     for (const auto& event :
@@ -65,6 +78,8 @@ void Sampler::sample_once() {
       annotation.victim = event.victim;
       annotation.packets = event.packets;
       annotation.peak_pps = event.peak_pps;
+      annotation.alert_latency_s = event.alert_latency_s;
+      annotation.detect_latency_s = event.detect_latency_s;
       store.annotate(std::move(annotation));
     }
   }
@@ -76,7 +91,7 @@ void Sampler::sample_once() {
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - started)
             .count();
-    sample_cost_us_->observe(static_cast<std::uint64_t>(cost));
+    sample_cost_us_->record(static_cast<std::uint64_t>(cost));
   }
 }
 

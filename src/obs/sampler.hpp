@@ -2,9 +2,12 @@
 // TimeSeriesStore (retained history).
 //
 // One sample pass snapshots every counter, gauge and histogram
-// (count+sum) in the registry and records them into the store under the
-// metric's dotted name, then drains any new EventLog entries into
-// annotations pinned to the same sample clock. The pass runs on its own
+// (count+sum) in the registry — and every latency histogram as
+// `<name>.count/.sum` plus `<name>.p50/.p90/.p99` gauge series, so
+// quantile history reaches /tsdb, /dash and the flight recorder — and
+// records them into the store under the metric's dotted name, then
+// drains any new EventLog entries into annotations pinned to the same
+// sample clock. The pass runs on its own
 // thread every `cadence` (default 1 s) — never on the packet hot path —
 // and costs O(metrics) per tick; the live-ingest benchmark pins this at
 // well under 1% of a 100k pps capture budget (EXPERIMENTS.md).
@@ -33,7 +36,7 @@ class MetricsRegistry;
 class EventLog;
 class TimeSeriesStore;
 class Counter;
-class Histogram;
+class LatencyHistogram;
 
 struct SamplerConfig {
   MetricsRegistry* metrics = nullptr;  ///< source; required
@@ -80,7 +83,7 @@ class Sampler {
   SamplerConfig config_;
   std::size_t events_seen_ = 0;  ///< sampler thread / sample_once caller only
   Counter* samples_counter_ = nullptr;
-  Histogram* sample_cost_us_ = nullptr;
+  LatencyHistogram* sample_cost_us_ = nullptr;
 
   /// Serializes start()/stop() against each other. Two concurrent
   /// stop() calls used to both pass the lock-free running_ check and

@@ -33,6 +33,12 @@ void annotation_json_to(std::ostringstream& out,
   std::ostringstream pps;
   pps.precision(3);
   pps << std::fixed << annotation.peak_pps;
+  if (annotation.alert_latency_s >= 0) {
+    pps << ", \"alert_latency_s\": " << annotation.alert_latency_s;
+  }
+  if (annotation.detect_latency_s >= 0) {
+    pps << ", \"detect_latency_s\": " << annotation.detect_latency_s;
+  }
   out << pps.str() << "}";
 }
 

@@ -91,6 +91,13 @@ struct Annotation {
   std::string victim;  ///< dotted quad (may be empty for non-detector marks)
   std::uint64_t packets = 0;
   double peak_pps = 0;
+  /// Event-time alert latency (first admitting packet -> threshold),
+  /// seconds; negative when absent. Rendered only when >= 0 so
+  /// annotations without it keep their pinned JSON shape.
+  double alert_latency_s = -1.0;
+  /// Wall-clock detection latency (first packet's wire stamp -> alert
+  /// callback), seconds; negative when absent (non-live runs).
+  double detect_latency_s = -1.0;
 };
 
 class TimeSeriesStore {

@@ -25,6 +25,7 @@
 
 #include "core/classifier.hpp"
 #include "core/online_shards.hpp"
+#include "net/live/frame.hpp"
 #include "net/live/receiver.hpp"
 #include "net/live/sender.hpp"
 #include "obs/metrics.hpp"
@@ -86,6 +87,9 @@ TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
   core::ShardedOnlineDetectorConfig detector_config;
   detector_config.shards = kShards;
   detector_config.detector.obs.metrics = &metrics;
+  // Wall-clock source on: every alert must then carry an end-to-end
+  // detection latency anchored at its first packet's QSL2 send stamp.
+  detector_config.detector.wall_clock = net::live::wall_clock_us;
   core::ShardedOnlineDetector detector(detector_config);
 
   std::vector<std::unique_ptr<core::Classifier>> classifiers;
@@ -104,9 +108,12 @@ TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
   receiver_config.rcvbuf_bytes = std::size_t{1} << 22;
   receiver_config.obs.metrics = &metrics;
   net::live::LiveReceiver receiver(receiver_config);
-  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet) {
+  if (!receiver.start([&](std::size_t shard, const net::RawPacket& packet,
+                          const net::live::DatagramTiming& timing) {
         if (const auto record = classifiers[shard]->classify(packet)) {
-          detector.consume(shard, *record);
+          const core::IngestTiming ingest{timing.send_wall_us,
+                                          timing.recv_wall_us};
+          detector.consume(shard, *record, &ingest);
         }
       })) {
     GTEST_SKIP() << "loopback sockets unavailable: " << receiver.last_error();
@@ -128,6 +135,9 @@ TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
   ASSERT_TRUE(sender.last_error().empty()) << sender.last_error();
   ASSERT_EQ(stats.send_failures, 0u);
   ASSERT_EQ(stats.sent, packets.size());
+  // This floor doubles as the latency-sampling overhead gate: the
+  // receiver runs with the default 1-in-64 deterministic sample and the
+  // full path must still sustain 100k pps on loopback.
   EXPECT_GE(stats.achieved_pps, kSendRateFloor)
       << "harness too slow to stress the receiver: " << stats.achieved_pps
       << " pps over " << stats.elapsed_s << " s";
@@ -163,6 +173,42 @@ TEST(LiveE2E, MixedScanAndFloodOverLoopback) {
   const auto& attacks = detector.finish();
   ASSERT_GT(attacks.size(), 5u) << "too few detections to score";
 
+  // Stage latency histograms: the 1-in-64 deterministic sample must
+  // have populated every stage, with QSL2 send stamps anchoring wire
+  // and e2e. Quantiles are sane for a loopback hop (well under a
+  // minute) and ordered: a packet's e2e covers its queue wait.
+  const auto wire = metrics.latency("live.latency.wire_us").snapshot();
+  const auto ring = metrics.latency("live.latency.ring_us").snapshot();
+  const auto process = metrics.latency("live.latency.process_us").snapshot();
+  const auto e2e = metrics.latency("live.latency.e2e_us").snapshot();
+  EXPECT_GT(wire.count, 100u);
+  EXPECT_GT(ring.count, 100u);
+  EXPECT_GT(process.count, 100u);
+  EXPECT_GT(e2e.count, 100u);
+  EXPECT_LT(wire.p99, 60'000'000u);
+  EXPECT_LT(e2e.p99, 60'000'000u);
+  // Pointwise e2e >= ring wait implies quantile domination; the 7%
+  // slack covers both representatives' +-3.125% bucket error.
+  EXPECT_GE(static_cast<double>(e2e.p99) * 1.07,
+            static_cast<double>(ring.p50))
+      << "e2e cannot undercut the queue wait";
+
+  // Detection latency: the wall-clock source was wired, every consume
+  // carried ingest stamps, so every alert recorded a detect latency.
+  const auto detect = metrics.latency("live.detect_latency_us").snapshot();
+  EXPECT_GT(detect.count, 0u);
+  EXPECT_LE(detect.count, detector.alerts_fired());
+  EXPECT_LT(detect.p99, 120'000'000u);
+
+  // Pipeline-lag watermarks: per-shard skew gauges and ring high-water
+  // marks exist for every shard (the high-water mark may be zero only
+  // if that shard never got a packet, which the shuffle rules out).
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const auto prefix = "live.shard" + std::to_string(shard);
+    EXPECT_GE(metrics.gauge(prefix + ".lag_us").value(), 0);
+    EXPECT_GT(metrics.gauge(prefix + ".ring_high_water").value(), 0);
+  }
+
   const auto& truth = generator.ground_truth();
   const auto planned = truth.quic_attacks();
   ASSERT_FALSE(planned.empty());
@@ -196,8 +242,15 @@ TEST(LiveE2E, BareDatagramsFallBackToArrivalClock) {
   net::live::LiveReceiver receiver(receiver_config);
   std::atomic<std::uint64_t> sunk{0};
   util::Timestamp first_seen{};
-  if (!receiver.start([&](std::size_t, const net::RawPacket& packet) {
+  std::atomic<std::int64_t> max_send_stamp{-1};
+  if (!receiver.start([&](std::size_t, const net::RawPacket& packet,
+                          const net::live::DatagramTiming& timing) {
         if (sunk.fetch_add(1) == 0) first_seen = packet.timestamp;
+        // Bare payloads carry no QSL2 send stamp; the receiver must
+        // report it as absent, never invent one.
+        if (timing.send_wall_us > max_send_stamp.load()) {
+          max_send_stamp.store(timing.send_wall_us);
+        }
       })) {
     GTEST_SKIP() << "loopback sockets unavailable: " << receiver.last_error();
   }
@@ -228,6 +281,7 @@ TEST(LiveE2E, BareDatagramsFallBackToArrivalClock) {
   // epoch the (zeroed) scenario timestamp would suggest.
   EXPECT_GT(first_seen, util::Timestamp{1577836800LL * 1000000LL});
   EXPECT_EQ(receiver.undecodable(), 0u);
+  EXPECT_EQ(max_send_stamp.load(), -1);
 }
 
 }  // namespace

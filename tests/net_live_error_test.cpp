@@ -39,7 +39,8 @@ TEST(NetLiveError, BindFailureReportsError) {
   config.host = "203.0.113.7";
   config.port = 0;
   LiveReceiver receiver(config);
-  EXPECT_FALSE(receiver.start([](std::size_t, const net::RawPacket&) {}));
+  EXPECT_FALSE(receiver.start([](std::size_t, const net::RawPacket&,
+                                  const DatagramTiming&) {}));
   EXPECT_FALSE(receiver.last_error().empty());
   EXPECT_FALSE(receiver.running());
   receiver.stop();  // must be a safe no-op after a failed start
@@ -49,12 +50,14 @@ TEST(NetLiveError, PortCollisionFailsSecondBind) {
   LiveReceiverConfig config;
   config.port = 0;
   LiveReceiver first(config);
-  if (!first.start([](std::size_t, const net::RawPacket&) {})) {
+  if (!first.start([](std::size_t, const net::RawPacket&,
+                                  const DatagramTiming&) {})) {
     GTEST_SKIP() << "loopback sockets unavailable: " << first.last_error();
   }
   config.port = first.port();
   LiveReceiver second(config);
-  EXPECT_FALSE(second.start([](std::size_t, const net::RawPacket&) {}));
+  EXPECT_FALSE(second.start([](std::size_t, const net::RawPacket&,
+                                  const DatagramTiming&) {}));
   EXPECT_FALSE(second.last_error().empty());
   first.stop();
 }
@@ -65,7 +68,9 @@ TEST(NetLiveError, PortZeroReportsChosenPortAndReceives) {
   LiveReceiver receiver(config);
   std::atomic<std::uint64_t> sunk{0};
   if (!receiver.start(
-          [&](std::size_t, const net::RawPacket&) { ++sunk; })) {
+          [&](std::size_t, const net::RawPacket&, const DatagramTiming&) {
+            ++sunk;
+          })) {
     GTEST_SKIP() << "loopback sockets unavailable: "
                  << receiver.last_error();
   }
@@ -91,7 +96,9 @@ TEST(NetLiveError, GarbageDatagramsAreCountedNotFatal) {
   LiveReceiver receiver(config);
   std::atomic<std::uint64_t> sunk{0};
   if (!receiver.start(
-          [&](std::size_t, const net::RawPacket&) { ++sunk; })) {
+          [&](std::size_t, const net::RawPacket&, const DatagramTiming&) {
+            ++sunk;
+          })) {
     GTEST_SKIP() << "loopback sockets unavailable: "
                  << receiver.last_error();
   }

@@ -87,7 +87,7 @@ TEST(ObsEvents, DetectorEmitsAlertThenCloseThenEviction) {
   EXPECT_EQ(metrics.counter("online.sessions_evicted").value(),
             detector.sessions_evicted());
   EXPECT_EQ(metrics.gauge("online.open_sessions").value(), 0);
-  EXPECT_EQ(metrics.histogram("online.alert_latency_us", {}).count(), 1u);
+  EXPECT_EQ(metrics.latency("online.alert_latency_us").count(), 1u);
 }
 
 TEST(ObsEvents, NdjsonSerializationIsPinned) {
@@ -105,6 +105,20 @@ TEST(ObsEvents, NdjsonSerializationIsPinned) {
             "\"victim\": \"44.1.2.3\", "
             "\"packets\": 131, \"peak_pps\": 2.180, "
             "\"alert_latency_s\": 86.000}");
+
+  // With a wall-clock pipeline latency attached, the alert line also
+  // carries detect_latency_s; absent (-1) it stays off the line, which
+  // is what keeps the scenario-mode goldens above byte-identical.
+  event.detect_latency_s = 0.25;
+  EXPECT_EQ(obs::to_json_line(event),
+            "{\"event\": \"alert_fired\", "
+            "\"time\": \"2021-04-01 00:00:00\", "
+            "\"time_us\": 1617235200000000, "
+            "\"victim\": \"44.1.2.3\", "
+            "\"packets\": 131, \"peak_pps\": 2.180, "
+            "\"alert_latency_s\": 86.000, "
+            "\"detect_latency_s\": 0.250}");
+  event.detect_latency_s = -1;
 
   event.type = obs::DetectorEventType::kSessionEvicted;
   event.alert_latency_s = -1;

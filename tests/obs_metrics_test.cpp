@@ -94,12 +94,18 @@ TEST(ObsMetrics, StandardBoundsAreStrictlyAscending) {
 }
 
 /// A small registry with one metric of each kind, used by both golden
-/// tests: counter=3, gauge=-2, histogram bounds {1,2} fed 0,1,2,5.
+/// tests: counter=3, gauge=-2, histogram bounds {1,2} fed 0,1,2,5, and
+/// a latency histogram fed 1,2,500. The first two latency samples sit
+/// in the exact (<32) region, so p50 is exactly 2; 500 lands in bucket
+/// [496,512) whose midpoint representative is 504 — the golden pins the
+/// log-linear geometry through the export path.
 void populate(MetricsRegistry& registry) {
   registry.counter("a.count", "things counted").add(3);
   registry.gauge("b.gauge").set(-2);
   auto& histogram = registry.histogram("c.hist", {1, 2}, "a histogram");
   for (const std::uint64_t sample : {0, 1, 2, 5}) histogram.observe(sample);
+  auto& latency = registry.latency("d.lat", "a latency");
+  for (const std::uint64_t sample : {1, 2, 500}) latency.record(sample);
 }
 
 TEST(ObsMetrics, GoldenPrometheusExposition) {
@@ -117,7 +123,15 @@ TEST(ObsMetrics, GoldenPrometheusExposition) {
             "quicsand_c_hist_bucket{le=\"2\"} 3\n"
             "quicsand_c_hist_bucket{le=\"+Inf\"} 4\n"
             "quicsand_c_hist_sum 8\n"
-            "quicsand_c_hist_count 4\n");
+            "quicsand_c_hist_count 4\n"
+            "# HELP quicsand_d_lat a latency\n"
+            "# TYPE quicsand_d_lat summary\n"
+            "quicsand_d_lat{quantile=\"0.5\"} 2\n"
+            "quicsand_d_lat{quantile=\"0.9\"} 504\n"
+            "quicsand_d_lat{quantile=\"0.99\"} 504\n"
+            "quicsand_d_lat{quantile=\"0.999\"} 504\n"
+            "quicsand_d_lat_sum 503\n"
+            "quicsand_d_lat_count 3\n");
 }
 
 TEST(ObsMetrics, PrometheusTotalSuffixNotDoubled) {
@@ -148,6 +162,11 @@ TEST(ObsMetrics, SnapshotsListRegisteredValuesInNameOrder) {
   ASSERT_EQ(gauges.size(), 1u);
   EXPECT_EQ(gauges[0].first, "b.gauge");
   EXPECT_EQ(gauges[0].second, -2);
+  const auto latencies = registry.latency_snapshot();
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_EQ(latencies[0].name, "d.lat");
+  EXPECT_EQ(latencies[0].snap.count, 3u);
+  EXPECT_EQ(latencies[0].snap.max, 500u);
 }
 
 TEST(ObsMetrics, GoldenJsonSnapshot) {
@@ -165,6 +184,10 @@ TEST(ObsMetrics, GoldenJsonSnapshot) {
             "    \"c.hist\": {\"count\": 4, \"sum\": 8, \"buckets\": "
             "[{\"le\": 1, \"count\": 2}, {\"le\": 2, \"count\": 1}, "
             "{\"le\": null, \"count\": 1}]}\n"
+            "  },\n"
+            "  \"latencies\": {\n"
+            "    \"d.lat\": {\"count\": 3, \"sum\": 503, \"max\": 500, "
+            "\"p50\": 2, \"p90\": 504, \"p99\": 504, \"p999\": 504}\n"
             "  }\n"
             "}\n");
 }
@@ -174,7 +197,7 @@ TEST(ObsMetrics, EmptyRegistryExportsAreWellFormed) {
   EXPECT_EQ(registry.to_prometheus(), "");
   EXPECT_EQ(registry.to_json(),
             "{\n  \"counters\": {},\n  \"gauges\": {},\n"
-            "  \"histograms\": {}\n}\n");
+            "  \"histograms\": {},\n  \"latencies\": {}\n}\n");
 }
 
 }  // namespace

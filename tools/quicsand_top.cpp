@@ -1,6 +1,7 @@
 // quicsand_top — terminal dashboard for a running monitor/flood_lab
 // admin endpoint. Polls /metrics.json and /tsdb/query and renders live
-// per-second rates, sparkline history, and recent alerts — `top` for
+// per-second rates, sparkline history, latency quantiles (the p50/p99
+// gauges bridged from every LatencyHistogram), and recent alerts — `top` for
 // the telescope pipeline, no browser required.
 //
 //   ./quicsand_top HOST:PORT [--interval SECONDS] [--frames N]
@@ -211,6 +212,22 @@ std::string sparkline(const std::vector<QueryPoint>& points) {
   return out + tail.str();
 }
 
+/// Latest `last` cell of one series over the window — how the latency
+/// quantile gauges (.p50/.p99 bridged from LatencyHistograms by the
+/// sampler) are read back: the newest sample IS the current quantile.
+std::optional<std::int64_t> latest_value(
+    const std::string& host, std::uint16_t port, const std::string& series,
+    std::int64_t from_us) {  // lint:allow(naked-int64-time-param)
+  const auto body =
+      http_get(host, port,
+               "/tsdb/query?series=" + series +
+                   "&from=" + std::to_string(from_us) + "&step=0");
+  if (!body) return std::nullopt;
+  const auto points = scan_points(*body);
+  if (points.empty()) return std::nullopt;
+  return points.back().last;
+}
+
 /// Newest sample timestamp across the catalog, so queries can ask for
 /// just the trailing window (keeping the server on its finest tier).
 std::int64_t scan_newest_us(const std::string& json) {
@@ -370,6 +387,35 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
       if (alerts.empty()) alerts = scan_annotations(*body);
+    }
+
+    // Latency quantiles: every LatencyHistogram the sampler bridges
+    // exports <base>.p50/.p90/.p99 gauge series; pair them up into a
+    // p50/p99 column per base (live.latency.e2e_us, detect latency...).
+    std::vector<std::string> latency_bases;
+    for (const auto& name : available) {
+      if (name.size() > 4 && name.rfind(".p50") == name.size() - 4) {
+        latency_bases.push_back(name.substr(0, name.size() - 4));
+      }
+    }
+    if (!latency_bases.empty()) {
+      std::cout << "  latency quantiles (us):\n";
+      std::size_t rows = 0;
+      for (const auto& base : latency_bases) {
+        if (++rows > 12) break;  // the terminal is only so tall
+        std::cout << "    " << base;
+        for (std::size_t pad = base.size(); pad < 28; ++pad) {
+          std::cout << ' ';
+        }
+        const auto p50 = latest_value(endpoint->host, endpoint->port,
+                                      base + ".p50", from_us);
+        const auto p99 = latest_value(endpoint->host, endpoint->port,
+                                      base + ".p99", from_us);
+        if (p50) std::cout << " p50 " << *p50;
+        if (p99) std::cout << "  p99 " << *p99;
+        if (!p50 && !p99) std::cout << " (no samples in window)";
+        std::cout << "\n";
+      }
     }
 
     std::cout << "  alerts:\n";
